@@ -1,0 +1,64 @@
+// Ablation study for a design choice this reproduction had to make and the
+// paper leaves implicit: how much a fresh trial vertex is sampled before
+// its comparisons.
+//
+//  * literal reading: trials start from initialSamplesPerVertex and gain
+//    samples only through the gates / resample loops (Algorithms 2-4 as
+//    printed constrain vertex noise, not trial noise);
+//  * precision-matched (the library default): a trial starts with as many
+//    samples as the most-sampled simplex vertex, modeling the paper's
+//    architecture where the two trial workers sample continuously.
+//
+// The comparison is run for MN and PC at sigma0 = 1000 on the 4-d
+// Rosenbrock function.  See DESIGN.md ("trial vertices").
+
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+bench::RunFn mnWithMatching(bool match) {
+  return [match](const noise::StochasticObjective& obj, std::span<const core::Point> start) {
+    core::MaxNoiseOptions o = bench::campaignMn();
+    o.matchTrialPrecision = match;
+    return core::runMaxNoise(obj, start, o);
+  };
+}
+
+bench::RunFn pcWithMatching(bool match) {
+  return [match](const noise::StochasticObjective& obj, std::span<const core::Point> start) {
+    core::PCOptions o = bench::campaignPc();
+    o.matchTrialPrecision = match;
+    return core::runPointToPoint(obj, start, o);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  bench::printHeader(
+      "Ablation - trial-vertex precision matching (sigma0 = 1000, 4-d Rosenbrock)");
+
+  bench::PairwiseCampaign campaign;
+  campaign.trials = trials;
+  auto mkObjective = [](std::uint64_t seed) { return bench::noisyRosenbrock(4, 1000.0, seed); };
+
+  const auto mnHist =
+      bench::comparePair(campaign, mkObjective, mnWithMatching(true), mnWithMatching(false));
+  bench::printComparison("MN: log10(min matched / min literal)", mnHist);
+
+  const auto pcHist =
+      bench::comparePair(campaign, mkObjective, pcWithMatching(true), pcWithMatching(false));
+  bench::printComparison("PC: log10(min matched / min literal)", pcHist);
+
+  std::printf(
+      "\nReading: matching trial precision to the simplex vertices is a strict\n"
+      "improvement for MN (whose decision comparisons are otherwise made\n"
+      "against a nearly-unsampled trial); PC is less sensitive because its\n"
+      "confidence comparisons force trial sampling anyway.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "common/harness.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/initial_simplex.hpp"
+#include "stats/summary.hpp"
+#include "testfunctions/functions.hpp"
+
+namespace sfopt::bench {
+
+void printHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void printSubHeader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+stats::PerformanceMeasures measure(const core::OptimizationResult& result,
+                                   std::span<const double> solution) {
+  stats::PerformanceMeasures m;
+  m.iterations = result.iterations;
+  m.functionError = result.bestTrue ? std::fabs(*result.bestTrue) : 0.0;
+  m.distance = stats::euclideanDistance(result.best, solution);
+  return m;
+}
+
+noise::NoisyFunction noisyRosenbrock(std::size_t dim, double sigma0, std::uint64_t seed) {
+  noise::NoisyFunction::Options o;
+  o.sigma0 = sigma0;
+  o.sampleDuration = 1.0;
+  o.seed = seed;
+  return noise::NoisyFunction(
+      dim, [](std::span<const double> x) { return testfunctions::rosenbrock(x); }, o);
+}
+
+noise::NoisyFunction noisyPowell(double sigma0, std::uint64_t seed) {
+  noise::NoisyFunction::Options o;
+  o.sigma0 = sigma0;
+  o.sampleDuration = 1.0;
+  o.seed = seed;
+  return noise::NoisyFunction(
+      4, [](std::span<const double> x) { return testfunctions::powell(x); }, o);
+}
+
+stats::Histogram comparePair(
+    const PairwiseCampaign& campaign,
+    const std::function<noise::NoisyFunction(std::uint64_t seed)>& makeObjective,
+    const RunFn& runA, const RunFn& runB) {
+  stats::Histogram hist(-8.0, 8.0, 16);
+  for (int t = 0; t < campaign.trials; ++t) {
+    noise::RngStream startRng(campaign.startSeed, static_cast<std::uint64_t>(t));
+    const auto start = core::randomSimplexPoints(campaign.dimension, campaign.boxLo,
+                                                 campaign.boxHi, startRng);
+    const auto objective =
+        makeObjective(campaign.noiseSeed + static_cast<std::uint64_t>(t));
+    const auto resA = runA(objective, start);
+    const auto resB = runB(objective, start);
+    const double a = resA.bestTrue ? std::fabs(*resA.bestTrue) : resA.bestEstimate;
+    const double b = resB.bestTrue ? std::fabs(*resB.bestTrue) : resB.bestEstimate;
+    hist.add(stats::logRatio(a, b, 8.0));
+  }
+  return hist;
+}
+
+void printComparison(const std::string& label, const stats::Histogram& hist) {
+  std::printf("\n%s  (count vs log10 ratio; negative = numerator wins)\n", label.c_str());
+  std::printf("%s", hist.asciiRender(40).c_str());
+  const auto b = hist.balanceAroundZero();
+  std::printf("  numerator better: %.0f%%   tie: %.0f%%   denominator better: %.0f%%\n",
+              100.0 * b.below, 100.0 * b.near, 100.0 * b.above);
+}
+
+core::TerminationCriteria campaignTermination() {
+  core::TerminationCriteria t;
+  t.tolerance = 1e-6;
+  t.maxTime = 50'000.0;     // virtual seconds (paper: late-stage updates ~1e4 s)
+  t.maxIterations = 400;
+  t.maxSamples = 200'000;   // compute guard per run
+  return t;
+}
+
+void applyCampaignBudget(core::CommonOptions& common) {
+  common.termination = campaignTermination();
+  common.sampling.maxSamplesPerVertex = 20'000;
+}
+
+core::DetOptions campaignDet() {
+  core::DetOptions o;
+  applyCampaignBudget(o.common);
+  return o;
+}
+
+core::MaxNoiseOptions campaignMn() {
+  core::MaxNoiseOptions o;
+  o.matchTrialPrecision = false;  // literal Algorithm 2
+  applyCampaignBudget(o.common);
+  return o;
+}
+
+core::PCOptions campaignPc() {
+  core::PCOptions o;  // PC defaults already carry the sigma-floor/cap tuning
+  applyCampaignBudget(o.common);
+  return o;
+}
+
+core::PCOptions campaignPcMn() {
+  core::PCOptions o = campaignPc();
+  o.maxNoiseGate = true;
+  return o;
+}
+
+void applyTableBudget(core::CommonOptions& common) {
+  common.termination.tolerance = 1e-3;
+  common.termination.maxTime = 1'000'000.0;
+  common.termination.maxIterations = 2'000;
+  common.termination.maxSamples = 3'000'000;
+  common.sampling.maxSamplesPerVertex = 200'000;
+}
+
+}  // namespace sfopt::bench

@@ -1,0 +1,104 @@
+// Extension bench: the global-strategy layer around the paper's local
+// simplex.  Section 1.3.5.1 notes the simplex is used globally "either by
+// restarting the simplex or by using it as a local search subroutine
+// within a metaheuristic method"; section 1.3.3 surveys SA and PSO.  This
+// bench pits the three strategies implemented here against each other on
+// the noisy 2-d Rastrigin landscape, starting inside a non-global basin.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "core/annealing.hpp"
+#include "core/initial_simplex.hpp"
+#include "core/pso.hpp"
+#include "core/restart.hpp"
+#include "stats/summary.hpp"
+#include "testfunctions/functions.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+noise::NoisyFunction noisyRastrigin(double sigma0, std::uint64_t seed) {
+  noise::NoisyFunction::Options o;
+  o.sigma0 = sigma0;
+  o.seed = seed;
+  return noise::NoisyFunction(
+      2, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, o);
+}
+
+double val(const core::OptimizationResult& r) {
+  return std::fabs(r.bestTrue.value_or(r.bestEstimate));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  bench::printHeader("Extension - global strategies on noisy 2-d Rastrigin (bad starts)");
+
+  for (double sigma0 : {0.1, 1.0}) {
+    std::vector<double> localOnly;
+    std::vector<double> restarted;
+    std::vector<double> annealed;
+    std::vector<double> swarm;
+    for (int t = 0; t < trials; ++t) {
+      const auto s = static_cast<std::uint64_t>(t);
+      auto obj = noisyRastrigin(sigma0, 7100 + s);
+      // Start near a random non-global integer basin.
+      noise::RngStream rng(55, s);
+      const core::Point origin{static_cast<double>(1 + rng.below(3)),
+                               static_cast<double>(1 + rng.below(3))};
+      const auto start = core::axisSimplexPoints(origin, 0.4);
+
+      core::PCOptions pc;
+      pc.common.termination.tolerance = 1e-4;
+      pc.common.termination.maxIterations = 200;
+      pc.common.termination.maxSamples = 60'000;
+      localOnly.push_back(val(core::runPointToPoint(obj, start, pc)));
+
+      core::RestartOptions ro;
+      ro.restarts = 4;
+      ro.initialScale = 2.0;
+      ro.scaleDecay = 0.7;
+      restarted.push_back(
+          val(core::runWithRestarts(obj, start, core::makeRunner(pc), ro).best));
+
+      core::AnnealingOptions sa;
+      sa.initialTemperature = 20.0;
+      sa.coolingRate = 0.92;
+      sa.sweepSize = 25;
+      sa.stepScale = 1.5;
+      sa.termination.tolerance = 1e-3;
+      sa.termination.maxIterations = 200;
+      sa.termination.maxSamples = 300'000;
+      sa.seed = 40 + s;
+      annealed.push_back(val(core::runSimulatedAnnealing(obj, origin, sa)));
+
+      core::PsoOptions pso;
+      pso.particles = 20;
+      pso.resample.maxRoundsPerComparison = 8;
+      pso.termination.tolerance = 1e-4;
+      pso.termination.maxIterations = 200;
+      pso.termination.maxSamples = 300'000;
+      pso.seed = 90 + s;
+      swarm.push_back(val(core::runParticleSwarm(obj, pso)));
+    }
+    bench::printSubHeader("noise sigma0 = " + std::to_string(sigma0));
+    auto row = [](const char* name, const std::vector<double>& xs) {
+      const stats::Summary s(xs);
+      std::printf("  %-24s median=%8.4f  p25=%8.4f  p75=%8.4f\n", name, s.median(),
+                  s.percentile(25.0), s.percentile(75.0));
+    };
+    row("PC (single, local)", localOnly);
+    row("PC + restarts", restarted);
+    row("simulated annealing", annealed);
+    row("PSO (confidence)", swarm);
+  }
+  std::printf(
+      "\nReading: a single local simplex stays in its starting basin (values\n"
+      "near the local minimum ~1-8); restarts, SA and the confidence PSO all\n"
+      "reach the global basin, trading sampling effort differently.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Extension bench (paper section 5.2, future work): particle swarm
+// optimization on noisy multimodal landscapes, with and without the
+// noise-aware (point-to-point style) best-update duels, optionally
+// polished by a PC simplex ("PSO finds the basin, simplex drills down" —
+// the hybrid the paper sketches).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "core/initial_simplex.hpp"
+#include "core/pso.hpp"
+#include "stats/summary.hpp"
+#include "testfunctions/functions.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+noise::NoisyFunction noisyRastrigin(std::size_t dim, double sigma0, std::uint64_t seed) {
+  noise::NoisyFunction::Options o;
+  o.sigma0 = sigma0;
+  o.seed = seed;
+  return noise::NoisyFunction(
+      dim, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, o);
+}
+
+double runPso(const noise::StochasticObjective& obj, bool confidence, std::uint64_t seed) {
+  core::PsoOptions o;
+  o.particles = 24;
+  o.confidenceBestUpdates = confidence;
+  o.resample.maxRoundsPerComparison = 8;
+  o.termination.tolerance = 1e-4;
+  o.termination.maxIterations = 250;
+  o.termination.maxSamples = 300'000;
+  o.seed = seed;
+  core::OptimizationResult res = core::runParticleSwarm(obj, o);
+  return std::fabs(res.bestTrue.value_or(res.bestEstimate));
+}
+
+double runPsoThenSimplex(const noise::StochasticObjective& obj, std::uint64_t seed) {
+  core::PsoOptions o;
+  o.particles = 24;
+  o.resample.maxRoundsPerComparison = 8;
+  o.termination.tolerance = 1e-3;
+  o.termination.maxIterations = 120;
+  o.termination.maxSamples = 150'000;
+  o.seed = seed;
+  const auto coarse = core::runParticleSwarm(obj, o);
+
+  core::PCOptions pc;
+  pc.common.termination.tolerance = 1e-4;
+  pc.common.termination.maxIterations = 200;
+  pc.common.termination.maxSamples = 150'000;
+  pc.common.sampling.firstVertexId = 1u << 24;  // disjoint noise streams
+  const auto fine =
+      core::runPointToPoint(obj, core::axisSimplexPoints(coarse.best, 0.3), pc);
+  return std::fabs(fine.bestTrue.value_or(fine.bestEstimate));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  bench::printHeader(
+      "Extension (paper sec 5.2) - PSO / PSO+confidence / PSO->PC hybrid on noisy Rastrigin");
+
+  for (double sigma0 : {1.0, 10.0}) {
+    std::vector<double> plain;
+    std::vector<double> conf;
+    std::vector<double> hybrid;
+    for (int t = 0; t < trials; ++t) {
+      const auto s = static_cast<std::uint64_t>(t);
+      auto obj = noisyRastrigin(2, sigma0, 4400 + s);
+      plain.push_back(runPso(obj, false, 10 + s));
+      conf.push_back(runPso(obj, true, 10 + s));
+      hybrid.push_back(runPsoThenSimplex(obj, 10 + s));
+    }
+    bench::printSubHeader("noise sigma0 = " + std::to_string(static_cast<int>(sigma0)));
+    const stats::Summary sp(plain);
+    const stats::Summary sc(conf);
+    const stats::Summary sh(hybrid);
+    std::printf("  %-22s median=%8.4f  p25=%8.4f  p75=%8.4f\n", "PSO (plain bests)",
+                sp.median(), sp.percentile(25.0), sp.percentile(75.0));
+    std::printf("  %-22s median=%8.4f  p25=%8.4f  p75=%8.4f\n", "PSO (confidence bests)",
+                sc.median(), sc.percentile(25.0), sc.percentile(75.0));
+    std::printf("  %-22s median=%8.4f  p25=%8.4f  p75=%8.4f\n", "PSO -> PC simplex",
+                sh.median(), sh.percentile(25.0), sh.percentile(75.0));
+  }
+  std::printf(
+      "\nReading: confidence duels protect the swarm's bests from lucky noise\n"
+      "draws; handing the basin to a PC simplex adds the strong local\n"
+      "convergence PSO lacks - the hybrid direction the paper recommends.\n");
+  return 0;
+}

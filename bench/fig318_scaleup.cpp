@@ -1,0 +1,90 @@
+// Reproduces Table 3.3 and Figure 3.18: the MW master-worker scale-up
+// study on the d-dimensional Rosenbrock function for d = 20, 50, 100.
+// Reported: the processor-allocation table (Table 3.3), function value vs
+// virtual time and vs steps (Fig 3.18a/b), and the real time per simplex
+// step vs dimension (Fig 3.18c).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "core/initial_simplex.hpp"
+#include "mw/parallel_runner.hpp"
+
+using namespace sfopt;
+
+int main(int argc, char** argv) {
+  std::vector<int> dims{20, 50, 100};
+  if (argc > 1) {
+    dims.clear();
+    for (int i = 1; i < argc; ++i) dims.push_back(std::atoi(argv[i]));
+  }
+
+  bench::printHeader("Table 3.3 - processor allocation for Rosenbrock over MW (Ns = 1)");
+  std::printf("\n%-12s %-10s %-10s %-10s %-12s\n", "dims (d)", "workers", "servers",
+              "clients", "total cores");
+  for (int d : dims) {
+    const mw::ProcessorAllocation a{d, 1};
+    std::printf("%-12d %-10lld %-10lld %-10lld %-12lld\n", d,
+                static_cast<long long>(a.workers()), static_cast<long long>(a.servers()),
+                static_cast<long long>(a.clients()), static_cast<long long>(a.totalCores()));
+  }
+
+  bench::printHeader("Figure 3.18 - MW scale-up runs");
+  struct Row {
+    int d;
+    long long steps;
+    double finalValue;
+    double virtualTime;
+    double wallPerStepMs;
+  };
+  std::vector<Row> rows;
+
+  for (int d : dims) {
+    auto objective = bench::noisyRosenbrock(static_cast<std::size_t>(d), 1.0, 8800);
+    noise::RngStream startRng(808, static_cast<std::uint64_t>(d));
+    const auto start =
+        core::randomSimplexPoints(static_cast<std::size_t>(d), -2.0, 2.0, startRng);
+
+    core::MaxNoiseOptions opts;
+    opts.common.termination.tolerance = 1e-3;
+    opts.common.termination.maxIterations = 40 * d * d;  // NM needs O(d^2) steps here
+    opts.common.termination.maxSamples = 30'000'000;
+    opts.common.sampling.maxSamplesPerVertex = 2'000;
+    opts.common.recordTrace = true;
+
+    const auto run = mw::runSimplexOverMW(objective, start, opts, mw::MWRunConfig{});
+    const auto& res = run.optimization;
+
+    bench::printSubHeader("d = " + std::to_string(d) + "  (value vs virtual time / steps)");
+    std::printf("  %10s %10s %16s\n", "step", "time(s)", "best true value");
+    const auto& steps = res.trace.steps();
+    const std::size_t stride = std::max<std::size_t>(steps.size() / 10, 1);
+    for (std::size_t i = 0; i < steps.size(); i += stride) {
+      std::printf("  %10lld %10.1f %16.6g\n", static_cast<long long>(steps[i].iteration),
+                  steps[i].time, steps[i].bestTrue.value_or(steps[i].bestEstimate));
+    }
+    const double perStepMs =
+        res.iterations > 0 ? 1000.0 * run.masterWallSeconds / res.iterations : 0.0;
+    rows.push_back({d, static_cast<long long>(res.iterations),
+                    res.bestTrue.value_or(res.bestEstimate), res.elapsedTime, perStepMs});
+    std::printf("  messages: %llu   bytes: %llu   tasks: %llu\n",
+                static_cast<unsigned long long>(run.messagesSent),
+                static_cast<unsigned long long>(run.bytesSent),
+                static_cast<unsigned long long>(run.tasksCompleted));
+  }
+
+  bench::printSubHeader("Fig 3.18c - time per simplex step vs dimension");
+  std::printf("\n%-8s %-8s %-16s %-14s %-16s\n", "d", "steps", "final value",
+              "virtual t(s)", "wall ms/step");
+  for (const Row& r : rows) {
+    std::printf("%-8d %-8lld %-16.6g %-14.1f %-16.3f\n", r.d, r.steps, r.finalValue,
+                r.virtualTime, r.wallPerStepMs);
+  }
+  std::printf(
+      "\nPaper shape check: more dimensions need more steps and more time to\n"
+      "converge (Fig 3.18a/b); the wall-clock cost of a single step grows only\n"
+      "mildly with d (Fig 3.18c - the paper attributes it to I/O overhead; here\n"
+      "it is message-passing and bookkeeping overhead).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 3.4: function value vs (virtual) time traces for the
+// MN algorithm (k = 2..5) and the Anderson criterion (k1 = 2^0..2^30) on
+// the controlled-noise 3-d Rosenbrock function, five inputs each.  The
+// series are printed in gnuplot-ready columns (decade-subsampled).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "core/initial_simplex.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+/// Print a trace as "time  best-true-value" rows, subsampled to at most
+/// `maxRows` points, log-spaced in time like the paper's log-log panels.
+void printTrace(const core::OptimizationTrace& trace, int maxRows) {
+  if (trace.empty()) {
+    std::printf("  (no steps recorded)\n");
+    return;
+  }
+  const auto& steps = trace.steps();
+  const double t0 = std::max(steps.front().time, 1.0);
+  const double t1 = std::max(steps.back().time, t0 * 1.001);
+  double nextT = t0;
+  const double factor = std::pow(t1 / t0, 1.0 / maxRows);
+  for (const auto& s : steps) {
+    if (s.time < nextT) continue;
+    std::printf("  %12.1f  %14.6g\n", s.time, s.bestTrue.value_or(s.bestEstimate));
+    nextT = std::max(s.time * factor, s.time + 1.0);
+  }
+  std::printf("  %12.1f  %14.6g  (final)\n", steps.back().time,
+              steps.back().bestTrue.value_or(steps.back().bestEstimate));
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("Figure 3.4 - function value vs time, MN (left) vs Anderson (right)");
+
+  for (int input = 1; input <= 5; ++input) {
+    noise::RngStream startRng(41, static_cast<std::uint64_t>(input));
+    const auto start = core::randomSimplexPoints(3, -6.0, 3.0, startRng);
+
+    bench::printSubHeader("input " + std::to_string(input) + " : MN algorithm");
+    for (double k : {2.0, 3.0, 4.0, 5.0}) {
+      auto objective = bench::noisyRosenbrock(3, 100.0, 7000 + static_cast<std::uint64_t>(input));
+      core::MaxNoiseOptions opts;
+      opts.k = k;
+      bench::applyTableBudget(opts.common);
+      opts.common.recordTrace = true;
+      const auto res = core::runMaxNoise(objective, start, opts);
+      std::printf("\n k = %.0f  (%lld steps, stop: %s)\n", k,
+                  static_cast<long long>(res.iterations), toString(res.reason).data());
+      printTrace(res.trace, 12);
+    }
+
+    bench::printSubHeader("input " + std::to_string(input) + " : Anderson criterion");
+    for (double e : {0.0, 10.0, 20.0, 30.0}) {
+      auto objective = bench::noisyRosenbrock(3, 100.0, 7000 + static_cast<std::uint64_t>(input));
+      core::AndersonOptions opts;
+      opts.k1 = std::pow(2.0, e);
+      bench::applyTableBudget(opts.common);
+      opts.common.recordTrace = true;
+      const auto res = core::runAnderson(objective, start, opts);
+      std::printf("\n k1 = 2^%.0f  (%lld steps, stop: %s)\n", e,
+                  static_cast<long long>(res.iterations), toString(res.reason).data());
+      printTrace(res.trace, 12);
+    }
+  }
+  return 0;
+}

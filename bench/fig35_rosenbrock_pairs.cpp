@@ -1,0 +1,72 @@
+// Reproduces Figure 3.5: histograms of log10(min A / min B) for the pairs
+// (a) MN vs DET, (b) PC vs MN, (c) PC+MN vs PC at noise levels sigma0 in
+// {1, 100, 1000}, over 100 random initial simplex states of the 4-d
+// Rosenbrock function (coordinates uniform in [-5, 5)).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "core/initial_simplex.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+struct PanelSet {
+  stats::Histogram mnVsDet{-8.0, 8.0, 16};
+  stats::Histogram pcVsMn{-8.0, 8.0, 16};
+  stats::Histogram pcmnVsPc{-8.0, 8.0, 16};
+};
+
+double minOf(const core::OptimizationResult& r) {
+  return r.bestTrue ? std::fabs(*r.bestTrue) : std::fabs(r.bestEstimate);
+}
+
+void runCampaign(std::size_t dimension, double sigma0, int trials, PanelSet& panels,
+                 const std::function<noise::NoisyFunction(std::uint64_t)>& makeObjective) {
+  for (int t = 0; t < trials; ++t) {
+    noise::RngStream startRng(2025, static_cast<std::uint64_t>(t));
+    const auto start = core::randomSimplexPoints(dimension, -5.0, 5.0, startRng);
+    auto objective = makeObjective(static_cast<std::uint64_t>(t) * 13 + 1);
+
+    const double detMin =
+        minOf(core::runDeterministic(objective, start, bench::campaignDet()));
+    const double mnMin = minOf(core::runMaxNoise(objective, start, bench::campaignMn()));
+    const double pcMin = minOf(core::runPointToPoint(objective, start, bench::campaignPc()));
+    const double pcmnMin =
+        minOf(core::runPointToPoint(objective, start, bench::campaignPcMn()));
+
+    panels.mnVsDet.add(stats::logRatio(mnMin, detMin, 8.0));
+    panels.pcVsMn.add(stats::logRatio(pcMin, mnMin, 8.0));
+    panels.pcmnVsPc.add(stats::logRatio(pcmnMin, pcMin, 8.0));
+  }
+  (void)sigma0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  bench::printHeader("Figure 3.5 - MN/DET, PC/MN, PC+MN/PC on 4-d Rosenbrock (" +
+                     std::to_string(trials) + " initial states)");
+
+  for (double sigma0 : {1.0, 100.0, 1000.0}) {
+    PanelSet panels;
+    runCampaign(4, sigma0, trials, panels, [&](std::uint64_t seed) {
+      return bench::noisyRosenbrock(4, sigma0, 5000 + seed);
+    });
+    bench::printSubHeader("noise sigma0 = " + std::to_string(static_cast<int>(sigma0)));
+    bench::printComparison("(a) log10(min MN / min DET)", panels.mnVsDet);
+    bench::printComparison("(b) log10(min PC / min MN)", panels.pcVsMn);
+    bench::printComparison("(c) log10(min PC+MN / min PC)", panels.pcmnVsPc);
+  }
+  std::printf(
+      "\nPaper shape check: (a) centered at 0 for sigma0=1, grows a negative\n"
+      "tail as noise rises (MN avoids premature convergence); (b) PC ties or\n"
+      "beats MN in ~90%% of cases at high noise; (c) roughly symmetric with a\n"
+      "slight PC+MN edge.\n");
+  return 0;
+}

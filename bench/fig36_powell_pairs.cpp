@@ -1,0 +1,61 @@
+// Reproduces Figure 3.6: the same three pairwise panels as Figure 3.5
+// ((a) MN vs DET, (b) PC vs MN, (c) PC+MN vs PC; sigma0 in {1, 100, 1000};
+// 100 random initial simplexes) on the 4-d Powell singular function.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "core/initial_simplex.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+double minOf(const core::OptimizationResult& r) {
+  return r.bestTrue ? std::fabs(*r.bestTrue) : std::fabs(r.bestEstimate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  bench::printHeader("Figure 3.6 - MN/DET, PC/MN, PC+MN/PC on 4-d Powell (" +
+                     std::to_string(trials) + " initial states)");
+
+  for (double sigma0 : {1.0, 100.0, 1000.0}) {
+    stats::Histogram mnVsDet(-8.0, 8.0, 16);
+    stats::Histogram pcVsMn(-15.0, 5.0, 20);
+    stats::Histogram pcmnVsPc(-12.0, 12.0, 24);
+
+    for (int t = 0; t < trials; ++t) {
+      noise::RngStream startRng(4077, static_cast<std::uint64_t>(t));
+      const auto start = core::randomSimplexPoints(4, -5.0, 5.0, startRng);
+      auto objective = bench::noisyPowell(sigma0, 6000 + static_cast<std::uint64_t>(t));
+
+      const double detMin =
+          minOf(core::runDeterministic(objective, start, bench::campaignDet()));
+      const double mnMin = minOf(core::runMaxNoise(objective, start, bench::campaignMn()));
+      const double pcMin =
+          minOf(core::runPointToPoint(objective, start, bench::campaignPc()));
+      const double pcmnMin =
+          minOf(core::runPointToPoint(objective, start, bench::campaignPcMn()));
+
+      mnVsDet.add(stats::logRatio(mnMin, detMin, 8.0));
+      pcVsMn.add(stats::logRatio(pcMin, mnMin, 15.0));
+      pcmnVsPc.add(stats::logRatio(pcmnMin, pcMin, 12.0));
+    }
+
+    bench::printSubHeader("noise sigma0 = " + std::to_string(static_cast<int>(sigma0)));
+    bench::printComparison("(a) log10(min MN / min DET)", mnVsDet);
+    bench::printComparison("(b) log10(min PC / min MN)", pcVsMn);
+    bench::printComparison("(c) log10(min PC+MN / min PC)", pcmnVsPc);
+  }
+  std::printf(
+      "\nPaper shape check: same qualitative ordering as the Rosenbrock panels;\n"
+      "Powell's singular Hessian stretches the PC-vs-MN tail further negative\n"
+      "(Fig 3.6b reaches log-ratios of -15).\n");
+  return 0;
+}

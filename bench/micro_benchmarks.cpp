@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks for the performance-critical pieces:
+// objective sampling, simplex bookkeeping, the MW wire protocol, and the
+// MD engine's force loop.  These back the efficiency claims in DESIGN.md
+// (e.g. "ordering d+1 points is always cheaper than an objective sample").
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/initial_simplex.hpp"
+#include "core/sampling_context.hpp"
+#include "core/simplex.hpp"
+#include "md/forces.hpp"
+#include "md/integrator.hpp"
+#include "md/observables.hpp"
+#include "mw/message_buffer.hpp"
+#include "noise/noisy_function.hpp"
+#include "stats/welford.hpp"
+#include "testfunctions/functions.hpp"
+
+namespace {
+
+using namespace sfopt;
+
+void BM_RosenbrockEval(benchmark::State& state) {
+  const std::vector<double> x(static_cast<std::size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testfunctions::rosenbrock(x));
+  }
+}
+BENCHMARK(BM_RosenbrockEval)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_NoisySample(benchmark::State& state) {
+  noise::NoisyFunction::Options o;
+  o.sigma0 = 100.0;
+  noise::NoisyFunction f(4, [](std::span<const double> p) { return testfunctions::rosenbrock(p); },
+                         o);
+  const std::vector<double> x{0.5, 0.5, 0.5, 0.5};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sample(x, {1, i++}));
+  }
+}
+BENCHMARK(BM_NoisySample);
+
+void BM_WelfordAdd(benchmark::State& state) {
+  stats::Welford w;
+  double x = 0.0;
+  for (auto _ : state) {
+    w.add(x);
+    x += 0.1;
+  }
+  benchmark::DoNotOptimize(w.mean());
+}
+BENCHMARK(BM_WelfordAdd);
+
+void BM_SimplexOrdering(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  noise::NoisyFunction::Options o;
+  noise::NoisyFunction f(d, [](std::span<const double> p) { return testfunctions::sphere(p); },
+                         o);
+  core::SamplingContext ctx(f);
+  std::vector<std::unique_ptr<core::Vertex>> vs;
+  noise::RngStream rng(1, 0);
+  for (const auto& p : core::randomSimplexPoints(d, -2.0, 2.0, rng)) {
+    vs.push_back(ctx.createVertex(p, 2));
+  }
+  core::Simplex s(std::move(vs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.ordering());
+  }
+}
+BENCHMARK(BM_SimplexOrdering)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_SimplexDiameter(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  noise::NoisyFunction::Options o;
+  noise::NoisyFunction f(d, [](std::span<const double> p) { return testfunctions::sphere(p); },
+                         o);
+  core::SamplingContext ctx(f);
+  std::vector<std::unique_ptr<core::Vertex>> vs;
+  noise::RngStream rng(1, 0);
+  for (const auto& p : core::randomSimplexPoints(d, -2.0, 2.0, rng)) {
+    vs.push_back(ctx.createVertex(p, 2));
+  }
+  core::Simplex s(std::move(vs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.diameter());
+  }
+}
+BENCHMARK(BM_SimplexDiameter)->Arg(4)->Arg(20);
+
+void BM_ReflectPoint(benchmark::State& state) {
+  const std::vector<double> cent(100, 0.5);
+  const std::vector<double> worst(100, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::reflectPoint(cent, worst));
+  }
+}
+BENCHMARK(BM_ReflectPoint);
+
+void BM_MessageBufferRoundTrip(benchmark::State& state) {
+  const std::vector<double> payload(static_cast<std::size_t>(state.range(0)), 1.25);
+  for (auto _ : state) {
+    mw::MessageBuffer buf;
+    buf.pack(std::uint64_t{7});
+    buf.pack(std::span<const double>(payload));
+    benchmark::DoNotOptimize(buf.unpackUint64());
+    benchmark::DoNotOptimize(buf.unpackDoubleVector());
+  }
+}
+BENCHMARK(BM_MessageBufferRoundTrip)->Arg(4)->Arg(100);
+
+void BM_MdForceEvaluation(benchmark::State& state) {
+  auto sys = md::buildWaterLattice(static_cast<int>(state.range(0)), 0.997, 298.0,
+                                   md::tip4pPublished(), 4.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(md::computeForces(sys));
+  }
+  state.SetItemsProcessed(state.iterations() * sys.sites() * (sys.sites() - 1) / 2);
+}
+BENCHMARK(BM_MdForceEvaluation)->Arg(27)->Arg(64);
+
+void BM_MdStep(benchmark::State& state) {
+  auto sys = md::buildWaterLattice(27, 0.997, 298.0, md::tip4pPublished(), 4.0, 3);
+  md::VelocityVerlet vv(sys, {.dtPs = 0.0002, .targetTemperatureK = 298.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vv.step());
+  }
+}
+BENCHMARK(BM_MdStep);
+
+void BM_RdfFrame(benchmark::State& state) {
+  auto sys = md::buildWaterLattice(64, 0.997, 298.0, md::tip4pPublished(), 5.0, 3);
+  md::RdfAccumulator rdf(5.0, 50);
+  for (auto _ : state) {
+    rdf.addFrame(sys);
+  }
+  benchmark::DoNotOptimize(rdf.frames());
+}
+BENCHMARK(BM_RdfFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Global optimization of a noisy multimodal landscape with the three
+// strategies layered on the core library: restarted simplex (section
+// 1.3.5.1), simulated annealing (section 1.3.3.4), and the confidence
+// particle swarm (section 5.2's future-work hybrid).
+//
+// Landscape: noisy 2-d Rastrigin, starting in the (2, 2) local basin
+// where a single local simplex stays trapped.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/annealing.hpp"
+#include "core/initial_simplex.hpp"
+#include "core/pso.hpp"
+#include "core/restart.hpp"
+#include "noise/noisy_function.hpp"
+#include "testfunctions/functions.hpp"
+
+int main() {
+  using namespace sfopt;
+
+  noise::NoisyFunction::Options noiseOpts;
+  noiseOpts.sigma0 = 0.2;
+  noise::NoisyFunction objective(
+      2, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, noiseOpts);
+
+  const core::Point origin{2.0, 2.0};  // a local basin (f ~ 8), not the global one
+  const auto start = core::axisSimplexPoints(origin, 0.4);
+  std::printf("landscape: noisy Rastrigin, start at (2,2) where f = %.2f\n",
+              testfunctions::rastrigin(origin));
+
+  // 1. A single local PC simplex: trapped by design.
+  core::PCOptions pc;
+  pc.common.termination.tolerance = 1e-4;
+  pc.common.termination.maxIterations = 300;
+  pc.common.termination.maxSamples = 100'000;
+  const auto local = core::runPointToPoint(objective, start, pc);
+  std::printf("\nlocal PC simplex:     f = %8.4f at %s\n", *local.bestTrue,
+              core::toString(local.best, 3).c_str());
+
+  // 2. Restarted simplex: fresh simplexes around the incumbent.
+  core::RestartOptions ro;
+  ro.restarts = 5;
+  ro.initialScale = 2.0;
+  ro.scaleDecay = 0.7;
+  const auto restarted = core::runWithRestarts(objective, start, core::makeRunner(pc), ro);
+  std::printf("PC + %d restarts:      f = %8.4f at %s (stage %d won)\n", ro.restarts,
+              *restarted.best.bestTrue, core::toString(restarted.best.best, 3).c_str(),
+              restarted.winningStage);
+
+  // 3. Simulated annealing: hot walker, geometric cooling.
+  core::AnnealingOptions sa;
+  sa.initialTemperature = 20.0;
+  sa.stepScale = 1.5;
+  sa.termination.maxSamples = 300'000;
+  const auto annealed = core::runSimulatedAnnealing(objective, origin, sa);
+  std::printf("simulated annealing:  f = %8.4f at %s\n", *annealed.bestTrue,
+              core::toString(annealed.best, 3).c_str());
+
+  // 4. Confidence PSO: global swarm with noise-aware best updates.
+  core::PsoOptions pso;
+  pso.particles = 20;
+  pso.resample.maxRoundsPerComparison = 8;
+  pso.termination.maxIterations = 200;
+  pso.termination.maxSamples = 300'000;
+  const auto swarmed = core::runParticleSwarm(objective, pso);
+  std::printf("confidence PSO:       f = %8.4f at %s\n", *swarmed.bestTrue,
+              core::toString(swarmed.best, 3).c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Drive the molecular dynamics engine directly: build a box of flexible
+// 3-site water, equilibrate it at 298 K (NVT, Berendsen), run an NVE
+// production phase, and print the thermodynamic / structural / dynamic
+// observables that feed the paper's cost function — including an ASCII
+// rendering of the oxygen-oxygen radial distribution function.
+//
+// This is the "one sample" of the MdWaterObjective: a real simulation with
+// real statistical noise that decays with simulation length (eq. 1.2).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "md/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfopt::md;
+
+  SimulationConfig config;
+  config.molecules = 64;
+  config.cutoff = 6.0;
+  config.rdfRMax = 6.0;
+  config.rdfBins = 60;
+  config.equilibrationSteps = argc > 1 ? std::atoi(argv[1]) : 2000;
+  config.productionSteps = argc > 2 ? std::atoi(argv[2]) : 3000;
+  config.sampleEvery = 10;
+
+  std::printf("simulating %d flexible 3-site waters at %.0f K, %.3f g/cc\n", config.molecules,
+              config.temperatureK, config.densityGramsPerCc);
+  std::printf("protocol: %d NVT steps then %d NVE steps at dt = %.1f fs\n",
+              config.equilibrationSteps, config.productionSteps, config.dtPs * 1000.0);
+
+  const WaterObservables obs = simulateWater(tip4pPublished(), config);
+
+  std::printf("\nobservables (averaged over %d production frames):\n", obs.productionFrames);
+  std::printf("  <U>  = %8.2f kcal/mol per molecule\n", obs.potentialPerMoleculeKcal);
+  std::printf("  <T>  = %8.1f K\n", obs.temperatureK);
+  std::printf("  <P>  = %8.0f atm\n", obs.pressureAtm);
+  std::printf("  D    = %8.2e cm^2/s (oxygen MSD, Einstein relation)\n", obs.diffusionCm2PerS);
+  std::printf("  NVE drift: %.3f kcal/mol per ps (box total)\n", obs.nveDriftKcalPerPs);
+
+  std::printf("\ng_OO(r):\n");
+  double gMax = 1.0;
+  for (double g : obs.gOO.g) gMax = std::max(gMax, g);
+  for (std::size_t i = 0; i < obs.gOO.r.size(); i += 2) {
+    const auto bar = static_cast<int>(obs.gOO.g[i] / gMax * 50.0);
+    std::printf("  %5.2f A  %6.3f |%s\n", obs.gOO.r[i], obs.gOO.g[i],
+                std::string(static_cast<std::size_t>(std::max(bar, 0)), '#').c_str());
+  }
+  return 0;
+}

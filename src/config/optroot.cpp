@@ -1,0 +1,198 @@
+#include "config/optroot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfopt::config {
+
+namespace fs = std::filesystem;
+
+std::size_t OptRoot::runScriptCount() const noexcept {
+  std::size_t n = 0;
+  for (const SystemSpec& s : systems) n += s.phases.size();
+  return n;
+}
+
+bool isReservedParDirectory(const std::string& name) noexcept {
+  // Regex par[0-9]* : "par" followed by zero or more digits.
+  if (name.size() < 3 || name.compare(0, 3, "par") != 0) return false;
+  return std::all_of(name.begin() + 3, name.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+std::pair<std::vector<std::string>, std::vector<core::Point>> parseInputFile(
+    const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("parseInputFile: cannot open " + file.string());
+  std::string line;
+  // Header: parameter names.
+  std::vector<std::string> names;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string tok;
+    while (ss >> tok) names.push_back(tok);
+    if (!names.empty()) break;
+  }
+  if (names.empty()) {
+    throw std::runtime_error("parseInputFile: missing parameter-name header in " +
+                             file.string());
+  }
+  const std::size_t d = names.size();
+  std::vector<core::Point> points;
+  std::size_t lineNo = 1;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream ss(line);
+    core::Point p;
+    double v = 0.0;
+    while (ss >> v) p.push_back(v);
+    if (p.empty()) continue;  // blank line
+    if (p.size() != d) {
+      throw std::runtime_error("parseInputFile: line " + std::to_string(lineNo) + " of " +
+                               file.string() + " has " + std::to_string(p.size()) +
+                               " coordinates, expected " + std::to_string(d));
+    }
+    points.push_back(std::move(p));
+  }
+  if (points.size() < d + 1) {
+    throw std::runtime_error("parseInputFile: " + file.string() + " provides " +
+                             std::to_string(points.size()) +
+                             " vertex rows; a d-dimensional simplex needs at least d+1 = " +
+                             std::to_string(d + 1));
+  }
+  return {std::move(names), std::move(points)};
+}
+
+namespace {
+
+double readScalarFile(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("cannot open " + file.string());
+  double v = 0.0;
+  if (!(in >> v)) {
+    throw std::runtime_error("expected a single numerical value in " + file.string());
+  }
+  return v;
+}
+
+/// Collect the phases of a system directory: the root run.sh, then every
+/// non-reserved subdirectory carrying a run.sh, recursively (the paper's
+/// "additional phases ... via nested subdirectories").
+void collectPhases(const fs::path& dir, const fs::path& rel, std::vector<std::string>& out) {
+  if (fs::exists(dir / "run.sh")) {
+    out.push_back(rel.empty() ? std::string(".") : rel.string());
+  }
+  std::vector<fs::path> subdirs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (isReservedParDirectory(name)) continue;
+    subdirs.push_back(entry.path());
+  }
+  std::sort(subdirs.begin(), subdirs.end());
+  for (const auto& sub : subdirs) {
+    collectPhases(sub, rel / sub.filename(), out);
+  }
+}
+
+}  // namespace
+
+OptRoot loadOptRoot(const fs::path& root) {
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("loadOptRoot: " + root.string() + " is not a directory");
+  }
+  OptRoot out;
+  out.root = root;
+  std::tie(out.parameterNames, out.initialPoints) = parseInputFile(root / "input");
+
+  const fs::path systemsDir = root / "systems";
+  if (!fs::is_directory(systemsDir)) {
+    throw std::runtime_error("loadOptRoot: missing systems/ directory under " + root.string());
+  }
+  std::vector<fs::path> sysDirs;
+  for (const auto& entry : fs::directory_iterator(systemsDir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (isReservedParDirectory(name)) continue;
+    sysDirs.push_back(entry.path());
+  }
+  std::sort(sysDirs.begin(), sysDirs.end());
+  for (const auto& dir : sysDirs) {
+    SystemSpec spec;
+    spec.name = dir.filename().string();
+    collectPhases(dir, fs::path{}, spec.phases);
+    if (spec.phases.empty()) {
+      throw std::runtime_error("loadOptRoot: system " + spec.name +
+                               " has no run.sh (every system needs at least a first phase)");
+    }
+    out.systems.push_back(std::move(spec));
+  }
+  if (out.systems.empty()) {
+    throw std::runtime_error("loadOptRoot: no systems found under " + systemsDir.string());
+  }
+
+  const fs::path propDir = root / "properties";
+  if (fs::is_directory(propDir)) {
+    std::vector<fs::path> valFiles;
+    for (const auto& entry : fs::directory_iterator(propDir)) {
+      if (entry.path().extension() == ".val") valFiles.push_back(entry.path());
+    }
+    std::sort(valFiles.begin(), valFiles.end());
+    for (const auto& val : valFiles) {
+      PropertySpec p;
+      p.name = val.stem().string();
+      p.target = readScalarFile(val);
+      const fs::path wgt = val.parent_path() / (p.name + ".wgt");
+      if (fs::exists(wgt)) p.weight = readScalarFile(wgt);
+      p.hasScript = fs::exists(val.parent_path() / (p.name + ".sh"));
+      out.properties.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void writeOptRoot(const fs::path& root, const OptRoot& contents) {
+  fs::create_directories(root / "systems");
+  fs::create_directories(root / "properties");
+  {
+    std::ofstream in(root / "input");
+    if (!in) throw std::runtime_error("writeOptRoot: cannot write input file");
+    for (std::size_t i = 0; i < contents.parameterNames.size(); ++i) {
+      in << (i == 0 ? "" : " ") << contents.parameterNames[i];
+    }
+    in << "\n";
+    in.precision(12);
+    for (const core::Point& p : contents.initialPoints) {
+      for (std::size_t i = 0; i < p.size(); ++i) in << (i == 0 ? "" : " ") << p[i];
+      in << "\n";
+    }
+  }
+  for (const SystemSpec& sys : contents.systems) {
+    const fs::path sysDir = root / "systems" / sys.name;
+    for (const std::string& phase : sys.phases) {
+      const fs::path dir = phase == "." ? sysDir : sysDir / phase;
+      fs::create_directories(dir);
+      std::ofstream run(dir / "run.sh");
+      run << "#!/bin/sh\n# stub simulation phase written by sfopt::config::writeOptRoot\n";
+    }
+  }
+  for (const PropertySpec& p : contents.properties) {
+    {
+      std::ofstream val(root / "properties" / (p.name + ".val"));
+      val << p.target << "\n";
+    }
+    {
+      std::ofstream wgt(root / "properties" / (p.name + ".wgt"));
+      wgt << p.weight << "\n";
+    }
+    if (p.hasScript) {
+      std::ofstream sh(root / "properties" / (p.name + ".sh"));
+      sh << "#!/bin/sh\n# stub property calculation\n";
+    }
+  }
+}
+
+}  // namespace sfopt::config

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/point.hpp"
+
+namespace sfopt::config {
+
+/// One simulated system: a directory under $OPTROOT/systems carrying a
+/// run.sh for each simulation phase (section 4.2 of the paper).  Phases
+/// are nested subdirectories, each with its own run.sh.
+struct SystemSpec {
+  std::string name;
+  std::vector<std::string> phases;  ///< relative phase paths, in launch order
+};
+
+/// A property to fit: target value from properties/<name>.val, weight from
+/// properties/<name>.wgt (1.0 when absent), and the calculation script.
+struct PropertySpec {
+  std::string name;
+  double target = 0.0;
+  double weight = 1.0;
+  bool hasScript = false;  ///< properties/<name>.sh exists
+};
+
+/// Parsed contents of an $OPTROOT optimization tree:
+///
+///   $OPTROOT/input             parameter names + d+3 vertex rows
+///   $OPTROOT/systems/<sys>/    run.sh (+ nested phase dirs with run.sh)
+///   $OPTROOT/properties/       prop*.val, prop*.wgt, prop*.sh
+///
+/// Subdirectories matching the reserved pattern par[0-9]* are per-vertex
+/// working directories created at run time and are never treated as
+/// systems or phases.
+struct OptRoot {
+  std::filesystem::path root;
+  std::vector<std::string> parameterNames;
+  std::vector<core::Point> initialPoints;
+  std::vector<SystemSpec> systems;
+  std::vector<PropertySpec> properties;
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return parameterNames.size(); }
+
+  /// Processor count the PBS wrapper would request: one per run.sh found
+  /// under systems/ (section 4.2, "Job submission").
+  [[nodiscard]] std::size_t runScriptCount() const noexcept;
+};
+
+/// Is this directory name reserved for per-vertex workspaces?
+[[nodiscard]] bool isReservedParDirectory(const std::string& name) noexcept;
+
+/// Parse the simplex input file: first line holds the d parameter names
+/// (whitespace separated); each subsequent non-empty line holds d
+/// coordinates.  The paper's format provides d+3 rows (vertices plus two
+/// trial slots); at least d+1 are required.
+[[nodiscard]] std::pair<std::vector<std::string>, std::vector<core::Point>> parseInputFile(
+    const std::filesystem::path& file);
+
+/// Load a full $OPTROOT tree.  Throws std::runtime_error with a pointed
+/// message on any contract violation.
+[[nodiscard]] OptRoot loadOptRoot(const std::filesystem::path& root);
+
+/// Scaffold a minimal valid $OPTROOT tree (used by examples and tests):
+/// writes the input file, one system with a stub run.sh per phase, and one
+/// .val/.wgt pair per property.
+void writeOptRoot(const std::filesystem::path& root, const OptRoot& contents);
+
+}  // namespace sfopt::config

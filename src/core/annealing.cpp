@@ -1,0 +1,111 @@
+#include "core/annealing.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/sampling_context.hpp"
+#include "core/trace.hpp"
+
+namespace sfopt::core {
+
+OptimizationResult runSimulatedAnnealing(const noise::StochasticObjective& objective,
+                                         const Point& start, const AnnealingOptions& options) {
+  if (start.size() != objective.dimension()) {
+    throw std::invalid_argument("runSimulatedAnnealing: start dimension mismatch");
+  }
+  if (!(options.initialTemperature > 0.0)) {
+    throw std::invalid_argument("runSimulatedAnnealing: initialTemperature must be positive");
+  }
+  if (!(options.coolingRate > 0.0 && options.coolingRate < 1.0)) {
+    throw std::invalid_argument("runSimulatedAnnealing: coolingRate must be in (0, 1)");
+  }
+  if (options.sweepSize < 1 || options.samplesPerEvaluation < 1) {
+    throw std::invalid_argument("runSimulatedAnnealing: bad sweep/sample counts");
+  }
+
+  SamplingContext ctx(objective, options.sampling);
+  noise::RngStream rng(options.seed, 0x5AFE);
+  const TerminationCriteria& term = options.termination;
+
+  auto current = ctx.createVertex(start, options.samplesPerEvaluation);
+  ctx.chargeTime(options.samplesPerEvaluation);
+  // Best-so-far: a clone of the walker state (point + accumulated
+  // estimate) at the moment it became best.  Cloning — rather than
+  // re-sampling — keeps the tracked best monotone.
+  auto cloneOf = [](const Vertex& v) {
+    auto c = std::make_unique<Vertex>(v.point(), v.id());
+    c->absorb(v.accumulator());
+    return c;
+  };
+  auto best = cloneOf(*current);
+
+  OptimizationTrace trace;
+  MoveCounters counters;
+  double temperature = options.initialTemperature;
+  std::int64_t sweep = 0;
+  TerminationReason reason = TerminationReason::IterationLimit;
+
+  for (;;) {
+    if (term.tolerance > 0.0 && temperature <= term.tolerance) {
+      reason = TerminationReason::Converged;
+      break;
+    }
+    if (ctx.now() >= term.maxTime) {
+      reason = TerminationReason::TimeLimit;
+      break;
+    }
+    if (sweep >= term.maxIterations) {
+      reason = TerminationReason::IterationLimit;
+      break;
+    }
+    if (term.maxSamples > 0 && ctx.totalSamples() >= term.maxSamples) {
+      reason = TerminationReason::SampleLimit;
+      break;
+    }
+
+    const double scale =
+        options.stepScale * std::sqrt(temperature / options.initialTemperature);
+    for (int k = 0; k < options.sweepSize; ++k) {
+      Point proposal = current->point();
+      for (double& c : proposal) c += scale * rng.gaussian();
+      auto candidate = ctx.createVertex(std::move(proposal), options.samplesPerEvaluation);
+      ctx.chargeTime(options.samplesPerEvaluation);
+      const double delta = candidate->mean() - current->mean();
+      const bool accept = delta < 0.0 || rng.uniform() < std::exp(-delta / temperature);
+      if (accept) {
+        current = std::move(candidate);
+        ++counters.reflections;  // counts accepted moves
+        if (current->mean() < best->mean()) {
+          best = cloneOf(*current);
+        }
+      }
+    }
+    temperature *= options.coolingRate;
+    ++sweep;
+
+    if (options.recordTrace) {
+      StepRecord r;
+      r.iteration = sweep;
+      r.time = ctx.now();
+      r.bestEstimate = best->mean();
+      r.bestTrue = ctx.trueValue(*best);
+      r.totalSamples = ctx.totalSamples();
+      trace.record(std::move(r));
+    }
+  }
+
+  OptimizationResult out;
+  out.best = best->point();
+  out.bestEstimate = best->mean();
+  out.bestTrue = ctx.trueValue(*best);
+  out.iterations = sweep;
+  out.elapsedTime = ctx.now();
+  out.totalSamples = ctx.totalSamples();
+  out.reason = reason;
+  out.counters = counters;
+  out.trace = std::move(trace);
+  return out;
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/algorithms.hpp"
+#include "core/result.hpp"
+#include "noise/stochastic_objective.hpp"
+
+namespace sfopt::core {
+
+/// Simulated annealing for stochastic objectives — the classic global
+/// method the paper surveys in section 1.3.3.4, implemented against the
+/// same StochasticObjective / virtual-time substrate so it can serve as a
+/// comparison baseline for the restarted-simplex and PSO strategies.
+///
+/// Proposals are isotropic Gaussian steps whose scale cools with the
+/// temperature; acceptance is Metropolis on the sampled means.  The best
+/// point ever visited is tracked with its own accumulating estimate and
+/// returned (under noise, the final walker position is not the best
+/// visited point).
+struct AnnealingOptions {
+  double initialTemperature = 10.0;
+  /// Geometric cooling factor applied after every sweep.
+  double coolingRate = 0.95;
+  /// Proposals per temperature level.
+  int sweepSize = 20;
+  /// Initial proposal step scale (per coordinate); cools with temperature
+  /// as scale * sqrt(T / T0), the standard coupled schedule.
+  double stepScale = 1.0;
+  /// Samples per proposal evaluation.
+  std::int64_t samplesPerEvaluation = 4;
+  TerminationCriteria termination;
+  SamplingContext::Options sampling;
+  std::uint64_t seed = 0x5A;
+  bool recordTrace = false;
+};
+
+/// Run simulated annealing from `start`.  iterations counts temperature
+/// sweeps; counters are unused except in the trace.
+[[nodiscard]] OptimizationResult runSimulatedAnnealing(
+    const noise::StochasticObjective& objective, const Point& start,
+    const AnnealingOptions& options = {});
+
+}  // namespace sfopt::core

@@ -1,0 +1,124 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfopt::core {
+
+namespace {
+
+constexpr const char* kMagic = "sfopt-checkpoint";
+constexpr int kVersion = 1;
+
+/// Read one whitespace token and parse it as a double via strtod — the
+/// portable way to round-trip hexfloat (istream hexfloat extraction is
+/// unreliable across standard libraries).
+double readDouble(std::istream& in) {
+  std::string tok;
+  if (!(in >> tok)) throw std::runtime_error("readCheckpoint: missing number");
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::runtime_error("readCheckpoint: malformed number '" + tok + "'");
+  }
+  return v;
+}
+
+void expectToken(std::istream& in, const char* token) {
+  std::string got;
+  if (!(in >> got) || got != token) {
+    throw std::runtime_error(std::string("readCheckpoint: expected '") + token + "', got '" +
+                             got + "'");
+  }
+}
+
+}  // namespace
+
+void writeCheckpoint(std::ostream& out, const SimplexCheckpoint& cp) {
+  out << kMagic << " v" << kVersion << "\n";
+  out << std::hexfloat;
+  out << "iteration " << cp.iteration << "\n";
+  out << "clock " << cp.clock << "\n";
+  out << "totalSamples " << cp.totalSamples << "\n";
+  out << "nextVertexId " << cp.nextVertexId << "\n";
+  out << "contractionLevel " << cp.contractionLevel << "\n";
+  const MoveCounters& c = cp.counters;
+  out << "counters " << c.reflections << " " << c.expansions << " " << c.contractions << " "
+      << c.collapses << " " << c.gateWaitRounds << " " << c.resampleRounds << " "
+      << c.forcedResolutions << "\n";
+  const std::size_t dim = cp.vertices.empty() ? 0 : cp.vertices.front().x.size();
+  out << "vertices " << cp.vertices.size() << " dim " << dim << "\n";
+  for (const VertexCheckpoint& v : cp.vertices) {
+    if (v.x.size() != dim) {
+      throw std::invalid_argument("writeCheckpoint: inconsistent vertex dimensions");
+    }
+    out << v.id << " " << v.samples << " " << v.mean << " " << v.m2;
+    for (double coord : v.x) out << " " << coord;
+    out << "\n";
+  }
+}
+
+SimplexCheckpoint readCheckpoint(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("readCheckpoint: not an sfopt checkpoint");
+  }
+  if (version != "v1") {
+    throw std::runtime_error("readCheckpoint: unsupported version " + version);
+  }
+  SimplexCheckpoint cp;
+  expectToken(in, "iteration");
+  in >> cp.iteration;
+  expectToken(in, "clock");
+  cp.clock = readDouble(in);
+  expectToken(in, "totalSamples");
+  in >> cp.totalSamples;
+  expectToken(in, "nextVertexId");
+  in >> cp.nextVertexId;
+  expectToken(in, "contractionLevel");
+  in >> cp.contractionLevel;
+  expectToken(in, "counters");
+  MoveCounters& c = cp.counters;
+  in >> c.reflections >> c.expansions >> c.contractions >> c.collapses >> c.gateWaitRounds >>
+      c.resampleRounds >> c.forcedResolutions;
+  expectToken(in, "vertices");
+  std::size_t count = 0;
+  in >> count;
+  expectToken(in, "dim");
+  std::size_t dim = 0;
+  in >> dim;
+  if (!in) throw std::runtime_error("readCheckpoint: truncated header");
+  cp.vertices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexCheckpoint v;
+    in >> v.id >> v.samples;
+    if (!in) throw std::runtime_error("readCheckpoint: truncated vertex block");
+    v.mean = readDouble(in);
+    v.m2 = readDouble(in);
+    v.x.resize(dim);
+    for (double& coord : v.x) coord = readDouble(in);
+    cp.vertices.push_back(std::move(v));
+  }
+  return cp;
+}
+
+void saveCheckpoint(const std::filesystem::path& file, const SimplexCheckpoint& cp) {
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) throw std::runtime_error("saveCheckpoint: cannot open " + file.string());
+  writeCheckpoint(out, cp);
+  if (!out) throw std::runtime_error("saveCheckpoint: write failed for " + file.string());
+}
+
+SimplexCheckpoint loadCheckpoint(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("loadCheckpoint: cannot open " + file.string());
+  return readCheckpoint(in);
+}
+
+}  // namespace sfopt::core

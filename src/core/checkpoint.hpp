@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "core/point.hpp"
+#include "core/result.hpp"
+
+namespace sfopt::core {
+
+/// Serialized state of one simplex vertex: its location, its noise-stream
+/// id and the exact Welford moments of its estimate.
+struct VertexCheckpoint {
+  Point x;
+  std::uint64_t id = 0;
+  std::int64_t samples = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+};
+
+/// A resumable snapshot of an optimization run, taken at an iteration
+/// boundary.  Because every noise draw is keyed by (vertexId, sampleIndex)
+/// — not by any hidden RNG state — restoring this state reproduces the
+/// interrupted run's continuation *exactly*: same moves, same samples,
+/// same result.  The resume-equals-uninterrupted property is pinned down
+/// by the checkpoint tests.
+struct SimplexCheckpoint {
+  std::vector<VertexCheckpoint> vertices;
+  int contractionLevel = 0;
+  std::int64_t iteration = 0;
+  double clock = 0.0;
+  std::int64_t totalSamples = 0;
+  std::uint64_t nextVertexId = 0;
+  MoveCounters counters;
+};
+
+/// Text serialization (hex-float fields, so doubles round-trip exactly).
+void writeCheckpoint(std::ostream& out, const SimplexCheckpoint& cp);
+[[nodiscard]] SimplexCheckpoint readCheckpoint(std::istream& in);
+
+/// File convenience wrappers.
+void saveCheckpoint(const std::filesystem::path& file, const SimplexCheckpoint& cp);
+[[nodiscard]] SimplexCheckpoint loadCheckpoint(const std::filesystem::path& file);
+
+}  // namespace sfopt::core

@@ -1,0 +1,27 @@
+#pragma once
+
+namespace sfopt::core {
+
+/// Outcome of a k-sigma confidence comparison between two noisy estimates.
+enum class ConfidenceOutcome {
+  Less,        ///< a is confidently less than b
+  GreaterEq,   ///< a is confidently greater than or equal to b
+  Unresolved,  ///< the k-sigma intervals overlap; more sampling needed
+};
+
+/// The point-to-point comparison primitive (section 2.3): `a < b` is
+/// accepted only when meanA + k*sigmaA < meanB - k*sigmaB, and `a >= b`
+/// only when meanA - k*sigmaA >= meanB + k*sigmaB; otherwise the intervals
+/// overlap and the comparison is Unresolved.
+///
+/// Monotonicity: enlarging k can only move an outcome toward Unresolved,
+/// never flip Less to GreaterEq or vice versa.
+[[nodiscard]] constexpr ConfidenceOutcome confidenceCompare(double meanA, double sigmaA,
+                                                            double meanB, double sigmaB,
+                                                            double k) noexcept {
+  if (meanA + k * sigmaA < meanB - k * sigmaB) return ConfidenceOutcome::Less;
+  if (meanA - k * sigmaA >= meanB + k * sigmaB) return ConfidenceOutcome::GreaterEq;
+  return ConfidenceOutcome::Unresolved;
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace sfopt::core {
+
+/// Selects which of the seven comparison conditions of the point-to-point
+/// algorithm (Algorithm 3) are made noise-aware (i.e. demand a k-sigma
+/// confidence separation, resampling until resolved).  Conditions outside
+/// the mask fall back to plain comparisons of the current means.
+///
+/// The paper's section 3.3 ablates these masks: single conditions c1..c7,
+/// the combination c1+c3+c6 ("c136"), and the strict all-conditions variant
+/// ("c1-7").  Conditions are numbered 1..7 as in Algorithm 3:
+///   c1: reflection vs second-highest   c5: reflection vs second-highest (>=)
+///   c2: reflection vs minimum          c6: contraction vs highest
+///   c3: expansion vs reflection        c7: contraction vs highest (>=)
+///   c4: expansion vs reflection (>=)
+class PCConditionMask {
+ public:
+  /// All seven conditions noise-aware (the paper's strict "c1-7").
+  [[nodiscard]] static PCConditionMask all() noexcept {
+    PCConditionMask m;
+    m.bits_.fill(true);
+    return m;
+  }
+
+  /// No condition noise-aware; PC degenerates to plain comparisons.
+  [[nodiscard]] static PCConditionMask none() noexcept { return PCConditionMask{}; }
+
+  /// Noise-aware only for the listed 1-based condition numbers,
+  /// e.g. only({1, 3, 6}) is the paper's "c136".
+  [[nodiscard]] static PCConditionMask only(std::initializer_list<int> conditions) {
+    PCConditionMask m;
+    for (int c : conditions) {
+      if (c < 1 || c > 7) throw std::invalid_argument("PCConditionMask: condition out of 1..7");
+      m.bits_[static_cast<std::size_t>(c - 1)] = true;
+    }
+    return m;
+  }
+
+  /// Is 1-based condition c noise-aware?
+  [[nodiscard]] bool isNoiseAware(int c) const {
+    if (c < 1 || c > 7) throw std::invalid_argument("PCConditionMask: condition out of 1..7");
+    return bits_[static_cast<std::size_t>(c - 1)];
+  }
+
+  /// Label like "c136", "c1-7", or "none" for bench output.
+  [[nodiscard]] std::string label() const {
+    bool allOn = true;
+    bool anyOn = false;
+    for (bool b : bits_) {
+      allOn = allOn && b;
+      anyOn = anyOn || b;
+    }
+    if (allOn) return "c1-7";
+    if (!anyOn) return "none";
+    std::string s = "c";
+    for (int c = 1; c <= 7; ++c) {
+      if (bits_[static_cast<std::size_t>(c - 1)]) s += static_cast<char>('0' + c);
+    }
+    return s;
+  }
+
+  friend bool operator==(const PCConditionMask&, const PCConditionMask&) = default;
+
+ private:
+  std::array<bool, 7> bits_{};
+};
+
+}  // namespace sfopt::core

@@ -1,0 +1,211 @@
+#include "core/engine_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfopt::core::detail {
+
+EngineBase::EngineBase(const noise::StochasticObjective& objective, const CommonOptions& common)
+    : objective_(objective), common_(common), ctx_(objective, common.sampling) {
+  if (common_.initialSamplesPerVertex < 1) {
+    throw std::invalid_argument("EngineBase: initialSamplesPerVertex must be >= 1");
+  }
+}
+
+Simplex EngineBase::buildInitialSimplex(std::span<const Point> points) {
+  const std::size_t d = objective_.dimension();
+  if (points.size() != d + 1) {
+    throw std::invalid_argument("buildInitialSimplex: need exactly dimension+1 points");
+  }
+  std::vector<std::unique_ptr<Vertex>> verts;
+  verts.reserve(points.size());
+  for (const Point& p : points) {
+    verts.push_back(ctx_.createVertex(p, common_.initialSamplesPerVertex));
+  }
+  // All d+1 creations run concurrently on their workers: charge once.
+  ctx_.chargeTime(common_.initialSamplesPerVertex);
+  return Simplex(std::move(verts));
+}
+
+Simplex EngineBase::buildFromCheckpoint(const SimplexCheckpoint& cp) {
+  const std::size_t d = objective_.dimension();
+  if (cp.vertices.size() != d + 1) {
+    throw std::invalid_argument("buildFromCheckpoint: checkpoint has wrong vertex count");
+  }
+  std::vector<std::unique_ptr<Vertex>> verts;
+  verts.reserve(cp.vertices.size());
+  for (const VertexCheckpoint& v : cp.vertices) {
+    auto vertex = std::make_unique<Vertex>(v.x, v.id);
+    vertex->absorb(stats::Welford::fromMoments(v.samples, v.mean, v.m2));
+    verts.push_back(std::move(vertex));
+  }
+  ctx_.restoreAccounting(cp.clock, cp.totalSamples, cp.nextVertexId);
+  counters_ = cp.counters;
+  Simplex s(std::move(verts));
+  for (int i = 0; i < cp.contractionLevel; ++i) s.noteContraction();
+  for (int i = 0; i > cp.contractionLevel; --i) s.noteExpansion();
+  return s;
+}
+
+SimplexCheckpoint EngineBase::snapshot(const Simplex& s, std::int64_t iteration) const {
+  SimplexCheckpoint cp;
+  cp.vertices.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Vertex& v = s.at(i);
+    cp.vertices.push_back(VertexCheckpoint{v.point(), v.id(), v.sampleCount(), v.mean(),
+                                           v.accumulator().sumSquaredDeviations()});
+  }
+  cp.contractionLevel = s.contractionLevel();
+  cp.iteration = iteration;
+  cp.clock = ctx_.now();
+  cp.totalSamples = ctx_.totalSamples();
+  cp.nextVertexId = static_cast<std::uint64_t>(ctx_.verticesCreated()) +
+                    ctx_.options().firstVertexId;
+  cp.counters = counters_;
+  return cp;
+}
+
+void EngineBase::maybeCheckpoint(const Simplex& s, std::int64_t iteration) {
+  if (common_.checkpointEvery <= 0 || !common_.checkpointSink) return;
+  if (iteration % common_.checkpointEvery != 0) return;
+  common_.checkpointSink(snapshot(s, iteration));
+}
+
+std::unique_ptr<Vertex> EngineBase::createTrial(Point x, std::int64_t samples) {
+  auto v = ctx_.createVertex(std::move(x), samples);
+  ctx_.chargeTime(v->sampleCount());
+  return v;
+}
+
+std::int64_t EngineBase::matchedTrialSamples(const Simplex& s) const {
+  std::int64_t m = common_.initialSamplesPerVertex;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    m = std::max(m, s.at(i).sampleCount());
+  }
+  return m;
+}
+
+void EngineBase::collapse(Simplex& s, std::size_t minIndex) {
+  const auto targets = s.collapseTargets(minIndex, common_.coefficients.shrink);
+  for (const auto& [idx, p] : targets) {
+    auto fresh = ctx_.createVertex(p, common_.initialSamplesPerVertex);
+    (void)s.replace(idx, std::move(fresh));
+  }
+  // The d replacement vertices sample concurrently.
+  ctx_.chargeTime(common_.initialSamplesPerVertex);
+  s.noteCollapse();
+  ++counters_.collapses;
+}
+
+std::optional<TerminationReason> EngineBase::shouldStop(const Simplex& s,
+                                                        std::int64_t iteration) const {
+  const TerminationCriteria& t = common_.termination;
+  if (t.tolerance > 0.0 && s.valueSpread() <= t.tolerance) {
+    return TerminationReason::Converged;
+  }
+  if (ctx_.now() >= t.maxTime) return TerminationReason::TimeLimit;
+  if (iteration >= t.maxIterations) return TerminationReason::IterationLimit;
+  if (t.maxSamples > 0 && ctx_.totalSamples() >= t.maxSamples) {
+    return TerminationReason::SampleLimit;
+  }
+  return std::nullopt;
+}
+
+bool EngineBase::timeExhausted() const {
+  const TerminationCriteria& t = common_.termination;
+  return ctx_.now() >= t.maxTime ||
+         (t.maxSamples > 0 && ctx_.totalSamples() >= t.maxSamples);
+}
+
+void EngineBase::maybeRecord(const Simplex& s, MoveKind move, std::int64_t iteration) {
+  if (!common_.recordTrace) return;
+  const auto o = s.ordering();
+  StepRecord r;
+  r.iteration = iteration;
+  r.time = ctx_.now();
+  r.bestEstimate = s.at(o.min).mean();
+  r.bestTrue = ctx_.trueValue(s.at(o.min));
+  r.diameter = s.diameter();
+  r.contractionLevel = s.contractionLevel();
+  r.move = move;
+  r.totalSamples = ctx_.totalSamples();
+  trace_.record(std::move(r));
+}
+
+OptimizationResult EngineBase::finish(const Simplex& s, std::int64_t iterations,
+                                      TerminationReason reason) {
+  const auto o = s.ordering();
+  OptimizationResult res;
+  res.best = s.at(o.min).point();
+  res.bestEstimate = s.at(o.min).mean();
+  res.bestTrue = ctx_.trueValue(s.at(o.min));
+  res.iterations = iterations;
+  res.elapsedTime = ctx_.now();
+  res.totalSamples = ctx_.totalSamples();
+  res.reason = reason;
+  res.counters = counters_;
+  res.trace = std::move(trace_);
+  return res;
+}
+
+namespace {
+
+/// Shared scaffolding of both wait gates: repeatedly co-sample all active
+/// vertices in growing blocks until `satisfied()` returns true, the time
+/// budget dies, or every vertex is capped.
+template <typename SatisfiedFn>
+void gateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+              const ResamplePolicy& policy, SatisfiedFn satisfied) {
+  std::int64_t block = std::max<std::int64_t>(policy.initialBlock, 1);
+  while (!satisfied()) {
+    if (eng.timeExhausted()) return;
+    bool anyRoom = false;
+    std::vector<SamplingContext::RefineRequest> reqs;
+    reqs.reserve(s.size() + activeTrials.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      Vertex& v = s.at(i);
+      if (!eng.ctx().atSampleCap(v)) anyRoom = true;
+      reqs.push_back({&v, block});
+    }
+    for (Vertex* t : activeTrials) {
+      if (!eng.ctx().atSampleCap(*t)) anyRoom = true;
+      reqs.push_back({t, block});
+    }
+    if (!anyRoom) {
+      ++eng.counters().forcedResolutions;
+      return;
+    }
+    eng.ctx().coSample(reqs);
+    ++eng.counters().gateWaitRounds;
+    block = std::min<std::int64_t>(
+        policy.maxBlock, static_cast<std::int64_t>(std::ceil(static_cast<double>(block) *
+                                                             std::max(policy.growth, 1.0))));
+  }
+}
+
+}  // namespace
+
+void maxNoiseGateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+                      double k, const ResamplePolicy& policy) {
+  gateWait(eng, s, activeTrials, policy, [&] {
+    const double maxSig = s.maxSigma(eng.ctx());
+    const double internal = s.internalVariance();
+    return maxSig * maxSig <= k * internal;
+  });
+}
+
+void andersonGateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+                      double k1, double k2, const ResamplePolicy& policy) {
+  gateWait(eng, s, activeTrials, policy, [&] {
+    const double level = static_cast<double>(s.contractionLevel());
+    const double cutoff = k1 * std::pow(2.0, -level * (1.0 + k2));
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const double sig = eng.ctx().sigma(s.at(i));
+      if (!(sig * sig < cutoff)) return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace sfopt::core::detail

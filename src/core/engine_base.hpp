@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "core/result.hpp"
+#include "core/simplex.hpp"
+
+namespace sfopt::core::detail {
+
+/// Machinery shared by the DET/MN/Anderson engine and the PC engine:
+/// initial simplex construction, trial-vertex creation with concurrent
+/// time charging, collapse, termination checks, tracing and result
+/// assembly.  Internal API — exercised directly by unit tests, but not
+/// part of the stable public surface.
+class EngineBase {
+ public:
+  EngineBase(const noise::StochasticObjective& objective, const CommonOptions& common);
+
+  /// Build the d+1 vertex simplex from the initial points; all vertices
+  /// are sampled "concurrently" so creation is charged once.
+  [[nodiscard]] Simplex buildInitialSimplex(std::span<const Point> points);
+
+  /// Rebuild the simplex and all run accounting from a checkpoint.
+  [[nodiscard]] Simplex buildFromCheckpoint(const SimplexCheckpoint& cp);
+
+  /// Snapshot the current state at an iteration boundary.
+  [[nodiscard]] SimplexCheckpoint snapshot(const Simplex& s, std::int64_t iteration) const;
+
+  /// Honor CommonOptions::checkpointEvery / checkpointSink.
+  void maybeCheckpoint(const Simplex& s, std::int64_t iteration);
+
+  /// Create and sample a trial vertex; the trial runs on its own worker,
+  /// so the clock advances by its own sampling duration.
+  [[nodiscard]] std::unique_ptr<Vertex> createTrial(Point x, std::int64_t samples);
+
+  /// Sample count for a freshly created trial vertex: matched to the most
+  /// sampled simplex vertex so its precision is comparable to the vertices
+  /// it will be tested against (see DESIGN.md, "trial vertices").
+  [[nodiscard]] std::int64_t matchedTrialSamples(const Simplex& s) const;
+
+  /// Shrink every non-min vertex halfway toward the min vertex; fresh
+  /// vertices are created (their old estimates are no longer valid) and
+  /// sampled concurrently.  Updates the contraction level.
+  void collapse(Simplex& s, std::size_t minIndex);
+
+  /// Returns the termination reason if any criterion has fired.
+  [[nodiscard]] std::optional<TerminationReason> shouldStop(const Simplex& s,
+                                                            std::int64_t iteration) const;
+
+  /// True when the simulated-time budget is already exhausted (checked
+  /// inside wait/resample loops so they cannot overrun the budget
+  /// unboundedly).
+  [[nodiscard]] bool timeExhausted() const;
+
+  /// Record a trace row if tracing is enabled.
+  void maybeRecord(const Simplex& s, MoveKind move, std::int64_t iteration);
+
+  /// Assemble the final result from the simplex state.
+  [[nodiscard]] OptimizationResult finish(const Simplex& s, std::int64_t iterations,
+                                          TerminationReason reason);
+
+  [[nodiscard]] SamplingContext& ctx() noexcept { return ctx_; }
+  [[nodiscard]] MoveCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const CommonOptions& common() const noexcept { return common_; }
+
+ private:
+  const noise::StochasticObjective& objective_;
+  CommonOptions common_;
+  SamplingContext ctx_;
+  MoveCounters counters_;
+  OptimizationTrace trace_;
+};
+
+/// The max-noise wait gate (eq. 2.3): sample all simplex vertices (plus any
+/// active trial vertices, to keep them precision-matched) concurrently
+/// until max_i sigma_i^2 <= k * internalVariance, the time budget runs out,
+/// or every vertex hits the sample cap.
+void maxNoiseGateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+                      double k, const ResamplePolicy& policy);
+
+/// The Anderson gate (eq. 2.4): sample until every vertex satisfies
+/// sigma_i^2 < k1 * 2^{-l (1 + k2)} with l the contraction level.
+void andersonGateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+                      double k1, double k2, const ResamplePolicy& policy);
+
+}  // namespace sfopt::core::detail

@@ -1,0 +1,32 @@
+#include "core/initial_simplex.hpp"
+
+#include <stdexcept>
+
+namespace sfopt::core {
+
+std::vector<Point> randomSimplexPoints(std::size_t dimension, double lo, double hi,
+                                       noise::RngStream& rng) {
+  if (dimension < 2) throw std::invalid_argument("randomSimplexPoints: dimension must be >= 2");
+  if (!(lo < hi)) throw std::invalid_argument("randomSimplexPoints: requires lo < hi");
+  std::vector<Point> pts(dimension + 1, Point(dimension));
+  for (auto& p : pts) {
+    for (double& c : p) c = rng.uniform(lo, hi);
+  }
+  return pts;
+}
+
+std::vector<Point> axisSimplexPoints(const Point& origin, double scale) {
+  if (origin.size() < 2) throw std::invalid_argument("axisSimplexPoints: dimension must be >= 2");
+  if (scale == 0.0) throw std::invalid_argument("axisSimplexPoints: scale must be nonzero");
+  std::vector<Point> pts;
+  pts.reserve(origin.size() + 1);
+  pts.push_back(origin);
+  for (std::size_t i = 0; i < origin.size(); ++i) {
+    Point p = origin;
+    p[i] += scale;
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/point.hpp"
+#include "noise/rng.hpp"
+
+namespace sfopt::core {
+
+/// Generate the d+1 points of an initial simplex with every coordinate of
+/// every vertex uniform in [lo, hi) — the protocol both test campaigns in
+/// the paper use (U[-6,3] for the 3-d Rosenbrock study, U[-5,5) for the 4-d
+/// comparisons).
+[[nodiscard]] std::vector<Point> randomSimplexPoints(std::size_t dimension, double lo, double hi,
+                                                     noise::RngStream& rng);
+
+/// Axis-aligned initial simplex: vertex 0 at `origin`, vertex i at
+/// origin + scale * e_i.  Deterministic; used by tests and quickstarts.
+[[nodiscard]] std::vector<Point> axisSimplexPoints(const Point& origin, double scale);
+
+}  // namespace sfopt::core

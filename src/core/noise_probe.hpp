@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/point.hpp"
+#include "noise/stochastic_objective.hpp"
+
+namespace sfopt::core {
+
+/// Result of probing the noise of a stochastic objective at one point.
+struct NoiseProbe {
+  double meanEstimate = 0.0;   ///< sample mean of the probes
+  double sigma0Estimate = 0.0; ///< inherent scale: stderr * sqrt(n * dt)
+  double standardError = 0.0;  ///< of the mean, at the probe's sampling time
+  std::int64_t samples = 0;
+  double sampledTime = 0.0;    ///< n * dt simulated seconds spent
+};
+
+/// Estimate the inherent noise scale sigma0 of `objective` at `x` from
+/// `samples` fresh draws: under the eq. 1.2 model, the per-sample standard
+/// deviation is sigma0 / sqrt(dt), so sigma0 = s * sqrt(dt).
+///
+/// Practitioners use this to size noise-dependent knobs (MN's k, the
+/// Anderson k1, termination tolerances) before committing to a long run —
+/// the calibration step the Anderson baseline needs per problem.
+/// `probeStream` selects the noise stream; reuse a stream only if you want
+/// the identical draws again.
+[[nodiscard]] NoiseProbe probeNoise(const noise::StochasticObjective& objective, const Point& x,
+                                    std::int64_t samples, std::uint64_t probeStream = 0x9e0b);
+
+}  // namespace sfopt::core

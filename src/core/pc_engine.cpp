@@ -1,0 +1,187 @@
+// Engine for Algorithm 3 (PC, point-to-point comparison) and Algorithm 4
+// (PC+MN).  Every simplex decision is a comparison of two sampled vertices
+// made at a k-sigma confidence separation; unresolved comparisons trigger
+// concurrent resampling of the two vertices involved until the intervals
+// separate (or a budget forces a plain-mean resolution).
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "core/comparisons.hpp"
+#include "core/engine_base.hpp"
+
+namespace sfopt::core {
+
+namespace {
+
+enum class Tri { True, False, Unresolved };
+
+/// Is a confidently (k-sigma-separated) less than b?
+Tri confidentlyLess(detail::EngineBase& eng, const Vertex& a, const Vertex& b, double k) {
+  switch (confidenceCompare(a.mean(), eng.ctx().sigma(a), b.mean(), eng.ctx().sigma(b), k)) {
+    case ConfidenceOutcome::Less: return Tri::True;
+    case ConfidenceOutcome::GreaterEq: return Tri::False;
+    case ConfidenceOutcome::Unresolved: return Tri::Unresolved;
+  }
+  return Tri::Unresolved;
+}
+
+/// Evaluate a "less-than" condition honoring the noise-awareness mask:
+/// masked-off conditions are plain comparisons of the current means and
+/// can never be Unresolved.
+Tri evalLess(detail::EngineBase& eng, const PCOptions& opt, int condition, const Vertex& a,
+             const Vertex& b) {
+  if (!opt.mask.isNoiseAware(condition)) {
+    return a.mean() < b.mean() ? Tri::True : Tri::False;
+  }
+  // An estimated sigma from very few samples is too unreliable to resolve
+  // a k-sigma comparison either way; demand more sampling first.
+  if (a.sampleCount() < opt.minSamplesForConfidence ||
+      b.sampleCount() < opt.minSamplesForConfidence) {
+    return Tri::Unresolved;
+  }
+  return confidentlyLess(eng, a, b, opt.k);
+}
+
+/// Evaluate a "greater-or-equal" condition under the mask.
+Tri evalGeq(detail::EngineBase& eng, const PCOptions& opt, int condition, const Vertex& a,
+            const Vertex& b) {
+  if (!opt.mask.isNoiseAware(condition)) {
+    return a.mean() >= b.mean() ? Tri::True : Tri::False;
+  }
+  switch (confidentlyLess(eng, a, b, opt.k)) {
+    case Tri::True: return Tri::False;
+    case Tri::False: return Tri::True;
+    case Tri::Unresolved: return Tri::Unresolved;
+  }
+  return Tri::Unresolved;
+}
+
+enum class PairOutcome { Less, GreaterEq };
+
+/// Resolve one of Algorithm 3's paired condition stages — (c1, c5) on
+/// (reflection, second-highest), (c3, c4) on (expansion, reflection),
+/// (c6, c7) on (contraction, highest) — resampling both vertices until
+/// either side fires.  `a` and `b` are the compared vertices; `lessCond`
+/// and `geqCond` the 1-based condition numbers.
+PairOutcome resolvePair(detail::EngineBase& eng, const PCOptions& opt, Vertex& a, Vertex& b,
+                        int lessCond, int geqCond) {
+  std::int64_t block = std::max<std::int64_t>(opt.resample.initialBlock, 1);
+  std::int64_t rounds = 0;
+  for (;;) {
+    if (evalLess(eng, opt, lessCond, a, b) == Tri::True) return PairOutcome::Less;
+    if (evalGeq(eng, opt, geqCond, a, b) == Tri::True) return PairOutcome::GreaterEq;
+    // Neither condition resolved: resample both vertices concurrently
+    // ("resample vertices and repeat until condition X or Y is satisfied").
+    const bool capped = eng.ctx().atSampleCap(a) && eng.ctx().atSampleCap(b);
+    const bool roundCapped = opt.resample.maxRoundsPerComparison > 0 &&
+                             rounds >= opt.resample.maxRoundsPerComparison;
+    if (capped || roundCapped || eng.timeExhausted()) {
+      ++eng.counters().forcedResolutions;
+      return a.mean() < b.mean() ? PairOutcome::Less : PairOutcome::GreaterEq;
+    }
+    ++rounds;
+    eng.ctx().coSample({{&a, block}, {&b, block}});
+    ++eng.counters().resampleRounds;
+    block = std::min<std::int64_t>(
+        opt.resample.maxBlock,
+        static_cast<std::int64_t>(
+            std::ceil(static_cast<double>(block) * std::max(opt.resample.growth, 1.0))));
+  }
+}
+
+/// Sample count for a fresh PC trial vertex: precision-matched to the
+/// most-sampled simplex vertex when matchTrialPrecision is on (the
+/// worker-per-vertex architecture keeps trials sampling continuously),
+/// otherwise the bare initial count.
+std::int64_t trialSamples(detail::EngineBase& eng, const Simplex& s, const PCOptions& opt) {
+  if (!opt.matchTrialPrecision) return opt.common.initialSamplesPerVertex;
+  return eng.matchedTrialSamples(s);
+}
+
+}  // namespace
+
+OptimizationResult runPointToPoint(const noise::StochasticObjective& objective,
+                                   std::span<const Point> initial, const PCOptions& options) {
+  detail::EngineBase eng(objective, options.common);
+  const SimplexCoefficients& coef = options.common.coefficients;
+  Simplex s = options.common.resumeFrom
+                  ? eng.buildFromCheckpoint(*options.common.resumeFrom)
+                  : eng.buildInitialSimplex(initial);
+  std::int64_t iter = options.common.resumeFrom ? options.common.resumeFrom->iteration : 0;
+  TerminationReason reason = TerminationReason::IterationLimit;
+
+  for (;;) {
+    if (auto stop = eng.shouldStop(s, iter)) {
+      reason = *stop;
+      break;
+    }
+
+    // PC+MN (Algorithm 4): the max-noise wait gate precedes every decision.
+    if (options.maxNoiseGate) {
+      detail::maxNoiseGateWait(eng, s, {}, options.gateK, options.resample);
+    }
+
+    const Simplex::Ordering o = s.ordering();
+    const Point cent = s.centroidExcluding(o.max);
+    auto ref = eng.createTrial(reflectPoint(cent, s.at(o.max).point(), coef.reflection),
+                               trialSamples(eng, s, options));
+
+    MoveKind move;
+    // Stage 1: conditions 1 / 5 — reflection against the second-highest.
+    if (resolvePair(eng, options, *ref, s.at(o.smax), 1, 5) == PairOutcome::Less) {
+      // Condition 2: is the reflection confidently worse than the best
+      // vertex?  If so, plain acceptance; otherwise (it may be a new best)
+      // attempt expansion.  Algorithm 3 gives c2 no resample loop: an
+      // unresolved c2 routes to the expansion attempt.
+      const bool refWorseThanMin = evalGeq(eng, options, 2, *ref, s.at(o.min)) == Tri::True;
+      if (refWorseThanMin) {
+        (void)s.replace(o.max, std::move(ref));
+        ++eng.counters().reflections;
+        move = MoveKind::Reflection;
+      } else {
+        auto exp = eng.createTrial(expandPoint(ref->point(), cent, coef.expansion),
+                                   trialSamples(eng, s, options));
+        // Stage 2: conditions 3 / 4 — expansion against reflection.
+        if (resolvePair(eng, options, *exp, *ref, 3, 4) == PairOutcome::Less) {
+          (void)s.replace(o.max, std::move(exp));
+          s.noteExpansion();
+          ++eng.counters().expansions;
+          move = MoveKind::Expansion;
+        } else {
+          (void)s.replace(o.max, std::move(ref));
+          ++eng.counters().reflections;
+          move = MoveKind::Reflection;
+        }
+      }
+    } else {
+      // Conditions 5-7: the reflection failed; try contraction.
+      auto con = eng.createTrial(contractPoint(s.at(o.max).point(), cent, coef.contraction),
+                                 trialSamples(eng, s, options));
+      // Stage 3: conditions 6 / 7 — contraction against the highest.
+      if (resolvePair(eng, options, *con, s.at(o.max), 6, 7) == PairOutcome::Less) {
+        (void)s.replace(o.max, std::move(con));
+        s.noteContraction();
+        ++eng.counters().contractions;
+        move = MoveKind::Contraction;
+      } else {
+        eng.collapse(s, o.min);
+        move = MoveKind::Collapse;
+      }
+    }
+    ++iter;
+    eng.maybeRecord(s, move, iter);
+    eng.maybeCheckpoint(s, iter);
+  }
+  return eng.finish(s, iter, reason);
+}
+
+OptimizationResult runPointToPointWithMaxNoise(const noise::StochasticObjective& objective,
+                                               std::span<const Point> initial, PCOptions options) {
+  options.maxNoiseGate = true;
+  return runPointToPoint(objective, initial, options);
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,79 @@
+#include "core/point.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfopt::core {
+
+namespace {
+void requireSameDim(std::span<const double> a, std::span<const double> b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+}
+}  // namespace
+
+Point add(std::span<const double> a, std::span<const double> b) {
+  requireSameDim(a, b, "add");
+  Point r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Point subtract(std::span<const double> a, std::span<const double> b) {
+  requireSameDim(a, b, "subtract");
+  Point r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Point scale(std::span<const double> a, double s) {
+  Point r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = s * a[i];
+  return r;
+}
+
+Point affineCombine(double alpha, std::span<const double> a, double beta,
+                    std::span<const double> b) {
+  requireSameDim(a, b, "affineCombine");
+  Point r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = alpha * a[i] + beta * b[i];
+  return r;
+}
+
+Point centroid(std::span<const Point> points) {
+  if (points.empty()) throw std::invalid_argument("centroid: no points");
+  const std::size_t d = points.front().size();
+  Point c(d, 0.0);
+  for (const Point& p : points) {
+    if (p.size() != d) throw std::invalid_argument("centroid: dimension mismatch");
+    for (std::size_t i = 0; i < d; ++i) c[i] += p[i];
+  }
+  const double inv = 1.0 / static_cast<double>(points.size());
+  for (double& v : c) v *= inv;
+  return c;
+}
+
+double chebyshevDistance(std::span<const double> a, std::span<const double> b) {
+  requireSameDim(a, b, "chebyshevDistance");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::string toString(std::span<const double> p, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  out << "(";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << p[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace sfopt::core

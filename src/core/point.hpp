@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfopt::core {
+
+/// A point in d-dimensional parameter space.
+using Point = std::vector<double>;
+
+/// r = a + b (element-wise). Throws on dimension mismatch.
+[[nodiscard]] Point add(std::span<const double> a, std::span<const double> b);
+
+/// r = a - b (element-wise).
+[[nodiscard]] Point subtract(std::span<const double> a, std::span<const double> b);
+
+/// r = s * a.
+[[nodiscard]] Point scale(std::span<const double> a, double s);
+
+/// r = alpha * a + beta * b; the shape of every simplex transformation.
+[[nodiscard]] Point affineCombine(double alpha, std::span<const double> a, double beta,
+                                  std::span<const double> b);
+
+/// Arithmetic mean of a set of points of equal dimension.
+[[nodiscard]] Point centroid(std::span<const Point> points);
+
+/// Maximum |a_i - b_i|.
+[[nodiscard]] double chebyshevDistance(std::span<const double> a, std::span<const double> b);
+
+/// Render as "(x1, x2, ...)" with the given precision, for logs and benches.
+[[nodiscard]] std::string toString(std::span<const double> p, int precision = 6);
+
+}  // namespace sfopt::core

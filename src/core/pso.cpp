@@ -1,0 +1,189 @@
+#include "core/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/comparisons.hpp"
+#include "core/sampling_context.hpp"
+#include "core/trace.hpp"
+
+namespace sfopt::core {
+
+namespace {
+
+struct Particle {
+  Point position;
+  Point velocity;
+  std::unique_ptr<Vertex> best;  ///< personal best (sampled estimate)
+};
+
+/// Noise-aware duel: does challenger confidently beat incumbent?  In plain
+/// mode a mean comparison decides immediately; in confidence mode both are
+/// resampled (concurrently) until the k-sigma intervals separate, up to
+/// the round cap.
+bool challengerWins(SamplingContext& ctx, Vertex& challenger, Vertex& incumbent,
+                    const PsoOptions& opt, MoveCounters& counters, double maxTime) {
+  if (!opt.confidenceBestUpdates) {
+    return challenger.mean() < incumbent.mean();
+  }
+  std::int64_t block = std::max<std::int64_t>(opt.resample.initialBlock, 1);
+  std::int64_t rounds = 0;
+  for (;;) {
+    const bool floorMet = challenger.sampleCount() >= opt.minSamplesForConfidence &&
+                          incumbent.sampleCount() >= opt.minSamplesForConfidence;
+    if (floorMet) {
+      switch (confidenceCompare(challenger.mean(), ctx.sigma(challenger), incumbent.mean(),
+                                ctx.sigma(incumbent), opt.k)) {
+        case ConfidenceOutcome::Less: return true;
+        case ConfidenceOutcome::GreaterEq: return false;
+        case ConfidenceOutcome::Unresolved: break;
+      }
+    }
+    const bool capped = ctx.atSampleCap(challenger) && ctx.atSampleCap(incumbent);
+    const bool roundCapped = opt.resample.maxRoundsPerComparison > 0 &&
+                             rounds >= opt.resample.maxRoundsPerComparison;
+    if (capped || roundCapped || ctx.now() >= maxTime) {
+      ++counters.forcedResolutions;
+      return challenger.mean() < incumbent.mean();
+    }
+    ++rounds;
+    ctx.coSample({{&challenger, block}, {&incumbent, block}});
+    ++counters.resampleRounds;
+    block = std::min<std::int64_t>(
+        opt.resample.maxBlock,
+        static_cast<std::int64_t>(
+            std::ceil(static_cast<double>(block) * std::max(opt.resample.growth, 1.0))));
+  }
+}
+
+}  // namespace
+
+OptimizationResult runParticleSwarm(const noise::StochasticObjective& objective,
+                                    const PsoOptions& options) {
+  if (options.particles < 2) throw std::invalid_argument("runParticleSwarm: particles >= 2");
+  if (!(options.boxLo < options.boxHi)) {
+    throw std::invalid_argument("runParticleSwarm: requires boxLo < boxHi");
+  }
+  if (options.samplesPerEvaluation < 1) {
+    throw std::invalid_argument("runParticleSwarm: samplesPerEvaluation >= 1");
+  }
+
+  const std::size_t d = objective.dimension();
+  SamplingContext ctx(objective, options.sampling);
+  noise::RngStream rng(options.seed, 0x9050);
+  const double vMax = options.maxVelocityFraction * (options.boxHi - options.boxLo);
+
+  // Initialize particles and evaluate their starting positions; all
+  // initial evaluations run concurrently (one worker per particle).
+  std::vector<Particle> swarm;
+  swarm.reserve(static_cast<std::size_t>(options.particles));
+  for (int p = 0; p < options.particles; ++p) {
+    Particle part;
+    part.position.resize(d);
+    part.velocity.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      part.position[i] = rng.uniform(options.boxLo, options.boxHi);
+      part.velocity[i] = rng.uniform(-vMax, vMax);
+    }
+    part.best = ctx.createVertex(part.position, options.samplesPerEvaluation);
+    swarm.push_back(std::move(part));
+  }
+  ctx.chargeTime(options.samplesPerEvaluation);
+
+  std::size_t globalIdx = 0;
+  for (std::size_t p = 1; p < swarm.size(); ++p) {
+    if (swarm[p].best->mean() < swarm[globalIdx].best->mean()) globalIdx = p;
+  }
+
+  MoveCounters counters;
+  OptimizationTrace trace;
+  std::int64_t iter = 0;
+  TerminationReason reason = TerminationReason::IterationLimit;
+  const TerminationCriteria& term = options.termination;
+
+  for (;;) {
+    // Termination: personal-best spread (the swarm analogue of eq. 2.9),
+    // then the usual budgets.
+    double lo = swarm[globalIdx].best->mean();
+    double hi = lo;
+    for (const Particle& p : swarm) {
+      lo = std::min(lo, p.best->mean());
+      hi = std::max(hi, p.best->mean());
+    }
+    if (term.tolerance > 0.0 && hi - lo <= term.tolerance) {
+      reason = TerminationReason::Converged;
+      break;
+    }
+    if (ctx.now() >= term.maxTime) {
+      reason = TerminationReason::TimeLimit;
+      break;
+    }
+    if (iter >= term.maxIterations) {
+      reason = TerminationReason::IterationLimit;
+      break;
+    }
+    if (term.maxSamples > 0 && ctx.totalSamples() >= term.maxSamples) {
+      reason = TerminationReason::SampleLimit;
+      break;
+    }
+
+    // Velocity/position update, then concurrent evaluation of the new
+    // positions.
+    std::vector<std::unique_ptr<Vertex>> evals;
+    evals.reserve(swarm.size());
+    for (Particle& p : swarm) {
+      const Point& gBest = swarm[globalIdx].best->point();
+      for (std::size_t i = 0; i < d; ++i) {
+        const double r1 = rng.uniform();
+        const double r2 = rng.uniform();
+        p.velocity[i] = options.inertia * p.velocity[i] +
+                        options.cognitive * r1 * (p.best->point()[i] - p.position[i]) +
+                        options.social * r2 * (gBest[i] - p.position[i]);
+        p.velocity[i] = std::clamp(p.velocity[i], -vMax, vMax);
+        p.position[i] += p.velocity[i];
+      }
+      evals.push_back(ctx.createVertex(p.position, options.samplesPerEvaluation));
+    }
+    ctx.chargeTime(options.samplesPerEvaluation);
+
+    // Personal-best duels (noise-aware in confidence mode), then the
+    // global-best pass over the updated personal bests.
+    for (std::size_t p = 0; p < swarm.size(); ++p) {
+      if (challengerWins(ctx, *evals[p], *swarm[p].best, options, counters, term.maxTime)) {
+        swarm[p].best = std::move(evals[p]);
+      }
+    }
+    globalIdx = 0;
+    for (std::size_t p = 1; p < swarm.size(); ++p) {
+      if (swarm[p].best->mean() < swarm[globalIdx].best->mean()) globalIdx = p;
+    }
+
+    ++iter;
+    if (options.recordTrace) {
+      StepRecord r;
+      r.iteration = iter;
+      r.time = ctx.now();
+      r.bestEstimate = swarm[globalIdx].best->mean();
+      r.bestTrue = ctx.trueValue(*swarm[globalIdx].best);
+      r.totalSamples = ctx.totalSamples();
+      trace.record(std::move(r));
+    }
+  }
+
+  OptimizationResult out;
+  out.best = swarm[globalIdx].best->point();
+  out.bestEstimate = swarm[globalIdx].best->mean();
+  out.bestTrue = ctx.trueValue(*swarm[globalIdx].best);
+  out.iterations = iter;
+  out.elapsedTime = ctx.now();
+  out.totalSamples = ctx.totalSamples();
+  out.reason = reason;
+  out.counters = counters;
+  out.trace = std::move(trace);
+  return out;
+}
+
+}  // namespace sfopt::core

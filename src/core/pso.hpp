@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/algorithms.hpp"
+#include "core/result.hpp"
+#include "noise/stochastic_objective.hpp"
+
+namespace sfopt::core {
+
+/// Particle swarm optimization for stochastic objectives — the paper's
+/// "Recommendations for Future Research" hybrid (section 5.2): "An ability
+/// to use PSO with maxnoise and point-to-point may prove to be another
+/// step forward in the development of global stochastic algorithms."
+///
+/// The swarm is classical (inertia + cognitive + social velocity update);
+/// what is new is how *bests* are decided under sampling noise:
+///
+///  * plain mode (confidenceBestUpdates = false): a freshly evaluated
+///    position replaces the personal/global best whenever its sampled mean
+///    is lower — the naive scheme that inflates bests with lucky draws
+///    ("winner's curse");
+///  * confidence mode (default): the replacement must win a k-sigma
+///    point-to-point comparison, with bounded resampling of both
+///    candidates — the PC discipline transplanted onto PSO.
+struct PsoOptions {
+  int particles = 16;
+  double inertia = 0.72;
+  double cognitive = 1.49;
+  double social = 1.49;
+  /// Initialization box (per coordinate) and velocity clamp.
+  double boxLo = -5.0;
+  double boxHi = 5.0;
+  double maxVelocityFraction = 0.25;  ///< of the box width, per component
+  /// Samples per position evaluation.
+  std::int64_t samplesPerEvaluation = 4;
+  /// Noise-aware best updates (the MN/PC hybrid idea).
+  bool confidenceBestUpdates = true;
+  double k = 1.0;
+  std::int64_t minSamplesForConfidence = 8;
+  ResamplePolicy resample;  ///< maxRoundsPerComparison bounds best-duels
+  TerminationCriteria termination;
+  SamplingContext::Options sampling;
+  std::uint64_t seed = 0xB05;
+  bool recordTrace = false;
+};
+
+/// Run the swarm on `objective`.  The result's iteration count is swarm
+/// generations; counters.resampleRounds counts best-duel resampling and
+/// counters.forcedResolutions the duels cut off by the round cap.
+[[nodiscard]] OptimizationResult runParticleSwarm(const noise::StochasticObjective& objective,
+                                                  const PsoOptions& options = {});
+
+}  // namespace sfopt::core

@@ -1,0 +1,97 @@
+#include "core/restart.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/initial_simplex.hpp"
+#include "core/sampling_context.hpp"
+
+namespace sfopt::core {
+
+SimplexRunner makeRunner(DetOptions options) {
+  return [options](const noise::StochasticObjective& obj, std::span<const Point> start,
+                   std::uint64_t firstId) mutable {
+    options.common.sampling.firstVertexId = firstId;
+    return runDeterministic(obj, start, options);
+  };
+}
+
+SimplexRunner makeRunner(MaxNoiseOptions options) {
+  return [options](const noise::StochasticObjective& obj, std::span<const Point> start,
+                   std::uint64_t firstId) mutable {
+    options.common.sampling.firstVertexId = firstId;
+    return runMaxNoise(obj, start, options);
+  };
+}
+
+SimplexRunner makeRunner(AndersonOptions options) {
+  return [options](const noise::StochasticObjective& obj, std::span<const Point> start,
+                   std::uint64_t firstId) mutable {
+    options.common.sampling.firstVertexId = firstId;
+    return runAnderson(obj, start, options);
+  };
+}
+
+SimplexRunner makeRunner(PCOptions options) {
+  return [options](const noise::StochasticObjective& obj, std::span<const Point> start,
+                   std::uint64_t firstId) mutable {
+    options.common.sampling.firstVertexId = firstId;
+    return runPointToPoint(obj, start, options);
+  };
+}
+
+namespace {
+
+/// Freshly re-sample a point and return the mean: the stage-winner referee.
+double refereeMean(const noise::StochasticObjective& obj, const Point& x,
+                   std::uint64_t vertexId, std::int64_t samples) {
+  SamplingContext::Options opts;
+  opts.firstVertexId = vertexId;
+  SamplingContext ctx(obj, opts);
+  auto v = ctx.createVertex(x, samples);
+  return v->mean();
+}
+
+}  // namespace
+
+RestartResult runWithRestarts(const noise::StochasticObjective& objective,
+                              std::span<const Point> initial, const SimplexRunner& runner,
+                              const RestartOptions& options) {
+  if (options.restarts < 0) throw std::invalid_argument("runWithRestarts: negative restarts");
+  if (options.evaluationSamples < 1) {
+    throw std::invalid_argument("runWithRestarts: evaluationSamples must be >= 1");
+  }
+
+  RestartResult out;
+  std::uint64_t idBase = 0;
+  out.best = runner(objective, initial, idBase);
+  out.stagesRun = 1;
+  out.totalElapsedTime = out.best.elapsedTime;
+  out.totalSamples = out.best.totalSamples;
+
+  double scale = options.initialScale;
+  for (int stage = 1; stage <= options.restarts; ++stage) {
+    idBase += options.vertexIdStride;
+    const auto start = axisSimplexPoints(out.best.best, scale);
+    OptimizationResult candidate = runner(objective, start, idBase);
+    out.stagesRun += 1;
+    out.totalElapsedTime += candidate.elapsedTime;
+    out.totalSamples += candidate.totalSamples;
+
+    // Referee: fresh samples at both points, disjoint noise streams.
+    idBase += options.vertexIdStride;
+    const double incumbentMean =
+        refereeMean(objective, out.best.best, idBase, options.evaluationSamples);
+    const double candidateMean =
+        refereeMean(objective, candidate.best, idBase + 1, options.evaluationSamples);
+    out.totalSamples += 2 * options.evaluationSamples;
+    if (candidateMean < incumbentMean) {
+      out.best = std::move(candidate);
+      out.winningStage = stage;
+    }
+    scale *= options.scaleDecay;
+  }
+  return out;
+}
+
+}  // namespace sfopt::core

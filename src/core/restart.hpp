@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+
+#include "core/algorithms.hpp"
+
+namespace sfopt::core {
+
+/// Restarted-simplex meta-strategy (the paper's section 1.3.5.1: using the
+/// local simplex "for finding the global minima of non-convex functions
+/// ... by restarting the simplex").
+///
+/// After each inner run, a fresh axis-aligned simplex is built around the
+/// incumbent best point with a decaying scale, and the inner optimizer
+/// runs again.  Because the incumbent values are noisy, stage winners are
+/// decided by re-sampling both candidates afresh and comparing the means —
+/// never by trusting a possibly lucky low estimate.
+struct RestartOptions {
+  /// Number of restarts after the initial run.
+  int restarts = 3;
+  /// Axis-simplex scale around the incumbent for the first restart.
+  double initialScale = 1.0;
+  /// Scale multiplier per restart (shrinking search neighbourhoods).
+  double scaleDecay = 0.5;
+  /// Fresh samples drawn at each candidate when deciding a stage winner.
+  std::int64_t evaluationSamples = 256;
+  /// Vertex-id block reserved per stage so noise streams never collide
+  /// across stages.
+  std::uint64_t vertexIdStride = 1u << 20;
+};
+
+/// The inner optimizer: any of the run* entry points, pre-bound to its
+/// options.  The third argument is the first vertex id the stage may use;
+/// honoring it keeps each stage's noise streams independent (see
+/// SamplingContext::Options::firstVertexId).
+using SimplexRunner = std::function<OptimizationResult(
+    const noise::StochasticObjective&, std::span<const Point>, std::uint64_t firstVertexId)>;
+
+/// Bind one of the four algorithms into a SimplexRunner.
+[[nodiscard]] SimplexRunner makeRunner(DetOptions options);
+[[nodiscard]] SimplexRunner makeRunner(MaxNoiseOptions options);
+[[nodiscard]] SimplexRunner makeRunner(AndersonOptions options);
+[[nodiscard]] SimplexRunner makeRunner(PCOptions options);
+
+/// Outcome of a restarted run.
+struct RestartResult {
+  OptimizationResult best;       ///< the winning stage's result
+  int winningStage = 0;          ///< 0 = the initial run
+  std::int64_t stagesRun = 0;
+  double totalElapsedTime = 0.0;     ///< summed simulated time of all stages
+  std::int64_t totalSamples = 0;     ///< summed samples (incl. winner checks)
+};
+
+/// Run `runner` from `initial`, then `options.restarts` more times from
+/// axis simplexes around the incumbent best.  Each stage's candidate is
+/// accepted only if its freshly re-sampled mean beats the incumbent's.
+[[nodiscard]] RestartResult runWithRestarts(const noise::StochasticObjective& objective,
+                                            std::span<const Point> initial,
+                                            const SimplexRunner& runner,
+                                            const RestartOptions& options = {});
+
+}  // namespace sfopt::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/point.hpp"
+#include "core/termination.hpp"
+#include "core/trace.hpp"
+
+namespace sfopt::core {
+
+/// Per-run counters of algorithmic events; benches report these and the
+/// condition-ablation studies compare them across variants.
+struct MoveCounters {
+  std::int64_t reflections = 0;
+  std::int64_t expansions = 0;
+  std::int64_t contractions = 0;
+  std::int64_t collapses = 0;
+  /// MN/Anderson: rounds the wait-gate demanded extra sampling.
+  std::int64_t gateWaitRounds = 0;
+  /// PC: rounds an unresolved confidence comparison demanded resampling.
+  std::int64_t resampleRounds = 0;
+  /// Comparisons forcibly resolved at the per-vertex sample cap.
+  std::int64_t forcedResolutions = 0;
+};
+
+/// Outcome of one optimization run.
+struct OptimizationResult {
+  Point best;                        ///< location of the lowest vertex at stop
+  double bestEstimate = 0.0;         ///< its sampled mean value
+  std::optional<double> bestTrue;    ///< noise-free f there, if known
+  std::int64_t iterations = 0;       ///< N, simplex steps taken
+  double elapsedTime = 0.0;          ///< simulated seconds consumed
+  std::int64_t totalSamples = 0;     ///< objective samples consumed
+  TerminationReason reason = TerminationReason::Converged;
+  MoveCounters counters;
+  OptimizationTrace trace;           ///< populated when tracing is enabled
+};
+
+}  // namespace sfopt::core

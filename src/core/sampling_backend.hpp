@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/welford.hpp"
+
+namespace sfopt::core {
+
+/// Where the raw objective samples are computed.
+///
+/// The default (no backend) computes samples inline on the calling thread.
+/// The master-worker runtime (src/mw) provides a backend that ships each
+/// batch to a worker process and returns the worker's partial Welford
+/// state.  Because every sample is keyed by (vertexId, sampleIndex) through
+/// the counter-based RNG, the merged estimate is bitwise identical no
+/// matter which backend computed it or in which order — the property the
+/// integration tests pin down.
+class SamplingBackend {
+ public:
+  struct BatchRequest {
+    std::span<const double> x;      ///< evaluation point
+    std::uint64_t vertexId = 0;     ///< noise-stream id
+    std::uint64_t startIndex = 0;   ///< first sample index in the batch
+    std::int64_t count = 0;         ///< number of samples to draw
+  };
+
+  virtual ~SamplingBackend() = default;
+
+  /// Compute one batch and return its accumulated partial statistics.
+  [[nodiscard]] virtual stats::Welford sampleBatch(const BatchRequest& request) = 0;
+
+  /// Compute several batches, potentially concurrently; results are
+  /// returned in request order.  The default implementation loops.
+  [[nodiscard]] virtual std::vector<stats::Welford> sampleBatches(
+      std::span<const BatchRequest> requests) {
+    std::vector<stats::Welford> out;
+    out.reserve(requests.size());
+    for (const BatchRequest& r : requests) out.push_back(sampleBatch(r));
+    return out;
+  }
+};
+
+}  // namespace sfopt::core

@@ -1,0 +1,106 @@
+#include "core/sampling_context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfopt::core {
+
+SamplingContext::SamplingContext(const noise::StochasticObjective& objective, Options options)
+    : objective_(objective), options_(options), nextVertexId_(options.firstVertexId) {
+  if (options_.maxSamplesPerVertex < 1) {
+    throw std::invalid_argument("SamplingContext: maxSamplesPerVertex must be >= 1");
+  }
+}
+
+std::unique_ptr<Vertex> SamplingContext::createVertex(Point x, std::int64_t initialSamples) {
+  if (x.size() != objective_.dimension()) {
+    throw std::invalid_argument("SamplingContext::createVertex: dimension mismatch");
+  }
+  auto v = std::make_unique<Vertex>(std::move(x), nextVertexId_++);
+  refine(*v, initialSamples);
+  return v;
+}
+
+std::int64_t SamplingContext::refine(Vertex& v, std::int64_t extra) {
+  if (extra < 0) throw std::invalid_argument("SamplingContext::refine: negative count");
+  const std::int64_t room = options_.maxSamplesPerVertex - v.sampleCount();
+  const std::int64_t take = std::min(extra, std::max<std::int64_t>(room, 0));
+  if (take == 0) return 0;
+  if (options_.backend != nullptr) {
+    const SamplingBackend::BatchRequest req{v.point(), v.id(),
+                                            static_cast<std::uint64_t>(v.sampleCount()), take};
+    v.absorb(options_.backend->sampleBatch(req));
+  } else {
+    for (std::int64_t i = 0; i < take; ++i) {
+      const noise::SampleKey key{v.id(), static_cast<std::uint64_t>(v.sampleCount())};
+      v.absorb(objective_.sample(v.point(), key));
+    }
+  }
+  totalSamples_ += take;
+  return take;
+}
+
+void SamplingContext::coSample(std::span<const RefineRequest> requests) {
+  std::int64_t maxTaken = 0;
+  if (options_.backend != nullptr) {
+    // Dispatch the whole batch so the backend can run it concurrently
+    // (this models the d+3 workers sampling their vertices at once).
+    std::vector<SamplingBackend::BatchRequest> batch;
+    std::vector<std::int64_t> takes;
+    batch.reserve(requests.size());
+    takes.reserve(requests.size());
+    for (const RefineRequest& r : requests) {
+      if (r.vertex == nullptr) throw std::invalid_argument("coSample: null vertex");
+      if (r.samples < 0) throw std::invalid_argument("coSample: negative count");
+      const std::int64_t room = options_.maxSamplesPerVertex - r.vertex->sampleCount();
+      const std::int64_t take = std::min(r.samples, std::max<std::int64_t>(room, 0));
+      takes.push_back(take);
+      batch.push_back({r.vertex->point(), r.vertex->id(),
+                       static_cast<std::uint64_t>(r.vertex->sampleCount()), take});
+    }
+    const auto results = options_.backend->sampleBatches(batch);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (takes[i] == 0) continue;
+      requests[i].vertex->absorb(results[i]);
+      totalSamples_ += takes[i];
+      maxTaken = std::max(maxTaken, takes[i]);
+    }
+  } else {
+    for (const RefineRequest& r : requests) {
+      if (r.vertex == nullptr) throw std::invalid_argument("coSample: null vertex");
+      maxTaken = std::max(maxTaken, refine(*r.vertex, r.samples));
+    }
+  }
+  chargeTime(maxTaken);
+}
+
+void SamplingContext::coSample(std::initializer_list<RefineRequest> requests) {
+  coSample(std::span<const RefineRequest>(requests.begin(), requests.size()));
+}
+
+void SamplingContext::chargeTime(std::int64_t samples) {
+  clock_.advance(static_cast<double>(samples) * objective_.sampleDuration());
+}
+
+void SamplingContext::restoreAccounting(double clockNow, std::int64_t totalSamples,
+                                        std::uint64_t nextVertexId) {
+  clock_.reset();
+  clock_.advance(clockNow);
+  totalSamples_ = totalSamples;
+  nextVertexId_ = nextVertexId;
+}
+
+double SamplingContext::sigma(const Vertex& v) const {
+  if (options_.sigmaMode == SigmaMode::Exact) {
+    if (auto s0 = objective_.noiseScale(v.point())) {
+      return v.exactSigma(*s0, objective_.sampleDuration());
+    }
+  }
+  return v.estimatedSigma();
+}
+
+std::optional<double> SamplingContext::trueValue(const Vertex& v) const {
+  return objective_.trueValue(v.point());
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/sampling_backend.hpp"
+#include "core/vertex.hpp"
+#include "noise/stochastic_objective.hpp"
+#include "noise/virtual_clock.hpp"
+
+namespace sfopt::core {
+
+/// Mediates all sampling of a StochasticObjective on behalf of an
+/// optimization algorithm, and owns the accounting the paper's experiments
+/// report on:
+///
+///  * the virtual wall clock, advanced under the paper's concurrency model
+///    (the d+3 workers sample their vertices simultaneously, so a batch of
+///    refinements costs max — not sum — of the per-vertex durations);
+///  * the global sample counter (total objective evaluations);
+///  * vertex identity, which doubles as the reproducible noise-stream id.
+///
+/// Algorithms never call the objective directly.
+class SamplingContext {
+ public:
+  struct Options {
+    SigmaMode sigmaMode = SigmaMode::Estimated;
+    /// Hard cap on samples at any single vertex; a gate or comparison that
+    /// still cannot resolve at the cap is forcibly resolved (the paper's
+    /// "coincidentally nearly identical vertices" hazard, section 2.3).
+    std::int64_t maxSamplesPerVertex = 1'000'000;
+    /// Optional sampling backend (non-owning; must outlive the context).
+    /// nullptr computes samples inline.
+    SamplingBackend* backend = nullptr;
+    /// First vertex id handed out.  Distinct contexts over the same
+    /// objective should use disjoint id ranges so their noise streams stay
+    /// independent (ids key the counter-based RNG).
+    std::uint64_t firstVertexId = 0;
+  };
+
+  explicit SamplingContext(const noise::StochasticObjective& objective)
+      : SamplingContext(objective, Options{}) {}
+  SamplingContext(const noise::StochasticObjective& objective, Options options);
+
+  /// Create a vertex at x and take `initialSamples` samples there.
+  /// Does NOT advance the clock: creation cost is charged by the caller
+  /// through coSample/chargeTime so that concurrent creations (the whole
+  /// initial simplex at once) are charged once.
+  [[nodiscard]] std::unique_ptr<Vertex> createVertex(Point x, std::int64_t initialSamples);
+
+  /// Take `extra` more samples at v (bounded by maxSamplesPerVertex).
+  /// Returns the number actually taken.  Does not advance the clock.
+  std::int64_t refine(Vertex& v, std::int64_t extra);
+
+  /// Refine several vertices "in parallel": each gets its requested number
+  /// of samples, and the clock advances by max(samples actually taken)*dt.
+  struct RefineRequest {
+    Vertex* vertex = nullptr;
+    std::int64_t samples = 0;
+  };
+  void coSample(std::span<const RefineRequest> requests);
+  void coSample(std::initializer_list<RefineRequest> requests);
+
+  /// Charge `samples * dt` of wall time without sampling (used when the
+  /// caller has already refined through refine() and knows the concurrent
+  /// batch shape).
+  void chargeTime(std::int64_t samples);
+
+  /// sigma_i(t_i) for v under the configured SigmaMode.  In Exact mode the
+  /// objective must declare a noise scale; falls back to the estimate
+  /// otherwise.
+  [[nodiscard]] double sigma(const Vertex& v) const;
+
+  /// Noise-free value at v's location, when the objective knows it.
+  [[nodiscard]] std::optional<double> trueValue(const Vertex& v) const;
+
+  [[nodiscard]] const noise::StochasticObjective& objective() const noexcept {
+    return objective_;
+  }
+  [[nodiscard]] double now() const noexcept { return clock_.now(); }
+  [[nodiscard]] std::int64_t totalSamples() const noexcept { return totalSamples_; }
+  [[nodiscard]] std::int64_t verticesCreated() const noexcept {
+    return static_cast<std::int64_t>(nextVertexId_ - options_.firstVertexId);
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Restore the accounting of a checkpointed run: the virtual clock, the
+  /// global sample counter and the next vertex id.  Only meaningful on a
+  /// freshly constructed context (resume path).
+  void restoreAccounting(double clockNow, std::int64_t totalSamples,
+                         std::uint64_t nextVertexId);
+
+  /// True when v has hit the per-vertex sampling cap.
+  [[nodiscard]] bool atSampleCap(const Vertex& v) const noexcept {
+    return v.sampleCount() >= options_.maxSamplesPerVertex;
+  }
+
+ private:
+  const noise::StochasticObjective& objective_;
+  Options options_;
+  noise::VirtualClock clock_;
+  std::int64_t totalSamples_ = 0;
+  std::uint64_t nextVertexId_;
+};
+
+}  // namespace sfopt::core

@@ -1,0 +1,138 @@
+#include "core/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/performance.hpp"
+
+namespace sfopt::core {
+
+Point reflectPoint(std::span<const double> centroid, std::span<const double> worst, double alpha) {
+  return affineCombine(1.0 + alpha, centroid, -alpha, worst);
+}
+
+Point expandPoint(std::span<const double> reflected, std::span<const double> centroid,
+                  double gamma) {
+  return affineCombine(gamma, reflected, -(gamma - 1.0), centroid);
+}
+
+Point contractPoint(std::span<const double> worst, std::span<const double> centroid, double beta) {
+  return affineCombine(beta, worst, 1.0 - beta, centroid);
+}
+
+SimplexCoefficients adaptiveSimplexCoefficients(std::size_t dimension) {
+  if (dimension < 2) throw std::invalid_argument("adaptiveSimplexCoefficients: d >= 2");
+  const double d = static_cast<double>(dimension);
+  SimplexCoefficients c;
+  c.reflection = 1.0;
+  c.expansion = 1.0 + 2.0 / d;
+  c.contraction = 0.75 - 1.0 / (2.0 * d);
+  c.shrink = 1.0 - 1.0 / d;
+  return c;
+}
+
+Simplex::Simplex(std::vector<std::unique_ptr<Vertex>> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Simplex: needs d+1 >= 3 vertices (d >= 2)");
+  }
+  const std::size_t d = vertices_.size() - 1;
+  for (const auto& v : vertices_) {
+    if (v == nullptr) throw std::invalid_argument("Simplex: null vertex");
+    if (v->point().size() != d) {
+      throw std::invalid_argument("Simplex: vertex dimension must be size()-1");
+    }
+  }
+}
+
+Simplex::Ordering Simplex::ordering() const {
+  Ordering o;
+  // Find min and max first.
+  for (std::size_t i = 1; i < vertices_.size(); ++i) {
+    if (vertices_[i]->mean() > vertices_[o.max]->mean()) o.max = i;
+    if (vertices_[i]->mean() < vertices_[o.min]->mean()) o.min = i;
+  }
+  // Second-highest: max over indices != o.max.
+  o.smax = (o.max == 0) ? 1 : 0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (i == o.max) continue;
+    if (vertices_[i]->mean() > vertices_[o.smax]->mean()) o.smax = i;
+  }
+  return o;
+}
+
+Point Simplex::centroidExcluding(std::size_t excluded) const {
+  if (excluded >= vertices_.size()) throw std::out_of_range("centroidExcluding");
+  std::vector<Point> pts;
+  pts.reserve(vertices_.size() - 1);
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (i != excluded) pts.push_back(vertices_[i]->point());
+  }
+  return centroid(pts);
+}
+
+std::unique_ptr<Vertex> Simplex::replace(std::size_t i, std::unique_ptr<Vertex> v) {
+  if (i >= vertices_.size()) throw std::out_of_range("Simplex::replace");
+  if (v == nullptr) throw std::invalid_argument("Simplex::replace: null vertex");
+  if (v->point().size() != dimension()) {
+    throw std::invalid_argument("Simplex::replace: dimension mismatch");
+  }
+  std::swap(vertices_[i], v);
+  return v;
+}
+
+std::vector<std::pair<std::size_t, Point>> Simplex::collapseTargets(std::size_t minIndex,
+                                                                    double shrink) const {
+  if (minIndex >= vertices_.size()) throw std::out_of_range("collapseTargets");
+  if (!(shrink > 0.0 && shrink < 1.0)) {
+    throw std::invalid_argument("collapseTargets: shrink must be in (0, 1)");
+  }
+  std::vector<std::pair<std::size_t, Point>> out;
+  out.reserve(vertices_.size() - 1);
+  const Point& pmin = vertices_[minIndex]->point();
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (i == minIndex) continue;
+    out.emplace_back(i, affineCombine(shrink, vertices_[i]->point(), 1.0 - shrink, pmin));
+  }
+  return out;
+}
+
+double Simplex::diameter() const {
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices_.size(); ++j) {
+      dmax = std::max(dmax,
+                      stats::euclideanDistance(vertices_[i]->point(), vertices_[j]->point()));
+    }
+  }
+  return dmax;
+}
+
+double Simplex::valueSpread() const {
+  const Ordering o = ordering();
+  return vertices_[o.max]->mean() - vertices_[o.min]->mean();
+}
+
+double Simplex::meanValue() const {
+  double s = 0.0;
+  for (const auto& v : vertices_) s += v->mean();
+  return s / static_cast<double>(vertices_.size());
+}
+
+double Simplex::internalVariance() const {
+  const double gbar = meanValue();
+  double s = 0.0;
+  for (const auto& v : vertices_) {
+    const double d = v->mean() - gbar;
+    s += d * d;
+  }
+  return s / static_cast<double>(vertices_.size());
+}
+
+double Simplex::maxSigma(const SamplingContext& ctx) const {
+  double m = 0.0;
+  for (const auto& v : vertices_) m = std::max(m, ctx.sigma(*v));
+  return m;
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/point.hpp"
+#include "core/sampling_context.hpp"
+#include "core/vertex.hpp"
+
+namespace sfopt::core {
+
+/// Coefficients of the Nelder-Mead transformations.  The paper fixes
+/// alpha (reflection) = 1, gamma (expansion) = 2, beta (contraction) = 0.5
+/// and shrinks halfway toward the best vertex on collapse.
+struct SimplexCoefficients {
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Dimension-adaptive coefficients (Gao & Han 2012): alpha = 1,
+/// gamma = 1 + 2/d, beta = 0.75 - 1/(2d), shrink = 1 - 1/d.  Identical to
+/// the classical values at d = 2 and progressively gentler in higher
+/// dimensions, where the classical expansion/shrink are known to thrash.
+[[nodiscard]] SimplexCoefficients adaptiveSimplexCoefficients(std::size_t dimension);
+
+/// theta_ref = (1 + alpha) * centroid - alpha * worst.
+[[nodiscard]] Point reflectPoint(std::span<const double> centroid, std::span<const double> worst,
+                                 double alpha = 1.0);
+
+/// theta_exp = gamma * theta_ref - (gamma - 1) * centroid.
+[[nodiscard]] Point expandPoint(std::span<const double> reflected,
+                                std::span<const double> centroid, double gamma = 2.0);
+
+/// theta_con = beta * worst + (1 - beta) * centroid.
+[[nodiscard]] Point contractPoint(std::span<const double> worst, std::span<const double> centroid,
+                                  double beta = 0.5);
+
+/// The d+1 sampled vertices of a d-dimensional downhill simplex, plus the
+/// bookkeeping the stochastic variants need: the contraction level l
+/// (section 2.2: contraction l += 1, expansion l -= 1, reflection
+/// unchanged, collapse l += d) and value-ordering queries.
+///
+/// The simplex owns its vertices.  Replacing the worst vertex transfers
+/// ownership of the (already sampled) trial vertex in, so accumulated
+/// sampling is never discarded accidentally.
+class Simplex {
+ public:
+  explicit Simplex(std::vector<std::unique_ptr<Vertex>> vertices);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return vertices_.size() - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] Vertex& at(std::size_t i) { return *vertices_.at(i); }
+  [[nodiscard]] const Vertex& at(std::size_t i) const { return *vertices_.at(i); }
+
+  /// Indices of the vertices with highest, second-highest and lowest
+  /// current mean estimate.
+  struct Ordering {
+    std::size_t max = 0;
+    std::size_t smax = 0;
+    std::size_t min = 0;
+  };
+  [[nodiscard]] Ordering ordering() const;
+
+  /// Centroid of all vertices except the one at `excluded`.
+  [[nodiscard]] Point centroidExcluding(std::size_t excluded) const;
+
+  /// Swap in a new vertex at index i, returning the old one.
+  std::unique_ptr<Vertex> replace(std::size_t i, std::unique_ptr<Vertex> v);
+
+  /// The collapse (shrink) targets: for every i != minIndex, the point
+  /// shrink * theta_i + (1 - shrink) * theta_min (the paper's collapse is
+  /// shrink = 0.5).  Pairs of (index, new location).
+  [[nodiscard]] std::vector<std::pair<std::size_t, Point>> collapseTargets(
+      std::size_t minIndex, double shrink = 0.5) const;
+
+  /// Simplex "diameter" D (eq. 2.2): max pairwise Euclidean distance.
+  [[nodiscard]] double diameter() const;
+
+  /// Termination quantity of eq. 2.9: max_i |g_i - g_min| over current means.
+  [[nodiscard]] double valueSpread() const;
+
+  /// Mean of the current vertex estimates (the g-bar of eq. 2.3).
+  [[nodiscard]] double meanValue() const;
+
+  /// Internal variance of the vertex values: mean of (g_i - g-bar)^2.
+  /// This is the "internal variance of the vertices themselves" the MN
+  /// wait-gate compares the noise against.
+  [[nodiscard]] double internalVariance() const;
+
+  /// Largest sigma_i(t_i) over the simplex vertices, under ctx's SigmaMode.
+  [[nodiscard]] double maxSigma(const SamplingContext& ctx) const;
+
+  /// Contraction level l (section 2.2).
+  [[nodiscard]] int contractionLevel() const noexcept { return contractionLevel_; }
+  void noteExpansion() noexcept { --contractionLevel_; }
+  void noteContraction() noexcept { ++contractionLevel_; }
+  void noteCollapse() noexcept { contractionLevel_ += static_cast<int>(dimension()); }
+
+ private:
+  std::vector<std::unique_ptr<Vertex>> vertices_;
+  int contractionLevel_ = 0;
+};
+
+}  // namespace sfopt::core

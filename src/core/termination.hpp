@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace sfopt::core {
+
+/// Why an optimization run stopped.
+enum class TerminationReason {
+  Converged,      ///< eq. 2.9: all vertex values within tolerance of the min
+  TimeLimit,      ///< simulated wall-clock budget exhausted
+  IterationLimit, ///< simplex step budget exhausted
+  SampleLimit,    ///< total objective-sample budget exhausted
+};
+
+[[nodiscard]] constexpr std::string_view toString(TerminationReason r) noexcept {
+  switch (r) {
+    case TerminationReason::Converged: return "converged";
+    case TerminationReason::TimeLimit: return "time-limit";
+    case TerminationReason::IterationLimit: return "iteration-limit";
+    case TerminationReason::SampleLimit: return "sample-limit";
+  }
+  return "unknown";
+}
+
+/// The paper's two termination criteria (section 2.4.1) plus safety caps.
+/// A run stops as soon as ANY criterion fires.
+struct TerminationCriteria {
+  /// eq. 2.9 tolerance tau on max_i |g_i - g_min|; <= 0 disables.
+  double tolerance = 1e-8;
+  /// Simulated wall-time limit in seconds; infinity disables.
+  double maxTime = std::numeric_limits<double>::infinity();
+  /// Simplex iteration cap.
+  std::int64_t maxIterations = 100'000;
+  /// Total objective-sample cap; <= 0 disables.
+  std::int64_t maxSamples = 0;
+};
+
+}  // namespace sfopt::core

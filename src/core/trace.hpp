@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/point.hpp"
+
+namespace sfopt::core {
+
+/// Which simplex move an iteration ended with.
+enum class MoveKind : std::uint8_t {
+  Reflection,
+  Expansion,
+  Contraction,
+  Collapse,
+};
+
+[[nodiscard]] constexpr const char* toString(MoveKind m) noexcept {
+  switch (m) {
+    case MoveKind::Reflection: return "reflection";
+    case MoveKind::Expansion: return "expansion";
+    case MoveKind::Contraction: return "contraction";
+    case MoveKind::Collapse: return "collapse";
+  }
+  return "unknown";
+}
+
+/// One row of an optimization trace: the state after a simplex iteration.
+/// These records are the raw series behind the paper's function-value-vs-
+/// time plots (Fig 3.4) and the scale-up curves (Fig 3.18).
+struct StepRecord {
+  std::int64_t iteration = 0;
+  double time = 0.0;                      ///< simulated seconds at end of step
+  double bestEstimate = 0.0;              ///< min vertex mean
+  std::optional<double> bestTrue;         ///< noise-free value there, if known
+  double diameter = 0.0;                  ///< simplex diameter D
+  int contractionLevel = 0;               ///< level l
+  MoveKind move = MoveKind::Reflection;
+  std::int64_t totalSamples = 0;
+};
+
+/// Append-only record of an optimization run.
+class OptimizationTrace {
+ public:
+  void record(StepRecord r) { steps_.push_back(std::move(r)); }
+  [[nodiscard]] const std::vector<StepRecord>& steps() const noexcept { return steps_; }
+  [[nodiscard]] bool empty() const noexcept { return steps_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+
+ private:
+  std::vector<StepRecord> steps_;
+};
+
+}  // namespace sfopt::core

@@ -1,0 +1,28 @@
+#include "core/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sfopt::core {
+
+void writeTraceCsv(std::ostream& out, const OptimizationTrace& trace) {
+  out << "iteration,time,best_estimate,best_true,diameter,contraction_level,move,"
+         "total_samples\n";
+  out.precision(17);
+  for (const StepRecord& r : trace.steps()) {
+    out << r.iteration << ',' << r.time << ',' << r.bestEstimate << ',';
+    if (r.bestTrue) out << *r.bestTrue;
+    out << ',' << r.diameter << ',' << r.contractionLevel << ',' << toString(r.move) << ','
+        << r.totalSamples << '\n';
+  }
+}
+
+void saveTraceCsv(const std::filesystem::path& file, const OptimizationTrace& trace) {
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) throw std::runtime_error("saveTraceCsv: cannot open " + file.string());
+  writeTraceCsv(out, trace);
+  if (!out) throw std::runtime_error("saveTraceCsv: write failed for " + file.string());
+}
+
+}  // namespace sfopt::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/trace.hpp"
+
+namespace sfopt::core {
+
+/// Write a trace as CSV with a header row:
+///   iteration,time,best_estimate,best_true,diameter,contraction_level,move,total_samples
+/// Unknown true values are written as empty fields.  The format is the
+/// raw material of the paper's value-vs-time plots (gnuplot: `set datafile
+/// separator ','`).
+void writeTraceCsv(std::ostream& out, const OptimizationTrace& trace);
+
+/// File convenience wrapper.
+void saveTraceCsv(const std::filesystem::path& file, const OptimizationTrace& trace);
+
+}  // namespace sfopt::core

@@ -1,0 +1,184 @@
+#include "md/forces.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sfopt::md {
+
+namespace {
+
+/// Accumulate a pairwise force f on sites i (+f) and j (-f) and its virial.
+struct PairAccumulator {
+  WaterSystem& sys;
+  double virial = 0.0;
+
+  void apply(int i, int j, const Vec3& rij, const Vec3& f) {
+    sys.forces[static_cast<std::size_t>(i)] += f;
+    sys.forces[static_cast<std::size_t>(j)] -= f;
+    virial += dot(rij, f);
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Shared per-pair nonbonded kernel and the intramolecular terms; the two
+/// computeForces overloads differ only in how nonbonded pairs are
+/// enumerated.
+struct NonbondedKernel {
+  WaterSystem& sys;
+  PairAccumulator& acc;
+  ForceResult& out;
+  double rc;
+  double rc2;
+  double s2;
+  double eps;
+  double ljErc;
+  double ljFrc;
+
+  void operator()(int i, int j) const {
+    const Vec3 rij = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
+                                            sys.positions[static_cast<std::size_t>(j)]);
+    const double r2 = normSquared(rij);
+    if (r2 >= rc2) return;
+    const double r = std::sqrt(r2);
+
+    // Coulomb, force-shifted: V = C q q (1/r - 1/rc + (r - rc)/rc^2).
+    const double qq = kCoulomb * sys.chargeOf(i) * sys.chargeOf(j);
+    if (qq != 0.0) {
+      const double e = qq * (1.0 / r - 1.0 / rc + (r - rc) / rc2);
+      const double fMag = qq * (1.0 / r2 - 1.0 / rc2);  // -dV/dr
+      out.coulomb += e;
+      acc.apply(i, j, rij, rij * (fMag / r));
+    }
+
+    // Lennard-Jones on O-O pairs only, force-shifted.
+    if (sys.speciesOf(i) == Species::Oxygen && sys.speciesOf(j) == Species::Oxygen) {
+      const double inv2 = s2 / r2;
+      const double inv6 = inv2 * inv2 * inv2;
+      const double inv12 = inv6 * inv6;
+      const double e = 4.0 * eps * (inv12 - inv6);
+      const double fOverR = 24.0 * eps * (2.0 * inv12 - inv6) / r2;
+      const double eShifted = e - ljErc + ljFrc * (r - rc);
+      const double fMag = fOverR * r - ljFrc;  // force-shift
+      out.lennardJones += eShifted;
+      acc.apply(i, j, rij, rij * (fMag / r));
+    }
+  }
+};
+
+/// Intramolecular bonds and angle; identical in both overloads.
+void intramolecularForces(WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
+  const IntramolecularConstants& c = sys.intramolecular();
+  for (int m = 0; m < sys.molecules(); ++m) {
+    const int o = m * kSitesPerMolecule;
+    const int h1 = o + 1;
+    const int h2 = o + 2;
+    for (int h : {h1, h2}) {
+      const Vec3 d = sys.positions[static_cast<std::size_t>(h)] -
+                     sys.positions[static_cast<std::size_t>(o)];
+      const double r = norm(d);
+      const double dr = r - c.bondR0;
+      out.intramolecular += c.bondK * dr * dr;
+      const double fMag = -2.0 * c.bondK * dr;  // on the H, along +d
+      acc.apply(h, o, d, d * (fMag / r));
+    }
+    // Angle H1-O-H2.
+    const Vec3 a = sys.positions[static_cast<std::size_t>(h1)] -
+                   sys.positions[static_cast<std::size_t>(o)];
+    const Vec3 b = sys.positions[static_cast<std::size_t>(h2)] -
+                   sys.positions[static_cast<std::size_t>(o)];
+    const double ra = norm(a);
+    const double rb = norm(b);
+    double cosT = dot(a, b) / (ra * rb);
+    cosT = std::clamp(cosT, -1.0, 1.0);
+    const double theta = std::acos(cosT);
+    const double dTheta = theta - c.angleTheta0;
+    out.intramolecular += c.angleK * dTheta * dTheta;
+    const double sinT = std::sqrt(std::max(1.0 - cosT * cosT, 1e-12));
+    const double coeff = 2.0 * c.angleK * dTheta / sinT;  // dV/d(cos theta)
+    const Vec3 dCosDa = (b * (1.0 / (ra * rb))) - (a * (cosT / (ra * ra)));
+    const Vec3 dCosDb = (a * (1.0 / (ra * rb))) - (b * (cosT / (rb * rb)));
+    const Vec3 fH1 = coeff * dCosDa;
+    const Vec3 fH2 = coeff * dCosDb;
+    sys.forces[static_cast<std::size_t>(h1)] += fH1;
+    sys.forces[static_cast<std::size_t>(h2)] += fH2;
+    sys.forces[static_cast<std::size_t>(o)] -= fH1 + fH2;
+    acc.virial += dot(a, fH1) + dot(b, fH2);
+  }
+}
+
+NonbondedKernel makeKernel(WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
+  const WaterParameters& p = sys.parameters();
+  const double rc = sys.cutoff();
+  const double rc2 = rc * rc;
+  const double s2 = p.sigma * p.sigma;
+  // Shifted-force terms at the cutoff.
+  const double inv2 = s2 / rc2;
+  const double inv6 = inv2 * inv2 * inv2;
+  const double inv12 = inv6 * inv6;
+  const double ljErc = 4.0 * p.epsilon * (inv12 - inv6);
+  const double ljFrcOverRc = 24.0 * p.epsilon * (2.0 * inv12 - inv6) / rc2;
+  return NonbondedKernel{sys, acc, out, rc, rc2, s2, p.epsilon, ljErc, ljFrcOverRc * rc};
+}
+
+}  // namespace
+
+ForceResult computeForces(WaterSystem& sys) {
+  ForceResult out;
+  for (auto& f : sys.forces) f = Vec3{};
+  PairAccumulator acc{sys};
+  const NonbondedKernel kernel = makeKernel(sys, acc, out);
+  const int n = sys.sites();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
+      kernel(i, j);
+    }
+  }
+  intramolecularForces(sys, acc, out);
+  out.potential = out.lennardJones + out.coulomb + out.intramolecular;
+  out.virial = acc.virial;
+  return out;
+}
+
+ForceResult computeForces(WaterSystem& sys, const NeighborList& list) {
+  ForceResult out;
+  for (auto& f : sys.forces) f = Vec3{};
+  PairAccumulator acc{sys};
+  const NonbondedKernel kernel = makeKernel(sys, acc, out);
+  for (const auto& [i, j] : list.pairs()) {
+    kernel(i, j);
+  }
+  intramolecularForces(sys, acc, out);
+  out.potential = out.lennardJones + out.coulomb + out.intramolecular;
+  out.virial = acc.virial;
+  return out;
+}
+
+TailCorrections ljTailCorrections(const WaterSystem& sys) {
+  const WaterParameters& p = sys.parameters();
+  const double rc = sys.cutoff();
+  const double rho = static_cast<double>(sys.molecules()) / sys.box().volume();
+  const double sr3 = std::pow(p.sigma / rc, 3.0);
+  const double sr9 = sr3 * sr3 * sr3;
+  const double s3 = p.sigma * p.sigma * p.sigma;
+  TailCorrections t;
+  t.energyKcalPerMol = 8.0 / 3.0 * std::numbers::pi * rho *
+                       static_cast<double>(sys.molecules()) * p.epsilon * s3 *
+                       (sr9 / 3.0 - sr3);
+  t.pressureAtm = 16.0 / 3.0 * std::numbers::pi * rho * rho * p.epsilon * s3 *
+                  (2.0 / 3.0 * sr9 - sr3) * kKcalPerMolPerA3InAtm;
+  return t;
+}
+
+double pressureAtm(const WaterSystem& sys, double virialKcalPerMol) {
+  const double volume = sys.box().volume();
+  const double kinetic = sys.kineticEnergy();
+  const double pKcal = (2.0 * kinetic + virialKcalPerMol) / (3.0 * volume);
+  return pKcal * kKcalPerMolPerA3InAtm;
+}
+
+}  // namespace sfopt::md

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+
+namespace sfopt::md {
+
+/// Energy/virial decomposition of one force evaluation.
+struct ForceResult {
+  double potential = 0.0;       ///< total potential energy, kcal/mol
+  double lennardJones = 0.0;    ///< O-O LJ part
+  double coulomb = 0.0;         ///< site-site electrostatic part
+  double intramolecular = 0.0;  ///< bond + angle part
+  double virial = 0.0;          ///< sum over pairs of r . F, kcal/mol
+};
+
+/// Compute forces into sys.forces (overwriting) and return the energy
+/// decomposition.
+///
+/// Interactions:
+///  * O-O Lennard-Jones with the parameters under optimization, truncated
+///    and force-shifted at the cutoff (continuous energy and force, so NVE
+///    drift stays small);
+///  * site-site Coulomb (qO = -2 qH) with the same force-shifted
+///    truncation — the standard minimum-image shifted-force electrostatics
+///    of compact MD codes;
+///  * harmonic O-H bonds and H-O-H angle (flexible SPC/Fw-style geometry).
+/// Intramolecular site pairs are excluded from the nonbonded terms.
+[[nodiscard]] ForceResult computeForces(WaterSystem& sys);
+
+/// Same computation, but the nonbonded loop walks only the neighbor
+/// list's pairs (the list must be current: call list.update(sys) first).
+/// Identical results to the all-pairs path whenever the list radius
+/// covers the cutoff — pinned down by the equivalence tests.
+[[nodiscard]] ForceResult computeForces(WaterSystem& sys, const NeighborList& list);
+
+/// Instantaneous virial pressure in atm:
+///   P = (2 K + W) / (3 V)   with K kinetic energy and W the virial.
+[[nodiscard]] double pressureAtm(const WaterSystem& sys, double virialKcalPerMol);
+
+/// Standard homogeneous-fluid Lennard-Jones tail corrections beyond the
+/// cutoff (Allen & Tildesley): assuming g(r) = 1 for r > rc,
+///   U_tail = (8/3) pi rho N eps sigma^3 [ (1/3)(sigma/rc)^9 - (sigma/rc)^3 ]
+///   P_tail = (16/3) pi rho^2  eps sigma^3 [ (2/3)(sigma/rc)^9 - (sigma/rc)^3 ]
+/// with rho the OXYGEN number density (LJ acts on O-O pairs only).
+struct TailCorrections {
+  double energyKcalPerMol = 0.0;  ///< whole-box energy correction
+  double pressureAtm = 0.0;       ///< pressure correction
+};
+[[nodiscard]] TailCorrections ljTailCorrections(const WaterSystem& sys);
+
+}  // namespace sfopt::md

@@ -1,0 +1,49 @@
+#include "md/neighbor_list.hpp"
+
+#include <stdexcept>
+
+namespace sfopt::md {
+
+NeighborList::NeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {
+  if (!(cutoff > 0.0)) throw std::invalid_argument("NeighborList: cutoff must be positive");
+  if (!(skin > 0.0)) throw std::invalid_argument("NeighborList: skin must be positive");
+}
+
+void NeighborList::rebuild(const WaterSystem& sys) {
+  const double listRadius = cutoff_ + skin_;
+  if (listRadius > sys.box().edge() / 2.0) {
+    throw std::invalid_argument("NeighborList: cutoff + skin exceeds half the box edge");
+  }
+  const double r2 = listRadius * listRadius;
+  const int n = sys.sites();
+  pairs_.clear();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
+      const Vec3 d = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
+                                            sys.positions[static_cast<std::size_t>(j)]);
+      if (normSquared(d) < r2) pairs_.emplace_back(i, j);
+    }
+  }
+  referencePositions_ = sys.positions;
+  ++rebuilds_;
+}
+
+bool NeighborList::needsRebuild(const WaterSystem& sys) const {
+  if (referencePositions_.size() != sys.positions.size()) return true;
+  const double limit2 = (skin_ / 2.0) * (skin_ / 2.0);
+  for (std::size_t i = 0; i < sys.positions.size(); ++i) {
+    // Unwrapped coordinates: plain displacement is the true drift.
+    const Vec3 d = sys.positions[i] - referencePositions_[i];
+    if (normSquared(d) > limit2) return true;
+  }
+  return false;
+}
+
+bool NeighborList::update(const WaterSystem& sys) {
+  if (!needsRebuild(sys)) return false;
+  rebuild(sys);
+  return true;
+}
+
+}  // namespace sfopt::md

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace sfopt::md {
+
+/// Verlet neighbor list: the intermolecular site pairs within
+/// cutoff + skin, rebuilt only when some site has moved more than skin/2
+/// since the last rebuild (the classic sufficient condition for no pair
+/// inside the cutoff to be missing from the list).
+///
+/// The rebuild is an O(N^2) sweep — fine at this engine's system sizes
+/// (hundreds of sites); the payoff is the force loop touching only O(N)
+/// listed pairs per step instead of all N^2/2 candidates.
+class NeighborList {
+ public:
+  /// skin > 0; effective list radius is cutoff + skin.
+  NeighborList(double cutoff, double skin);
+
+  /// Rebuild from the system's current positions.
+  void rebuild(const WaterSystem& sys);
+
+  /// Has any site moved more than skin/2 since the last rebuild?
+  /// (Always true before the first rebuild.)
+  [[nodiscard]] bool needsRebuild(const WaterSystem& sys) const;
+
+  /// Rebuild if needed; returns true when a rebuild happened.
+  bool update(const WaterSystem& sys);
+
+  [[nodiscard]] const std::vector<std::pair<int, int>>& pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+  [[nodiscard]] double skin() const noexcept { return skin_; }
+  [[nodiscard]] std::int64_t rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  double cutoff_;
+  double skin_;
+  std::vector<std::pair<int, int>> pairs_;
+  std::vector<Vec3> referencePositions_;
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace sfopt::md

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace sfopt::md {
+
+/// Which radial distribution function a curve describes.
+enum class PairKind : std::uint8_t { OO = 0, OH = 1, HH = 2 };
+
+/// A sampled g(r) curve on a uniform r grid.
+struct RdfCurve {
+  std::vector<double> r;  ///< bin centers, Angstrom
+  std::vector<double> g;  ///< g(r)
+};
+
+/// Accumulates intermolecular pair-distance histograms over frames and
+/// normalizes them into the three water radial distribution functions
+/// (g_OO, g_OH, g_HH) that enter the paper's cost function (eq. 3.5).
+class RdfAccumulator {
+ public:
+  RdfAccumulator(double rMax, int bins);
+
+  /// Bin all intermolecular site pairs of the current frame.
+  void addFrame(const WaterSystem& sys);
+
+  [[nodiscard]] int frames() const noexcept { return frames_; }
+
+  /// Normalized g(r) for a pair kind.  Requires at least one frame.
+  [[nodiscard]] RdfCurve curve(PairKind kind, const WaterSystem& sys) const;
+
+ private:
+  double rMax_;
+  double dr_;
+  int bins_;
+  int frames_ = 0;
+  std::vector<std::uint64_t> histOO_;
+  std::vector<std::uint64_t> histOH_;
+  std::vector<std::uint64_t> histHH_;
+};
+
+/// Accumulates oxygen mean-square displacement against the starting frame
+/// and extracts the self-diffusion coefficient via the Einstein relation
+/// D = MSD / (6 t), reported in cm^2/s as the paper's tables do.
+class MsdAccumulator {
+ public:
+  explicit MsdAccumulator(const WaterSystem& sys);
+
+  /// Record the current frame at simulated time tPs.
+  void addFrame(const WaterSystem& sys, double tPs);
+
+  /// Least-squares slope of MSD(t) over the recorded frames, converted to
+  /// cm^2/s.  Requires at least 2 frames.
+  [[nodiscard]] double diffusionCm2PerS() const;
+
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+  [[nodiscard]] const std::vector<double>& msd() const noexcept { return msd_; }
+
+ private:
+  std::vector<Vec3> start_;
+  std::vector<double> times_;
+  std::vector<double> msd_;
+};
+
+/// Root-mean-square difference between a sampled curve and a reference
+/// curve on the same grid over [rMin, rMax] — the curve-to-scalar
+/// reduction of eq. 3.5.
+[[nodiscard]] double rdfResidual(const RdfCurve& sampled, const RdfCurve& reference,
+                                 double rMin, double rMax);
+
+}  // namespace sfopt::md

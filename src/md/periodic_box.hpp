@@ -1,0 +1,41 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "md/vec3.hpp"
+
+namespace sfopt::md {
+
+/// Cubic periodic simulation cell with minimum-image convention.
+class PeriodicBox {
+ public:
+  explicit PeriodicBox(double edge) : edge_(edge), inv_(1.0 / edge) {
+    if (!(edge > 0.0)) throw std::invalid_argument("PeriodicBox: edge must be positive");
+  }
+
+  [[nodiscard]] double edge() const noexcept { return edge_; }
+  [[nodiscard]] double volume() const noexcept { return edge_ * edge_ * edge_; }
+
+  /// Minimum-image displacement a - b.
+  [[nodiscard]] Vec3 minimumImage(const Vec3& a, const Vec3& b) const noexcept {
+    Vec3 d = a - b;
+    d.x -= edge_ * std::nearbyint(d.x * inv_);
+    d.y -= edge_ * std::nearbyint(d.y * inv_);
+    d.z -= edge_ * std::nearbyint(d.z * inv_);
+    return d;
+  }
+
+  /// Wrap a position into [0, edge)^3.
+  [[nodiscard]] Vec3 wrap(Vec3 p) const noexcept {
+    p.x -= edge_ * std::floor(p.x * inv_);
+    p.y -= edge_ * std::floor(p.y * inv_);
+    p.z -= edge_ * std::floor(p.z * inv_);
+    return p;
+  }
+
+ private:
+  double edge_;
+  double inv_;
+};
+
+}  // namespace sfopt::md

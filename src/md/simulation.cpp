@@ -1,0 +1,110 @@
+#include "md/simulation.hpp"
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "md/forces.hpp"
+#include "md/integrator.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/welford.hpp"
+
+namespace sfopt::md {
+
+WaterObservables simulateWater(const WaterParameters& params, const SimulationConfig& config) {
+  if (config.equilibrationSteps < 0 || config.productionSteps < 1) {
+    throw std::invalid_argument("simulateWater: bad step counts");
+  }
+  if (config.sampleEvery < 1) throw std::invalid_argument("simulateWater: sampleEvery >= 1");
+
+  WaterSystem sys = buildWaterLattice(config.molecules, config.densityGramsPerCc,
+                                      config.temperatureK, params, config.cutoff, config.seed);
+
+  // Neighbor-list feasibility: lists need cutoff + skin under half the box
+  // edge; fall back to the all-pairs path when the skin cannot fit.
+  double skin = config.neighborSkin;
+  bool useList = config.useNeighborList;
+  if (useList) {
+    const double room = sys.box().edge() / 2.0 - config.cutoff;
+    if (skin <= 0.0) skin = std::min(1.0, room * 0.9);
+    if (skin <= 0.05) useList = false;
+  }
+  const auto integratorOptions = [&](double targetT) {
+    VelocityVerlet::Options o;
+    o.dtPs = config.dtPs;
+    o.targetTemperatureK = targetT;
+    o.berendsenTauPs = config.berendsenTauPs;
+    o.useNeighborList = useList;
+    o.neighborSkin = skin;
+    return o;
+  };
+
+  // Phase 1: NVT equilibration with Berendsen coupling.  The lattice start
+  // carries excess potential energy that converts to heat as the structure
+  // relaxes, so the early phase also hard-rescales periodically — standard
+  // practice for cold starts.
+  {
+    VelocityVerlet integrator(sys, integratorOptions(config.temperatureK));
+    constexpr int kRescalePeriod = 25;
+    int remaining = config.equilibrationSteps;
+    while (remaining > 0) {
+      const int chunk = std::min(remaining, kRescalePeriod);
+      (void)integrator.run(chunk);
+      sys.rescaleTo(config.temperatureK);
+      remaining -= chunk;
+    }
+  }
+  sys.zeroMomentum();
+  sys.rescaleTo(config.temperatureK);
+
+  // Phase 2: NVE production with property sampling.
+  WaterObservables out;
+  {
+    VelocityVerlet integrator(sys, integratorOptions(0.0));
+
+    RdfAccumulator rdf(config.rdfRMax, config.rdfBins);
+    MsdAccumulator msd(sys);
+    stats::Welford potential;
+    stats::Welford pressure;
+    stats::Welford temperature;
+    std::vector<double> potentialSeries;
+    potentialSeries.reserve(static_cast<std::size_t>(config.productionSteps /
+                                                     config.sampleEvery + 1));
+
+    const double e0 = integrator.lastForces().potential + sys.kineticEnergy();
+    double eLast = e0;
+    for (int step = 1; step <= config.productionSteps; ++step) {
+      const ForceResult f = integrator.step();
+      if (step % config.sampleEvery == 0) {
+        potential.add(f.potential / sys.molecules());
+        potentialSeries.push_back(f.potential / sys.molecules());
+        pressure.add(pressureAtm(sys, f.virial));
+        temperature.add(sys.temperature());
+        rdf.addFrame(sys);
+        msd.addFrame(sys, step * config.dtPs);
+        eLast = f.potential + sys.kineticEnergy();
+      }
+    }
+    out.potentialPerMoleculeKcal = potential.mean();
+    out.pressureAtm = pressure.mean();
+    if (config.applyTailCorrections) {
+      const TailCorrections tail = ljTailCorrections(sys);
+      out.potentialPerMoleculeKcal += tail.energyKcalPerMol / sys.molecules();
+      out.pressureAtm += tail.pressureAtm;
+    }
+    out.temperatureK = temperature.mean();
+    out.diffusionCm2PerS = msd.diffusionCm2PerS();
+    out.gOO = rdf.curve(PairKind::OO, sys);
+    out.gOH = rdf.curve(PairKind::OH, sys);
+    out.gHH = rdf.curve(PairKind::HH, sys);
+    out.productionFrames = rdf.frames();
+    if (potentialSeries.size() >= 16) {
+      out.potentialInefficiency = stats::statisticalInefficiency(potentialSeries);
+      out.potentialStandardError = stats::blockedStandardError(potentialSeries);
+    }
+    const double elapsedPs = config.productionSteps * config.dtPs;
+    out.nveDriftKcalPerPs = elapsedPs > 0.0 ? (eLast - e0) / elapsedPs : 0.0;
+  }
+  return out;
+}
+
+}  // namespace sfopt::md

@@ -1,0 +1,138 @@
+#include "md/system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "noise/rng.hpp"
+
+namespace sfopt::md {
+
+namespace {
+
+/// Rotate v by angle about (unit) axis using Rodrigues' formula.
+Vec3 rotate(const Vec3& v, const Vec3& axis, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return v * c + cross(axis, v) * s + axis * (dot(axis, v) * (1.0 - c));
+}
+
+Vec3 randomUnitVector(noise::RngStream& rng) {
+  // Marsaglia rejection on the sphere.
+  for (;;) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    const double s = a * a + b * b;
+    if (s >= 1.0) continue;
+    const double t = 2.0 * std::sqrt(1.0 - s);
+    return {a * t, b * t, 1.0 - 2.0 * s};
+  }
+}
+
+}  // namespace
+
+WaterSystem::WaterSystem(int molecules, PeriodicBox box, WaterParameters params,
+                         IntramolecularConstants intra, double cutoff)
+    : molecules_(molecules),
+      box_(box),
+      params_(params),
+      intra_(intra),
+      cutoff_(cutoff) {
+  if (molecules < 2) throw std::invalid_argument("WaterSystem: need at least 2 molecules");
+  if (!(cutoff > 0.0)) throw std::invalid_argument("WaterSystem: cutoff must be positive");
+  if (cutoff > box_.edge() / 2.0) {
+    throw std::invalid_argument("WaterSystem: cutoff exceeds half the box edge");
+  }
+  positions.assign(static_cast<std::size_t>(sites()), Vec3{});
+  velocities.assign(static_cast<std::size_t>(sites()), Vec3{});
+  forces.assign(static_cast<std::size_t>(sites()), Vec3{});
+}
+
+double WaterSystem::kineticEnergy() const noexcept {
+  double twoKe = 0.0;  // amu A^2 / ps^2
+  for (int i = 0; i < sites(); ++i) {
+    twoKe += massOf(i) * normSquared(velocities[static_cast<std::size_t>(i)]);
+  }
+  return 0.5 * twoKe / kKcalPerMolInMdUnits;
+}
+
+double WaterSystem::temperature() const noexcept {
+  const double dof = 3.0 * sites() - 3.0;
+  return 2.0 * kineticEnergy() / (dof * kBoltzmann);
+}
+
+void WaterSystem::zeroMomentum() noexcept {
+  Vec3 p{};
+  double m = 0.0;
+  for (int i = 0; i < sites(); ++i) {
+    p += massOf(i) * velocities[static_cast<std::size_t>(i)];
+    m += massOf(i);
+  }
+  const Vec3 vcm = p * (1.0 / m);
+  for (auto& v : velocities) v -= vcm;
+}
+
+void WaterSystem::thermalizeVelocities(double temperatureK, std::uint64_t seed) {
+  noise::RngStream rng(seed, 0xFEED);
+  for (int i = 0; i < sites(); ++i) {
+    // sigma_v = sqrt(kB T / m) in A/ps with the kcal/mol conversion.
+    const double sv = std::sqrt(kBoltzmann * temperatureK * kKcalPerMolInMdUnits / massOf(i));
+    velocities[static_cast<std::size_t>(i)] = {sv * rng.gaussian(), sv * rng.gaussian(),
+                                               sv * rng.gaussian()};
+  }
+  zeroMomentum();
+  rescaleTo(temperatureK);
+}
+
+void WaterSystem::rescaleTo(double temperatureK) noexcept {
+  const double t = temperature();
+  if (t <= 0.0) return;
+  const double s = std::sqrt(temperatureK / t);
+  for (auto& v : velocities) v *= s;
+}
+
+WaterSystem buildWaterLattice(int molecules, double densityGramsPerCc, double temperatureK,
+                              WaterParameters params, double cutoff, std::uint64_t seed,
+                              IntramolecularConstants intra) {
+  if (!(densityGramsPerCc > 0.0)) {
+    throw std::invalid_argument("buildWaterLattice: density must be positive");
+  }
+  // Number density in A^-3: rho * N_A / M_w with the unit folding
+  // rho[g/cc] * 0.602214 / 18.0154.
+  const double numberDensity = densityGramsPerCc * 0.602214076 / 18.01528;
+  const double volume = static_cast<double>(molecules) / numberDensity;
+  const double edge = std::cbrt(volume);
+  PeriodicBox box(edge);
+  WaterSystem sys(molecules, box, params, intra, cutoff);
+
+  // Smallest cubic lattice that fits all molecules.
+  int perSide = 1;
+  while (perSide * perSide * perSide < molecules) ++perSide;
+  const double spacing = edge / static_cast<double>(perSide);
+
+  noise::RngStream rng(seed, 0xC0FFEE);
+  const double half = intra.angleTheta0 / 2.0;
+  // Reference internal geometry: O at origin, H's in a plane.
+  const Vec3 h1Ref{intra.bondR0 * std::sin(half), intra.bondR0 * std::cos(half), 0.0};
+  const Vec3 h2Ref{-intra.bondR0 * std::sin(half), intra.bondR0 * std::cos(half), 0.0};
+
+  int placed = 0;
+  for (int ix = 0; ix < perSide && placed < molecules; ++ix) {
+    for (int iy = 0; iy < perSide && placed < molecules; ++iy) {
+      for (int iz = 0; iz < perSide && placed < molecules; ++iz) {
+        const Vec3 center{(ix + 0.5) * spacing, (iy + 0.5) * spacing, (iz + 0.5) * spacing};
+        const Vec3 axis = randomUnitVector(rng);
+        const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        const auto base = static_cast<std::size_t>(placed * kSitesPerMolecule);
+        sys.positions[base] = center;
+        sys.positions[base + 1] = center + rotate(h1Ref, axis, angle);
+        sys.positions[base + 2] = center + rotate(h2Ref, axis, angle);
+        ++placed;
+      }
+    }
+  }
+  sys.thermalizeVelocities(temperatureK, seed);
+  return sys;
+}
+
+}  // namespace sfopt::md

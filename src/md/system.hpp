@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/periodic_box.hpp"
+#include "md/vec3.hpp"
+#include "md/water_model.hpp"
+
+namespace sfopt::md {
+
+/// Site indexing: molecule m owns sites 3m (O), 3m+1 (H1), 3m+2 (H2).
+inline constexpr int kSitesPerMolecule = 3;
+
+enum class Species : std::uint8_t { Oxygen = 0, Hydrogen = 1 };
+
+/// The full dynamical state of a box of flexible 3-site water.
+///
+/// Positions are kept *unwrapped* (they drift across periodic images) so
+/// that mean-square displacements are trivially correct; the force loop
+/// applies minimum image, and wrapped coordinates are derived on demand.
+class WaterSystem {
+ public:
+  WaterSystem(int molecules, PeriodicBox box, WaterParameters params,
+              IntramolecularConstants intra, double cutoff);
+
+  [[nodiscard]] int molecules() const noexcept { return molecules_; }
+  [[nodiscard]] int sites() const noexcept { return molecules_ * kSitesPerMolecule; }
+  [[nodiscard]] const PeriodicBox& box() const noexcept { return box_; }
+  [[nodiscard]] const WaterParameters& parameters() const noexcept { return params_; }
+  [[nodiscard]] const IntramolecularConstants& intramolecular() const noexcept { return intra_; }
+  [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
+
+  [[nodiscard]] Species speciesOf(int site) const noexcept {
+    return site % kSitesPerMolecule == 0 ? Species::Oxygen : Species::Hydrogen;
+  }
+  [[nodiscard]] int moleculeOf(int site) const noexcept { return site / kSitesPerMolecule; }
+  [[nodiscard]] double massOf(int site) const noexcept {
+    return speciesOf(site) == Species::Oxygen ? kMassO : kMassH;
+  }
+  /// Site charge: O carries -2 qH, each H carries +qH.
+  [[nodiscard]] double chargeOf(int site) const noexcept {
+    return speciesOf(site) == Species::Oxygen ? -2.0 * params_.qH : params_.qH;
+  }
+
+  std::vector<Vec3> positions;   ///< unwrapped, size sites()
+  std::vector<Vec3> velocities;  ///< A/ps
+  std::vector<Vec3> forces;      ///< kcal/mol/A
+
+  /// Kinetic energy in kcal/mol (whole box).
+  [[nodiscard]] double kineticEnergy() const noexcept;
+
+  /// Instantaneous temperature (K); dof = 3*sites - 3 (COM momentum fixed).
+  [[nodiscard]] double temperature() const noexcept;
+
+  /// Remove center-of-mass momentum.
+  void zeroMomentum() noexcept;
+
+  /// Draw Maxwell-Boltzmann velocities at T and remove COM drift.
+  void thermalizeVelocities(double temperatureK, std::uint64_t seed);
+
+  /// Rescale velocities to exactly the target temperature.
+  void rescaleTo(double temperatureK) noexcept;
+
+ private:
+  int molecules_;
+  PeriodicBox box_;
+  WaterParameters params_;
+  IntramolecularConstants intra_;
+  double cutoff_;
+};
+
+/// Build a box of `molecules` waters at the given mass density (g/cm^3),
+/// placed on a simple cubic lattice with random orientations, equilibrium
+/// internal geometry and Maxwell-Boltzmann velocities at `temperatureK`.
+[[nodiscard]] WaterSystem buildWaterLattice(int molecules, double densityGramsPerCc,
+                                            double temperatureK, WaterParameters params,
+                                            double cutoff, std::uint64_t seed,
+                                            IntramolecularConstants intra = {});
+
+}  // namespace sfopt::md

@@ -1,0 +1,72 @@
+#include "md/trajectory.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfopt::md {
+
+void writeXyzFrame(std::ostream& out, const WaterSystem& sys, const std::string& comment) {
+  out << sys.sites() << "\n" << comment << "\n";
+  out.precision(8);
+  out.setf(std::ios::fixed);
+  for (int i = 0; i < sys.sites(); ++i) {
+    const Vec3 p = sys.box().wrap(sys.positions[static_cast<std::size_t>(i)]);
+    out << (sys.speciesOf(i) == Species::Oxygen ? "O" : "H") << " " << p.x << " " << p.y
+        << " " << p.z << "\n";
+  }
+}
+
+std::vector<XyzFrame> readXyzFrames(std::istream& in) {
+  std::vector<XyzFrame> frames;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank separators between frames.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    int count = 0;
+    try {
+      count = std::stoi(line);
+    } catch (const std::exception&) {
+      throw std::runtime_error("readXyzFrames: expected atom count, got '" + line + "'");
+    }
+    if (count < 0) throw std::runtime_error("readXyzFrames: negative atom count");
+    XyzFrame frame;
+    if (!std::getline(in, frame.comment)) {
+      throw std::runtime_error("readXyzFrames: missing comment line");
+    }
+    frame.elements.reserve(static_cast<std::size_t>(count));
+    frame.positions.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) {
+        throw std::runtime_error("readXyzFrames: frame truncated");
+      }
+      std::istringstream ss(line);
+      std::string element;
+      Vec3 p;
+      if (!(ss >> element >> p.x >> p.y >> p.z)) {
+        throw std::runtime_error("readXyzFrames: malformed atom line '" + line + "'");
+      }
+      frame.elements.push_back(std::move(element));
+      frame.positions.push_back(p);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+XyzTrajectoryWriter::XyzTrajectoryWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("XyzTrajectoryWriter: cannot open " + path.string());
+  }
+}
+
+void XyzTrajectoryWriter::writeFrame(const WaterSystem& sys, double timePs) {
+  std::ostringstream comment;
+  comment << "t = " << timePs << " ps";
+  writeXyzFrame(out_, sys, comment.str());
+  out_.flush();
+  ++frames_;
+}
+
+}  // namespace sfopt::md

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace sfopt::md {
+
+/// One frame of an XYZ trajectory.
+struct XyzFrame {
+  std::string comment;
+  std::vector<std::string> elements;
+  std::vector<Vec3> positions;
+};
+
+/// Write the system's current configuration as one XYZ frame (positions
+/// wrapped into the primary cell, element symbols O/H per site).
+void writeXyzFrame(std::ostream& out, const WaterSystem& sys, const std::string& comment);
+
+/// Parse every frame of an XYZ stream.  Throws std::runtime_error on
+/// malformed input (bad atom counts, short frames, unparsable numbers).
+[[nodiscard]] std::vector<XyzFrame> readXyzFrames(std::istream& in);
+
+/// File-backed appending trajectory writer.
+class XyzTrajectoryWriter {
+ public:
+  explicit XyzTrajectoryWriter(const std::filesystem::path& path);
+
+  /// Append one frame; the comment records the simulated time.
+  void writeFrame(const WaterSystem& sys, double timePs);
+
+  [[nodiscard]] int framesWritten() const noexcept { return frames_; }
+
+ private:
+  std::ofstream out_;
+  int frames_ = 0;
+};
+
+}  // namespace sfopt::md

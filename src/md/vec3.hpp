@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+
+namespace sfopt::md {
+
+/// Minimal 3-vector for the molecular dynamics engine.  Deliberately a
+/// plain aggregate: the force loops are the hot path and must stay
+/// transparent to the optimizer.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+[[nodiscard]] constexpr double dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+[[nodiscard]] constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+[[nodiscard]] constexpr double normSquared(const Vec3& a) noexcept { return dot(a, a); }
+
+[[nodiscard]] inline double norm(const Vec3& a) noexcept { return std::sqrt(normSquared(a)); }
+
+[[nodiscard]] inline Vec3 normalized(const Vec3& a) noexcept {
+  const double n = norm(a);
+  return n > 0.0 ? a * (1.0 / n) : Vec3{};
+}
+
+}  // namespace sfopt::md

@@ -1,0 +1,45 @@
+#pragma once
+
+namespace sfopt::md {
+
+// ---------------------------------------------------------------------------
+// Unit system: length in Angstrom, mass in amu, time in picoseconds,
+// energy in kcal/mol.  Conversions below reconcile force/acceleration units.
+// ---------------------------------------------------------------------------
+
+/// 1 kcal/mol expressed in amu * A^2 / ps^2.
+inline constexpr double kKcalPerMolInMdUnits = 418.4;
+/// Boltzmann constant in kcal/mol/K.
+inline constexpr double kBoltzmann = 0.0019872041;
+/// Coulomb constant in kcal * A / (mol * e^2).
+inline constexpr double kCoulomb = 332.06371;
+/// Atomic masses (amu).
+inline constexpr double kMassO = 15.9994;
+inline constexpr double kMassH = 1.008;
+/// Pressure conversion: kcal/mol/A^3 -> atm.
+inline constexpr double kKcalPerMolPerA3InAtm = 68568.4;
+
+/// The three force-field parameters the paper optimizes for TIP4P-class
+/// water models (Fig 3.19): the oxygen Lennard-Jones well depth and size,
+/// and the hydrogen partial charge (oxygen carries -2 qH).
+struct WaterParameters {
+  double epsilon = 0.1550;  ///< kcal/mol (published TIP4P)
+  double sigma = 3.1536;    ///< Angstrom (published TIP4P)
+  double qH = 0.5200;       ///< |e| (published TIP4P)
+};
+
+/// Intramolecular flexibility constants (SPC/Fw-style): the MD engine uses
+/// a flexible 3-site geometry so that rigid-body constraint algebra is not
+/// needed; the substitution is documented in DESIGN.md.
+struct IntramolecularConstants {
+  double bondR0 = 1.012;      ///< A, O-H equilibrium length
+  double bondK = 1059.162;    ///< kcal/mol/A^2 (harmonic, V = k (r - r0)^2)
+  double angleTheta0 = 1.97662;  ///< rad (113.24 deg), H-O-H equilibrium
+  double angleK = 75.90;      ///< kcal/mol/rad^2 (harmonic)
+};
+
+/// Published TIP4P reference parameters (Jorgensen et al. 1983), used as
+/// the benchmark anchor throughout the application study.
+[[nodiscard]] constexpr WaterParameters tip4pPublished() noexcept { return {}; }
+
+}  // namespace sfopt::md

@@ -1,0 +1,85 @@
+#include "mw/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfopt::mw {
+
+CommWorld::CommWorld(int size) {
+  if (size < 1) throw std::invalid_argument("CommWorld: size must be >= 1");
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void CommWorld::checkRank(Rank r, const char* what) const {
+  if (r < 0 || r >= size()) {
+    throw std::out_of_range(std::string("CommWorld::") + what + ": rank out of range");
+  }
+}
+
+bool CommWorld::matches(const Message& m, Rank source, int tag) noexcept {
+  return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+}
+
+void CommWorld::send(Rank from, Rank to, int tag, MessageBuffer payload) {
+  checkRank(from, "send(from)");
+  checkRank(to, "send(to)");
+  {
+    std::lock_guard lock(statsMutex_);
+    ++messagesSent_;
+    bytesSent_ += payload.sizeBytes();
+  }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(Message{from, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+Message CommWorld::recv(Rank at, Rank source, int tag) {
+  checkRank(at, "recv");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(at)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                                 [&](const Message& m) { return matches(m, source, tag); });
+    if (it != box.queue.end()) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<Message> CommWorld::tryRecv(Rank at, Rank source, int tag) {
+  checkRank(at, "tryRecv");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(at)];
+  std::lock_guard lock(box.mutex);
+  const auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                               [&](const Message& m) { return matches(m, source, tag); });
+  if (it == box.queue.end()) return std::nullopt;
+  Message m = std::move(*it);
+  box.queue.erase(it);
+  return m;
+}
+
+std::size_t CommWorld::queuedAt(Rank at) const {
+  checkRank(at, "queuedAt");
+  const Mailbox& box = *boxes_[static_cast<std::size_t>(at)];
+  std::lock_guard lock(box.mutex);
+  return box.queue.size();
+}
+
+std::uint64_t CommWorld::messagesSent() const noexcept {
+  std::lock_guard lock(statsMutex_);
+  return messagesSent_;
+}
+
+std::uint64_t CommWorld::bytesSent() const noexcept {
+  std::lock_guard lock(statsMutex_);
+  return bytesSent_;
+}
+
+}  // namespace sfopt::mw

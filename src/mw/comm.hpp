@@ -1,0 +1,79 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mw/message_buffer.hpp"
+
+namespace sfopt::mw {
+
+/// Rank within a CommWorld.  Rank 0 is conventionally the master.
+using Rank = int;
+
+/// Matches any source rank or any tag in recv().
+inline constexpr Rank kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A received (or in-flight) message: payload plus envelope.
+struct Message {
+  Rank source = 0;
+  int tag = 0;
+  MessageBuffer payload;
+};
+
+/// In-process message-passing "world": N ranks, each with a mailbox of
+/// tagged messages, point-to-point send/recv with MPI-like any-source /
+/// any-tag matching.  This is the transport under the re-implemented MW
+/// classes; the API is deliberately shaped so a cluster port could swap in
+/// MPI_Send/MPI_Recv without touching the MW layer.
+///
+/// Thread-safety: each rank is intended to be driven by one thread, but
+/// sends may target any rank from any thread.
+class CommWorld {
+ public:
+  explicit CommWorld(int size);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(boxes_.size()); }
+
+  /// Deliver `payload` to `to`'s mailbox with the given tag, recording
+  /// `from` as the source.  Never blocks (mailboxes are unbounded).
+  void send(Rank from, Rank to, int tag, MessageBuffer payload);
+
+  /// Block until a message matching (source, tag) arrives at `at`; remove
+  /// and return it.  kAnySource / kAnyTag match anything.
+  [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe-and-take: returns nullopt when no matching message
+  /// is queued.
+  [[nodiscard]] std::optional<Message> tryRecv(Rank at, Rank source = kAnySource,
+                                               int tag = kAnyTag);
+
+  /// Number of queued messages at a rank (diagnostics).
+  [[nodiscard]] std::size_t queuedAt(Rank at) const;
+
+  /// Total messages and bytes ever sent (for the scale-up accounting).
+  [[nodiscard]] std::uint64_t messagesSent() const noexcept;
+  [[nodiscard]] std::uint64_t bytesSent() const noexcept;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void checkRank(Rank r, const char* what) const;
+  static bool matches(const Message& m, Rank source, int tag) noexcept;
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  mutable std::mutex statsMutex_;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t bytesSent_ = 0;
+};
+
+}  // namespace sfopt::mw

@@ -1,0 +1,77 @@
+#include "mw/machinefile.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sfopt::mw {
+
+std::vector<ProcessorSlot> parseMachinefile(std::istream& in) {
+  std::vector<ProcessorSlot> slots;
+  std::unordered_map<std::string, int> perHost;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim and skip blanks/comments.
+    std::istringstream ss(line);
+    std::string host;
+    if (!(ss >> host)) continue;
+    if (host.front() == '#') continue;
+    slots.push_back(ProcessorSlot{host, perHost[host]++});
+  }
+  return slots;
+}
+
+std::vector<ProcessorSlot> parseMachinefile(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("parseMachinefile: cannot open " + file.string());
+  return parseMachinefile(in);
+}
+
+MachinefileScheduler::MachinefileScheduler(std::vector<ProcessorSlot> slots)
+    : slots_(std::move(slots)) {
+  if (slots_.empty()) {
+    throw std::invalid_argument("MachinefileScheduler: empty machinefile");
+  }
+}
+
+MachinefileScheduler::Plan MachinefileScheduler::plan(
+    const ProcessorAllocation& allocation) const {
+  const auto needed = static_cast<std::size_t>(allocation.totalCores());
+  if (slots_.size() < needed) {
+    throw std::runtime_error("MachinefileScheduler: machinefile provides " +
+                             std::to_string(slots_.size()) + " slots, deployment needs " +
+                             std::to_string(needed));
+  }
+  Plan plan;
+  std::size_t next = 0;
+  plan.master = slots_[next++];
+  const auto workers = static_cast<std::size_t>(allocation.workers());
+  const auto clients = static_cast<std::size_t>(allocation.simulationsPerVertex);
+  plan.workers.reserve(workers);
+  // The paper's order: workers first, then each worker's client-server
+  // block from the next available slots.
+  for (std::size_t w = 0; w < workers; ++w) {
+    WorkerAssignment a;
+    a.worker = slots_[next++];
+    plan.workers.push_back(std::move(a));
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    WorkerAssignment& a = plan.workers[w];
+    a.server = slots_[next++];
+    a.clients.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) a.clients.push_back(slots_[next++]);
+  }
+  return plan;
+}
+
+const MachinefileScheduler::WorkerAssignment& MachinefileScheduler::restartAssignment(
+    const Plan& plan, std::size_t workerIndex) {
+  if (workerIndex >= plan.workers.size()) {
+    throw std::out_of_range("MachinefileScheduler::restartAssignment");
+  }
+  return plan.workers[workerIndex];
+}
+
+}  // namespace sfopt::mw

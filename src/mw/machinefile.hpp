@@ -1,0 +1,65 @@
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mw/processor_allocation.hpp"
+
+namespace sfopt::mw {
+
+/// One processor slot from a PBS machinefile: the host name and the slot's
+/// ordinal on that host.
+struct ProcessorSlot {
+  std::string host;
+  int slotOnHost = 0;
+
+  friend bool operator==(const ProcessorSlot&, const ProcessorSlot&) = default;
+};
+
+/// Parse a PBS $PBS_NODEFILE: one hostname per line, with a node's slots
+/// appearing as repeated lines (8 entries per node on the paper's
+/// cluster).  Blank lines and '#' comments are skipped.
+[[nodiscard]] std::vector<ProcessorSlot> parseMachinefile(std::istream& in);
+[[nodiscard]] std::vector<ProcessorSlot> parseMachinefile(const std::filesystem::path& file);
+
+/// The paper's in-program scheduling (section 4.2, "Job Scheduling"): PBS
+/// provides the machinefile; the framework itself walks it in order,
+/// giving one slot to the master, the next d+3 to the workers, and each
+/// worker's client-server job the next Ns+1 slots.  "When a worker is
+/// restarted by the master it is restarted on the same processors" — so
+/// assignments are stable for the lifetime of the run.
+class MachinefileScheduler {
+ public:
+  explicit MachinefileScheduler(std::vector<ProcessorSlot> slots);
+
+  /// Per-worker slice of the plan.
+  struct WorkerAssignment {
+    ProcessorSlot worker;
+    ProcessorSlot server;
+    std::vector<ProcessorSlot> clients;
+  };
+
+  struct Plan {
+    ProcessorSlot master;
+    std::vector<WorkerAssignment> workers;
+  };
+
+  /// Build the full assignment for a deployment; throws when the
+  /// machinefile has fewer slots than allocation.totalCores().
+  [[nodiscard]] Plan plan(const ProcessorAllocation& allocation) const;
+
+  /// Slots available in the machinefile.
+  [[nodiscard]] std::size_t slotCount() const noexcept { return slots_.size(); }
+
+  /// Restart assignment for worker i of a plan: the same slots, by the
+  /// paper's rule.
+  [[nodiscard]] static const WorkerAssignment& restartAssignment(const Plan& plan,
+                                                                 std::size_t workerIndex);
+
+ private:
+  std::vector<ProcessorSlot> slots_;
+};
+
+}  // namespace sfopt::mw

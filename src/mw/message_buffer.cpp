@@ -1,0 +1,106 @@
+#include "mw/message_buffer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sfopt::mw {
+
+MessageBuffer::MessageBuffer(std::vector<std::byte> wire) : bytes_(std::move(wire)) {}
+
+void MessageBuffer::putTag(Tag t) {
+  bytes_.push_back(static_cast<std::byte>(t));
+}
+
+void MessageBuffer::expectTag(Tag t) {
+  if (cursor_ >= bytes_.size()) {
+    throw std::runtime_error("MessageBuffer: unpack past end of buffer");
+  }
+  const auto got = static_cast<Tag>(bytes_[cursor_]);
+  ++cursor_;
+  if (got != t) {
+    throw std::runtime_error("MessageBuffer: type/order mismatch while unpacking");
+  }
+}
+
+void MessageBuffer::putRaw(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  bytes_.insert(bytes_.end(), b, b + n);
+}
+
+void MessageBuffer::getRaw(void* p, std::size_t n) {
+  if (cursor_ + n > bytes_.size()) {
+    throw std::runtime_error("MessageBuffer: unpack past end of buffer");
+  }
+  std::memcpy(p, bytes_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+void MessageBuffer::pack(double v) {
+  putTag(Tag::Double);
+  putRaw(&v, sizeof v);
+}
+
+void MessageBuffer::pack(std::int64_t v) {
+  putTag(Tag::Int64);
+  putRaw(&v, sizeof v);
+}
+
+void MessageBuffer::pack(std::uint64_t v) {
+  putTag(Tag::Uint64);
+  putRaw(&v, sizeof v);
+}
+
+void MessageBuffer::pack(const std::string& v) {
+  putTag(Tag::String);
+  const std::uint64_t n = v.size();
+  putRaw(&n, sizeof n);
+  putRaw(v.data(), v.size());
+}
+
+void MessageBuffer::pack(std::span<const double> v) {
+  putTag(Tag::DoubleVector);
+  const std::uint64_t n = v.size();
+  putRaw(&n, sizeof n);
+  putRaw(v.data(), v.size_bytes());
+}
+
+double MessageBuffer::unpackDouble() {
+  expectTag(Tag::Double);
+  double v = 0.0;
+  getRaw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t MessageBuffer::unpackInt64() {
+  expectTag(Tag::Int64);
+  std::int64_t v = 0;
+  getRaw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t MessageBuffer::unpackUint64() {
+  expectTag(Tag::Uint64);
+  std::uint64_t v = 0;
+  getRaw(&v, sizeof v);
+  return v;
+}
+
+std::string MessageBuffer::unpackString() {
+  expectTag(Tag::String);
+  std::uint64_t n = 0;
+  getRaw(&n, sizeof n);
+  std::string v(n, '\0');
+  getRaw(v.data(), n);
+  return v;
+}
+
+std::vector<double> MessageBuffer::unpackDoubleVector() {
+  expectTag(Tag::DoubleVector);
+  std::uint64_t n = 0;
+  getRaw(&n, sizeof n);
+  std::vector<double> v(n);
+  getRaw(v.data(), n * sizeof(double));
+  return v;
+}
+
+}  // namespace sfopt::mw

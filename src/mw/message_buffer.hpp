@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfopt::mw {
+
+/// Typed, self-describing marshaling buffer — the re-implementation of the
+/// MW framework's MWRMComm pack/unpack discipline.  Values are packed in
+/// order with a type tag; unpacking in a different order or with a
+/// different type throws, catching protocol bugs at the boundary instead
+/// of corrupting task state.
+///
+/// The wire format is a flat byte vector, so a buffer can be handed to any
+/// transport (the in-process mailboxes here, or a real MPI_Send in a
+/// cluster port of the comm layer).
+class MessageBuffer {
+ public:
+  MessageBuffer() = default;
+
+  /// Adopt received bytes for unpacking.
+  explicit MessageBuffer(std::vector<std::byte> wire);
+
+  // -- packing ------------------------------------------------------------
+  void pack(double v);
+  void pack(std::int64_t v);
+  void pack(std::uint64_t v);
+  void pack(const std::string& v);
+  void pack(std::span<const double> v);
+
+  // -- unpacking (throws std::runtime_error on type/order mismatch) -------
+  [[nodiscard]] double unpackDouble();
+  [[nodiscard]] std::int64_t unpackInt64();
+  [[nodiscard]] std::uint64_t unpackUint64();
+  [[nodiscard]] std::string unpackString();
+  [[nodiscard]] std::vector<double> unpackDoubleVector();
+
+  /// True when every packed value has been unpacked.
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= bytes_.size(); }
+
+  /// The wire representation (for transports).
+  [[nodiscard]] const std::vector<std::byte>& wire() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::byte> releaseWire() noexcept { return std::move(bytes_); }
+
+  [[nodiscard]] std::size_t sizeBytes() const noexcept { return bytes_.size(); }
+
+ private:
+  enum class Tag : std::uint8_t {
+    Double = 1,
+    Int64 = 2,
+    Uint64 = 3,
+    String = 4,
+    DoubleVector = 5,
+  };
+
+  void putTag(Tag t);
+  void expectTag(Tag t);
+  void putRaw(const void* p, std::size_t n);
+  void getRaw(void* p, std::size_t n);
+
+  std::vector<std::byte> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sfopt::mw

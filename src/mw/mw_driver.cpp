@@ -1,0 +1,149 @@
+#include "mw/mw_driver.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sfopt::mw {
+
+MWDriver::MWDriver(CommWorld& comm) : comm_(comm) {
+  if (comm_.size() < 2) {
+    throw std::invalid_argument("MWDriver: need at least one worker rank");
+  }
+}
+
+std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> inputs) {
+  if (shutDown_) throw std::logic_error("MWDriver: already shut down");
+  const std::size_t n = inputs.size();
+  std::vector<MessageBuffer> results(n);
+  if (n == 0) return results;
+
+  // Per-task state: the framed wire (kept for requeue on worker failure),
+  // the result slot, retry count, and the last worker that failed it.
+  struct TaskState {
+    std::vector<std::byte> wire;
+    std::size_t slot = 0;
+    int retries = 0;
+    Rank lastFailedOn = -1;
+  };
+  std::unordered_map<std::uint64_t, TaskState> tasks;
+  std::deque<std::uint64_t> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t id = nextTaskId_++;
+    // Frame: task id, then the caller's payload bytes (the wire format is
+    // a flat byte stream, so splicing is a concatenation).
+    MessageBuffer framed;
+    framed.pack(id);
+    std::vector<std::byte> wire = framed.releaseWire();
+    const auto& tail = inputs[i].wire();
+    wire.insert(wire.end(), tail.begin(), tail.end());
+    tasks.emplace(id, TaskState{std::move(wire), i, 0, -1});
+    pending.push_back(id);
+  }
+
+  // Dynamic dispatch over explicit free/busy worker state.  A worker that
+  // failed a task is not handed the same task again while another pairing
+  // is possible; when every assignable pairing is excluded and nothing is
+  // in flight, the exclusion is waived so progress is guaranteed.
+  std::vector<bool> busy(static_cast<std::size_t>(comm_.size()), false);
+  int inFlight = 0;
+  auto assign = [&](Rank worker, std::size_t pendingIndex) {
+    const std::uint64_t id = pending[pendingIndex];
+    TaskState& st = tasks.at(id);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pendingIndex));
+    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
+    busy[static_cast<std::size_t>(worker)] = true;
+    ++inFlight;
+  };
+  auto dispatchAll = [&] {
+    bool progressed = true;
+    while (progressed && !pending.empty()) {
+      progressed = false;
+      for (Rank w = 1; w < comm_.size() && !pending.empty(); ++w) {
+        if (busy[static_cast<std::size_t>(w)]) continue;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          if (tasks.at(pending[i]).lastFailedOn == w) continue;
+          assign(w, i);
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed && inFlight == 0 && !pending.empty()) {
+        // Every remaining pairing is excluded and nobody is working:
+        // waive the exclusion for the first free worker.
+        for (Rank w = 1; w < comm_.size(); ++w) {
+          if (!busy[static_cast<std::size_t>(w)]) {
+            assign(w, 0);
+            progressed = true;
+            break;
+          }
+        }
+      }
+    }
+  };
+  dispatchAll();
+
+  std::size_t done = 0;
+  while (done < n) {
+    Message msg = comm_.recv(0);
+    if (msg.tag == kTagResult) {
+      const std::uint64_t id = msg.payload.unpackUint64();
+      const auto it = tasks.find(id);
+      if (it == tasks.end()) {
+        throw std::runtime_error("MWDriver: result for unknown task id");
+      }
+      results[it->second.slot] = std::move(msg.payload);
+      tasks.erase(it);
+      ++done;
+      ++tasksCompleted_;
+      --inFlight;
+      busy[static_cast<std::size_t>(msg.source)] = false;
+      dispatchAll();
+    } else if (msg.tag == kTagError) {
+      const std::uint64_t id = msg.payload.unpackUint64();
+      const std::string what = msg.payload.unpackString();
+      const auto it = tasks.find(id);
+      if (it == tasks.end()) {
+        throw std::runtime_error("MWDriver: error for unknown task id");
+      }
+      --inFlight;
+      ++tasksRequeued_;
+      busy[static_cast<std::size_t>(msg.source)] = false;
+      TaskState& st = it->second;
+      st.lastFailedOn = msg.source;
+      if (++st.retries > maxRetries_) {
+        throw std::runtime_error("MWDriver: task failed after " +
+                                 std::to_string(maxRetries_) + " retries: " + what);
+      }
+      pending.push_front(id);
+      dispatchAll();
+    }
+    // Stray tags are ignored.
+  }
+  return results;
+}
+
+void MWDriver::executeTasks(std::span<MWTask* const> tasks) {
+  std::vector<MessageBuffer> inputs;
+  inputs.reserve(tasks.size());
+  for (MWTask* t : tasks) {
+    if (t == nullptr) throw std::invalid_argument("MWDriver::executeTasks: null task");
+    MessageBuffer buf;
+    t->packInput(buf);
+    inputs.push_back(std::move(buf));
+  }
+  auto results = executeBuffers(std::move(inputs));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i]->unpackResult(results[i]);
+  }
+}
+
+void MWDriver::shutdown() {
+  if (shutDown_) return;
+  for (Rank w = 1; w < comm_.size(); ++w) {
+    comm_.send(0, w, kTagShutdown, MessageBuffer{});
+  }
+  shutDown_ = true;
+}
+
+}  // namespace sfopt::mw

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mw/comm.hpp"
+#include "mw/mw_task.hpp"
+
+namespace sfopt::mw {
+
+/// Re-implementation of the MW framework's MWDriver abstraction: the
+/// master process that "manages a set of workers to execute the tasks".
+///
+/// The driver lives at rank 0; workers occupy ranks 1..size-1.  Tasks are
+/// dispatched dynamically: every worker gets one task up front, and each
+/// completed result immediately frees its worker for the next queued task,
+/// so stragglers do not serialize the batch.
+class MWDriver {
+ public:
+  explicit MWDriver(CommWorld& comm);
+
+  /// Execute a batch of already-marshaled task inputs; returns the result
+  /// buffers in task order.  Blocks until every task completes.
+  [[nodiscard]] std::vector<MessageBuffer> executeBuffers(std::vector<MessageBuffer> inputs);
+
+  /// Typed convenience: marshal each task's input, execute the batch, and
+  /// unmarshal each result back into the same task objects.
+  void executeTasks(std::span<MWTask* const> tasks);
+
+  /// Send a shutdown message to every worker.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] int workerCount() const noexcept { return comm_.size() - 1; }
+  [[nodiscard]] std::uint64_t tasksCompleted() const noexcept { return tasksCompleted_; }
+
+  /// Times a task was requeued after a worker-side failure.
+  [[nodiscard]] std::uint64_t tasksRequeued() const noexcept { return tasksRequeued_; }
+
+  /// Per-task retry budget before executeBuffers gives up and throws.
+  void setMaxRetries(int retries) { maxRetries_ = retries; }
+  [[nodiscard]] int maxRetries() const noexcept { return maxRetries_; }
+
+ private:
+  CommWorld& comm_;
+  std::uint64_t nextTaskId_ = 1;
+  std::uint64_t tasksCompleted_ = 0;
+  std::uint64_t tasksRequeued_ = 0;
+  int maxRetries_ = 3;
+  bool shutDown_ = false;
+};
+
+}  // namespace sfopt::mw

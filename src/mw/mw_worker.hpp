@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "mw/comm.hpp"
+#include "mw/mw_task.hpp"
+
+namespace sfopt::mw {
+
+/// Re-implementation of the MW framework's MWWorker abstraction: "execute
+/// worker tasks, compute results, report results back, and wait for
+/// another task".
+///
+/// A concrete worker implements executeTask(); run() is the standard
+/// receive/execute/reply loop, terminated by a shutdown message from the
+/// master.  One worker instance is driven by one thread (or, in a cluster
+/// port, one process).
+class MWWorker {
+ public:
+  MWWorker(CommWorld& comm, Rank rank) : comm_(comm), rank_(rank) {}
+  virtual ~MWWorker() = default;
+
+  MWWorker(const MWWorker&) = delete;
+  MWWorker& operator=(const MWWorker&) = delete;
+
+  /// The worker main loop.  Returns after a shutdown message.  A failing
+  /// task (exception out of executeTask) is reported to the master with
+  /// kTagError so it can be requeued elsewhere; the worker itself stays up.
+  void run() {
+    for (;;) {
+      Message msg = comm_.recv(rank_);
+      if (msg.tag == kTagShutdown) return;
+      if (msg.tag != kTagTask) continue;  // ignore stray messages
+      const std::uint64_t taskId = msg.payload.unpackUint64();
+      MessageBuffer result;
+      result.pack(taskId);
+      try {
+        executeTask(msg.payload, result);
+      } catch (const std::exception& e) {
+        ++tasksFailed_;
+        MessageBuffer error;
+        error.pack(taskId);
+        error.pack(std::string(e.what()));
+        comm_.send(rank_, msg.source, kTagError, std::move(error));
+        continue;
+      }
+      ++tasksExecuted_;
+      comm_.send(rank_, msg.source, kTagResult, std::move(result));
+    }
+  }
+
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t tasksExecuted() const noexcept { return tasksExecuted_; }
+  [[nodiscard]] std::uint64_t tasksFailed() const noexcept { return tasksFailed_; }
+
+ protected:
+  /// Unpack the task input from `in`, compute, pack the result into `out`.
+  /// (The task id has already been consumed from `in` and echoed to `out`.)
+  virtual void executeTask(MessageBuffer& in, MessageBuffer& out) = 0;
+
+  [[nodiscard]] CommWorld& comm() noexcept { return comm_; }
+
+ private:
+  CommWorld& comm_;
+  Rank rank_;
+  std::uint64_t tasksExecuted_ = 0;
+  std::uint64_t tasksFailed_ = 0;
+};
+
+}  // namespace sfopt::mw

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+
+#include "core/algorithms.hpp"
+#include "mw/processor_allocation.hpp"
+#include "noise/stochastic_objective.hpp"
+
+namespace sfopt::mw {
+
+/// Any of the four simplex variants, selected by its options type.
+using AlgorithmOptions = std::variant<core::DetOptions, core::MaxNoiseOptions,
+                                      core::AndersonOptions, core::PCOptions>;
+
+/// Shape of the master-worker deployment.
+struct MWRunConfig {
+  /// Number of MW workers; 0 means the paper's d+3 (d+1 vertices plus two
+  /// trial vertices).
+  int workers = 0;
+  /// Ns: client simulations per vertex server.
+  int clientsPerWorker = 1;
+};
+
+/// Outcome of a master-worker optimization run: the optimization result
+/// plus the deployment and communication accounting reported in the
+/// paper's scale-up study.
+struct MWRunResult {
+  core::OptimizationResult optimization;
+  ProcessorAllocation allocation;
+  std::uint64_t messagesSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t tasksCompleted = 0;
+  double masterWallSeconds = 0.0;  ///< real (host) time spent, for Fig 3.18c
+};
+
+/// Run a simplex optimization with sampling farmed out over the MW
+/// master-worker runtime: rank 0 hosts the driver and the simplex logic,
+/// ranks 1..W host SamplingWorkers, each fronting a VertexServer with Ns
+/// clients.  Results are bitwise identical to the sequential run of the
+/// same options (counter-based noise), which the integration tests verify.
+[[nodiscard]] MWRunResult runSimplexOverMW(const noise::StochasticObjective& objective,
+                                           std::span<const core::Point> initial,
+                                           const AlgorithmOptions& options,
+                                           const MWRunConfig& config = {});
+
+}  // namespace sfopt::mw

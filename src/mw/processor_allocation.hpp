@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sfopt::mw {
+
+/// The processor-allocation arithmetic of the paper (section 3.1 and
+/// Table 3.3): a d-dimensional optimization with Ns simulations per vertex
+/// uses 1 master, d+3 workers (d+1 vertices plus 2 trial vertices), d+3
+/// servers and (d+3)*Ns clients, for a total of d*Ns + 3*Ns + 2*d + 7
+/// processor cores.
+struct ProcessorAllocation {
+  std::int64_t dimension = 0;          ///< d
+  std::int64_t simulationsPerVertex = 1;  ///< Ns
+
+  [[nodiscard]] std::int64_t masters() const noexcept { return 1; }
+  [[nodiscard]] std::int64_t workers() const noexcept { return dimension + 3; }
+  [[nodiscard]] std::int64_t servers() const noexcept { return dimension + 3; }
+  [[nodiscard]] std::int64_t clients() const noexcept {
+    return (dimension + 3) * simulationsPerVertex;
+  }
+  [[nodiscard]] std::int64_t totalCores() const noexcept {
+    return dimension * simulationsPerVertex + 3 * simulationsPerVertex + 2 * dimension + 7;
+  }
+
+  /// Sanity identity: total = master + workers + servers + clients.
+  [[nodiscard]] bool consistent() const noexcept {
+    return totalCores() == masters() + workers() + servers() + clients();
+  }
+};
+
+}  // namespace sfopt::mw

@@ -1,0 +1,65 @@
+#include "mw/sampling_service.hpp"
+
+namespace sfopt::mw {
+
+void SamplingTask::packInput(MessageBuffer& buf) const {
+  buf.pack(std::span<const double>(x_));
+  buf.pack(vertexId_);
+  buf.pack(startIndex_);
+  buf.pack(count_);
+}
+
+void SamplingTask::unpackInput(MessageBuffer& buf) {
+  x_ = buf.unpackDoubleVector();
+  vertexId_ = buf.unpackUint64();
+  startIndex_ = buf.unpackUint64();
+  count_ = buf.unpackInt64();
+}
+
+void SamplingTask::packResult(MessageBuffer& buf) const {
+  buf.pack(result_.count());
+  buf.pack(result_.mean());
+  buf.pack(result_.sumSquaredDeviations());
+}
+
+void SamplingTask::unpackResult(MessageBuffer& buf) {
+  const std::int64_t n = buf.unpackInt64();
+  const double mean = buf.unpackDouble();
+  const double m2 = buf.unpackDouble();
+  result_ = stats::Welford::fromMoments(n, mean, m2);
+}
+
+SamplingWorker::SamplingWorker(CommWorld& comm, Rank rank,
+                               const noise::StochasticObjective& objective, int clients)
+    : MWWorker(comm, rank), server_(objective, clients) {}
+
+void SamplingWorker::executeTask(MessageBuffer& in, MessageBuffer& out) {
+  SamplingTask task;
+  task.unpackInput(in);
+  const core::SamplingBackend::BatchRequest req{task.x(), task.vertexId(), task.startIndex(),
+                                                task.count()};
+  task.setResult(server_.runBatch(req));
+  task.packResult(out);
+}
+
+stats::Welford MWSamplingBackend::sampleBatch(const BatchRequest& request) {
+  const BatchRequest reqs[] = {request};
+  return sampleBatches(reqs).front();
+}
+
+std::vector<stats::Welford> MWSamplingBackend::sampleBatches(
+    std::span<const BatchRequest> requests) {
+  std::vector<SamplingTask> tasks;
+  tasks.reserve(requests.size());
+  for (const BatchRequest& r : requests) tasks.emplace_back(r);
+  std::vector<MWTask*> ptrs;
+  ptrs.reserve(tasks.size());
+  for (auto& t : tasks) ptrs.push_back(&t);
+  driver_.executeTasks(ptrs);
+  std::vector<stats::Welford> out;
+  out.reserve(tasks.size());
+  for (const auto& t : tasks) out.push_back(t.result());
+  return out;
+}
+
+}  // namespace sfopt::mw

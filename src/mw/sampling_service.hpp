@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/sampling_backend.hpp"
+#include "mw/mw_driver.hpp"
+#include "mw/mw_task.hpp"
+#include "mw/mw_worker.hpp"
+#include "mw/vertex_server.hpp"
+#include "noise/stochastic_objective.hpp"
+
+namespace sfopt::mw {
+
+/// The concrete MWTask of the optimization service: "evaluate `count`
+/// samples of the objective at x for noise stream vertexId, starting at
+/// startIndex", returning the partial Welford moments.
+class SamplingTask final : public MWTask {
+ public:
+  SamplingTask() = default;
+  explicit SamplingTask(core::SamplingBackend::BatchRequest request)
+      : x_(request.x.begin(), request.x.end()),
+        vertexId_(request.vertexId),
+        startIndex_(request.startIndex),
+        count_(request.count) {}
+
+  void packInput(MessageBuffer& buf) const override;
+  void unpackInput(MessageBuffer& buf) override;
+  void packResult(MessageBuffer& buf) const override;
+  void unpackResult(MessageBuffer& buf) override;
+
+  [[nodiscard]] const std::vector<double>& x() const noexcept { return x_; }
+  [[nodiscard]] std::uint64_t vertexId() const noexcept { return vertexId_; }
+  [[nodiscard]] std::uint64_t startIndex() const noexcept { return startIndex_; }
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] const stats::Welford& result() const noexcept { return result_; }
+  void setResult(stats::Welford w) noexcept { result_ = w; }
+
+ private:
+  std::vector<double> x_;
+  std::uint64_t vertexId_ = 0;
+  std::uint64_t startIndex_ = 0;
+  std::int64_t count_ = 0;
+  stats::Welford result_;
+};
+
+/// The concrete MWWorker of the optimization service: unpacks a
+/// SamplingTask, runs it through its VertexServer (which fans it out to
+/// Ns clients), and packs the merged moments back.
+class SamplingWorker final : public MWWorker {
+ public:
+  SamplingWorker(CommWorld& comm, Rank rank, const noise::StochasticObjective& objective,
+                 int clients);
+
+  [[nodiscard]] const VertexServer& server() const noexcept { return server_; }
+
+ protected:
+  void executeTask(MessageBuffer& in, MessageBuffer& out) override;
+
+ private:
+  VertexServer server_;
+};
+
+/// Bridges the optimization core to the MW runtime: every sampling batch
+/// the algorithms request becomes a SamplingTask executed on the worker
+/// pool.  Plug an instance into SamplingContext::Options::backend.
+class MWSamplingBackend final : public core::SamplingBackend {
+ public:
+  explicit MWSamplingBackend(MWDriver& driver) : driver_(driver) {}
+
+  [[nodiscard]] stats::Welford sampleBatch(const BatchRequest& request) override;
+  [[nodiscard]] std::vector<stats::Welford> sampleBatches(
+      std::span<const BatchRequest> requests) override;
+
+ private:
+  MWDriver& driver_;
+};
+
+}  // namespace sfopt::mw

@@ -1,0 +1,87 @@
+#include "mw/vertex_server.hpp"
+
+#include <stdexcept>
+
+namespace sfopt::mw {
+
+VertexServer::VertexServer(const noise::StochasticObjective& objective, int clients)
+    : objective_(objective) {
+  if (clients < 1) throw std::invalid_argument("VertexServer: clients must be >= 1");
+  const auto n = static_cast<std::size_t>(clients);
+  jobs_.resize(n);
+  partials_.resize(n);
+  clientSamples_.assign(n, 0);
+  clientGeneration_.assign(n, 0);
+  clients_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients_.emplace_back([this, i] { clientLoop(i); });
+  }
+}
+
+VertexServer::~VertexServer() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  jobReady_.notify_all();
+  for (auto& t : clients_) t.join();
+}
+
+stats::Welford VertexServer::runBatch(const core::SamplingBackend::BatchRequest& request) {
+  if (request.count < 0) throw std::invalid_argument("VertexServer::runBatch: negative count");
+  const auto n = clients_.size();
+  {
+    std::unique_lock lock(mutex_);
+    // Split into contiguous index ranges; the first (count % n) clients
+    // take one extra sample.
+    const std::int64_t base = request.count / static_cast<std::int64_t>(n);
+    const std::int64_t extra = request.count % static_cast<std::int64_t>(n);
+    std::uint64_t index = request.startIndex;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t take = base + (static_cast<std::int64_t>(i) < extra ? 1 : 0);
+      jobs_[i] = ClientJob{{request.x.begin(), request.x.end()}, request.vertexId, index, take};
+      partials_[i].reset();
+      index += static_cast<std::uint64_t>(take);
+    }
+    ++generation_;
+    remaining_ = static_cast<int>(n);
+    jobReady_.notify_all();
+    jobDone_.wait(lock, [this] { return remaining_ == 0; });
+    stats::Welford merged;
+    for (const auto& p : partials_) merged.merge(p);
+    return merged;
+  }
+}
+
+void VertexServer::clientLoop(std::size_t clientIndex) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    ClientJob job;
+    {
+      std::unique_lock lock(mutex_);
+      jobReady_.wait(lock, [&] { return stopping_ || generation_ > seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = jobs_[clientIndex];
+    }
+    // The "simulation": sample the objective outside the lock.
+    stats::Welford partial;
+    for (std::int64_t i = 0; i < job.count; ++i) {
+      const noise::SampleKey key{job.vertexId, job.startIndex + static_cast<std::uint64_t>(i)};
+      partial.add(objective_.sample(job.x, key));
+    }
+    {
+      std::lock_guard lock(mutex_);
+      partials_[clientIndex] = partial;
+      clientSamples_[clientIndex] += job.count;
+      if (--remaining_ == 0) jobDone_.notify_all();
+    }
+  }
+}
+
+std::vector<std::int64_t> VertexServer::clientSampleCounts() const {
+  std::lock_guard lock(mutex_);
+  return clientSamples_;
+}
+
+}  // namespace sfopt::mw

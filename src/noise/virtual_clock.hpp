@@ -1,0 +1,32 @@
+#pragma once
+
+#include <stdexcept>
+
+namespace sfopt::noise {
+
+/// Simulated wall-clock.
+///
+/// The paper tunes its noise amplitude so that real simplex updates take
+/// ~10^4 wall seconds; reproducing that literally is pointless.  Instead
+/// every sample of the objective carries a *simulated* duration, and all
+/// time axes (Fig 3.4, Fig 3.18) are expressed in these simulated seconds.
+/// Concurrency is modeled explicitly: when the d+3 workers sample their
+/// vertices simultaneously, the caller advances the clock by the *maximum*
+/// of the per-worker durations, not the sum (see SamplingContext).
+class VirtualClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Advance by dt simulated seconds.  dt must be non-negative.
+  void advance(double dt) {
+    if (dt < 0.0) throw std::invalid_argument("VirtualClock::advance: negative dt");
+    now_ += dt;
+  }
+
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace sfopt::noise

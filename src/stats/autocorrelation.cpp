@@ -1,0 +1,81 @@
+#include "stats/autocorrelation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace sfopt::stats {
+
+std::vector<double> autocorrelation(const std::vector<double>& series, std::size_t maxLag) {
+  if (series.size() < maxLag + 2) {
+    throw std::invalid_argument("autocorrelation: series shorter than maxLag + 2");
+  }
+  const std::size_t n = series.size();
+  Welford w;
+  for (double x : series) w.add(x);
+  const double mean = w.mean();
+  // Biased (1/n) covariance normalization, the standard choice: it keeps
+  // the estimated spectrum positive semi-definite.
+  double c0 = 0.0;
+  for (double x : series) c0 += (x - mean) * (x - mean);
+  c0 /= static_cast<double>(n);
+  if (c0 <= 0.0) {
+    throw std::invalid_argument("autocorrelation: series has zero variance");
+  }
+  std::vector<double> rho(maxLag + 1, 0.0);
+  for (std::size_t k = 0; k <= maxLag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = 0; t + k < n; ++t) {
+      ck += (series[t] - mean) * (series[t + k] - mean);
+    }
+    ck /= static_cast<double>(n);
+    rho[k] = ck / c0;
+  }
+  return rho;
+}
+
+double integratedAutocorrelationTime(const std::vector<double>& series, double windowFactor) {
+  if (series.size() < 8) {
+    throw std::invalid_argument("integratedAutocorrelationTime: series too short");
+  }
+  const std::size_t maxLag = std::min<std::size_t>(series.size() / 4, 2000);
+  const auto rho = autocorrelation(series, maxLag);
+  double tau = 1.0;
+  for (std::size_t k = 1; k <= maxLag; ++k) {
+    if (rho[k] <= 0.0) break;  // noise floor reached
+    tau += 2.0 * rho[k];
+    // Self-consistent window: stop summing once the window is several
+    // times tau (Sokal's criterion) — beyond it only noise accumulates.
+    if (static_cast<double>(k) >= windowFactor * tau) break;
+  }
+  return std::max(tau, 1.0);
+}
+
+double statisticalInefficiency(const std::vector<double>& series) {
+  return integratedAutocorrelationTime(series);
+}
+
+double blockedStandardError(const std::vector<double>& series, std::size_t minBlocks) {
+  if (series.size() < std::max<std::size_t>(minBlocks, 4)) {
+    throw std::invalid_argument("blockedStandardError: series too short");
+  }
+  std::vector<double> blocks = series;
+  double best = 0.0;
+  while (blocks.size() >= std::max<std::size_t>(minBlocks, 4)) {
+    Welford w;
+    for (double b : blocks) w.add(b);
+    best = std::max(best, w.standardError());
+    // Pair-block for the next level.
+    std::vector<double> next;
+    next.reserve(blocks.size() / 2);
+    for (std::size_t i = 0; i + 1 < blocks.size(); i += 2) {
+      next.push_back(0.5 * (blocks[i] + blocks[i + 1]));
+    }
+    blocks = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace sfopt::stats

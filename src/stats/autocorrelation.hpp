@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfopt::stats {
+
+/// Normalized autocorrelation function of a time series:
+///   rho(k) = Cov[x_t, x_{t+k}] / Var[x]
+/// for k = 0..maxLag.  rho(0) == 1 by construction.  Throws when the
+/// series is shorter than maxLag + 2 or has zero variance.
+[[nodiscard]] std::vector<double> autocorrelation(const std::vector<double>& series,
+                                                  std::size_t maxLag);
+
+/// Integrated autocorrelation time
+///   tau = 1 + 2 * sum_k rho(k)
+/// with the standard self-consistent window cutoff (sum until the first
+/// non-positive rho, or window > c * tau).  For an i.i.d. series tau ~ 1;
+/// for an AR(1) process with coefficient phi, tau = (1+phi)/(1-phi).
+[[nodiscard]] double integratedAutocorrelationTime(const std::vector<double>& series,
+                                                   double windowFactor = 5.0);
+
+/// Statistical inefficiency g = tau: the factor by which correlated
+/// samples are fewer than they look.  The effective sample count of a
+/// series is n / g, and the honest standard error of its mean is
+/// sqrt(g * Var / n) — this is what the molecular-dynamics objective must
+/// use for the paper's sigma(t), since successive MD frames are strongly
+/// correlated.
+[[nodiscard]] double statisticalInefficiency(const std::vector<double>& series);
+
+/// Block-averaging (Flyvbjerg-Petersen) estimate of the standard error of
+/// the mean of a correlated series: the series is repeatedly pair-blocked
+/// and the naive standard error recomputed until it plateaus; the largest
+/// estimate across block levels (with at least `minBlocks` blocks) is
+/// returned.  Agrees with sqrt(g * Var / n) on well-behaved series and is
+/// robust when the autocorrelation tail is hard to sum.
+[[nodiscard]] double blockedStandardError(const std::vector<double>& series,
+                                          std::size_t minBlocks = 16);
+
+}  // namespace sfopt::stats

@@ -1,0 +1,93 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfopt::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins < 1) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (std::isnan(x)) {
+    ++overflow_;  // NaNs are counted but kept out of the bins.
+    return;
+  }
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    // The top edge is inclusive so that add(hi) does not overflow.
+    if (x == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / binWidth_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::addAll(const std::vector<double>& xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::binCenter(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::binCenter");
+  return lo_ + (static_cast<double>(bin) + 0.5) * binWidth_;
+}
+
+Histogram::Balance Histogram::balanceAroundZero() const noexcept {
+  Balance b;
+  if (total_ == 0) return b;
+  const double half = binWidth_ / 2.0;
+  std::size_t below = underflow_;
+  std::size_t near = 0;
+  std::size_t above = overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = binCenter(i);
+    if (c < -half) {
+      below += counts_[i];
+    } else if (c > half) {
+      above += counts_[i];
+    } else {
+      near += counts_[i];
+    }
+  }
+  const auto t = static_cast<double>(total_);
+  b.below = static_cast<double>(below) / t;
+  b.near = static_cast<double>(near) / t;
+  b.above = static_cast<double>(above) / t;
+  return b;
+}
+
+std::string Histogram::asciiRender(std::size_t width) const {
+  std::size_t maxCount = 1;
+  for (std::size_t c : counts_) maxCount = std::max(maxCount, c);
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  if (underflow_ > 0) out << "  < " << lo_ << " : " << underflow_ << "\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double l = lo_ + static_cast<double>(i) * binWidth_;
+    const double r = l + binWidth_;
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                     static_cast<double>(maxCount)));
+    out << "  [" << l << ", " << r << ") " << counts_[i] << " \t|";
+    out << std::string(bar, '#') << "\n";
+  }
+  if (overflow_ > 0) out << "  > " << hi_ << " : " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace sfopt::stats

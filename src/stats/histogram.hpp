@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfopt::stats {
+
+/// Fixed-width binned histogram over a closed interval, with underflow and
+/// overflow buckets.  This is the structure behind the "count vs
+/// log10(min A / min B)" panels of Figures 3.5-3.17 of the paper.
+class Histogram {
+ public:
+  /// Create a histogram covering [lo, hi] with `bins` equal-width bins.
+  /// Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Record one observation.  Values outside [lo, hi] land in the
+  /// underflow/overflow buckets.
+  void add(double x) noexcept;
+
+  /// Record many observations.
+  void addAll(const std::vector<double>& xs) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t binCount() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Center of bin i.
+  [[nodiscard]] double binCenter(std::size_t bin) const;
+
+  /// Fraction of observations strictly below zero / equal-ish to zero
+  /// (|x| < halfBinWidth) / strictly above. Useful for summarizing the
+  /// "who wins" shape of a log-ratio histogram.
+  struct Balance {
+    double below = 0.0;
+    double near = 0.0;
+    double above = 0.0;
+  };
+  [[nodiscard]] Balance balanceAroundZero() const noexcept;
+
+  /// Render as an aligned ASCII bar chart, one row per bin:
+  ///   [-4.0, -3.0)   12 |############
+  /// `width` scales the longest bar.
+  [[nodiscard]] std::string asciiRender(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double binWidth_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sfopt::stats

@@ -1,0 +1,26 @@
+#include "stats/performance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfopt::stats {
+
+double euclideanDistance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("euclideanDistance: dimension mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double euclideanNorm(std::span<const double> a) {
+  double s = 0.0;
+  for (double v : a) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace sfopt::stats

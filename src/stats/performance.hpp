@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sfopt::stats {
+
+/// The three performance measures the paper adopts from Anderson et al.
+/// (section 3.2) to score a stochastic optimization run:
+///   N - number of simplex iterations to convergence,
+///   R - error in the (true, noise-free) function value at convergence,
+///   D - Euclidean distance from the best vertex to the known solution.
+struct PerformanceMeasures {
+  std::int64_t iterations = 0;  ///< N
+  double functionError = 0.0;   ///< R
+  double distance = 0.0;        ///< D
+};
+
+/// Euclidean distance between two points of equal dimension.
+[[nodiscard]] double euclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double euclideanNorm(std::span<const double> a);
+
+}  // namespace sfopt::stats

@@ -1,0 +1,41 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace sfopt::stats {
+
+Summary::Summary(std::vector<double> values) : sorted_(std::move(values)) {
+  if (sorted_.empty()) throw std::invalid_argument("Summary: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  Welford w;
+  for (double v : sorted_) w.add(v);
+  mean_ = w.mean();
+  stddev_ = sorted_.size() > 1 ? w.stddev() : 0.0;
+}
+
+double Summary::percentile(double p) const {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Summary::percentile: p out of range");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double logRatio(double a, double b, double clamp) {
+  constexpr double kTiny = 1e-300;
+  const double aa = std::fabs(a);
+  const double bb = std::fabs(b);
+  if (aa < kTiny && bb < kTiny) return 0.0;
+  if (aa < kTiny) return -clamp;
+  if (bb < kTiny) return clamp;
+  const double r = std::log10(aa / bb);
+  return std::clamp(r, -clamp, clamp);
+}
+
+}  // namespace sfopt::stats

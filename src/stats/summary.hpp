@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfopt::stats {
+
+/// Order statistics and moments of a finite sample, computed eagerly.
+/// Convenience for bench harnesses that report distribution summaries.
+class Summary {
+ public:
+  /// Builds the summary; the input need not be sorted. Throws on empty input.
+  explicit Summary(std::vector<double> values);
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+/// log10(a/b) with guards: returns 0 when both are ~0 (tie at the optimum),
+/// and clamps to +/-`clamp` when one side is ~0 but not the other.  This is
+/// exactly the quantity plotted in the paper's pairwise comparison figures,
+/// where both minima can legitimately reach 0.
+[[nodiscard]] double logRatio(double a, double b, double clamp = 16.0);
+
+}  // namespace sfopt::stats

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sfopt::stats {
+
+/// Numerically stable running mean / variance accumulator (Welford's method).
+///
+/// Used throughout the library to estimate the mean objective value at a
+/// simplex vertex and the standard error of that mean from the stream of
+/// noisy samples, without storing the samples themselves.
+class Welford {
+ public:
+  /// Incorporate one observation.
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Merge another accumulator into this one (parallel reduction step).
+  /// The result is identical (up to rounding) to having observed both
+  /// streams in a single accumulator.
+  void merge(const Welford& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+  }
+
+  /// Number of observations so far.
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); +inf when n < 2 so that a
+  /// barely-sampled vertex is always treated as "too noisy to trust".
+  [[nodiscard]] double variance() const noexcept {
+    if (n_ < 2) return std::numeric_limits<double>::infinity();
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+
+  /// Sample standard deviation of the observations.
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean: s / sqrt(n).  This is the sigma_i(t_i)
+  /// the stochastic simplex algorithms reason about.
+  [[nodiscard]] double standardError() const noexcept {
+    if (n_ < 2) return std::numeric_limits<double>::infinity();
+    return std::sqrt(variance() / static_cast<double>(n_));
+  }
+
+  /// Sum of squared deviations from the mean (the raw M2 moment); exposed
+  /// for serialization across the master-worker wire.
+  [[nodiscard]] double sumSquaredDeviations() const noexcept { return m2_; }
+
+  /// Rebuild an accumulator from its serialized moments.
+  [[nodiscard]] static Welford fromMoments(std::int64_t n, double mean, double m2) noexcept {
+    Welford w;
+    w.n_ = n;
+    w.mean_ = mean;
+    w.m2_ = m2;
+    return w;
+  }
+
+  /// Reset to the empty state.
+  void reset() noexcept { *this = Welford{}; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sfopt::stats

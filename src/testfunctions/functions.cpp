@@ -1,0 +1,75 @@
+#include "testfunctions/functions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sfopt::testfunctions {
+
+double rosenbrock(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("rosenbrock: needs d >= 2");
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double a = 1.0 - x[i - 1];
+    const double b = x[i] - x[i - 1] * x[i - 1];
+    s += a * a + 100.0 * b * b;
+  }
+  return s;
+}
+
+std::vector<double> rosenbrockGradient(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("rosenbrockGradient: needs d >= 2");
+  std::vector<double> g(x.size(), 0.0);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double b = x[i] - x[i - 1] * x[i - 1];
+    g[i - 1] += -2.0 * (1.0 - x[i - 1]) - 400.0 * x[i - 1] * b;
+    g[i] += 200.0 * b;
+  }
+  return g;
+}
+
+double powell(std::span<const double> x) {
+  if (x.size() != 4) throw std::invalid_argument("powell: needs d == 4");
+  const double t1 = x[0] + 10.0 * x[1];
+  const double t2 = x[2] - x[3];
+  const double t3 = x[1] - 2.0 * x[2];
+  const double t4 = x[0] - x[3];
+  return t1 * t1 + 5.0 * t2 * t2 + t3 * t3 * t3 * t3 + 10.0 * t4 * t4 * t4 * t4;
+}
+
+double sphere(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double quadraticBowl(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s += static_cast<double>(i + 1) * x[i] * x[i];
+  }
+  return s;
+}
+
+double rastrigin(std::span<const double> x) {
+  double s = 10.0 * static_cast<double>(x.size());
+  for (double v : x) {
+    s += v * v - 10.0 * std::cos(2.0 * std::numbers::pi * v);
+  }
+  return s;
+}
+
+double himmelblau(std::span<const double> x) {
+  if (x.size() != 2) throw std::invalid_argument("himmelblau: needs d == 2");
+  const double a = x[0] * x[0] + x[1] - 11.0;
+  const double b = x[0] + x[1] * x[1] - 7.0;
+  return a * a + b * b;
+}
+
+std::vector<double> rosenbrockMinimizer(std::size_t dimension) {
+  return std::vector<double>(dimension, 1.0);
+}
+
+std::vector<double> powellMinimizer() { return std::vector<double>(4, 0.0); }
+
+}  // namespace sfopt::testfunctions

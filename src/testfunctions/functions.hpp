@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfopt::testfunctions {
+
+/// Generalized Rosenbrock "banana" function in d >= 2 dimensions
+/// (paper eqs. 3.1 / 3.2):
+///
+///   f(x) = sum_{i=2}^{d} [ (1 - x_{i-1})^2 + 100 (x_i - x_{i-1}^2)^2 ]
+///
+/// Global minimum f(1, ..., 1) = 0.
+[[nodiscard]] double rosenbrock(std::span<const double> x);
+
+/// Gradient of the generalized Rosenbrock function (used by tests to verify
+/// stationarity at the optimum, not by the derivative-free algorithms).
+[[nodiscard]] std::vector<double> rosenbrockGradient(std::span<const double> x);
+
+/// Powell's singular function in 4 dimensions (paper eq. 3.3):
+///
+///   f(x) = (x1 + 10 x2)^2 + 5 (x3 - x4)^2 + (x2 - 2 x3)^4 + 10 (x1 - x4)^4
+///
+/// Global minimum f(0, 0, 0, 0) = 0 with a singular Hessian at the optimum,
+/// which makes late-stage progress hard for direct search methods.
+[[nodiscard]] double powell(std::span<const double> x);
+
+/// Sphere: f(x) = sum x_i^2, minimum at the origin.  The easiest smoke-test
+/// landscape; any reasonable optimizer must crush it.
+[[nodiscard]] double sphere(std::span<const double> x);
+
+/// Anisotropic quadratic bowl: f(x) = sum (i+1) x_i^2.
+[[nodiscard]] double quadraticBowl(std::span<const double> x);
+
+/// Rastrigin: f(x) = 10 d + sum [x_i^2 - 10 cos(2 pi x_i)], highly
+/// multimodal, minimum at the origin.  Used in extended tests to show the
+/// local-search nature of simplex (convergence to *a* local minimum).
+[[nodiscard]] double rastrigin(std::span<const double> x);
+
+/// Himmelblau (2-d): four global minima of value 0.  Used in extended tests.
+[[nodiscard]] double himmelblau(std::span<const double> x);
+
+/// The known minimizer of the generalized Rosenbrock function: (1, ..., 1).
+[[nodiscard]] std::vector<double> rosenbrockMinimizer(std::size_t dimension);
+
+/// The known minimizer of the Powell function: (0, 0, 0, 0).
+[[nodiscard]] std::vector<double> powellMinimizer();
+
+}  // namespace sfopt::testfunctions

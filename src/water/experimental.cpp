@@ -1,0 +1,36 @@
+#include "water/experimental.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sfopt::water {
+
+ExperimentalTargets experimentalTargets() noexcept { return {}; }
+
+Tip4pReference tip4pReference() noexcept { return {}; }
+
+md::RdfCurve experimentalGOO(double rMax, int bins) {
+  md::RdfCurve curve;
+  curve.r.reserve(static_cast<std::size_t>(bins));
+  curve.g.reserve(static_cast<std::size_t>(bins));
+  const double dr = rMax / bins;
+  for (int b = 0; b < bins; ++b) {
+    const double r = (b + 0.5) * dr;
+    double g = 0.0;
+    if (r > 2.2) {
+      // Steep repulsive onset, first peak, then a damped oscillation about
+      // 1 with the experimental period (~2.6 A) and decay length.
+      const double onset = 1.0 / (1.0 + std::exp(-(r - 2.55) / 0.07));
+      const double peak1 = 1.85 * std::exp(-(r - 2.73) * (r - 2.73) / (2.0 * 0.12 * 0.12));
+      const double tail =
+          1.0 + 0.35 * std::exp(-(r - 2.9) / 1.8) *
+                    std::cos(2.0 * std::numbers::pi * (r - 4.5) / 2.6);
+      g = onset * (tail + peak1);
+    }
+    curve.r.push_back(r);
+    curve.g.push_back(g);
+  }
+  return curve;
+}
+
+}  // namespace sfopt::water

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "md/observables.hpp"
+
+namespace sfopt::water {
+
+/// The six fitting targets of the paper's application study (section 3.5,
+/// Table 3.4): experimental liquid-water values at 298 K.
+struct ExperimentalTargets {
+  double internalEnergyKJPerMol = -41.5;  ///< <U>, kJ/mol (Mahoney & Jorgensen)
+  double pressureAtm = 1.0;               ///< <P> at experimental density
+  double diffusion1e5Cm2PerS = 2.27;      ///< D, 10^-5 cm^2/s
+  /// RDF residual targets are zero by construction (eq. 3.5: the residual
+  /// is the RMS distance to the experimental curve itself).
+  double rdfResidualOO = 0.0;
+  double rdfResidualOH = 0.0;
+  double rdfResidualHH = 0.0;
+};
+
+[[nodiscard]] ExperimentalTargets experimentalTargets() noexcept;
+
+/// Synthetic stand-in for the experimental oxygen-oxygen radial
+/// distribution function of liquid water (Soper 2000): first peak at
+/// 2.73 A (height ~2.75), first minimum near 3.36 A, damped oscillation to
+/// 1.  The paper fits simulated g_OO(r) against this curve via eq. 3.5;
+/// here the curve is generated analytically (the real data set is not
+/// redistributable) — the substitution is documented in DESIGN.md.
+[[nodiscard]] md::RdfCurve experimentalGOO(double rMax = 8.0, int bins = 160);
+
+/// Published TIP4P property values used as the benchmark row of Table 3.4.
+struct Tip4pReference {
+  double internalEnergyKJPerMol = -41.8;
+  double pressureAtm = 373.0;
+  double diffusion1e5Cm2PerS = 3.29;
+};
+
+[[nodiscard]] Tip4pReference tip4pReference() noexcept;
+
+}  // namespace sfopt::water

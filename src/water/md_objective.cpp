@@ -1,0 +1,63 @@
+#include "water/md_objective.hpp"
+
+#include "noise/rng.hpp"
+#include "water/experimental.hpp"
+
+namespace sfopt::water {
+
+namespace {
+/// kcal/mol -> kJ/mol.
+constexpr double kKcalToKJ = 4.184;
+}  // namespace
+
+MdWaterObjective::MdWaterObjective(Options options) : options_(std::move(options)) {
+  if (options_.targets.empty()) {
+    const ExperimentalTargets t = experimentalTargets();
+    // The flexible 3-site engine over-binds relative to experiment, so the
+    // energy/diffusion weights are softened: the optimization surface stays
+    // informative without one runaway term dominating.
+    options_.targets = {
+        {"U", t.internalEnergyKJPerMol, 2.0},
+        {"P", t.pressureAtm, 0.0005},
+        {"D", t.diffusion1e5Cm2PerS, 0.5},
+        {"gOO", 0.0, 3.0},
+    };
+  }
+  referenceGOO_ = experimentalGOO(options_.simulation.rdfRMax, options_.simulation.rdfBins);
+}
+
+double MdWaterObjective::sampleDuration() const {
+  return options_.simulation.productionSteps * options_.simulation.dtPs;
+}
+
+double MdWaterObjective::costOf(const md::WaterObservables& obs) const {
+  std::vector<double> values;
+  values.reserve(options_.targets.size());
+  for (const PropertyTarget& t : options_.targets) {
+    if (t.name == "U") {
+      values.push_back(obs.potentialPerMoleculeKcal * kKcalToKJ);
+    } else if (t.name == "P") {
+      values.push_back(obs.pressureAtm);
+    } else if (t.name == "D") {
+      values.push_back(obs.diffusionCm2PerS * 1e5);
+    } else if (t.name == "gOO") {
+      values.push_back(md::rdfResidual(obs.gOO, referenceGOO_, 2.0,
+                                       options_.simulation.rdfRMax - 0.5));
+    } else {
+      throw std::invalid_argument("MdWaterObjective: unknown target " + t.name);
+    }
+  }
+  return weightedCost(values, options_.targets);
+}
+
+double MdWaterObjective::sample(std::span<const double> x, noise::SampleKey key) const {
+  md::SimulationConfig cfg = options_.simulation;
+  // Every sample is an independent protocol run: mix the vertex stream and
+  // sample index into the initial-condition seed so replicas decorrelate
+  // while staying reproducible.
+  cfg.seed = noise::hashCombine(noise::hashCombine(options_.seed, key.stream), key.index);
+  const md::WaterObservables obs = md::simulateWater(paramsFromPoint(x), cfg);
+  return costOf(obs);
+}
+
+}  // namespace sfopt::water

@@ -1,0 +1,99 @@
+#include "water/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "water/experimental.hpp"
+
+namespace sfopt::water {
+
+namespace {
+
+/// Published TIP4P anchor.
+constexpr double kEps0 = 0.1550;
+constexpr double kSig0 = 3.1536;
+constexpr double kQ0 = 0.5200;
+
+/// Smoothly growing penalty outside the physically sensible window —
+/// models the "highly sensitive regions" of the parameterization problem.
+double outOfRangePenalty(const md::WaterParameters& p) {
+  auto ramp = [](double x, double lo, double hi, double scale) {
+    if (x < lo) return (lo - x) * (lo - x) * scale;
+    if (x > hi) return (x - hi) * (x - hi) * scale;
+    return 0.0;
+  };
+  return ramp(p.epsilon, 0.02, 0.5, 400.0) + ramp(p.sigma, 2.4, 3.9, 40.0) +
+         ramp(p.qH, 0.1, 0.9, 150.0);
+}
+
+}  // namespace
+
+WaterProperties Tip4pSurrogate::properties(const md::WaterParameters& p) const {
+  const Tip4pReference ref = tip4pReference();
+  const double de = p.epsilon - kEps0;
+  const double ds = p.sigma - kSig0;
+  const double dq = p.qH - kQ0;
+  const double bad = outOfRangePenalty(p);
+
+  WaterProperties out;
+  // Internal energy: stronger charges and a deeper LJ well bind harder
+  // (more negative U); a bigger core reduces binding.  Mild curvature in
+  // q (cohesion saturates quadratically).
+  out.internalEnergyKJPerMol =
+      ref.internalEnergyKJPerMol - 95.0 * dq - 45.0 * de + 24.0 * ds - 60.0 * dq * dq + bad;
+
+  // Pressure at fixed (experimental) density: dominated by the core size;
+  // cohesion (q, eps) pulls it down.
+  out.pressureAtm = ref.pressureAtm + 9500.0 * ds - 5200.0 * dq - 2600.0 * de +
+                    14000.0 * ds * ds + 30.0 * bad;
+
+  // Self-diffusion: stronger binding slows the molecules.
+  out.diffusion1e5Cm2PerS =
+      ref.diffusion1e5Cm2PerS - 9.0 * dq - 4.0 * de + 1.5 * ds + 12.0 * dq * dq + 0.05 * bad;
+
+  // Structural residuals: quadratic bowls around the structural optimum
+  // (slightly off the published parameters), floors matching the scale of
+  // Table 3.4's residual entries.
+  const md::WaterParameters opt = structuralOptimum();
+  const double eo = p.epsilon - opt.epsilon;
+  const double so = p.sigma - opt.sigma;
+  const double qo = p.qH - opt.qH;
+  auto bowl = [&](double floor, double cEps, double cSig, double cQ) {
+    return std::sqrt(floor * floor + cEps * eo * eo + cSig * so * so + cQ * qo * qo +
+                     0.02 * bad);
+  };
+  out.rdfResidualOO = bowl(0.055, 18.0, 6.5, 28.0);
+  out.rdfResidualOH = bowl(0.100, 9.0, 2.8, 40.0);
+  out.rdfResidualHH = bowl(0.028, 5.0, 1.6, 22.0);
+  return out;
+}
+
+md::RdfCurve Tip4pSurrogate::modelGOO(const md::WaterParameters& p, double rMax,
+                                      int bins) const {
+  const md::WaterParameters opt = structuralOptimum();
+  const double peakShift = 0.85 * (p.sigma - opt.sigma);
+  const double heightScale = 1.0 + 1.8 * (p.qH - opt.qH) - 0.8 * (p.epsilon - opt.epsilon);
+  md::RdfCurve base = experimentalGOO(rMax, bins);
+  md::RdfCurve out;
+  out.r = base.r;
+  out.g.resize(base.g.size());
+  // Deform: translate the curve by the peak shift and scale the deviation
+  // from 1 by the height factor.
+  auto baseAt = [&](double r) {
+    if (r <= base.r.front()) return base.g.front();
+    if (r >= base.r.back()) return base.g.back();
+    const double dr = base.r[1] - base.r[0];
+    const auto i = static_cast<std::size_t>((r - base.r.front()) / dr);
+    const auto j = std::min(i + 1, base.r.size() - 1);
+    const double w = (r - base.r[i]) / dr;
+    return base.g[i] * (1.0 - w) + base.g[j] * w;
+  };
+  for (std::size_t i = 0; i < out.r.size(); ++i) {
+    const double g = baseAt(out.r[i] - peakShift);
+    out.g[i] = g <= 0.0 ? 0.0 : 1.0 + heightScale * (g - 1.0);
+    if (out.g[i] < 0.0) out.g[i] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace sfopt::water

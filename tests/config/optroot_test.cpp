@@ -1,0 +1,147 @@
+#include "config/optroot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sfopt;
+using config::isReservedParDirectory;
+using config::loadOptRoot;
+using config::OptRoot;
+using config::parseInputFile;
+using config::PropertySpec;
+using config::SystemSpec;
+using config::writeOptRoot;
+
+class OptRootTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("sfopt_optroot_" + std::to_string(::testing::UnitTest::GetInstance()
+                                                   ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// A canonical valid tree: 2 parameters, 5 vertex rows (d+3), 2 systems
+  /// (one with a second phase), 2 properties.
+  OptRoot canonical() {
+    OptRoot c;
+    c.parameterNames = {"epsilon", "sigma"};
+    c.initialPoints = {{0.1, 3.0}, {0.2, 3.1}, {0.15, 3.2}, {0.12, 2.9}, {0.18, 3.05}};
+    c.systems = {SystemSpec{"bulk", {".", "nve"}}, SystemSpec{"dimer", {"."}}};
+    c.properties = {PropertySpec{"prop_energy", -41.5, 2.0, true},
+                    PropertySpec{"prop_pressure", 1.0, 0.5, false}};
+    return c;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(OptRootTest, RoundTripThroughDisk) {
+  writeOptRoot(root_, canonical());
+  const OptRoot loaded = loadOptRoot(root_);
+  EXPECT_EQ(loaded.parameterNames, (std::vector<std::string>{"epsilon", "sigma"}));
+  EXPECT_EQ(loaded.dimension(), 2u);
+  ASSERT_EQ(loaded.initialPoints.size(), 5u);
+  EXPECT_EQ(loaded.initialPoints[0], (core::Point{0.1, 3.0}));
+  ASSERT_EQ(loaded.systems.size(), 2u);
+  EXPECT_EQ(loaded.systems[0].name, "bulk");
+  EXPECT_EQ(loaded.systems[0].phases, (std::vector<std::string>{".", "nve"}));
+  EXPECT_EQ(loaded.systems[1].phases, (std::vector<std::string>{"."}));
+  ASSERT_EQ(loaded.properties.size(), 2u);
+  EXPECT_EQ(loaded.properties[0].name, "prop_energy");
+  EXPECT_DOUBLE_EQ(loaded.properties[0].target, -41.5);
+  EXPECT_DOUBLE_EQ(loaded.properties[0].weight, 2.0);
+  EXPECT_TRUE(loaded.properties[0].hasScript);
+  EXPECT_FALSE(loaded.properties[1].hasScript);
+}
+
+TEST_F(OptRootTest, RunScriptCountDrivesProcessorRequest) {
+  writeOptRoot(root_, canonical());
+  const OptRoot loaded = loadOptRoot(root_);
+  EXPECT_EQ(loaded.runScriptCount(), 3u);  // bulk (2 phases) + dimer (1)
+}
+
+TEST_F(OptRootTest, MissingWeightDefaultsToOne) {
+  auto c = canonical();
+  writeOptRoot(root_, c);
+  fs::remove(root_ / "properties" / "prop_pressure.wgt");
+  const OptRoot loaded = loadOptRoot(root_);
+  EXPECT_DOUBLE_EQ(loaded.properties[1].weight, 1.0);
+}
+
+TEST_F(OptRootTest, ReservedParDirectoriesAreSkipped) {
+  writeOptRoot(root_, canonical());
+  // A stray per-vertex workspace must not be mistaken for a system/phase.
+  fs::create_directories(root_ / "systems" / "par3");
+  fs::create_directories(root_ / "systems" / "bulk" / "par12");
+  const OptRoot loaded = loadOptRoot(root_);
+  EXPECT_EQ(loaded.systems.size(), 2u);
+  EXPECT_EQ(loaded.systems[0].phases.size(), 2u);
+}
+
+TEST_F(OptRootTest, ParNamePatternExactlyMatchesPaperRegex) {
+  EXPECT_TRUE(isReservedParDirectory("par"));
+  EXPECT_TRUE(isReservedParDirectory("par0"));
+  EXPECT_TRUE(isReservedParDirectory("par123"));
+  EXPECT_FALSE(isReservedParDirectory("parX"));
+  EXPECT_FALSE(isReservedParDirectory("park"));
+  EXPECT_FALSE(isReservedParDirectory("spar1"));
+  EXPECT_FALSE(isReservedParDirectory("pa"));
+}
+
+TEST_F(OptRootTest, SystemWithoutRunScriptRejected) {
+  writeOptRoot(root_, canonical());
+  fs::create_directories(root_ / "systems" / "broken");
+  EXPECT_THROW((void)loadOptRoot(root_), std::runtime_error);
+}
+
+TEST_F(OptRootTest, MissingSystemsDirectoryRejected) {
+  writeOptRoot(root_, canonical());
+  fs::remove_all(root_ / "systems");
+  EXPECT_THROW((void)loadOptRoot(root_), std::runtime_error);
+}
+
+TEST_F(OptRootTest, NonexistentRootRejected) {
+  EXPECT_THROW((void)loadOptRoot(root_ / "nope"), std::runtime_error);
+}
+
+TEST_F(OptRootTest, InputFileRowWidthValidated) {
+  writeOptRoot(root_, canonical());
+  std::ofstream in(root_ / "input");
+  in << "epsilon sigma\n0.1 3.0\n0.2\n";
+  in.close();
+  EXPECT_THROW((void)parseInputFile(root_ / "input"), std::runtime_error);
+}
+
+TEST_F(OptRootTest, InputFileNeedsDPlusOneRows) {
+  writeOptRoot(root_, canonical());
+  std::ofstream in(root_ / "input");
+  in << "epsilon sigma\n0.1 3.0\n0.2 3.1\n";  // only 2 rows for d = 2
+  in.close();
+  EXPECT_THROW((void)parseInputFile(root_ / "input"), std::runtime_error);
+}
+
+TEST_F(OptRootTest, InputFileSkipsBlankLines) {
+  writeOptRoot(root_, canonical());
+  std::ofstream in(root_ / "input");
+  in << "a b\n\n1 2\n\n3 4\n5 6\n\n";
+  in.close();
+  const auto [names, pts] = parseInputFile(root_ / "input");
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_EQ(pts.size(), 3u);
+}
+
+TEST_F(OptRootTest, MissingInputFileRejected) {
+  writeOptRoot(root_, canonical());
+  fs::remove(root_ / "input");
+  EXPECT_THROW((void)loadOptRoot(root_), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Property-style sweep: every algorithm x noise level x test function
+// must satisfy the structural invariants of an optimization run —
+// regardless of whether it converges well.  This is the broad safety net
+// under the focused behavioural tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithms.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+
+enum class Algo { Det, Mn, Anderson, Pc, PcMn };
+
+const char* name(Algo a) {
+  switch (a) {
+    case Algo::Det: return "DET";
+    case Algo::Mn: return "MN";
+    case Algo::Anderson: return "Anderson";
+    case Algo::Pc: return "PC";
+    case Algo::PcMn: return "PC+MN";
+  }
+  return "?";
+}
+
+enum class Fn { Sphere, Rosenbrock, Powell };
+
+struct MatrixCase {
+  Algo algo;
+  Fn fn;
+  double sigma0;
+};
+
+std::string caseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const auto& c = info.param;
+  std::string out = name(c.algo);
+  out += c.fn == Fn::Sphere ? "_sphere" : (c.fn == Fn::Rosenbrock ? "_rosen" : "_powell");
+  out += "_s" + std::to_string(static_cast<int>(c.sigma0));
+  // gtest names must be alphanumeric.
+  for (char& ch : out) {
+    if (ch == '+') ch = 'p';
+  }
+  return out;
+}
+
+class AlgorithmMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+core::OptimizationResult runCase(const MatrixCase& c, const noise::StochasticObjective& obj,
+                                 std::span<const core::Point> start) {
+  core::TerminationCriteria term;
+  term.tolerance = 1e-4;
+  term.maxIterations = 150;
+  term.maxSamples = 150'000;
+  term.maxTime = 100'000.0;
+  switch (c.algo) {
+    case Algo::Det: {
+      core::DetOptions o;
+      o.common.termination = term;
+      o.common.recordTrace = true;
+      return core::runDeterministic(obj, start, o);
+    }
+    case Algo::Mn: {
+      core::MaxNoiseOptions o;
+      o.common.termination = term;
+      o.common.recordTrace = true;
+      return core::runMaxNoise(obj, start, o);
+    }
+    case Algo::Anderson: {
+      core::AndersonOptions o;
+      o.k1 = 16.0;
+      o.common.termination = term;
+      o.common.recordTrace = true;
+      return core::runAnderson(obj, start, o);
+    }
+    case Algo::Pc:
+    case Algo::PcMn: {
+      core::PCOptions o;
+      o.common.termination = term;
+      o.common.recordTrace = true;
+      o.maxNoiseGate = c.algo == Algo::PcMn;
+      return core::runPointToPoint(obj, start, o);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+TEST_P(AlgorithmMatrix, StructuralInvariantsHold) {
+  const MatrixCase c = GetParam();
+  const std::size_t dim = c.fn == Fn::Sphere ? 3 : 4;
+  noise::NoisyFunction obj = [&] {
+    switch (c.fn) {
+      case Fn::Sphere: return test::noisySphere(dim, c.sigma0, 1000);
+      case Fn::Rosenbrock: return test::noisyRosenbrock(dim, c.sigma0, 1001);
+      case Fn::Powell: return test::noisyPowell(c.sigma0, 1002);
+    }
+    throw std::logic_error("unreachable");
+  }();
+  const auto start = test::randomStart(dim, -3.0, 3.0, 17, 5);
+  const auto res = runCase(c, obj, start);
+
+  // 1. Termination is honest.
+  switch (res.reason) {
+    case core::TerminationReason::Converged:
+      break;  // spread check happens on live estimates; nothing to recheck
+    case core::TerminationReason::IterationLimit:
+      EXPECT_GE(res.iterations, 150);
+      break;
+    case core::TerminationReason::SampleLimit:
+      EXPECT_GE(res.totalSamples, 150'000);
+      break;
+    case core::TerminationReason::TimeLimit:
+      EXPECT_GE(res.elapsedTime, 100'000.0);
+      break;
+  }
+
+  // 2. The answer is well-formed.
+  ASSERT_EQ(res.best.size(), dim);
+  for (double v : res.best) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(res.bestEstimate));
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_GE(*res.bestTrue, 0.0);  // all test functions are non-negative
+
+  // 3. Move counters account for every iteration.
+  const auto& k = res.counters;
+  EXPECT_EQ(k.reflections + k.expansions + k.contractions + k.collapses, res.iterations);
+
+  // 4. Trace is one record per iteration with monotone time and samples.
+  ASSERT_EQ(static_cast<std::int64_t>(res.trace.size()), res.iterations);
+  double lastTime = -1.0;
+  std::int64_t lastSamples = -1;
+  for (const auto& r : res.trace.steps()) {
+    EXPECT_GE(r.time, lastTime);
+    EXPECT_GE(r.totalSamples, lastSamples);
+    lastTime = r.time;
+    lastSamples = r.totalSamples;
+  }
+  EXPECT_LE(lastTime, res.elapsedTime + 1e-9);
+  EXPECT_LE(lastSamples, res.totalSamples);
+
+  // (No monotonicity claim on bestEstimate: additional sampling corrects
+  // lucky-low estimates *upward* — that self-correction is the point of
+  // the stochastic variants, not a defect.)
+}
+
+std::vector<MatrixCase> allCases() {
+  std::vector<MatrixCase> cases;
+  for (Algo a : {Algo::Det, Algo::Mn, Algo::Anderson, Algo::Pc, Algo::PcMn}) {
+    for (Fn f : {Fn::Sphere, Fn::Rosenbrock, Fn::Powell}) {
+      for (double s : {0.0, 1.0, 100.0}) {
+        cases.push_back({a, f, s});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, AlgorithmMatrix, ::testing::ValuesIn(allCases()),
+                         caseName);
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithms.hpp"
+#include "core/engine_base.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::AndersonOptions;
+using core::runAnderson;
+using core::TerminationReason;
+
+AndersonOptions andersonOptions(double k1, double k2 = 0.0) {
+  AndersonOptions o;
+  o.k1 = k1;
+  o.k2 = k2;
+  o.common.termination.tolerance = 1e-3;
+  o.common.termination.maxIterations = 400;
+  o.common.termination.maxTime = 1e5;
+  o.common.sampling.maxSamplesPerVertex = 100'000;
+  return o;
+}
+
+TEST(Anderson, ConvergesOnNoiselessSphere) {
+  auto obj = test::noisySphere(2, 0.0);
+  const auto res = runAnderson(obj, test::simpleStart(2), andersonOptions(1.0));
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-2);
+}
+
+TEST(Anderson, LooseCutoffActsLikeDeterministicEarly) {
+  // k1 = 2^30: the cutoff is astronomically large while the contraction
+  // level is small, so over a short run the gate never fires.  (Over long
+  // runs the level l eventually grows enough to re-tighten the cutoff —
+  // that is the intended behaviour of eq. 2.4, not a bug.)
+  auto obj = test::noisySphere(2, 10.0);
+  AndersonOptions o = andersonOptions(std::pow(2.0, 30));
+  o.common.termination.maxIterations = 15;
+  o.common.termination.tolerance = 0.0;
+  const auto res = runAnderson(obj, test::simpleStart(2), o);
+  EXPECT_EQ(res.counters.gateWaitRounds, 0);
+}
+
+TEST(Anderson, LooserCutoffWaitsLessThanStricterEarly) {
+  // Compared over a fixed short horizon (before the contraction level can
+  // re-tighten the loose cutoff), a looser k1 must wait strictly less.
+  auto mk = [&](double k1) {
+    AndersonOptions o = andersonOptions(k1);
+    o.common.termination.maxIterations = 10;
+    o.common.termination.tolerance = 0.0;
+    return o;
+  };
+  auto obj1 = test::noisySphere(2, 10.0, 8);
+  auto obj2 = test::noisySphere(2, 10.0, 8);
+  const auto start = test::simpleStart(2);
+  const auto strict = runAnderson(obj1, start, mk(0.1));
+  const auto loose = runAnderson(obj2, start, mk(std::pow(2.0, 20)));
+  EXPECT_LT(loose.counters.gateWaitRounds, strict.counters.gateWaitRounds);
+}
+
+TEST(Anderson, StrictCutoffDemandsSampling) {
+  auto obj = test::noisySphere(2, 10.0);
+  const auto res = runAnderson(obj, test::simpleStart(2), andersonOptions(1.0));
+  EXPECT_GT(res.counters.gateWaitRounds, 0);
+}
+
+TEST(Anderson, StrictCutoffStarvesIterationsUnderTimeBudget) {
+  // The shape behind Table 3.2: with a fixed time budget, a small k1 forces
+  // so much sampling per step that far fewer simplex iterations happen.
+  const double budget = 20000.0;
+  auto mk = [&](double k1) {
+    AndersonOptions o = andersonOptions(k1);
+    o.common.termination.tolerance = 0.0;
+    o.common.termination.maxTime = budget;
+    o.common.termination.maxIterations = 1'000'000;
+    return o;
+  };
+  auto obj1 = test::noisySphere(2, 50.0, 5);
+  auto obj2 = test::noisySphere(2, 50.0, 5);
+  const auto start = test::simpleStart(2);
+  const auto strict = runAnderson(obj1, start, mk(0.01));
+  const auto loose = runAnderson(obj2, start, mk(std::pow(2.0, 30)));
+  EXPECT_LT(strict.iterations, loose.iterations / 4);
+}
+
+TEST(Anderson, ContractionLevelTightensCutoff) {
+  // After contractions the level l rises and the cutoff k1 * 2^-l shrinks,
+  // demanding more sampling.  Observable as gate rounds growing over time
+  // on a landscape that forces contraction (start at the optimum).
+  auto obj = test::noisySphere(2, 5.0);
+  AndersonOptions o = andersonOptions(4.0);
+  o.common.recordTrace = true;
+  o.common.termination.tolerance = 1e-4;
+  const auto res = runAnderson(obj, test::simpleStart(2, -0.5, 1.0), o);
+  EXPECT_GT(res.counters.gateWaitRounds, 0);
+  // Level should have risen above the starting 0 at some point.
+  bool levelRose = false;
+  for (const auto& r : res.trace.steps()) {
+    if (r.contractionLevel > 0) levelRose = true;
+  }
+  EXPECT_TRUE(levelRose);
+}
+
+TEST(Anderson, GateCutoffFormulaDirect) {
+  // Exercise the gate in isolation: with oracle sigma = sigma0 / sqrt(t),
+  // contraction level l and cutoff k1 * 2^{-l(1+k2)}, the gate must sample
+  // every vertex past t > sigma0^2 / cutoff and then stop.
+  auto obj = test::noisySphere(2, 1.0);  // sigma0 = 1
+  core::CommonOptions common;
+  common.sampling.sigmaMode = core::SigmaMode::Exact;
+  common.initialSamplesPerVertex = 2;
+  core::detail::EngineBase eng(obj, common);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  s.noteContraction();
+  s.noteContraction();  // l = 2
+  // k1 = 1, k2 = 1: cutoff = 2^{-4} = 1/16 => need sigma^2 = 1/t < 1/16,
+  // i.e. strictly more than 16 samples per vertex.
+  core::ResamplePolicy policy;
+  core::detail::andersonGateWait(eng, s, {}, 1.0, 1.0, policy);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s.at(i).sampleCount(), 16);
+    EXPECT_LE(s.at(i).sampleCount(), 64);  // geometric blocks overshoot boundedly
+  }
+}
+
+TEST(Anderson, GateCutoffK2ZeroShallower) {
+  auto obj = test::noisySphere(2, 1.0);
+  core::CommonOptions common;
+  common.sampling.sigmaMode = core::SigmaMode::Exact;
+  core::detail::EngineBase eng(obj, common);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  s.noteContraction();
+  s.noteContraction();  // l = 2
+  // k2 = 0: cutoff = 2^{-2} = 1/4 => need more than 4 samples per vertex.
+  core::ResamplePolicy policy;
+  core::detail::andersonGateWait(eng, s, {}, 1.0, 0.0, policy);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s.at(i).sampleCount(), 4);
+    EXPECT_LE(s.at(i).sampleCount(), 16);
+  }
+}
+
+TEST(Anderson, CountersConsistent) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto res = runAnderson(obj, test::simpleStart(2), andersonOptions(1.0));
+  const auto& c = res.counters;
+  EXPECT_EQ(c.reflections + c.expansions + c.contractions + c.collapses, res.iterations);
+  EXPECT_EQ(c.resampleRounds, 0);
+}
+
+}  // namespace

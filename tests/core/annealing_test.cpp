@@ -1,0 +1,143 @@
+#include "core/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/performance.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::AnnealingOptions;
+using core::runSimulatedAnnealing;
+using core::TerminationReason;
+
+AnnealingOptions quickSa(std::uint64_t seed = 0x5A) {
+  AnnealingOptions o;
+  o.initialTemperature = 5.0;
+  o.coolingRate = 0.9;
+  o.sweepSize = 20;
+  o.stepScale = 1.0;
+  o.termination.tolerance = 1e-3;  // temperature floor
+  o.termination.maxIterations = 200;
+  o.termination.maxSamples = 400'000;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Annealing, Validation) {
+  auto obj = test::noisySphere(2, 0.0);
+  EXPECT_THROW((void)runSimulatedAnnealing(obj, {1.0}, quickSa()), std::invalid_argument);
+  AnnealingOptions bad = quickSa();
+  bad.initialTemperature = 0.0;
+  EXPECT_THROW((void)runSimulatedAnnealing(obj, {1.0, 1.0}, bad), std::invalid_argument);
+  bad = quickSa();
+  bad.coolingRate = 1.0;
+  EXPECT_THROW((void)runSimulatedAnnealing(obj, {1.0, 1.0}, bad), std::invalid_argument);
+  bad = quickSa();
+  bad.sweepSize = 0;
+  EXPECT_THROW((void)runSimulatedAnnealing(obj, {1.0, 1.0}, bad), std::invalid_argument);
+}
+
+TEST(Annealing, ConvergesOnNoiselessSphere) {
+  auto obj = test::noisySphere(2, 0.0);
+  const auto res = runSimulatedAnnealing(obj, {3.0, -3.0}, quickSa());
+  EXPECT_EQ(res.reason, TerminationReason::Converged);  // temperature floor
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 0.5);
+}
+
+TEST(Annealing, HandlesNoise) {
+  auto obj = test::noisySphere(2, 2.0);
+  const auto res = runSimulatedAnnealing(obj, {3.0, -3.0}, quickSa());
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 3.0);
+}
+
+TEST(Annealing, EscapesRastriginLocalMinimum) {
+  // Start in the (2,2) local basin; with a hot start SA should find a
+  // basin at least as good, usually better.
+  noise::NoisyFunction::Options no;
+  no.sigma0 = 0.05;
+  no.seed = 77;
+  noise::NoisyFunction obj(
+      2, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, no);
+  AnnealingOptions o = quickSa(9);
+  o.initialTemperature = 20.0;
+  o.stepScale = 1.5;
+  const auto res = runSimulatedAnnealing(obj, {2.0, 2.0}, o);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  // f(2,2) ~ 8; anything under 5 means it left the starting basin.
+  EXPECT_LT(*res.bestTrue, 5.0);
+}
+
+TEST(Annealing, ReproducibleBySeed) {
+  auto obj1 = test::noisySphere(2, 1.0);
+  auto obj2 = test::noisySphere(2, 1.0);
+  const auto a = runSimulatedAnnealing(obj1, {2.0, 2.0}, quickSa(3));
+  const auto b = runSimulatedAnnealing(obj2, {2.0, 2.0}, quickSa(3));
+  EXPECT_EQ(a.best, b.best);
+  const auto c = runSimulatedAnnealing(obj1, {2.0, 2.0}, quickSa(4));
+  EXPECT_NE(a.best, c.best);
+}
+
+TEST(Annealing, RespectsBudgets) {
+  auto obj = test::noisySphere(2, 1.0);
+  AnnealingOptions o = quickSa();
+  o.termination.tolerance = 0.0;  // never hit the temperature floor
+  o.termination.maxIterations = 7;
+  o.termination.maxSamples = 0;
+  const auto res = runSimulatedAnnealing(obj, {1.0, 1.0}, o);
+  EXPECT_EQ(res.reason, TerminationReason::IterationLimit);
+  EXPECT_EQ(res.iterations, 7);
+
+  o.termination.maxIterations = 1'000'000;
+  o.termination.maxSamples = 500;
+  const auto res2 = runSimulatedAnnealing(obj, {1.0, 1.0}, o);
+  EXPECT_EQ(res2.reason, TerminationReason::SampleLimit);
+}
+
+TEST(Annealing, TraceTracksBest) {
+  auto obj = test::noisySphere(2, 0.5);
+  AnnealingOptions o = quickSa();
+  o.recordTrace = true;
+  o.termination.maxIterations = 30;
+  o.termination.tolerance = 0.0;
+  const auto res = runSimulatedAnnealing(obj, {3.0, 3.0}, o);
+  ASSERT_EQ(static_cast<std::int64_t>(res.trace.size()), res.iterations);
+  // Best estimate in the trace is non-increasing (best-so-far tracking).
+  double last = res.trace.steps().front().bestEstimate;
+  for (const auto& s : res.trace.steps()) {
+    EXPECT_LE(s.bestEstimate, last + 1e-12);
+    last = s.bestEstimate;
+  }
+}
+
+TEST(AdaptiveCoefficients, MatchClassicalAtD2) {
+  const auto c = core::adaptiveSimplexCoefficients(2);
+  EXPECT_DOUBLE_EQ(c.reflection, 1.0);
+  EXPECT_DOUBLE_EQ(c.expansion, 2.0);
+  EXPECT_DOUBLE_EQ(c.contraction, 0.5);
+  EXPECT_DOUBLE_EQ(c.shrink, 0.5);
+  EXPECT_THROW((void)core::adaptiveSimplexCoefficients(1), std::invalid_argument);
+}
+
+TEST(AdaptiveCoefficients, GentlerInHighDimensions) {
+  const auto c = core::adaptiveSimplexCoefficients(20);
+  EXPECT_DOUBLE_EQ(c.expansion, 1.1);
+  EXPECT_DOUBLE_EQ(c.contraction, 0.725);
+  EXPECT_DOUBLE_EQ(c.shrink, 0.95);
+}
+
+TEST(AdaptiveCoefficients, EnginesAcceptThem) {
+  auto obj = test::noisySphere(8, 0.0, 21);
+  core::MaxNoiseOptions o;
+  o.common.coefficients = core::adaptiveSimplexCoefficients(8);
+  o.common.termination.tolerance = 1e-8;
+  o.common.termination.maxIterations = 5000;
+  const auto res = core::runMaxNoise(obj, test::simpleStart(8, -1.0, 0.7), o);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-3);
+}
+
+}  // namespace

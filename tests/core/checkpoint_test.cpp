@@ -1,0 +1,190 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sfopt;
+using core::SimplexCheckpoint;
+
+SimplexCheckpoint sampleCheckpoint() {
+  SimplexCheckpoint cp;
+  cp.iteration = 17;
+  cp.clock = 12345.6789012345;
+  cp.totalSamples = 4242;
+  cp.nextVertexId = 99;
+  cp.contractionLevel = 3;
+  cp.counters.reflections = 10;
+  cp.counters.collapses = 2;
+  cp.counters.gateWaitRounds = 7;
+  for (int i = 0; i < 3; ++i) {
+    core::VertexCheckpoint v;
+    v.x = {1.0 / 3.0 + i, -2.0 / 7.0};
+    v.id = static_cast<std::uint64_t>(i);
+    v.samples = 100 + i;
+    v.mean = 0.1 * i + 1e-17;  // exercise exact fp round-trip
+    v.m2 = 3.14159 * i;
+    cp.vertices.push_back(std::move(v));
+  }
+  return cp;
+}
+
+TEST(Checkpoint, StreamRoundTripIsExact) {
+  const auto cp = sampleCheckpoint();
+  std::stringstream ss;
+  core::writeCheckpoint(ss, cp);
+  const auto back = core::readCheckpoint(ss);
+  EXPECT_EQ(back.iteration, cp.iteration);
+  EXPECT_EQ(back.clock, cp.clock);  // bitwise via hexfloat
+  EXPECT_EQ(back.totalSamples, cp.totalSamples);
+  EXPECT_EQ(back.nextVertexId, cp.nextVertexId);
+  EXPECT_EQ(back.contractionLevel, cp.contractionLevel);
+  EXPECT_EQ(back.counters.reflections, cp.counters.reflections);
+  EXPECT_EQ(back.counters.gateWaitRounds, cp.counters.gateWaitRounds);
+  ASSERT_EQ(back.vertices.size(), cp.vertices.size());
+  for (std::size_t i = 0; i < cp.vertices.size(); ++i) {
+    EXPECT_EQ(back.vertices[i].x, cp.vertices[i].x);
+    EXPECT_EQ(back.vertices[i].id, cp.vertices[i].id);
+    EXPECT_EQ(back.vertices[i].samples, cp.vertices[i].samples);
+    EXPECT_EQ(back.vertices[i].mean, cp.vertices[i].mean);
+    EXPECT_EQ(back.vertices[i].m2, cp.vertices[i].m2);
+  }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const fs::path path = fs::temp_directory_path() / "sfopt_checkpoint_test.ckpt";
+  fs::remove(path);
+  const auto cp = sampleCheckpoint();
+  core::saveCheckpoint(path, cp);
+  const auto back = core::loadCheckpoint(path);
+  EXPECT_EQ(back.iteration, cp.iteration);
+  EXPECT_EQ(back.vertices.size(), cp.vertices.size());
+  fs::remove(path);
+}
+
+TEST(Checkpoint, MalformedInputRejected) {
+  {
+    std::stringstream ss("not-a-checkpoint v1\n");
+    EXPECT_THROW((void)core::readCheckpoint(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("sfopt-checkpoint v9\n");
+    EXPECT_THROW((void)core::readCheckpoint(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("sfopt-checkpoint v1\niteration 5\nclock garbage\n");
+    EXPECT_THROW((void)core::readCheckpoint(ss), std::runtime_error);
+  }
+  EXPECT_THROW((void)core::loadCheckpoint("/no/such/file.ckpt"), std::runtime_error);
+}
+
+/// The central property: resuming from an iteration-k snapshot continues
+/// the run EXACTLY as if it had never been interrupted.
+template <typename Options, typename RunFn>
+void resumeEqualsUninterrupted(Options options, RunFn run) {
+  auto obj = test::noisyRosenbrock(3, 20.0, 808);
+  const auto start = test::simpleStart(3, -1.0, 0.8);
+
+  options.common.termination.tolerance = 1e-4;
+  options.common.termination.maxIterations = 60;
+  options.common.termination.maxSamples = 500'000;
+
+  // Uninterrupted reference.
+  const auto full = run(obj, start, options);
+
+  // Interrupted at iteration 20: capture the snapshot...
+  SimplexCheckpoint at20;
+  bool captured = false;
+  Options first = options;
+  first.common.termination.maxIterations = 20;
+  first.common.checkpointEvery = 20;
+  first.common.checkpointSink = [&](const SimplexCheckpoint& cp) {
+    at20 = cp;
+    captured = true;
+  };
+  (void)run(obj, start, first);
+  ASSERT_TRUE(captured);
+  EXPECT_EQ(at20.iteration, 20);
+
+  // ...and resume to the same horizon.
+  Options second = options;
+  second.common.resumeFrom = &at20;
+  const auto resumed = run(obj, start, second);
+
+  EXPECT_EQ(resumed.iterations, full.iterations);
+  EXPECT_EQ(resumed.totalSamples, full.totalSamples);
+  EXPECT_EQ(resumed.best, full.best);
+  EXPECT_DOUBLE_EQ(resumed.bestEstimate, full.bestEstimate);
+  EXPECT_EQ(resumed.reason, full.reason);
+  EXPECT_EQ(resumed.counters.reflections, full.counters.reflections);
+  EXPECT_EQ(resumed.counters.collapses, full.counters.collapses);
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedMN) {
+  resumeEqualsUninterrupted(core::MaxNoiseOptions{},
+                            [](const auto& obj, const auto& start, const auto& o) {
+                              return core::runMaxNoise(obj, start, o);
+                            });
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedDET) {
+  resumeEqualsUninterrupted(core::DetOptions{},
+                            [](const auto& obj, const auto& start, const auto& o) {
+                              return core::runDeterministic(obj, start, o);
+                            });
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedPC) {
+  resumeEqualsUninterrupted(core::PCOptions{},
+                            [](const auto& obj, const auto& start, const auto& o) {
+                              return core::runPointToPoint(obj, start, o);
+                            });
+}
+
+TEST(Checkpoint, ResumeSurvivesDiskRoundTrip) {
+  auto obj = test::noisySphere(2, 5.0, 303);
+  const auto start = test::simpleStart(2);
+  core::MaxNoiseOptions options;
+  options.common.termination.tolerance = 1e-4;
+  options.common.termination.maxIterations = 40;
+  options.common.termination.maxSamples = 300'000;
+
+  const auto full = core::runMaxNoise(obj, start, options);
+
+  const fs::path path = fs::temp_directory_path() / "sfopt_resume_disk.ckpt";
+  fs::remove(path);
+  core::MaxNoiseOptions first = options;
+  first.common.termination.maxIterations = 15;
+  first.common.checkpointEvery = 15;
+  first.common.checkpointSink = [&](const SimplexCheckpoint& cp) {
+    core::saveCheckpoint(path, cp);
+  };
+  (void)core::runMaxNoise(obj, start, first);
+  ASSERT_TRUE(fs::exists(path));
+
+  const auto restored = core::loadCheckpoint(path);
+  core::MaxNoiseOptions second = options;
+  second.common.resumeFrom = &restored;
+  const auto resumed = core::runMaxNoise(obj, start, second);
+  EXPECT_EQ(resumed.best, full.best);
+  EXPECT_EQ(resumed.totalSamples, full.totalSamples);
+  fs::remove(path);
+}
+
+TEST(Checkpoint, WrongVertexCountRejected) {
+  auto obj = test::noisySphere(3, 1.0);
+  SimplexCheckpoint cp = sampleCheckpoint();  // 3 vertices => d = 2, not 3
+  core::MaxNoiseOptions options;
+  options.common.resumeFrom = &cp;
+  EXPECT_THROW((void)core::runMaxNoise(obj, test::simpleStart(3), options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include "core/condition_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using sfopt::core::PCConditionMask;
+
+TEST(PCConditionMask, AllAndNone) {
+  const auto all = PCConditionMask::all();
+  const auto none = PCConditionMask::none();
+  for (int c = 1; c <= 7; ++c) {
+    EXPECT_TRUE(all.isNoiseAware(c));
+    EXPECT_FALSE(none.isNoiseAware(c));
+  }
+  EXPECT_EQ(all.label(), "c1-7");
+  EXPECT_EQ(none.label(), "none");
+}
+
+TEST(PCConditionMask, Only) {
+  const auto m = PCConditionMask::only({1, 3, 6});
+  EXPECT_TRUE(m.isNoiseAware(1));
+  EXPECT_FALSE(m.isNoiseAware(2));
+  EXPECT_TRUE(m.isNoiseAware(3));
+  EXPECT_FALSE(m.isNoiseAware(4));
+  EXPECT_FALSE(m.isNoiseAware(5));
+  EXPECT_TRUE(m.isNoiseAware(6));
+  EXPECT_FALSE(m.isNoiseAware(7));
+  EXPECT_EQ(m.label(), "c136");
+}
+
+TEST(PCConditionMask, SingleConditionLabel) {
+  EXPECT_EQ(PCConditionMask::only({4}).label(), "c4");
+}
+
+TEST(PCConditionMask, RangeValidation) {
+  EXPECT_THROW((void)PCConditionMask::only({0}), std::invalid_argument);
+  EXPECT_THROW((void)PCConditionMask::only({8}), std::invalid_argument);
+  const auto m = PCConditionMask::all();
+  EXPECT_THROW((void)m.isNoiseAware(0), std::invalid_argument);
+  EXPECT_THROW((void)m.isNoiseAware(8), std::invalid_argument);
+}
+
+TEST(PCConditionMask, Equality) {
+  EXPECT_EQ(PCConditionMask::only({1, 3, 6}), PCConditionMask::only({6, 3, 1}));
+  EXPECT_NE(PCConditionMask::only({1}), PCConditionMask::only({2}));
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "stats/performance.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::DetOptions;
+using core::runDeterministic;
+using core::TerminationReason;
+
+DetOptions quickOptions(std::int64_t maxIter = 2000, double tol = 1e-10) {
+  DetOptions o;
+  o.common.termination.tolerance = tol;
+  o.common.termination.maxIterations = maxIter;
+  return o;
+}
+
+TEST(Deterministic, ConvergesOnNoiselessSphere) {
+  auto obj = test::noisySphere(2, 0.0);
+  const auto start = test::simpleStart(2);
+  const auto res = runDeterministic(obj, start, quickOptions());
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-6);
+  EXPECT_LT(stats::euclideanNorm(res.best), 1e-2);
+}
+
+TEST(Deterministic, ConvergesOnNoiselessRosenbrock2D) {
+  auto obj = test::noisyRosenbrock(2, 0.0);
+  const auto start = test::simpleStart(2, -1.5, 0.5);
+  const auto res = runDeterministic(obj, start, quickOptions(20000));
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-6);
+  const auto target = testfunctions::rosenbrockMinimizer(2);
+  EXPECT_LT(stats::euclideanDistance(res.best, target), 0.05);
+}
+
+TEST(Deterministic, ConvergesOnNoiselessRosenbrock3D) {
+  auto obj = test::noisyRosenbrock(3, 0.0);
+  const auto start = test::simpleStart(3, -1.0, 0.8);
+  const auto res = runDeterministic(obj, start, quickOptions(50000));
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-5);
+}
+
+TEST(Deterministic, ConvergesOnNoiselessPowell) {
+  auto obj = test::noisyPowell(0.0);
+  const auto start = test::simpleStart(4, 2.0, 1.0);
+  const auto res = runDeterministic(obj, start, quickOptions(50000, 1e-12));
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-6);
+}
+
+TEST(Deterministic, RespectsIterationLimit) {
+  auto obj = test::noisyRosenbrock(2, 0.0);
+  const auto start = test::simpleStart(2);
+  auto opts = quickOptions(5);
+  const auto res = runDeterministic(obj, start, opts);
+  EXPECT_EQ(res.reason, TerminationReason::IterationLimit);
+  EXPECT_EQ(res.iterations, 5);
+}
+
+TEST(Deterministic, RespectsTimeLimit) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto start = test::simpleStart(2);
+  DetOptions o;
+  o.common.termination.tolerance = 0.0;  // disabled
+  o.common.termination.maxTime = 50.0;   // simulated seconds
+  o.common.termination.maxIterations = 1'000'000;
+  const auto res = runDeterministic(obj, start, o);
+  EXPECT_EQ(res.reason, TerminationReason::TimeLimit);
+  EXPECT_GE(res.elapsedTime, 50.0);
+  // DET takes at most ~3 samples per iteration; modest overshoot only.
+  EXPECT_LT(res.elapsedTime, 100.0);
+}
+
+TEST(Deterministic, RespectsSampleLimit) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto start = test::simpleStart(2);
+  DetOptions o;
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxSamples = 40;
+  o.common.termination.maxIterations = 1'000'000;
+  const auto res = runDeterministic(obj, start, o);
+  EXPECT_EQ(res.reason, TerminationReason::SampleLimit);
+  EXPECT_GE(res.totalSamples, 40);
+}
+
+TEST(Deterministic, TraceRecordsEveryIteration) {
+  auto obj = test::noisyRosenbrock(2, 0.0);
+  const auto start = test::simpleStart(2);
+  auto opts = quickOptions(50);
+  opts.common.recordTrace = true;
+  opts.common.termination.tolerance = 0.0;
+  const auto res = runDeterministic(obj, start, opts);
+  ASSERT_EQ(static_cast<std::int64_t>(res.trace.size()), res.iterations);
+  double lastTime = -1.0;
+  std::int64_t lastIter = 0;
+  for (const auto& r : res.trace.steps()) {
+    EXPECT_GE(r.time, lastTime);
+    EXPECT_GT(r.iteration, lastIter);
+    lastTime = r.time;
+    lastIter = r.iteration;
+    ASSERT_TRUE(r.bestTrue.has_value());
+  }
+}
+
+TEST(Deterministic, MoveCountersSumToIterations) {
+  auto obj = test::noisyRosenbrock(2, 0.0);
+  const auto start = test::simpleStart(2);
+  const auto res = runDeterministic(obj, start, quickOptions(500));
+  const auto& c = res.counters;
+  EXPECT_EQ(c.reflections + c.expansions + c.contractions + c.collapses, res.iterations);
+  EXPECT_EQ(c.gateWaitRounds, 0);   // DET has no gate
+  EXPECT_EQ(c.resampleRounds, 0);   // and no resampling
+}
+
+TEST(Deterministic, NoisyRunStillTerminates) {
+  auto obj = test::noisySphere(2, 100.0);
+  const auto start = test::simpleStart(2);
+  DetOptions o;
+  o.common.termination.tolerance = 1e-8;
+  o.common.termination.maxIterations = 300;
+  const auto res = runDeterministic(obj, start, o);
+  // With heavy noise DET may converge spuriously or hit the cap; either way
+  // it must stop and report honestly.
+  EXPECT_TRUE(res.reason == TerminationReason::Converged ||
+              res.reason == TerminationReason::IterationLimit);
+}
+
+TEST(Deterministic, BestEstimateMatchesBestVertex) {
+  auto obj = test::noisySphere(3, 0.0);
+  const auto start = test::simpleStart(3);
+  const auto res = runDeterministic(obj, start, quickOptions());
+  ASSERT_TRUE(res.bestTrue.has_value());
+  // Noiseless: estimate equals the true value at the best point.
+  EXPECT_DOUBLE_EQ(res.bestEstimate, *res.bestTrue);
+}
+
+TEST(Deterministic, WrongInitialPointCountThrows) {
+  auto obj = test::noisySphere(3, 0.0);
+  const auto start = test::simpleStart(2);  // 3 points for a 3-d problem: wrong
+  EXPECT_THROW((void)runDeterministic(obj, start, quickOptions()), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Direct tests of the shared engine machinery (detail::EngineBase): the
+// initial simplex build, trial-precision matching, collapse semantics and
+// the wait gates' edge cases.
+
+#include "core/engine_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::CommonOptions;
+using core::detail::EngineBase;
+
+TEST(EngineBase, ValidatesInitialSamples) {
+  auto obj = test::noisySphere(2, 1.0);
+  CommonOptions c;
+  c.initialSamplesPerVertex = 0;
+  EXPECT_THROW(EngineBase(obj, c), std::invalid_argument);
+}
+
+TEST(EngineBase, BuildInitialSimplexChecksPointCount) {
+  auto obj = test::noisySphere(3, 1.0);
+  CommonOptions c;
+  EngineBase eng(obj, c);
+  const auto tooFew = test::simpleStart(2);  // 3 points, need 4
+  EXPECT_THROW((void)eng.buildInitialSimplex(tooFew), std::invalid_argument);
+}
+
+TEST(EngineBase, BuildChargesCreationOnce) {
+  auto obj = test::noisySphere(2, 1.0);
+  CommonOptions c;
+  c.initialSamplesPerVertex = 10;
+  EngineBase eng(obj, c);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  // Three vertices sampled concurrently: the clock advances by 10 dt, not 30.
+  EXPECT_DOUBLE_EQ(eng.ctx().now(), 10.0);
+  EXPECT_EQ(eng.ctx().totalSamples(), 30);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.at(i).sampleCount(), 10);
+  }
+}
+
+TEST(EngineBase, MatchedTrialSamplesTracksHeaviestVertex) {
+  auto obj = test::noisySphere(2, 1.0);
+  CommonOptions c;
+  c.initialSamplesPerVertex = 4;
+  EngineBase eng(obj, c);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  EXPECT_EQ(eng.matchedTrialSamples(s), 4);
+  (void)eng.ctx().refine(s.at(1), 96);  // 100 total
+  EXPECT_EQ(eng.matchedTrialSamples(s), 100);
+}
+
+TEST(EngineBase, CreateTrialChargesItsOwnTime) {
+  auto obj = test::noisySphere(2, 1.0);
+  CommonOptions c;
+  EngineBase eng(obj, c);
+  const double before = eng.ctx().now();
+  auto v = eng.createTrial({0.5, 0.5}, 7);
+  EXPECT_EQ(v->sampleCount(), 7);
+  EXPECT_DOUBLE_EQ(eng.ctx().now() - before, 7.0);
+}
+
+TEST(EngineBase, CollapseReplacesAllButMinWithFreshVertices) {
+  auto obj = test::noisySphere(2, 1.0);
+  CommonOptions c;
+  c.initialSamplesPerVertex = 3;
+  EngineBase eng(obj, c);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  const auto o = s.ordering();
+  const auto minId = s.at(o.min).id();
+  const auto minCount = s.at(o.min).sampleCount();
+  (void)eng.ctx().refine(s.at(o.min), 50);  // make min clearly established
+  eng.collapse(s, o.min);
+  EXPECT_EQ(s.at(o.min).id(), minId);  // the min vertex survives untouched
+  EXPECT_EQ(s.at(o.min).sampleCount(), minCount + 50);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == o.min) continue;
+    EXPECT_EQ(s.at(i).sampleCount(), 3);  // fresh vertices, fresh estimates
+    EXPECT_NE(s.at(i).id(), minId);
+  }
+  EXPECT_EQ(s.contractionLevel(), 2);  // l += d
+  EXPECT_EQ(eng.counters().collapses, 1);
+}
+
+TEST(EngineBase, MaxNoiseGateNoOpWhenNoiseless) {
+  auto obj = test::noisySphere(2, 0.0);
+  CommonOptions c;
+  EngineBase eng(obj, c);
+  auto s = eng.buildInitialSimplex(test::simpleStart(2));
+  const auto samplesBefore = eng.ctx().totalSamples();
+  core::ResamplePolicy policy;
+  core::detail::maxNoiseGateWait(eng, s, {}, 2.0, policy);
+  EXPECT_EQ(eng.ctx().totalSamples(), samplesBefore);
+  EXPECT_EQ(eng.counters().gateWaitRounds, 0);
+}
+
+TEST(EngineBase, MaxNoiseGateStopsAtSampleCap) {
+  // A vanishing k makes the gate condition effectively unsatisfiable;
+  // the per-vertex cap must break the loop with a forced resolution.
+  auto obj = test::noisySphere(2, 5.0);
+  CommonOptions c;
+  c.sampling.maxSamplesPerVertex = 64;
+  EngineBase eng(obj, c);
+  const std::vector<core::Point> identical(3, core::Point{1.0, 1.0});
+  auto s = eng.buildInitialSimplex(identical);
+  core::ResamplePolicy policy;
+  core::detail::maxNoiseGateWait(eng, s, {}, 1e-12, policy);
+  EXPECT_EQ(eng.counters().forcedResolutions, 1);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.at(i).sampleCount(), 64);
+  }
+}
+
+TEST(EngineBase, GateRespectsTimeBudget) {
+  auto obj = test::noisySphere(2, 100.0);
+  CommonOptions c;
+  c.termination.maxTime = 50.0;
+  EngineBase eng(obj, c);
+  const std::vector<core::Point> identical(3, core::Point{1.0, 1.0});
+  auto s = eng.buildInitialSimplex(identical);
+  core::ResamplePolicy policy;
+  core::detail::maxNoiseGateWait(eng, s, {}, 1e-12, policy);
+  // Overshoot bounded by one (growing) block.
+  EXPECT_LT(eng.ctx().now(), 50.0 + static_cast<double>(policy.maxBlock));
+  EXPECT_TRUE(eng.timeExhausted());
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "core/initial_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace sfopt;
+using core::Point;
+
+TEST(RandomSimplexPoints, ShapeAndRange) {
+  noise::RngStream rng(1, 0);
+  const auto pts = core::randomSimplexPoints(4, -5.0, 5.0, rng);
+  ASSERT_EQ(pts.size(), 5u);
+  for (const auto& p : pts) {
+    ASSERT_EQ(p.size(), 4u);
+    for (double c : p) {
+      EXPECT_GE(c, -5.0);
+      EXPECT_LT(c, 5.0);
+    }
+  }
+}
+
+TEST(RandomSimplexPoints, ReproducibleByStream) {
+  noise::RngStream a(9, 3);
+  noise::RngStream b(9, 3);
+  EXPECT_EQ(core::randomSimplexPoints(3, -6.0, 3.0, a),
+            core::randomSimplexPoints(3, -6.0, 3.0, b));
+}
+
+TEST(RandomSimplexPoints, DifferentStreamsDiffer) {
+  noise::RngStream a(9, 3);
+  noise::RngStream b(9, 4);
+  EXPECT_NE(core::randomSimplexPoints(3, -6.0, 3.0, a),
+            core::randomSimplexPoints(3, -6.0, 3.0, b));
+}
+
+TEST(RandomSimplexPoints, Validation) {
+  noise::RngStream rng(1, 0);
+  EXPECT_THROW((void)core::randomSimplexPoints(1, -1.0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)core::randomSimplexPoints(3, 1.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(AxisSimplexPoints, Structure) {
+  const auto pts = core::axisSimplexPoints(Point{1.0, 2.0, 3.0}, 0.5);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], (Point{1.0, 2.0, 3.0}));
+  EXPECT_EQ(pts[1], (Point{1.5, 2.0, 3.0}));
+  EXPECT_EQ(pts[2], (Point{1.0, 2.5, 3.0}));
+  EXPECT_EQ(pts[3], (Point{1.0, 2.0, 3.5}));
+}
+
+TEST(AxisSimplexPoints, Validation) {
+  EXPECT_THROW((void)core::axisSimplexPoints(Point{1.0}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)core::axisSimplexPoints(Point{1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "stats/performance.hpp"
+#include "stats/summary.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::MaxNoiseOptions;
+using core::runDeterministic;
+using core::runMaxNoise;
+using core::TerminationReason;
+
+MaxNoiseOptions mnOptions(double k = 2.0) {
+  MaxNoiseOptions o;
+  o.k = k;
+  o.common.termination.tolerance = 1e-3;
+  o.common.termination.maxIterations = 400;
+  o.common.termination.maxTime = 2e6;
+  o.common.sampling.maxSamplesPerVertex = 200'000;
+  return o;
+}
+
+TEST(MaxNoise, ConvergesOnNoiselessSphere) {
+  auto obj = test::noisySphere(2, 0.0);
+  const auto res = runMaxNoise(obj, test::simpleStart(2), mnOptions());
+  EXPECT_EQ(res.reason, TerminationReason::Converged);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1e-2);
+  // Noiseless: estimated sigma is 0, the gate never has to wait.
+  EXPECT_EQ(res.counters.gateWaitRounds, 0);
+}
+
+TEST(MaxNoise, GateEngagesUnderNoise) {
+  auto obj = test::noisySphere(2, 10.0);
+  const auto res = runMaxNoise(obj, test::simpleStart(2), mnOptions());
+  EXPECT_GT(res.counters.gateWaitRounds, 0);
+}
+
+TEST(MaxNoise, ApproachesOptimumOnNoisySphere) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto res = runMaxNoise(obj, test::simpleStart(2), mnOptions());
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 0.5);
+}
+
+TEST(MaxNoise, BeatsDeterministicOnNoisyRosenbrockMedian) {
+  // The paper's central claim for MN (Fig 3.5a): on a noisy landscape the
+  // gate prevents premature convergence; across starts the MN minimum is
+  // at least as good as DET's in the median.
+  const double sigma0 = 100.0;
+  std::vector<double> ratios;
+  for (std::uint64_t s = 0; s < 9; ++s) {
+    auto obj = test::noisyRosenbrock(3, sigma0, 9000 + s);
+    const auto start = test::randomStart(3, -6.0, 3.0, 31, s);
+
+    core::DetOptions det;
+    det.common.termination.tolerance = 1e-3;
+    det.common.termination.maxIterations = 400;
+    const auto rd = runDeterministic(obj, start, det);
+
+    const auto rm = runMaxNoise(obj, start, mnOptions());
+    ASSERT_TRUE(rd.bestTrue.has_value());
+    ASSERT_TRUE(rm.bestTrue.has_value());
+    ratios.push_back(stats::logRatio(*rm.bestTrue, *rd.bestTrue));
+  }
+  stats::Summary s(ratios);
+  EXPECT_LE(s.median(), 0.5);   // MN not worse in the median
+  EXPECT_LT(s.percentile(25.0), 0.0);  // and clearly better in a solid fraction
+}
+
+TEST(MaxNoise, LargerKConvergesFaster) {
+  // k only controls how long the gate waits: larger k = looser gate =
+  // fewer wait rounds per decision (paper section 3.2).
+  auto obj1 = test::noisySphere(2, 5.0, 42);
+  auto obj2 = test::noisySphere(2, 5.0, 42);
+  const auto start = test::simpleStart(2);
+  const auto strict = runMaxNoise(obj1, start, mnOptions(1.0));
+  const auto loose = runMaxNoise(obj2, start, mnOptions(16.0));
+  EXPECT_LE(loose.totalSamples, strict.totalSamples);
+}
+
+TEST(MaxNoise, TimeLimitRespectedWithinOneBlock) {
+  auto obj = test::noisySphere(2, 50.0);
+  MaxNoiseOptions o = mnOptions();
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxTime = 1000.0;
+  o.common.termination.maxIterations = 1'000'000;
+  const auto res = runMaxNoise(obj, test::simpleStart(2), o);
+  EXPECT_EQ(res.reason, TerminationReason::TimeLimit);
+  // The gate checks the budget every round; overshoot is bounded by one
+  // refinement block plus one trial creation.
+  EXPECT_LT(res.elapsedTime, 1000.0 + 3.0 * static_cast<double>(o.resample.maxBlock));
+}
+
+TEST(MaxNoise, SampleCapForcesProgress) {
+  // With a tiny per-vertex cap, the gate cannot always be satisfied; the
+  // run must still make moves and terminate rather than spin.
+  auto obj = test::noisySphere(2, 100.0);
+  MaxNoiseOptions o = mnOptions();
+  o.common.sampling.maxSamplesPerVertex = 8;
+  o.common.termination.maxIterations = 50;
+  o.common.termination.tolerance = 0.0;
+  const auto res = runMaxNoise(obj, test::simpleStart(2), o);
+  EXPECT_EQ(res.iterations, 50);
+  EXPECT_GT(res.counters.forcedResolutions, 0);
+}
+
+TEST(MaxNoise, CountersConsistent) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto res = runMaxNoise(obj, test::simpleStart(2), mnOptions());
+  const auto& c = res.counters;
+  EXPECT_EQ(c.reflections + c.expansions + c.contractions + c.collapses, res.iterations);
+  EXPECT_EQ(c.resampleRounds, 0);  // MN never does pairwise resampling
+}
+
+TEST(MaxNoise, TraceDiameterShrinksOverall) {
+  auto obj = test::noisySphere(2, 0.0);
+  MaxNoiseOptions o = mnOptions();
+  o.common.recordTrace = true;
+  const auto res = runMaxNoise(obj, test::simpleStart(2), o);
+  ASSERT_GE(res.trace.size(), 2u);
+  EXPECT_LT(res.trace.steps().back().diameter, res.trace.steps().front().diameter);
+}
+
+}  // namespace

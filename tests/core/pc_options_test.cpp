@@ -1,0 +1,119 @@
+// Tests for the PC/MN option knobs added on top of the paper's listings:
+// minSamplesForConfidence, matchTrialPrecision, maxRoundsPerComparison.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "stats/summary.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::MaxNoiseOptions;
+using core::PCOptions;
+using core::runMaxNoise;
+using core::runPointToPoint;
+
+PCOptions basePc() {
+  PCOptions o;
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxIterations = 60;
+  o.common.termination.maxSamples = 500'000;
+  o.common.sampling.maxSamplesPerVertex = 50'000;
+  return o;
+}
+
+TEST(PCOptionsDefaults, CarrySigmaFloorAndRoundCap) {
+  const PCOptions o;
+  EXPECT_EQ(o.common.initialSamplesPerVertex, 32);
+  EXPECT_EQ(o.resample.maxRoundsPerComparison, 9);
+  EXPECT_EQ(o.minSamplesForConfidence, 8);
+  EXPECT_TRUE(o.matchTrialPrecision);
+}
+
+TEST(PCMinSamples, GuardForcesEarlySampling) {
+  // With a high floor, every noise-aware comparison must first bring both
+  // vertices to the floor, so the per-iteration sample cost rises.
+  auto obj1 = test::noisySphere(2, 5.0, 71);
+  auto obj2 = test::noisySphere(2, 5.0, 71);
+  const auto start = test::simpleStart(2);
+  PCOptions lo = basePc();
+  lo.minSamplesForConfidence = 2;
+  lo.matchTrialPrecision = false;
+  lo.common.initialSamplesPerVertex = 2;
+  PCOptions hi = lo;
+  hi.minSamplesForConfidence = 256;
+  const auto rLo = runPointToPoint(obj1, start, lo);
+  const auto rHi = runPointToPoint(obj2, start, hi);
+  EXPECT_GT(rHi.totalSamples / std::max<std::int64_t>(rHi.iterations, 1),
+            rLo.totalSamples / std::max<std::int64_t>(rLo.iterations, 1));
+}
+
+TEST(PCRoundCap, BoundsResolutionEffort) {
+  // An uncapped run on a heavy-noise flat-ish landscape spends far more
+  // samples per iteration than a capped one.
+  auto obj1 = test::noisySphere(2, 50.0, 73);
+  auto obj2 = test::noisySphere(2, 50.0, 73);
+  const auto start = test::simpleStart(2, -0.3, 0.4);  // small simplex: ties abound
+  PCOptions capped = basePc();
+  capped.resample.maxRoundsPerComparison = 4;
+  PCOptions uncapped = basePc();
+  uncapped.resample.maxRoundsPerComparison = 0;
+  const auto rCap = runPointToPoint(obj1, start, capped);
+  const auto rUncap = runPointToPoint(obj2, start, uncapped);
+  const double perIterCap =
+      static_cast<double>(rCap.totalSamples) / std::max<std::int64_t>(rCap.iterations, 1);
+  const double perIterUncap =
+      static_cast<double>(rUncap.totalSamples) / std::max<std::int64_t>(rUncap.iterations, 1);
+  EXPECT_LT(perIterCap, perIterUncap);
+  EXPECT_GT(rCap.counters.forcedResolutions, 0);
+}
+
+TEST(PCTrialMatching, MatchedTrialsStartHeavier) {
+  // Run a few iterations with and without matching on a noisy landscape;
+  // matched runs consume more samples per iteration because every trial is
+  // born at the precision of the most-sampled vertex.
+  auto obj1 = test::noisySphere(2, 10.0, 75);
+  auto obj2 = test::noisySphere(2, 10.0, 75);
+  const auto start = test::simpleStart(2);
+  PCOptions matched = basePc();
+  matched.matchTrialPrecision = true;
+  PCOptions literal = basePc();
+  literal.matchTrialPrecision = false;
+  literal.common.initialSamplesPerVertex = 2;
+  const auto rM = runPointToPoint(obj1, start, matched);
+  const auto rL = runPointToPoint(obj2, start, literal);
+  const double perIterM =
+      static_cast<double>(rM.totalSamples) / std::max<std::int64_t>(rM.iterations, 1);
+  const double perIterL =
+      static_cast<double>(rL.totalSamples) / std::max<std::int64_t>(rL.iterations, 1);
+  EXPECT_GE(perIterM, perIterL);
+}
+
+TEST(MNTrialMatching, MatchedBeatsLiteralInMedian) {
+  // The ablation claim of DESIGN.md: precision-matched trials improve MN
+  // at high noise (its decisions are plain mean comparisons, so an
+  // unsampled trial is pure danger).
+  std::vector<double> ratios;
+  for (std::uint64_t s = 0; s < 9; ++s) {
+    auto obj1 = test::noisyRosenbrock(3, 200.0, 400 + s);
+    auto obj2 = test::noisyRosenbrock(3, 200.0, 400 + s);
+    const auto start = test::randomStart(3, -5.0, 5.0, 19, s);
+    MaxNoiseOptions matched;
+    matched.common.termination.tolerance = 1e-3;
+    matched.common.termination.maxIterations = 200;
+    matched.common.termination.maxSamples = 300'000;
+    matched.matchTrialPrecision = true;
+    MaxNoiseOptions literal = matched;
+    literal.matchTrialPrecision = false;
+    const auto rM = runMaxNoise(obj1, start, matched);
+    const auto rL = runMaxNoise(obj2, start, literal);
+    ASSERT_TRUE(rM.bestTrue.has_value());
+    ASSERT_TRUE(rL.bestTrue.has_value());
+    ratios.push_back(stats::logRatio(*rM.bestTrue, *rL.bestTrue));
+  }
+  EXPECT_LE(stats::Summary(ratios).median(), 0.2);
+}
+
+}  // namespace

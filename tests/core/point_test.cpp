@@ -1,0 +1,57 @@
+#include "core/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace sfopt::core;
+
+TEST(PointOps, AddSubtractScale) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(add(a, b), (Point{4.0, 1.0}));
+  EXPECT_EQ(subtract(a, b), (Point{-2.0, 3.0}));
+  EXPECT_EQ(scale(a, 2.0), (Point{2.0, 4.0}));
+}
+
+TEST(PointOps, DimensionMismatchThrows) {
+  const Point a{1.0, 2.0};
+  const Point b{1.0};
+  EXPECT_THROW((void)add(a, b), std::invalid_argument);
+  EXPECT_THROW((void)subtract(a, b), std::invalid_argument);
+  EXPECT_THROW((void)affineCombine(1.0, a, 1.0, b), std::invalid_argument);
+}
+
+TEST(PointOps, AffineCombine) {
+  const Point a{2.0, 4.0};
+  const Point b{1.0, 1.0};
+  // 2a - b
+  EXPECT_EQ(affineCombine(2.0, a, -1.0, b), (Point{3.0, 7.0}));
+}
+
+TEST(PointOps, Centroid) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_EQ(centroid(pts), (Point{1.0, 1.0}));
+  EXPECT_THROW((void)centroid(std::vector<Point>{}), std::invalid_argument);
+}
+
+TEST(PointOps, CentroidMixedDimensionThrows) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0}};
+  EXPECT_THROW((void)centroid(pts), std::invalid_argument);
+}
+
+TEST(PointOps, ChebyshevDistance) {
+  const Point a{0.0, 5.0};
+  const Point b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(chebyshevDistance(a, b), 3.0);
+}
+
+TEST(PointOps, ToStringFormat) {
+  const Point a{1.0, -2.5};
+  EXPECT_EQ(toString(a, 3), "(1, -2.5)");
+  EXPECT_EQ(toString(Point{}), "()");
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+#include "core/pso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/performance.hpp"
+#include "stats/summary.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::PsoOptions;
+using core::runParticleSwarm;
+using core::TerminationReason;
+
+PsoOptions quickPso(std::uint64_t seed = 0xB05) {
+  PsoOptions o;
+  o.particles = 16;
+  o.termination.tolerance = 1e-4;
+  o.termination.maxIterations = 300;
+  o.termination.maxSamples = 500'000;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Pso, ValidatesOptions) {
+  auto obj = test::noisySphere(2, 0.0);
+  PsoOptions bad = quickPso();
+  bad.particles = 1;
+  EXPECT_THROW((void)runParticleSwarm(obj, bad), std::invalid_argument);
+  bad = quickPso();
+  bad.boxLo = bad.boxHi;
+  EXPECT_THROW((void)runParticleSwarm(obj, bad), std::invalid_argument);
+  bad = quickPso();
+  bad.samplesPerEvaluation = 0;
+  EXPECT_THROW((void)runParticleSwarm(obj, bad), std::invalid_argument);
+}
+
+TEST(Pso, ConvergesOnNoiselessSphere) {
+  auto obj = test::noisySphere(3, 0.0);
+  const auto res = runParticleSwarm(obj, quickPso());
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 0.05);
+}
+
+TEST(Pso, FindsGlobalBasinOnNoiselessRastrigin) {
+  // PSO's selling point over the local simplex: global search.  Over the
+  // standard box the swarm should land in or next to the global basin.
+  noise::NoisyFunction::Options no;
+  no.sigma0 = 0.0;
+  noise::NoisyFunction obj(
+      2, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, no);
+  PsoOptions o = quickPso(7);
+  o.particles = 24;
+  o.termination.maxIterations = 400;
+  const auto res = runParticleSwarm(obj, o);
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 2.0);  // at worst the first ring of local minima
+}
+
+TEST(Pso, ApproachesOptimumUnderNoise) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto res = runParticleSwarm(obj, quickPso());
+  ASSERT_TRUE(res.bestTrue.has_value());
+  EXPECT_LT(*res.bestTrue, 1.0);
+}
+
+TEST(Pso, ReproducibleBySeed) {
+  auto obj1 = test::noisySphere(2, 1.0);
+  auto obj2 = test::noisySphere(2, 1.0);
+  const auto a = runParticleSwarm(obj1, quickPso(5));
+  const auto b = runParticleSwarm(obj2, quickPso(5));
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.iterations, b.iterations);
+  const auto c = runParticleSwarm(obj1, quickPso(6));
+  EXPECT_NE(a.best, c.best);
+}
+
+TEST(Pso, RespectsBudgets) {
+  auto obj = test::noisySphere(2, 10.0);
+  PsoOptions o = quickPso();
+  o.termination.tolerance = 0.0;
+  o.termination.maxIterations = 20;
+  o.termination.maxSamples = 0;  // disabled: let the iteration cap bind
+  o.resample.maxRoundsPerComparison = 4;
+  const auto res = runParticleSwarm(obj, o);
+  EXPECT_EQ(res.reason, TerminationReason::IterationLimit);
+  EXPECT_EQ(res.iterations, 20);
+
+  o.termination.maxIterations = 1'000'000;
+  o.termination.maxSamples = 2'000;
+  const auto res2 = runParticleSwarm(obj, o);
+  EXPECT_EQ(res2.reason, TerminationReason::SampleLimit);
+}
+
+TEST(Pso, ConfidenceModeDuelsResample) {
+  auto obj = test::noisySphere(2, 10.0);
+  PsoOptions o = quickPso();
+  o.confidenceBestUpdates = true;
+  o.resample.maxRoundsPerComparison = 6;
+  o.termination.maxIterations = 50;
+  const auto res = runParticleSwarm(obj, o);
+  EXPECT_GT(res.counters.resampleRounds, 0);
+}
+
+TEST(Pso, PlainModeNeverResamples) {
+  auto obj = test::noisySphere(2, 10.0);
+  PsoOptions o = quickPso();
+  o.confidenceBestUpdates = false;
+  o.termination.maxIterations = 50;
+  const auto res = runParticleSwarm(obj, o);
+  EXPECT_EQ(res.counters.resampleRounds, 0);
+}
+
+TEST(Pso, ConfidenceModeResistsWinnersCurse) {
+  // Under heavy noise the plain scheme crowns lucky draws as bests, so its
+  // reported best estimate is biased far below the true value; confidence
+  // duels keep the gap small.  Compare |estimate - true| medians.
+  std::vector<double> plainGap;
+  std::vector<double> confGap;
+  for (std::uint64_t s = 0; s < 7; ++s) {
+    auto obj1 = test::noisySphere(2, 20.0, 600 + s);
+    auto obj2 = test::noisySphere(2, 20.0, 600 + s);
+    PsoOptions plain = quickPso(100 + s);
+    plain.confidenceBestUpdates = false;
+    plain.termination.maxIterations = 60;
+    plain.termination.tolerance = 0.0;
+    PsoOptions conf = plain;
+    conf.confidenceBestUpdates = true;
+    conf.resample.maxRoundsPerComparison = 8;
+    const auto rp = runParticleSwarm(obj1, plain);
+    const auto rc = runParticleSwarm(obj2, conf);
+    plainGap.push_back(std::fabs(rp.bestEstimate - rp.bestTrue.value_or(0.0)));
+    confGap.push_back(std::fabs(rc.bestEstimate - rc.bestTrue.value_or(0.0)));
+  }
+  EXPECT_LT(stats::Summary(confGap).median(), stats::Summary(plainGap).median());
+}
+
+TEST(Pso, TraceRecordsGenerations) {
+  auto obj = test::noisySphere(2, 1.0);
+  PsoOptions o = quickPso();
+  o.recordTrace = true;
+  o.termination.maxIterations = 25;
+  o.termination.tolerance = 0.0;
+  const auto res = runParticleSwarm(obj, o);
+  EXPECT_EQ(static_cast<std::int64_t>(res.trace.size()), res.iterations);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "core/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/performance.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::makeRunner;
+using core::RestartOptions;
+using core::runWithRestarts;
+
+core::MaxNoiseOptions quickMn() {
+  core::MaxNoiseOptions o;
+  o.common.termination.tolerance = 1e-4;
+  o.common.termination.maxIterations = 300;
+  o.common.termination.maxSamples = 100'000;
+  return o;
+}
+
+TEST(Restart, ValidatesOptions) {
+  auto obj = test::noisySphere(2, 0.0);
+  RestartOptions bad;
+  bad.restarts = -1;
+  EXPECT_THROW(
+      (void)runWithRestarts(obj, test::simpleStart(2), makeRunner(quickMn()), bad),
+      std::invalid_argument);
+  RestartOptions bad2;
+  bad2.evaluationSamples = 0;
+  EXPECT_THROW(
+      (void)runWithRestarts(obj, test::simpleStart(2), makeRunner(quickMn()), bad2),
+      std::invalid_argument);
+}
+
+TEST(Restart, ZeroRestartsEqualsSingleRun) {
+  auto obj = test::noisySphere(2, 1.0);
+  RestartOptions opts;
+  opts.restarts = 0;
+  const auto restarted =
+      runWithRestarts(obj, test::simpleStart(2), makeRunner(quickMn()), opts);
+  const auto single = core::runMaxNoise(obj, test::simpleStart(2), quickMn());
+  EXPECT_EQ(restarted.stagesRun, 1);
+  EXPECT_EQ(restarted.winningStage, 0);
+  EXPECT_EQ(restarted.best.best, single.best);
+  EXPECT_EQ(restarted.totalSamples, single.totalSamples);
+}
+
+TEST(Restart, AggregatesEffortAcrossStages) {
+  auto obj = test::noisySphere(2, 1.0);
+  RestartOptions opts;
+  opts.restarts = 2;
+  const auto r = runWithRestarts(obj, test::simpleStart(2), makeRunner(quickMn()), opts);
+  EXPECT_EQ(r.stagesRun, 3);
+  EXPECT_GT(r.totalSamples, r.best.totalSamples);
+  EXPECT_GE(r.totalElapsedTime, r.best.elapsedTime);
+}
+
+TEST(Restart, NeverWorseThanFirstStageOnSphere) {
+  auto obj = test::noisySphere(2, 1.0);
+  RestartOptions opts;
+  opts.restarts = 3;
+  const auto r = runWithRestarts(obj, test::simpleStart(2), makeRunner(quickMn()), opts);
+  const auto first = core::runMaxNoise(obj, test::simpleStart(2), quickMn());
+  ASSERT_TRUE(r.best.bestTrue.has_value());
+  ASSERT_TRUE(first.bestTrue.has_value());
+  // The referee can only keep or improve the incumbent (up to its own
+  // sampling error — allow a small tolerance).
+  EXPECT_LE(*r.best.bestTrue, *first.bestTrue + 0.5);
+}
+
+TEST(Restart, EscapesLocalMinimumOnRastrigin) {
+  // Rastrigin has local minima at every integer lattice point; a single
+  // local simplex from a bad start often gets trapped, while the
+  // restarted strategy drills toward the origin.
+  noise::NoisyFunction::Options no;
+  no.sigma0 = 0.05;
+  no.seed = 31;
+  noise::NoisyFunction obj(
+      2, [](std::span<const double> x) { return testfunctions::rastrigin(x); }, no);
+  const auto start = test::simpleStart(2, 2.1, 0.4);  // near the (2,2) local min
+
+  core::MaxNoiseOptions inner = quickMn();
+  RestartOptions opts;
+  opts.restarts = 6;
+  opts.initialScale = 2.0;
+  opts.scaleDecay = 0.7;
+  const auto r = runWithRestarts(obj, start, makeRunner(inner), opts);
+  const auto single = core::runMaxNoise(obj, start, inner);
+  ASSERT_TRUE(r.best.bestTrue.has_value());
+  ASSERT_TRUE(single.bestTrue.has_value());
+  EXPECT_LE(*r.best.bestTrue, *single.bestTrue + 1e-9);
+}
+
+TEST(Restart, WorksWithPCRunner) {
+  auto obj = test::noisySphere(2, 1.0);
+  core::PCOptions pc;
+  pc.common.termination.tolerance = 1e-3;
+  pc.common.termination.maxIterations = 100;
+  pc.common.termination.maxSamples = 100'000;
+  RestartOptions opts;
+  opts.restarts = 1;
+  const auto r = runWithRestarts(obj, test::simpleStart(2), makeRunner(pc), opts);
+  ASSERT_TRUE(r.best.bestTrue.has_value());
+  EXPECT_LT(*r.best.bestTrue, 1.0);
+}
+
+}  // namespace

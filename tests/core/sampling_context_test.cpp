@@ -1,0 +1,118 @@
+#include "core/sampling_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::SamplingContext;
+using core::SigmaMode;
+using core::Vertex;
+
+TEST(SamplingContext, CreateVertexSamplesAndCounts) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto v = ctx.createVertex({1.0, 1.0}, 5);
+  EXPECT_EQ(v->sampleCount(), 5);
+  EXPECT_EQ(ctx.totalSamples(), 5);
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);  // creation does not advance the clock
+}
+
+TEST(SamplingContext, VertexIdsAreUnique) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto a = ctx.createVertex({0.0, 0.0}, 1);
+  auto b = ctx.createVertex({0.0, 0.0}, 1);
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(ctx.verticesCreated(), 2);
+}
+
+TEST(SamplingContext, DimensionMismatchThrows) {
+  auto obj = test::noisySphere(3, 1.0);
+  SamplingContext ctx(obj);
+  EXPECT_THROW((void)ctx.createVertex({1.0, 1.0}, 1), std::invalid_argument);
+}
+
+TEST(SamplingContext, RefineRespectsCap) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext::Options opts;
+  opts.maxSamplesPerVertex = 10;
+  SamplingContext ctx(obj, opts);
+  auto v = ctx.createVertex({0.0, 0.0}, 4);
+  EXPECT_EQ(ctx.refine(*v, 100), 6);  // only room for 6 more
+  EXPECT_EQ(v->sampleCount(), 10);
+  EXPECT_TRUE(ctx.atSampleCap(*v));
+  EXPECT_EQ(ctx.refine(*v, 5), 0);
+}
+
+TEST(SamplingContext, CoSampleChargesMaxDuration) {
+  auto obj = test::noisySphere(2, 1.0);  // sampleDuration = 1
+  SamplingContext ctx(obj);
+  auto a = ctx.createVertex({0.0, 0.0}, 1);
+  auto b = ctx.createVertex({1.0, 1.0}, 1);
+  ctx.coSample({{a.get(), 10}, {b.get(), 3}});
+  // Concurrent refinement: wall time advances by max(10, 3) * dt = 10.
+  EXPECT_DOUBLE_EQ(ctx.now(), 10.0);
+  EXPECT_EQ(a->sampleCount(), 11);
+  EXPECT_EQ(b->sampleCount(), 4);
+}
+
+TEST(SamplingContext, CoSampleMaxIsOverSamplesActuallyTaken) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext::Options opts;
+  opts.maxSamplesPerVertex = 5;
+  SamplingContext ctx(obj, opts);
+  auto a = ctx.createVertex({0.0, 0.0}, 4);
+  auto b = ctx.createVertex({1.0, 1.0}, 1);
+  ctx.coSample({{a.get(), 100}, {b.get(), 2}});
+  // a could only take 1 more (cap 5); b took 2; charge max = 2.
+  EXPECT_DOUBLE_EQ(ctx.now(), 2.0);
+}
+
+TEST(SamplingContext, SigmaEstimatedVsExact) {
+  auto obj = test::noisySphere(2, 4.0);
+  SamplingContext estCtx(obj, {.sigmaMode = SigmaMode::Estimated});
+  SamplingContext exactCtx(obj, {.sigmaMode = SigmaMode::Exact});
+  auto v = estCtx.createVertex({0.5, 0.5}, 64);
+  // Exact: sigma0 / sqrt(64) = 0.5.
+  EXPECT_DOUBLE_EQ(exactCtx.sigma(*v), 0.5);
+  // Estimated should be in the same ballpark (loose tolerance).
+  EXPECT_NEAR(estCtx.sigma(*v), 0.5, 0.35);
+}
+
+TEST(SamplingContext, TrueValuePassesThrough) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto v = ctx.createVertex({3.0, 4.0}, 1);
+  ASSERT_TRUE(ctx.trueValue(*v).has_value());
+  EXPECT_DOUBLE_EQ(*ctx.trueValue(*v), 25.0);
+}
+
+TEST(SamplingContext, EstimateConvergesToTrueValue) {
+  auto obj = test::noisySphere(2, 5.0);
+  SamplingContext ctx(obj);
+  auto v = ctx.createVertex({1.0, 2.0}, 2);
+  ctx.refine(*v, 40000);
+  EXPECT_NEAR(v->mean(), 5.0, 0.15);
+  EXPECT_LT(ctx.sigma(*v), 0.05);
+}
+
+TEST(SamplingContext, RejectsBadOptions) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext::Options opts;
+  opts.maxSamplesPerVertex = 0;
+  EXPECT_THROW(SamplingContext(obj, opts), std::invalid_argument);
+}
+
+TEST(SamplingContext, NegativeRefineThrows) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto v = ctx.createVertex({0.0, 0.0}, 1);
+  EXPECT_THROW((void)ctx.refine(*v, -1), std::invalid_argument);
+}
+
+}  // namespace

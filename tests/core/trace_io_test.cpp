@@ -1,0 +1,87 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sfopt;
+
+core::OptimizationTrace sampleTrace() {
+  core::OptimizationTrace t;
+  core::StepRecord a;
+  a.iteration = 1;
+  a.time = 10.5;
+  a.bestEstimate = 3.25;
+  a.bestTrue = 3.0;
+  a.diameter = 1.5;
+  a.contractionLevel = 0;
+  a.move = core::MoveKind::Reflection;
+  a.totalSamples = 42;
+  t.record(a);
+  core::StepRecord b;
+  b.iteration = 2;
+  b.time = 20.0;
+  b.bestEstimate = 1.0;
+  // bestTrue unknown
+  b.move = core::MoveKind::Collapse;
+  b.totalSamples = 99;
+  t.record(b);
+  return t;
+}
+
+TEST(TraceIo, CsvHeaderAndRows) {
+  std::stringstream ss;
+  core::writeTraceCsv(ss, sampleTrace());
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line,
+            "iteration,time,best_estimate,best_true,diameter,contraction_level,move,"
+            "total_samples");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "1,10.5,3.25,3,1.5,0,reflection,42");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "2,20,1,,0,0,collapse,99");  // empty best_true field
+  EXPECT_FALSE(std::getline(ss, line));
+}
+
+TEST(TraceIo, EmptyTraceIsJustHeader) {
+  std::stringstream ss;
+  core::writeTraceCsv(ss, core::OptimizationTrace{});
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_FALSE(line.empty());
+  EXPECT_FALSE(std::getline(ss, line));
+}
+
+TEST(TraceIo, FileRoundTripFromRealRun) {
+  auto obj = test::noisySphere(2, 1.0);
+  core::MaxNoiseOptions o;
+  o.common.recordTrace = true;
+  o.common.termination.maxIterations = 20;
+  o.common.termination.tolerance = 0.0;
+  const auto res = core::runMaxNoise(obj, test::simpleStart(2), o);
+  const fs::path path = fs::temp_directory_path() / "sfopt_trace_test.csv";
+  fs::remove(path);
+  core::saveTraceCsv(path, res.trace);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, res.trace.size() + 1);  // header + one row per step
+  fs::remove(path);
+}
+
+TEST(TraceIo, BadPathThrows) {
+  EXPECT_THROW(core::saveTraceCsv("/no/such/dir/trace.csv", core::OptimizationTrace{}),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include "md/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/system.hpp"
+
+namespace {
+
+using namespace sfopt::md;
+
+WaterSystem tinySystem(std::uint64_t seed = 3) {
+  return buildWaterLattice(27, 0.997, 298.0, tip4pPublished(), 3.5, seed);
+}
+
+TEST(Forces, NewtonsThirdLawTotalForceVanishes) {
+  auto sys = tinySystem();
+  (void)computeForces(sys);
+  Vec3 total{};
+  for (const auto& f : sys.forces) total += f;
+  EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+TEST(Forces, MatchFiniteDifferenceGradient) {
+  // The definitive correctness check: F_i = -dU/dx_i for every component
+  // of several sites, via central differences on the total potential.
+  auto sys = tinySystem();
+  const auto base = computeForces(sys);
+  const double h = 1e-6;
+  for (int site : {0, 1, 2, 9, 10, 23}) {
+    for (int comp = 0; comp < 3; ++comp) {
+      auto perturbed = sys;
+      auto& p = perturbed.positions[static_cast<std::size_t>(site)];
+      double* coord = comp == 0 ? &p.x : (comp == 1 ? &p.y : &p.z);
+      *coord += h;
+      const double ePlus = computeForces(perturbed).potential;
+      *coord -= 2.0 * h;
+      const double eMinus = computeForces(perturbed).potential;
+      const double fd = -(ePlus - eMinus) / (2.0 * h);
+      const auto& f = sys.forces[static_cast<std::size_t>(site)];
+      const double analytic = comp == 0 ? f.x : (comp == 1 ? f.y : f.z);
+      EXPECT_NEAR(analytic, fd, 1e-3 * std::max(1.0, std::abs(fd)))
+          << "site " << site << " comp " << comp;
+    }
+  }
+  (void)base;
+}
+
+TEST(Forces, TranslationInvariance) {
+  auto sys = tinySystem();
+  const double e0 = computeForces(sys).potential;
+  for (auto& p : sys.positions) p += Vec3{1.3, -0.7, 2.1};
+  const double e1 = computeForces(sys).potential;
+  EXPECT_NEAR(e0, e1, 1e-9 * std::max(1.0, std::abs(e0)));
+}
+
+TEST(Forces, PeriodicImageInvariance) {
+  auto sys = tinySystem();
+  const double e0 = computeForces(sys).potential;
+  // Shift one whole molecule by a full box edge: identical by periodicity.
+  const double L = sys.box().edge();
+  for (int s = 0; s < 3; ++s) sys.positions[static_cast<std::size_t>(s)] += Vec3{L, 0.0, 0.0};
+  const double e1 = computeForces(sys).potential;
+  EXPECT_NEAR(e0, e1, 1e-9 * std::max(1.0, std::abs(e0)));
+}
+
+TEST(Forces, EquilibriumGeometryHasNoIntramolecularEnergy) {
+  auto sys = tinySystem();
+  const auto r = computeForces(sys);
+  // Lattice builder places every molecule at its equilibrium geometry.
+  EXPECT_NEAR(r.intramolecular, 0.0, 1e-9);
+}
+
+TEST(Forces, DecompositionSumsToTotal) {
+  auto sys = tinySystem();
+  const auto r = computeForces(sys);
+  EXPECT_NEAR(r.potential, r.lennardJones + r.coulomb + r.intramolecular, 1e-12);
+}
+
+TEST(Forces, LennardJonesRepulsionAtShortRange) {
+  // Two molecules brought unphysically close must repel strongly.
+  auto sys = tinySystem();
+  // Move molecule 1's O to 2 A from molecule 0's O.
+  const Vec3 o0 = sys.positions[0];
+  const Vec3 shift = o0 + Vec3{2.0, 0.0, 0.0} - sys.positions[3];
+  for (int s = 3; s < 6; ++s) sys.positions[static_cast<std::size_t>(s)] += shift;
+  const auto r = computeForces(sys);
+  EXPECT_GT(r.lennardJones, 1.0);  // deep in the repulsive wall
+}
+
+TEST(Forces, StrongerEpsilonDeepensLJEnergy) {
+  auto a = buildWaterLattice(8, 0.997, 298.0, WaterParameters{0.1, 3.15, 0.52}, 3.0, 3);
+  auto b = buildWaterLattice(8, 0.997, 298.0, WaterParameters{0.3, 3.15, 0.52}, 3.0, 3);
+  const double lja = computeForces(a).lennardJones;
+  const double ljb = computeForces(b).lennardJones;
+  // Same geometry (same seed), scaled epsilon: LJ energy scales linearly.
+  EXPECT_NEAR(ljb, 3.0 * lja, 1e-6 * std::abs(ljb) + 1e-9);
+}
+
+TEST(Forces, ChargeScalingIsQuadratic) {
+  auto a = buildWaterLattice(8, 0.997, 298.0, WaterParameters{0.155, 3.15, 0.3}, 3.0, 3);
+  auto b = buildWaterLattice(8, 0.997, 298.0, WaterParameters{0.155, 3.15, 0.6}, 3.0, 3);
+  const double ca = computeForces(a).coulomb;
+  const double cb = computeForces(b).coulomb;
+  EXPECT_NEAR(cb, 4.0 * ca, 1e-6 * std::abs(cb) + 1e-9);
+}
+
+TEST(Pressure, IdealGasLimitWithoutInteractions) {
+  // With zero virial the pressure reduces to the kinetic (ideal) term
+  // 2K / 3V; check the unit conversion against n kB T / V.
+  auto sys = tinySystem();
+  const double pIdeal = pressureAtm(sys, 0.0);
+  const double expected = static_cast<double>(sys.sites()) * kBoltzmann * sys.temperature() /
+                          sys.box().volume() * kKcalPerMolPerA3InAtm;
+  // dof correction (3N-3 vs 3N) makes these agree to ~1/N.
+  EXPECT_NEAR(pIdeal, expected, expected * 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include "md/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/forces.hpp"
+#include "md/system.hpp"
+
+namespace {
+
+using namespace sfopt::md;
+
+WaterSystem tinySystem(std::uint64_t seed = 5) {
+  return buildWaterLattice(27, 0.997, 250.0, tip4pPublished(), 3.5, seed);
+}
+
+TEST(VelocityVerlet, RejectsBadOptions) {
+  auto sys = tinySystem();
+  EXPECT_THROW(VelocityVerlet(sys, {.dtPs = 0.0}), std::invalid_argument);
+  EXPECT_THROW(VelocityVerlet(sys, {.dtPs = 0.001, .targetTemperatureK = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(VelocityVerlet, NveConservesEnergy) {
+  auto sys = tinySystem();
+  VelocityVerlet vv(sys, {.dtPs = 0.0002, .targetTemperatureK = 0.0});
+  const double e0 = vv.lastForces().potential + sys.kineticEnergy();
+  double maxDev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const auto f = vv.step();
+    maxDev = std::max(maxDev, std::abs(f.potential + sys.kineticEnergy() - e0));
+  }
+  // Per-molecule kinetic energy scale is ~0.9 kcal/mol; demand drift well
+  // under 1% of the total energy scale.
+  const double scale = std::abs(e0) + sys.kineticEnergy();
+  EXPECT_LT(maxDev, 0.01 * scale);
+}
+
+TEST(VelocityVerlet, NveConservesMomentum) {
+  auto sys = tinySystem();
+  VelocityVerlet vv(sys, {.dtPs = 0.0002, .targetTemperatureK = 0.0});
+  (void)vv.run(200);
+  Vec3 p{};
+  for (int i = 0; i < sys.sites(); ++i) {
+    p += sys.massOf(i) * sys.velocities[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(norm(p), 0.0, 1e-6);
+}
+
+TEST(VelocityVerlet, SmallerTimestepConservesBetter) {
+  auto measureDrift = [](double dt) {
+    auto sys = tinySystem(9);
+    VelocityVerlet vv(sys, {.dtPs = dt, .targetTemperatureK = 0.0});
+    const double e0 = vv.lastForces().potential + sys.kineticEnergy();
+    const int steps = static_cast<int>(0.05 / dt);  // same simulated span
+    double maxDev = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      const auto f = vv.step();
+      maxDev = std::max(maxDev, std::abs(f.potential + sys.kineticEnergy() - e0));
+    }
+    return maxDev;
+  };
+  // Velocity Verlet error ~ dt^2: a 4x smaller step should cut the bound
+  // dramatically; allow a generous factor.
+  EXPECT_LT(measureDrift(0.0001), measureDrift(0.0004) * 0.5);
+}
+
+TEST(VelocityVerlet, BerendsenDrivesTemperatureToTarget) {
+  auto sys = tinySystem();
+  sys.rescaleTo(100.0);
+  VelocityVerlet vv(sys,
+                    {.dtPs = 0.0002, .targetTemperatureK = 300.0, .berendsenTauPs = 0.01});
+  (void)vv.run(800);
+  // Average over a window to smooth the instantaneous fluctuations.
+  double tAvg = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    (void)vv.step();
+    tAvg += sys.temperature();
+  }
+  tAvg /= 100.0;
+  EXPECT_NEAR(tAvg, 300.0, 60.0);
+}
+
+TEST(VelocityVerlet, RunReturnsConsistentForces) {
+  auto sys = tinySystem();
+  VelocityVerlet vv(sys, {.dtPs = 0.0002, .targetTemperatureK = 0.0});
+  const auto f = vv.run(10);
+  // lastForces() must describe the current positions.
+  const auto recomputed = computeForces(sys);
+  EXPECT_NEAR(f.potential, recomputed.potential, 1e-10);
+}
+
+}  // namespace

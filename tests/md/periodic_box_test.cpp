@@ -1,0 +1,58 @@
+#include "md/periodic_box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sfopt::md::PeriodicBox;
+using sfopt::md::Vec3;
+
+TEST(PeriodicBox, RejectsNonPositiveEdge) {
+  EXPECT_THROW(PeriodicBox(0.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicBox(-1.0), std::invalid_argument);
+}
+
+TEST(PeriodicBox, VolumeIsCubed) {
+  PeriodicBox b(3.0);
+  EXPECT_DOUBLE_EQ(b.volume(), 27.0);
+}
+
+TEST(PeriodicBox, MinimumImageInsideBox) {
+  PeriodicBox b(10.0);
+  const Vec3 d = b.minimumImage({1.0, 1.0, 1.0}, {2.0, 3.0, 4.0});
+  EXPECT_EQ(d, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(PeriodicBox, MinimumImageWrapsAcrossBoundary) {
+  PeriodicBox b(10.0);
+  // Points at 0.5 and 9.5: the short way round is 1.0, not 9.0.
+  const Vec3 d = b.minimumImage({0.5, 0.0, 0.0}, {9.5, 0.0, 0.0});
+  EXPECT_NEAR(d.x, 1.0, 1e-12);
+  EXPECT_NEAR(sfopt::md::norm(d), 1.0, 1e-12);
+}
+
+TEST(PeriodicBox, MinimumImageNeverExceedsHalfEdge) {
+  PeriodicBox b(7.0);
+  for (double x = -20.0; x <= 20.0; x += 0.37) {
+    const Vec3 d = b.minimumImage({x, 2.0 * x, -x}, {0.0, 0.0, 0.0});
+    EXPECT_LE(std::abs(d.x), 3.5 + 1e-12);
+    EXPECT_LE(std::abs(d.y), 3.5 + 1e-12);
+    EXPECT_LE(std::abs(d.z), 3.5 + 1e-12);
+  }
+}
+
+TEST(PeriodicBox, WrapIntoPrimaryCell) {
+  PeriodicBox b(5.0);
+  const Vec3 w = b.wrap({6.0, -1.0, 12.5});
+  EXPECT_NEAR(w.x, 1.0, 1e-12);
+  EXPECT_NEAR(w.y, 4.0, 1e-12);
+  EXPECT_NEAR(w.z, 2.5, 1e-12);
+}
+
+TEST(PeriodicBox, WrapIsIdempotent) {
+  PeriodicBox b(5.0);
+  const Vec3 p{3.7, 0.0, 4.999};
+  EXPECT_EQ(b.wrap(b.wrap(p)), b.wrap(p));
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include "md/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace sfopt::md;
+
+SimulationConfig quickConfig() {
+  SimulationConfig c;
+  c.molecules = 27;
+  c.cutoff = 4.5;
+  c.rdfRMax = 4.5;
+  c.rdfBins = 45;
+  c.equilibrationSteps = 800;
+  c.productionSteps = 300;
+  c.sampleEvery = 10;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SimulateWater, ValidatesConfig) {
+  SimulationConfig c = quickConfig();
+  c.productionSteps = 0;
+  EXPECT_THROW((void)simulateWater(tip4pPublished(), c), std::invalid_argument);
+  c = quickConfig();
+  c.sampleEvery = 0;
+  EXPECT_THROW((void)simulateWater(tip4pPublished(), c), std::invalid_argument);
+}
+
+TEST(SimulateWater, ProducesLiquidLikeObservables) {
+  const auto obs = simulateWater(tip4pPublished(), quickConfig());
+  // Cohesive liquid: negative potential energy per molecule.
+  EXPECT_LT(obs.potentialPerMoleculeKcal, 0.0);
+  // Temperature near the 298 K target after NVT equilibration (the small
+  // box still warms a little as the lattice start keeps relaxing).
+  EXPECT_NEAR(obs.temperatureK, 298.0, 120.0);
+  EXPECT_EQ(obs.productionFrames, 30);
+  EXPECT_GE(obs.diffusionCm2PerS, 0.0);
+}
+
+TEST(SimulateWater, RdfHasFirstSolvationPeak) {
+  SimulationConfig c = quickConfig();
+  c.productionSteps = 500;
+  const auto obs = simulateWater(tip4pPublished(), c);
+  // g_OO must peak above 1 somewhere in the hydrogen-bonding range and be
+  // ~0 inside the repulsive core.
+  double peak = 0.0;
+  double peakR = 0.0;
+  double core = 0.0;
+  for (std::size_t i = 0; i < obs.gOO.r.size(); ++i) {
+    if (obs.gOO.r[i] < 2.0) core = std::max(core, obs.gOO.g[i]);
+    if (obs.gOO.g[i] > peak) {
+      peak = obs.gOO.g[i];
+      peakR = obs.gOO.r[i];
+    }
+  }
+  EXPECT_LT(core, 0.2);
+  EXPECT_GT(peak, 1.2);
+  EXPECT_GT(peakR, 2.2);
+  EXPECT_LT(peakR, 4.0);
+}
+
+TEST(SimulateWater, ReproducibleBySeed) {
+  const auto a = simulateWater(tip4pPublished(), quickConfig());
+  const auto b = simulateWater(tip4pPublished(), quickConfig());
+  EXPECT_DOUBLE_EQ(a.potentialPerMoleculeKcal, b.potentialPerMoleculeKcal);
+  EXPECT_DOUBLE_EQ(a.pressureAtm, b.pressureAtm);
+}
+
+TEST(SimulateWater, DifferentSeedsGiveDifferentSamples) {
+  SimulationConfig c = quickConfig();
+  const auto a = simulateWater(tip4pPublished(), c);
+  c.seed = 12;
+  const auto b = simulateWater(tip4pPublished(), c);
+  EXPECT_NE(a.potentialPerMoleculeKcal, b.potentialPerMoleculeKcal);
+}
+
+TEST(SimulateWater, NveDriftIsModest) {
+  const auto obs = simulateWater(tip4pPublished(), quickConfig());
+  // Drift per ps must be small relative to the box potential energy scale
+  // (27 molecules * ~5 kcal/mol scale).
+  EXPECT_LT(std::abs(obs.nveDriftKcalPerPs), 30.0);
+}
+
+TEST(SimulateWater, WeakerChargesReduceCohesion) {
+  // Turning the partial charges down makes water less bound: potential
+  // energy per molecule rises toward zero.
+  SimulationConfig c = quickConfig();
+  const auto strong = simulateWater(WaterParameters{0.155, 3.1536, 0.52}, c);
+  const auto weak = simulateWater(WaterParameters{0.155, 3.1536, 0.20}, c);
+  EXPECT_GT(weak.potentialPerMoleculeKcal, strong.potentialPerMoleculeKcal);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "md/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace sfopt::md;
+
+WaterSystem smallSystem() {
+  return buildWaterLattice(27, 0.997, 298.0, tip4pPublished(), 4.0, 7);
+}
+
+TEST(WaterSystem, SiteBookkeeping) {
+  auto sys = smallSystem();
+  EXPECT_EQ(sys.molecules(), 27);
+  EXPECT_EQ(sys.sites(), 81);
+  EXPECT_EQ(sys.speciesOf(0), Species::Oxygen);
+  EXPECT_EQ(sys.speciesOf(1), Species::Hydrogen);
+  EXPECT_EQ(sys.speciesOf(2), Species::Hydrogen);
+  EXPECT_EQ(sys.speciesOf(3), Species::Oxygen);
+  EXPECT_EQ(sys.moleculeOf(5), 1);
+  EXPECT_DOUBLE_EQ(sys.massOf(0), kMassO);
+  EXPECT_DOUBLE_EQ(sys.massOf(1), kMassH);
+}
+
+TEST(WaterSystem, ChargeNeutralPerMolecule) {
+  auto sys = smallSystem();
+  for (int m = 0; m < sys.molecules(); ++m) {
+    const double q = sys.chargeOf(3 * m) + sys.chargeOf(3 * m + 1) + sys.chargeOf(3 * m + 2);
+    EXPECT_NEAR(q, 0.0, 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(sys.chargeOf(1), tip4pPublished().qH);
+  EXPECT_DOUBLE_EQ(sys.chargeOf(0), -2.0 * tip4pPublished().qH);
+}
+
+TEST(WaterSystem, LatticeGeometryIsEquilibrium) {
+  auto sys = smallSystem();
+  const IntramolecularConstants c;
+  for (int m = 0; m < sys.molecules(); ++m) {
+    const auto o = static_cast<std::size_t>(3 * m);
+    const Vec3 a = sys.positions[o + 1] - sys.positions[o];
+    const Vec3 b = sys.positions[o + 2] - sys.positions[o];
+    EXPECT_NEAR(norm(a), c.bondR0, 1e-9);
+    EXPECT_NEAR(norm(b), c.bondR0, 1e-9);
+    const double theta = std::acos(dot(a, b) / (norm(a) * norm(b)));
+    EXPECT_NEAR(theta, c.angleTheta0, 1e-9);
+  }
+}
+
+TEST(WaterSystem, BoxEdgeMatchesDensity) {
+  auto sys = smallSystem();
+  // n = 27 molecules at 0.997 g/cc => number density 0.03333 A^-3.
+  const double numberDensity = 27.0 / sys.box().volume();
+  EXPECT_NEAR(numberDensity, 0.997 * 0.602214076 / 18.01528, 1e-9);
+}
+
+TEST(WaterSystem, ThermalizationHitsTargetTemperature) {
+  auto sys = smallSystem();
+  EXPECT_NEAR(sys.temperature(), 298.0, 1e-6);  // exact after rescale
+}
+
+TEST(WaterSystem, MomentumIsZeroAfterThermalization) {
+  auto sys = smallSystem();
+  Vec3 p{};
+  for (int i = 0; i < sys.sites(); ++i) {
+    p += sys.massOf(i) * sys.velocities[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(norm(p), 0.0, 1e-9);
+}
+
+TEST(WaterSystem, RescaleSetsTemperatureExactly) {
+  auto sys = smallSystem();
+  sys.rescaleTo(150.0);
+  EXPECT_NEAR(sys.temperature(), 150.0, 1e-9);
+}
+
+TEST(WaterSystem, CutoffMustFitBox) {
+  EXPECT_THROW((void)buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 6.0, 1),
+               std::invalid_argument);
+}
+
+TEST(WaterSystem, ReproducibleBySeed) {
+  auto a = buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 3.0, 42);
+  auto b = buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 3.0, 42);
+  EXPECT_EQ(a.positions, b.positions);
+  EXPECT_EQ(a.velocities, b.velocities);
+  auto c = buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 3.0, 43);
+  EXPECT_NE(a.positions, c.positions);
+}
+
+TEST(WaterSystem, MoleculesDoNotOverlap) {
+  auto sys = smallSystem();
+  // O-O distances between distinct molecules should be liquid-like (> 2 A).
+  for (int a = 0; a < sys.molecules(); ++a) {
+    for (int b = a + 1; b < sys.molecules(); ++b) {
+      const Vec3 d = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(3 * a)],
+                                            sys.positions[static_cast<std::size_t>(3 * b)]);
+      EXPECT_GT(norm(d), 2.0) << "molecules " << a << "," << b;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "md/forces.hpp"
+#include "md/simulation.hpp"
+#include "md/system.hpp"
+
+namespace {
+
+using namespace sfopt::md;
+
+TEST(TailCorrections, SignsAreAttractiveBeyondTheWell) {
+  // For rc well past the LJ minimum, the tail integral is dominated by the
+  // attractive r^-6 term: both corrections are negative.
+  auto sys = buildWaterLattice(27, 0.997, 298.0, tip4pPublished(), 4.5, 1);
+  const auto t = ljTailCorrections(sys);
+  EXPECT_LT(t.energyKcalPerMol, 0.0);
+  EXPECT_LT(t.pressureAtm, 0.0);
+}
+
+TEST(TailCorrections, MatchAnalyticFormula) {
+  auto sys = buildWaterLattice(27, 0.997, 298.0, WaterParameters{0.2, 3.0, 0.5}, 4.0, 2);
+  const auto t = ljTailCorrections(sys);
+  const double rho = 27.0 / sys.box().volume();
+  const double sr3 = std::pow(3.0 / 4.0, 3.0);
+  const double sr9 = sr3 * sr3 * sr3;
+  const double expectedU =
+      8.0 / 3.0 * std::numbers::pi * rho * 27.0 * 0.2 * 27.0 * (sr9 / 3.0 - sr3);
+  EXPECT_NEAR(t.energyKcalPerMol, expectedU, std::abs(expectedU) * 1e-12);
+}
+
+TEST(TailCorrections, ShrinkWithLargerCutoff) {
+  // The neglected tail shrinks as rc grows: |correction(rc=5.5)| < |correction(rc=4)|.
+  auto small = buildWaterLattice(64, 0.997, 298.0, tip4pPublished(), 4.0, 3);
+  auto large = buildWaterLattice(64, 0.997, 298.0, tip4pPublished(), 5.5, 3);
+  EXPECT_LT(std::abs(ljTailCorrections(large).energyKcalPerMol),
+            std::abs(ljTailCorrections(small).energyKcalPerMol));
+  EXPECT_LT(std::abs(ljTailCorrections(large).pressureAtm),
+            std::abs(ljTailCorrections(small).pressureAtm));
+}
+
+TEST(TailCorrections, ScaleLinearlyWithEpsilon) {
+  auto a = buildWaterLattice(27, 0.997, 298.0, WaterParameters{0.1, 3.15, 0.52}, 4.0, 4);
+  auto b = buildWaterLattice(27, 0.997, 298.0, WaterParameters{0.3, 3.15, 0.52}, 4.0, 4);
+  EXPECT_NEAR(ljTailCorrections(b).energyKcalPerMol,
+              3.0 * ljTailCorrections(a).energyKcalPerMol, 1e-12);
+}
+
+TEST(TailCorrections, SimulationAppliesThemWhenEnabled) {
+  SimulationConfig base;
+  base.molecules = 27;
+  base.cutoff = 4.5;
+  base.rdfRMax = 4.5;
+  base.rdfBins = 45;
+  base.equilibrationSteps = 100;
+  base.productionSteps = 100;
+  base.sampleEvery = 10;
+  base.seed = 6;
+  SimulationConfig off = base;
+  off.applyTailCorrections = false;
+  const auto with = simulateWater(tip4pPublished(), base);
+  const auto without = simulateWater(tip4pPublished(), off);
+  // Same trajectory (the correction is a post-hoc reporting shift).
+  const auto sys = buildWaterLattice(base.molecules, base.densityGramsPerCc,
+                                     base.temperatureK, tip4pPublished(), base.cutoff,
+                                     base.seed);
+  const auto tail = ljTailCorrections(sys);
+  EXPECT_NEAR(with.potentialPerMoleculeKcal - without.potentialPerMoleculeKcal,
+              tail.energyKcalPerMol / base.molecules, 1e-9);
+  EXPECT_NEAR(with.pressureAtm - without.pressureAtm, tail.pressureAtm, 1e-6);
+}
+
+}  // namespace

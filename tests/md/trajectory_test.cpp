@@ -1,0 +1,115 @@
+#include "md/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "md/system.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sfopt::md;
+
+WaterSystem tinySystem() {
+  return buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 3.0, 5);
+}
+
+TEST(Trajectory, SingleFrameRoundTrip) {
+  auto sys = tinySystem();
+  std::stringstream stream;
+  writeXyzFrame(stream, sys, "test frame");
+  const auto frames = readXyzFrames(stream);
+  ASSERT_EQ(frames.size(), 1u);
+  const auto& f = frames[0];
+  EXPECT_EQ(f.comment, "test frame");
+  ASSERT_EQ(f.elements.size(), static_cast<std::size_t>(sys.sites()));
+  EXPECT_EQ(f.elements[0], "O");
+  EXPECT_EQ(f.elements[1], "H");
+  EXPECT_EQ(f.elements[2], "H");
+  for (int i = 0; i < sys.sites(); ++i) {
+    const Vec3 expected = sys.box().wrap(sys.positions[static_cast<std::size_t>(i)]);
+    EXPECT_NEAR(f.positions[static_cast<std::size_t>(i)].x, expected.x, 1e-6);
+    EXPECT_NEAR(f.positions[static_cast<std::size_t>(i)].y, expected.y, 1e-6);
+    EXPECT_NEAR(f.positions[static_cast<std::size_t>(i)].z, expected.z, 1e-6);
+  }
+}
+
+TEST(Trajectory, MultipleFrames) {
+  auto sys = tinySystem();
+  std::stringstream stream;
+  writeXyzFrame(stream, sys, "frame 0");
+  for (auto& p : sys.positions) p += Vec3{0.5, 0.0, 0.0};
+  writeXyzFrame(stream, sys, "frame 1");
+  const auto frames = readXyzFrames(stream);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].comment, "frame 0");
+  EXPECT_EQ(frames[1].comment, "frame 1");
+  EXPECT_NE(frames[0].positions[0], frames[1].positions[0]);
+}
+
+TEST(Trajectory, PositionsAreWrappedIntoBox) {
+  auto sys = tinySystem();
+  sys.positions[0] += Vec3{100.0, -50.0, 200.0};  // far outside the cell
+  std::stringstream stream;
+  writeXyzFrame(stream, sys, "wrapped");
+  const auto frames = readXyzFrames(stream);
+  const double edge = sys.box().edge();
+  const Vec3& p = frames[0].positions[0];
+  EXPECT_GE(p.x, 0.0);
+  EXPECT_LT(p.x, edge);
+  EXPECT_GE(p.y, 0.0);
+  EXPECT_LT(p.y, edge);
+  EXPECT_GE(p.z, 0.0);
+  EXPECT_LT(p.z, edge);
+}
+
+TEST(Trajectory, MalformedInputThrows) {
+  {
+    std::stringstream s("not-a-number\ncomment\n");
+    EXPECT_THROW((void)readXyzFrames(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("3\ncomment\nO 1 2 3\nH 4 5 6\n");  // truncated
+    EXPECT_THROW((void)readXyzFrames(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("1\ncomment\nO 1 2\n");  // missing coordinate
+    EXPECT_THROW((void)readXyzFrames(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("-2\ncomment\n");
+    EXPECT_THROW((void)readXyzFrames(s), std::runtime_error);
+  }
+}
+
+TEST(Trajectory, EmptyStreamGivesNoFrames) {
+  std::stringstream s("\n  \n");
+  EXPECT_TRUE(readXyzFrames(s).empty());
+}
+
+TEST(Trajectory, FileWriterAppendsFrames) {
+  const fs::path path = fs::temp_directory_path() / "sfopt_traj_test.xyz";
+  fs::remove(path);
+  {
+    auto sys = tinySystem();
+    XyzTrajectoryWriter writer(path);
+    writer.writeFrame(sys, 0.0);
+    writer.writeFrame(sys, 0.5);
+    EXPECT_EQ(writer.framesWritten(), 2);
+  }
+  std::ifstream in(path);
+  const auto frames = readXyzFrames(in);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_NE(frames[0].comment.find("0"), std::string::npos);
+  EXPECT_NE(frames[1].comment.find("0.5"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(Trajectory, WriterRejectsBadPath) {
+  EXPECT_THROW(XyzTrajectoryWriter("/nonexistent_dir_xyz/abc.xyz"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+#include "md/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sfopt::md::cross;
+using sfopt::md::dot;
+using sfopt::md::norm;
+using sfopt::md::normalized;
+using sfopt::md::normSquared;
+using sfopt::md::Vec3;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, (Vec3{0.0, 2.5, 5.0}));
+  EXPECT_EQ(a - b, (Vec3{2.0, 1.5, 1.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(normSquared(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_EQ(cross(x, y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(cross(y, x), (Vec3{0.0, 0.0, -1.0}));
+  // Orthogonality.
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-2.0, 0.5, 1.5};
+  EXPECT_NEAR(dot(cross(a, b), a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(cross(a, b), b), 0.0, 1e-12);
+}
+
+TEST(Vec3, Normalized) {
+  const Vec3 a{0.0, 3.0, 4.0};
+  const Vec3 n = normalized(a);
+  EXPECT_NEAR(norm(n), 1.0, 1e-12);
+  EXPECT_EQ(normalized(Vec3{}), (Vec3{}));
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "mw/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace sfopt::mw;
+
+MessageBuffer payload(std::int64_t v) {
+  MessageBuffer b;
+  b.pack(v);
+  return b;
+}
+
+TEST(CommWorld, RejectsEmptyWorld) { EXPECT_THROW(CommWorld(0), std::invalid_argument); }
+
+TEST(CommWorld, SendRecvSameThread) {
+  CommWorld w(2);
+  w.send(0, 1, 5, payload(123));
+  Message m = w.recv(1);
+  EXPECT_EQ(m.source, 0);
+  EXPECT_EQ(m.tag, 5);
+  EXPECT_EQ(m.payload.unpackInt64(), 123);
+}
+
+TEST(CommWorld, RecvFiltersBySourceAndTag) {
+  CommWorld w(3);
+  w.send(1, 0, 7, payload(1));
+  w.send(2, 0, 8, payload(2));
+  // Take the tag-8 message first even though tag-7 arrived first.
+  Message m8 = w.recv(0, kAnySource, 8);
+  EXPECT_EQ(m8.payload.unpackInt64(), 2);
+  Message m7 = w.recv(0, 1, kAnyTag);
+  EXPECT_EQ(m7.payload.unpackInt64(), 1);
+}
+
+TEST(CommWorld, TryRecvNonBlocking) {
+  CommWorld w(2);
+  EXPECT_FALSE(w.tryRecv(1).has_value());
+  w.send(0, 1, 1, payload(5));
+  auto m = w.tryRecv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.unpackInt64(), 5);
+  EXPECT_FALSE(w.tryRecv(1).has_value());
+}
+
+TEST(CommWorld, RankRangeChecked) {
+  CommWorld w(2);
+  EXPECT_THROW(w.send(0, 2, 0, MessageBuffer{}), std::out_of_range);
+  EXPECT_THROW(w.send(-1, 1, 0, MessageBuffer{}), std::out_of_range);
+  EXPECT_THROW((void)w.recv(9), std::out_of_range);
+}
+
+TEST(CommWorld, BlockingRecvWakesOnSend) {
+  CommWorld w(2);
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    Message m = w.recv(1, 0, 9);
+    got = m.payload.unpackInt64() == 77;
+  });
+  // Give the receiver a moment to block, then send.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.send(0, 1, 9, payload(77));
+  receiver.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(CommWorld, ManyToOneOrderingPreservedPerSource) {
+  CommWorld w(3);
+  for (std::int64_t i = 0; i < 10; ++i) w.send(1, 0, 1, payload(i));
+  for (std::int64_t i = 0; i < 10; ++i) {
+    Message m = w.recv(0, 1, 1);
+    EXPECT_EQ(m.payload.unpackInt64(), i);  // FIFO per (source, tag)
+  }
+}
+
+TEST(CommWorld, StatsCountMessagesAndBytes) {
+  CommWorld w(2);
+  EXPECT_EQ(w.messagesSent(), 0u);
+  w.send(0, 1, 1, payload(1));
+  w.send(0, 1, 1, payload(2));
+  EXPECT_EQ(w.messagesSent(), 2u);
+  EXPECT_GT(w.bytesSent(), 0u);
+}
+
+TEST(CommWorld, QueuedAtCountsBacklog) {
+  CommWorld w(2);
+  EXPECT_EQ(w.queuedAt(1), 0u);
+  w.send(0, 1, 1, payload(1));
+  w.send(0, 1, 2, payload(2));
+  EXPECT_EQ(w.queuedAt(1), 2u);
+  (void)w.recv(1);
+  EXPECT_EQ(w.queuedAt(1), 1u);
+}
+
+TEST(CommWorld, ConcurrentSendersDeliverEverything) {
+  CommWorld w(5);
+  constexpr int perSender = 200;
+  std::vector<std::thread> senders;
+  for (int s = 1; s <= 4; ++s) {
+    senders.emplace_back([&w, s] {
+      for (int i = 0; i < perSender; ++i) w.send(s, 0, 1, payload(i));
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < 4 * perSender; ++i) {
+    (void)w.recv(0);
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(received, 4 * perSender);
+  EXPECT_EQ(w.queuedAt(0), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "mw/machinefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace sfopt::mw;
+
+std::vector<ProcessorSlot> slotsFor(int nodes, int perNode) {
+  std::ostringstream file;
+  for (int n = 0; n < nodes; ++n) {
+    for (int s = 0; s < perNode; ++s) file << "node" << n << "\n";
+  }
+  std::istringstream in(file.str());
+  return parseMachinefile(in);
+}
+
+TEST(Machinefile, ParsesRepeatedHostEntries) {
+  std::istringstream in("alpha\nalpha\nbeta\n\n# comment line\nalpha\n");
+  const auto slots = parseMachinefile(in);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0], (ProcessorSlot{"alpha", 0}));
+  EXPECT_EQ(slots[1], (ProcessorSlot{"alpha", 1}));
+  EXPECT_EQ(slots[2], (ProcessorSlot{"beta", 0}));
+  EXPECT_EQ(slots[3], (ProcessorSlot{"alpha", 2}));
+}
+
+TEST(Machinefile, EmptyFileRejectedByScheduler) {
+  EXPECT_THROW(MachinefileScheduler({}), std::invalid_argument);
+}
+
+TEST(Machinefile, PlanCoversTable33Deployment) {
+  // d = 20, Ns = 1 needs 70 cores (Table 3.3): 9 nodes x 8 slots = 72.
+  MachinefileScheduler sched(slotsFor(9, 8));
+  const ProcessorAllocation alloc{20, 1};
+  const auto plan = sched.plan(alloc);
+  EXPECT_EQ(plan.workers.size(), 23u);
+  for (const auto& w : plan.workers) {
+    EXPECT_EQ(w.clients.size(), 1u);
+  }
+  // Master is the very first slot.
+  EXPECT_EQ(plan.master, (ProcessorSlot{"node0", 0}));
+}
+
+TEST(Machinefile, AssignmentsAreDisjoint) {
+  MachinefileScheduler sched(slotsFor(9, 8));
+  const auto plan = sched.plan(ProcessorAllocation{20, 1});
+  std::vector<ProcessorSlot> used{plan.master};
+  for (const auto& w : plan.workers) {
+    used.push_back(w.worker);
+    used.push_back(w.server);
+    for (const auto& c : w.clients) used.push_back(c);
+  }
+  EXPECT_EQ(used.size(), 70u);  // totalCores for d=20, Ns=1
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    for (std::size_t j = i + 1; j < used.size(); ++j) {
+      EXPECT_FALSE(used[i] == used[j]) << "slots " << i << " and " << j << " collide";
+    }
+  }
+}
+
+TEST(Machinefile, WorkersPrecedeServersInFileOrder) {
+  // The paper's ordering: master, then all workers, then the client-server
+  // blocks from the next available entries.
+  MachinefileScheduler sched(slotsFor(4, 8));  // 32 slots
+  const auto plan = sched.plan(ProcessorAllocation{2, 2});  // 2d+7+2Ns+dNs... = 21
+  // Workers occupy slots 1..5 (d+3 = 5 of them).
+  EXPECT_EQ(plan.workers[0].worker, (ProcessorSlot{"node0", 1}));
+  EXPECT_EQ(plan.workers[4].worker, (ProcessorSlot{"node0", 5}));
+  // First server comes after all workers.
+  EXPECT_EQ(plan.workers[0].server, (ProcessorSlot{"node0", 6}));
+}
+
+TEST(Machinefile, InsufficientSlotsThrow) {
+  MachinefileScheduler sched(slotsFor(1, 8));
+  EXPECT_THROW((void)sched.plan(ProcessorAllocation{20, 1}), std::runtime_error);
+}
+
+TEST(Machinefile, RestartReusesTheSameSlots) {
+  MachinefileScheduler sched(slotsFor(9, 8));
+  const auto plan = sched.plan(ProcessorAllocation{20, 1});
+  const auto& original = plan.workers[7];
+  const auto& restarted = MachinefileScheduler::restartAssignment(plan, 7);
+  EXPECT_EQ(restarted.worker, original.worker);
+  EXPECT_EQ(restarted.server, original.server);
+  EXPECT_EQ(restarted.clients, original.clients);
+  EXPECT_THROW((void)MachinefileScheduler::restartAssignment(plan, 99), std::out_of_range);
+}
+
+TEST(Machinefile, MultipleClientsPerWorker) {
+  MachinefileScheduler sched(slotsFor(20, 8));  // 160 slots
+  const auto plan = sched.plan(ProcessorAllocation{10, 3});
+  for (const auto& w : plan.workers) {
+    EXPECT_EQ(w.clients.size(), 3u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "mw/message_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using sfopt::mw::MessageBuffer;
+
+TEST(MessageBuffer, RoundTripsScalars) {
+  MessageBuffer b;
+  b.pack(3.25);
+  b.pack(std::int64_t{-42});
+  b.pack(std::uint64_t{7});
+  b.pack(std::string("hello"));
+  EXPECT_DOUBLE_EQ(b.unpackDouble(), 3.25);
+  EXPECT_EQ(b.unpackInt64(), -42);
+  EXPECT_EQ(b.unpackUint64(), 7u);
+  EXPECT_EQ(b.unpackString(), "hello");
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(MessageBuffer, RoundTripsDoubleVector) {
+  MessageBuffer b;
+  const std::vector<double> v{1.0, -2.5, 1e300, 0.0};
+  b.pack(std::span<const double>(v));
+  EXPECT_EQ(b.unpackDoubleVector(), v);
+}
+
+TEST(MessageBuffer, EmptyVectorAndString) {
+  MessageBuffer b;
+  b.pack(std::span<const double>{});
+  b.pack(std::string{});
+  EXPECT_TRUE(b.unpackDoubleVector().empty());
+  EXPECT_TRUE(b.unpackString().empty());
+}
+
+TEST(MessageBuffer, TypeMismatchThrows) {
+  MessageBuffer b;
+  b.pack(1.0);
+  EXPECT_THROW((void)b.unpackInt64(), std::runtime_error);
+}
+
+TEST(MessageBuffer, OrderMismatchThrows) {
+  MessageBuffer b;
+  b.pack(std::int64_t{1});
+  b.pack(2.0);
+  EXPECT_EQ(b.unpackInt64(), 1);
+  EXPECT_THROW((void)b.unpackString(), std::runtime_error);
+}
+
+TEST(MessageBuffer, UnpackPastEndThrows) {
+  MessageBuffer b;
+  EXPECT_THROW((void)b.unpackDouble(), std::runtime_error);
+  b.pack(1.0);
+  (void)b.unpackDouble();
+  EXPECT_THROW((void)b.unpackDouble(), std::runtime_error);
+}
+
+TEST(MessageBuffer, WireSurvivesTransport) {
+  MessageBuffer b;
+  b.pack(std::uint64_t{99});
+  b.pack(std::string("payload"));
+  // Simulate a transport copying the bytes.
+  MessageBuffer received(std::vector<std::byte>(b.wire()));
+  EXPECT_EQ(received.unpackUint64(), 99u);
+  EXPECT_EQ(received.unpackString(), "payload");
+}
+
+TEST(MessageBuffer, TruncatedWireThrows) {
+  MessageBuffer b;
+  b.pack(std::string("long payload string"));
+  auto wire = b.releaseWire();
+  wire.resize(wire.size() / 2);
+  MessageBuffer truncated(std::move(wire));
+  EXPECT_THROW((void)truncated.unpackString(), std::runtime_error);
+}
+
+TEST(MessageBuffer, SizeBytesGrows) {
+  MessageBuffer b;
+  const auto s0 = b.sizeBytes();
+  b.pack(1.0);
+  EXPECT_GT(b.sizeBytes(), s0);
+}
+
+}  // namespace

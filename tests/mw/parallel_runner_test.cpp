@@ -1,0 +1,129 @@
+#include "mw/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mw/processor_allocation.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using mw::MWRunConfig;
+using mw::ProcessorAllocation;
+using mw::runSimplexOverMW;
+
+TEST(ProcessorAllocation, MatchesTable33) {
+  // Table 3.3 of the paper: d = 20, 50, 100 with Ns = 1.
+  const ProcessorAllocation a20{20, 1};
+  EXPECT_EQ(a20.workers(), 23);
+  EXPECT_EQ(a20.servers(), 23);
+  EXPECT_EQ(a20.clients(), 23);
+  EXPECT_EQ(a20.totalCores(), 70);
+  const ProcessorAllocation a50{50, 1};
+  EXPECT_EQ(a50.totalCores(), 160);
+  const ProcessorAllocation a100{100, 1};
+  EXPECT_EQ(a100.totalCores(), 310);
+}
+
+TEST(ProcessorAllocation, ConsistencyIdentityHoldsBroadly) {
+  for (std::int64_t d = 2; d <= 64; d *= 2) {
+    for (std::int64_t ns = 1; ns <= 5; ++ns) {
+      const ProcessorAllocation a{d, ns};
+      EXPECT_TRUE(a.consistent()) << "d=" << d << " ns=" << ns;
+    }
+  }
+}
+
+TEST(ParallelRunner, MatchesSequentialRun) {
+  // The central integration property: farming the sampling over the MW
+  // master-worker runtime must not change the optimization, because noise
+  // draws are keyed by (vertexId, sampleIndex), not by which worker
+  // computes them.  The trajectory (moves, samples, best point) is exactly
+  // equal; the estimate itself may differ in the last bits because the
+  // split-and-merge Welford reduction sums in a different order.
+  auto obj = test::noisyRosenbrock(3, 10.0);
+  const auto start = test::simpleStart(3, -1.0, 0.8);
+
+  core::MaxNoiseOptions opts;
+  opts.common.termination.tolerance = 1e-2;
+  opts.common.termination.maxIterations = 150;
+  opts.common.sampling.maxSamplesPerVertex = 50'000;
+
+  const auto sequential = core::runMaxNoise(obj, start, opts);
+  const auto parallel = runSimplexOverMW(obj, start, opts, MWRunConfig{});
+
+  EXPECT_EQ(parallel.optimization.iterations, sequential.iterations);
+  EXPECT_EQ(parallel.optimization.totalSamples, sequential.totalSamples);
+  EXPECT_EQ(parallel.optimization.best, sequential.best);
+  EXPECT_NEAR(parallel.optimization.bestEstimate, sequential.bestEstimate,
+              1e-9 * std::abs(sequential.bestEstimate) + 1e-12);
+  EXPECT_EQ(parallel.optimization.reason, sequential.reason);
+}
+
+TEST(ParallelRunner, PCMatchesSequentialToo) {
+  auto obj = test::noisySphere(2, 5.0);
+  const auto start = test::simpleStart(2);
+  core::PCOptions opts;
+  opts.common.termination.tolerance = 1e-2;
+  opts.common.termination.maxIterations = 80;
+  opts.common.sampling.maxSamplesPerVertex = 50'000;
+
+  const auto sequential = core::runPointToPoint(obj, start, opts);
+  const auto parallel = runSimplexOverMW(obj, start, opts, MWRunConfig{.workers = 4});
+  EXPECT_EQ(parallel.optimization.best, sequential.best);
+  EXPECT_EQ(parallel.optimization.iterations, sequential.iterations);
+}
+
+TEST(ParallelRunner, MultipleClientsPerWorkerStillIdentical) {
+  auto obj = test::noisySphere(2, 5.0);
+  const auto start = test::simpleStart(2);
+  core::MaxNoiseOptions opts;
+  opts.common.termination.tolerance = 1e-2;
+  opts.common.termination.maxIterations = 60;
+  opts.common.sampling.maxSamplesPerVertex = 20'000;
+
+  const auto sequential = core::runMaxNoise(obj, start, opts);
+  const auto parallel =
+      runSimplexOverMW(obj, start, opts, MWRunConfig{.workers = 3, .clientsPerWorker = 4});
+  EXPECT_EQ(parallel.optimization.best, sequential.best);
+  EXPECT_EQ(parallel.optimization.totalSamples, sequential.totalSamples);
+}
+
+TEST(ParallelRunner, DefaultWorkerCountIsDPlusThree) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto start = test::simpleStart(2);
+  core::DetOptions opts;
+  opts.common.termination.maxIterations = 10;
+  opts.common.termination.tolerance = 0.0;
+  const auto run = runSimplexOverMW(obj, start, opts, MWRunConfig{});
+  EXPECT_EQ(run.allocation.workers(), 5);  // d=2 => d+3
+  EXPECT_GT(run.messagesSent, 0u);
+  EXPECT_GT(run.tasksCompleted, 0u);
+}
+
+TEST(ParallelRunner, RejectsBadClientCount) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto start = test::simpleStart(2);
+  core::DetOptions opts;
+  EXPECT_THROW(
+      (void)runSimplexOverMW(obj, start, opts, MWRunConfig{.workers = 2, .clientsPerWorker = 0}),
+      std::invalid_argument);
+}
+
+TEST(ParallelRunner, CommunicationScalesWithWork) {
+  auto obj = test::noisySphere(2, 1.0);
+  const auto start = test::simpleStart(2);
+  core::DetOptions small;
+  small.common.termination.maxIterations = 5;
+  small.common.termination.tolerance = 0.0;
+  core::DetOptions large;
+  large.common.termination.maxIterations = 50;
+  large.common.termination.tolerance = 0.0;
+  const auto a = runSimplexOverMW(obj, start, small, MWRunConfig{.workers = 2});
+  const auto b = runSimplexOverMW(obj, start, large, MWRunConfig{.workers = 2});
+  EXPECT_GT(b.messagesSent, a.messagesSent);
+}
+
+}  // namespace

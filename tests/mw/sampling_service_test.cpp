@@ -1,0 +1,115 @@
+#include "mw/sampling_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using namespace sfopt::mw;
+
+TEST(SamplingTask, InputRoundTrip) {
+  const std::vector<double> x{1.5, -2.5, 3.5};
+  SamplingTask t(core::SamplingBackend::BatchRequest{x, 11, 100, 25});
+  MessageBuffer buf;
+  t.packInput(buf);
+  SamplingTask u;
+  u.unpackInput(buf);
+  EXPECT_EQ(u.x(), x);
+  EXPECT_EQ(u.vertexId(), 11u);
+  EXPECT_EQ(u.startIndex(), 100u);
+  EXPECT_EQ(u.count(), 25);
+}
+
+TEST(SamplingTask, ResultRoundTripPreservesMoments) {
+  SamplingTask t;
+  stats::Welford w;
+  w.add(1.0);
+  w.add(2.0);
+  w.add(4.0);
+  t.setResult(w);
+  MessageBuffer buf;
+  t.packResult(buf);
+  SamplingTask u;
+  u.unpackResult(buf);
+  EXPECT_EQ(u.result().count(), 3);
+  EXPECT_DOUBLE_EQ(u.result().mean(), w.mean());
+  EXPECT_DOUBLE_EQ(u.result().variance(), w.variance());
+}
+
+struct ServiceFixture {
+  explicit ServiceFixture(const noise::StochasticObjective& obj, int workers, int clients)
+      : comm(workers + 1) {
+    for (int w = 0; w < workers; ++w) {
+      workerObjs.push_back(std::make_unique<SamplingWorker>(comm, w + 1, obj, clients));
+      threads.emplace_back([this, w] { workerObjs[static_cast<std::size_t>(w)]->run(); });
+    }
+    driver = std::make_unique<MWDriver>(comm);
+  }
+  ~ServiceFixture() {
+    driver->shutdown();
+    for (auto& t : threads) t.join();
+  }
+  CommWorld comm;
+  std::vector<std::unique_ptr<SamplingWorker>> workerObjs;
+  std::vector<std::thread> threads;
+  std::unique_ptr<MWDriver> driver;
+};
+
+TEST(MWSamplingBackend, SingleBatchMatchesInline) {
+  auto obj = test::noisySphere(2, 3.0);
+  ServiceFixture fx(obj, 3, 2);
+  MWSamplingBackend backend(*fx.driver);
+
+  const std::vector<double> x{2.0, -1.0};
+  const auto got = backend.sampleBatch({x, 21, 0, 64});
+
+  stats::Welford ref;
+  for (std::uint64_t i = 0; i < 64; ++i) ref.add(obj.sample(x, {21, i}));
+  EXPECT_EQ(got.count(), 64);
+  EXPECT_NEAR(got.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(got.variance(), ref.variance(), 1e-9);
+}
+
+TEST(MWSamplingBackend, ManyBatchesInOrder) {
+  auto obj = test::noisySphere(2, 1.0);
+  ServiceFixture fx(obj, 4, 1);
+  MWSamplingBackend backend(*fx.driver);
+
+  std::vector<std::vector<double>> points;
+  std::vector<core::SamplingBackend::BatchRequest> reqs;
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    points.push_back({static_cast<double>(v), 0.0});
+  }
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    reqs.push_back({points[v], v, 0, 16});
+  }
+  const auto got = backend.sampleBatches(reqs);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint64_t v = 0; v < 10; ++v) {
+    stats::Welford ref;
+    for (std::uint64_t i = 0; i < 16; ++i) ref.add(obj.sample(points[v], {v, i}));
+    EXPECT_NEAR(got[v].mean(), ref.mean(), 1e-12) << "v=" << v;
+  }
+}
+
+TEST(MWSamplingBackend, WorkersShareTheLoad) {
+  auto obj = test::noisySphere(2, 1.0);
+  ServiceFixture fx(obj, 3, 1);
+  MWSamplingBackend backend(*fx.driver);
+  const std::vector<double> x{0.0, 0.0};
+  std::vector<core::SamplingBackend::BatchRequest> reqs;
+  for (std::uint64_t v = 0; v < 30; ++v) reqs.push_back({x, v, 0, 4});
+  (void)backend.sampleBatches(reqs);
+  // Dynamic dispatch should engage more than one worker for 30 tasks.
+  int engaged = 0;
+  for (const auto& w : fx.workerObjs) {
+    if (w->tasksExecuted() > 0) ++engaged;
+  }
+  EXPECT_GE(engaged, 2);
+}
+
+}  // namespace

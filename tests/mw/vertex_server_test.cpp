@@ -1,0 +1,94 @@
+#include "mw/vertex_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+using core::SamplingBackend;
+using mw::VertexServer;
+
+TEST(VertexServer, RejectsZeroClients) {
+  auto obj = test::noisySphere(2, 1.0);
+  EXPECT_THROW(VertexServer(obj, 0), std::invalid_argument);
+}
+
+TEST(VertexServer, BatchMatchesInlineSampling) {
+  auto obj = test::noisySphere(2, 2.0);
+  const std::vector<double> x{1.0, -1.0};
+
+  // Inline reference.
+  stats::Welford ref;
+  for (std::uint64_t i = 0; i < 100; ++i) ref.add(obj.sample(x, {5, i}));
+
+  for (int clients : {1, 2, 3, 7}) {
+    VertexServer server(obj, clients);
+    const SamplingBackend::BatchRequest req{x, 5, 0, 100};
+    const auto got = server.runBatch(req);
+    EXPECT_EQ(got.count(), ref.count()) << clients << " clients";
+    EXPECT_NEAR(got.mean(), ref.mean(), 1e-12) << clients << " clients";
+    EXPECT_NEAR(got.variance(), ref.variance(), 1e-9) << clients << " clients";
+  }
+}
+
+TEST(VertexServer, RespectsStartIndex) {
+  auto obj = test::noisySphere(2, 2.0);
+  const std::vector<double> x{0.5, 0.5};
+  VertexServer server(obj, 2);
+  const auto first = server.runBatch({x, 9, 0, 50});
+  const auto second = server.runBatch({x, 9, 50, 50});
+  stats::Welford merged = first;
+  merged.merge(second);
+
+  stats::Welford ref;
+  for (std::uint64_t i = 0; i < 100; ++i) ref.add(obj.sample(x, {9, i}));
+  EXPECT_NEAR(merged.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), ref.variance(), 1e-9);
+}
+
+TEST(VertexServer, ZeroCountBatch) {
+  auto obj = test::noisySphere(2, 1.0);
+  VertexServer server(obj, 3);
+  const std::vector<double> x{0.0, 0.0};
+  const auto got = server.runBatch({x, 1, 0, 0});
+  EXPECT_EQ(got.count(), 0);
+}
+
+TEST(VertexServer, CountSmallerThanClientPool) {
+  auto obj = test::noisySphere(2, 1.0);
+  VertexServer server(obj, 8);
+  const std::vector<double> x{0.0, 0.0};
+  const auto got = server.runBatch({x, 2, 0, 3});
+  EXPECT_EQ(got.count(), 3);
+}
+
+TEST(VertexServer, LoadIsSplitAcrossClients) {
+  auto obj = test::noisySphere(2, 1.0);
+  VertexServer server(obj, 4);
+  const std::vector<double> x{0.0, 0.0};
+  (void)server.runBatch({x, 3, 0, 100});
+  const auto counts = server.clientSampleCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}), 100);
+  for (auto c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(VertexServer, ManySequentialBatches) {
+  auto obj = test::noisySphere(2, 1.0);
+  VertexServer server(obj, 2);
+  const std::vector<double> x{1.0, 1.0};
+  std::int64_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto got = server.runBatch({x, 4, static_cast<std::uint64_t>(total), 10});
+    EXPECT_EQ(got.count(), 10);
+    total += 10;
+  }
+  const auto counts = server.clientSampleCounts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::int64_t{0}), total);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "noise/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/welford.hpp"
+
+namespace {
+
+using sfopt::noise::CounterRng;
+using sfopt::noise::RngStream;
+using sfopt::noise::SampleKey;
+
+TEST(CounterRng, DeterministicForSameKey) {
+  CounterRng rng(123);
+  const SampleKey k{7, 42};
+  EXPECT_EQ(rng.bits(k), rng.bits(k));
+  EXPECT_DOUBLE_EQ(rng.uniform(k), rng.uniform(k));
+  EXPECT_DOUBLE_EQ(rng.gaussian(k), rng.gaussian(k));
+}
+
+TEST(CounterRng, DifferentKeysDiffer) {
+  CounterRng rng(123);
+  EXPECT_NE(rng.bits({0, 0}), rng.bits({0, 1}));
+  EXPECT_NE(rng.bits({0, 0}), rng.bits({1, 0}));
+  // stream/index are not interchangeable
+  EXPECT_NE(rng.bits({3, 5}), rng.bits({5, 3}));
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  CounterRng a(1);
+  CounterRng b(2);
+  EXPECT_NE(a.bits({0, 0}), b.bits({0, 0}));
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(99);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = rng.uniform({1, i});
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, UniformRangeRespected) {
+  CounterRng rng(99);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = rng.uniform({2, i}, -6.0, 3.0);
+    EXPECT_GE(u, -6.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(CounterRng, UniformMeanIsHalf) {
+  CounterRng rng(7);
+  sfopt::stats::Welford w;
+  for (std::uint64_t i = 0; i < 100000; ++i) w.add(rng.uniform({0, i}));
+  EXPECT_NEAR(w.mean(), 0.5, 0.01);
+  EXPECT_NEAR(w.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(CounterRng, GaussianMomentsMatchStandardNormal) {
+  CounterRng rng(11);
+  sfopt::stats::Welford w;
+  for (std::uint64_t i = 0; i < 100000; ++i) w.add(rng.gaussian({0, i}));
+  EXPECT_NEAR(w.mean(), 0.0, 0.02);
+  EXPECT_NEAR(w.variance(), 1.0, 0.03);
+}
+
+TEST(CounterRng, GaussianTailFractionReasonable) {
+  // ~4.55% of standard normal draws lie beyond 2 sigma.
+  CounterRng rng(17);
+  int beyond = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(rng.gaussian({0, static_cast<std::uint64_t>(i)})) > 2.0) ++beyond;
+  }
+  const double frac = static_cast<double>(beyond) / n;
+  EXPECT_NEAR(frac, 0.0455, 0.01);
+}
+
+TEST(RngStream, AdvancesAndIsReproducible) {
+  RngStream a(5, 0);
+  RngStream b(5, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+  // Consecutive draws differ (the counter advances).
+  RngStream c(5, 0);
+  EXPECT_NE(c.uniform(), c.uniform());
+}
+
+TEST(RngStream, DistinctStreamsAreIndependent) {
+  RngStream a(5, 1);
+  RngStream b(5, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngStream, BelowStaysInRange) {
+  RngStream a(9, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = a.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit in 200 draws
+  EXPECT_EQ(a.below(0), 0u);
+}
+
+TEST(SplitMix, KnownGoodMixing) {
+  // Adjacent inputs should produce wildly different outputs.
+  const auto a = sfopt::noise::splitmix64(1);
+  const auto b = sfopt::noise::splitmix64(2);
+  int diffBits = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (((a ^ b) >> i) & 1u) ++diffBits;
+  }
+  EXPECT_GT(diffBits, 16);
+}
+
+}  // namespace

@@ -1,0 +1,41 @@
+#include "noise/virtual_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using sfopt::noise::VirtualClock;
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.advance(1.5);
+  c.advance(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 4.0);
+}
+
+TEST(VirtualClock, ZeroAdvanceAllowed) {
+  VirtualClock c;
+  c.advance(0.0);
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceThrows) {
+  VirtualClock c;
+  EXPECT_THROW(c.advance(-1.0), std::invalid_argument);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+  VirtualClock c;
+  c.advance(10.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "noise/rng.hpp"
+
+namespace {
+
+using namespace sfopt::stats;
+
+/// AR(1) process x_t = phi x_{t-1} + e_t with unit innovations.
+std::vector<double> ar1(double phi, std::size_t n, std::uint64_t seed) {
+  sfopt::noise::RngStream rng(seed, 0);
+  std::vector<double> xs(n);
+  double x = 0.0;
+  // Burn-in so the series starts in the stationary distribution.
+  for (int i = 0; i < 200; ++i) x = phi * x + rng.gaussian();
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + rng.gaussian();
+    xs[i] = x;
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, Validation) {
+  EXPECT_THROW((void)autocorrelation({1.0, 2.0}, 5), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation(std::vector<double>(100, 3.0), 5),
+               std::invalid_argument);  // zero variance
+  EXPECT_THROW((void)integratedAutocorrelationTime({1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW((void)blockedStandardError({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto xs = ar1(0.5, 500, 1);
+  const auto rho = autocorrelation(xs, 10);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  const auto xs = ar1(0.0, 20000, 2);
+  const auto rho = autocorrelation(xs, 5);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    EXPECT_NEAR(rho[k], 0.0, 0.03) << "lag " << k;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory) {
+  // rho(k) = phi^k for AR(1).
+  const double phi = 0.8;
+  const auto xs = ar1(phi, 100000, 3);
+  const auto rho = autocorrelation(xs, 6);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(rho[k], std::pow(phi, static_cast<double>(k)), 0.05) << "lag " << k;
+  }
+}
+
+TEST(IntegratedAutocorrelationTime, WhiteNoiseIsOne) {
+  const auto xs = ar1(0.0, 20000, 4);
+  EXPECT_NEAR(integratedAutocorrelationTime(xs), 1.0, 0.2);
+}
+
+TEST(IntegratedAutocorrelationTime, Ar1MatchesTheory) {
+  // tau = (1 + phi) / (1 - phi): phi = 0.6 => 4, phi = 0.8 => 9.
+  for (double phi : {0.6, 0.8}) {
+    const auto xs = ar1(phi, 200000, 5);
+    const double expected = (1.0 + phi) / (1.0 - phi);
+    EXPECT_NEAR(integratedAutocorrelationTime(xs), expected, expected * 0.2) << "phi " << phi;
+  }
+}
+
+TEST(StatisticalInefficiency, NeverBelowOne) {
+  const auto xs = ar1(0.0, 5000, 6);
+  EXPECT_GE(statisticalInefficiency(xs), 1.0);
+}
+
+TEST(BlockedStandardError, WhiteNoiseMatchesNaive) {
+  const auto xs = ar1(0.0, 16384, 7);
+  // Naive SE of i.i.d. unit-variance data: 1/sqrt(n).
+  const double expected = 1.0 / std::sqrt(static_cast<double>(xs.size()));
+  EXPECT_NEAR(blockedStandardError(xs), expected, expected * 0.4);
+}
+
+TEST(BlockedStandardError, CorrelatedSeriesInflated) {
+  // For AR(1) the true SE of the mean is sqrt(tau) times the naive one.
+  const double phi = 0.8;
+  const auto xs = ar1(phi, 65536, 8);
+  double var = 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  const double naive = std::sqrt(var / static_cast<double>(xs.size()));
+  const double tau = (1.0 + phi) / (1.0 - phi);
+  const double expected = naive * std::sqrt(tau);
+  const double blocked = blockedStandardError(xs);
+  EXPECT_GT(blocked, naive * 1.8);  // clearly inflated vs naive
+  EXPECT_NEAR(blocked, expected, expected * 0.5);
+}
+
+TEST(BlockedStandardError, AgreesWithInefficiencyFormula) {
+  const auto xs = ar1(0.7, 65536, 9);
+  double var = 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  const double g = statisticalInefficiency(xs);
+  const double viaG = std::sqrt(g * var / static_cast<double>(xs.size()));
+  const double blocked = blockedStandardError(xs);
+  EXPECT_NEAR(blocked, viaG, viaG * 0.5);
+}
+
+}  // namespace

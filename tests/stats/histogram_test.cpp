@@ -1,0 +1,94 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using sfopt::stats::Histogram;
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(1.0);   // bin 1
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TopEdgeIsInclusive) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(-1.0, 1.0, 4);
+  h.add(-2.0);
+  h.add(2.0);
+  h.add(0.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, NanCountsAsOverflowNotBin) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0) + h.count(1), 0u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.binCenter(3), 3.5);
+  EXPECT_THROW((void)h.binCenter(4), std::out_of_range);
+}
+
+TEST(Histogram, BalanceAroundZero) {
+  Histogram h(-4.0, 4.0, 8);
+  // Three below zero, one near, two above.
+  h.add(-3.5);
+  h.add(-2.5);
+  h.add(-1.5);
+  h.add(0.1);   // bin centered at 0.5 = half width -> counted as "near"
+  h.add(2.5);
+  h.add(3.5);
+  const auto b = h.balanceAroundZero();
+  EXPECT_NEAR(b.below + b.near + b.above, 1.0, 1e-12);
+  EXPECT_NEAR(b.below, 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(b.near, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(b.above, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  h.addAll({0.1, 0.2, 0.7});
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, AsciiRenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.asciiRender(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+}  // namespace

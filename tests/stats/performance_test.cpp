@@ -1,0 +1,38 @@
+#include "stats/performance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using sfopt::stats::euclideanDistance;
+using sfopt::stats::euclideanNorm;
+
+TEST(EuclideanDistance, Basic) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(euclideanDistance(a, a), 0.0);
+}
+
+TEST(EuclideanDistance, DimensionMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)euclideanDistance(a, b), std::invalid_argument);
+}
+
+TEST(EuclideanNorm, Basic) {
+  const std::vector<double> a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclideanNorm(a), 5.0);
+  EXPECT_DOUBLE_EQ(euclideanNorm(std::vector<double>{}), 0.0);
+}
+
+TEST(EuclideanDistance, Symmetric) {
+  const std::vector<double> a{1.0, -2.0, 3.0};
+  const std::vector<double> b{-4.0, 5.0, 0.5};
+  EXPECT_DOUBLE_EQ(euclideanDistance(a, b), euclideanDistance(b, a));
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using sfopt::stats::logRatio;
+using sfopt::stats::Summary;
+
+TEST(Summary, ThrowsOnEmpty) { EXPECT_THROW(Summary({}), std::invalid_argument); }
+
+TEST(Summary, SingleValue) {
+  Summary s({4.0});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+}
+
+TEST(Summary, OrderStatistics) {
+  Summary s({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(10.0), 1.0);
+}
+
+TEST(Summary, PercentileRangeChecked) {
+  Summary s({1.0, 2.0});
+  EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(LogRatio, BasicRatios) {
+  EXPECT_DOUBLE_EQ(logRatio(100.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(logRatio(1.0, 100.0), -2.0);
+  EXPECT_DOUBLE_EQ(logRatio(5.0, 5.0), 0.0);
+}
+
+TEST(LogRatio, BothZeroIsTie) { EXPECT_DOUBLE_EQ(logRatio(0.0, 0.0), 0.0); }
+
+TEST(LogRatio, OneZeroClamps) {
+  EXPECT_DOUBLE_EQ(logRatio(0.0, 1.0), -16.0);
+  EXPECT_DOUBLE_EQ(logRatio(1.0, 0.0), 16.0);
+  EXPECT_DOUBLE_EQ(logRatio(0.0, 1.0, 8.0), -8.0);
+}
+
+TEST(LogRatio, ExtremeRatioClamps) {
+  EXPECT_DOUBLE_EQ(logRatio(1e-200, 1e200, 10.0), -10.0);
+}
+
+TEST(LogRatio, UsesAbsoluteValues) {
+  // Sampled minima can be slightly negative due to noise; the ratio is on
+  // magnitudes.
+  EXPECT_DOUBLE_EQ(logRatio(-100.0, 1.0), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace {
+
+using sfopt::stats::Welford;
+
+TEST(Welford, EmptyStateHasInfiniteVariance) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_TRUE(std::isinf(w.variance()));
+  EXPECT_TRUE(std::isinf(w.standardError()));
+}
+
+TEST(Welford, SingleObservationHasInfiniteVariance) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_EQ(w.count(), 1);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_TRUE(std::isinf(w.variance()));
+}
+
+TEST(Welford, TwoObservations) {
+  Welford w;
+  w.add(1.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 2.0);  // ((1-2)^2 + (3-2)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(w.standardError(), 1.0);
+}
+
+TEST(Welford, MatchesTwoPassComputation) {
+  std::mt19937_64 gen(42);
+  std::normal_distribution<double> dist(5.0, 2.0);
+  std::vector<double> xs(1000);
+  for (double& x : xs) x = dist(gen);
+
+  Welford w;
+  for (double x : xs) w.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), var, 1e-9);
+}
+
+TEST(Welford, MergeEquivalentToSequential) {
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  Welford whole;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  Welford a;
+  a.add(1.0);
+  a.add(2.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  Welford c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(Welford, StandardErrorShrinksWithSampleSize) {
+  std::mt19937_64 gen(13);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Welford w;
+  for (int i = 0; i < 100; ++i) w.add(dist(gen));
+  const double se100 = w.standardError();
+  for (int i = 0; i < 9900; ++i) w.add(dist(gen));
+  const double se10000 = w.standardError();
+  // SE should shrink roughly as sqrt(n) — a factor of ~10 here.
+  EXPECT_LT(se10000, se100 * 0.2);
+}
+
+TEST(Welford, ResetClearsState) {
+  Welford w;
+  w.add(5.0);
+  w.add(6.0);
+  w.reset();
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+}
+
+TEST(Welford, NumericallyStableAroundLargeOffset) {
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  Welford w;
+  const double offset = 1e9;
+  w.add(offset + 1.0);
+  w.add(offset + 2.0);
+  w.add(offset + 3.0);
+  EXPECT_NEAR(w.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+}  // namespace

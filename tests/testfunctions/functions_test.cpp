@@ -1,0 +1,114 @@
+#include "testfunctions/functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "noise/rng.hpp"
+
+namespace {
+
+namespace tf = sfopt::testfunctions;
+
+TEST(Rosenbrock, MinimumIsZeroAtOnes) {
+  for (std::size_t d : {2u, 3u, 4u, 10u, 100u}) {
+    const auto x = tf::rosenbrockMinimizer(d);
+    EXPECT_DOUBLE_EQ(tf::rosenbrock(x), 0.0) << "d=" << d;
+  }
+}
+
+TEST(Rosenbrock, KnownValues) {
+  // f(0,0) = 1; f(-1,1) = 4 (2-d form).
+  EXPECT_DOUBLE_EQ(tf::rosenbrock(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tf::rosenbrock(std::vector<double>{-1.0, 1.0}), 4.0);
+  // 3-d: f(0,0,0) = 2.
+  EXPECT_DOUBLE_EQ(tf::rosenbrock(std::vector<double>{0.0, 0.0, 0.0}), 2.0);
+}
+
+TEST(Rosenbrock, NonNegativeEverywhere) {
+  sfopt::noise::RngStream rng(3, 0);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(tf::rosenbrock(x), 0.0);
+  }
+}
+
+TEST(Rosenbrock, RejectsTooFewDimensions) {
+  EXPECT_THROW((void)tf::rosenbrock(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(RosenbrockGradient, VanishesAtMinimum) {
+  const auto g = tf::rosenbrockGradient(tf::rosenbrockMinimizer(5));
+  for (double v : g) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(RosenbrockGradient, MatchesFiniteDifferences) {
+  const std::vector<double> x{0.3, -0.7, 1.2, 0.1};
+  const auto g = tf::rosenbrockGradient(x);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    auto xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fd = (tf::rosenbrock(xp) - tf::rosenbrock(xm)) / (2.0 * h);
+    EXPECT_NEAR(g[i], fd, 1e-4) << "i=" << i;
+  }
+}
+
+TEST(Powell, MinimumIsZeroAtOrigin) {
+  EXPECT_DOUBLE_EQ(tf::powell(tf::powellMinimizer()), 0.0);
+}
+
+TEST(Powell, KnownValue) {
+  // f(3, -1, 0, 1) = (3-10)^2 + 5(0-1)^2 + (-1)^4 + 10*(2)^4 = 49+5+1+160 = 215.
+  EXPECT_DOUBLE_EQ(tf::powell(std::vector<double>{3.0, -1.0, 0.0, 1.0}), 215.0);
+}
+
+TEST(Powell, NonNegativeEverywhere) {
+  sfopt::noise::RngStream rng(4, 0);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(tf::powell(x), 0.0);
+  }
+}
+
+TEST(Powell, RequiresFourDimensions) {
+  EXPECT_THROW((void)tf::powell(std::vector<double>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Sphere, Basics) {
+  EXPECT_DOUBLE_EQ(tf::sphere(std::vector<double>{0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tf::sphere(std::vector<double>{3.0, 4.0}), 25.0);
+}
+
+TEST(QuadraticBowl, WeightsByIndex) {
+  EXPECT_DOUBLE_EQ(tf::quadraticBowl(std::vector<double>{1.0, 1.0, 1.0}), 6.0);
+  EXPECT_DOUBLE_EQ(tf::quadraticBowl(std::vector<double>{2.0, 0.0}), 4.0);
+}
+
+TEST(Rastrigin, ZeroAtOriginPositiveElsewhere) {
+  EXPECT_NEAR(tf::rastrigin(std::vector<double>{0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_GT(tf::rastrigin(std::vector<double>{0.5, 0.5}), 0.0);
+  // Local minima near integers: f(1,1) ~ 2, small but nonzero.
+  EXPECT_GT(tf::rastrigin(std::vector<double>{1.0, 1.0}), 0.5);
+}
+
+TEST(Himmelblau, FourGlobalMinima) {
+  const std::vector<std::vector<double>> minima{
+      {3.0, 2.0},
+      {-2.805118, 3.131312},
+      {-3.779310, -3.283186},
+      {3.584428, -1.848126},
+  };
+  for (const auto& m : minima) {
+    EXPECT_NEAR(tf::himmelblau(m), 0.0, 1e-8);
+  }
+  EXPECT_THROW((void)tf::himmelblau(std::vector<double>{0.0, 0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "arg_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sfopt::tools::ArgError;
+using sfopt::tools::Args;
+
+TEST(ArgParser, CommandAndFlags) {
+  const auto a = Args::parse({"optimize", "--dim", "4", "--sigma0=2.5", "--mw"});
+  EXPECT_EQ(a.command(), "optimize");
+  EXPECT_EQ(a.getInt("dim", 0), 4);
+  EXPECT_DOUBLE_EQ(a.getDouble("sigma0", 0.0), 2.5);
+  EXPECT_TRUE(a.getBool("mw", false));
+  EXPECT_FALSE(a.has("nope"));
+}
+
+TEST(ArgParser, EmptyInput) {
+  const auto a = Args::parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto a = Args::parse({"cmd", "file1", "--flag", "v", "file2"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "file1");
+  EXPECT_EQ(a.positional()[1], "file2");
+}
+
+TEST(ArgParser, SwitchAtEndOfLine) {
+  const auto a = Args::parse({"cmd", "--verbose"});
+  EXPECT_TRUE(a.getBool("verbose", false));
+}
+
+TEST(ArgParser, SwitchFollowedByFlag) {
+  const auto a = Args::parse({"cmd", "--verbose", "--dim", "3"});
+  EXPECT_TRUE(a.getBool("verbose", false));
+  EXPECT_EQ(a.getInt("dim", 0), 3);
+}
+
+TEST(ArgParser, NegativeNumbersAsValues) {
+  const auto a = Args::parse({"cmd", "--lo=-5.5"});
+  EXPECT_DOUBLE_EQ(a.getDouble("lo", 0.0), -5.5);
+}
+
+TEST(ArgParser, DoubleList) {
+  const auto a = Args::parse({"cmd", "--start", "1.5,-2,3e2"});
+  const auto xs = a.getDoubleList("start", {});
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.5);
+  EXPECT_DOUBLE_EQ(xs[1], -2.0);
+  EXPECT_DOUBLE_EQ(xs[2], 300.0);
+}
+
+TEST(ArgParser, Fallbacks) {
+  const auto a = Args::parse({"cmd"});
+  EXPECT_EQ(a.getString("name", "dflt"), "dflt");
+  EXPECT_EQ(a.getInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(a.getDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(a.getBool("b", false));
+  const auto xs = a.getDoubleList("v", {7.0});
+  ASSERT_EQ(xs.size(), 1u);
+}
+
+TEST(ArgParser, ConversionErrors) {
+  const auto a = Args::parse({"cmd", "--n", "abc", "--x", "1.5zz", "--b", "maybe",
+                              "--v", "1,two"});
+  EXPECT_THROW((void)a.getInt("n", 0), ArgError);
+  EXPECT_THROW((void)a.getDouble("x", 0.0), ArgError);
+  EXPECT_THROW((void)a.getBool("b", false), ArgError);
+  EXPECT_THROW((void)a.getDoubleList("v", {}), ArgError);
+}
+
+TEST(ArgParser, RequiredFlag) {
+  const auto a = Args::parse({"cmd", "--present", "x"});
+  EXPECT_EQ(a.requireString("present"), "x");
+  EXPECT_THROW((void)a.requireString("absent"), ArgError);
+}
+
+TEST(ArgParser, UnknownFlagRejectedWhenDeclared) {
+  EXPECT_THROW((void)Args::parse({"cmd", "--bogus", "1"}, {"dim", "sigma0"}), ArgError);
+  EXPECT_NO_THROW((void)Args::parse({"cmd", "--dim", "1"}, {"dim", "sigma0"}));
+}
+
+TEST(ArgParser, BareDoubleDashRejected) {
+  EXPECT_THROW((void)Args::parse({"cmd", "--"}), ArgError);
+}
+
+}  // namespace

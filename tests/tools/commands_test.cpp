@@ -1,0 +1,170 @@
+#include "commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace sfopt::tools;
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(const std::vector<std::string>& argv) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun r;
+  r.code = runCli(argv, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Cli, InfoListsEverything) {
+  const auto r = cli({"info"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("mn"), std::string::npos);
+  EXPECT_NE(r.out.find("rosenbrock"), std::string::npos);
+  EXPECT_NE(r.out.find("water"), std::string::npos);
+}
+
+TEST(Cli, NoCommandPrintsInfo) {
+  const auto r = cli({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("sfopt"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, OptimizeSphereWithMn) {
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "3", "--algorithm", "mn",
+                      "--sigma0", "0.5", "--max-iterations", "200", "--max-samples",
+                      "100000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("stopped:"), std::string::npos);
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+  EXPECT_NE(r.out.find("true value"), std::string::npos);
+}
+
+TEST(Cli, OptimizeWithExplicitStart) {
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm", "det",
+                      "--sigma0", "0", "--start", "2,2", "--max-iterations", "2000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("converged"), std::string::npos);
+}
+
+TEST(Cli, OptimizeOverMasterWorker) {
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm", "mn",
+                      "--sigma0", "1", "--mw", "--workers", "3", "--max-iterations", "50",
+                      "--max-samples", "50000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("master-worker deployment"), std::string::npos);
+}
+
+TEST(Cli, OptimizePsoAndSa) {
+  for (const char* algo : {"pso", "sa"}) {
+    const auto r = cli({"optimize", "--function", "rastrigin", "--dim", "2", "--algorithm",
+                        algo, "--sigma0", "0.2", "--max-iterations", "60", "--max-samples",
+                        "100000"});
+    EXPECT_EQ(r.code, 0) << algo << ": " << r.err;
+    EXPECT_NE(r.out.find("stopped:"), std::string::npos) << algo;
+  }
+}
+
+TEST(Cli, OptimizeRejectsBadInput) {
+  EXPECT_EQ(cli({"optimize", "--algorithm", "magic"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--dim", "1"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--function", "nope"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--function", "powell", "--dim", "3"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--dim", "3", "--start", "1,2"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--box", "5,1"}).code, 2);
+}
+
+TEST(Cli, ProbeReportsSigma) {
+  const auto r = cli({"probe", "--function", "sphere", "--dim", "2", "--sigma0", "3",
+                      "--point", "1,1", "--samples", "4000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sigma0:"), std::string::npos);
+  // The estimate should land near 3 (printed before the declared value).
+  EXPECT_NE(r.out.find("(declared 3"), std::string::npos);
+}
+
+TEST(Cli, WaterRunsQuickConfiguration) {
+  const auto r = cli({"water", "--algorithm", "mn", "--sigma0", "0.2", "--max-iterations",
+                      "120", "--max-samples", "500000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("epsilon"), std::string::npos);
+  EXPECT_NE(r.out.find("TIP4P"), std::string::npos);
+}
+
+TEST(Cli, WaterRejectsUnknownAlgorithm) {
+  EXPECT_EQ(cli({"water", "--algorithm", "pso"}).code, 2);
+}
+
+TEST(Cli, CheckpointAndResumeContinueARun) {
+  namespace fs = std::filesystem;
+  const fs::path ckpt = fs::temp_directory_path() / "sfopt_cli_test.ckpt";
+  fs::remove(ckpt);
+  const std::vector<std::string> base{
+      "optimize", "--function", "sphere", "--dim", "2", "--algorithm", "mn",
+      "--sigma0", "2", "--seed", "91", "--tolerance", "0", "--max-samples", "500000"};
+
+  // Full run to 40 iterations.
+  auto full = base;
+  full.insert(full.end(), {"--max-iterations", "40"});
+  const auto ref = cli(full);
+  ASSERT_EQ(ref.code, 0) << ref.err;
+
+  // Run to 20 with checkpointing, then resume to 40.
+  auto firstHalf = base;
+  firstHalf.insert(firstHalf.end(), {"--max-iterations", "20", "--checkpoint",
+                                     ckpt.string(), "--checkpoint-every", "20"});
+  ASSERT_EQ(cli(firstHalf).code, 0);
+  ASSERT_TRUE(fs::exists(ckpt));
+
+  auto secondHalf = base;
+  secondHalf.insert(secondHalf.end(), {"--max-iterations", "40", "--resume", ckpt.string()});
+  const auto resumed = cli(secondHalf);
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+
+  // The resumed run reports the identical best point as the full run.
+  const auto bestLine = [](const std::string& text) {
+    const auto pos = text.find("best:");
+    return text.substr(pos, text.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(bestLine(resumed.out), bestLine(ref.out));
+  fs::remove(ckpt);
+}
+
+TEST(Cli, CheckpointRejectedForSwarmAndAnnealing) {
+  EXPECT_EQ(cli({"optimize", "--algorithm", "pso", "--checkpoint", "/tmp/x.ckpt"}).code, 2);
+  EXPECT_EQ(cli({"optimize", "--algorithm", "sa", "--resume", "/tmp/x.ckpt"}).code, 2);
+}
+
+TEST(Cli, TraceFlagWritesCsv) {
+  namespace fs = std::filesystem;
+  const fs::path csv = fs::temp_directory_path() / "sfopt_cli_trace.csv";
+  fs::remove(csv);
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm",
+                      "det", "--sigma0", "0", "--max-iterations", "30", "--tolerance", "0",
+                      "--trace", csv.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  ASSERT_TRUE(fs::exists(csv));
+  std::ifstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("best_estimate"), std::string::npos);
+  fs::remove(csv);
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+#include "water/md_objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace sfopt;
+using water::MdWaterObjective;
+
+MdWaterObjective::Options tinyOptions() {
+  MdWaterObjective::Options o;
+  o.simulation.molecules = 27;
+  o.simulation.cutoff = 4.5;
+  o.simulation.rdfRMax = 4.5;
+  o.simulation.rdfBins = 45;
+  o.simulation.equilibrationSteps = 200;
+  o.simulation.productionSteps = 200;
+  o.simulation.sampleEvery = 10;
+  return o;
+}
+
+TEST(MdWaterObjective, SampleDurationIsSimulatedSpan) {
+  MdWaterObjective obj(tinyOptions());
+  EXPECT_DOUBLE_EQ(obj.sampleDuration(), 200 * 0.0005);
+}
+
+TEST(MdWaterObjective, SamplesAreFiniteAndReproducible) {
+  MdWaterObjective obj(tinyOptions());
+  const std::vector<double> x{0.155, 3.15, 0.52};
+  const double a = obj.sample(x, {1, 0});
+  const double b = obj.sample(x, {1, 0});
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // same key, same protocol seed
+}
+
+TEST(MdWaterObjective, DifferentKeysGiveIndependentReplicas) {
+  MdWaterObjective obj(tinyOptions());
+  const std::vector<double> x{0.155, 3.15, 0.52};
+  EXPECT_NE(obj.sample(x, {1, 0}), obj.sample(x, {1, 1}));
+  EXPECT_NE(obj.sample(x, {1, 0}), obj.sample(x, {2, 0}));
+}
+
+TEST(MdWaterObjective, DefaultTargetsAreFour) {
+  MdWaterObjective obj(tinyOptions());
+  EXPECT_EQ(obj.targets().size(), 4u);
+}
+
+TEST(MdWaterObjective, UnknownTargetNameThrows) {
+  auto o = tinyOptions();
+  o.targets = {{"bogus", 0.0, 1.0}};
+  MdWaterObjective obj(o);
+  const std::vector<double> x{0.155, 3.15, 0.52};
+  EXPECT_THROW((void)obj.sample(x, {0, 0}), std::invalid_argument);
+}
+
+TEST(MdWaterObjective, TrueValueUnknown) {
+  MdWaterObjective obj(tinyOptions());
+  const std::vector<double> x{0.155, 3.15, 0.52};
+  EXPECT_FALSE(obj.trueValue(x).has_value());
+  EXPECT_FALSE(obj.noiseScale(x).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include "water/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "water/experimental.hpp"
+
+namespace {
+
+using namespace sfopt;
+using water::Tip4pSurrogate;
+
+TEST(Surrogate, AnchoredAtPublishedTip4p) {
+  Tip4pSurrogate s;
+  const auto p = s.properties(md::tip4pPublished());
+  const auto ref = water::tip4pReference();
+  EXPECT_NEAR(p.internalEnergyKJPerMol, ref.internalEnergyKJPerMol, 1e-9);
+  EXPECT_NEAR(p.pressureAtm, ref.pressureAtm, 1e-9);
+  EXPECT_NEAR(p.diffusion1e5Cm2PerS, ref.diffusion1e5Cm2PerS, 1e-9);
+}
+
+TEST(Surrogate, StrongerChargesBindHarder) {
+  Tip4pSurrogate s;
+  md::WaterParameters hi = md::tip4pPublished();
+  hi.qH += 0.05;
+  md::WaterParameters lo = md::tip4pPublished();
+  lo.qH -= 0.05;
+  const auto pHi = s.properties(hi);
+  const auto pLo = s.properties(lo);
+  EXPECT_LT(pHi.internalEnergyKJPerMol, pLo.internalEnergyKJPerMol);  // more negative
+  EXPECT_LT(pHi.diffusion1e5Cm2PerS, pLo.diffusion1e5Cm2PerS);        // slower
+  EXPECT_LT(pHi.pressureAtm, pLo.pressureAtm);                        // more cohesive
+}
+
+TEST(Surrogate, BiggerCoreRaisesPressure) {
+  Tip4pSurrogate s;
+  md::WaterParameters big = md::tip4pPublished();
+  big.sigma += 0.1;
+  md::WaterParameters small = md::tip4pPublished();
+  small.sigma -= 0.1;
+  EXPECT_GT(s.properties(big).pressureAtm, s.properties(small).pressureAtm);
+}
+
+TEST(Surrogate, RdfResidualsMinimizedAtStructuralOptimum) {
+  Tip4pSurrogate s;
+  const auto opt = s.structuralOptimum();
+  const auto atOpt = s.properties(opt);
+  for (double dq : {-0.05, -0.02, 0.02, 0.05}) {
+    md::WaterParameters p = opt;
+    p.qH += dq;
+    const auto off = s.properties(p);
+    EXPECT_GT(off.rdfResidualOO, atOpt.rdfResidualOO) << "dq=" << dq;
+    EXPECT_GT(off.rdfResidualOH, atOpt.rdfResidualOH) << "dq=" << dq;
+    EXPECT_GT(off.rdfResidualHH, atOpt.rdfResidualHH) << "dq=" << dq;
+  }
+}
+
+TEST(Surrogate, StructuralOptimumBeatsTip4pOnStructure) {
+  // Mirrors the paper's finding: the refit slightly improves the g_OO fit
+  // over the published model.
+  Tip4pSurrogate s;
+  const auto refit = s.properties(s.structuralOptimum());
+  const auto tip4p = s.properties(md::tip4pPublished());
+  EXPECT_LT(refit.rdfResidualOO, tip4p.rdfResidualOO);
+}
+
+TEST(Surrogate, UnphysicalRegionPenalized) {
+  Tip4pSurrogate s;
+  const auto sane = s.properties(md::tip4pPublished());
+  const auto crazy = s.properties({0.001, 2.0, 1.5});
+  EXPECT_GT(crazy.rdfResidualOO, sane.rdfResidualOO * 2.0);
+  // Every property is driven far from its experimental value (here: wild
+  // over-binding and a pressure blow-up), so the cost explodes.
+  const auto exp = water::experimentalTargets();
+  EXPECT_GT(std::abs(crazy.internalEnergyKJPerMol - exp.internalEnergyKJPerMol),
+            std::abs(sane.internalEnergyKJPerMol - exp.internalEnergyKJPerMol) * 10.0);
+  EXPECT_GT(std::abs(crazy.pressureAtm - exp.pressureAtm),
+            std::abs(sane.pressureAtm - exp.pressureAtm) * 5.0);
+}
+
+TEST(Surrogate, ModelGOOMatchesExperimentAtOptimum) {
+  Tip4pSurrogate s;
+  const auto model = s.modelGOO(s.structuralOptimum());
+  const auto exp = water::experimentalGOO();
+  ASSERT_EQ(model.r.size(), exp.r.size());
+  for (std::size_t i = 0; i < model.r.size(); ++i) {
+    EXPECT_NEAR(model.g[i], exp.g[i], 1e-9);
+  }
+}
+
+TEST(Surrogate, ModelGOOPeakTracksSigma) {
+  Tip4pSurrogate s;
+  md::WaterParameters big = s.structuralOptimum();
+  big.sigma += 0.3;
+  const auto curve = s.modelGOO(big);
+  // Find the peak location; it should shift right of 2.73.
+  double peakR = 0.0;
+  double peak = 0.0;
+  for (std::size_t i = 0; i < curve.r.size(); ++i) {
+    if (curve.g[i] > peak) {
+      peak = curve.g[i];
+      peakR = curve.r[i];
+    }
+  }
+  EXPECT_GT(peakR, 2.80);
+}
+
+TEST(ExperimentalGOO, PhysicalShape) {
+  const auto g = water::experimentalGOO();
+  // Zero inside the core.
+  for (std::size_t i = 0; i < g.r.size(); ++i) {
+    if (g.r[i] < 2.0) {
+      EXPECT_EQ(g.g[i], 0.0);
+    }
+  }
+  // First peak near 2.73 with height between 2 and 3.5.
+  double peak = 0.0;
+  double peakR = 0.0;
+  for (std::size_t i = 0; i < g.r.size(); ++i) {
+    if (g.g[i] > peak) {
+      peak = g.g[i];
+      peakR = g.r[i];
+    }
+  }
+  EXPECT_NEAR(peakR, 2.73, 0.15);
+  EXPECT_GT(peak, 2.0);
+  EXPECT_LT(peak, 3.5);
+  // Tends to 1 at large r.
+  EXPECT_NEAR(g.g.back(), 1.0, 0.2);
+}
+
+}  // namespace

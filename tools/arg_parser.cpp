@@ -1,0 +1,120 @@
+#include "arg_parser.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sfopt::tools {
+
+Args Args::parse(const std::vector<std::string>& argv, const std::vector<std::string>& known) {
+  Args out;
+  std::size_t i = 0;
+  if (i < argv.size() && argv[i].rfind("--", 0) != 0) {
+    out.command_ = argv[i++];
+  }
+  auto checkKnown = [&](const std::string& name) {
+    if (known.empty()) return;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw ArgError("unknown flag --" + name);
+    }
+  };
+  while (i < argv.size()) {
+    const std::string& tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string body = tok.substr(2);
+      if (body.empty()) throw ArgError("bare '--' is not a flag");
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        const std::string name = body.substr(0, eq);
+        checkKnown(name);
+        out.flags_[name] = body.substr(eq + 1);
+        ++i;
+      } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+        checkKnown(body);
+        out.flags_[body] = argv[i + 1];
+        i += 2;
+      } else {
+        // Boolean switch.
+        checkKnown(body);
+        out.flags_[body] = "true";
+        ++i;
+      }
+    } else {
+      out.positional_.push_back(tok);
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool Args::has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+std::string Args::getString(const std::string& flag, const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::getDouble(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw ArgError("flag --" + flag + " expects a number, got '" + it->second + "'");
+  }
+}
+
+std::int64_t Args::getInt(const std::string& flag, std::int64_t fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw ArgError("flag --" + flag + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+bool Args::getBool(const std::string& flag, bool fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ArgError("flag --" + flag + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<double> Args::getDoubleList(const std::string& flag,
+                                        std::vector<double> fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      std::size_t pos = 0;
+      out.push_back(std::stod(item, &pos));
+      if (pos != item.size()) throw std::invalid_argument("trailing junk");
+    } catch (const std::exception&) {
+      throw ArgError("flag --" + flag + " expects comma-separated numbers, got '" +
+                     it->second + "'");
+    }
+  }
+  if (out.empty()) {
+    throw ArgError("flag --" + flag + " expects at least one number");
+  }
+  return out;
+}
+
+std::string Args::requireString(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) throw ArgError("missing required flag --" + flag);
+  return it->second;
+}
+
+}  // namespace sfopt::tools

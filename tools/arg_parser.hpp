@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sfopt::tools {
+
+/// Minimal command-line argument parser for the sfopt CLI:
+///
+///   sfopt <command> [--flag value] [--flag=value] [--switch]
+///
+/// Flags are collected into a map; positional arguments (no leading "--")
+/// after the command are collected in order.  Typed getters convert on
+/// access and throw ArgError with a pointed message on malformed values
+/// or unknown flags (validated against the declared flag set).
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Args {
+ public:
+  /// Parse argv-style input (excluding the program name).  `known` lists
+  /// every accepted flag name (without "--"); an empty list disables
+  /// unknown-flag checking.
+  static Args parse(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& known = {});
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+
+  /// Typed access with defaults.  Throws ArgError on conversion failure.
+  [[nodiscard]] std::string getString(const std::string& flag,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double getDouble(const std::string& flag, double fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& flag, std::int64_t fallback) const;
+  [[nodiscard]] bool getBool(const std::string& flag, bool fallback) const;
+
+  /// Comma-separated doubles, e.g. "--start 1.0,2.5,-3".
+  [[nodiscard]] std::vector<double> getDoubleList(const std::string& flag,
+                                                  std::vector<double> fallback) const;
+
+  /// Required variants: throw ArgError when the flag is absent.
+  [[nodiscard]] std::string requireString(const std::string& flag) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sfopt::tools

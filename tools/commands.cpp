@@ -1,0 +1,287 @@
+#include "commands.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "core/annealing.hpp"
+#include "core/initial_simplex.hpp"
+#include "core/noise_probe.hpp"
+#include "core/checkpoint.hpp"
+#include "core/trace_io.hpp"
+#include "core/pso.hpp"
+#include "mw/parallel_runner.hpp"
+#include "noise/noisy_function.hpp"
+#include "testfunctions/functions.hpp"
+#include "water/cost.hpp"
+#include "water/experimental.hpp"
+
+namespace sfopt::tools {
+
+namespace {
+
+using FnPtr = double (*)(std::span<const double>);
+
+FnPtr lookupFunction(const std::string& name) {
+  if (name == "rosenbrock") return &testfunctions::rosenbrock;
+  if (name == "powell") return &testfunctions::powell;
+  if (name == "sphere") return &testfunctions::sphere;
+  if (name == "rastrigin") return &testfunctions::rastrigin;
+  if (name == "quadratic") return &testfunctions::quadraticBowl;
+  throw ArgError("unknown function '" + name +
+                 "' (try rosenbrock, powell, sphere, rastrigin, quadratic)");
+}
+
+noise::NoisyFunction makeObjective(const Args& args, std::size_t dim) {
+  const std::string fn = args.getString("function", "rosenbrock");
+  if (fn == "powell" && dim != 4) throw ArgError("powell requires --dim 4");
+  noise::NoisyFunction::Options o;
+  o.sigma0 = args.getDouble("sigma0", 1.0);
+  o.seed = static_cast<std::uint64_t>(args.getInt("seed", 2026));
+  return noise::NoisyFunction(dim, lookupFunction(fn), o);
+}
+
+core::TerminationCriteria terminationFrom(const Args& args) {
+  core::TerminationCriteria t;
+  t.tolerance = args.getDouble("tolerance", 1e-4);
+  t.maxIterations = args.getInt("max-iterations", 1000);
+  t.maxSamples = args.getInt("max-samples", 1'000'000);
+  t.maxTime = args.getDouble("max-time", 1e9);
+  return t;
+}
+
+void printResult(std::ostream& out, const core::OptimizationResult& res) {
+  out << "stopped:  " << toString(res.reason) << " after " << res.iterations << " steps\n";
+  out << "best:     " << core::toString(res.best, 6) << "\n";
+  out << "estimate: " << res.bestEstimate;
+  if (res.bestTrue) out << "   (true value " << *res.bestTrue << ")";
+  out << "\n";
+  out << "effort:   " << res.totalSamples << " samples, " << res.elapsedTime
+      << " simulated seconds\n";
+  out << "moves:    " << res.counters.reflections << " refl, " << res.counters.expansions
+      << " exp, " << res.counters.contractions << " contr, " << res.counters.collapses
+      << " collapses\n";
+}
+
+}  // namespace
+
+int runOptimizeCommand(const Args& args, std::ostream& out) {
+  const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
+  if (dim < 2) throw ArgError("--dim must be >= 2");
+  const auto objective = makeObjective(args, dim);
+  const std::string algo = args.getString("algorithm", "pc");
+
+  // Initial simplex: explicit --start corner, or random in --box lo,hi.
+  std::vector<core::Point> start;
+  if (args.has("start")) {
+    const auto corner = args.getDoubleList("start", {});
+    if (corner.size() != dim) throw ArgError("--start must have --dim coordinates");
+    start = core::axisSimplexPoints(corner, 1.0);
+  } else {
+    const auto box = args.getDoubleList("box", {-5.0, 5.0});
+    if (box.size() != 2 || !(box[0] < box[1])) throw ArgError("--box expects lo,hi");
+    noise::RngStream rng(static_cast<std::uint64_t>(args.getInt("seed", 2026)), 7);
+    start = core::randomSimplexPoints(dim, box[0], box[1], rng);
+  }
+
+  const auto term = terminationFrom(args);
+  const bool wantTrace = args.has("trace");
+
+  // Checkpoint/resume plumbing (simplex algorithms only).
+  core::SimplexCheckpoint resumeState;
+  const bool wantResume = args.has("resume");
+  const bool wantCheckpoint = args.has("checkpoint");
+  if ((wantResume || wantCheckpoint) && (algo == "pso" || algo == "sa")) {
+    throw ArgError("--checkpoint/--resume support the simplex algorithms only");
+  }
+  if (wantResume) resumeState = core::loadCheckpoint(args.requireString("resume"));
+  auto applyCheckpointing = [&](core::CommonOptions& common) {
+    if (wantResume) common.resumeFrom = &resumeState;
+    if (wantCheckpoint) {
+      const std::string path = args.requireString("checkpoint");
+      common.checkpointEvery = args.getInt("checkpoint-every", 10);
+      common.checkpointSink = [path](const core::SimplexCheckpoint& cp) {
+        core::saveCheckpoint(path, cp);
+      };
+    }
+  };
+
+  core::OptimizationResult res;
+  if (algo == "pso") {
+    if (wantResume || wantCheckpoint) {
+      throw ArgError("--checkpoint/--resume support the simplex algorithms only");
+    }
+    core::PsoOptions o;
+    o.particles = static_cast<int>(args.getInt("particles", 20));
+    o.termination = term;
+    o.resample.maxRoundsPerComparison = 8;
+    o.recordTrace = wantTrace;
+    res = core::runParticleSwarm(objective, o);
+  } else if (algo == "sa") {
+    if (wantResume || wantCheckpoint) {
+      throw ArgError("--checkpoint/--resume support the simplex algorithms only");
+    }
+    core::AnnealingOptions o;
+    o.initialTemperature = args.getDouble("temperature", 10.0);
+    o.termination = term;
+    res = core::runSimulatedAnnealing(objective, start.front(), o);
+  } else {
+    mw::AlgorithmOptions options = [&]() -> mw::AlgorithmOptions {
+      if (algo == "det") {
+        core::DetOptions o;
+        o.common.termination = term;
+        o.common.recordTrace = wantTrace;
+        applyCheckpointing(o.common);
+        return o;
+      }
+      if (algo == "mn") {
+        core::MaxNoiseOptions o;
+        o.k = args.getDouble("k", 2.0);
+        o.common.termination = term;
+        o.common.recordTrace = wantTrace;
+        applyCheckpointing(o.common);
+        return o;
+      }
+      if (algo == "anderson") {
+        core::AndersonOptions o;
+        o.k1 = args.getDouble("k1", 1.0);
+        o.k2 = args.getDouble("k2", 0.0);
+        o.common.termination = term;
+        o.common.recordTrace = wantTrace;
+        applyCheckpointing(o.common);
+        return o;
+      }
+      if (algo == "pc" || algo == "pcmn") {
+        core::PCOptions o;
+        o.k = args.getDouble("k", 1.0);
+        o.maxNoiseGate = algo == "pcmn";
+        o.common.termination = term;
+        o.common.recordTrace = wantTrace;
+        applyCheckpointing(o.common);
+        return o;
+      }
+      throw ArgError("unknown algorithm '" + algo +
+                     "' (try det, mn, anderson, pc, pcmn, pso, sa)");
+    }();
+    if (args.getBool("mw", false)) {
+      mw::MWRunConfig cfg;
+      cfg.workers = static_cast<int>(args.getInt("workers", 0));
+      cfg.clientsPerWorker = static_cast<int>(args.getInt("clients", 1));
+      const auto run = mw::runSimplexOverMW(objective, start, options, cfg);
+      out << "master-worker deployment: " << run.allocation.workers() << " workers, "
+          << run.allocation.totalCores() << " cores (Table 3.3 rule), " << run.messagesSent
+          << " messages\n";
+      res = run.optimization;
+    } else {
+      res = std::visit(
+          [&](const auto& o) {
+            using T = std::decay_t<decltype(o)>;
+            if constexpr (std::is_same_v<T, core::DetOptions>) {
+              return core::runDeterministic(objective, start, o);
+            } else if constexpr (std::is_same_v<T, core::MaxNoiseOptions>) {
+              return core::runMaxNoise(objective, start, o);
+            } else if constexpr (std::is_same_v<T, core::AndersonOptions>) {
+              return core::runAnderson(objective, start, o);
+            } else {
+              return core::runPointToPoint(objective, start, o);
+            }
+          },
+          options);
+    }
+  }
+  printResult(out, res);
+  if (wantTrace) {
+    const std::string path = args.requireString("trace");
+    core::saveTraceCsv(path, res.trace);
+    out << "trace:    " << res.trace.size() << " rows -> " << path << "\n";
+  }
+  return 0;
+}
+
+int runWaterCommand(const Args& args, std::ostream& out) {
+  water::WaterCostObjective::Options objOpts;
+  objOpts.sigma0 = args.getDouble("sigma0", 0.2);
+  const water::WaterCostObjective objective(objOpts);
+  const auto rows = water::table34InitialPoints();
+  const std::vector<core::Point> start(rows.begin(), rows.begin() + 4);
+
+  const std::string algo = args.getString("algorithm", "pcmn");
+  core::TerminationCriteria term = terminationFrom(args);
+  if (!args.has("max-samples")) term.maxSamples = 4'000'000;
+  if (!args.has("tolerance")) term.tolerance = 1e-3;
+
+  core::OptimizationResult res;
+  if (algo == "mn") {
+    core::MaxNoiseOptions o;
+    o.common.termination = term;
+    res = core::runMaxNoise(objective, start, o);
+  } else if (algo == "pc" || algo == "pcmn") {
+    core::PCOptions o;
+    o.maxNoiseGate = algo == "pcmn";
+    o.common.termination = term;
+    res = core::runPointToPoint(objective, start, o);
+  } else {
+    throw ArgError("water supports --algorithm mn, pc or pcmn");
+  }
+
+  const auto tip4p = md::tip4pPublished();
+  out << "optimized parameters (vs published TIP4P):\n";
+  out << "  epsilon " << res.best[0] << "  (" << tip4p.epsilon << ")\n";
+  out << "  sigma   " << res.best[1] << "  (" << tip4p.sigma << ")\n";
+  out << "  qH      " << res.best[2] << "  (" << tip4p.qH << ")\n";
+  out << "cost: " << *objective.trueValue(res.best) << "  vs TIP4P "
+      << *objective.trueValue(std::vector<double>{tip4p.epsilon, tip4p.sigma, tip4p.qH})
+      << "\n";
+  printResult(out, res);
+  return 0;
+}
+
+int runProbeCommand(const Args& args, std::ostream& out) {
+  const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
+  const auto objective = makeObjective(args, dim);
+  const auto point = args.getDoubleList("point", core::Point(dim, 0.0));
+  if (point.size() != dim) throw ArgError("--point must have --dim coordinates");
+  const auto samples = args.getInt("samples", 1000);
+  const auto probe = core::probeNoise(objective, point, samples);
+  out << "point:        " << core::toString(point, 4) << "\n";
+  out << "mean:         " << probe.meanEstimate << " +/- " << probe.standardError << "\n";
+  out << "sigma0:       " << probe.sigma0Estimate << " (declared "
+      << objective.noiseScale(point).value_or(0.0) << ")\n";
+  out << "sampled time: " << probe.sampledTime << " s (" << probe.samples << " samples)\n";
+  return 0;
+}
+
+int runInfoCommand(const Args&, std::ostream& out) {
+  out << "sfopt - stochastic-function optimization (IPDPS'11 reproduction)\n";
+  out << "algorithms: det mn anderson pc pcmn pso sa\n";
+  out << "functions:  rosenbrock powell sphere rastrigin quadratic\n";
+  out << "commands:\n";
+  out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
+  out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
+  out << "  probe    --function F --dim D --point x,y,... --samples N\n";
+  out << "  info\n";
+  return 0;
+}
+
+int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  try {
+    const Args args = Args::parse(argv);
+    const std::string& cmd = args.command();
+    if (cmd == "optimize") return runOptimizeCommand(args, out);
+    if (cmd == "water") return runWaterCommand(args, out);
+    if (cmd == "probe") return runProbeCommand(args, out);
+    if (cmd == "info" || cmd.empty()) return runInfoCommand(args, out);
+    err << "unknown command '" << cmd << "'\n";
+    (void)runInfoCommand(args, err);
+    return 2;
+  } catch (const ArgError& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace sfopt::tools

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "arg_parser.hpp"
+
+namespace sfopt::tools {
+
+/// The sfopt CLI command layer: each command is a pure function of parsed
+/// args writing its report to `out`, so the test suite can drive it
+/// without spawning processes.  Returns a process exit code.
+
+/// `sfopt optimize` — run one of the stochastic simplex variants (or PSO /
+/// simulated annealing) on a built-in test function.
+int runOptimizeCommand(const Args& args, std::ostream& out);
+
+/// `sfopt water` — the TIP4P reparameterization application.
+int runWaterCommand(const Args& args, std::ostream& out);
+
+/// `sfopt probe` — estimate the noise scale of a test function at a point.
+int runProbeCommand(const Args& args, std::ostream& out);
+
+/// `sfopt info` — list algorithms, functions and build configuration.
+int runInfoCommand(const Args& args, std::ostream& out);
+
+/// Dispatch on args.command(); prints usage on unknown/missing commands.
+int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+}  // namespace sfopt::tools

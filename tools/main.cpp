@@ -1,0 +1,15 @@
+// The sfopt command-line tool.  All logic lives in the testable command
+// layer (commands.cpp); this translation unit only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return sfopt::tools::runCli(args, std::cout, std::cerr);
+}
