@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_trial_matching.cpp" "bench-build/CMakeFiles/ablation_trial_matching.dir/ablation_trial_matching.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_trial_matching.dir/ablation_trial_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/sfopt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/testfunctions/CMakeFiles/sfopt_testfunctions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

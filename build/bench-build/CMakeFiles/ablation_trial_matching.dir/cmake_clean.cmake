@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trial_matching"
+  "../bench/ablation_trial_matching.pdb"
+  "CMakeFiles/ablation_trial_matching.dir/ablation_trial_matching.cpp.o"
+  "CMakeFiles/ablation_trial_matching.dir/ablation_trial_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trial_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

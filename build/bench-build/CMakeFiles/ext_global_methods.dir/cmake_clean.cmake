@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_global_methods"
+  "../bench/ext_global_methods.pdb"
+  "CMakeFiles/ext_global_methods.dir/ext_global_methods.cpp.o"
+  "CMakeFiles/ext_global_methods.dir/ext_global_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_global_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

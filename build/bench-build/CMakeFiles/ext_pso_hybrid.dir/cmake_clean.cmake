@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pso_hybrid"
+  "../bench/ext_pso_hybrid.pdb"
+  "CMakeFiles/ext_pso_hybrid.dir/ext_pso_hybrid.cpp.o"
+  "CMakeFiles/ext_pso_hybrid.dir/ext_pso_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pso_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

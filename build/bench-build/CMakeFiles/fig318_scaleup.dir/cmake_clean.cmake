@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig318_scaleup"
+  "../bench/fig318_scaleup.pdb"
+  "CMakeFiles/fig318_scaleup.dir/fig318_scaleup.cpp.o"
+  "CMakeFiles/fig318_scaleup.dir/fig318_scaleup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig318_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

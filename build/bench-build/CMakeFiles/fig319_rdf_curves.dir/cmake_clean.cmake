@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig319_rdf_curves"
+  "../bench/fig319_rdf_curves.pdb"
+  "CMakeFiles/fig319_rdf_curves.dir/fig319_rdf_curves.cpp.o"
+  "CMakeFiles/fig319_rdf_curves.dir/fig319_rdf_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig319_rdf_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

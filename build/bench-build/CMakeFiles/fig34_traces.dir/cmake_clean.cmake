@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig34_traces"
+  "../bench/fig34_traces.pdb"
+  "CMakeFiles/fig34_traces.dir/fig34_traces.cpp.o"
+  "CMakeFiles/fig34_traces.dir/fig34_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

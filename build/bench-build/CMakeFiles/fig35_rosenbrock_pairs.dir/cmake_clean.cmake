@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig35_rosenbrock_pairs"
+  "../bench/fig35_rosenbrock_pairs.pdb"
+  "CMakeFiles/fig35_rosenbrock_pairs.dir/fig35_rosenbrock_pairs.cpp.o"
+  "CMakeFiles/fig35_rosenbrock_pairs.dir/fig35_rosenbrock_pairs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig35_rosenbrock_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig35_rosenbrock_pairs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig36_powell_pairs"
+  "../bench/fig36_powell_pairs.pdb"
+  "CMakeFiles/fig36_powell_pairs.dir/fig36_powell_pairs.cpp.o"
+  "CMakeFiles/fig36_powell_pairs.dir/fig36_powell_pairs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig36_powell_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

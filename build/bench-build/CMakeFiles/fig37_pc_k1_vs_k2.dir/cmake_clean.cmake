@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig37_pc_k1_vs_k2"
+  "../bench/fig37_pc_k1_vs_k2.pdb"
+  "CMakeFiles/fig37_pc_k1_vs_k2.dir/fig37_pc_k1_vs_k2.cpp.o"
+  "CMakeFiles/fig37_pc_k1_vs_k2.dir/fig37_pc_k1_vs_k2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig37_pc_k1_vs_k2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig37_pc_k1_vs_k2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig38_317_pc_conditions"
+  "../bench/fig38_317_pc_conditions.pdb"
+  "CMakeFiles/fig38_317_pc_conditions.dir/fig38_317_pc_conditions.cpp.o"
+  "CMakeFiles/fig38_317_pc_conditions.dir/fig38_317_pc_conditions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig38_317_pc_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

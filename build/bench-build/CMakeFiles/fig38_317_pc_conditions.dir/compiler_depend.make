@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig38_317_pc_conditions.
+# This may be replaced when dependencies are built.

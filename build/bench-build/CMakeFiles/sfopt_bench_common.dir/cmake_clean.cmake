@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_bench_common.dir/common/harness.cpp.o"
+  "CMakeFiles/sfopt_bench_common.dir/common/harness.cpp.o.d"
+  "libsfopt_bench_common.a"
+  "libsfopt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

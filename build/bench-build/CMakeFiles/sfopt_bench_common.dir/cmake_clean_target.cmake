@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfopt_bench_common.a"
+)

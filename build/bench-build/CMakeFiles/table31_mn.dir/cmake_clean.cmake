@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table31_mn"
+  "../bench/table31_mn.pdb"
+  "CMakeFiles/table31_mn.dir/table31_mn.cpp.o"
+  "CMakeFiles/table31_mn.dir/table31_mn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table31_mn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

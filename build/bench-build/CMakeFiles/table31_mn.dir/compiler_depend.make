@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table31_mn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table31_mn.
+# This may be replaced when dependencies are built.

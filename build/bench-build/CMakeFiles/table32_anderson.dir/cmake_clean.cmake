@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table32_anderson"
+  "../bench/table32_anderson.pdb"
+  "CMakeFiles/table32_anderson.dir/table32_anderson.cpp.o"
+  "CMakeFiles/table32_anderson.dir/table32_anderson.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table32_anderson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

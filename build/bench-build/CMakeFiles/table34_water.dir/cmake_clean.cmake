@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table34_water"
+  "../bench/table34_water.pdb"
+  "CMakeFiles/table34_water.dir/table34_water.cpp.o"
+  "CMakeFiles/table34_water.dir/table34_water.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table34_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

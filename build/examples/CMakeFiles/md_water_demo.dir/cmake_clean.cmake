@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_water_demo.dir/md_water_demo.cpp.o"
+  "CMakeFiles/md_water_demo.dir/md_water_demo.cpp.o.d"
+  "md_water_demo"
+  "md_water_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_water_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

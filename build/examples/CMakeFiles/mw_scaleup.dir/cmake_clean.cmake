@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_scaleup.dir/mw_scaleup.cpp.o"
+  "CMakeFiles/mw_scaleup.dir/mw_scaleup.cpp.o.d"
+  "mw_scaleup"
+  "mw_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mw_scaleup.
+# This may be replaced when dependencies are built.

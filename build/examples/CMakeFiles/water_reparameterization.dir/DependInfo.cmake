@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/water_reparameterization.cpp" "examples/CMakeFiles/water_reparameterization.dir/water_reparameterization.cpp.o" "gcc" "examples/CMakeFiles/water_reparameterization.dir/water_reparameterization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/water/CMakeFiles/sfopt_water.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/sfopt_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

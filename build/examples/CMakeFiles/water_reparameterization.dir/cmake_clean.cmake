@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_reparameterization.dir/water_reparameterization.cpp.o"
+  "CMakeFiles/water_reparameterization.dir/water_reparameterization.cpp.o.d"
+  "water_reparameterization"
+  "water_reparameterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_reparameterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

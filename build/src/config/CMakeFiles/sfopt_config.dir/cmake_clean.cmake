@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_config.dir/optroot.cpp.o"
+  "CMakeFiles/sfopt_config.dir/optroot.cpp.o.d"
+  "libsfopt_config.a"
+  "libsfopt_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cpp" "src/core/CMakeFiles/sfopt_core.dir/annealing.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/annealing.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/sfopt_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/det_engine.cpp" "src/core/CMakeFiles/sfopt_core.dir/det_engine.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/det_engine.cpp.o.d"
+  "/root/repo/src/core/engine_base.cpp" "src/core/CMakeFiles/sfopt_core.dir/engine_base.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/engine_base.cpp.o.d"
+  "/root/repo/src/core/initial_simplex.cpp" "src/core/CMakeFiles/sfopt_core.dir/initial_simplex.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/initial_simplex.cpp.o.d"
+  "/root/repo/src/core/noise_probe.cpp" "src/core/CMakeFiles/sfopt_core.dir/noise_probe.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/noise_probe.cpp.o.d"
+  "/root/repo/src/core/pc_engine.cpp" "src/core/CMakeFiles/sfopt_core.dir/pc_engine.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/pc_engine.cpp.o.d"
+  "/root/repo/src/core/point.cpp" "src/core/CMakeFiles/sfopt_core.dir/point.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/point.cpp.o.d"
+  "/root/repo/src/core/pso.cpp" "src/core/CMakeFiles/sfopt_core.dir/pso.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/pso.cpp.o.d"
+  "/root/repo/src/core/restart.cpp" "src/core/CMakeFiles/sfopt_core.dir/restart.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/restart.cpp.o.d"
+  "/root/repo/src/core/sampling_context.cpp" "src/core/CMakeFiles/sfopt_core.dir/sampling_context.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/sampling_context.cpp.o.d"
+  "/root/repo/src/core/simplex.cpp" "src/core/CMakeFiles/sfopt_core.dir/simplex.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/simplex.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/sfopt_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/sfopt_core.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_core.dir/annealing.cpp.o"
+  "CMakeFiles/sfopt_core.dir/annealing.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/sfopt_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/det_engine.cpp.o"
+  "CMakeFiles/sfopt_core.dir/det_engine.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/engine_base.cpp.o"
+  "CMakeFiles/sfopt_core.dir/engine_base.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/initial_simplex.cpp.o"
+  "CMakeFiles/sfopt_core.dir/initial_simplex.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/noise_probe.cpp.o"
+  "CMakeFiles/sfopt_core.dir/noise_probe.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/pc_engine.cpp.o"
+  "CMakeFiles/sfopt_core.dir/pc_engine.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/point.cpp.o"
+  "CMakeFiles/sfopt_core.dir/point.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/pso.cpp.o"
+  "CMakeFiles/sfopt_core.dir/pso.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/restart.cpp.o"
+  "CMakeFiles/sfopt_core.dir/restart.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/sampling_context.cpp.o"
+  "CMakeFiles/sfopt_core.dir/sampling_context.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/simplex.cpp.o"
+  "CMakeFiles/sfopt_core.dir/simplex.cpp.o.d"
+  "CMakeFiles/sfopt_core.dir/trace_io.cpp.o"
+  "CMakeFiles/sfopt_core.dir/trace_io.cpp.o.d"
+  "libsfopt_core.a"
+  "libsfopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

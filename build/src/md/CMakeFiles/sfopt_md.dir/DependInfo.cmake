@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/forces.cpp" "src/md/CMakeFiles/sfopt_md.dir/forces.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/forces.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/sfopt_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/neighbor_list.cpp" "src/md/CMakeFiles/sfopt_md.dir/neighbor_list.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/neighbor_list.cpp.o.d"
+  "/root/repo/src/md/observables.cpp" "src/md/CMakeFiles/sfopt_md.dir/observables.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/observables.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/sfopt_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/sfopt_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/system.cpp.o.d"
+  "/root/repo/src/md/trajectory.cpp" "src/md/CMakeFiles/sfopt_md.dir/trajectory.cpp.o" "gcc" "src/md/CMakeFiles/sfopt_md.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

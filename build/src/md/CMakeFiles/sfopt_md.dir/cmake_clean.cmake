@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_md.dir/forces.cpp.o"
+  "CMakeFiles/sfopt_md.dir/forces.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/integrator.cpp.o"
+  "CMakeFiles/sfopt_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/neighbor_list.cpp.o"
+  "CMakeFiles/sfopt_md.dir/neighbor_list.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/observables.cpp.o"
+  "CMakeFiles/sfopt_md.dir/observables.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/simulation.cpp.o"
+  "CMakeFiles/sfopt_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/system.cpp.o"
+  "CMakeFiles/sfopt_md.dir/system.cpp.o.d"
+  "CMakeFiles/sfopt_md.dir/trajectory.cpp.o"
+  "CMakeFiles/sfopt_md.dir/trajectory.cpp.o.d"
+  "libsfopt_md.a"
+  "libsfopt_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

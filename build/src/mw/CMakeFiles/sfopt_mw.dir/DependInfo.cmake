@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mw/comm.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/comm.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/comm.cpp.o.d"
+  "/root/repo/src/mw/machinefile.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/machinefile.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/machinefile.cpp.o.d"
+  "/root/repo/src/mw/message_buffer.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/message_buffer.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/message_buffer.cpp.o.d"
+  "/root/repo/src/mw/mw_driver.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/mw_driver.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/mw_driver.cpp.o.d"
+  "/root/repo/src/mw/parallel_runner.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/parallel_runner.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/parallel_runner.cpp.o.d"
+  "/root/repo/src/mw/sampling_service.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/sampling_service.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/sampling_service.cpp.o.d"
+  "/root/repo/src/mw/vertex_server.cpp" "src/mw/CMakeFiles/sfopt_mw.dir/vertex_server.cpp.o" "gcc" "src/mw/CMakeFiles/sfopt_mw.dir/vertex_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_mw.dir/comm.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/comm.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/machinefile.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/machinefile.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/message_buffer.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/message_buffer.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/mw_driver.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/mw_driver.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/parallel_runner.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/parallel_runner.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/sampling_service.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/sampling_service.cpp.o.d"
+  "CMakeFiles/sfopt_mw.dir/vertex_server.cpp.o"
+  "CMakeFiles/sfopt_mw.dir/vertex_server.cpp.o.d"
+  "libsfopt_mw.a"
+  "libsfopt_mw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_mw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_noise.dir/rng.cpp.o"
+  "CMakeFiles/sfopt_noise.dir/rng.cpp.o.d"
+  "libsfopt_noise.a"
+  "libsfopt_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/sfopt_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/sfopt_stats.dir/histogram.cpp.o"
+  "CMakeFiles/sfopt_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/sfopt_stats.dir/performance.cpp.o"
+  "CMakeFiles/sfopt_stats.dir/performance.cpp.o.d"
+  "CMakeFiles/sfopt_stats.dir/summary.cpp.o"
+  "CMakeFiles/sfopt_stats.dir/summary.cpp.o.d"
+  "libsfopt_stats.a"
+  "libsfopt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

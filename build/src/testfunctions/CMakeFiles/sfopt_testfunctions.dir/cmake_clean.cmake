@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_testfunctions.dir/functions.cpp.o"
+  "CMakeFiles/sfopt_testfunctions.dir/functions.cpp.o.d"
+  "libsfopt_testfunctions.a"
+  "libsfopt_testfunctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_testfunctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfopt_testfunctions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/water/cost.cpp" "src/water/CMakeFiles/sfopt_water.dir/cost.cpp.o" "gcc" "src/water/CMakeFiles/sfopt_water.dir/cost.cpp.o.d"
+  "/root/repo/src/water/experimental.cpp" "src/water/CMakeFiles/sfopt_water.dir/experimental.cpp.o" "gcc" "src/water/CMakeFiles/sfopt_water.dir/experimental.cpp.o.d"
+  "/root/repo/src/water/md_objective.cpp" "src/water/CMakeFiles/sfopt_water.dir/md_objective.cpp.o" "gcc" "src/water/CMakeFiles/sfopt_water.dir/md_objective.cpp.o.d"
+  "/root/repo/src/water/surrogate.cpp" "src/water/CMakeFiles/sfopt_water.dir/surrogate.cpp.o" "gcc" "src/water/CMakeFiles/sfopt_water.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/sfopt_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

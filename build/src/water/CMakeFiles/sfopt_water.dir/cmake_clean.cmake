@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_water.dir/cost.cpp.o"
+  "CMakeFiles/sfopt_water.dir/cost.cpp.o.d"
+  "CMakeFiles/sfopt_water.dir/experimental.cpp.o"
+  "CMakeFiles/sfopt_water.dir/experimental.cpp.o.d"
+  "CMakeFiles/sfopt_water.dir/md_objective.cpp.o"
+  "CMakeFiles/sfopt_water.dir/md_objective.cpp.o.d"
+  "CMakeFiles/sfopt_water.dir/surrogate.cpp.o"
+  "CMakeFiles/sfopt_water.dir/surrogate.cpp.o.d"
+  "libsfopt_water.a"
+  "libsfopt_water.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_water.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

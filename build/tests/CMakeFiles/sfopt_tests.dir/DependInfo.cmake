@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config/optroot_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/config/optroot_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/config/optroot_test.cpp.o.d"
+  "/root/repo/tests/core/algorithm_matrix_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/algorithm_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/algorithm_matrix_test.cpp.o.d"
+  "/root/repo/tests/core/anderson_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/anderson_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/anderson_test.cpp.o.d"
+  "/root/repo/tests/core/annealing_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/annealing_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/annealing_test.cpp.o.d"
+  "/root/repo/tests/core/checkpoint_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/condition_mask_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/condition_mask_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/condition_mask_test.cpp.o.d"
+  "/root/repo/tests/core/det_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/det_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/det_test.cpp.o.d"
+  "/root/repo/tests/core/engine_base_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/engine_base_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/engine_base_test.cpp.o.d"
+  "/root/repo/tests/core/initial_simplex_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/initial_simplex_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/initial_simplex_test.cpp.o.d"
+  "/root/repo/tests/core/max_noise_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/max_noise_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/max_noise_test.cpp.o.d"
+  "/root/repo/tests/core/pc_options_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/pc_options_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/pc_options_test.cpp.o.d"
+  "/root/repo/tests/core/pc_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/pc_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/pc_test.cpp.o.d"
+  "/root/repo/tests/core/point_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/point_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/point_test.cpp.o.d"
+  "/root/repo/tests/core/pso_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/pso_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/pso_test.cpp.o.d"
+  "/root/repo/tests/core/restart_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/restart_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/restart_test.cpp.o.d"
+  "/root/repo/tests/core/sampling_context_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/sampling_context_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/sampling_context_test.cpp.o.d"
+  "/root/repo/tests/core/simplex_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/simplex_test.cpp.o.d"
+  "/root/repo/tests/core/trace_io_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/trace_io_test.cpp.o.d"
+  "/root/repo/tests/core/vertex_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/core/vertex_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/core/vertex_test.cpp.o.d"
+  "/root/repo/tests/md/forces_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/forces_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/forces_test.cpp.o.d"
+  "/root/repo/tests/md/integrator_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/integrator_test.cpp.o.d"
+  "/root/repo/tests/md/neighbor_list_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/neighbor_list_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/neighbor_list_test.cpp.o.d"
+  "/root/repo/tests/md/observables_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/observables_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/observables_test.cpp.o.d"
+  "/root/repo/tests/md/periodic_box_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/periodic_box_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/periodic_box_test.cpp.o.d"
+  "/root/repo/tests/md/simulation_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/simulation_test.cpp.o.d"
+  "/root/repo/tests/md/system_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/system_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/system_test.cpp.o.d"
+  "/root/repo/tests/md/tail_corrections_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/tail_corrections_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/tail_corrections_test.cpp.o.d"
+  "/root/repo/tests/md/trajectory_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/trajectory_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/trajectory_test.cpp.o.d"
+  "/root/repo/tests/md/vec3_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/md/vec3_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/md/vec3_test.cpp.o.d"
+  "/root/repo/tests/mw/comm_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/comm_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/comm_test.cpp.o.d"
+  "/root/repo/tests/mw/failure_injection_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/mw/machinefile_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/machinefile_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/machinefile_test.cpp.o.d"
+  "/root/repo/tests/mw/message_buffer_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/message_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/message_buffer_test.cpp.o.d"
+  "/root/repo/tests/mw/mw_driver_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/mw_driver_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/mw_driver_test.cpp.o.d"
+  "/root/repo/tests/mw/parallel_runner_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/parallel_runner_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/parallel_runner_test.cpp.o.d"
+  "/root/repo/tests/mw/sampling_service_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/sampling_service_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/sampling_service_test.cpp.o.d"
+  "/root/repo/tests/mw/vertex_server_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/mw/vertex_server_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/mw/vertex_server_test.cpp.o.d"
+  "/root/repo/tests/noise/heteroscedastic_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/noise/heteroscedastic_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/noise/heteroscedastic_test.cpp.o.d"
+  "/root/repo/tests/noise/noisy_function_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/noise/noisy_function_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/noise/noisy_function_test.cpp.o.d"
+  "/root/repo/tests/noise/rng_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/noise/rng_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/noise/rng_test.cpp.o.d"
+  "/root/repo/tests/noise/virtual_clock_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/noise/virtual_clock_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/noise/virtual_clock_test.cpp.o.d"
+  "/root/repo/tests/stats/autocorrelation_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/stats/autocorrelation_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/stats/autocorrelation_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/performance_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/stats/performance_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/stats/performance_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/welford_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/stats/welford_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/stats/welford_test.cpp.o.d"
+  "/root/repo/tests/testfunctions/functions_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/testfunctions/functions_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/testfunctions/functions_test.cpp.o.d"
+  "/root/repo/tests/tools/arg_parser_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/tools/arg_parser_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/tools/arg_parser_test.cpp.o.d"
+  "/root/repo/tests/tools/commands_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/tools/commands_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/tools/commands_test.cpp.o.d"
+  "/root/repo/tests/water/cost_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/water/cost_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/water/cost_test.cpp.o.d"
+  "/root/repo/tests/water/end_to_end_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/water/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/water/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/water/md_objective_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/water/md_objective_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/water/md_objective_test.cpp.o.d"
+  "/root/repo/tests/water/surrogate_test.cpp" "tests/CMakeFiles/sfopt_tests.dir/water/surrogate_test.cpp.o" "gcc" "tests/CMakeFiles/sfopt_tests.dir/water/surrogate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/sfopt_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/testfunctions/CMakeFiles/sfopt_testfunctions.dir/DependInfo.cmake"
+  "/root/repo/build/src/mw/CMakeFiles/sfopt_mw.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/sfopt_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/water/CMakeFiles/sfopt_water.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sfopt_config.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/sfopt_cli_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt.dir/main.cpp.o"
+  "CMakeFiles/sfopt.dir/main.cpp.o.d"
+  "sfopt"
+  "sfopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfopt_cli_lib.dir/arg_parser.cpp.o"
+  "CMakeFiles/sfopt_cli_lib.dir/arg_parser.cpp.o.d"
+  "CMakeFiles/sfopt_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/sfopt_cli_lib.dir/commands.cpp.o.d"
+  "libsfopt_cli_lib.a"
+  "libsfopt_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfopt_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
