@@ -1,0 +1,92 @@
+// Scaling study of the MD hot path: neighbor-list construction
+// (brute-force O(N^2) scan vs linked-cell O(N)) and the nonbonded force
+// evaluation (serial vs thread-parallel kernel), swept over system size
+// and thread count.  These numbers back the CHANGES.md entry for the
+// cell-list + parallel-force PR; every stochastic objective sample runs
+// this kernel a few hundred times, so per-eval wall time here is the
+// unit cost of the whole optimization stack.
+//
+// Usage: force_scaling [repetitions]   (default 25)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "md/forces.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+
+namespace {
+
+using namespace sfopt::md;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kCutoff = 4.0;
+constexpr double kSkin = 1.0;
+
+/// Median-of-reps wall seconds for one invocation of fn.
+template <typename F>
+double medianSeconds(int reps, F&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    times.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void runSystemSize(int molecules, int reps) {
+  WaterSystem sys = buildWaterLattice(molecules, 0.997, 298.0, tip4pPublished(),
+                                      kCutoff, 3);
+  const double listRadius = kCutoff + kSkin;
+
+  // --- Neighbor-list rebuild: brute force vs cell list. ---
+  NeighborList brute(kCutoff, kSkin, NeighborStrategy::kBruteForce);
+  const double bruteSec = medianSeconds(reps, [&] { brute.rebuild(sys); });
+  NeighborList autoList(kCutoff, kSkin);  // cell list when the box admits it
+  const double autoSec = medianSeconds(reps, [&] { autoList.rebuild(sys); });
+  std::printf("N=%3d  rebuild: brute %9.1f us | %s %9.1f us | speedup x%5.2f",
+              molecules, bruteSec * 1e6,
+              autoList.lastRebuildUsedCells() ? "cells" : "brute(fallback)",
+              autoSec * 1e6, bruteSec / autoSec);
+  if (autoList.lastRebuildUsedCells()) {
+    std::printf("  (%d^3 cells, avg occ %.1f)", autoList.cellsPerDim(),
+                autoList.averageCellOccupancy());
+  }
+  std::printf("  [%zu pairs]\n", autoList.pairs().size());
+  (void)listRadius;
+
+  // --- Force evaluation: serial vs parallel over the pair list. ---
+  const double serialSec =
+      medianSeconds(reps, [&] { (void)computeForces(sys, autoList); });
+  std::printf("N=%3d  force:   serial %8.1f us", molecules, serialSec * 1e6);
+  for (int threads : {2, 4}) {
+    ParallelForceKernel kernel(threads);
+    const double parSec =
+        medianSeconds(reps, [&] { (void)kernel.compute(sys, autoList); });
+    std::printf(" | %dT %8.1f us (x%4.2f)", threads, parSec * 1e6,
+                serialSec / parSec);
+  }
+  const double pairsPerSec =
+      static_cast<double>(autoList.pairs().size()) / serialSec;
+  std::printf("  [%.1f Mpairs/s serial]\n", pairsPerSec / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 25;
+  std::printf("force_scaling: cutoff %.1f A + skin %.1f A, median of %d reps\n",
+              kCutoff, kSkin, reps);
+  std::printf("(64 molecules -> box ~12.4 A admits only 2 cells/dim at the 5 A list "
+              "radius, so the auto strategy falls back to the brute scan there)\n\n");
+  for (int molecules : {64, 216, 512}) {
+    runSystemSize(molecules, reps);
+  }
+  return 0;
+}

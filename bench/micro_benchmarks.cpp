@@ -121,6 +121,45 @@ void BM_MdForceEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_MdForceEvaluation)->Arg(27)->Arg(64);
 
+void BM_MdNeighborRebuild(benchmark::State& state) {
+  // range(0): molecules; range(1): 0 = brute-force scan, 1 = cell list.
+  auto sys = md::buildWaterLattice(static_cast<int>(state.range(0)), 0.997, 298.0,
+                                   md::tip4pPublished(), 4.0, 3);
+  const auto strategy = state.range(1) == 0 ? md::NeighborStrategy::kBruteForce
+                                            : md::NeighborStrategy::kCellList;
+  md::NeighborList list(4.0, 1.0, strategy);
+  for (auto _ : state) {
+    list.rebuild(sys);
+  }
+  state.counters["pairs"] = static_cast<double>(list.pairs().size());
+  state.counters["cells_per_dim"] = list.cellsPerDim();
+  state.counters["avg_occupancy"] = list.averageCellOccupancy();
+  state.SetItemsProcessed(state.iterations() * sys.sites());
+}
+// The cell list needs >= 3 cells/dim: 216 molecules (~18.6 A box) upward
+// at the 5 A list radius.
+BENCHMARK(BM_MdNeighborRebuild)->Args({64, 0})->Args({216, 0})->Args({216, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_MdForceNeighborList(benchmark::State& state) {
+  // range(0): molecules; range(1): force threads (1 = serial path).
+  auto sys = md::buildWaterLattice(static_cast<int>(state.range(0)), 0.997, 298.0,
+                                   md::tip4pPublished(), 4.0, 3);
+  md::NeighborList list(4.0, 1.0);
+  list.rebuild(sys);
+  const int threads = static_cast<int>(state.range(1));
+  md::ParallelForceKernel kernel(threads);
+  std::int64_t pairs = 0;
+  for (auto _ : state) {
+    const auto f = kernel.compute(sys, list);
+    pairs = f.pairsEvaluated;
+    benchmark::DoNotOptimize(f.potential);
+  }
+  state.counters["pairs_per_eval"] = static_cast<double>(pairs);
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(state.iterations() * pairs);
+}
+BENCHMARK(BM_MdForceNeighborList)->Args({216, 1})->Args({216, 4})->Args({512, 1})->Args({512, 2})->Args({512, 4});
+
 void BM_MdStep(benchmark::State& state) {
   auto sys = md::buildWaterLattice(27, 0.997, 298.0, md::tip4pPublished(), 4.0, 3);
   md::VelocityVerlet vv(sys, {.dtPs = 0.0002, .targetTemperatureK = 298.0});

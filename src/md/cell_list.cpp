@@ -1,0 +1,74 @@
+#include "md/cell_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfopt::md {
+
+int CellList::cellsPerDimension(const PeriodicBox& box, double interactionRadius) {
+  if (!(interactionRadius > 0.0)) return 0;
+  return static_cast<int>(box.edge() / interactionRadius);
+}
+
+bool CellList::admits(const PeriodicBox& box, double interactionRadius) {
+  return cellsPerDimension(box, interactionRadius) >= 3;
+}
+
+CellList::CellList(const PeriodicBox& box, double interactionRadius)
+    : box_(box), cellsPerDim_(cellsPerDimension(box, interactionRadius)) {
+  if (cellsPerDim_ < 3) {
+    throw std::invalid_argument(
+        "CellList: box does not admit 3 cells per dimension at this radius");
+  }
+  cellEdge_ = box_.edge() / cellsPerDim_;
+  cellStart_.assign(static_cast<std::size_t>(cells()) + 1, 0);
+}
+
+int CellList::cellOf(const Vec3& p) const noexcept {
+  const Vec3 w = box_.wrap(p);
+  const double inv = 1.0 / cellEdge_;
+  // wrap() yields [0, edge); clamp guards the p == edge rounding corner.
+  const int cx = std::min(static_cast<int>(w.x * inv), cellsPerDim_ - 1);
+  const int cy = std::min(static_cast<int>(w.y * inv), cellsPerDim_ - 1);
+  const int cz = std::min(static_cast<int>(w.z * inv), cellsPerDim_ - 1);
+  return cellIndex(cx, cy, cz);
+}
+
+void CellList::bin(const std::vector<Vec3>& positions) {
+  const auto n = positions.size();
+  cellOfSiteScratch_.resize(n);
+  std::vector<int>& cellOfSite = cellOfSiteScratch_;
+  cellStart_.assign(static_cast<std::size_t>(cells()) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = cellOf(positions[i]);
+    cellOfSite[i] = c;
+    ++cellStart_[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < cellStart_.size(); ++c) {
+    cellStart_[c] += cellStart_[c - 1];
+  }
+  // Counting sort in site order keeps each cell's slots ascending.
+  siteOfSlot_.assign(n, 0);
+  wrappedOfSlot_.resize(n);
+  std::vector<int> next(cellStart_.begin(), cellStart_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto slot =
+        static_cast<std::size_t>(next[static_cast<std::size_t>(cellOfSite[i])]++);
+    siteOfSlot_[slot] = static_cast<int>(i);
+    wrappedOfSlot_[slot] = box_.wrap(positions[i]);
+  }
+}
+
+double CellList::averageOccupancy() const noexcept {
+  return cells() > 0 ? static_cast<double>(sites()) / cells() : 0.0;
+}
+
+int CellList::maxOccupancy() const noexcept {
+  int best = 0;
+  for (std::size_t c = 0; c + 1 < cellStart_.size(); ++c) {
+    best = std::max(best, cellStart_[c + 1] - cellStart_[c]);
+  }
+  return best;
+}
+
+}  // namespace sfopt::md

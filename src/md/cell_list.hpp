@@ -1,0 +1,151 @@
+#pragma once
+
+#include <vector>
+
+#include "md/periodic_box.hpp"
+#include "md/vec3.hpp"
+
+namespace sfopt::md {
+
+/// Linked-cell spatial decomposition over a cubic periodic box.
+///
+/// The box is divided into `m^3` cubic cells with `m = floor(edge / r)`
+/// for an interaction radius `r`, so every cell edge is >= r and any two
+/// sites within r of each other (minimum image) sit in the same or in
+/// adjacent cells.  Binning is a counting sort over the wrapped
+/// positions — O(N) — and candidate-pair enumeration walks each cell's
+/// own sites plus a half stencil of 13 neighbor cells, visiting every
+/// unordered pair exactly once.  Neighbor-list construction over the
+/// cells is therefore O(N) at fixed density instead of the O(N^2)
+/// all-pairs scan.
+///
+/// The decomposition is only sound with >= 3 cells per dimension: with 2
+/// the periodic half stencil would reach the same cell from both sides
+/// and double-count, and with fewer the cells cannot cover the minimum
+/// image uniquely.  `admits()` gates this; callers fall back to the
+/// brute-force scan for boxes that small (where O(N^2) is cheap anyway).
+class CellList {
+ public:
+  /// Cells per dimension for this box/radius: floor(edge / radius).
+  [[nodiscard]] static int cellsPerDimension(const PeriodicBox& box,
+                                             double interactionRadius);
+
+  /// True when the box admits >= 3 cells per dimension at this radius.
+  [[nodiscard]] static bool admits(const PeriodicBox& box, double interactionRadius);
+
+  /// Throws std::invalid_argument unless admits(box, interactionRadius).
+  CellList(const PeriodicBox& box, double interactionRadius);
+
+  /// Bin sites into cells (positions may be unwrapped; they are wrapped
+  /// into the box here).  Deterministic: within a cell, sites keep
+  /// ascending index order.
+  void bin(const std::vector<Vec3>& positions);
+
+  /// Visit every unordered candidate pair (i, j) with i < j whose cells
+  /// are identical or adjacent, exactly once, passing the displacement
+  /// `dr` between the two sites under the image implied by the cell
+  /// adjacency.  Because the cell edge is >= the interaction radius,
+  /// |dr| < radius if and only if the minimum-image distance is < radius
+  /// (beyond the radius the two may disagree, but both filter the pair),
+  /// so callers can range-test on dr without a per-pair minimum-image
+  /// computation.  The visit order is a deterministic function of the
+  /// binning alone.
+  template <typename Visitor>
+  void forEachCandidatePair(Visitor&& visit) const {
+    const int m = cellsPerDim_;
+    const double edge = box_.edge();
+    for (int cz = 0; cz < m; ++cz) {
+      for (int cy = 0; cy < m; ++cy) {
+        for (int cx = 0; cx < m; ++cx) {
+          const int c = cellIndex(cx, cy, cz);
+          const int begin = cellStart_[static_cast<std::size_t>(c)];
+          const int end = cellStart_[static_cast<std::size_t>(c) + 1];
+          // Pairs within the cell: slots are in ascending site order,
+          // and wrapped coordinates differ by < one cell edge per axis,
+          // so the plain difference is already the minimum image.
+          for (int a = begin; a < end; ++a) {
+            const Vec3 pa = wrappedOfSlot_[static_cast<std::size_t>(a)];
+            for (int b = a + 1; b < end; ++b) {
+              visit(siteOfSlot_[static_cast<std::size_t>(a)],
+                    siteOfSlot_[static_cast<std::size_t>(b)],
+                    pa - wrappedOfSlot_[static_cast<std::size_t>(b)]);
+            }
+          }
+          // Pairs against the 13-cell half stencil (each adjacent cell
+          // pair is reached from exactly one of its two members).  The
+          // periodic image shift is a function of the offset alone, so
+          // it is hoisted out of the pair loop.
+          for (const auto& [dx, dy, dz] : kHalfStencil) {
+            const int nx = cx + dx;
+            const int ny = cy + dy;
+            const int nz = cz + dz;
+            const int n = cellIndex(wrapCoord(nx), wrapCoord(ny), wrapCoord(nz));
+            const Vec3 shift{nx < 0 ? -edge : (nx >= m ? edge : 0.0),
+                             ny < 0 ? -edge : (ny >= m ? edge : 0.0),
+                             nz < 0 ? -edge : (nz >= m ? edge : 0.0)};
+            const int nBegin = cellStart_[static_cast<std::size_t>(n)];
+            const int nEnd = cellStart_[static_cast<std::size_t>(n) + 1];
+            for (int a = begin; a < end; ++a) {
+              const int i = siteOfSlot_[static_cast<std::size_t>(a)];
+              const Vec3 pa = wrappedOfSlot_[static_cast<std::size_t>(a)] - shift;
+              for (int b = nBegin; b < nEnd; ++b) {
+                const int j = siteOfSlot_[static_cast<std::size_t>(b)];
+                const Vec3 dr = pa - wrappedOfSlot_[static_cast<std::size_t>(b)];
+                if (i < j) {
+                  visit(i, j, dr);
+                } else {
+                  visit(j, i, dr);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] int cellsPerDim() const noexcept { return cellsPerDim_; }
+  [[nodiscard]] int cells() const noexcept {
+    return cellsPerDim_ * cellsPerDim_ * cellsPerDim_;
+  }
+  [[nodiscard]] double cellEdge() const noexcept { return cellEdge_; }
+
+  /// Sites binned by the last bin() call.
+  [[nodiscard]] int sites() const noexcept {
+    return static_cast<int>(siteOfSlot_.size());
+  }
+  /// Mean sites per cell over the last bin().
+  [[nodiscard]] double averageOccupancy() const noexcept;
+  /// Largest cell population over the last bin().
+  [[nodiscard]] int maxOccupancy() const noexcept;
+
+ private:
+  struct Offset {
+    int dx, dy, dz;
+  };
+  /// Half of the 26 neighbor offsets: lexicographically positive ones.
+  static constexpr Offset kHalfStencil[13] = {
+      {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},  {-1, -1, 1}, {0, -1, 1},
+      {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},  {1, 0, 1},  {-1, 1, 1},  {0, 1, 1},
+      {1, 1, 1}};
+
+  [[nodiscard]] int wrapCoord(int c) const noexcept {
+    if (c < 0) return c + cellsPerDim_;
+    if (c >= cellsPerDim_) return c - cellsPerDim_;
+    return c;
+  }
+  [[nodiscard]] int cellIndex(int cx, int cy, int cz) const noexcept {
+    return (cz * cellsPerDim_ + cy) * cellsPerDim_ + cx;
+  }
+  [[nodiscard]] int cellOf(const Vec3& p) const noexcept;
+
+  PeriodicBox box_;
+  int cellsPerDim_;
+  double cellEdge_;
+  std::vector<int> cellStart_;   ///< size cells()+1; prefix offsets into siteOfSlot_
+  std::vector<int> siteOfSlot_;  ///< site indices grouped by cell, ascending per cell
+  std::vector<Vec3> wrappedOfSlot_;     ///< wrapped positions in slot order
+  std::vector<int> cellOfSiteScratch_;  ///< bin() scratch, kept to avoid reallocation
+};
+
+}  // namespace sfopt::md

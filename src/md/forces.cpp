@@ -1,34 +1,54 @@
 #include "md/forces.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numbers>
 
+#include "md/thread_pool.hpp"
+
 namespace sfopt::md {
+
+MdPerfCounters& MdPerfCounters::operator+=(const MdPerfCounters& o) noexcept {
+  forceEvaluations += o.forceEvaluations;
+  pairsEvaluated += o.pairsEvaluated;
+  forceSeconds += o.forceSeconds;
+  neighborRebuilds += o.neighborRebuilds;
+  maxDriftSeen = std::max(maxDriftSeen, o.maxDriftSeen);
+  cellListUsed = o.cellListUsed;
+  cellsPerDim = o.cellsPerDim;
+  avgCellOccupancy = o.avgCellOccupancy;
+  forceThreads = o.forceThreads;
+  return *this;
+}
 
 namespace {
 
-/// Accumulate a pairwise force f on sites i (+f) and j (-f) and its virial.
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Accumulate a pairwise force f on sites i (+f) and j (-f) and its
+/// virial, into an arbitrary force buffer (sys.forces for the serial
+/// path, a thread-private block buffer for the parallel one).
 struct PairAccumulator {
-  WaterSystem& sys;
+  std::vector<Vec3>& forces;
   double virial = 0.0;
 
   void apply(int i, int j, const Vec3& rij, const Vec3& f) {
-    sys.forces[static_cast<std::size_t>(i)] += f;
-    sys.forces[static_cast<std::size_t>(j)] -= f;
+    forces[static_cast<std::size_t>(i)] += f;
+    forces[static_cast<std::size_t>(j)] -= f;
     virial += dot(rij, f);
   }
 };
 
-}  // namespace
-
-namespace {
-
-/// Shared per-pair nonbonded kernel and the intramolecular terms; the two
-/// computeForces overloads differ only in how nonbonded pairs are
-/// enumerated.
+/// Shared per-pair nonbonded kernel and the intramolecular terms; the
+/// computeForces variants differ only in how nonbonded pairs are
+/// enumerated and into which buffers they accumulate.
 struct NonbondedKernel {
-  WaterSystem& sys;
+  const WaterSystem& sys;
   PairAccumulator& acc;
   ForceResult& out;
   double rc;
@@ -69,8 +89,10 @@ struct NonbondedKernel {
   }
 };
 
-/// Intramolecular bonds and angle; identical in both overloads.
-void intramolecularForces(WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
+/// Intramolecular bonds and angle; identical in every force path (always
+/// evaluated serially — it is O(molecules) and cheap).
+void intramolecularForces(const WaterSystem& sys, std::vector<Vec3>& forces,
+                          PairAccumulator& acc, ForceResult& out) {
   const IntramolecularConstants& c = sys.intramolecular();
   for (int m = 0; m < sys.molecules(); ++m) {
     const int o = m * kSitesPerMolecule;
@@ -103,14 +125,14 @@ void intramolecularForces(WaterSystem& sys, PairAccumulator& acc, ForceResult& o
     const Vec3 dCosDb = (a * (1.0 / (ra * rb))) - (b * (cosT / (rb * rb)));
     const Vec3 fH1 = coeff * dCosDa;
     const Vec3 fH2 = coeff * dCosDb;
-    sys.forces[static_cast<std::size_t>(h1)] += fH1;
-    sys.forces[static_cast<std::size_t>(h2)] += fH2;
-    sys.forces[static_cast<std::size_t>(o)] -= fH1 + fH2;
+    forces[static_cast<std::size_t>(h1)] += fH1;
+    forces[static_cast<std::size_t>(h2)] += fH2;
+    forces[static_cast<std::size_t>(o)] -= fH1 + fH2;
     acc.virial += dot(a, fH1) + dot(b, fH2);
   }
 }
 
-NonbondedKernel makeKernel(WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
+NonbondedKernel makeKernel(const WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
   const WaterParameters& p = sys.parameters();
   const double rc = sys.cutoff();
   const double rc2 = rc * rc;
@@ -127,9 +149,10 @@ NonbondedKernel makeKernel(WaterSystem& sys, PairAccumulator& acc, ForceResult& 
 }  // namespace
 
 ForceResult computeForces(WaterSystem& sys) {
+  const auto start = Clock::now();
   ForceResult out;
   for (auto& f : sys.forces) f = Vec3{};
-  PairAccumulator acc{sys};
+  PairAccumulator acc{sys.forces};
   const NonbondedKernel kernel = makeKernel(sys, acc, out);
   const int n = sys.sites();
   for (int i = 0; i < n; ++i) {
@@ -138,23 +161,85 @@ ForceResult computeForces(WaterSystem& sys) {
       kernel(i, j);
     }
   }
-  intramolecularForces(sys, acc, out);
+  // All intermolecular i<j pairs: the full triangle minus the 3 pairs
+  // internal to each of the molecules.
+  out.pairsEvaluated = static_cast<std::int64_t>(n) * (n - 1) / 2 - 3LL * sys.molecules();
+  intramolecularForces(sys, sys.forces, acc, out);
   out.potential = out.lennardJones + out.coulomb + out.intramolecular;
   out.virial = acc.virial;
+  out.evalSeconds = secondsSince(start);
   return out;
 }
 
 ForceResult computeForces(WaterSystem& sys, const NeighborList& list) {
+  const auto start = Clock::now();
   ForceResult out;
   for (auto& f : sys.forces) f = Vec3{};
-  PairAccumulator acc{sys};
+  PairAccumulator acc{sys.forces};
   const NonbondedKernel kernel = makeKernel(sys, acc, out);
   for (const auto& [i, j] : list.pairs()) {
     kernel(i, j);
   }
-  intramolecularForces(sys, acc, out);
+  out.pairsEvaluated = static_cast<std::int64_t>(list.pairs().size());
+  intramolecularForces(sys, sys.forces, acc, out);
   out.potential = out.lennardJones + out.coulomb + out.intramolecular;
   out.virial = acc.virial;
+  out.evalSeconds = secondsSince(start);
+  return out;
+}
+
+ParallelForceKernel::ParallelForceKernel(int threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+ParallelForceKernel::~ParallelForceKernel() = default;
+
+int ParallelForceKernel::threads() const noexcept { return pool_->parallelism(); }
+
+ForceResult ParallelForceKernel::compute(WaterSystem& sys, const NeighborList& list) {
+  const int blocks = pool_->parallelism();
+  if (blocks == 1) return computeForces(sys, list);
+
+  const auto start = Clock::now();
+  const auto& pairs = list.pairs();
+  const std::size_t nSites = sys.forces.size();
+  blockForces_.resize(static_cast<std::size_t>(blocks));
+  blockPartials_.assign(static_cast<std::size_t>(blocks), ForceResult{});
+
+  pool_->run(blocks, [&](int t) {
+    const auto ut = static_cast<std::size_t>(t);
+    std::vector<Vec3>& buffer = blockForces_[ut];
+    buffer.assign(nSites, Vec3{});
+    ForceResult& part = blockPartials_[ut];
+    PairAccumulator acc{buffer};
+    const NonbondedKernel kernel = makeKernel(sys, acc, part);
+    const std::size_t begin = pairs.size() * ut / static_cast<std::size_t>(blocks);
+    const std::size_t end = pairs.size() * (ut + 1) / static_cast<std::size_t>(blocks);
+    for (std::size_t k = begin; k < end; ++k) {
+      kernel(pairs[k].first, pairs[k].second);
+    }
+    part.pairsEvaluated = static_cast<std::int64_t>(end - begin);
+    part.virial = acc.virial;
+  });
+
+  // Deterministic reduction: block order 0..T-1 is fixed regardless of
+  // which thread executed which block, so the result is bitwise
+  // reproducible for a given thread count.
+  ForceResult out;
+  for (auto& f : sys.forces) f = Vec3{};
+  for (int t = 0; t < blocks; ++t) {
+    const auto ut = static_cast<std::size_t>(t);
+    out.lennardJones += blockPartials_[ut].lennardJones;
+    out.coulomb += blockPartials_[ut].coulomb;
+    out.virial += blockPartials_[ut].virial;
+    out.pairsEvaluated += blockPartials_[ut].pairsEvaluated;
+    const std::vector<Vec3>& buffer = blockForces_[ut];
+    for (std::size_t i = 0; i < nSites; ++i) sys.forces[i] += buffer[i];
+  }
+  PairAccumulator acc{sys.forces, out.virial};
+  intramolecularForces(sys, sys.forces, acc, out);
+  out.potential = out.lennardJones + out.coulomb + out.intramolecular;
+  out.virial = acc.virial;
+  out.evalSeconds = secondsSince(start);
   return out;
 }
 

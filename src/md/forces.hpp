@@ -1,17 +1,48 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "md/neighbor_list.hpp"
 #include "md/system.hpp"
 
 namespace sfopt::md {
 
-/// Energy/virial decomposition of one force evaluation.
+/// Energy/virial decomposition of one force evaluation, plus the perf
+/// counters of that evaluation (candidate pairs visited, wall time).
 struct ForceResult {
   double potential = 0.0;       ///< total potential energy, kcal/mol
   double lennardJones = 0.0;    ///< O-O LJ part
   double coulomb = 0.0;         ///< site-site electrostatic part
   double intramolecular = 0.0;  ///< bond + angle part
   double virial = 0.0;          ///< sum over pairs of r . F, kcal/mol
+  std::int64_t pairsEvaluated = 0;  ///< nonbonded candidate pairs visited
+  double evalSeconds = 0.0;         ///< wall time of this evaluation
+};
+
+/// Aggregated force-path performance counters over a run: what the MD
+/// evaluation actually cost, and which fast paths it exercised.  Summed
+/// across integrators by operator+= (counters that describe configuration
+/// rather than work — threads, cell geometry — keep the last value).
+struct MdPerfCounters {
+  std::int64_t forceEvaluations = 0;   ///< computeForces calls
+  std::int64_t pairsEvaluated = 0;     ///< nonbonded candidates visited, total
+  double forceSeconds = 0.0;           ///< wall time inside force evaluations
+  std::int64_t neighborRebuilds = 0;   ///< neighbor-list rebuild count
+  double maxDriftSeen = 0.0;           ///< max site drift (A) seen by the skin check
+  bool cellListUsed = false;           ///< last rebuild used the O(N) cell list
+  int cellsPerDim = 0;                 ///< cells per box dimension (0 = brute force)
+  double avgCellOccupancy = 0.0;       ///< mean sites per cell at last rebuild
+  int forceThreads = 1;                ///< thread count of the force path
+
+  /// Mean candidate pairs per force evaluation.
+  [[nodiscard]] double pairsPerEvaluation() const noexcept {
+    return forceEvaluations > 0
+               ? static_cast<double>(pairsEvaluated) / static_cast<double>(forceEvaluations)
+               : 0.0;
+  }
+
+  MdPerfCounters& operator+=(const MdPerfCounters& o) noexcept;
 };
 
 /// Compute forces into sys.forces (overwriting) and return the energy
@@ -33,6 +64,39 @@ struct ForceResult {
 /// Identical results to the all-pairs path whenever the list radius
 /// covers the cutoff — pinned down by the equivalence tests.
 [[nodiscard]] ForceResult computeForces(WaterSystem& sys, const NeighborList& list);
+
+class ThreadPool;
+
+/// Thread-parallel force evaluation over a neighbor list.
+///
+/// The pair list is split into `threads` contiguous blocks; block t is
+/// accumulated into thread-private force/energy/virial buffers selected
+/// by the *block index* (not the executing thread), and the buffers are
+/// reduced in fixed block order 0..T-1.  Results are therefore bitwise
+/// reproducible for a given thread count, and agree with the serial path
+/// to floating-point reassociation error (~1e-12 relative).
+///
+/// A kernel with threads == 1 delegates to the serial computeForces and
+/// is bitwise identical to it.
+class ParallelForceKernel {
+ public:
+  /// threads >= 1; the calling thread participates, so `threads` is the
+  /// total concurrency of one evaluation.
+  explicit ParallelForceKernel(int threads);
+  ParallelForceKernel(const ParallelForceKernel&) = delete;
+  ParallelForceKernel& operator=(const ParallelForceKernel&) = delete;
+  ~ParallelForceKernel();
+
+  [[nodiscard]] int threads() const noexcept;
+
+  /// Compute forces into sys.forces from the (current) neighbor list.
+  [[nodiscard]] ForceResult compute(WaterSystem& sys, const NeighborList& list);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::vector<Vec3>> blockForces_;  ///< per-block force buffers
+  std::vector<ForceResult> blockPartials_;      ///< per-block energy/virial partials
+};
 
 /// Instantaneous virial pressure in atm:
 ///   P = (2 K + W) / (3 V)   with K kinetic energy and W the virial.

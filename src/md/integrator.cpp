@@ -11,18 +11,51 @@ VelocityVerlet::VelocityVerlet(WaterSystem& sys, Options options)
   if (options_.targetTemperatureK < 0.0) {
     throw std::invalid_argument("VelocityVerlet: negative target temperature");
   }
+  if (options_.forceThreads < 1) {
+    throw std::invalid_argument("VelocityVerlet: forceThreads must be >= 1");
+  }
+  if (options_.forceThreads > 1 && !options_.useNeighborList) {
+    throw std::invalid_argument(
+        "VelocityVerlet: forceThreads > 1 requires useNeighborList (the parallel "
+        "kernel partitions the neighbor pair list)");
+  }
   if (options_.useNeighborList) {
     list_ = std::make_unique<NeighborList>(sys_.cutoff(), options_.neighborSkin);
+  }
+  if (options_.forceThreads > 1) {
+    kernel_ = std::make_unique<ParallelForceKernel>(options_.forceThreads);
   }
   last_ = evaluateForces();
 }
 
 ForceResult VelocityVerlet::evaluateForces() {
+  ForceResult result;
   if (list_) {
     (void)list_->update(sys_);
-    return computeForces(sys_, *list_);
+    result = kernel_ ? kernel_->compute(sys_, *list_) : computeForces(sys_, *list_);
+  } else {
+    result = computeForces(sys_);
   }
-  return computeForces(sys_);
+  ++forceEvaluations_;
+  pairsEvaluated_ += result.pairsEvaluated;
+  forceSeconds_ += result.evalSeconds;
+  return result;
+}
+
+MdPerfCounters VelocityVerlet::perfCounters() const noexcept {
+  MdPerfCounters c;
+  c.forceEvaluations = forceEvaluations_;
+  c.pairsEvaluated = pairsEvaluated_;
+  c.forceSeconds = forceSeconds_;
+  c.forceThreads = options_.forceThreads;
+  if (list_) {
+    c.neighborRebuilds = list_->rebuilds();
+    c.maxDriftSeen = list_->maxDriftSeen();
+    c.cellListUsed = list_->lastRebuildUsedCells();
+    c.cellsPerDim = list_->cellsPerDim();
+    c.avgCellOccupancy = list_->averageCellOccupancy();
+  }
+  return c;
 }
 
 ForceResult VelocityVerlet::step() {

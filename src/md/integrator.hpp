@@ -21,6 +21,11 @@ class VelocityVerlet {
     /// cutoff + skin <= box/2.
     bool useNeighborList = false;
     double neighborSkin = 1.0;    ///< A
+    /// Threads for the nonbonded force loop (1 = today's serial path).
+    /// Values > 1 require useNeighborList — the parallel kernel
+    /// partitions the pair list — and reduce per-block partials in fixed
+    /// order, so trajectories are bitwise reproducible per thread count.
+    int forceThreads = 1;
   };
 
   VelocityVerlet(WaterSystem& sys, Options options);
@@ -40,13 +45,20 @@ class VelocityVerlet {
     return list_ ? list_->rebuilds() : 0;
   }
 
+  /// Aggregated force-path counters since construction.
+  [[nodiscard]] MdPerfCounters perfCounters() const noexcept;
+
  private:
   ForceResult evaluateForces();
 
   WaterSystem& sys_;
   Options options_;
   std::unique_ptr<NeighborList> list_;
+  std::unique_ptr<ParallelForceKernel> kernel_;  ///< only when forceThreads > 1
   ForceResult last_;
+  std::int64_t forceEvaluations_ = 0;
+  std::int64_t pairsEvaluated_ = 0;
+  double forceSeconds_ = 0.0;
 };
 
 }  // namespace sfopt::md

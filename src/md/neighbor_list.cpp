@@ -1,10 +1,15 @@
 #include "md/neighbor_list.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "md/cell_list.hpp"
 
 namespace sfopt::md {
 
-NeighborList::NeighborList(double cutoff, double skin) : cutoff_(cutoff), skin_(skin) {
+NeighborList::NeighborList(double cutoff, double skin, NeighborStrategy strategy)
+    : cutoff_(cutoff), skin_(skin), strategy_(strategy) {
   if (!(cutoff > 0.0)) throw std::invalid_argument("NeighborList: cutoff must be positive");
   if (!(skin > 0.0)) throw std::invalid_argument("NeighborList: skin must be positive");
 }
@@ -17,13 +22,61 @@ void NeighborList::rebuild(const WaterSystem& sys) {
   const double r2 = listRadius * listRadius;
   const int n = sys.sites();
   pairs_.clear();
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
-      const Vec3 d = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
-                                            sys.positions[static_cast<std::size_t>(j)]);
-      if (normSquared(d) < r2) pairs_.emplace_back(i, j);
+
+  const bool wantCells = strategy_ == NeighborStrategy::kCellList ||
+                         (strategy_ == NeighborStrategy::kAuto &&
+                          CellList::admits(sys.box(), listRadius));
+  if (wantCells) {
+    CellList cells(sys.box(), listRadius);
+    cells.bin(sys.positions);
+    // dr is the displacement under the cell-adjacency image; within the
+    // list radius it coincides with the minimum image (cell edge >=
+    // radius), so no per-pair minimum-image computation is needed.
+    cells.forEachCandidatePair([&](int i, int j, const Vec3& dr) {
+      if (normSquared(dr) < r2 && sys.moleculeOf(i) != sys.moleculeOf(j)) {
+        pairs_.emplace_back(i, j);
+      }
+    });
+    // Canonicalize to the brute-force scan order so the serial force
+    // path sums contributions identically under either strategy.  Cell
+    // enumeration emits pairs grouped by cell, so a counting sort on i
+    // (O(P + N)) plus tiny per-i sorts on j beats a comparison sort.
+    sortScratch_.resize(pairs_.size());
+    countScratch_.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto& [i, j] : pairs_) ++countScratch_[static_cast<std::size_t>(i) + 1];
+    for (std::size_t i = 1; i < countScratch_.size(); ++i) {
+      countScratch_[i] += countScratch_[i - 1];
     }
+    for (const auto& p : pairs_) {
+      sortScratch_[static_cast<std::size_t>(
+          countScratch_[static_cast<std::size_t>(p.first)]++)] = p;
+    }
+    pairs_.swap(sortScratch_);
+    // countScratch_[i] now ends each i's segment; walk the segments.
+    std::size_t begin = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto end = static_cast<std::size_t>(countScratch_[static_cast<std::size_t>(i)]);
+      std::sort(pairs_.begin() + static_cast<std::ptrdiff_t>(begin),
+                pairs_.begin() + static_cast<std::ptrdiff_t>(end));
+      begin = end;
+    }
+    usedCells_ = true;
+    cellsPerDim_ = cells.cellsPerDim();
+    avgOccupancy_ = cells.averageOccupancy();
+    maxOccupancy_ = cells.maxOccupancy();
+  } else {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
+        const Vec3 d = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
+                                              sys.positions[static_cast<std::size_t>(j)]);
+        if (normSquared(d) < r2) pairs_.emplace_back(i, j);
+      }
+    }
+    usedCells_ = false;
+    cellsPerDim_ = 0;
+    avgOccupancy_ = 0.0;
+    maxOccupancy_ = 0;
   }
   referencePositions_ = sys.positions;
   ++rebuilds_;
@@ -35,7 +88,9 @@ bool NeighborList::needsRebuild(const WaterSystem& sys) const {
   for (std::size_t i = 0; i < sys.positions.size(); ++i) {
     // Unwrapped coordinates: plain displacement is the true drift.
     const Vec3 d = sys.positions[i] - referencePositions_[i];
-    if (normSquared(d) > limit2) return true;
+    const double d2 = normSquared(d);
+    if (d2 > maxDriftSeen2_) maxDriftSeen2_ = d2;
+    if (d2 > limit2) return true;  // early exit: one mover forces a rebuild
   }
   return false;
 }
@@ -45,5 +100,7 @@ bool NeighborList::update(const WaterSystem& sys) {
   rebuild(sys);
   return true;
 }
+
+double NeighborList::maxDriftSeen() const noexcept { return std::sqrt(maxDriftSeen2_); }
 
 }  // namespace sfopt::md

@@ -7,24 +7,36 @@
 
 namespace sfopt::md {
 
+/// How NeighborList::rebuild enumerates candidate pairs.
+enum class NeighborStrategy {
+  kAuto,        ///< cell list when the box admits >= 3 cells/dim, else brute force
+  kBruteForce,  ///< always the O(N^2) all-pairs scan
+  kCellList,    ///< always the O(N) cell list (throws on too-small boxes)
+};
+
 /// Verlet neighbor list: the intermolecular site pairs within
 /// cutoff + skin, rebuilt only when some site has moved more than skin/2
 /// since the last rebuild (the classic sufficient condition for no pair
 /// inside the cutoff to be missing from the list).
 ///
-/// The rebuild is an O(N^2) sweep — fine at this engine's system sizes
-/// (hundreds of sites); the payoff is the force loop touching only O(N)
-/// listed pairs per step instead of all N^2/2 candidates.
+/// Rebuilds go through a linked-cell decomposition (`CellList`) in O(N)
+/// whenever the box admits >= 3 cells per dimension at the list radius,
+/// falling back to the O(N^2) all-pairs scan for small boxes.  Either
+/// way the pair list is emitted in ascending (i, j) order, so the force
+/// loop's accumulation order — and hence every trajectory bit — is
+/// independent of the build strategy.
 class NeighborList {
  public:
   /// skin > 0; effective list radius is cutoff + skin.
-  NeighborList(double cutoff, double skin);
+  NeighborList(double cutoff, double skin,
+               NeighborStrategy strategy = NeighborStrategy::kAuto);
 
   /// Rebuild from the system's current positions.
   void rebuild(const WaterSystem& sys);
 
   /// Has any site moved more than skin/2 since the last rebuild?
-  /// (Always true before the first rebuild.)
+  /// (Always true before the first rebuild.)  Early-exits on the first
+  /// offending site; the drift scanned so far feeds maxDriftSeen().
   [[nodiscard]] bool needsRebuild(const WaterSystem& sys) const;
 
   /// Rebuild if needed; returns true when a rebuild happened.
@@ -35,14 +47,34 @@ class NeighborList {
   }
   [[nodiscard]] double cutoff() const noexcept { return cutoff_; }
   [[nodiscard]] double skin() const noexcept { return skin_; }
+  [[nodiscard]] NeighborStrategy strategy() const noexcept { return strategy_; }
   [[nodiscard]] std::int64_t rebuilds() const noexcept { return rebuilds_; }
+
+  /// Perf counters for the most recent rebuild / drift checks.
+  [[nodiscard]] bool lastRebuildUsedCells() const noexcept { return usedCells_; }
+  [[nodiscard]] int cellsPerDim() const noexcept { return cellsPerDim_; }
+  [[nodiscard]] double averageCellOccupancy() const noexcept { return avgOccupancy_; }
+  [[nodiscard]] int maxCellOccupancy() const noexcept { return maxOccupancy_; }
+  /// Largest site displacement (A) relative to the rebuild reference that
+  /// needsRebuild() has observed over this list's lifetime.  Because the
+  /// check early-exits, a triggering call records the first offending
+  /// drift, not a full-scan max.
+  [[nodiscard]] double maxDriftSeen() const noexcept;
 
  private:
   double cutoff_;
   double skin_;
+  NeighborStrategy strategy_;
   std::vector<std::pair<int, int>> pairs_;
+  std::vector<std::pair<int, int>> sortScratch_;  ///< counting-sort scratch
+  std::vector<int> countScratch_;                 ///< per-site pair counts
   std::vector<Vec3> referencePositions_;
   std::int64_t rebuilds_ = 0;
+  bool usedCells_ = false;
+  int cellsPerDim_ = 0;
+  double avgOccupancy_ = 0.0;
+  int maxOccupancy_ = 0;
+  mutable double maxDriftSeen2_ = 0.0;  ///< squared; updated by const needsRebuild
 };
 
 }  // namespace sfopt::md

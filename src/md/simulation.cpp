@@ -28,6 +28,9 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
     if (skin <= 0.0) skin = std::min(1.0, room * 0.9);
     if (skin <= 0.05) useList = false;
   }
+  if (config.forceThreads < 1) {
+    throw std::invalid_argument("simulateWater: forceThreads must be >= 1");
+  }
   const auto integratorOptions = [&](double targetT) {
     VelocityVerlet::Options o;
     o.dtPs = config.dtPs;
@@ -35,6 +38,9 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
     o.berendsenTauPs = config.berendsenTauPs;
     o.useNeighborList = useList;
     o.neighborSkin = skin;
+    // The parallel kernel walks the neighbor pair list; without a list
+    // (tiny boxes) the force path stays serial.
+    o.forceThreads = useList ? config.forceThreads : 1;
     return o;
   };
 
@@ -42,6 +48,7 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
   // carries excess potential energy that converts to heat as the structure
   // relaxes, so the early phase also hard-rescales periodically — standard
   // practice for cold starts.
+  MdPerfCounters perf;
   {
     VelocityVerlet integrator(sys, integratorOptions(config.temperatureK));
     constexpr int kRescalePeriod = 25;
@@ -52,6 +59,7 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
       sys.rescaleTo(config.temperatureK);
       remaining -= chunk;
     }
+    perf += integrator.perfCounters();
   }
   sys.zeroMomentum();
   sys.rescaleTo(config.temperatureK);
@@ -103,7 +111,9 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
     }
     const double elapsedPs = config.productionSteps * config.dtPs;
     out.nveDriftKcalPerPs = elapsedPs > 0.0 ? (eLast - e0) / elapsedPs : 0.0;
+    perf += integrator.perfCounters();
   }
+  out.perf = perf;
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "md/forces.hpp"
 #include "md/observables.hpp"
 #include "md/system.hpp"
 
@@ -33,6 +34,12 @@ struct SimulationConfig {
   /// Apply homogeneous-fluid LJ tail corrections to the reported <U> and
   /// <P> (the truncated-and-shifted potential itself is unchanged).
   bool applyTailCorrections = true;
+  /// Threads for the nonbonded force loop (1 = the serial path; existing
+  /// trajectories are unchanged).  Ignored (clamped to 1) when the box is
+  /// too small for a neighbor list, since the parallel kernel partitions
+  /// the neighbor pair list.  Results are bitwise reproducible per
+  /// thread count via the fixed-order block reduction.
+  int forceThreads = 1;
 };
 
 /// Equilibrium averages of one protocol run — the raw material of the
@@ -53,6 +60,8 @@ struct WaterObservables {
   /// Blocked (Flyvbjerg-Petersen) standard error of <U> per molecule —
   /// the honest sigma(t) of eq. 1.2 for this observable.
   double potentialStandardError = 0.0;
+  /// Force-path perf counters summed over the NVT and NVE phases.
+  MdPerfCounters perf;
 };
 
 /// Run the NVT-equilibrate / NVE-produce protocol for the given force-field

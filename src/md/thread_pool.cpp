@@ -1,0 +1,79 @@
+#include "md/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace sfopt::md {
+
+ThreadPool::ThreadPool(int parallelism) {
+  if (parallelism < 1) {
+    throw std::invalid_argument("ThreadPool: parallelism must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(parallelism - 1));
+  for (int i = 0; i < parallelism - 1; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  int doneHere = 0;
+  for (;;) {
+    const int t = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (t >= job.tasks) break;
+    // A claimable task implies run() is still blocked on this job, so
+    // the function object behind job.fn is alive.
+    (*job.fn)(t);
+    ++doneHere;
+  }
+  if (doneHere > 0) {
+    std::lock_guard lock(mutex_);
+    job.completed += doneHere;
+    if (job.completed == job.tasks) done_.notify_all();
+  }
+}
+
+void ThreadPool::run(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  if (workers_.empty()) {
+    for (int t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  {
+    std::lock_guard lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(*job);
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [&] { return job->completed == job->tasks; });
+  if (job_ == job) job_.reset();
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;  // may be null if the job already retired
+    }
+    if (job) drain(*job);
+  }
+}
+
+}  // namespace sfopt::md

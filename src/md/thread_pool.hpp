@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfopt::md {
+
+/// Persistent worker pool for the force kernel's fork/join pattern.
+///
+/// `ThreadPool(T)` provides T-way parallelism: it spawns T-1 worker
+/// threads and the caller of run() executes tasks too, so a pool of
+/// size 1 never context-switches (it degenerates to a plain loop).
+/// Workers sleep on a condition variable between jobs — force
+/// evaluations are far apart compared to a wake-up, and sleeping keeps
+/// the pool honest under ThreadSanitizer and on oversubscribed hosts.
+///
+/// Tasks are claimed dynamically (per-job atomic counter), which is safe
+/// for deterministic reductions as long as the *task index* — not the
+/// executing thread — selects the output buffer.  Each run() owns its
+/// job state through a shared_ptr, so a worker that wakes late only ever
+/// sees its own (already exhausted) job, never a successor's counters.
+class ThreadPool {
+ public:
+  /// `parallelism` >= 1 is the total concurrency including the caller.
+  explicit ThreadPool(int parallelism);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Total concurrency (workers + the calling thread).
+  [[nodiscard]] int parallelism() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Execute fn(0) ... fn(tasks-1) across the pool and the calling
+  /// thread; returns when all tasks have finished.  fn must tolerate
+  /// concurrent invocation with distinct task indices.
+  void run(int tasks, const std::function<void(int)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;  ///< alive while tasks remain
+    int tasks = 0;
+    std::atomic<int> next{0};  ///< next unclaimed task index
+    int completed = 0;         ///< guarded by the pool mutex
+  };
+
+  void workerLoop();
+  /// Claim and execute this job's remaining tasks; report completions.
+  void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;      ///< guarded by mutex_; null when idle
+  std::uint64_t generation_ = 0;  ///< guarded by mutex_
+  bool stop_ = false;             ///< guarded by mutex_
+};
+
+}  // namespace sfopt::md

@@ -21,7 +21,10 @@ namespace sfopt::water {
 class MdWaterObjective final : public noise::StochasticObjective {
  public:
   struct Options {
-    md::SimulationConfig simulation;  ///< per-sample protocol (keep it small)
+    /// Per-sample protocol (keep it small).  `simulation.forceThreads`
+    /// runs each sample's nonbonded loop thread-parallel — the per-sample
+    /// knob to pair with the MW framework's across-sample parallelism.
+    md::SimulationConfig simulation;
     /// Targets; empty = U, P, D and the g_OO residual with weights scaled
     /// for the flexible 3-site engine.
     std::vector<PropertyTarget> targets;

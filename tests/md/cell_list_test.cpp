@@ -1,0 +1,260 @@
+#include "md/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "md/forces.hpp"
+#include "md/integrator.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+#include "md/thread_pool.hpp"
+
+namespace {
+
+using namespace sfopt::md;
+
+// 216 waters: box ~18.6 A, so the 5 A list radius (cutoff 4 + skin 1)
+// admits 3 cells per dimension and the cell-list path is active.
+WaterSystem cellSystem(std::uint64_t seed = 3) {
+  return buildWaterLattice(216, 0.997, 298.0, tip4pPublished(), 4.0, seed);
+}
+
+/// Scramble positions so configurations are not lattice-structured.
+void randomizePositions(WaterSystem& sys, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> jitter(-0.4, 0.4);
+  // Also push some molecules across the periodic boundary: unwrapped
+  // coordinates must bin correctly regardless of image.
+  std::uniform_int_distribution<int> images(-2, 2);
+  for (int m = 0; m < sys.molecules(); ++m) {
+    const Vec3 shift{sys.box().edge() * images(gen), sys.box().edge() * images(gen),
+                     sys.box().edge() * images(gen)};
+    for (int s = 0; s < kSitesPerMolecule; ++s) {
+      auto& p = sys.positions[static_cast<std::size_t>(m * kSitesPerMolecule + s)];
+      p += shift + Vec3{jitter(gen), jitter(gen), jitter(gen)};
+    }
+  }
+}
+
+TEST(CellList, AdmissionRule) {
+  // 64 waters: box ~12.4 A -> 2 cells/dim at 5 A; not admissible.
+  const auto small = buildWaterLattice(64, 0.997, 298.0, tip4pPublished(), 4.0, 1);
+  EXPECT_FALSE(CellList::admits(small.box(), 5.0));
+  EXPECT_THROW(CellList(small.box(), 5.0), std::invalid_argument);
+
+  const auto big = cellSystem();
+  EXPECT_TRUE(CellList::admits(big.box(), 5.0));
+  CellList cells(big.box(), 5.0);
+  EXPECT_EQ(cells.cellsPerDim(), 3);
+  EXPECT_GE(cells.cellEdge(), 5.0);
+}
+
+TEST(CellList, CandidatePairsCoverEveryCloseBruteForcePair) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    auto sys = cellSystem(seed);
+    randomizePositions(sys, seed * 1000 + 5);
+    CellList cells(sys.box(), 5.0);
+    cells.bin(sys.positions);
+
+    std::vector<std::pair<int, int>> candidates;
+    cells.forEachCandidatePair([&](int i, int j, const Vec3& dr) {
+      ASSERT_LT(i, j);
+      // Within the interaction radius the adjacency-image displacement
+      // must agree in magnitude with the minimum image.
+      const Vec3 mi =
+          sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
+                                 sys.positions[static_cast<std::size_t>(j)]);
+      if (normSquared(dr) < 25.0) {
+        ASSERT_NEAR(normSquared(dr), normSquared(mi), 1e-9);
+      }
+      candidates.emplace_back(i, j);
+    });
+    std::sort(candidates.begin(), candidates.end());
+    // Exactly once each.
+    ASSERT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) ==
+                candidates.end());
+
+    // Every pair within the interaction radius must be a candidate.
+    for (int i = 0; i < sys.sites(); ++i) {
+      for (int j = i + 1; j < sys.sites(); ++j) {
+        const Vec3 d = sys.box().minimumImage(sys.positions[static_cast<std::size_t>(i)],
+                                              sys.positions[static_cast<std::size_t>(j)]);
+        if (normSquared(d) < 25.0) {
+          ASSERT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                         std::make_pair(i, j)))
+              << "missing close pair (" << i << ", " << j << ") seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(CellList, NeighborListPairsIdenticalUnderBothStrategies) {
+  for (std::uint64_t seed : {2ULL, 11ULL, 99ULL}) {
+    auto sys = cellSystem(seed);
+    randomizePositions(sys, seed);
+    NeighborList viaCells(4.0, 1.0, NeighborStrategy::kCellList);
+    NeighborList viaBrute(4.0, 1.0, NeighborStrategy::kBruteForce);
+    viaCells.rebuild(sys);
+    viaBrute.rebuild(sys);
+    EXPECT_TRUE(viaCells.lastRebuildUsedCells());
+    EXPECT_FALSE(viaBrute.lastRebuildUsedCells());
+    // Same pairs in the same (lexicographic) order: the force loop is
+    // bitwise independent of the build strategy.
+    ASSERT_EQ(viaCells.pairs(), viaBrute.pairs()) << "seed " << seed;
+  }
+}
+
+TEST(CellList, AutoStrategyFallsBackBelowThreeCellsPerDimension) {
+  // 64 molecules: 2 cells/dim at the 5 A radius -> brute-force fallback.
+  auto small = buildWaterLattice(64, 0.997, 298.0, tip4pPublished(), 4.0, 5);
+  NeighborList list(4.0, 1.0);
+  list.rebuild(small);
+  EXPECT_FALSE(list.lastRebuildUsedCells());
+  EXPECT_EQ(list.cellsPerDim(), 0);
+
+  // 216 molecules: 3 cells/dim -> the cell path engages automatically.
+  auto big = cellSystem();
+  NeighborList bigList(4.0, 1.0);
+  bigList.rebuild(big);
+  EXPECT_TRUE(bigList.lastRebuildUsedCells());
+  EXPECT_EQ(bigList.cellsPerDim(), 3);
+  EXPECT_GT(bigList.averageCellOccupancy(), 0.0);
+  EXPECT_GE(bigList.maxCellOccupancy(), 1);
+}
+
+TEST(CellList, SerialCellListAndParallelForcesAgree) {
+  auto sysAll = cellSystem(13);
+  randomizePositions(sysAll, 77);
+  auto sysList = sysAll;
+  auto sysPar = sysAll;
+
+  const ForceResult all = computeForces(sysAll);  // O(N^2) reference
+  NeighborList list(4.0, 1.0, NeighborStrategy::kCellList);
+  list.rebuild(sysList);
+  const ForceResult viaList = computeForces(sysList, list);
+  ParallelForceKernel kernel(4);
+  const ForceResult viaPar = kernel.compute(sysPar, list);
+
+  // All-pairs and cell-list walk the contributing pairs in the same
+  // lexicographic order: bitwise identical.
+  EXPECT_EQ(all.potential, viaList.potential);
+  EXPECT_EQ(all.virial, viaList.virial);
+  for (std::size_t i = 0; i < sysAll.forces.size(); ++i) {
+    EXPECT_EQ(sysAll.forces[i], sysList.forces[i]) << "site " << i;
+  }
+
+  // The parallel reduction reassociates sums: agreement to 1e-12 (relative).
+  const auto near = [](double a, double b) {
+    EXPECT_NEAR(a, b, 1e-12 * std::max(1.0, std::abs(a)));
+  };
+  near(all.potential, viaPar.potential);
+  near(all.lennardJones, viaPar.lennardJones);
+  near(all.coulomb, viaPar.coulomb);
+  near(all.intramolecular, viaPar.intramolecular);
+  near(all.virial, viaPar.virial);
+  for (std::size_t i = 0; i < sysAll.forces.size(); ++i) {
+    near(sysAll.forces[i].x, sysPar.forces[i].x);
+    near(sysAll.forces[i].y, sysPar.forces[i].y);
+    near(sysAll.forces[i].z, sysPar.forces[i].z);
+  }
+  EXPECT_EQ(viaList.pairsEvaluated, viaPar.pairsEvaluated);
+}
+
+TEST(CellList, ParallelForcesBitwiseReproduciblePerThreadCount) {
+  auto sys = cellSystem(21);
+  randomizePositions(sys, 9);
+  NeighborList list(4.0, 1.0);
+  list.rebuild(sys);
+
+  ParallelForceKernel kernel(3);
+  auto sysA = sys;
+  auto sysB = sys;
+  const ForceResult a = kernel.compute(sysA, list);
+  const ForceResult b = kernel.compute(sysB, list);  // same kernel, repeated
+  ParallelForceKernel fresh(3);
+  auto sysC = sys;
+  const ForceResult c = fresh.compute(sysC, list);  // fresh pool, same count
+
+  EXPECT_EQ(a.potential, b.potential);
+  EXPECT_EQ(a.potential, c.potential);
+  EXPECT_EQ(a.virial, b.virial);
+  EXPECT_EQ(a.virial, c.virial);
+  for (std::size_t i = 0; i < sys.forces.size(); ++i) {
+    EXPECT_EQ(sysA.forces[i], sysB.forces[i]) << "site " << i;
+    EXPECT_EQ(sysA.forces[i], sysC.forces[i]) << "site " << i;
+  }
+}
+
+TEST(CellList, ParallelTrajectoryBitwiseReproducible) {
+  // Two independent 50-step runs at forceThreads = 3 must agree bit for
+  // bit — the acceptance criterion for the deterministic reduction.
+  auto sysA = cellSystem(31);
+  auto sysB = sysA;
+  VelocityVerlet a(sysA, {.dtPs = 0.0002, .useNeighborList = true, .neighborSkin = 1.0,
+                          .forceThreads = 3});
+  VelocityVerlet b(sysB, {.dtPs = 0.0002, .useNeighborList = true, .neighborSkin = 1.0,
+                          .forceThreads = 3});
+  for (int step = 0; step < 50; ++step) {
+    const auto fa = a.step();
+    const auto fb = b.step();
+    ASSERT_EQ(fa.potential, fb.potential) << "step " << step;
+  }
+  for (std::size_t i = 0; i < sysA.positions.size(); ++i) {
+    ASSERT_EQ(sysA.positions[i], sysB.positions[i]) << "site " << i;
+  }
+}
+
+TEST(CellList, SerialAndSingleThreadKernelTrajectoriesIdentical) {
+  // forceThreads = 1 must be the exact serial path (default unchanged).
+  auto sysA = cellSystem(17);
+  auto sysB = sysA;
+  VelocityVerlet serial(sysA, {.dtPs = 0.0002, .useNeighborList = true,
+                               .neighborSkin = 1.0});
+  VelocityVerlet oneThread(sysB, {.dtPs = 0.0002, .useNeighborList = true,
+                                  .neighborSkin = 1.0, .forceThreads = 1});
+  for (int step = 0; step < 30; ++step) {
+    ASSERT_EQ(serial.step().potential, oneThread.step().potential) << "step " << step;
+  }
+}
+
+TEST(CellList, IntegratorRejectsParallelWithoutNeighborList) {
+  auto sys = buildWaterLattice(8, 0.997, 298.0, tip4pPublished(), 3.0, 1);
+  EXPECT_THROW(VelocityVerlet(sys, {.forceThreads = 4}), std::invalid_argument);
+  EXPECT_THROW(VelocityVerlet(sys, {.forceThreads = 0}), std::invalid_argument);
+}
+
+TEST(CellList, PerfCountersReportTheForcePath) {
+  auto sys = cellSystem(41);
+  VelocityVerlet vv(sys, {.dtPs = 0.0002, .useNeighborList = true, .neighborSkin = 1.0,
+                          .forceThreads = 2});
+  (void)vv.run(40);
+  const MdPerfCounters perf = vv.perfCounters();
+  EXPECT_EQ(perf.forceEvaluations, 41);  // constructor eval + 40 steps
+  EXPECT_GT(perf.pairsEvaluated, 0);
+  EXPECT_GT(perf.pairsPerEvaluation(), 0.0);
+  EXPECT_GE(perf.neighborRebuilds, 1);
+  EXPECT_GT(perf.forceSeconds, 0.0);
+  EXPECT_TRUE(perf.cellListUsed);
+  EXPECT_EQ(perf.cellsPerDim, 3);
+  EXPECT_EQ(perf.forceThreads, 2);
+  EXPECT_GT(perf.maxDriftSeen, 0.0);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnceAcrossReuse) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> hits(17, 0);
+    pool.run(17, [&](int t) { ++hits[static_cast<std::size_t>(t)]; });
+    for (int h : hits) ASSERT_EQ(h, 1) << "round " << round;
+  }
+  pool.run(0, [](int) { FAIL() << "no tasks requested"; });
+}
+
+}  // namespace

@@ -107,6 +107,20 @@ TEST(Cli, WaterRunsQuickConfiguration) {
   EXPECT_NE(r.out.find("TIP4P"), std::string::npos);
 }
 
+TEST(Cli, MdRunsQuickSimulation) {
+  const auto r = cli({"md", "--molecules", "8", "--equilibration", "20", "--production",
+                      "40", "--cutoff", "3.0", "--force-threads", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("molecules,"), std::string::npos);
+  EXPECT_NE(r.out.find("force path:"), std::string::npos);
+  EXPECT_NE(r.out.find("perf:"), std::string::npos);
+}
+
+TEST(Cli, MdRejectsBadInput) {
+  EXPECT_EQ(cli({"md", "--molecules", "0"}).code, 2);
+  EXPECT_EQ(cli({"md", "--force-threads", "0"}).code, 2);
+}
+
 TEST(Cli, WaterRejectsUnknownAlgorithm) {
   EXPECT_EQ(cli({"water", "--algorithm", "pso"}).code, 2);
 }

@@ -11,6 +11,7 @@
 #include "core/checkpoint.hpp"
 #include "core/trace_io.hpp"
 #include "core/pso.hpp"
+#include "md/simulation.hpp"
 #include "mw/parallel_runner.hpp"
 #include "noise/noisy_function.hpp"
 #include "testfunctions/functions.hpp"
@@ -252,6 +253,50 @@ int runProbeCommand(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int runMdCommand(const Args& args, std::ostream& out) {
+  md::SimulationConfig cfg;
+  cfg.molecules = static_cast<int>(args.getInt("molecules", 64));
+  cfg.temperatureK = args.getDouble("temperature", 298.0);
+  cfg.densityGramsPerCc = args.getDouble("density", 0.997);
+  cfg.dtPs = args.getDouble("dt", 0.0005);
+  cfg.cutoff = args.getDouble("cutoff", 4.0);
+  cfg.equilibrationSteps = static_cast<int>(args.getInt("equilibration", 200));
+  cfg.productionSteps = static_cast<int>(args.getInt("production", 400));
+  cfg.sampleEvery = static_cast<int>(args.getInt("sample-every", 10));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 12345));
+  cfg.forceThreads = static_cast<int>(args.getInt("force-threads", 1));
+  if (cfg.molecules < 1) throw ArgError("--molecules must be >= 1");
+  if (cfg.forceThreads < 1) throw ArgError("--force-threads must be >= 1");
+
+  md::WaterParameters params = md::tip4pPublished();
+  params.epsilon = args.getDouble("epsilon", params.epsilon);
+  params.sigma = args.getDouble("sigma", params.sigma);
+  params.qH = args.getDouble("qh", params.qH);
+
+  const md::WaterObservables obs = md::simulateWater(params, cfg);
+  out << "protocol:     " << cfg.molecules << " molecules, " << cfg.equilibrationSteps
+      << " NVT + " << cfg.productionSteps << " NVE steps, dt " << cfg.dtPs << " ps\n";
+  out << "<U>/molecule: " << obs.potentialPerMoleculeKcal << " kcal/mol (+/- "
+      << obs.potentialStandardError << ")\n";
+  out << "<P>:          " << obs.pressureAtm << " atm\n";
+  out << "<T>:          " << obs.temperatureK << " K\n";
+  out << "D:            " << obs.diffusionCm2PerS << " cm^2/s\n";
+  out << "NVE drift:    " << obs.nveDriftKcalPerPs << " kcal/mol/ps\n";
+  const md::MdPerfCounters& perf = obs.perf;
+  out << "force path:   " << perf.forceThreads << " thread(s), "
+      << (perf.cellListUsed ? "cell-list" : "brute-force") << " neighbor build";
+  if (perf.cellListUsed) {
+    out << " (" << perf.cellsPerDim << "^3 cells, avg occupancy " << perf.avgCellOccupancy
+        << ")";
+  }
+  out << "\n";
+  out << "perf:         " << perf.forceEvaluations << " force evals, "
+      << perf.pairsPerEvaluation() << " pairs/eval, " << perf.neighborRebuilds
+      << " rebuilds (max drift " << perf.maxDriftSeen << " A), "
+      << perf.forceSeconds << " s in forces\n";
+  return 0;
+}
+
 int runInfoCommand(const Args&, std::ostream& out) {
   out << "sfopt - stochastic-function optimization (IPDPS'11 reproduction)\n";
   out << "algorithms: det mn anderson pc pcmn pso sa\n";
@@ -260,6 +305,7 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
   out << "  probe    --function F --dim D --point x,y,... --samples N\n";
+  out << "  md       --molecules N --force-threads T --equilibration E --production P\n";
   out << "  info\n";
   return 0;
 }
@@ -271,6 +317,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     if (cmd == "optimize") return runOptimizeCommand(args, out);
     if (cmd == "water") return runWaterCommand(args, out);
     if (cmd == "probe") return runProbeCommand(args, out);
+    if (cmd == "md") return runMdCommand(args, out);
     if (cmd == "info" || cmd.empty()) return runInfoCommand(args, out);
     err << "unknown command '" << cmd << "'\n";
     (void)runInfoCommand(args, err);

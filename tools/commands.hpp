@@ -20,6 +20,12 @@ int runWaterCommand(const Args& args, std::ostream& out);
 /// `sfopt probe` — estimate the noise scale of a test function at a point.
 int runProbeCommand(const Args& args, std::ostream& out);
 
+/// `sfopt md` — run one NVT/NVE water protocol directly (the per-sample
+/// kernel of the MD-backed objective); reports observables and the
+/// force-path perf counters, including the `--force-threads` parallel
+/// nonbonded loop and the cell-list neighbor build.
+int runMdCommand(const Args& args, std::ostream& out);
+
 /// `sfopt info` — list algorithms, functions and build configuration.
 int runInfoCommand(const Args& args, std::ostream& out);
 
