@@ -13,11 +13,20 @@
 #include "core/termination.hpp"
 #include "noise/stochastic_objective.hpp"
 
+namespace sfopt::telemetry {
+class Telemetry;
+}
+
 namespace sfopt::core {
 
 /// Options common to every simplex variant.
 struct CommonOptions {
   TerminationCriteria termination;
+  /// Observability spine (non-owning; must outlive the run).  When set the
+  /// engine pre-registers its metric handles, emits per-iteration spans
+  /// and gate-stall/comparison histograms, and stamps per-step wall times
+  /// from the telemetry clock.  nullptr = uninstrumented.
+  telemetry::Telemetry* telemetry = nullptr;
   SimplexCoefficients coefficients;
   /// Samples taken when a vertex is first created.  The deterministic
   /// algorithm traditionally takes 1 (a single noisy evaluation); the

@@ -4,12 +4,38 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sfopt::core::detail {
 
 EngineBase::EngineBase(const noise::StochasticObjective& objective, const CommonOptions& common)
     : objective_(objective), common_(common), ctx_(objective, common.sampling) {
   if (common_.initialSamplesPerVertex < 1) {
     throw std::invalid_argument("EngineBase: initialSamplesPerVertex must be >= 1");
+  }
+  wallClock_ = common_.telemetry != nullptr ? &common_.telemetry->clock() : &fallbackClock_;
+  lastStepWallMark_ = wallClock_->now();
+  if (common_.telemetry != nullptr) {
+    auto& reg = common_.telemetry->metrics();
+    tel_.telemetry = common_.telemetry;
+    tel_.iterations = &reg.counter("engine.iterations");
+    tel_.moves[static_cast<int>(MoveKind::Reflection)] =
+        &reg.counter("engine.moves.reflection");
+    tel_.moves[static_cast<int>(MoveKind::Expansion)] = &reg.counter("engine.moves.expansion");
+    tel_.moves[static_cast<int>(MoveKind::Contraction)] =
+        &reg.counter("engine.moves.contraction");
+    tel_.moves[static_cast<int>(MoveKind::Collapse)] = &reg.counter("engine.moves.collapse");
+    tel_.gateWaitRounds = &reg.counter("engine.gate_wait_rounds");
+    tel_.resampleRounds = &reg.counter("engine.resample_rounds");
+    tel_.forcedResolutions = &reg.counter("engine.forced_resolutions");
+    tel_.comparisons = &reg.counter("engine.pc.comparisons");
+    tel_.stepWallSeconds = &reg.histogram(
+        "engine.step_wall_seconds", telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
+    tel_.gateStallSeconds = &reg.histogram(
+        "engine.gate_stall_seconds", telemetry::Histogram::exponentialBounds(0.1, 10.0, 7));
+    tel_.roundsPerComparison = &reg.histogram("engine.pc.rounds_per_comparison",
+                                              {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+    tel_.runSpanId = common_.telemetry->tracer().begin("engine.run");
   }
 }
 
@@ -119,6 +145,28 @@ bool EngineBase::timeExhausted() const {
 }
 
 void EngineBase::maybeRecord(const Simplex& s, MoveKind move, std::int64_t iteration) {
+  // Per-step accounting runs even when tracing is off: telemetry and the
+  // trace share the same wall-time and resample-round deltas.
+  const double wallNow = wallClock_->now();
+  const double stepWall = wallNow - lastStepWallMark_;
+  lastStepWallMark_ = wallNow;
+  const std::int64_t roundsNow = counters_.gateWaitRounds + counters_.resampleRounds;
+  const std::int64_t stepRounds = roundsNow - lastResampleMark_;
+  lastResampleMark_ = roundsNow;
+
+  if (tel_.telemetry != nullptr) {
+    tel_.iterations->add(1);
+    tel_.moves[static_cast<int>(move)]->add(1);
+    tel_.stepWallSeconds->observe(stepWall);
+    tel_.telemetry->tracer().emitComplete(
+        "engine.iteration", wallNow - stepWall, tel_.runSpanId,
+        {{"move", toString(move)}},
+        {{"iteration", static_cast<double>(iteration)},
+         {"virtual_time", ctx_.now()},
+         {"total_samples", static_cast<double>(ctx_.totalSamples())},
+         {"resample_rounds", static_cast<double>(stepRounds)}});
+  }
+
   if (!common_.recordTrace) return;
   const auto o = s.ordering();
   StepRecord r;
@@ -130,6 +178,8 @@ void EngineBase::maybeRecord(const Simplex& s, MoveKind move, std::int64_t itera
   r.contractionLevel = s.contractionLevel();
   r.move = move;
   r.totalSamples = ctx_.totalSamples();
+  r.wallSeconds = stepWall;
+  r.resampleRounds = stepRounds;
   trace_.record(std::move(r));
 }
 
@@ -146,6 +196,16 @@ OptimizationResult EngineBase::finish(const Simplex& s, std::int64_t iterations,
   res.reason = reason;
   res.counters = counters_;
   res.trace = std::move(trace_);
+  if (tel_.telemetry != nullptr) {
+    auto& reg = tel_.telemetry->metrics();
+    reg.gauge("engine.total_samples").set(static_cast<double>(res.totalSamples));
+    reg.gauge("engine.virtual_seconds").set(res.elapsedTime);
+    tel_.telemetry->tracer().end(
+        tel_.runSpanId, {{"reason", std::string(toString(reason))}},
+        {{"iterations", static_cast<double>(iterations)},
+         {"total_samples", static_cast<double>(res.totalSamples)},
+         {"virtual_seconds", res.elapsedTime}});
+  }
   return res;
 }
 
@@ -155,8 +215,8 @@ namespace {
 /// vertices in growing blocks until `satisfied()` returns true, the time
 /// budget dies, or every vertex is capped.
 template <typename SatisfiedFn>
-void gateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
-              const ResamplePolicy& policy, SatisfiedFn satisfied) {
+void gateWaitLoop(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+                  const ResamplePolicy& policy, SatisfiedFn satisfied) {
   std::int64_t block = std::max<std::int64_t>(policy.initialBlock, 1);
   while (!satisfied()) {
     if (eng.timeExhausted()) return;
@@ -174,6 +234,7 @@ void gateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials
     }
     if (!anyRoom) {
       ++eng.counters().forcedResolutions;
+      if (eng.tel().telemetry != nullptr) eng.tel().forcedResolutions->add(1);
       return;
     }
     eng.ctx().coSample(reqs);
@@ -182,6 +243,24 @@ void gateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials
         policy.maxBlock, static_cast<std::int64_t>(std::ceil(static_cast<double>(block) *
                                                              std::max(policy.growth, 1.0))));
   }
+}
+
+/// Instrumented wrapper: the wait-gate stall (virtual seconds spent
+/// sampling before the gate opened) is the paper's headline cost driver
+/// for MN, so every gate pass records its stall and round count.
+template <typename SatisfiedFn>
+void gateWait(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTrials,
+              const ResamplePolicy& policy, SatisfiedFn satisfied) {
+  EngineTelemetry& tel = eng.tel();
+  if (tel.telemetry == nullptr) {
+    gateWaitLoop(eng, s, activeTrials, policy, satisfied);
+    return;
+  }
+  const double stallStart = eng.ctx().now();
+  const std::int64_t rounds0 = eng.counters().gateWaitRounds;
+  gateWaitLoop(eng, s, activeTrials, policy, satisfied);
+  tel.gateStallSeconds->observe(eng.ctx().now() - stallStart);
+  tel.gateWaitRounds->add(eng.counters().gateWaitRounds - rounds0);
 }
 
 }  // namespace

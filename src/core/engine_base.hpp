@@ -9,8 +9,32 @@
 #include "core/algorithms.hpp"
 #include "core/result.hpp"
 #include "core/simplex.hpp"
+#include "telemetry/clock.hpp"
+
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}
 
 namespace sfopt::core::detail {
+
+/// Pre-registered telemetry handles of the engine layer.  All pointers are
+/// non-null exactly when `telemetry` is non-null; hot paths test the one
+/// pointer and then touch only relaxed atomics.
+struct EngineTelemetry {
+  telemetry::Telemetry* telemetry = nullptr;
+  telemetry::Counter* iterations = nullptr;
+  telemetry::Counter* moves[4] = {};  ///< indexed by MoveKind
+  telemetry::Counter* gateWaitRounds = nullptr;
+  telemetry::Counter* resampleRounds = nullptr;
+  telemetry::Counter* forcedResolutions = nullptr;
+  telemetry::Counter* comparisons = nullptr;
+  telemetry::Histogram* stepWallSeconds = nullptr;
+  telemetry::Histogram* gateStallSeconds = nullptr;    ///< virtual seconds per gate
+  telemetry::Histogram* roundsPerComparison = nullptr;
+  std::uint64_t runSpanId = 0;  ///< parent of the per-iteration spans
+};
 
 /// Machinery shared by the DET/MN/Anderson engine and the PC engine:
 /// initial simplex construction, trial-vertex creation with concurrent
@@ -68,12 +92,27 @@ class EngineBase {
   [[nodiscard]] MoveCounters& counters() noexcept { return counters_; }
   [[nodiscard]] const CommonOptions& common() const noexcept { return common_; }
 
+  /// Engine-layer telemetry handles; `telemetry` is nullptr when the run
+  /// is uninstrumented.
+  [[nodiscard]] EngineTelemetry& tel() noexcept { return tel_; }
+
+  /// The wall clock per-step times are measured on: the telemetry clock
+  /// when one is attached (injectable in tests), a steady clock otherwise.
+  [[nodiscard]] const telemetry::Clock& wallClock() const noexcept {
+    return *wallClock_;
+  }
+
  private:
   const noise::StochasticObjective& objective_;
   CommonOptions common_;
   SamplingContext ctx_;
   MoveCounters counters_;
   OptimizationTrace trace_;
+  EngineTelemetry tel_;
+  telemetry::SteadyClock fallbackClock_;
+  const telemetry::Clock* wallClock_ = nullptr;
+  double lastStepWallMark_ = 0.0;
+  std::int64_t lastResampleMark_ = 0;
 };
 
 /// The max-noise wait gate (eq. 2.3): sample all simplex vertices (plus any

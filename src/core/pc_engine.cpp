@@ -11,6 +11,7 @@
 #include "core/algorithms.hpp"
 #include "core/comparisons.hpp"
 #include "core/engine_base.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace sfopt::core {
 
@@ -70,9 +71,14 @@ PairOutcome resolvePair(detail::EngineBase& eng, const PCOptions& opt, Vertex& a
                         int lessCond, int geqCond) {
   std::int64_t block = std::max<std::int64_t>(opt.resample.initialBlock, 1);
   std::int64_t rounds = 0;
+  bool forced = false;
+  PairOutcome outcome = PairOutcome::Less;
   for (;;) {
-    if (evalLess(eng, opt, lessCond, a, b) == Tri::True) return PairOutcome::Less;
-    if (evalGeq(eng, opt, geqCond, a, b) == Tri::True) return PairOutcome::GreaterEq;
+    if (evalLess(eng, opt, lessCond, a, b) == Tri::True) break;
+    if (evalGeq(eng, opt, geqCond, a, b) == Tri::True) {
+      outcome = PairOutcome::GreaterEq;
+      break;
+    }
     // Neither condition resolved: resample both vertices concurrently
     // ("resample vertices and repeat until condition X or Y is satisfied").
     const bool capped = eng.ctx().atSampleCap(a) && eng.ctx().atSampleCap(b);
@@ -80,7 +86,9 @@ PairOutcome resolvePair(detail::EngineBase& eng, const PCOptions& opt, Vertex& a
                              rounds >= opt.resample.maxRoundsPerComparison;
     if (capped || roundCapped || eng.timeExhausted()) {
       ++eng.counters().forcedResolutions;
-      return a.mean() < b.mean() ? PairOutcome::Less : PairOutcome::GreaterEq;
+      forced = true;
+      outcome = a.mean() < b.mean() ? PairOutcome::Less : PairOutcome::GreaterEq;
+      break;
     }
     ++rounds;
     eng.ctx().coSample({{&a, block}, {&b, block}});
@@ -90,6 +98,17 @@ PairOutcome resolvePair(detail::EngineBase& eng, const PCOptions& opt, Vertex& a
         static_cast<std::int64_t>(
             std::ceil(static_cast<double>(block) * std::max(opt.resample.growth, 1.0))));
   }
+  // Per-comparison resolution accounting: how many resample rounds each
+  // k-sigma decision cost, and whether it had to be forced (the paper's
+  // section 2.3 near-identical-vertices hazard).
+  detail::EngineTelemetry& tel = eng.tel();
+  if (tel.telemetry != nullptr) {
+    tel.comparisons->add(1);
+    tel.resampleRounds->add(rounds);
+    tel.roundsPerComparison->observe(static_cast<double>(rounds));
+    if (forced) tel.forcedResolutions->add(1);
+  }
+  return outcome;
 }
 
 /// Sample count for a fresh PC trial vertex: precision-matched to the

@@ -38,6 +38,12 @@ struct StepRecord {
   int contractionLevel = 0;               ///< level l
   MoveKind move = MoveKind::Reflection;
   std::int64_t totalSamples = 0;
+  /// Real (host) seconds this step took, from the engine's wall clock
+  /// (injectable via CommonOptions::telemetry, so tests stay deterministic).
+  double wallSeconds = 0.0;
+  /// Extra-sampling rounds this step spent in wait gates and unresolved
+  /// comparisons — where the paper's sampling effort actually goes.
+  std::int64_t resampleRounds = 0;
 };
 
 /// Append-only record of an optimization run.

@@ -8,13 +8,13 @@ namespace sfopt::core {
 
 void writeTraceCsv(std::ostream& out, const OptimizationTrace& trace) {
   out << "iteration,time,best_estimate,best_true,diameter,contraction_level,move,"
-         "total_samples\n";
+         "total_samples,wall_seconds,resample_rounds\n";
   out.precision(17);
   for (const StepRecord& r : trace.steps()) {
     out << r.iteration << ',' << r.time << ',' << r.bestEstimate << ',';
     if (r.bestTrue) out << *r.bestTrue;
     out << ',' << r.diameter << ',' << r.contractionLevel << ',' << toString(r.move) << ','
-        << r.totalSamples << '\n';
+        << r.totalSamples << ',' << r.wallSeconds << ',' << r.resampleRounds << '\n';
   }
 }
 

@@ -8,10 +8,12 @@
 namespace sfopt::core {
 
 /// Write a trace as CSV with a header row:
-///   iteration,time,best_estimate,best_true,diameter,contraction_level,move,total_samples
+///   iteration,time,best_estimate,best_true,diameter,contraction_level,move,
+///   total_samples,wall_seconds,resample_rounds
 /// Unknown true values are written as empty fields.  The format is the
 /// raw material of the paper's value-vs-time plots (gnuplot: `set datafile
-/// separator ','`).
+/// separator ','`); the trailing wall-time and resample columns are
+/// appended so pre-existing column-indexed readers keep working.
 void writeTraceCsv(std::ostream& out, const OptimizationTrace& trace);
 
 /// File convenience wrapper.

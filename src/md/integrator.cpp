@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sfopt::md {
 
 VelocityVerlet::VelocityVerlet(WaterSystem& sys, Options options)
@@ -25,6 +27,13 @@ VelocityVerlet::VelocityVerlet(WaterSystem& sys, Options options)
   if (options_.forceThreads > 1) {
     kernel_ = std::make_unique<ParallelForceKernel>(options_.forceThreads);
   }
+  if (options_.telemetry != nullptr) {
+    auto& reg = options_.telemetry->metrics();
+    telForceEvals_ = &reg.counter("md.force_evaluations");
+    telPairs_ = &reg.counter("md.pairs_evaluated");
+    telForceSeconds_ = &reg.histogram(
+        "md.force_eval_seconds", telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
+  }
   last_ = evaluateForces();
 }
 
@@ -39,6 +48,11 @@ ForceResult VelocityVerlet::evaluateForces() {
   ++forceEvaluations_;
   pairsEvaluated_ += result.pairsEvaluated;
   forceSeconds_ += result.evalSeconds;
+  if (telForceEvals_ != nullptr) {
+    telForceEvals_->add(1);
+    telPairs_->add(result.pairsEvaluated);
+    telForceSeconds_->observe(result.evalSeconds);
+  }
   return result;
 }
 

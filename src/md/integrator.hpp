@@ -6,6 +6,12 @@
 #include "md/neighbor_list.hpp"
 #include "md/system.hpp"
 
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}
+
 namespace sfopt::md {
 
 /// Velocity-Verlet integrator with an optional Berendsen weak-coupling
@@ -26,6 +32,11 @@ class VelocityVerlet {
     /// partitions the pair list — and reduce per-block partials in fixed
     /// order, so trajectories are bitwise reproducible per thread count.
     int forceThreads = 1;
+    /// Optional observability spine (non-owning; must outlive the
+    /// integrator).  Registers the md.* force-path metrics once at
+    /// construction; the per-step cost when attached is a few relaxed
+    /// atomic adds.
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   VelocityVerlet(WaterSystem& sys, Options options);
@@ -59,6 +70,11 @@ class VelocityVerlet {
   std::int64_t forceEvaluations_ = 0;
   std::int64_t pairsEvaluated_ = 0;
   double forceSeconds_ = 0.0;
+
+  /// Pre-registered handles; non-null exactly when options_.telemetry is.
+  telemetry::Counter* telForceEvals_ = nullptr;
+  telemetry::Counter* telPairs_ = nullptr;
+  telemetry::Histogram* telForceSeconds_ = nullptr;
 };
 
 }  // namespace sfopt::md

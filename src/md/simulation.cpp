@@ -7,8 +7,27 @@
 #include "md/integrator.hpp"
 #include "stats/autocorrelation.hpp"
 #include "stats/welford.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sfopt::md {
+
+namespace {
+
+/// Fold the aggregated force-path counters into the registry as md.*
+/// gauges/counters.  The counters are cumulative across calls (gauges are
+/// last-write-wins), matching the registry's process-wide semantics.
+void exportPerfCounters(telemetry::Telemetry* telemetry, const MdPerfCounters& perf) {
+  if (telemetry == nullptr) return;
+  auto& reg = telemetry->metrics();
+  reg.counter("md.neighbor_rebuilds").add(perf.neighborRebuilds);
+  reg.gauge("md.force_threads").set(static_cast<double>(perf.forceThreads));
+  reg.gauge("md.max_drift_seen").set(perf.maxDriftSeen);
+  reg.gauge("md.cells_per_dim").set(static_cast<double>(perf.cellsPerDim));
+  reg.gauge("md.avg_cell_occupancy").set(perf.avgCellOccupancy);
+  reg.gauge("md.pairs_per_evaluation").set(perf.pairsPerEvaluation());
+}
+
+}  // namespace
 
 WaterObservables simulateWater(const WaterParameters& params, const SimulationConfig& config) {
   if (config.equilibrationSteps < 0 || config.productionSteps < 1) {
@@ -41,6 +60,7 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
     // The parallel kernel walks the neighbor pair list; without a list
     // (tiny boxes) the force path stays serial.
     o.forceThreads = useList ? config.forceThreads : 1;
+    o.telemetry = config.telemetry;
     return o;
   };
 
@@ -50,6 +70,8 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
   // practice for cold starts.
   MdPerfCounters perf;
   {
+    const double phaseStart =
+        config.telemetry != nullptr ? config.telemetry->tracer().now() : 0.0;
     VelocityVerlet integrator(sys, integratorOptions(config.temperatureK));
     constexpr int kRescalePeriod = 25;
     int remaining = config.equilibrationSteps;
@@ -60,6 +82,12 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
       remaining -= chunk;
     }
     perf += integrator.perfCounters();
+    if (config.telemetry != nullptr) {
+      config.telemetry->tracer().emitComplete(
+          "md.equilibration", phaseStart, 0, {},
+          {{"steps", static_cast<double>(config.equilibrationSteps)},
+           {"molecules", static_cast<double>(config.molecules)}});
+    }
   }
   sys.zeroMomentum();
   sys.rescaleTo(config.temperatureK);
@@ -67,6 +95,8 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
   // Phase 2: NVE production with property sampling.
   WaterObservables out;
   {
+    const double phaseStart =
+        config.telemetry != nullptr ? config.telemetry->tracer().now() : 0.0;
     VelocityVerlet integrator(sys, integratorOptions(0.0));
 
     RdfAccumulator rdf(config.rdfRMax, config.rdfBins);
@@ -112,8 +142,16 @@ WaterObservables simulateWater(const WaterParameters& params, const SimulationCo
     const double elapsedPs = config.productionSteps * config.dtPs;
     out.nveDriftKcalPerPs = elapsedPs > 0.0 ? (eLast - e0) / elapsedPs : 0.0;
     perf += integrator.perfCounters();
+    if (config.telemetry != nullptr) {
+      config.telemetry->tracer().emitComplete(
+          "md.production", phaseStart, 0, {},
+          {{"steps", static_cast<double>(config.productionSteps)},
+           {"frames", static_cast<double>(out.productionFrames)},
+           {"nve_drift_kcal_per_ps", out.nveDriftKcalPerPs}});
+    }
   }
   out.perf = perf;
+  exportPerfCounters(config.telemetry, perf);
   return out;
 }
 

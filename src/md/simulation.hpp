@@ -6,6 +6,10 @@
 #include "md/observables.hpp"
 #include "md/system.hpp"
 
+namespace sfopt::telemetry {
+class Telemetry;
+}
+
 namespace sfopt::md {
 
 /// The two-phase simulation protocol the paper's application study runs at
@@ -40,6 +44,10 @@ struct SimulationConfig {
   /// the neighbor pair list.  Results are bitwise reproducible per
   /// thread count via the fixed-order block reduction.
   int forceThreads = 1;
+  /// Optional observability spine (non-owning; must outlive the run).
+  /// Attaching it folds the MdPerfCounters into the metrics registry as
+  /// md.* metrics and emits md.equilibration / md.production phase spans.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Equilibrium averages of one protocol run — the raw material of the

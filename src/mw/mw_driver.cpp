@@ -4,12 +4,31 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sfopt::mw {
 
 MWDriver::MWDriver(CommWorld& comm) : comm_(comm) {
   if (comm_.size() < 2) {
     throw std::invalid_argument("MWDriver: need at least one worker rank");
   }
+}
+
+void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& reg = telemetry_->metrics();
+  telTasksCompleted_ = &reg.counter("mw.tasks_completed");
+  telTasksRequeued_ = &reg.counter("mw.tasks_requeued");
+  telTasksDispatched_ = &reg.counter("mw.tasks_dispatched");
+  telBatches_ = &reg.counter("mw.batches");
+  telQueueWait_ = &reg.histogram("mw.task.queue_wait_seconds",
+                                 telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
+  telExecute_ = &reg.histogram("mw.task.execute_seconds",
+                               telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
+  telUtilization_ = &reg.histogram("mw.worker.utilization",
+                                   {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  reg.gauge("mw.workers").set(static_cast<double>(workerCount()));
 }
 
 std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> inputs) {
@@ -25,7 +44,17 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     std::size_t slot = 0;
     int retries = 0;
     Rank lastFailedOn = -1;
+    double enqueuedAt = 0.0;    ///< telemetry: last time it entered the queue
+    double dispatchedAt = 0.0;  ///< telemetry: last time it was sent out
   };
+  // Task-lifecycle telemetry: wall times come from the telemetry clock
+  // (injectable in tests) and are only read when a spine is attached.
+  const auto telNow = [&]() -> double {
+    return telemetry_ != nullptr ? telemetry_->clock().now() : 0.0;
+  };
+  const double batchStart = telNow();
+  std::vector<double> workerBusySeconds(static_cast<std::size_t>(comm_.size()), 0.0);
+
   std::unordered_map<std::uint64_t, TaskState> tasks;
   std::deque<std::uint64_t> pending;
   for (std::size_t i = 0; i < n; ++i) {
@@ -37,7 +66,7 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     std::vector<std::byte> wire = framed.releaseWire();
     const auto& tail = inputs[i].wire();
     wire.insert(wire.end(), tail.begin(), tail.end());
-    tasks.emplace(id, TaskState{std::move(wire), i, 0, -1});
+    tasks.emplace(id, TaskState{std::move(wire), i, 0, -1, batchStart, batchStart});
     pending.push_back(id);
   }
 
@@ -51,6 +80,11 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     const std::uint64_t id = pending[pendingIndex];
     TaskState& st = tasks.at(id);
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pendingIndex));
+    if (telemetry_ != nullptr) {
+      st.dispatchedAt = telNow();
+      telQueueWait_->observe(st.dispatchedAt - st.enqueuedAt);
+      telTasksDispatched_->add(1);
+    }
     comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
     busy[static_cast<std::size_t>(worker)] = true;
     ++inFlight;
@@ -92,6 +126,12 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       if (it == tasks.end()) {
         throw std::runtime_error("MWDriver: result for unknown task id");
       }
+      if (telemetry_ != nullptr) {
+        const double d = telNow() - it->second.dispatchedAt;
+        telExecute_->observe(d);
+        workerBusySeconds[static_cast<std::size_t>(msg.source)] += d;
+        telTasksCompleted_->add(1);
+      }
       results[it->second.slot] = std::move(msg.payload);
       tasks.erase(it);
       ++done;
@@ -111,6 +151,14 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       busy[static_cast<std::size_t>(msg.source)] = false;
       TaskState& st = it->second;
       st.lastFailedOn = msg.source;
+      if (telemetry_ != nullptr) {
+        // Failed attempts still occupied the worker; count the time as busy
+        // so utilization reflects wasted capacity, and restart the task's
+        // queue-wait clock for the retry.
+        workerBusySeconds[static_cast<std::size_t>(msg.source)] += telNow() - st.dispatchedAt;
+        telTasksRequeued_->add(1);
+        st.enqueuedAt = telNow();
+      }
       if (++st.retries > maxRetries_) {
         throw std::runtime_error("MWDriver: task failed after " +
                                  std::to_string(maxRetries_) + " retries: " + what);
@@ -119,6 +167,19 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       dispatchAll();
     }
     // Stray tags are ignored.
+  }
+  if (telemetry_ != nullptr) {
+    const double elapsed = telNow() - batchStart;
+    if (elapsed > 0.0) {
+      for (Rank w = 1; w < comm_.size(); ++w) {
+        telUtilization_->observe(workerBusySeconds[static_cast<std::size_t>(w)] / elapsed);
+      }
+    }
+    telBatches_->add(1);
+    telemetry_->tracer().emitComplete(
+        "mw.batch", batchStart, 0, {},
+        {{"tasks", static_cast<double>(n)},
+         {"workers", static_cast<double>(workerCount())}});
   }
   return results;
 }

@@ -7,6 +7,12 @@
 #include "mw/comm.hpp"
 #include "mw/mw_task.hpp"
 
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}
+
 namespace sfopt::mw {
 
 /// Re-implementation of the MW framework's MWDriver abstraction: the
@@ -41,6 +47,12 @@ class MWDriver {
   void setMaxRetries(int retries) { maxRetries_ = retries; }
   [[nodiscard]] int maxRetries() const noexcept { return maxRetries_; }
 
+  /// Attach the observability spine (non-owning; must outlive the driver).
+  /// Pre-registers the task-lifecycle metrics — queue-wait and execute
+  /// histograms, per-worker utilization, completion/requeue counters — and
+  /// emits one `mw.batch` span per executeBuffers call.
+  void setTelemetry(telemetry::Telemetry* telemetry);
+
  private:
   CommWorld& comm_;
   std::uint64_t nextTaskId_ = 1;
@@ -48,6 +60,16 @@ class MWDriver {
   std::uint64_t tasksRequeued_ = 0;
   int maxRetries_ = 3;
   bool shutDown_ = false;
+
+  /// Pre-registered handles; all non-null exactly when telemetry_ is set.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* telTasksCompleted_ = nullptr;
+  telemetry::Counter* telTasksRequeued_ = nullptr;
+  telemetry::Counter* telTasksDispatched_ = nullptr;
+  telemetry::Counter* telBatches_ = nullptr;
+  telemetry::Histogram* telQueueWait_ = nullptr;
+  telemetry::Histogram* telExecute_ = nullptr;
+  telemetry::Histogram* telUtilization_ = nullptr;
 };
 
 }  // namespace sfopt::mw

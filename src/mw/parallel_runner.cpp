@@ -62,6 +62,7 @@ MWRunResult runSimplexOverMW(const noise::StochasticObjective& objective,
   MWRunResult out;
   {
     MWDriver driver(comm);
+    driver.setTelemetry(config.telemetry);
     MWSamplingBackend backend(driver);
     const auto t0 = std::chrono::steady_clock::now();
     out.optimization = dispatch(objective, initial, options, &backend);

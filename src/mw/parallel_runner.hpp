@@ -21,6 +21,10 @@ struct MWRunConfig {
   int workers = 0;
   /// Ns: client simulations per vertex server.
   int clientsPerWorker = 1;
+  /// Optional observability spine for the driver's task-lifecycle metrics
+  /// (non-owning; must outlive the run).  Engine-layer instrumentation is
+  /// configured separately via the algorithm's CommonOptions.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Outcome of a master-worker optimization run: the optimization result

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <chrono>
+
+namespace sfopt::telemetry {
+
+/// Time source for spans and per-step wall times.  Injectable so tests
+/// never depend on real wall-clock behavior: production code uses
+/// SteadyClock, tests drive a ManualClock by hand.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since this clock's epoch (construction for SteadyClock).
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Monotonic wall clock; epoch is construction time, so event timestamps
+/// in one run start near zero.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Hand-driven clock for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : now_(start) {}
+  [[nodiscard]] double now() const override { return now_; }
+  void advance(double seconds) { now_ += seconds; }
+  void set(double seconds) { now_ = seconds; }
+
+ private:
+  double now_;
+};
+
+}  // namespace sfopt::telemetry

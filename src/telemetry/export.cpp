@@ -1,0 +1,105 @@
+#include "telemetry/export.hpp"
+
+#include <ostream>
+
+namespace sfopt::telemetry {
+
+namespace {
+
+std::string promName(const std::string& name) {
+  std::string out = "sfopt_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+const char* kindName(MetricSnapshot::Kind k) {
+  switch (k) {
+    case MetricSnapshot::Kind::Counter: return "counter";
+    case MetricSnapshot::Kind::Gauge: return "gauge";
+    case MetricSnapshot::Kind::Histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void writePrometheusText(const MetricsRegistry& registry, std::ostream& out) {
+  const auto snap = registry.snapshot();
+  out.precision(17);
+  for (const MetricSnapshot& m : snap) {
+    const std::string name = promName(m.name);
+    out << "# TYPE " << name << ' ' << kindName(m.kind) << '\n';
+    switch (m.kind) {
+      case MetricSnapshot::Kind::Counter:
+        out << name << ' ' << m.intValue << '\n';
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        out << name << ' ' << m.numValue << '\n';
+        break;
+      case MetricSnapshot::Kind::Histogram: {
+        std::int64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+          cumulative += m.bucketCounts[b];
+          out << name << "_bucket{le=\"" << m.bounds[b] << "\"} " << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << m.count << '\n';
+        out << name << "_sum " << m.numValue << '\n';
+        out << name << "_count " << m.count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void writeCsvSummary(const MetricsRegistry& registry, std::ostream& out) {
+  out << "name,kind,count,sum,value\n";
+  out.precision(17);
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    out << m.name << ',' << kindName(m.kind) << ',';
+    switch (m.kind) {
+      case MetricSnapshot::Kind::Counter:
+        out << ",," << m.intValue << '\n';
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        out << ",," << m.numValue << '\n';
+        break;
+      case MetricSnapshot::Kind::Histogram:
+        out << m.count << ',' << m.numValue << ",\n";
+        break;
+    }
+  }
+}
+
+std::size_t writeMetricEvents(const MetricsRegistry& registry, EventSink& sink, double time) {
+  const auto snap = registry.snapshot();
+  for (const MetricSnapshot& m : snap) {
+    Event e;
+    e.type = "metric";
+    e.name = m.name;
+    e.time = time;
+    e.strFields.emplace_back("kind", kindName(m.kind));
+    switch (m.kind) {
+      case MetricSnapshot::Kind::Counter:
+        e.numFields.emplace_back("value", static_cast<double>(m.intValue));
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        e.numFields.emplace_back("value", m.numValue);
+        break;
+      case MetricSnapshot::Kind::Histogram:
+        e.numFields.emplace_back("count", static_cast<double>(m.count));
+        e.numFields.emplace_back("sum", m.numValue);
+        if (m.count > 0) {
+          e.numFields.emplace_back("mean", m.numValue / static_cast<double>(m.count));
+        }
+        break;
+    }
+    sink.emit(e);
+  }
+  return snap.size();
+}
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+
+namespace sfopt::telemetry {
+
+/// Prometheus text exposition (version 0.0.4) of a registry snapshot.
+/// Dots in metric names become underscores and everything is prefixed
+/// `sfopt_`; histograms expand to the usual `_bucket{le=...}` /
+/// `_sum` / `_count` family with a `+Inf` bucket.
+void writePrometheusText(const MetricsRegistry& registry, std::ostream& out);
+
+/// Flat CSV summary of a registry snapshot:
+///   name,kind,count,sum,value
+/// Counters fill `value`, gauges fill `value`, histograms fill
+/// `count`/`sum` and leave `value` empty (same empty-field convention as
+/// the trace CSVs).
+void writeCsvSummary(const MetricsRegistry& registry, std::ostream& out);
+
+/// Emit one "metric" event per registered metric into the sink (the final
+/// registry snapshot a JSONL consumer reads next to the span stream).
+/// `time` stamps every event.  Returns the number of events emitted.
+std::size_t writeMetricEvents(const MetricsRegistry& registry, EventSink& sink, double time);
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfopt::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomicAdd(sum_, x);
+}
+
+std::vector<std::int64_t> Histogram::bucketCounts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::exponentialBounds(double start, double factor, int count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count < 1) {
+    throw std::invalid_argument("Histogram::exponentialBounds: need start > 0, factor > 1");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i, b *= factor) out.push_back(b);
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e{MetricSnapshot::Kind::Counter, std::make_unique<Counter>(), nullptr, nullptr};
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != MetricSnapshot::Kind::Counter) {
+    throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                "' already registered with a different kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e{MetricSnapshot::Kind::Gauge, nullptr, std::make_unique<Gauge>(), nullptr};
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != MetricSnapshot::Kind::Gauge) {
+    throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                "' already registered with a different kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e{MetricSnapshot::Kind::Histogram, nullptr, nullptr,
+            std::make_unique<Histogram>(std::move(bounds))};
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != MetricSnapshot::Kind::Histogram) {
+    throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                "' already registered with a different kind");
+  } else if (it->second.histogram->bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                "' already registered with different bounds");
+  }
+  return *it->second.histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::Counter:
+        s.intValue = e.counter->value();
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        s.numValue = e.gauge->value();
+        break;
+      case MetricSnapshot::Kind::Histogram:
+        s.count = e.histogram->count();
+        s.numValue = e.histogram->sum();
+        s.bounds = e.histogram->bounds();
+        s.bucketCounts = e.histogram->bucketCounts();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sfopt::telemetry

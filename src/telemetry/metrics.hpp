@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfopt::telemetry {
+
+namespace detail {
+
+/// Relaxed add for atomic doubles; a CAS loop rather than fetch_add so the
+/// code does not depend on lock-free FP atomics being available.
+inline void atomicAdd(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonically increasing integer metric.  The handle returned by
+/// MetricsRegistry::counter is stable for the registry's lifetime, so hot
+/// paths register once and then touch a single relaxed atomic.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value-wins floating-point metric (configuration and level readings:
+/// worker counts, occupancies, totals computed at run end).
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-style buckets with explicit upper
+/// bounds plus an implicit +inf bucket, and running count/sum so exports
+/// can report means without retaining samples.  observe() is wait-free on
+/// the bucket counter and lock-free on the sum.
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper bounds (inclusive).  An empty
+  /// list yields a count/sum-only histogram with a single +inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double mean() const noexcept {
+    const std::int64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; the last entry is the +inf bucket.
+  [[nodiscard]] std::vector<std::int64_t> bucketCounts() const;
+
+  /// `count` bounds growing geometrically from `start` by `factor` — the
+  /// usual latency-style bucket layout.
+  [[nodiscard]] static std::vector<double> exponentialBounds(double start, double factor,
+                                                             int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  ///< bounds_.size() + 1 slots
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported metric value, decoupled from the live atomics so writers
+/// (Prometheus text, CSV, JSONL events) all consume the same snapshot.
+struct MetricSnapshot {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::int64_t intValue = 0;                ///< counters
+  double numValue = 0.0;                    ///< gauges; histogram sum
+  std::int64_t count = 0;                   ///< histogram observation count
+  std::vector<double> bounds;               ///< histogram bucket upper bounds
+  std::vector<std::int64_t> bucketCounts;   ///< histogram per-bucket counts (+inf last)
+};
+
+/// Registry of named metrics.  Registration (counter/gauge/histogram) takes
+/// a mutex and returns a stable handle; all subsequent updates through the
+/// handle are lock-free.  Names are dot-separated (`engine.iterations`);
+/// exporters sanitize as their format demands.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register-or-get.  Throws std::invalid_argument if the name is already
+  /// registered with a different metric kind (or different histogram
+  /// bounds).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Consistent point-in-time copy of every registered metric, sorted by
+  /// name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,248 @@
+#include "telemetry/sink.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace sfopt::telemetry {
+
+std::optional<double> Event::num(std::string_view key) const {
+  for (const auto& [k, v] : numFields) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Event::str(std::string_view key) const {
+  for (const auto& [k, v] : strFields) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+JsonlSink::JsonlSink(const std::filesystem::path& file, bool append)
+    : owned_(file, append ? std::ios::app : std::ios::trunc), out_(&owned_) {
+  if (!owned_) throw std::runtime_error("JsonlSink: cannot open " + file.string());
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+void JsonlSink::emit(const Event& e) {
+  const std::string line = toJsonLine(e);
+  std::lock_guard lock(mutex_);
+  *out_ << line << '\n';
+  ++count_;
+}
+
+void JsonlSink::flush() {
+  std::lock_guard lock(mutex_);
+  out_->flush();
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trip representation; JSON has no Inf/NaN, so clamp those
+/// to null-ish zero (instrumentation never emits them on purpose).
+void appendNumber(std::string& out, double x) {
+  if (!(x == x) || x > 1.7e308 || x < -1.7e308) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string toJsonLine(const Event& e) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"type\":\"";
+  out += jsonEscape(e.type);
+  out += "\",\"name\":\"";
+  out += jsonEscape(e.name);
+  out += "\",\"t\":";
+  appendNumber(out, e.time);
+  if (e.duration >= 0.0) {
+    out += ",\"dur\":";
+    appendNumber(out, e.duration);
+  }
+  if (e.id != 0) {
+    out += ",\"id\":";
+    appendNumber(out, static_cast<double>(e.id));
+  }
+  if (e.parent != 0) {
+    out += ",\"parent\":";
+    appendNumber(out, static_cast<double>(e.parent));
+  }
+  for (const auto& [k, v] : e.numFields) {
+    out += ",\"";
+    out += jsonEscape(k);
+    out += "\":";
+    appendNumber(out, v);
+  }
+  for (const auto& [k, v] : e.strFields) {
+    out += ",\"";
+    out += jsonEscape(k);
+    out += "\":\"";
+    out += jsonEscape(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+void skipSpace(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+bool parseString(std::string_view s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return false;
+      const char esc = s[i + 1];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (i + 5 >= s.size()) return false;
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(s.data() + i + 2, s.data() + i + 6, code, 16);
+          if (res.ec != std::errc{}) return false;
+          out += static_cast<char>(code & 0xFF);  // flat ASCII payloads only
+          i += 4;
+          break;
+        }
+        default: return false;
+      }
+      i += 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return false;
+}
+
+bool parseNumber(std::string_view s, std::size_t& i, double& out) {
+  std::size_t end = i;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '-' ||
+          s[end] == '+' || s[end] == '.' || s[end] == 'e' || s[end] == 'E')) {
+    ++end;
+  }
+  const auto res = std::from_chars(s.data() + i, s.data() + end, out);
+  if (res.ec != std::errc{}) return false;
+  i = static_cast<std::size_t>(res.ptr - s.data());
+  return true;
+}
+
+}  // namespace
+
+std::optional<Event> parseJsonLine(std::string_view line) {
+  std::size_t i = 0;
+  skipSpace(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  Event e;
+  for (;;) {
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == '}') break;
+    std::string key;
+    if (!parseString(line, i, key)) return std::nullopt;
+    skipSpace(line, i);
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == '"') {
+      std::string val;
+      if (!parseString(line, i, val)) return std::nullopt;
+      if (key == "type") {
+        e.type = std::move(val);
+      } else if (key == "name") {
+        e.name = std::move(val);
+      } else {
+        e.strFields.emplace_back(std::move(key), std::move(val));
+      }
+    } else {
+      double val = 0.0;
+      if (!parseNumber(line, i, val)) return std::nullopt;
+      if (key == "t") {
+        e.time = val;
+      } else if (key == "dur") {
+        e.duration = val;
+      } else if (key == "id") {
+        e.id = static_cast<std::uint64_t>(val);
+      } else if (key == "parent") {
+        e.parent = static_cast<std::uint64_t>(val);
+      } else {
+        e.numFields.emplace_back(std::move(key), val);
+      }
+    }
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') break;
+    return std::nullopt;
+  }
+  if (e.type.empty()) return std::nullopt;
+  return e;
+}
+
+std::vector<Event> readJsonlEvents(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("readJsonlEvents: cannot open " + file.string());
+  std::vector<Event> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto e = parseJsonLine(line)) out.push_back(std::move(*e));
+  }
+  return out;
+}
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sfopt::telemetry {
+
+/// One structured telemetry event.  The fixed fields cover the span and
+/// metric cases; everything else rides in the string/number field lists.
+/// JSONL wire form (one object per line, flat):
+///   {"type":"span","name":"engine.iteration","t":0.12,"dur":0.01,
+///    "id":7,"parent":1,"move":"reflection","samples":120}
+struct Event {
+  std::string type;        ///< "span", "metric", "event"
+  std::string name;
+  double time = 0.0;       ///< seconds on the emitting clock
+  double duration = -1.0;  ///< span length; negative = absent
+  std::uint64_t id = 0;    ///< span id; 0 = absent
+  std::uint64_t parent = 0;  ///< parent span id; 0 = root/absent
+  std::vector<std::pair<std::string, std::string>> strFields;
+  std::vector<std::pair<std::string, double>> numFields;
+
+  [[nodiscard]] std::optional<double> num(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string_view> str(std::string_view key) const;
+};
+
+/// Receives every emitted event.  Implementations must be safe to call
+/// from multiple threads (the MW layer emits from the driver thread while
+/// MD instrumentation may emit from workers).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& e) = 0;
+  [[nodiscard]] virtual std::uint64_t eventsWritten() const noexcept { return 0; }
+};
+
+/// Default sink: drops everything.  Kept trivially small so instrumented
+/// code paths pay only the virtual call when telemetry is attached but
+/// unexported, and nothing at all when no Telemetry is plugged in.
+class NoopSink final : public EventSink {
+ public:
+  void emit(const Event&) override {}
+};
+
+/// Structured-event sink writing one JSON object per line.
+class JsonlSink final : public EventSink {
+ public:
+  /// Opens `file` (truncating unless `append`).  Throws std::runtime_error
+  /// on open failure.
+  explicit JsonlSink(const std::filesystem::path& file, bool append = false);
+  /// Stream variant for tests; the stream must outlive the sink.
+  explicit JsonlSink(std::ostream& out);
+
+  void emit(const Event& e) override;
+  [[nodiscard]] std::uint64_t eventsWritten() const noexcept override { return count_; }
+  void flush();
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+  std::mutex mutex_;
+  std::uint64_t count_ = 0;
+};
+
+/// Serialize one event to its JSONL line (no trailing newline).
+[[nodiscard]] std::string toJsonLine(const Event& e);
+
+/// Escape a string for inclusion in a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// Parse one JSONL line back into an Event.  Accepts exactly the flat
+/// objects toJsonLine produces (plus unknown keys, kept as fields).
+/// Returns nullopt on malformed input or blank lines.
+[[nodiscard]] std::optional<Event> parseJsonLine(std::string_view line);
+
+/// Read every parseable event from a JSONL file.  Throws on open failure;
+/// malformed lines are skipped.
+[[nodiscard]] std::vector<Event> readJsonlEvents(const std::filesystem::path& file);
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/span.hpp"
+
+namespace sfopt::telemetry {
+
+std::uint64_t SpanTracer::begin(std::string name, std::uint64_t parent) {
+  const double start = clock_->now();
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = nextId_++;
+  open_.emplace(id, Open{std::move(name), start, parent});
+  return id;
+}
+
+void SpanTracer::end(std::uint64_t id,
+                     std::vector<std::pair<std::string, std::string>> strFields,
+                     std::vector<std::pair<std::string, double>> numFields) {
+  const double now = clock_->now();
+  Open span;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = open_.find(id);
+    if (it == open_.end()) return;
+    span = std::move(it->second);
+    open_.erase(it);
+  }
+  Event e;
+  e.type = "span";
+  e.name = std::move(span.name);
+  e.time = span.start;
+  e.duration = now - span.start;
+  e.id = id;
+  e.parent = span.parent;
+  e.strFields = std::move(strFields);
+  e.numFields = std::move(numFields);
+  sink_->emit(e);
+}
+
+std::uint64_t SpanTracer::emitComplete(
+    std::string name, double startTime, std::uint64_t parent,
+    std::vector<std::pair<std::string, std::string>> strFields,
+    std::vector<std::pair<std::string, double>> numFields) {
+  const double now = clock_->now();
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    id = nextId_++;
+  }
+  Event e;
+  e.type = "span";
+  e.name = std::move(name);
+  e.time = startTime;
+  e.duration = now - startTime;
+  e.id = id;
+  e.parent = parent;
+  e.strFields = std::move(strFields);
+  e.numFields = std::move(numFields);
+  sink_->emit(e);
+  return id;
+}
+
+std::size_t SpanTracer::openSpans() const {
+  std::lock_guard lock(mutex_);
+  return open_.size();
+}
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/sink.hpp"
+
+namespace sfopt::telemetry {
+
+/// Emits span events (named, timed intervals with explicit ids and
+/// parent-child nesting) to an EventSink.  Ids are sequential per tracer;
+/// 0 is "no span".  A span event is written once, when the span ends, with
+/// its start time and duration — sinks never see half-open state.
+///
+/// Thread-safe; timestamps come from the injected Clock, so tests drive a
+/// ManualClock and assert exact durations.
+class SpanTracer {
+ public:
+  SpanTracer(EventSink& sink, const Clock& clock) : sink_(&sink), clock_(&clock) {}
+
+  /// Start a span; returns its id (never 0).
+  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent = 0);
+
+  /// End a span begun earlier, attaching optional extra fields.  Unknown
+  /// ids are ignored (a span may outlive a tracer reset in tests).
+  void end(std::uint64_t id,
+           std::vector<std::pair<std::string, std::string>> strFields = {},
+           std::vector<std::pair<std::string, double>> numFields = {});
+
+  /// Emit an already-measured span in one call: the caller tracked the
+  /// start time itself (e.g. the engine's per-iteration spans).  Returns
+  /// the id assigned to the emitted span.
+  std::uint64_t emitComplete(std::string name, double startTime, std::uint64_t parent = 0,
+                             std::vector<std::pair<std::string, std::string>> strFields = {},
+                             std::vector<std::pair<std::string, double>> numFields = {});
+
+  /// Current time on the tracer's clock.
+  [[nodiscard]] double now() const { return clock_->now(); }
+
+  [[nodiscard]] std::size_t openSpans() const;
+
+ private:
+  struct Open {
+    std::string name;
+    double start = 0.0;
+    std::uint64_t parent = 0;
+  };
+
+  EventSink* sink_;
+  const Clock* clock_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Open> open_;
+  std::uint64_t nextId_ = 1;
+};
+
+/// RAII span: begins on construction, ends on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer& tracer, std::string name, std::uint64_t parent = 0)
+      : tracer_(&tracer), id_(tracer.begin(std::move(name), parent)) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+  }
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// End early with fields attached.
+  void end(std::vector<std::pair<std::string, std::string>> strFields = {},
+           std::vector<std::pair<std::string, double>> numFields = {}) {
+    if (tracer_ != nullptr) {
+      tracer_->end(id_, std::move(strFields), std::move(numFields));
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  SpanTracer* tracer_;
+  std::uint64_t id_;
+};
+
+}  // namespace sfopt::telemetry

@@ -1,0 +1,10 @@
+#include "telemetry/telemetry.hpp"
+
+namespace sfopt::telemetry {
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace sfopt::telemetry

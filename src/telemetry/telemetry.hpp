@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/span.hpp"
+
+namespace sfopt::telemetry {
+
+/// The observability spine: one MetricsRegistry + one SpanTracer + one
+/// EventSink + one Clock, wired together.  Components take a `Telemetry*`
+/// (nullptr = uninstrumented, zero overhead), pre-register their metric
+/// handles once, and touch only atomics on hot paths.
+///
+/// Ownership: the sink and clock are non-owning references by default so
+/// the CLI can hold a JsonlSink whose lifetime it controls; the
+/// default-constructed facade uses an internal NoopSink and SteadyClock.
+class Telemetry {
+ public:
+  /// No-op sink, steady clock: metrics accumulate, events are dropped.
+  Telemetry() : sink_(&ownNoop_), clock_(&ownClock_), tracer_(*sink_, *clock_) {}
+
+  /// External sink, internal steady clock.
+  explicit Telemetry(EventSink& sink)
+      : sink_(&sink), clock_(&ownClock_), tracer_(*sink_, *clock_) {}
+
+  /// External sink and clock (tests: JsonlSink/ManualClock).
+  Telemetry(EventSink& sink, const Clock& clock)
+      : sink_(&sink), clock_(&clock), tracer_(*sink_, *clock_) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] SpanTracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] EventSink& sink() noexcept { return *sink_; }
+  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+
+  /// Process-wide default instance (no-op sink).  Benches and ad-hoc
+  /// instrumentation can use it without wiring; runs that export plug
+  /// their own instance instead.
+  [[nodiscard]] static Telemetry& global();
+
+ private:
+  NoopSink ownNoop_;
+  SteadyClock ownClock_;
+  MetricsRegistry metrics_;
+  EventSink* sink_;
+  const Clock* clock_;
+  SpanTracer tracer_;
+};
+
+}  // namespace sfopt::telemetry

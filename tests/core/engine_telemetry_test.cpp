@@ -1,0 +1,172 @@
+// Engine-layer telemetry: the per-iteration spans, move counters, PC
+// comparison-resolution accounting, and the MN wait-gate stall histogram.
+// Timing runs on a ManualClock, so nothing here depends on wall time.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
+#include "tests/core/test_helpers.hpp"
+
+namespace {
+
+using namespace sfopt;
+
+class CaptureSink final : public telemetry::EventSink {
+ public:
+  void emit(const telemetry::Event& e) override { events.push_back(e); }
+  std::vector<telemetry::Event> events;
+};
+
+std::int64_t counterValue(telemetry::Telemetry& tel, const char* name) {
+  return tel.metrics().counter(name).value();
+}
+
+TEST(EngineTelemetry, PcRunCoversCountersSpansAndTrace) {
+  CaptureSink sink;
+  telemetry::ManualClock clock;
+  telemetry::Telemetry tel(sink, clock);
+
+  auto obj = test::noisySphere(2, 1.0);
+  core::PCOptions o;
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxIterations = 25;
+  o.common.recordTrace = true;
+  o.common.telemetry = &tel;
+  const auto res = core::runPointToPoint(obj, test::simpleStart(2), o);
+
+  // Counters mirror the result's own accounting exactly.
+  EXPECT_EQ(counterValue(tel, "engine.iterations"), res.iterations);
+  EXPECT_EQ(counterValue(tel, "engine.moves.reflection"), res.counters.reflections);
+  EXPECT_EQ(counterValue(tel, "engine.moves.expansion"), res.counters.expansions);
+  EXPECT_EQ(counterValue(tel, "engine.moves.contraction"), res.counters.contractions);
+  EXPECT_EQ(counterValue(tel, "engine.moves.collapse"), res.counters.collapses);
+  EXPECT_EQ(counterValue(tel, "engine.resample_rounds"), res.counters.resampleRounds);
+  EXPECT_EQ(counterValue(tel, "engine.forced_resolutions"), res.counters.forcedResolutions);
+
+  // Every k-sigma decision was accounted: the resolution histogram has one
+  // observation per comparison and its sum is the total resample rounds.
+  auto& rounds = tel.metrics().histogram("engine.pc.rounds_per_comparison",
+                                         {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  EXPECT_EQ(rounds.count(), counterValue(tel, "engine.pc.comparisons"));
+  EXPECT_GT(rounds.count(), 0);
+  EXPECT_DOUBLE_EQ(rounds.sum(),
+                   static_cast<double>(counterValue(tel, "engine.resample_rounds")));
+
+  // Spans: one engine.run root plus one engine.iteration per step, all
+  // parented on the run span, with zero duration on the frozen clock.
+  std::int64_t runSpans = 0;
+  std::int64_t iterSpans = 0;
+  std::uint64_t runId = 0;
+  for (const auto& e : sink.events) {
+    if (e.type != "span") continue;
+    if (e.name == "engine.run") {
+      ++runSpans;
+      runId = e.id;
+      EXPECT_EQ(e.str("reason"), toString(res.reason));
+      EXPECT_EQ(e.num("iterations"), static_cast<double>(res.iterations));
+    } else if (e.name == "engine.iteration") {
+      ++iterSpans;
+      EXPECT_DOUBLE_EQ(e.duration, 0.0);
+      EXPECT_TRUE(e.str("move").has_value());
+    }
+  }
+  EXPECT_EQ(runSpans, 1);
+  EXPECT_EQ(iterSpans, res.iterations);
+  for (const auto& e : sink.events) {
+    if (e.type == "span" && e.name == "engine.iteration") EXPECT_EQ(e.parent, runId);
+  }
+
+  // The appended trace columns share the same per-step deltas: wall time is
+  // exactly zero on the frozen clock, and the resample rounds sum to the
+  // run totals.
+  std::int64_t traceRounds = 0;
+  for (const auto& r : res.trace.steps()) {
+    EXPECT_DOUBLE_EQ(r.wallSeconds, 0.0);
+    traceRounds += r.resampleRounds;
+  }
+  EXPECT_EQ(traceRounds, res.counters.gateWaitRounds + res.counters.resampleRounds);
+}
+
+TEST(EngineTelemetry, StepWallSecondsTracksManualClock) {
+  CaptureSink sink;
+  telemetry::ManualClock clock;
+  telemetry::Telemetry tel(sink, clock);
+
+  // Advance the clock inside the objective: every sample costs 0.001
+  // manual-clock seconds, so per-iteration wall deltas are nonzero and the
+  // histogram sum equals the clock's total advance during the run.
+  auto base = test::noisySphere(2, 1.0);
+  struct TickingObjective final : noise::StochasticObjective {
+    noise::NoisyFunction* inner = nullptr;
+    telemetry::ManualClock* clock = nullptr;
+    [[nodiscard]] std::size_t dimension() const override { return inner->dimension(); }
+    [[nodiscard]] double sampleDuration() const override { return inner->sampleDuration(); }
+    [[nodiscard]] double sample(std::span<const double> x,
+                                noise::SampleKey key) const override {
+      clock->advance(0.001);
+      return inner->sample(x, key);
+    }
+    [[nodiscard]] std::optional<double> trueValue(std::span<const double> x) const override {
+      return inner->trueValue(x);
+    }
+  } obj;
+  obj.inner = &base;
+  obj.clock = &clock;
+
+  core::MaxNoiseOptions o;
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxIterations = 10;
+  o.common.telemetry = &tel;
+  const double start = clock.now();
+  const auto res = core::runMaxNoise(obj, test::simpleStart(2), o);
+  (void)res;
+
+  auto& wall = tel.metrics().histogram("engine.step_wall_seconds",
+                                       telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
+  EXPECT_EQ(wall.count(), res.iterations);
+  EXPECT_GT(wall.sum(), 0.0);
+  EXPECT_LE(wall.sum(), clock.now() - start);
+}
+
+TEST(EngineTelemetry, MaxNoiseGateRecordsStallInVirtualSeconds) {
+  CaptureSink sink;
+  telemetry::ManualClock clock;
+  telemetry::Telemetry tel(sink, clock);
+
+  auto obj = test::noisySphere(2, 5.0);  // noisy: the gate must stall
+  core::MaxNoiseOptions o;
+  o.common.termination.tolerance = 0.0;
+  o.common.termination.maxIterations = 15;
+  o.common.telemetry = &tel;
+  const auto res = core::runMaxNoise(obj, test::simpleStart(2), o);
+
+  ASSERT_GT(res.counters.gateWaitRounds, 0);
+  EXPECT_EQ(counterValue(tel, "engine.gate_wait_rounds"), res.counters.gateWaitRounds);
+  auto& stall = tel.metrics().histogram("engine.gate_stall_seconds",
+                                        telemetry::Histogram::exponentialBounds(0.1, 10.0, 7));
+  // The gate stalls in *virtual* time (the paper's cost model): the manual
+  // wall clock never moved, yet the stall histogram accumulated the
+  // resampling time charged on the sampling clock.
+  EXPECT_GT(stall.count(), 0);
+  EXPECT_GT(stall.sum(), 0.0);
+  EXPECT_LE(stall.sum(), res.elapsedTime);
+}
+
+TEST(EngineTelemetry, NullTelemetryLeavesEngineUninstrumented) {
+  auto obj = test::noisySphere(2, 1.0);
+  core::PCOptions o;
+  o.common.termination.maxIterations = 10;
+  o.common.recordTrace = true;
+  const auto res = core::runPointToPoint(obj, test::simpleStart(2), o);
+  EXPECT_GT(res.iterations, 0);
+  // wallSeconds still fills from the fallback steady clock.
+  for (const auto& r : res.trace.steps()) EXPECT_GE(r.wallSeconds, 0.0);
+}
+
+}  // namespace

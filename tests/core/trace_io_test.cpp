@@ -44,11 +44,11 @@ TEST(TraceIo, CsvHeaderAndRows) {
   std::getline(ss, line);
   EXPECT_EQ(line,
             "iteration,time,best_estimate,best_true,diameter,contraction_level,move,"
-            "total_samples");
+            "total_samples,wall_seconds,resample_rounds");
   std::getline(ss, line);
-  EXPECT_EQ(line, "1,10.5,3.25,3,1.5,0,reflection,42");
+  EXPECT_EQ(line, "1,10.5,3.25,3,1.5,0,reflection,42,0,0");
   std::getline(ss, line);
-  EXPECT_EQ(line, "2,20,1,,0,0,collapse,99");  // empty best_true field
+  EXPECT_EQ(line, "2,20,1,,0,0,collapse,99,0,0");  // empty best_true field
   EXPECT_FALSE(std::getline(ss, line));
 }
 

@@ -1,0 +1,86 @@
+// Exporter tests: Prometheus text exposition, CSV summary, and the
+// metric-to-structured-event dump used by `--telemetry-out`.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+
+namespace {
+
+using namespace sfopt::telemetry;
+
+class CaptureSink final : public EventSink {
+ public:
+  void emit(const Event& e) override { events.push_back(e); }
+  std::vector<Event> events;
+};
+
+MetricsRegistry& populated(MetricsRegistry& reg) {
+  reg.counter("engine.iterations").add(40);
+  reg.gauge("mw.workers").set(3.0);
+  Histogram& h = reg.histogram("md.force_eval_seconds", {0.001, 0.01});
+  h.observe(0.0005);
+  h.observe(0.005);
+  h.observe(0.5);
+  return reg;
+}
+
+TEST(PrometheusExport, WritesSanitizedFamilies) {
+  MetricsRegistry reg;
+  std::ostringstream out;
+  writePrometheusText(populated(reg), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE sfopt_engine_iterations counter"), std::string::npos);
+  EXPECT_NE(text.find("sfopt_engine_iterations 40"), std::string::npos);
+  EXPECT_NE(text.find("sfopt_mw_workers 3"), std::string::npos);
+  // Histogram buckets are cumulative with a +Inf bucket and sum/count.
+  EXPECT_NE(text.find("sfopt_md_force_eval_seconds_bucket{le=\"0.001\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("sfopt_md_force_eval_seconds_bucket{le=\"0.01\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("sfopt_md_force_eval_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("sfopt_md_force_eval_seconds_count 3"), std::string::npos);
+}
+
+TEST(CsvExport, OneRowPerMetricWithHeader) {
+  MetricsRegistry reg;
+  std::ostringstream out;
+  writeCsvSummary(populated(reg), out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "name,kind,count,sum,value");
+  EXPECT_EQ(lines[1], "engine.iterations,counter,,,40");
+  EXPECT_EQ(lines[2].rfind("md.force_eval_seconds,histogram,3,", 0), 0u);
+  EXPECT_EQ(lines[3], "mw.workers,gauge,,,3");
+}
+
+TEST(MetricEvents, DumpsEveryMetricAsStructuredEvent) {
+  MetricsRegistry reg;
+  CaptureSink sink;
+  const std::size_t n = writeMetricEvents(populated(reg), sink, 42.0);
+  EXPECT_EQ(n, 3u);
+  ASSERT_EQ(sink.events.size(), 3u);
+  for (const Event& e : sink.events) {
+    EXPECT_EQ(e.type, "metric");
+    EXPECT_DOUBLE_EQ(e.time, 42.0);
+  }
+  // Snapshot order is by name: engine.iterations, md..., mw.workers.
+  EXPECT_EQ(sink.events[0].name, "engine.iterations");
+  EXPECT_EQ(sink.events[0].str("kind"), "counter");
+  EXPECT_EQ(sink.events[0].num("value"), 40.0);
+  EXPECT_EQ(sink.events[1].str("kind"), "histogram");
+  EXPECT_EQ(sink.events[1].num("count"), 3.0);
+  ASSERT_TRUE(sink.events[1].num("mean").has_value());
+  EXPECT_NEAR(*sink.events[1].num("mean"), (0.0005 + 0.005 + 0.5) / 3.0, 1e-12);
+  EXPECT_EQ(sink.events[2].str("kind"), "gauge");
+  EXPECT_EQ(sink.events[2].num("value"), 3.0);
+}
+
+}  // namespace

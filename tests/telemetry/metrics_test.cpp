@@ -1,0 +1,121 @@
+// MetricsRegistry unit tests: register-or-get semantics, kind mismatch
+// detection, histogram bucketing, and the lock-free update path under
+// concurrent writers.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using namespace sfopt::telemetry;
+
+TEST(MetricsRegistry, CounterRegisterOrGetReturnsStableHandle) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("engine.iterations");
+  Counter& b = reg.counter("engine.iterations");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add();
+  EXPECT_EQ(a.value(), 4);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastValueWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("mw.workers");
+  g.set(3.0);
+  g.set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("x", {1.0}), std::invalid_argument);
+  (void)reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW((void)reg.histogram("h", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_NO_THROW((void)reg.histogram("h", {1.0, 2.0}));
+}
+
+TEST(Histogram, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +inf
+  const auto counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.5 / 4.0);
+}
+
+TEST(Histogram, EmptyBoundsStillCountsAndSums) {
+  Histogram h({});
+  h.observe(2.0);
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  ASSERT_EQ(h.bucketCounts().size(), 1u);
+  EXPECT_EQ(h.bucketCounts()[0], 2);
+}
+
+TEST(Histogram, ExponentialBoundsGrowGeometrically) {
+  const auto b = Histogram::exponentialBounds(1e-3, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-3);
+  EXPECT_DOUBLE_EQ(b[1], 1e-2);
+  EXPECT_NEAR(b[3], 1.0, 1e-12);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(2);
+  reg.gauge("a.level").set(1.5);
+  reg.histogram("c.lat", {1.0}).observe(0.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a.level");
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::Gauge);
+  EXPECT_DOUBLE_EQ(snap[0].numValue, 1.5);
+  EXPECT_EQ(snap[1].name, "b.count");
+  EXPECT_EQ(snap[1].intValue, 2);
+  EXPECT_EQ(snap[2].name, "c.lat");
+  EXPECT_EQ(snap[2].count, 1);
+  ASSERT_EQ(snap[2].bucketCounts.size(), 2u);
+  EXPECT_EQ(snap[2].bucketCounts[0], 1);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesThroughHandlesAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("lat", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(0.25);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.25 * kThreads * kPerThread);
+  EXPECT_EQ(h.bucketCounts()[0], kThreads * kPerThread);
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// SpanTracer + JSONL wire-format tests.  All timing drives a ManualClock,
+// so asserted durations are exact — no wall-clock flakiness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/span.hpp"
+
+namespace {
+
+using namespace sfopt::telemetry;
+
+/// Captures emitted events in memory.
+class CaptureSink final : public EventSink {
+ public:
+  void emit(const Event& e) override { events.push_back(e); }
+  std::vector<Event> events;
+};
+
+TEST(SpanTracer, EmitsSpanWithExactDurationOnEnd) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+
+  clock.set(10.0);
+  const auto id = tracer.begin("engine.run");
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(tracer.openSpans(), 1u);
+
+  clock.advance(2.5);
+  tracer.end(id, {{"reason", "tolerance"}}, {{"iterations", 40.0}});
+  EXPECT_EQ(tracer.openSpans(), 0u);
+
+  ASSERT_EQ(sink.events.size(), 1u);
+  const Event& e = sink.events[0];
+  EXPECT_EQ(e.type, "span");
+  EXPECT_EQ(e.name, "engine.run");
+  EXPECT_DOUBLE_EQ(e.time, 10.0);
+  EXPECT_DOUBLE_EQ(e.duration, 2.5);
+  EXPECT_EQ(e.id, id);
+  EXPECT_EQ(e.str("reason"), "tolerance");
+  EXPECT_EQ(e.num("iterations"), 40.0);
+}
+
+TEST(SpanTracer, ParentChildNesting) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+
+  const auto outer = tracer.begin("cli.optimize");
+  const auto inner = tracer.begin("engine.run", outer);
+  clock.advance(1.0);
+  tracer.end(inner);
+  tracer.end(outer);
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].name, "engine.run");
+  EXPECT_EQ(sink.events[0].parent, outer);
+  EXPECT_EQ(sink.events[1].parent, 0u);
+}
+
+TEST(SpanTracer, EndOfUnknownIdIsIgnored) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+  tracer.end(999);
+  EXPECT_TRUE(sink.events.empty());
+}
+
+TEST(SpanTracer, EmitCompleteWritesRetroactiveSpan) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+  clock.set(5.0);
+  const auto id = tracer.emitComplete("engine.iteration", 3.0, 7, {{"move", "reflection"}},
+                                      {{"samples", 120.0}});
+  EXPECT_NE(id, 0u);
+  ASSERT_EQ(sink.events.size(), 1u);
+  const Event& e = sink.events[0];
+  EXPECT_DOUBLE_EQ(e.time, 3.0);
+  EXPECT_DOUBLE_EQ(e.duration, 2.0);
+  EXPECT_EQ(e.parent, 7u);
+  EXPECT_EQ(e.str("move"), "reflection");
+}
+
+TEST(ScopedSpan, EndsOnDestruction) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+  {
+    ScopedSpan span(tracer, "md.production");
+    clock.advance(0.5);
+  }
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.events[0].duration, 0.5);
+}
+
+TEST(JsonLine, RoundTripsThroughParser) {
+  Event e;
+  e.type = "span";
+  e.name = "mw.batch";
+  e.time = 1.25;
+  e.duration = 0.5;
+  e.id = 3;
+  e.parent = 1;
+  e.strFields = {{"phase", "production"}};
+  e.numFields = {{"tasks", 12.0}};
+
+  const std::string line = toJsonLine(e);
+  const auto back = parseJsonLine(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, "span");
+  EXPECT_EQ(back->name, "mw.batch");
+  EXPECT_DOUBLE_EQ(back->time, 1.25);
+  EXPECT_DOUBLE_EQ(back->duration, 0.5);
+  EXPECT_EQ(back->id, 3u);
+  EXPECT_EQ(back->parent, 1u);
+  EXPECT_EQ(back->str("phase"), "production");
+  EXPECT_EQ(back->num("tasks"), 12.0);
+}
+
+TEST(JsonLine, EscapesSpecialCharacters) {
+  Event e;
+  e.type = "event";
+  e.name = "weird \"name\"\n";
+  const auto back = parseJsonLine(toJsonLine(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "weird \"name\"\n");
+}
+
+TEST(JsonLine, MalformedLinesParseToNullopt) {
+  EXPECT_FALSE(parseJsonLine("").has_value());
+  EXPECT_FALSE(parseJsonLine("not json").has_value());
+  EXPECT_FALSE(parseJsonLine("{\"name\":\"x\"}").has_value());  // no type
+  EXPECT_FALSE(parseJsonLine("{\"type\":\"span\",").has_value());
+}
+
+TEST(JsonlSink, WritesOneLinePerEvent) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  Event e;
+  e.type = "metric";
+  e.name = "engine.iterations";
+  sink.emit(e);
+  e.name = "mw.batches";
+  sink.emit(e);
+  EXPECT_EQ(sink.eventsWritten(), 2u);
+
+  std::istringstream in(out.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(parseJsonLine(line).has_value());
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+}  // namespace

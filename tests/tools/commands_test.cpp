@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/sink.hpp"
+
 namespace {
 
 using namespace sfopt::tools;
@@ -163,6 +165,83 @@ TEST(Cli, CheckpointAndResumeContinueARun) {
 TEST(Cli, CheckpointRejectedForSwarmAndAnnealing) {
   EXPECT_EQ(cli({"optimize", "--algorithm", "pso", "--checkpoint", "/tmp/x.ckpt"}).code, 2);
   EXPECT_EQ(cli({"optimize", "--algorithm", "sa", "--resume", "/tmp/x.ckpt"}).code, 2);
+}
+
+TEST(Cli, MdJsonEmitsStableMachineReadableReport) {
+  const auto r = cli({"md", "--molecules", "8", "--equilibration", "20", "--production",
+                      "40", "--cutoff", "3.0", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // The report is one flat JSON object on the first line, in the telemetry
+  // wire format, so the JSONL parser round-trips it.
+  const std::string firstLine = r.out.substr(0, r.out.find('\n'));
+  const auto report = sfopt::telemetry::parseJsonLine(firstLine);
+  ASSERT_TRUE(report.has_value()) << firstLine;
+  EXPECT_EQ(report->type, "md_report");
+  EXPECT_EQ(report->num("molecules"), 8.0);
+  EXPECT_EQ(report->num("production_steps"), 40.0);
+  ASSERT_TRUE(report->num("potential_per_molecule_kcal").has_value());
+  ASSERT_TRUE(report->num("force_evaluations").has_value());
+  EXPECT_GT(*report->num("force_evaluations"), 0.0);
+  EXPECT_TRUE(report->num("nve_drift_kcal_per_ps").has_value());
+}
+
+TEST(Cli, TelemetryOutCapturesEngineMwAndCliLayers) {
+  namespace fs = std::filesystem;
+  const fs::path jsonl = fs::temp_directory_path() / "sfopt_cli_telemetry.jsonl";
+  fs::remove(jsonl);
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm", "mn",
+                      "--sigma0", "1", "--mw", "--workers", "2", "--max-iterations", "30",
+                      "--max-samples", "50000", "--telemetry-out", jsonl.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("telemetry:"), std::string::npos);
+  ASSERT_TRUE(fs::exists(jsonl));
+
+  const auto events = sfopt::telemetry::readJsonlEvents(jsonl);
+  ASSERT_FALSE(events.empty());
+  bool engineRun = false, mwBatch = false, cliSpan = false, metric = false;
+  for (const auto& e : events) {
+    engineRun |= e.type == "span" && e.name == "engine.run";
+    mwBatch |= e.type == "span" && e.name == "mw.batch";
+    cliSpan |= e.type == "span" && e.name == "cli.optimize";
+    metric |= e.type == "metric" && e.name == "engine.iterations";
+  }
+  EXPECT_TRUE(engineRun);
+  EXPECT_TRUE(mwBatch);
+  EXPECT_TRUE(cliSpan);
+  EXPECT_TRUE(metric);
+
+  // `sfopt metrics` renders the capture with layer coverage.
+  const auto m = cli({"metrics", jsonl.string()});
+  ASSERT_EQ(m.code, 0) << m.err;
+  EXPECT_NE(m.out.find("spans (seconds):"), std::string::npos);
+  EXPECT_NE(m.out.find("engine.iterations"), std::string::npos);
+  EXPECT_NE(m.out.find("engine[x] mw[x]"), std::string::npos);
+  fs::remove(jsonl);
+}
+
+TEST(Cli, TelemetryAppendAccumulatesAllFourLayers) {
+  namespace fs = std::filesystem;
+  const fs::path jsonl = fs::temp_directory_path() / "sfopt_cli_telemetry_all.jsonl";
+  fs::remove(jsonl);
+  ASSERT_EQ(cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm", "mn",
+                 "--sigma0", "1", "--mw", "--workers", "2", "--max-iterations", "20",
+                 "--max-samples", "50000", "--telemetry-out", jsonl.string()})
+                .code,
+            0);
+  ASSERT_EQ(cli({"md", "--molecules", "8", "--equilibration", "20", "--production", "40",
+                 "--cutoff", "3.0", "--telemetry-out", jsonl.string(),
+                 "--telemetry-append"})
+                .code,
+            0);
+  const auto m = cli({"metrics", "--in", jsonl.string()});
+  ASSERT_EQ(m.code, 0) << m.err;
+  EXPECT_NE(m.out.find("engine[x] mw[x] md[x] cli[x]"), std::string::npos) << m.out;
+  fs::remove(jsonl);
+}
+
+TEST(Cli, MetricsRejectsMissingInput) {
+  EXPECT_EQ(cli({"metrics"}).code, 2);
+  EXPECT_EQ(cli({"metrics", "/no/such/file.jsonl"}).code, 2);
 }
 
 TEST(Cli, TraceFlagWritesCsv) {

@@ -1,6 +1,9 @@
 #include "commands.hpp"
 
+#include <algorithm>
 #include <functional>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -14,6 +17,11 @@
 #include "md/simulation.hpp"
 #include "mw/parallel_runner.hpp"
 #include "noise/noisy_function.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
 #include "testfunctions/functions.hpp"
 #include "water/cost.hpp"
 #include "water/experimental.hpp"
@@ -65,6 +73,39 @@ void printResult(std::ostream& out, const core::OptimizationResult& res) {
       << " collapses\n";
 }
 
+/// CLI-side observability wiring for `--telemetry-out <file.jsonl>`: opens
+/// the JSONL sink (`--telemetry-append` accumulates runs into one file),
+/// hosts the Telemetry spine the command threads through its layers, and
+/// opens a `cli.<command>` root span.  finish() dumps every registered
+/// metric as a structured event, closes the span, and reports the file.
+struct CliTelemetry {
+  std::unique_ptr<telemetry::JsonlSink> jsonl;
+  std::unique_ptr<telemetry::Telemetry> spine;
+  std::uint64_t rootSpan = 0;
+  std::string path;
+
+  static CliTelemetry open(const Args& args, const std::string& command) {
+    CliTelemetry t;
+    if (!args.has("telemetry-out")) return t;
+    t.path = args.requireString("telemetry-out");
+    t.jsonl = std::make_unique<telemetry::JsonlSink>(t.path,
+                                                     args.getBool("telemetry-append", false));
+    t.spine = std::make_unique<telemetry::Telemetry>(*t.jsonl);
+    t.rootSpan = t.spine->tracer().begin("cli." + command);
+    return t;
+  }
+
+  [[nodiscard]] telemetry::Telemetry* get() const noexcept { return spine.get(); }
+
+  void finish(std::ostream& out) {
+    if (!spine) return;
+    (void)telemetry::writeMetricEvents(spine->metrics(), *jsonl, spine->tracer().now());
+    spine->tracer().end(rootSpan);
+    jsonl->flush();
+    out << "telemetry: " << jsonl->eventsWritten() << " events -> " << path << "\n";
+  }
+};
+
 }  // namespace
 
 int runOptimizeCommand(const Args& args, std::ostream& out) {
@@ -88,6 +129,8 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
 
   const auto term = terminationFrom(args);
   const bool wantTrace = args.has("trace");
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "optimize");
+  telemetry::Telemetry* const tel = telemetrySession.get();
 
   // Checkpoint/resume plumbing (simplex algorithms only).
   core::SimplexCheckpoint resumeState;
@@ -98,6 +141,7 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
   }
   if (wantResume) resumeState = core::loadCheckpoint(args.requireString("resume"));
   auto applyCheckpointing = [&](core::CommonOptions& common) {
+    common.telemetry = tel;
     if (wantResume) common.resumeFrom = &resumeState;
     if (wantCheckpoint) {
       const std::string path = args.requireString("checkpoint");
@@ -169,6 +213,7 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
       mw::MWRunConfig cfg;
       cfg.workers = static_cast<int>(args.getInt("workers", 0));
       cfg.clientsPerWorker = static_cast<int>(args.getInt("clients", 1));
+      cfg.telemetry = tel;
       const auto run = mw::runSimplexOverMW(objective, start, options, cfg);
       out << "master-worker deployment: " << run.allocation.workers() << " workers, "
           << run.allocation.totalCores() << " cores (Table 3.3 rule), " << run.messagesSent
@@ -197,6 +242,7 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
     core::saveTraceCsv(path, res.trace);
     out << "trace:    " << res.trace.size() << " rows -> " << path << "\n";
   }
+  telemetrySession.finish(out);
   return 0;
 }
 
@@ -212,15 +258,19 @@ int runWaterCommand(const Args& args, std::ostream& out) {
   if (!args.has("max-samples")) term.maxSamples = 4'000'000;
   if (!args.has("tolerance")) term.tolerance = 1e-3;
 
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "water");
+
   core::OptimizationResult res;
   if (algo == "mn") {
     core::MaxNoiseOptions o;
     o.common.termination = term;
+    o.common.telemetry = telemetrySession.get();
     res = core::runMaxNoise(objective, start, o);
   } else if (algo == "pc" || algo == "pcmn") {
     core::PCOptions o;
     o.maxNoiseGate = algo == "pcmn";
     o.common.termination = term;
+    o.common.telemetry = telemetrySession.get();
     res = core::runPointToPoint(objective, start, o);
   } else {
     throw ArgError("water supports --algorithm mn, pc or pcmn");
@@ -235,6 +285,7 @@ int runWaterCommand(const Args& args, std::ostream& out) {
       << *objective.trueValue(std::vector<double>{tip4p.epsilon, tip4p.sigma, tip4p.qH})
       << "\n";
   printResult(out, res);
+  telemetrySession.finish(out);
   return 0;
 }
 
@@ -273,7 +324,40 @@ int runMdCommand(const Args& args, std::ostream& out) {
   params.sigma = args.getDouble("sigma", params.sigma);
   params.qH = args.getDouble("qh", params.qH);
 
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "md");
+  cfg.telemetry = telemetrySession.get();
+
   const md::WaterObservables obs = md::simulateWater(params, cfg);
+
+  if (args.getBool("json", false)) {
+    // Stable machine-readable report: one flat JSON object per run, in the
+    // same wire form as the telemetry JSONL (parseJsonLine round-trips it).
+    telemetry::Event e;
+    e.type = "md_report";
+    e.name = "md";
+    e.numFields = {
+        {"molecules", static_cast<double>(cfg.molecules)},
+        {"equilibration_steps", static_cast<double>(cfg.equilibrationSteps)},
+        {"production_steps", static_cast<double>(cfg.productionSteps)},
+        {"dt_ps", cfg.dtPs},
+        {"potential_per_molecule_kcal", obs.potentialPerMoleculeKcal},
+        {"potential_standard_error", obs.potentialStandardError},
+        {"pressure_atm", obs.pressureAtm},
+        {"temperature_k", obs.temperatureK},
+        {"diffusion_cm2_per_s", obs.diffusionCm2PerS},
+        {"nve_drift_kcal_per_ps", obs.nveDriftKcalPerPs},
+        {"production_frames", static_cast<double>(obs.productionFrames)},
+        {"force_evaluations", static_cast<double>(obs.perf.forceEvaluations)},
+        {"pairs_per_evaluation", obs.perf.pairsPerEvaluation()},
+        {"neighbor_rebuilds", static_cast<double>(obs.perf.neighborRebuilds)},
+        {"force_threads", static_cast<double>(obs.perf.forceThreads)},
+        {"cell_list_used", obs.perf.cellListUsed ? 1.0 : 0.0},
+    };
+    out << telemetry::toJsonLine(e) << "\n";
+    telemetrySession.finish(out);
+    return 0;
+  }
+
   out << "protocol:     " << cfg.molecules << " molecules, " << cfg.equilibrationSteps
       << " NVT + " << cfg.productionSteps << " NVE steps, dt " << cfg.dtPs << " ps\n";
   out << "<U>/molecule: " << obs.potentialPerMoleculeKcal << " kcal/mol (+/- "
@@ -294,6 +378,95 @@ int runMdCommand(const Args& args, std::ostream& out) {
       << perf.pairsPerEvaluation() << " pairs/eval, " << perf.neighborRebuilds
       << " rebuilds (max drift " << perf.maxDriftSeen << " A), "
       << perf.forceSeconds << " s in forces\n";
+  telemetrySession.finish(out);
+  return 0;
+}
+
+int runMetricsCommand(const Args& args, std::ostream& out) {
+  const std::string path = args.has("in") ? args.requireString("in")
+                           : !args.positional().empty()
+                               ? args.positional().front()
+                               : throw ArgError("metrics needs a JSONL file: sfopt metrics "
+                                                "<file> (or --in <file>)");
+  std::vector<telemetry::Event> events;
+  try {
+    events = telemetry::readJsonlEvents(path);
+  } catch (const std::exception& e) {
+    throw ArgError(e.what());
+  }
+
+  // Span roll-up: count / total / mean / max duration per span name.
+  struct SpanAgg {
+    std::int64_t count = 0;
+    double total = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::vector<const telemetry::Event*> metricEvents;
+  for (const telemetry::Event& e : events) {
+    if (e.type == "span" && e.duration >= 0.0) {
+      SpanAgg& a = spans[e.name];
+      ++a.count;
+      a.total += e.duration;
+      a.max = std::max(a.max, e.duration);
+    } else if (e.type == "metric") {
+      metricEvents.push_back(&e);
+    }
+  }
+
+  out << events.size() << " events in " << path << "\n";
+
+  if (!spans.empty()) {
+    out << "\nspans (seconds):\n";
+    out << "  name                                count        total         mean          max\n";
+    for (const auto& [name, a] : spans) {
+      out << "  ";
+      out.width(34);
+      out << std::left << name << std::right;
+      out.width(7);
+      out << a.count << "  ";
+      out.width(11);
+      out << a.total << "  ";
+      out.width(11);
+      out << a.total / static_cast<double>(a.count) << "  ";
+      out.width(11);
+      out << a.max << "\n";
+    }
+  }
+
+  if (!metricEvents.empty()) {
+    out << "\nmetrics (last export wins):\n";
+    // The file may hold several exports (--telemetry-append); keep the
+    // final value per name, which is the cumulative registry state.
+    std::map<std::string, const telemetry::Event*> last;
+    for (const telemetry::Event* e : metricEvents) last[e->name] = e;
+    for (const auto& [name, e] : last) {
+      out << "  ";
+      out.width(34);
+      out << std::left << name << std::right;
+      const auto kind = e->str("kind").value_or("?");
+      if (kind == "histogram") {
+        out << " count " << e->num("count").value_or(0.0) << "  sum "
+            << e->num("sum").value_or(0.0);
+        if (const auto mean = e->num("mean")) out << "  mean " << *mean;
+      } else {
+        out << " " << e->num("value").value_or(0.0);
+      }
+      out << "\n";
+    }
+  }
+
+  // Layer coverage: which instrumented layers contributed events.
+  const char* const layers[] = {"engine.", "mw.", "md.", "cli."};
+  out << "\nlayers:";
+  for (const char* prefix : layers) {
+    const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
+      return e.name.rfind(prefix, 0) == 0;
+    });
+    out << " " << std::string_view(prefix).substr(0, std::string_view(prefix).size() - 1)
+        << (covered ? "[x]" : "[ ]");
+  }
+  out << "\n";
   return 0;
 }
 
@@ -305,8 +478,12 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
   out << "  probe    --function F --dim D --point x,y,... --samples N\n";
-  out << "  md       --molecules N --force-threads T --equilibration E --production P\n";
+  out << "  md       --molecules N --force-threads T --equilibration E --production P "
+         "[--json]\n";
+  out << "  metrics  <file.jsonl>  (summarize a --telemetry-out capture)\n";
   out << "  info\n";
+  out << "telemetry:  add --telemetry-out run.jsonl [--telemetry-append] to optimize,\n";
+  out << "            water, or md to capture structured spans and metrics\n";
   return 0;
 }
 
@@ -318,6 +495,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     if (cmd == "water") return runWaterCommand(args, out);
     if (cmd == "probe") return runProbeCommand(args, out);
     if (cmd == "md") return runMdCommand(args, out);
+    if (cmd == "metrics") return runMetricsCommand(args, out);
     if (cmd == "info" || cmd.empty()) return runInfoCommand(args, out);
     err << "unknown command '" << cmd << "'\n";
     (void)runInfoCommand(args, err);

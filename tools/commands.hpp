@@ -26,6 +26,11 @@ int runProbeCommand(const Args& args, std::ostream& out);
 /// nonbonded loop and the cell-list neighbor build.
 int runMdCommand(const Args& args, std::ostream& out);
 
+/// `sfopt metrics` — summarize a `--telemetry-out` JSONL capture: span
+/// roll-ups (count/total/mean/max), final metric values, and which of the
+/// four instrumented layers (engine, mw, md, cli) the file covers.
+int runMetricsCommand(const Args& args, std::ostream& out);
+
 /// `sfopt info` — list algorithms, functions and build configuration.
 int runInfoCommand(const Args& args, std::ostream& out);
 
