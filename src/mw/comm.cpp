@@ -1,6 +1,7 @@
 #include "mw/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace sfopt::mw {
@@ -50,6 +51,36 @@ Message CommWorld::recv(Rank at, Rank source, int tag) {
       return m;
     }
     box.cv.wait(lock);
+  }
+}
+
+std::optional<Message> CommWorld::recvFor(Rank at, double timeoutSeconds, Rank source, int tag) {
+  checkRank(at, "recvFor");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(at)];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(std::max(0.0, timeoutSeconds)));
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                                 [&](const Message& m) { return matches(m, source, tag); });
+    if (it != box.queue.end()) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+    if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last scan: a message may have slipped in between the timeout
+      // and re-acquiring the lock.
+      const auto late = std::find_if(box.queue.begin(), box.queue.end(),
+                                     [&](const Message& m) { return matches(m, source, tag); });
+      if (late != box.queue.end()) {
+        Message m = std::move(*late);
+        box.queue.erase(late);
+        return m;
+      }
+      return std::nullopt;
+    }
   }
 }
 

@@ -9,56 +9,59 @@
 #include <vector>
 
 #include "mw/message_buffer.hpp"
+#include "net/transport.hpp"
 
 namespace sfopt::mw {
 
-/// Rank within a CommWorld.  Rank 0 is conventionally the master.
-using Rank = int;
-
-/// Matches any source rank or any tag in recv().
-inline constexpr Rank kAnySource = -1;
-inline constexpr int kAnyTag = -1;
-
-/// A received (or in-flight) message: payload plus envelope.
-struct Message {
-  Rank source = 0;
-  int tag = 0;
-  MessageBuffer payload;
-};
+/// The MW layer speaks the transport vocabulary; these aliases keep the
+/// historical sfopt::mw spellings working now that the definitions live
+/// with the Transport interface in sfopt::net.
+using Rank = net::Rank;
+using Message = net::Message;
+inline constexpr Rank kAnySource = net::kAnySource;
+inline constexpr int kAnyTag = net::kAnyTag;
 
 /// In-process message-passing "world": N ranks, each with a mailbox of
 /// tagged messages, point-to-point send/recv with MPI-like any-source /
-/// any-tag matching.  This is the transport under the re-implemented MW
-/// classes; the API is deliberately shaped so a cluster port could swap in
-/// MPI_Send/MPI_Recv without touching the MW layer.
+/// any-tag matching.  One of two Transport implementations under the MW
+/// classes — the other is the TCP pair in net/tcp_transport.hpp, which
+/// swaps real sockets and processes in without touching the MW layer.
 ///
 /// Thread-safety: each rank is intended to be driven by one thread, but
 /// sends may target any rank from any thread.
-class CommWorld {
+class CommWorld final : public net::Transport {
  public:
   explicit CommWorld(int size);
 
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(boxes_.size()); }
+  [[nodiscard]] int size() const noexcept override {
+    return static_cast<int>(boxes_.size());
+  }
 
   /// Deliver `payload` to `to`'s mailbox with the given tag, recording
   /// `from` as the source.  Never blocks (mailboxes are unbounded).
-  void send(Rank from, Rank to, int tag, MessageBuffer payload);
+  void send(Rank from, Rank to, int tag, MessageBuffer payload) override;
 
   /// Block until a message matching (source, tag) arrives at `at`; remove
   /// and return it.  kAnySource / kAnyTag match anything.
-  [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag);
+  [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag) override;
+
+  /// Deadline variant of recv(): wait at most `timeoutSeconds` for a
+  /// matching message, returning nullopt on timeout.
+  [[nodiscard]] std::optional<Message> recvFor(Rank at, double timeoutSeconds,
+                                               Rank source = kAnySource,
+                                               int tag = kAnyTag) override;
 
   /// Non-blocking probe-and-take: returns nullopt when no matching message
   /// is queued.
   [[nodiscard]] std::optional<Message> tryRecv(Rank at, Rank source = kAnySource,
-                                               int tag = kAnyTag);
+                                               int tag = kAnyTag) override;
 
   /// Number of queued messages at a rank (diagnostics).
   [[nodiscard]] std::size_t queuedAt(Rank at) const;
 
   /// Total messages and bytes ever sent (for the scale-up accounting).
-  [[nodiscard]] std::uint64_t messagesSent() const noexcept;
-  [[nodiscard]] std::uint64_t bytesSent() const noexcept;
+  [[nodiscard]] std::uint64_t messagesSent() const noexcept override;
+  [[nodiscard]] std::uint64_t bytesSent() const noexcept override;
 
  private:
   struct Mailbox {

@@ -1,5 +1,6 @@
 #include "mw/message_buffer.hpp"
 
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,84 +23,99 @@ void MessageBuffer::expectTag(Tag t) {
   }
 }
 
-void MessageBuffer::putRaw(const void* p, std::size_t n) {
-  const auto* b = static_cast<const std::byte*>(p);
-  bytes_.insert(bytes_.end(), b, b + n);
+void MessageBuffer::putU64(std::uint64_t v) {
+  // Fixed little-endian layout: buffers cross process (and potentially
+  // machine) boundaries over TCP, so the encoding must not depend on host
+  // byte order.  On LE hosts this emits the same bytes memcpy used to.
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
 }
 
-void MessageBuffer::getRaw(void* p, std::size_t n) {
-  if (cursor_ + n > bytes_.size()) {
+std::uint64_t MessageBuffer::getU64() {
+  if (cursor_ + 8 > bytes_.size()) {
     throw std::runtime_error("MessageBuffer: unpack past end of buffer");
   }
-  std::memcpy(p, bytes_.data() + cursor_, n);
-  cursor_ += n;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(bytes_[cursor_ + i]))
+         << (8 * i);
+  }
+  cursor_ += 8;
+  return v;
+}
+
+std::size_t MessageBuffer::remaining() const noexcept {
+  return bytes_.size() - cursor_;
 }
 
 void MessageBuffer::pack(double v) {
   putTag(Tag::Double);
-  putRaw(&v, sizeof v);
+  putU64(std::bit_cast<std::uint64_t>(v));
 }
 
 void MessageBuffer::pack(std::int64_t v) {
   putTag(Tag::Int64);
-  putRaw(&v, sizeof v);
+  putU64(static_cast<std::uint64_t>(v));
 }
 
 void MessageBuffer::pack(std::uint64_t v) {
   putTag(Tag::Uint64);
-  putRaw(&v, sizeof v);
+  putU64(v);
 }
 
 void MessageBuffer::pack(const std::string& v) {
   putTag(Tag::String);
-  const std::uint64_t n = v.size();
-  putRaw(&n, sizeof n);
-  putRaw(v.data(), v.size());
+  putU64(v.size());
+  const auto* b = reinterpret_cast<const std::byte*>(v.data());
+  bytes_.insert(bytes_.end(), b, b + v.size());
 }
 
 void MessageBuffer::pack(std::span<const double> v) {
   putTag(Tag::DoubleVector);
-  const std::uint64_t n = v.size();
-  putRaw(&n, sizeof n);
-  putRaw(v.data(), v.size_bytes());
+  putU64(v.size());
+  for (const double d : v) putU64(std::bit_cast<std::uint64_t>(d));
 }
 
 double MessageBuffer::unpackDouble() {
   expectTag(Tag::Double);
-  double v = 0.0;
-  getRaw(&v, sizeof v);
-  return v;
+  return std::bit_cast<double>(getU64());
 }
 
 std::int64_t MessageBuffer::unpackInt64() {
   expectTag(Tag::Int64);
-  std::int64_t v = 0;
-  getRaw(&v, sizeof v);
-  return v;
+  return static_cast<std::int64_t>(getU64());
 }
 
 std::uint64_t MessageBuffer::unpackUint64() {
   expectTag(Tag::Uint64);
-  std::uint64_t v = 0;
-  getRaw(&v, sizeof v);
-  return v;
+  return getU64();
 }
 
 std::string MessageBuffer::unpackString() {
   expectTag(Tag::String);
-  std::uint64_t n = 0;
-  getRaw(&n, sizeof n);
-  std::string v(n, '\0');
-  getRaw(v.data(), n);
+  const std::uint64_t n = getU64();
+  // Validate the length prefix against the bytes actually present before
+  // allocating: a corrupted or hostile prefix must not drive a huge
+  // allocation.
+  if (n > remaining()) {
+    throw std::runtime_error("MessageBuffer: string length prefix exceeds buffer");
+  }
+  std::string v(static_cast<std::size_t>(n), '\0');
+  std::memcpy(v.data(), bytes_.data() + cursor_, static_cast<std::size_t>(n));
+  cursor_ += static_cast<std::size_t>(n);
   return v;
 }
 
 std::vector<double> MessageBuffer::unpackDoubleVector() {
   expectTag(Tag::DoubleVector);
-  std::uint64_t n = 0;
-  getRaw(&n, sizeof n);
-  std::vector<double> v(n);
-  getRaw(v.data(), n * sizeof(double));
+  const std::uint64_t n = getU64();
+  if (n > remaining() / 8) {
+    throw std::runtime_error("MessageBuffer: vector length prefix exceeds buffer");
+  }
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(std::bit_cast<double>(getU64()));
   return v;
 }
 

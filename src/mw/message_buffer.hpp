@@ -13,9 +13,12 @@ namespace sfopt::mw {
 /// different type throws, catching protocol bugs at the boundary instead
 /// of corrupting task state.
 ///
-/// The wire format is a flat byte vector, so a buffer can be handed to any
-/// transport (the in-process mailboxes here, or a real MPI_Send in a
-/// cluster port of the comm layer).
+/// The wire format is a flat byte vector with fixed little-endian encoding
+/// for every multi-byte field, so a buffer can be handed to any transport
+/// (the in-process mailboxes, or the TCP transport in src/net) and decoded
+/// on a different host.  Length prefixes are validated against the bytes
+/// actually present before anything is allocated, so a truncated or
+/// corrupted buffer fails with a clean runtime_error.
 class MessageBuffer {
  public:
   MessageBuffer() = default;
@@ -57,8 +60,9 @@ class MessageBuffer {
 
   void putTag(Tag t);
   void expectTag(Tag t);
-  void putRaw(const void* p, std::size_t n);
-  void getRaw(void* p, std::size_t n);
+  void putU64(std::uint64_t v);
+  [[nodiscard]] std::uint64_t getU64();
+  [[nodiscard]] std::size_t remaining() const noexcept;
 
   std::vector<std::byte> bytes_;
   std::size_t cursor_ = 0;

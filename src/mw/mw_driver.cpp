@@ -8,10 +8,30 @@
 
 namespace sfopt::mw {
 
-MWDriver::MWDriver(CommWorld& comm) : comm_(comm) {
+MWDriver::MWDriver(net::Transport& comm) : comm_(comm) {
   if (comm_.size() < 2) {
     throw std::invalid_argument("MWDriver: need at least one worker rank");
   }
+  dead_.assign(static_cast<std::size_t>(comm_.size()), false);
+}
+
+bool MWDriver::isDead(Rank w) const noexcept {
+  const auto i = static_cast<std::size_t>(w);
+  return i < dead_.size() && dead_[i];
+}
+
+void MWDriver::ensureRank(Rank w) {
+  if (static_cast<std::size_t>(w) >= dead_.size()) {
+    dead_.resize(static_cast<std::size_t>(w) + 1, false);
+  }
+}
+
+int MWDriver::liveWorkerCount() const noexcept {
+  int live = 0;
+  for (Rank w = 1; w < comm_.size(); ++w) {
+    if (!isDead(w)) ++live;
+  }
+  return live;
 }
 
 void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
@@ -21,6 +41,7 @@ void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
   telTasksCompleted_ = &reg.counter("mw.tasks_completed");
   telTasksRequeued_ = &reg.counter("mw.tasks_requeued");
   telTasksDispatched_ = &reg.counter("mw.tasks_dispatched");
+  telWorkersLost_ = &reg.counter("mw.workers_lost");
   telBatches_ = &reg.counter("mw.batches");
   telQueueWait_ = &reg.histogram("mw.task.queue_wait_seconds",
                                  telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
@@ -73,9 +94,22 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
   // Dynamic dispatch over explicit free/busy worker state.  A worker that
   // failed a task is not handed the same task again while another pairing
   // is possible; when every assignable pairing is excluded and nothing is
-  // in flight, the exclusion is waived so progress is guaranteed.
+  // in flight, the exclusion is waived so progress is guaranteed.  Dead
+  // workers never receive tasks; inFlightId remembers what each busy
+  // worker is running so a lost worker's task can be requeued.
   std::vector<bool> busy(static_cast<std::size_t>(comm_.size()), false);
+  std::vector<std::uint64_t> inFlightId(static_cast<std::size_t>(comm_.size()), 0);
   int inFlight = 0;
+  ensureRank(comm_.size() - 1);
+  const auto growTo = [&](int worldSize) {
+    const auto s = static_cast<std::size_t>(worldSize);
+    if (busy.size() < s) {
+      busy.resize(s, false);
+      inFlightId.resize(s, 0);
+      workerBusySeconds.resize(s, 0.0);
+      ensureRank(worldSize - 1);
+    }
+  };
   auto assign = [&](Rank worker, std::size_t pendingIndex) {
     const std::uint64_t id = pending[pendingIndex];
     TaskState& st = tasks.at(id);
@@ -87,14 +121,16 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     }
     comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
     busy[static_cast<std::size_t>(worker)] = true;
+    inFlightId[static_cast<std::size_t>(worker)] = id;
     ++inFlight;
   };
   auto dispatchAll = [&] {
+    growTo(comm_.size());
     bool progressed = true;
     while (progressed && !pending.empty()) {
       progressed = false;
       for (Rank w = 1; w < comm_.size() && !pending.empty(); ++w) {
-        if (busy[static_cast<std::size_t>(w)]) continue;
+        if (busy[static_cast<std::size_t>(w)] || isDead(w)) continue;
         for (std::size_t i = 0; i < pending.size(); ++i) {
           if (tasks.at(pending[i]).lastFailedOn == w) continue;
           assign(w, i);
@@ -104,9 +140,9 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       }
       if (!progressed && inFlight == 0 && !pending.empty()) {
         // Every remaining pairing is excluded and nobody is working:
-        // waive the exclusion for the first free worker.
+        // waive the exclusion for the first free live worker.
         for (Rank w = 1; w < comm_.size(); ++w) {
-          if (!busy[static_cast<std::size_t>(w)]) {
+          if (!busy[static_cast<std::size_t>(w)] && !isDead(w)) {
             assign(w, 0);
             progressed = true;
             break;
@@ -115,17 +151,53 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       }
     }
   };
+  // Requeue the task a worker failed (kTagError) or died holding
+  // (kTagWorkerLost).  Either way the attempt counts against the retry
+  // budget — a task that kills every worker it lands on must not cycle
+  // through the cluster forever.
+  auto requeueFrom = [&](Rank worker, std::uint64_t id, const std::string& why) {
+    const auto it = tasks.find(id);
+    if (it == tasks.end()) {
+      throw std::runtime_error("MWDriver: failure report for unknown task id");
+    }
+    --inFlight;
+    ++tasksRequeued_;
+    busy[static_cast<std::size_t>(worker)] = false;
+    inFlightId[static_cast<std::size_t>(worker)] = 0;
+    TaskState& st = it->second;
+    st.lastFailedOn = worker;
+    if (telemetry_ != nullptr) {
+      // Failed attempts still occupied the worker; count the time as busy
+      // so utilization reflects wasted capacity, and restart the task's
+      // queue-wait clock for the retry.
+      workerBusySeconds[static_cast<std::size_t>(worker)] += telNow() - st.dispatchedAt;
+      telTasksRequeued_->add(1);
+      st.enqueuedAt = telNow();
+    }
+    if (++st.retries > maxRetries_) {
+      throw std::runtime_error("MWDriver: task failed after " +
+                               std::to_string(maxRetries_) + " retries: " + why);
+    }
+    pending.push_front(id);
+  };
   dispatchAll();
 
   std::size_t done = 0;
   while (done < n) {
-    Message msg = comm_.recv(0);
+    std::optional<Message> maybe = comm_.recvFor(0, recvTimeoutSeconds_);
+    if (!maybe.has_value()) {
+      throw std::runtime_error(
+          "MWDriver: no worker message for " + std::to_string(recvTimeoutSeconds_) +
+          "s with " + std::to_string(n - done) + " task(s) outstanding");
+    }
+    Message msg = std::move(*maybe);
     if (msg.tag == kTagResult) {
       const std::uint64_t id = msg.payload.unpackUint64();
       const auto it = tasks.find(id);
       if (it == tasks.end()) {
         throw std::runtime_error("MWDriver: result for unknown task id");
       }
+      growTo(msg.source + 1);
       if (telemetry_ != nullptr) {
         const double d = telNow() - it->second.dispatchedAt;
         telExecute_->observe(d);
@@ -138,32 +210,33 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       ++tasksCompleted_;
       --inFlight;
       busy[static_cast<std::size_t>(msg.source)] = false;
+      inFlightId[static_cast<std::size_t>(msg.source)] = 0;
       dispatchAll();
     } else if (msg.tag == kTagError) {
       const std::uint64_t id = msg.payload.unpackUint64();
       const std::string what = msg.payload.unpackString();
-      const auto it = tasks.find(id);
-      if (it == tasks.end()) {
-        throw std::runtime_error("MWDriver: error for unknown task id");
+      growTo(msg.source + 1);
+      requeueFrom(msg.source, id, what);
+      dispatchAll();
+    } else if (msg.tag == net::kTagWorkerLost) {
+      const Rank lost = msg.source;
+      growTo(lost + 1);
+      if (!isDead(lost)) {
+        dead_[static_cast<std::size_t>(lost)] = true;
+        ++workersLost_;
+        if (telemetry_ != nullptr) telWorkersLost_->add(1);
       }
-      --inFlight;
-      ++tasksRequeued_;
-      busy[static_cast<std::size_t>(msg.source)] = false;
-      TaskState& st = it->second;
-      st.lastFailedOn = msg.source;
-      if (telemetry_ != nullptr) {
-        // Failed attempts still occupied the worker; count the time as busy
-        // so utilization reflects wasted capacity, and restart the task's
-        // queue-wait clock for the retry.
-        workerBusySeconds[static_cast<std::size_t>(msg.source)] += telNow() - st.dispatchedAt;
-        telTasksRequeued_->add(1);
-        st.enqueuedAt = telNow();
+      if (busy[static_cast<std::size_t>(lost)]) {
+        requeueFrom(lost, inFlightId[static_cast<std::size_t>(lost)],
+                    "worker rank " + std::to_string(lost) + " lost");
       }
-      if (++st.retries > maxRetries_) {
-        throw std::runtime_error("MWDriver: task failed after " +
-                                 std::to_string(maxRetries_) + " retries: " + what);
+      if (liveWorkerCount() == 0) {
+        throw std::runtime_error("MWDriver: every worker is lost with " +
+                                 std::to_string(n - done) + " task(s) outstanding");
       }
-      pending.push_front(id);
+      dispatchAll();
+    } else if (msg.tag == net::kTagWorkerJoined) {
+      growTo(msg.source + 1);
       dispatchAll();
     }
     // Stray tags are ignored.
@@ -171,7 +244,8 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
   if (telemetry_ != nullptr) {
     const double elapsed = telNow() - batchStart;
     if (elapsed > 0.0) {
-      for (Rank w = 1; w < comm_.size(); ++w) {
+      for (Rank w = 1; w < comm_.size() && static_cast<std::size_t>(w) < workerBusySeconds.size();
+           ++w) {
         telUtilization_->observe(workerBusySeconds[static_cast<std::size_t>(w)] / elapsed);
       }
     }
@@ -202,6 +276,7 @@ void MWDriver::executeTasks(std::span<MWTask* const> tasks) {
 void MWDriver::shutdown() {
   if (shutDown_) return;
   for (Rank w = 1; w < comm_.size(); ++w) {
+    if (isDead(w)) continue;
     comm_.send(0, w, kTagShutdown, MessageBuffer{});
   }
   shutDown_ = true;

@@ -18,34 +18,58 @@ namespace sfopt::mw {
 /// Re-implementation of the MW framework's MWDriver abstraction: the
 /// master process that "manages a set of workers to execute the tasks".
 ///
-/// The driver lives at rank 0; workers occupy ranks 1..size-1.  Tasks are
-/// dispatched dynamically: every worker gets one task up front, and each
-/// completed result immediately frees its worker for the next queued task,
-/// so stragglers do not serialize the batch.
+/// The driver lives at rank 0 of any Transport (in-process CommWorld or
+/// the distributed TcpCommWorld); workers occupy ranks 1..size-1.  Tasks
+/// are dispatched dynamically: every worker gets one task up front, and
+/// each completed result immediately frees its worker for the next queued
+/// task, so stragglers do not serialize the batch.
+///
+/// Worker failure is part of the protocol, not an afterthought: a
+/// kTagError reply requeues the task elsewhere, a kTagWorkerLost control
+/// message (synthesized by the transport on disconnect or heartbeat
+/// silence) marks the rank dead and requeues whatever it was running, and
+/// a kTagWorkerJoined message grows the dispatch state so a fresh worker
+/// starts pulling tasks mid-batch.
 class MWDriver {
  public:
-  explicit MWDriver(CommWorld& comm);
+  explicit MWDriver(net::Transport& comm);
 
   /// Execute a batch of already-marshaled task inputs; returns the result
-  /// buffers in task order.  Blocks until every task completes.
+  /// buffers in task order.  Blocks until every task completes.  Throws
+  /// when a task exhausts its retry budget, when every worker is lost, or
+  /// when no message arrives within the receive timeout.
   [[nodiscard]] std::vector<MessageBuffer> executeBuffers(std::vector<MessageBuffer> inputs);
 
   /// Typed convenience: marshal each task's input, execute the batch, and
   /// unmarshal each result back into the same task objects.
   void executeTasks(std::span<MWTask* const> tasks);
 
-  /// Send a shutdown message to every worker.  Idempotent.
+  /// Send a shutdown message to every live worker.  Idempotent.
   void shutdown();
 
   [[nodiscard]] int workerCount() const noexcept { return comm_.size() - 1; }
+
+  /// Workers not marked dead (the world only ever grows; dead ranks stay).
+  [[nodiscard]] int liveWorkerCount() const noexcept;
+
   [[nodiscard]] std::uint64_t tasksCompleted() const noexcept { return tasksCompleted_; }
 
-  /// Times a task was requeued after a worker-side failure.
+  /// Times a task was requeued after a worker-side failure or worker loss.
   [[nodiscard]] std::uint64_t tasksRequeued() const noexcept { return tasksRequeued_; }
+
+  /// Workers declared lost (disconnect / heartbeat silence).
+  [[nodiscard]] std::uint64_t workersLost() const noexcept { return workersLost_; }
 
   /// Per-task retry budget before executeBuffers gives up and throws.
   void setMaxRetries(int retries) { maxRetries_ = retries; }
   [[nodiscard]] int maxRetries() const noexcept { return maxRetries_; }
+
+  /// Longest silence executeBuffers tolerates while tasks are in flight
+  /// before concluding the run is wedged and throwing.  Generous default:
+  /// transports already convert dead workers into kTagWorkerLost well
+  /// before this fires; it is the backstop, not the detector.
+  void setRecvTimeout(double seconds) { recvTimeoutSeconds_ = seconds; }
+  [[nodiscard]] double recvTimeout() const noexcept { return recvTimeoutSeconds_; }
 
   /// Attach the observability spine (non-owning; must outlive the driver).
   /// Pre-registers the task-lifecycle metrics — queue-wait and execute
@@ -54,18 +78,25 @@ class MWDriver {
   void setTelemetry(telemetry::Telemetry* telemetry);
 
  private:
-  CommWorld& comm_;
+  [[nodiscard]] bool isDead(Rank w) const noexcept;
+  void ensureRank(Rank w);
+
+  net::Transport& comm_;
   std::uint64_t nextTaskId_ = 1;
   std::uint64_t tasksCompleted_ = 0;
   std::uint64_t tasksRequeued_ = 0;
+  std::uint64_t workersLost_ = 0;
   int maxRetries_ = 3;
+  double recvTimeoutSeconds_ = 300.0;
   bool shutDown_ = false;
+  std::vector<bool> dead_;  ///< indexed by rank; persists across batches
 
   /// Pre-registered handles; all non-null exactly when telemetry_ is set.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* telTasksCompleted_ = nullptr;
   telemetry::Counter* telTasksRequeued_ = nullptr;
   telemetry::Counter* telTasksDispatched_ = nullptr;
+  telemetry::Counter* telWorkersLost_ = nullptr;
   telemetry::Counter* telBatches_ = nullptr;
   telemetry::Histogram* telQueueWait_ = nullptr;
   telemetry::Histogram* telExecute_ = nullptr;

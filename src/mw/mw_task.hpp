@@ -15,6 +15,10 @@ inline constexpr int kTagShutdown = 3;
 /// requeues the task on another worker, mirroring the paper's restart
 /// behaviour ("when a worker is restarted by the master...", section 4.2).
 inline constexpr int kTagError = 4;
+/// Application/deployment configuration pushed from the master to a worker
+/// before any tasks flow — used by the distributed runtime as the transport
+/// greeting so a worker that (re)joins mid-run still learns the objective.
+inline constexpr int kTagConfig = 5;
 
 /// Re-implementation of the MW framework's MWTask abstraction: "the data
 /// describing the task and the results computed by the workers ... the

@@ -15,11 +15,11 @@ namespace sfopt::mw {
 ///
 /// A concrete worker implements executeTask(); run() is the standard
 /// receive/execute/reply loop, terminated by a shutdown message from the
-/// master.  One worker instance is driven by one thread (or, in a cluster
-/// port, one process).
+/// master.  One worker instance is driven by one thread (over the
+/// in-process CommWorld) or one process (over a TcpWorkerTransport).
 class MWWorker {
  public:
-  MWWorker(CommWorld& comm, Rank rank) : comm_(comm), rank_(rank) {}
+  MWWorker(net::Transport& comm, Rank rank) : comm_(comm), rank_(rank) {}
   virtual ~MWWorker() = default;
 
   MWWorker(const MWWorker&) = delete;
@@ -60,10 +60,10 @@ class MWWorker {
   /// (The task id has already been consumed from `in` and echoed to `out`.)
   virtual void executeTask(MessageBuffer& in, MessageBuffer& out) = 0;
 
-  [[nodiscard]] CommWorld& comm() noexcept { return comm_; }
+  [[nodiscard]] net::Transport& comm() noexcept { return comm_; }
 
  private:
-  CommWorld& comm_;
+  net::Transport& comm_;
   Rank rank_;
   std::uint64_t tasksExecuted_ = 0;
   std::uint64_t tasksFailed_ = 0;

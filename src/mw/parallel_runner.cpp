@@ -38,6 +38,35 @@ core::OptimizationResult dispatch(const noise::StochasticObjective& objective,
 
 }  // namespace
 
+MWRunResult runSimplexOverTransport(const noise::StochasticObjective& objective,
+                                    std::span<const core::Point> initial,
+                                    const AlgorithmOptions& options, net::Transport& comm,
+                                    const MWRunConfig& config) {
+  if (config.clientsPerWorker < 1) {
+    throw std::invalid_argument("runSimplexOverTransport: clientsPerWorker must be >= 1");
+  }
+  MWRunResult out;
+  {
+    MWDriver driver(comm);
+    driver.setTelemetry(config.telemetry);
+    driver.setRecvTimeout(config.recvTimeoutSeconds);
+    MWSamplingBackend backend(driver);
+    const auto t0 = std::chrono::steady_clock::now();
+    out.optimization = dispatch(objective, initial, options, &backend);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.masterWallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    driver.shutdown();
+    out.tasksCompleted = driver.tasksCompleted();
+    out.tasksRequeued = driver.tasksRequeued();
+  }
+  out.allocation =
+      ProcessorAllocation{static_cast<std::int64_t>(objective.dimension()),
+                          config.clientsPerWorker};
+  out.messagesSent = comm.messagesSent();
+  out.bytesSent = comm.bytesSent();
+  return out;
+}
+
 MWRunResult runSimplexOverMW(const noise::StochasticObjective& objective,
                              std::span<const core::Point> initial,
                              const AlgorithmOptions& options, const MWRunConfig& config) {
@@ -59,23 +88,8 @@ MWRunResult runSimplexOverMW(const noise::StochasticObjective& objective,
     workerThreads.emplace_back([&, w] { workerObjs[static_cast<std::size_t>(w)]->run(); });
   }
 
-  MWRunResult out;
-  {
-    MWDriver driver(comm);
-    driver.setTelemetry(config.telemetry);
-    MWSamplingBackend backend(driver);
-    const auto t0 = std::chrono::steady_clock::now();
-    out.optimization = dispatch(objective, initial, options, &backend);
-    const auto t1 = std::chrono::steady_clock::now();
-    out.masterWallSeconds = std::chrono::duration<double>(t1 - t0).count();
-    driver.shutdown();
-    out.tasksCompleted = driver.tasksCompleted();
-  }
+  MWRunResult out = runSimplexOverTransport(objective, initial, options, comm, config);
   for (auto& t : workerThreads) t.join();
-
-  out.allocation = ProcessorAllocation{d, config.clientsPerWorker};
-  out.messagesSent = comm.messagesSent();
-  out.bytesSent = comm.bytesSent();
   return out;
 }
 

@@ -8,6 +8,10 @@
 #include "mw/processor_allocation.hpp"
 #include "noise/stochastic_objective.hpp"
 
+namespace sfopt::net {
+class Transport;
+}
+
 namespace sfopt::mw {
 
 /// Any of the four simplex variants, selected by its options type.
@@ -25,6 +29,9 @@ struct MWRunConfig {
   /// (non-owning; must outlive the run).  Engine-layer instrumentation is
   /// configured separately via the algorithm's CommonOptions.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Backstop for a wedged run: longest silence the driver tolerates while
+  /// tasks are in flight (see MWDriver::setRecvTimeout).
+  double recvTimeoutSeconds = 300.0;
 };
 
 /// Outcome of a master-worker optimization run: the optimization result
@@ -36,7 +43,8 @@ struct MWRunResult {
   std::uint64_t messagesSent = 0;
   std::uint64_t bytesSent = 0;
   std::uint64_t tasksCompleted = 0;
-  double masterWallSeconds = 0.0;  ///< real (host) time spent, for Fig 3.18c
+  std::uint64_t tasksRequeued = 0;  ///< failure-driven re-dispatches
+  double masterWallSeconds = 0.0;   ///< real (host) time spent, for Fig 3.18c
 };
 
 /// Run a simplex optimization with sampling farmed out over the MW
@@ -48,5 +56,18 @@ struct MWRunResult {
                                            std::span<const core::Point> initial,
                                            const AlgorithmOptions& options,
                                            const MWRunConfig& config = {});
+
+/// The master half of runSimplexOverMW over an already-populated
+/// transport: rank 0 of `comm` hosts the driver and the simplex logic;
+/// whoever occupies ranks 1..size-1 (in-process threads or remote
+/// processes over TCP) must run SamplingWorker loops against the same
+/// objective.  This is what `sfopt serve` calls — distributed results are
+/// bitwise identical to the in-process run because the noise is
+/// counter-based and the wire encoding is byte-exact.
+[[nodiscard]] MWRunResult runSimplexOverTransport(const noise::StochasticObjective& objective,
+                                                  std::span<const core::Point> initial,
+                                                  const AlgorithmOptions& options,
+                                                  net::Transport& comm,
+                                                  const MWRunConfig& config = {});
 
 }  // namespace sfopt::mw

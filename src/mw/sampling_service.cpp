@@ -29,7 +29,7 @@ void SamplingTask::unpackResult(MessageBuffer& buf) {
   result_ = stats::Welford::fromMoments(n, mean, m2);
 }
 
-SamplingWorker::SamplingWorker(CommWorld& comm, Rank rank,
+SamplingWorker::SamplingWorker(net::Transport& comm, Rank rank,
                                const noise::StochasticObjective& objective, int clients)
     : MWWorker(comm, rank), server_(objective, clients) {}
 

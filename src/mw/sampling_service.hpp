@@ -49,7 +49,7 @@ class SamplingTask final : public MWTask {
 /// Ns clients), and packs the merged moments back.
 class SamplingWorker final : public MWWorker {
  public:
-  SamplingWorker(CommWorld& comm, Rank rank, const noise::StochasticObjective& objective,
+  SamplingWorker(net::Transport& comm, Rank rank, const noise::StochasticObjective& objective,
                  int clients);
 
   [[nodiscard]] const VertexServer& server() const noexcept { return server_; }

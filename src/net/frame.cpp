@@ -1,0 +1,165 @@
+#include "net/frame.hpp"
+
+#include <string>
+
+namespace sfopt::net {
+
+namespace {
+
+void putU16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+}
+
+void putU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t getU16(const std::byte* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t getU32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Frame makeMessageFrame(int tag, std::vector<std::byte> payload) {
+  Frame f;
+  f.type = FrameType::Message;
+  f.tag = tag;
+  f.payload = std::move(payload);
+  return f;
+}
+
+Frame makeHeartbeatFrame() { return Frame{FrameType::Heartbeat, 0, {}}; }
+
+Frame makeHelloFrame() {
+  Frame f;
+  f.type = FrameType::Hello;
+  putU32(f.payload, kProtocolMagic);
+  putU16(f.payload, kProtocolVersion);
+  return f;
+}
+
+Frame makeWelcomeFrame(int rank, int worldSize) {
+  Frame f;
+  f.type = FrameType::Welcome;
+  putU32(f.payload, kProtocolMagic);
+  putU16(f.payload, kProtocolVersion);
+  putU32(f.payload, static_cast<std::uint32_t>(rank));
+  putU32(f.payload, static_cast<std::uint32_t>(worldSize));
+  return f;
+}
+
+void appendFrame(std::vector<std::byte>& out, const Frame& frame) {
+  // Body = type byte [+ tag for messages] + payload.
+  const std::size_t body =
+      1 + (frame.type == FrameType::Message ? 4 : 0) + frame.payload.size();
+  putU32(out, static_cast<std::uint32_t>(body));
+  out.push_back(static_cast<std::byte>(frame.type));
+  if (frame.type == FrameType::Message) {
+    putU32(out, static_cast<std::uint32_t>(frame.tag));
+  }
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+Hello parseHello(const Frame& frame) {
+  if (frame.type != FrameType::Hello || frame.payload.size() != 6) {
+    throw ProtocolError("handshake: malformed hello frame");
+  }
+  Hello h;
+  h.magic = getU32(frame.payload.data());
+  h.version = getU16(frame.payload.data() + 4);
+  if (h.magic != kProtocolMagic) {
+    throw ProtocolError("handshake: bad protocol magic (not an sfopt peer)");
+  }
+  if (h.version != kProtocolVersion) {
+    throw ProtocolError("handshake: protocol version mismatch (peer v" +
+                        std::to_string(h.version) + ", ours v" +
+                        std::to_string(kProtocolVersion) + ")");
+  }
+  return h;
+}
+
+Welcome parseWelcome(const Frame& frame) {
+  if (frame.type != FrameType::Welcome || frame.payload.size() != 14) {
+    throw ProtocolError("handshake: malformed welcome frame");
+  }
+  Welcome w;
+  w.magic = getU32(frame.payload.data());
+  w.version = getU16(frame.payload.data() + 4);
+  w.rank = static_cast<std::int32_t>(getU32(frame.payload.data() + 6));
+  w.worldSize = static_cast<std::int32_t>(getU32(frame.payload.data() + 10));
+  if (w.magic != kProtocolMagic) {
+    throw ProtocolError("handshake: bad protocol magic (not an sfopt master)");
+  }
+  if (w.version != kProtocolVersion) {
+    throw ProtocolError("handshake: protocol version mismatch (master v" +
+                        std::to_string(w.version) + ", ours v" +
+                        std::to_string(kProtocolVersion) + ")");
+  }
+  if (w.rank < 1 || w.worldSize < 2) {
+    throw ProtocolError("handshake: master assigned an invalid rank");
+  }
+  return w;
+}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  // Compact the consumed prefix before it can dominate the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t body = getU32(buf_.data() + pos_);
+  if (body < 1) throw ProtocolError("frame: empty body");
+  if (body > maxFrameBytes_) {
+    throw ProtocolError("frame: length prefix " + std::to_string(body) +
+                        " exceeds the " + std::to_string(maxFrameBytes_) + "-byte limit");
+  }
+  if (avail < 4 + static_cast<std::size_t>(body)) return std::nullopt;
+
+  const std::byte* p = buf_.data() + pos_ + 4;
+  Frame f;
+  const auto type = static_cast<std::uint8_t>(p[0]);
+  std::size_t consumed = 1;
+  switch (type) {
+    case static_cast<std::uint8_t>(FrameType::Message): {
+      if (body < 5) throw ProtocolError("frame: truncated message header");
+      f.type = FrameType::Message;
+      f.tag = static_cast<std::int32_t>(getU32(p + 1));
+      consumed = 5;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameType::Heartbeat):
+      f.type = FrameType::Heartbeat;
+      break;
+    case static_cast<std::uint8_t>(FrameType::Hello):
+      f.type = FrameType::Hello;
+      break;
+    case static_cast<std::uint8_t>(FrameType::Welcome):
+      f.type = FrameType::Welcome;
+      break;
+    default:
+      throw ProtocolError("frame: unknown frame type " + std::to_string(type));
+  }
+  f.payload.assign(p + consumed, p + body);
+  pos_ += 4 + static_cast<std::size_t>(body);
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return f;
+}
+
+}  // namespace sfopt::net

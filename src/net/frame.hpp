@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace sfopt::net {
+
+/// Wire protocol of the TCP transport, version 1.
+///
+/// Every frame is length-prefixed so a byte stream can be reassembled into
+/// discrete messages regardless of how the kernel segments it:
+///
+///   u32-LE  bodyLength            (bytes that follow, >= 1)
+///   u8      FrameType
+///   ...     type-specific body
+///
+/// Bodies (all integers little-endian):
+///   Message:   i32 tag, then the MessageBuffer wire bytes
+///   Heartbeat: empty
+///   Hello:     u32 magic, u16 version          (worker -> master, once)
+///   Welcome:   u32 magic, u16 version, i32 assigned rank, i32 world size
+///
+/// The handshake is Hello/Welcome: a connecting worker announces the
+/// protocol magic and version, the master validates both, assigns the next
+/// rank, and replies.  Anything malformed — wrong magic, unknown frame
+/// type, or a length prefix beyond the configured maximum — raises
+/// ProtocolError instead of being trusted.
+inline constexpr std::uint32_t kProtocolMagic = 0x53464F50u;  // "SFOP"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Upper bound on a single frame body; a malformed or hostile length
+/// prefix fails fast here rather than driving a giant allocation.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{64} << 20;
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FrameType : std::uint8_t {
+  Message = 1,
+  Heartbeat = 2,
+  Hello = 3,
+  Welcome = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::Heartbeat;
+  int tag = 0;                      ///< Message frames only
+  std::vector<std::byte> payload;   ///< Message: buffer wire; Hello/Welcome: handshake fields
+};
+
+struct Hello {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint16_t version = kProtocolVersion;
+};
+
+struct Welcome {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::int32_t rank = 0;
+  std::int32_t worldSize = 0;
+};
+
+[[nodiscard]] Frame makeMessageFrame(int tag, std::vector<std::byte> payload);
+[[nodiscard]] Frame makeHeartbeatFrame();
+[[nodiscard]] Frame makeHelloFrame();
+[[nodiscard]] Frame makeWelcomeFrame(int rank, int worldSize);
+
+/// Serialize `frame` (length prefix included) onto `out`.
+void appendFrame(std::vector<std::byte>& out, const Frame& frame);
+
+/// Decode handshake bodies; throws ProtocolError on bad magic, version
+/// mismatch, or a short body.
+[[nodiscard]] Hello parseHello(const Frame& frame);
+[[nodiscard]] Welcome parseWelcome(const Frame& frame);
+
+/// Incremental frame reassembly over an arbitrary chunking of the byte
+/// stream: feed() whatever arrived, next() yields complete frames.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t maxFrameBytes = kDefaultMaxFrameBytes)
+      : maxFrameBytes_(maxFrameBytes) {}
+
+  void feed(const std::byte* data, std::size_t n);
+
+  /// Next complete frame, or nullopt when more bytes are needed.  Throws
+  /// ProtocolError on a malformed prefix, unknown type, or oversize frame.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_, compacted lazily
+  std::size_t maxFrameBytes_;
+};
+
+}  // namespace sfopt::net

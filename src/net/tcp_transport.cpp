@@ -1,0 +1,573 @@
+#include "net/tcp_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace sfopt::net {
+
+namespace {
+
+/// Granularity of one poll pass: short enough that heartbeat bookkeeping
+/// and deadline checks stay responsive inside long blocking recvs.
+constexpr double kPollSliceSeconds = 0.2;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+int toPollMillis(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double ms = seconds * 1000.0;
+  return ms > 1.0 ? static_cast<int>(std::min(ms, 60'000.0)) : 1;
+}
+
+bool matches(const Message& m, Rank source, int tag) noexcept {
+  return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+}
+
+}  // namespace
+
+NetTelemetry NetTelemetry::registerIn(telemetry::Telemetry* telemetry) {
+  NetTelemetry t;
+  if (telemetry == nullptr) return t;
+  auto& reg = telemetry->metrics();
+  t.messagesIn = &reg.counter("net.messages_in");
+  t.messagesOut = &reg.counter("net.messages_out");
+  t.bytesIn = &reg.counter("net.bytes_in");
+  t.bytesOut = &reg.counter("net.bytes_out");
+  t.connects = &reg.counter("net.connects");
+  t.disconnects = &reg.counter("net.disconnects");
+  t.heartbeatsSent = &reg.counter("net.heartbeats_sent");
+  t.heartbeatMisses = &reg.counter("net.heartbeat_misses");
+  t.sendsDropped = &reg.counter("net.sends_dropped");
+  return t;
+}
+
+void NetTelemetry::add(telemetry::Counter* c, std::int64_t n) noexcept {
+  if (c != nullptr) c->add(n);
+}
+
+// ---------------------------------------------------------------------------
+// TcpCommWorld (master)
+// ---------------------------------------------------------------------------
+
+TcpCommWorld::TcpCommWorld(std::uint16_t port, Options options)
+    : options_(options),
+      listener_(tcpListen(port)),
+      port_(localPort(listener_)),
+      tel_(NetTelemetry::registerIn(options.telemetry)) {}
+
+TcpCommWorld::~TcpCommWorld() = default;
+
+void TcpCommWorld::setGreeting(int tag, mw::MessageBuffer payload) {
+  greeting_ = {tag, payload.releaseWire()};
+}
+
+int TcpCommWorld::liveWorkers() const noexcept {
+  int n = 0;
+  for (const auto& p : peers_) n += p->alive ? 1 : 0;
+  return n;
+}
+
+int TcpCommWorld::size() const noexcept { return 1 + static_cast<int>(peers_.size()); }
+
+void TcpCommWorld::checkMaster(Rank at, const char* what) const {
+  if (at != 0) {
+    throw std::invalid_argument(std::string("TcpCommWorld::") + what +
+                                ": only rank 0 lives on the master transport");
+  }
+}
+
+int TcpCommWorld::waitForWorkers(int count, double timeoutSeconds) {
+  const double deadline = monotonicSeconds() + timeoutSeconds;
+  for (;;) {
+    if (liveWorkers() >= count) return liveWorkers();
+    const double remaining = deadline - monotonicSeconds();
+    if (remaining <= 0.0) {
+      throw std::runtime_error("TcpCommWorld: timed out waiting for workers (have " +
+                               std::to_string(liveWorkers()) + " of " +
+                               std::to_string(count) + ")");
+    }
+    pollOnce(std::min(remaining, kPollSliceSeconds));
+  }
+}
+
+void TcpCommWorld::send(Rank from, Rank to, int tag, mw::MessageBuffer payload) {
+  checkMaster(from, "send(from)");
+  if (to < 1 || to >= size()) {
+    throw std::out_of_range("TcpCommWorld::send: rank out of range");
+  }
+  Peer& peer = *peers_[static_cast<std::size_t>(to) - 1];
+  if (!peer.alive) {
+    NetTelemetry::add(tel_.sendsDropped);
+    return;  // loss already reported (or about to be) via kTagWorkerLost
+  }
+  const Frame frame = makeMessageFrame(tag, payload.releaseWire());
+  const std::size_t before = peer.sendBuf.size();
+  appendFrame(peer.sendBuf, frame);
+  ++messagesSent_;
+  bytesSent_ += peer.sendBuf.size() - before;
+  NetTelemetry::add(tel_.messagesOut);
+  NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(peer.sendBuf.size() - before));
+  flushPeer(to);
+}
+
+void TcpCommWorld::enqueueToPeer(Rank rank, const Frame& frame) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  if (!peer.alive) return;
+  const std::size_t before = peer.sendBuf.size();
+  appendFrame(peer.sendBuf, frame);
+  NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(peer.sendBuf.size() - before));
+  flushPeer(rank);
+}
+
+void TcpCommWorld::flushPeer(Rank rank) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  while (peer.alive && peer.sendPos < peer.sendBuf.size()) {
+    const ssize_t n = ::send(peer.sock.fd(), peer.sendBuf.data() + peer.sendPos,
+                             peer.sendBuf.size() - peer.sendPos, MSG_NOSIGNAL);
+    if (n > 0) {
+      peer.sendPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;  // drained by poll later
+    if (n < 0 && errno == EINTR) continue;
+    markLost(rank, "send failed");
+    return;
+  }
+  if (peer.sendPos == peer.sendBuf.size()) {
+    peer.sendBuf.clear();
+    peer.sendPos = 0;
+  }
+}
+
+void TcpCommWorld::markLost(Rank rank, const char* why) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  if (!peer.alive) return;
+  peer.alive = false;
+  peer.sock.close();
+  peer.sendBuf.clear();
+  peer.sendPos = 0;
+  NetTelemetry::add(tel_.disconnects);
+  Message lost;
+  lost.source = rank;
+  lost.tag = kTagWorkerLost;
+  lost.payload.pack(std::string(why));
+  inbox_.push_back(std::move(lost));
+}
+
+void TcpCommWorld::serviceListener() {
+  while (auto accepted = tcpAccept(listener_)) {
+    PendingPeer p;
+    p.sock = std::move(*accepted);
+    p.decoder = FrameDecoder(options_.maxFrameBytes);
+    p.since = monotonicSeconds();
+    pending_.push_back(std::move(p));
+  }
+}
+
+void TcpCommWorld::promotePending(std::size_t index) {
+  // Hello validated by the caller; assign the next rank and register.
+  auto peer = std::make_unique<Peer>();
+  peer->sock = std::move(pending_[index].sock);
+  peer->decoder = std::move(pending_[index].decoder);
+  peer->lastHeard = monotonicSeconds();
+  peer->lastBeat = peer->lastHeard;
+  peer->alive = true;
+  peers_.push_back(std::move(peer));
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  const Rank rank = static_cast<Rank>(peers_.size());
+  NetTelemetry::add(tel_.connects);
+  enqueueToPeer(rank, makeWelcomeFrame(rank, size()));
+  if (greeting_.has_value()) {
+    enqueueToPeer(rank, makeMessageFrame(greeting_->first,
+                                         std::vector<std::byte>(greeting_->second)));
+  }
+  Message joined;
+  joined.source = rank;
+  joined.tag = kTagWorkerJoined;
+  inbox_.push_back(std::move(joined));
+}
+
+void TcpCommWorld::servicePending(std::size_t index) {
+  PendingPeer& p = pending_[index];
+  std::byte chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(p.sock.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      p.decoder.feed(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Closed before completing the handshake: just drop it.
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    return;
+  }
+  try {
+    if (auto frame = p.decoder.next()) {
+      (void)parseHello(*frame);  // throws on bad magic/version
+      promotePending(index);
+    }
+  } catch (const ProtocolError&) {
+    // Not an sfopt worker (or an incompatible one): refuse registration.
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+}
+
+void TcpCommWorld::servicePeer(Rank rank) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  std::byte chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(peer.sock.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      peer.decoder.feed(chunk, static_cast<std::size_t>(n));
+      NetTelemetry::add(tel_.bytesIn, n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    markLost(rank, n == 0 ? "connection closed" : "connection error");
+    return;
+  }
+  try {
+    while (auto frame = peer.decoder.next()) {
+      peer.lastHeard = monotonicSeconds();
+      switch (frame->type) {
+        case FrameType::Message: {
+          Message m;
+          m.source = rank;
+          m.tag = frame->tag;
+          m.payload = mw::MessageBuffer(std::move(frame->payload));
+          inbox_.push_back(std::move(m));
+          NetTelemetry::add(tel_.messagesIn);
+          break;
+        }
+        case FrameType::Heartbeat:
+          break;  // lastHeard already refreshed
+        default:
+          throw ProtocolError("unexpected handshake frame after registration");
+      }
+    }
+  } catch (const ProtocolError&) {
+    markLost(rank, "protocol violation");
+  }
+}
+
+void TcpCommWorld::pollOnce(double timeoutSeconds) {
+  std::vector<pollfd> fds;
+  // Order: listener, pending peers, live peers (kinds recovered by index).
+  fds.push_back({listener_.fd(), POLLIN, 0});
+  for (const PendingPeer& p : pending_) fds.push_back({p.sock.fd(), POLLIN, 0});
+  std::vector<Rank> liveRanks;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const Peer& p = *peers_[i];
+    if (!p.alive) continue;
+    short events = POLLIN;
+    if (p.sendPos < p.sendBuf.size()) events |= POLLOUT;
+    fds.push_back({p.sock.fd(), events, 0});
+    liveRanks.push_back(static_cast<Rank>(i + 1));
+  }
+
+  const int ready =
+      ::poll(fds.data(), fds.size(), toPollMillis(std::min(timeoutSeconds, kPollSliceSeconds)));
+  if (ready > 0) {
+    std::size_t idx = 0;
+    if (fds[idx].revents & POLLIN) serviceListener();
+    ++idx;
+    // Walk pending list back to front so erasure is index-stable.
+    const std::size_t pendingCount = pending_.size();
+    for (std::size_t i = pendingCount; i-- > 0;) {
+      if (fds[idx + i].revents & (POLLIN | POLLERR | POLLHUP)) servicePending(i);
+    }
+    idx += pendingCount;
+    for (std::size_t i = 0; i < liveRanks.size(); ++i) {
+      const short re = fds[idx + i].revents;
+      const Rank rank = liveRanks[i];
+      if (re & (POLLIN | POLLERR | POLLHUP)) servicePeer(rank);
+      if ((re & POLLOUT) && peers_[static_cast<std::size_t>(rank) - 1]->alive) {
+        flushPeer(rank);
+      }
+    }
+  }
+
+  // Heartbeat bookkeeping: beat every live peer on the cadence, and declare
+  // lost any peer silent past the timeout.
+  const double now = monotonicSeconds();
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = *peers_[i];
+    if (!p.alive) continue;
+    const Rank rank = static_cast<Rank>(i + 1);
+    if (now - p.lastBeat >= options_.heartbeatIntervalSeconds) {
+      p.lastBeat = now;
+      enqueueToPeer(rank, makeHeartbeatFrame());
+      NetTelemetry::add(tel_.heartbeatsSent);
+    }
+    if (p.alive && now - p.lastHeard > options_.heartbeatTimeoutSeconds) {
+      NetTelemetry::add(tel_.heartbeatMisses);
+      markLost(rank, "heartbeat timeout");
+    }
+  }
+}
+
+std::optional<Message> TcpCommWorld::takeMatching(Rank source, int tag) {
+  const auto it = std::find_if(inbox_.begin(), inbox_.end(),
+                               [&](const Message& m) { return matches(m, source, tag); });
+  if (it == inbox_.end()) return std::nullopt;
+  Message m = std::move(*it);
+  inbox_.erase(it);
+  return m;
+}
+
+Message TcpCommWorld::recv(Rank at, Rank source, int tag) {
+  checkMaster(at, "recv");
+  for (;;) {
+    if (auto m = takeMatching(source, tag)) return std::move(*m);
+    pollOnce(kPollSliceSeconds);
+  }
+}
+
+std::optional<Message> TcpCommWorld::recvFor(Rank at, double timeoutSeconds, Rank source,
+                                             int tag) {
+  checkMaster(at, "recvFor");
+  const double deadline = monotonicSeconds() + timeoutSeconds;
+  for (;;) {
+    if (auto m = takeMatching(source, tag)) return m;
+    const double remaining = deadline - monotonicSeconds();
+    if (remaining <= 0.0) return std::nullopt;
+    pollOnce(remaining);
+  }
+}
+
+std::optional<Message> TcpCommWorld::tryRecv(Rank at, Rank source, int tag) {
+  checkMaster(at, "tryRecv");
+  if (auto m = takeMatching(source, tag)) return m;
+  pollOnce(0.0);
+  return takeMatching(source, tag);
+}
+
+// ---------------------------------------------------------------------------
+// TcpWorkerTransport (worker)
+// ---------------------------------------------------------------------------
+
+TcpWorkerTransport::TcpWorkerTransport(const std::string& host, std::uint16_t port,
+                                       Options options)
+    : options_(options),
+      sock_(tcpConnect(host, port, options.connectTimeoutSeconds)),
+      decoder_(options.maxFrameBytes),
+      tel_(NetTelemetry::registerIn(options.telemetry)) {
+  {
+    std::lock_guard lock(sendMutex_);
+    writeFrameLocked(makeHelloFrame(), /*nothrow=*/false);
+  }
+  // Wait for the Welcome; any stray frames decoded alongside it (the
+  // greeting often rides the same segment) stay queued for recv().
+  const double deadline = monotonicSeconds() + options_.handshakeTimeoutSeconds;
+  std::optional<Welcome> welcome;
+  while (!welcome.has_value()) {
+    const double remaining = deadline - monotonicSeconds();
+    if (remaining <= 0.0) {
+      throw ConnectionLost("handshake: no welcome from master within " +
+                           std::to_string(options_.handshakeTimeoutSeconds) + "s");
+    }
+    fill(std::min(remaining, kPollSliceSeconds));
+    while (auto frame = decoder_.next()) {
+      if (frame->type == FrameType::Welcome) {
+        welcome = parseWelcome(*frame);
+        break;
+      }
+      if (frame->type == FrameType::Message) {
+        Message m;
+        m.source = 0;
+        m.tag = frame->tag;
+        m.payload = mw::MessageBuffer(std::move(frame->payload));
+        inbox_.push_back(std::move(m));
+      }
+      // Heartbeats: ignored (lastHeard_ refreshed inside readSome).
+    }
+  }
+  rank_ = welcome->rank;
+  worldSize_ = welcome->worldSize;
+  lastHeard_ = monotonicSeconds();
+  NetTelemetry::add(tel_.connects);
+  beat_ = std::thread([this] { beatLoop(); });
+}
+
+TcpWorkerTransport::~TcpWorkerTransport() {
+  stopping_.store(true);
+  stopCv_.notify_all();
+  if (beat_.joinable()) beat_.join();
+  sock_.close();
+}
+
+void TcpWorkerTransport::beatLoop() {
+  std::unique_lock lock(stopMutex_);
+  while (!stopping_.load()) {
+    stopCv_.wait_for(lock,
+                     std::chrono::duration<double>(options_.heartbeatIntervalSeconds),
+                     [this] { return stopping_.load(); });
+    if (stopping_.load() || dead_.load()) continue;
+    std::lock_guard sendLock(sendMutex_);
+    writeFrameLocked(makeHeartbeatFrame(), /*nothrow=*/true);
+    NetTelemetry::add(tel_.heartbeatsSent);
+  }
+}
+
+void TcpWorkerTransport::writeFrameLocked(const Frame& frame, bool nothrow) {
+  std::vector<std::byte> wire;
+  appendFrame(wire, frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(sock_.fd(), wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{sock_.fd(), POLLOUT, 0};
+      (void)::poll(&pfd, 1, toPollMillis(kPollSliceSeconds));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    dead_.store(true);
+    if (nothrow) return;
+    throw ConnectionLost("master connection lost while sending");
+  }
+  NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(wire.size()));
+}
+
+void TcpWorkerTransport::fill(double timeoutSeconds) {
+  if (dead_.load()) throw ConnectionLost("master connection lost");
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, toPollMillis(timeoutSeconds));
+  if (ready <= 0) {
+    if (options_.masterTimeoutSeconds > 0.0 &&
+        monotonicSeconds() - lastHeard_ > options_.masterTimeoutSeconds) {
+      dead_.store(true);
+      NetTelemetry::add(tel_.heartbeatMisses);
+      throw ConnectionLost("master silent past the heartbeat timeout");
+    }
+    return;
+  }
+  std::byte chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      decoder_.feed(chunk, static_cast<std::size_t>(n));
+      lastHeard_ = monotonicSeconds();
+      NetTelemetry::add(tel_.bytesIn, n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Mark dead but return normally so frames already buffered (a shutdown
+    // message often rides the connection's final segments) still reach the
+    // caller; the next fill() throws via the dead_ check at entry.
+    dead_.store(true);
+    NetTelemetry::add(tel_.disconnects);
+    return;
+  }
+}
+
+void TcpWorkerTransport::readSome(double timeoutSeconds) {
+  fill(timeoutSeconds);
+  while (auto frame = decoder_.next()) {
+    switch (frame->type) {
+      case FrameType::Message: {
+        Message m;
+        m.source = 0;
+        m.tag = frame->tag;
+        m.payload = mw::MessageBuffer(std::move(frame->payload));
+        inbox_.push_back(std::move(m));
+        NetTelemetry::add(tel_.messagesIn);
+        break;
+      }
+      case FrameType::Heartbeat:
+        break;
+      default:
+        dead_.store(true);
+        throw ConnectionLost("master sent an unexpected handshake frame");
+    }
+  }
+}
+
+void TcpWorkerTransport::checkSelf(Rank r, const char* what) const {
+  if (r != rank_) {
+    throw std::invalid_argument(std::string("TcpWorkerTransport::") + what +
+                                ": only the assigned rank lives on this transport");
+  }
+}
+
+void TcpWorkerTransport::send(Rank from, Rank to, int tag, mw::MessageBuffer payload) {
+  checkSelf(from, "send(from)");
+  if (to != 0) {
+    throw std::out_of_range("TcpWorkerTransport::send: workers only talk to rank 0");
+  }
+  const Frame frame = makeMessageFrame(tag, payload.releaseWire());
+  std::lock_guard lock(sendMutex_);
+  writeFrameLocked(frame, /*nothrow=*/false);
+  ++messagesSent_;
+  bytesSent_ += frame.payload.size() + 9;  // frame header: 4 len + 1 type + 4 tag
+  NetTelemetry::add(tel_.messagesOut);
+}
+
+std::optional<Message> TcpWorkerTransport::takeMatching(Rank source, int tag) {
+  const auto it = std::find_if(inbox_.begin(), inbox_.end(),
+                               [&](const Message& m) { return matches(m, source, tag); });
+  if (it == inbox_.end()) return std::nullopt;
+  Message m = std::move(*it);
+  inbox_.erase(it);
+  return m;
+}
+
+Message TcpWorkerTransport::recv(Rank at, Rank source, int tag) {
+  checkSelf(at, "recv");
+  for (;;) {
+    if (auto m = takeMatching(source, tag)) return std::move(*m);
+    readSome(kPollSliceSeconds);
+  }
+}
+
+std::optional<Message> TcpWorkerTransport::recvFor(Rank at, double timeoutSeconds,
+                                                   Rank source, int tag) {
+  checkSelf(at, "recvFor");
+  const double deadline = monotonicSeconds() + timeoutSeconds;
+  for (;;) {
+    if (auto m = takeMatching(source, tag)) return m;
+    const double remaining = deadline - monotonicSeconds();
+    if (remaining <= 0.0) return std::nullopt;
+    readSome(std::min(remaining, kPollSliceSeconds));
+  }
+}
+
+std::optional<Message> TcpWorkerTransport::tryRecv(Rank at, Rank source, int tag) {
+  checkSelf(at, "tryRecv");
+  if (auto m = takeMatching(source, tag)) return m;
+  readSome(0.0);
+  return takeMatching(source, tag);
+}
+
+std::unique_ptr<TcpWorkerTransport> connectWithBackoff(
+    const std::string& host, std::uint16_t port, int attempts, double initialBackoffSeconds,
+    const TcpWorkerTransport::Options& options) {
+  double backoff = initialBackoffSeconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return std::make_unique<TcpWorkerTransport>(host, port, options);
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff = std::min(backoff * 2.0, 5.0);
+  }
+}
+
+}  // namespace sfopt::net

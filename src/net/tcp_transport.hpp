@@ -1,0 +1,233 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+}
+
+namespace sfopt::net {
+
+/// Pre-registered transport-layer metric handles (the `net` layer of the
+/// observability spine).  All pointers are null when no telemetry is
+/// attached; add() tolerates that, so the hot path never branches twice.
+struct NetTelemetry {
+  telemetry::Counter* messagesIn = nullptr;
+  telemetry::Counter* messagesOut = nullptr;
+  telemetry::Counter* bytesIn = nullptr;
+  telemetry::Counter* bytesOut = nullptr;
+  telemetry::Counter* connects = nullptr;
+  telemetry::Counter* disconnects = nullptr;
+  telemetry::Counter* heartbeatsSent = nullptr;
+  telemetry::Counter* heartbeatMisses = nullptr;
+  telemetry::Counter* sendsDropped = nullptr;
+
+  static NetTelemetry registerIn(telemetry::Telemetry* telemetry);
+  static void add(telemetry::Counter* c, std::int64_t n = 1) noexcept;
+};
+
+/// Knobs for the master side.  (Defined at namespace scope so it can be a
+/// defaulted `= {}` constructor argument — a nested aggregate with default
+/// member initializers cannot be.)
+struct TcpMasterOptions {
+  double heartbeatIntervalSeconds = 2.0;  ///< cadence of master->worker beats
+  double heartbeatTimeoutSeconds = 10.0;  ///< silence after which a worker is lost
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Knobs for the worker side.
+struct TcpWorkerOptions {
+  double heartbeatIntervalSeconds = 2.0;
+  double masterTimeoutSeconds = 0.0;  ///< 0 = rely on TCP disconnect only
+  double connectTimeoutSeconds = 10.0;
+  double handshakeTimeoutSeconds = 10.0;
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Master-side TCP transport: rank 0 of a distributed world.  Binds a
+/// port, accepts worker connections, runs the Hello/Welcome handshake, and
+/// assigns ranks 1..N in connection order.  The world grows as workers
+/// join (including re-joins after a crash); a rank is never reused, so a
+/// reconnecting worker appears as a fresh rank and the old one stays lost.
+///
+/// Failure detection is two-pronged: a closed/reset connection is noticed
+/// immediately via poll, and a hung-but-open peer is noticed when its
+/// heartbeats stop for `heartbeatTimeoutSeconds`.  Either way the loss is
+/// surfaced as a kTagWorkerLost message so the MW driver requeues the
+/// worker's in-flight task.
+///
+/// Threading: intended to be driven by one (master) thread; not
+/// thread-safe.  All I/O happens inside recv/recvFor/tryRecv/send and
+/// waitForWorkers — there is no background thread on the master side.
+class TcpCommWorld final : public Transport {
+ public:
+  using Options = TcpMasterOptions;
+
+  /// Bind + listen; port 0 picks an ephemeral port (see port()).
+  explicit TcpCommWorld(std::uint16_t port, Options options = {});
+  ~TcpCommWorld() override;
+
+  TcpCommWorld(const TcpCommWorld&) = delete;
+  TcpCommWorld& operator=(const TcpCommWorld&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Message delivered to every worker right after its Welcome (and again
+  /// to every later joiner) — the application uses this to push the
+  /// objective/deployment configuration without a separate exchange.
+  void setGreeting(int tag, mw::MessageBuffer payload);
+
+  /// Block until `count` workers are connected and registered (or throw
+  /// std::runtime_error after `timeoutSeconds`).  Returns the live count.
+  int waitForWorkers(int count, double timeoutSeconds);
+
+  [[nodiscard]] int liveWorkers() const noexcept;
+
+  // -- Transport (at/from must be rank 0) ---------------------------------
+  [[nodiscard]] int size() const noexcept override;
+  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload) override;
+  [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag) override;
+  [[nodiscard]] std::optional<Message> recvFor(Rank at, double timeoutSeconds,
+                                               Rank source = kAnySource,
+                                               int tag = kAnyTag) override;
+  [[nodiscard]] std::optional<Message> tryRecv(Rank at, Rank source = kAnySource,
+                                               int tag = kAnyTag) override;
+  [[nodiscard]] std::uint64_t messagesSent() const override { return messagesSent_; }
+  [[nodiscard]] std::uint64_t bytesSent() const override { return bytesSent_; }
+
+ private:
+  struct Peer {
+    Socket sock;
+    FrameDecoder decoder;
+    std::vector<std::byte> sendBuf;
+    std::size_t sendPos = 0;
+    double lastHeard = 0.0;
+    double lastBeat = 0.0;
+    bool alive = false;
+  };
+  struct PendingPeer {
+    Socket sock;
+    FrameDecoder decoder;
+    double since = 0.0;
+  };
+
+  /// One pass of the event loop: poll the listener + every socket for at
+  /// most `timeoutSeconds`, service reads/writes/accepts, then run the
+  /// heartbeat bookkeeping.
+  void pollOnce(double timeoutSeconds);
+  void serviceListener();
+  void servicePending(std::size_t index);
+  void servicePeer(Rank rank);
+  void promotePending(std::size_t index);
+  void flushPeer(Rank rank);
+  void enqueueToPeer(Rank rank, const Frame& frame);
+  void markLost(Rank rank, const char* why);
+  [[nodiscard]] std::optional<Message> takeMatching(Rank source, int tag);
+  void checkMaster(Rank at, const char* what) const;
+
+  Options options_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Peer>> peers_;  ///< index = rank - 1
+  std::vector<PendingPeer> pending_;          ///< accepted, awaiting Hello
+  std::deque<Message> inbox_;
+  std::optional<std::pair<int, std::vector<std::byte>>> greeting_;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t bytesSent_ = 0;
+  NetTelemetry tel_;
+};
+
+/// Worker-side TCP transport: connects to a TcpCommWorld master, performs
+/// the handshake, and then behaves as the assigned rank.  recv() delivers
+/// master messages (source 0) and throws ConnectionLost when the master
+/// goes away, which the worker CLI uses to drive reconnection.
+///
+/// Heartbeats to the master are sent from a small background thread so
+/// they keep flowing while the worker is busy inside a long task — a
+/// healthy-but-slow worker must not look dead to the master.
+class TcpWorkerTransport final : public Transport {
+ public:
+  using Options = TcpWorkerOptions;
+
+  /// Connect + handshake (throws std::runtime_error / ProtocolError /
+  /// ConnectionLost on failure), then start the heartbeat thread.
+  TcpWorkerTransport(const std::string& host, std::uint16_t port, Options options = {});
+  ~TcpWorkerTransport() override;
+
+  TcpWorkerTransport(const TcpWorkerTransport&) = delete;
+  TcpWorkerTransport& operator=(const TcpWorkerTransport&) = delete;
+
+  /// Rank assigned by the master in the Welcome.
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+
+  // -- Transport (at/from must be rank()) ---------------------------------
+  [[nodiscard]] int size() const noexcept override { return worldSize_; }
+  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload) override;
+  [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag) override;
+  [[nodiscard]] std::optional<Message> recvFor(Rank at, double timeoutSeconds,
+                                               Rank source = kAnySource,
+                                               int tag = kAnyTag) override;
+  [[nodiscard]] std::optional<Message> tryRecv(Rank at, Rank source = kAnySource,
+                                               int tag = kAnyTag) override;
+  [[nodiscard]] std::uint64_t messagesSent() const override { return messagesSent_; }
+  [[nodiscard]] std::uint64_t bytesSent() const override { return bytesSent_; }
+
+ private:
+  void beatLoop();
+  /// Blocking framed write under sendMutex_; marks the connection dead and
+  /// throws ConnectionLost on failure (unless `nothrow`).
+  void writeFrameLocked(const Frame& frame, bool nothrow);
+  /// Poll + read raw bytes into the decoder for at most `timeoutSeconds`
+  /// without dispatching frames (the handshake pulls its Welcome out by
+  /// hand).  Throws ConnectionLost when the socket closes or errors.
+  void fill(double timeoutSeconds);
+  /// fill(), then dispatch every decoded frame (messages to the inbox,
+  /// heartbeats to lastHeard_); handshake frames after registration are a
+  /// protocol violation.
+  void readSome(double timeoutSeconds);
+  [[nodiscard]] std::optional<Message> takeMatching(Rank source, int tag);
+  void checkSelf(Rank r, const char* what) const;
+
+  Options options_;
+  Socket sock_;
+  FrameDecoder decoder_;
+  std::deque<Message> inbox_;
+  Rank rank_ = -1;
+  int worldSize_ = 0;
+  double lastHeard_ = 0.0;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t bytesSent_ = 0;
+  NetTelemetry tel_;
+
+  std::mutex sendMutex_;
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stopMutex_;
+  std::condition_variable stopCv_;
+  std::thread beat_;
+};
+
+/// Construct a TcpWorkerTransport, retrying with exponential backoff:
+/// `attempts` tries, starting at `initialBackoffSeconds` and doubling (5 s
+/// cap).  Rethrows the final failure.
+[[nodiscard]] std::unique_ptr<TcpWorkerTransport> connectWithBackoff(
+    const std::string& host, std::uint16_t port, int attempts, double initialBackoffSeconds,
+    const TcpWorkerTransport::Options& options = {});
+
+}  // namespace sfopt::net

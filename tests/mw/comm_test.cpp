@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -95,6 +96,41 @@ TEST(CommWorld, QueuedAtCountsBacklog) {
   EXPECT_EQ(w.queuedAt(1), 2u);
   (void)w.recv(1);
   EXPECT_EQ(w.queuedAt(1), 1u);
+}
+
+TEST(CommWorld, RecvForReturnsImmediatelyWhenQueued) {
+  CommWorld w(2);
+  w.send(0, 1, 7, payload(11));
+  auto m = w.recvFor(1, 5.0, 0, 7);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.unpackInt64(), 11);
+}
+
+TEST(CommWorld, RecvForTimesOutWithoutMatch) {
+  CommWorld w(2);
+  w.send(0, 1, 7, payload(11));  // wrong tag: must not satisfy the wait
+  const auto m = w.recvFor(1, 0.05, 0, 99);
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(w.queuedAt(1), 1u);  // the non-matching message is untouched
+}
+
+TEST(CommWorld, RecvForWakesOnLateArrival) {
+  CommWorld w(2);
+  std::thread sender([&w] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    w.send(0, 1, 3, payload(5));
+  });
+  auto m = w.recvFor(1, 5.0, kAnySource, 3);
+  sender.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.unpackInt64(), 5);
+}
+
+TEST(CommWorld, RecvForZeroTimeoutActsLikeTryRecv) {
+  CommWorld w(2);
+  EXPECT_FALSE(w.recvFor(1, 0.0).has_value());
+  w.send(0, 1, 1, payload(1));
+  EXPECT_TRUE(w.recvFor(1, 0.0).has_value());
 }
 
 TEST(CommWorld, ConcurrentSendersDeliverEverything) {

@@ -78,6 +78,47 @@ TEST(MessageBuffer, TruncatedWireThrows) {
   EXPECT_THROW((void)truncated.unpackString(), std::runtime_error);
 }
 
+TEST(MessageBuffer, HostileStringLengthPrefixRejectedBeforeAllocation) {
+  MessageBuffer b;
+  b.pack(std::string("hi"));
+  auto wire = b.releaseWire();
+  // Overwrite the 8-byte length prefix (after the 1-byte type tag) with an
+  // absurd value; unpack must refuse before trying to allocate it.
+  for (std::size_t i = 1; i <= 8; ++i) wire[i] = std::byte{0xFF};
+  MessageBuffer tampered(std::move(wire));
+  EXPECT_THROW((void)tampered.unpackString(), std::runtime_error);
+}
+
+TEST(MessageBuffer, HostileVectorLengthPrefixRejectedBeforeAllocation) {
+  MessageBuffer b;
+  const std::vector<double> values = {1.0, 2.0};
+  b.pack(values);
+  auto wire = b.releaseWire();
+  for (std::size_t i = 1; i <= 8; ++i) wire[i] = std::byte{0x7F};
+  MessageBuffer tampered(std::move(wire));
+  EXPECT_THROW((void)tampered.unpackDoubleVector(), std::runtime_error);
+}
+
+TEST(MessageBuffer, WireEncodingIsLittleEndianStable) {
+  // Pin the exact bytes: the format crosses machine boundaries over TCP,
+  // so it must not drift with host byte order or struct layout.
+  MessageBuffer b;
+  b.pack(std::int64_t{0x0102});
+  const std::vector<std::byte> expected = {
+      std::byte{2},  // Tag::Int64
+      std::byte{0x02}, std::byte{0x01}, std::byte{0}, std::byte{0},
+      std::byte{0},    std::byte{0},    std::byte{0}, std::byte{0}};
+  EXPECT_EQ(b.wire(), expected);
+
+  MessageBuffer d;
+  d.pack(1.0);  // IEEE-754: 0x3FF0000000000000, little-endian on the wire
+  const std::vector<std::byte> expectedDouble = {
+      std::byte{1},  // Tag::Double
+      std::byte{0}, std::byte{0}, std::byte{0},    std::byte{0},
+      std::byte{0}, std::byte{0}, std::byte{0xF0}, std::byte{0x3F}};
+  EXPECT_EQ(d.wire(), expectedDouble);
+}
+
 TEST(MessageBuffer, SizeBytesGrows) {
   MessageBuffer b;
   const auto s0 = b.sizeBytes();

@@ -139,6 +139,53 @@ TEST(MWDriver, ShutdownIsIdempotentAndExecuteAfterThrows) {
   EXPECT_THROW((void)driver.executeBuffers({}), std::logic_error);
 }
 
+TEST(MWDriver, RecvTimeoutThrowsWithTasksOutstanding) {
+  // No worker ever answers: the dispatch succeeds but the receive loop's
+  // backstop must fire instead of blocking forever.
+  CommWorld comm(2);
+  MWDriver driver(comm);
+  driver.setRecvTimeout(0.05);
+  SquareTask task(3);
+  std::vector<MWTask*> ptrs = {&task};
+  EXPECT_THROW(driver.executeTasks(ptrs), std::runtime_error);
+}
+
+TEST(MWDriver, WorkerLostRequeuesItsTaskOntoSurvivors) {
+  CommWorld comm(3);
+  // Only rank 2 has a real worker; rank 1 is "lost" via a scripted
+  // transport notification already queued when the batch starts.
+  SquareWorker survivor(comm, 2);
+  std::thread runner([&survivor] { survivor.run(); });
+  comm.send(1, 0, sfopt::net::kTagWorkerLost, {});
+
+  MWDriver driver(comm);
+  driver.setRecvTimeout(5.0);
+  std::vector<SquareTask> tasks;
+  for (std::int64_t i = 1; i <= 3; ++i) tasks.emplace_back(i);
+  std::vector<MWTask*> ptrs;
+  for (auto& t : tasks) ptrs.push_back(&t);
+  driver.executeTasks(ptrs);
+
+  for (std::int64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(tasks[static_cast<std::size_t>(i - 1)].result_, i * i);
+  }
+  EXPECT_EQ(driver.workersLost(), 1u);
+  EXPECT_GE(driver.tasksRequeued(), 1u);
+  EXPECT_EQ(driver.liveWorkerCount(), 1);
+  driver.shutdown();  // skips the dead rank, stops the survivor
+  runner.join();
+}
+
+TEST(MWDriver, ThrowsWhenEveryWorkerIsLost) {
+  CommWorld comm(2);
+  comm.send(1, 0, sfopt::net::kTagWorkerLost, {});
+  MWDriver driver(comm);
+  driver.setRecvTimeout(5.0);
+  SquareTask task(3);
+  std::vector<MWTask*> ptrs = {&task};
+  EXPECT_THROW(driver.executeTasks(ptrs), std::runtime_error);
+}
+
 TEST(MWDriver, WorkersCountTheirTasks) {
   CommWorld comm(3);
   Pool pool(comm, 2);

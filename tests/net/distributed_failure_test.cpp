@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "mw/mw_driver.hpp"
+#include "mw/mw_worker.hpp"
+#include "mw/parallel_runner.hpp"
+#include "mw/sampling_service.hpp"
+#include "net/tcp_transport.hpp"
+#include "noise/noisy_function.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
+#include "testfunctions/functions.hpp"
+
+namespace {
+
+using namespace sfopt;
+
+/// Thrown past MWWorker::run()'s catch(std::exception) so the worker
+/// "crashes" instead of reporting a polite kTagError — the transport is
+/// destroyed mid-task and the master only learns from the dead socket.
+struct Die {};
+
+class EchoWorker final : public mw::MWWorker {
+ public:
+  EchoWorker(net::Transport& comm, mw::Rank rank, bool dieOnFirstTask)
+      : MWWorker(comm, rank), die_(dieOnFirstTask) {}
+
+ protected:
+  void executeTask(mw::MessageBuffer& in, mw::MessageBuffer& out) override {
+    if (die_) throw Die{};
+    out.pack(in.unpackInt64() * 2);
+  }
+
+ private:
+  bool die_;
+};
+
+TEST(DistributedFailure, KilledWorkerTaskIsRequeuedAndBatchCompletes) {
+  telemetry::NoopSink sink;
+  telemetry::Telemetry spine(sink);
+  net::TcpCommWorld::Options opts;
+  opts.telemetry = &spine;
+  net::TcpCommWorld master(0, opts);
+  const std::uint16_t port = master.port();
+
+  // Worker 1 dies on its first task (abrupt socket close, no error reply);
+  // worker 2 is healthy and picks up the pieces.
+  std::vector<std::thread> threads;
+  for (const bool die : {true, false}) {
+    threads.emplace_back([port, die] {
+      try {
+        net::TcpWorkerTransport transport("127.0.0.1", port);
+        EchoWorker worker(transport, transport.rank(), die);
+        worker.run();
+      } catch (const Die&) {
+        // Crash: the transport goes down with the stack frame.
+      } catch (const net::ConnectionLost&) {
+      }
+    });
+    (void)master.waitForWorkers(master.liveWorkers() + 1, 10.0);
+  }
+
+  mw::MWDriver driver(master);
+  driver.setRecvTimeout(10.0);
+  std::vector<mw::MessageBuffer> inputs;
+  for (std::int64_t v = 1; v <= 4; ++v) {
+    mw::MessageBuffer b;
+    b.pack(v);
+    inputs.push_back(std::move(b));
+  }
+  auto results = driver.executeBuffers(std::move(inputs));
+
+  ASSERT_EQ(results.size(), 4u);
+  for (std::int64_t v = 1; v <= 4; ++v) {
+    EXPECT_EQ(results[static_cast<std::size_t>(v - 1)].unpackInt64(), 2 * v);
+  }
+  EXPECT_EQ(driver.tasksCompleted(), 4u);
+  EXPECT_EQ(driver.workersLost(), 1u);
+  EXPECT_GE(driver.tasksRequeued(), 1u);
+  EXPECT_EQ(driver.liveWorkerCount(), 1);
+
+  // The driver's view and the transport telemetry tell the same story.
+  EXPECT_EQ(spine.metrics().counter("net.disconnects").value(),
+            static_cast<std::int64_t>(driver.workersLost()));
+
+  driver.shutdown();
+  for (auto& t : threads) t.join();
+}
+
+TEST(DistributedFailure, TcpRunMatchesInProcessRunBitwise) {
+  const noise::NoisyFunction::Options noiseOpts{.sigma0 = 1.0, .seed = 99};
+  const noise::NoisyFunction objective(2, &testfunctions::sphere, noiseOpts);
+  const std::vector<core::Point> start = {{2.0, 2.0}, {3.0, 2.0}, {2.0, 3.0}};
+
+  core::MaxNoiseOptions algo;
+  algo.common.termination.maxIterations = 12;
+  algo.common.termination.maxSamples = 20'000;
+  const mw::AlgorithmOptions options = algo;
+
+  mw::MWRunConfig config;
+  config.workers = 2;
+  config.clientsPerWorker = 1;
+  const auto inProcess = mw::runSimplexOverMW(objective, start, options, config);
+
+  net::TcpCommWorld master(0);
+  const std::uint16_t port = master.port();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([port, &objective] {
+      try {
+        net::TcpWorkerTransport transport("127.0.0.1", port);
+        mw::SamplingWorker worker(transport, transport.rank(), objective, 1);
+        worker.run();
+      } catch (const net::ConnectionLost&) {
+      }
+    });
+    (void)master.waitForWorkers(i + 1, 10.0);
+  }
+  const auto overTcp = mw::runSimplexOverTransport(objective, start, options, master, config);
+  for (auto& t : threads) t.join();
+
+  // Counter-based noise + byte-exact little-endian marshaling: the
+  // distributed run reproduces the in-process run bit for bit.
+  EXPECT_EQ(overTcp.optimization.iterations, inProcess.optimization.iterations);
+  EXPECT_EQ(overTcp.optimization.totalSamples, inProcess.optimization.totalSamples);
+  EXPECT_EQ(overTcp.optimization.bestEstimate, inProcess.optimization.bestEstimate);
+  ASSERT_EQ(overTcp.optimization.best.size(), inProcess.optimization.best.size());
+  for (std::size_t i = 0; i < overTcp.optimization.best.size(); ++i) {
+    EXPECT_EQ(overTcp.optimization.best[i], inProcess.optimization.best[i]);
+  }
+  EXPECT_EQ(overTcp.tasksCompleted, inProcess.tasksCompleted);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace sfopt::net;
+
+std::vector<std::byte> bytesOf(const Frame& f) {
+  std::vector<std::byte> wire;
+  appendFrame(wire, f);
+  return wire;
+}
+
+TEST(Frame, MessageRoundTripsThroughDecoder) {
+  std::vector<std::byte> payload = {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE}};
+  const auto wire = bytesOf(makeMessageFrame(42, payload));
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::Message);
+  EXPECT_EQ(f->tag, 42);
+  EXPECT_EQ(f->payload, payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Frame, NegativeControlTagsSurvive) {
+  const auto wire = bytesOf(makeMessageFrame(kTagWorkerLost, {}));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->tag, kTagWorkerLost);
+}
+
+TEST(Frame, ByteByByteFeedReassembles) {
+  std::vector<std::byte> wire;
+  appendFrame(wire, makeHelloFrame());
+  appendFrame(wire, makeMessageFrame(7, {std::byte{1}, std::byte{2}}));
+  appendFrame(wire, makeHeartbeatFrame());
+
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  for (const std::byte b : wire) {
+    dec.feed(&b, 1);
+    while (auto f = dec.next()) out.push_back(std::move(*f));
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].type, FrameType::Hello);
+  EXPECT_EQ(out[1].type, FrameType::Message);
+  EXPECT_EQ(out[1].tag, 7);
+  EXPECT_EQ(out[2].type, FrameType::Heartbeat);
+}
+
+TEST(Frame, HelloRoundTrip) {
+  const auto wire = bytesOf(makeHelloFrame());
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const Hello h = parseHello(*f);
+  EXPECT_EQ(h.magic, kProtocolMagic);
+  EXPECT_EQ(h.version, kProtocolVersion);
+}
+
+TEST(Frame, WelcomeRoundTrip) {
+  const auto wire = bytesOf(makeWelcomeFrame(3, 5));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  const Welcome w = parseWelcome(*f);
+  EXPECT_EQ(w.rank, 3);
+  EXPECT_EQ(w.worldSize, 5);
+}
+
+TEST(Frame, BadMagicRejected) {
+  Frame f = makeHelloFrame();
+  f.payload[0] = std::byte{0x00};
+  EXPECT_THROW((void)parseHello(f), ProtocolError);
+}
+
+TEST(Frame, VersionMismatchRejected) {
+  Frame f = makeHelloFrame();
+  f.payload[4] = std::byte{0x7F};  // LE low byte of the version field
+  EXPECT_THROW((void)parseHello(f), ProtocolError);
+}
+
+TEST(Frame, WelcomeRejectsInvalidRank) {
+  EXPECT_THROW((void)parseWelcome(makeWelcomeFrame(0, 5)), ProtocolError);
+  EXPECT_THROW((void)parseWelcome(makeWelcomeFrame(1, 1)), ProtocolError);
+}
+
+TEST(Frame, OversizeLengthPrefixRejectedBeforeBuffering) {
+  // A hostile length prefix must be refused outright, not allocated.
+  FrameDecoder dec(/*maxFrameBytes=*/64);
+  std::vector<std::byte> wire;
+  const std::uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<std::byte>((huge >> (8 * i)) & 0xFF));
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW((void)dec.next(), ProtocolError);
+}
+
+TEST(Frame, UnknownTypeRejected) {
+  std::vector<std::byte> wire = {std::byte{1}, std::byte{0}, std::byte{0}, std::byte{0},
+                                 std::byte{99}};
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW((void)dec.next(), ProtocolError);
+}
+
+TEST(Frame, EmptyBodyRejected) {
+  std::vector<std::byte> wire(4, std::byte{0});  // length prefix 0
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW((void)dec.next(), ProtocolError);
+}
+
+TEST(Frame, TruncatedMessageHeaderRejected) {
+  // Message frames need at least type + 4 tag bytes in the body.
+  std::vector<std::byte> wire = {std::byte{2}, std::byte{0}, std::byte{0}, std::byte{0},
+                                 std::byte{1}, std::byte{0}};
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW((void)dec.next(), ProtocolError);
+}
+
+TEST(Frame, WireLayoutIsLittleEndianStable) {
+  // Pin the v1 wire bytes of a small message so accidental layout changes
+  // are caught: len=6 LE | type=1 | tag=0x0102 LE | payload {0xAB}.
+  const auto wire = bytesOf(makeMessageFrame(0x0102, {std::byte{0xAB}}));
+  const std::vector<std::byte> expected = {
+      std::byte{6},    std::byte{0}, std::byte{0}, std::byte{0},  // length
+      std::byte{1},                                               // type
+      std::byte{0x02}, std::byte{0x01}, std::byte{0}, std::byte{0},  // tag LE
+      std::byte{0xAB}};
+  EXPECT_EQ(wire, expected);
+}
+
+}  // namespace

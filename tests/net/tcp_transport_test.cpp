@@ -1,0 +1,244 @@
+#include "net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "mw/mw_task.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace sfopt;
+using namespace sfopt::net;
+
+mw::MessageBuffer payload(std::int64_t v) {
+  mw::MessageBuffer b;
+  b.pack(v);
+  return b;
+}
+
+std::unique_ptr<TcpWorkerTransport> connectTo(const TcpCommWorld& master,
+                                              TcpWorkerTransport::Options opts = {}) {
+  return std::make_unique<TcpWorkerTransport>("127.0.0.1", master.port(), opts);
+}
+
+/// Drive the worker-side connect on a thread while the master polls — both
+/// ends of the handshake need cycles in a single-process test.
+std::unique_ptr<TcpWorkerTransport> joinWorker(TcpCommWorld& master,
+                                               TcpWorkerTransport::Options opts = {}) {
+  std::unique_ptr<TcpWorkerTransport> worker;
+  std::thread t([&] { worker = connectTo(master, opts); });
+  (void)master.waitForWorkers(master.liveWorkers() + 1, 10.0);
+  t.join();
+  return worker;
+}
+
+TEST(TcpTransport, HandshakeAssignsRanksInConnectionOrder) {
+  TcpCommWorld master(0);
+  EXPECT_GT(master.port(), 0);
+  EXPECT_EQ(master.size(), 1);
+
+  auto w1 = joinWorker(master);
+  auto w2 = joinWorker(master);
+  EXPECT_EQ(w1->rank(), 1);
+  EXPECT_EQ(w2->rank(), 2);
+  EXPECT_EQ(master.size(), 3);
+  EXPECT_EQ(master.liveWorkers(), 2);
+
+  // The join events are visible to the driver as control messages.
+  auto j1 = master.tryRecv(0, kAnySource, kTagWorkerJoined);
+  ASSERT_TRUE(j1.has_value());
+  EXPECT_EQ(j1->source, 1);
+}
+
+TEST(TcpTransport, EchoRoundTrip) {
+  TcpCommWorld master(0);
+  auto worker = joinWorker(master);
+
+  master.send(0, 1, 5, payload(123));
+  Message onWorker = worker->recv(1, 0, 5);
+  EXPECT_EQ(onWorker.source, 0);
+  EXPECT_EQ(onWorker.payload.unpackInt64(), 123);
+
+  worker->send(1, 0, 6, payload(456));
+  Message onMaster = master.recv(0, 1, 6);
+  EXPECT_EQ(onMaster.source, 1);
+  EXPECT_EQ(onMaster.payload.unpackInt64(), 456);
+  EXPECT_GT(master.bytesSent(), 0u);
+  EXPECT_EQ(master.messagesSent(), 1u);
+  EXPECT_EQ(worker->messagesSent(), 1u);
+}
+
+TEST(TcpTransport, GreetingDeliveredToEveryJoiner) {
+  TcpCommWorld master(0);
+  mw::MessageBuffer cfg;
+  cfg.pack(std::string("config-blob"));
+  master.setGreeting(mw::kTagConfig, std::move(cfg));
+
+  auto w1 = joinWorker(master);
+  auto w2 = joinWorker(master);
+  for (auto* w : {w1.get(), w2.get()}) {
+    auto m = w->recvFor(w->rank(), 5.0, 0, mw::kTagConfig);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload.unpackString(), "config-blob");
+  }
+}
+
+TEST(TcpTransport, RecvForTimesOutCleanly) {
+  TcpCommWorld master(0);
+  auto worker = joinWorker(master);
+  const auto m = master.recvFor(0, 0.05, kAnySource, 99);
+  EXPECT_FALSE(m.has_value());
+  // The worker is still healthy afterwards.
+  master.send(0, 1, 1, payload(7));
+  EXPECT_EQ(worker->recv(1, 0, 1).payload.unpackInt64(), 7);
+}
+
+TEST(TcpTransport, DisconnectSynthesizesWorkerLost) {
+  TcpCommWorld master(0);
+  auto worker = joinWorker(master);
+  (void)master.tryRecv(0, kAnySource, kTagWorkerJoined);
+
+  worker.reset();  // abrupt close
+  auto lost = master.recvFor(0, 5.0, kAnySource, kTagWorkerLost);
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(lost->source, 1);
+  EXPECT_EQ(master.liveWorkers(), 0);
+  EXPECT_EQ(master.size(), 2);  // the rank is never reused
+
+  // Sending to the lost rank is a silent drop, not an error.
+  master.send(0, 1, 1, payload(1));
+}
+
+TEST(TcpTransport, HeartbeatSilenceMarksWorkerLost) {
+  TcpCommWorld::Options opts;
+  opts.heartbeatIntervalSeconds = 0.05;
+  opts.heartbeatTimeoutSeconds = 0.3;
+  TcpCommWorld master(0, opts);
+
+  // A worker whose heartbeat thread never beats: make the interval so long
+  // the master's silence window always expires first.
+  TcpWorkerTransport::Options wopts;
+  wopts.heartbeatIntervalSeconds = 60.0;
+  auto worker = joinWorker(master, wopts);
+
+  auto lost = master.recvFor(0, 5.0, kAnySource, kTagWorkerLost);
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(lost->source, 1);
+  EXPECT_EQ(master.liveWorkers(), 0);
+}
+
+TEST(TcpTransport, HeartbeatsKeepIdleWorkerAlive) {
+  TcpCommWorld::Options opts;
+  opts.heartbeatIntervalSeconds = 0.05;
+  opts.heartbeatTimeoutSeconds = 0.4;
+  TcpCommWorld master(0, opts);
+
+  TcpWorkerTransport::Options wopts;
+  wopts.heartbeatIntervalSeconds = 0.05;
+  auto worker = joinWorker(master, wopts);
+
+  // Idle for several silence windows; the background beats must keep the
+  // peer alive even though no application traffic flows.  The worker side
+  // must drain its socket for the master's beats, as a real worker does
+  // while blocked in recv.
+  std::atomic<bool> stop{false};
+  std::thread drain([&] {
+    while (!stop.load()) (void)worker->tryRecv(1, kAnySource, 99);
+  });
+  const auto m = master.recvFor(0, 1.2, kAnySource, kTagWorkerLost);
+  stop.store(true);
+  drain.join();
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(master.liveWorkers(), 1);
+}
+
+TEST(TcpTransport, ReconnectGetsFreshRank) {
+  TcpCommWorld master(0);
+  auto w1 = joinWorker(master);
+  w1.reset();
+  (void)master.recvFor(0, 5.0, kAnySource, kTagWorkerLost);
+
+  auto w2 = joinWorker(master);
+  EXPECT_EQ(w2->rank(), 2);
+  EXPECT_EQ(master.size(), 3);
+  EXPECT_EQ(master.liveWorkers(), 1);
+}
+
+TEST(TcpTransport, WorkerSendAfterMasterGoneThrowsConnectionLost) {
+  auto master = std::make_unique<TcpCommWorld>(0);
+  auto worker = joinWorker(*master);
+  master.reset();
+  // The first send may still land in kernel buffers; the loss must surface
+  // within a couple of attempts.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 50; ++i) {
+          worker->send(1, 0, 1, payload(i));
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      },
+      ConnectionLost);
+}
+
+TEST(TcpTransport, WorkerRecvAfterMasterGoneThrowsConnectionLost) {
+  auto master = std::make_unique<TcpCommWorld>(0);
+  auto worker = joinWorker(*master);
+  master.reset();
+  EXPECT_THROW((void)worker->recv(1), ConnectionLost);
+}
+
+TEST(TcpTransport, MasterOnlyAcceptsRankZeroCalls) {
+  TcpCommWorld master(0);
+  EXPECT_THROW((void)master.recv(1), std::invalid_argument);
+  EXPECT_THROW(master.send(1, 0, 1, {}), std::invalid_argument);
+  EXPECT_THROW(master.send(0, 5, 1, {}), std::out_of_range);
+}
+
+TEST(TcpTransport, WaitForWorkersTimesOut) {
+  TcpCommWorld master(0);
+  EXPECT_THROW((void)master.waitForWorkers(1, 0.1), std::runtime_error);
+}
+
+TEST(TcpTransport, ConnectWithBackoffEventuallyThrows) {
+  // Nothing listens on the master's port once it is closed.
+  std::uint16_t port = 0;
+  {
+    TcpCommWorld master(0);
+    port = master.port();
+  }
+  EXPECT_THROW((void)connectWithBackoff("127.0.0.1", port, 2, 0.01), std::exception);
+}
+
+TEST(TcpTransport, TelemetryCountsTraffic) {
+  telemetry::NoopSink sink;
+  telemetry::Telemetry spine(sink);
+  TcpCommWorld::Options opts;
+  opts.telemetry = &spine;
+  TcpCommWorld master(0, opts);
+  auto worker = joinWorker(master);
+
+  master.send(0, 1, 1, payload(1));
+  (void)worker->recv(1, 0, 1);
+  worker->send(1, 0, 2, payload(2));
+  (void)master.recv(0, 1, 2);
+  worker.reset();
+  (void)master.recvFor(0, 5.0, kAnySource, kTagWorkerLost);
+
+  auto& reg = spine.metrics();
+  EXPECT_EQ(reg.counter("net.connects").value(), 1);
+  EXPECT_EQ(reg.counter("net.disconnects").value(), 1);
+  EXPECT_GE(reg.counter("net.messages_out").value(), 1);
+  EXPECT_GE(reg.counter("net.messages_in").value(), 1);
+  EXPECT_GT(reg.counter("net.bytes_out").value(), 0);
+  EXPECT_GT(reg.counter("net.bytes_in").value(), 0);
+  master.send(0, 1, 1, payload(3));  // to the dead rank
+  EXPECT_EQ(reg.counter("net.sends_dropped").value(), 1);
+}
+
+}  // namespace

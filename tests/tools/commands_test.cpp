@@ -34,6 +34,24 @@ TEST(Cli, InfoListsEverything) {
   EXPECT_NE(r.out.find("mn"), std::string::npos);
   EXPECT_NE(r.out.find("rosenbrock"), std::string::npos);
   EXPECT_NE(r.out.find("water"), std::string::npos);
+  EXPECT_NE(r.out.find("transports:"), std::string::npos);
+  EXPECT_NE(r.out.find("protocol v1"), std::string::npos);
+  EXPECT_NE(r.out.find("serve"), std::string::npos);
+  EXPECT_NE(r.out.find("worker"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsBadInput) {
+  EXPECT_EQ(cli({"serve", "--function", "nope", "--dim", "2"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--function", "sphere", "--dim", "1"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--function", "sphere", "--dim", "2", "--workers", "0"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--function", "sphere", "--dim", "2", "--port", "70000"}).code, 2);
+  EXPECT_EQ(
+      cli({"serve", "--function", "sphere", "--dim", "2", "--algorithm", "bogus"}).code, 2);
+}
+
+TEST(Cli, WorkerRejectsBadInput) {
+  EXPECT_EQ(cli({"worker", "--port", "70000"}).code, 2);
+  EXPECT_EQ(cli({"worker", "--port", "7600", "--connect-attempts", "0"}).code, 2);
 }
 
 TEST(Cli, NoCommandPrintsInfo) {
@@ -235,7 +253,7 @@ TEST(Cli, TelemetryAppendAccumulatesAllFourLayers) {
             0);
   const auto m = cli({"metrics", "--in", jsonl.string()});
   ASSERT_EQ(m.code, 0) << m.err;
-  EXPECT_NE(m.out.find("engine[x] mw[x] md[x] cli[x]"), std::string::npos) << m.out;
+  EXPECT_NE(m.out.find("engine[x] mw[x] net[ ] md[x] cli[x]"), std::string::npos) << m.out;
   fs::remove(jsonl);
 }
 

@@ -16,6 +16,9 @@
 #include "core/pso.hpp"
 #include "md/simulation.hpp"
 #include "mw/parallel_runner.hpp"
+#include "mw/sampling_service.hpp"
+#include "net/frame.hpp"
+#include "net/tcp_transport.hpp"
 #include "noise/noisy_function.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
@@ -51,6 +54,21 @@ noise::NoisyFunction makeObjective(const Args& args, std::size_t dim) {
   return noise::NoisyFunction(dim, lookupFunction(fn), o);
 }
 
+/// Initial simplex shared by `optimize` and `serve`: explicit --start
+/// corner, or random in --box lo,hi (seeded, so the master is
+/// deterministic for a given command line).
+std::vector<core::Point> initialSimplexFrom(const Args& args, std::size_t dim) {
+  if (args.has("start")) {
+    const auto corner = args.getDoubleList("start", {});
+    if (corner.size() != dim) throw ArgError("--start must have --dim coordinates");
+    return core::axisSimplexPoints(corner, 1.0);
+  }
+  const auto box = args.getDoubleList("box", {-5.0, 5.0});
+  if (box.size() != 2 || !(box[0] < box[1])) throw ArgError("--box expects lo,hi");
+  noise::RngStream rng(static_cast<std::uint64_t>(args.getInt("seed", 2026)), 7);
+  return core::randomSimplexPoints(dim, box[0], box[1], rng);
+}
+
 core::TerminationCriteria terminationFrom(const Args& args) {
   core::TerminationCriteria t;
   t.tolerance = args.getDouble("tolerance", 1e-4);
@@ -58,6 +76,44 @@ core::TerminationCriteria terminationFrom(const Args& args) {
   t.maxSamples = args.getInt("max-samples", 1'000'000);
   t.maxTime = args.getDouble("max-time", 1e9);
   return t;
+}
+
+/// Simplex algorithm selection shared by `optimize` and `serve`; the
+/// caller layers telemetry / checkpointing onto `common` afterwards.
+mw::AlgorithmOptions simplexOptionsFrom(const Args& args, const std::string& algo,
+                                        const core::TerminationCriteria& term,
+                                        bool wantTrace) {
+  if (algo == "det") {
+    core::DetOptions o;
+    o.common.termination = term;
+    o.common.recordTrace = wantTrace;
+    return o;
+  }
+  if (algo == "mn") {
+    core::MaxNoiseOptions o;
+    o.k = args.getDouble("k", 2.0);
+    o.common.termination = term;
+    o.common.recordTrace = wantTrace;
+    return o;
+  }
+  if (algo == "anderson") {
+    core::AndersonOptions o;
+    o.k1 = args.getDouble("k1", 1.0);
+    o.k2 = args.getDouble("k2", 0.0);
+    o.common.termination = term;
+    o.common.recordTrace = wantTrace;
+    return o;
+  }
+  if (algo == "pc" || algo == "pcmn") {
+    core::PCOptions o;
+    o.k = args.getDouble("k", 1.0);
+    o.maxNoiseGate = algo == "pcmn";
+    o.common.termination = term;
+    o.common.recordTrace = wantTrace;
+    return o;
+  }
+  throw ArgError("unknown algorithm '" + algo +
+                 "' (try det, mn, anderson, pc, pcmn, pso, sa)");
 }
 
 void printResult(std::ostream& out, const core::OptimizationResult& res) {
@@ -114,18 +170,7 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
   const auto objective = makeObjective(args, dim);
   const std::string algo = args.getString("algorithm", "pc");
 
-  // Initial simplex: explicit --start corner, or random in --box lo,hi.
-  std::vector<core::Point> start;
-  if (args.has("start")) {
-    const auto corner = args.getDoubleList("start", {});
-    if (corner.size() != dim) throw ArgError("--start must have --dim coordinates");
-    start = core::axisSimplexPoints(corner, 1.0);
-  } else {
-    const auto box = args.getDoubleList("box", {-5.0, 5.0});
-    if (box.size() != 2 || !(box[0] < box[1])) throw ArgError("--box expects lo,hi");
-    noise::RngStream rng(static_cast<std::uint64_t>(args.getInt("seed", 2026)), 7);
-    start = core::randomSimplexPoints(dim, box[0], box[1], rng);
-  }
+  const std::vector<core::Point> start = initialSimplexFrom(args, dim);
 
   const auto term = terminationFrom(args);
   const bool wantTrace = args.has("trace");
@@ -172,43 +217,8 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
     o.termination = term;
     res = core::runSimulatedAnnealing(objective, start.front(), o);
   } else {
-    mw::AlgorithmOptions options = [&]() -> mw::AlgorithmOptions {
-      if (algo == "det") {
-        core::DetOptions o;
-        o.common.termination = term;
-        o.common.recordTrace = wantTrace;
-        applyCheckpointing(o.common);
-        return o;
-      }
-      if (algo == "mn") {
-        core::MaxNoiseOptions o;
-        o.k = args.getDouble("k", 2.0);
-        o.common.termination = term;
-        o.common.recordTrace = wantTrace;
-        applyCheckpointing(o.common);
-        return o;
-      }
-      if (algo == "anderson") {
-        core::AndersonOptions o;
-        o.k1 = args.getDouble("k1", 1.0);
-        o.k2 = args.getDouble("k2", 0.0);
-        o.common.termination = term;
-        o.common.recordTrace = wantTrace;
-        applyCheckpointing(o.common);
-        return o;
-      }
-      if (algo == "pc" || algo == "pcmn") {
-        core::PCOptions o;
-        o.k = args.getDouble("k", 1.0);
-        o.maxNoiseGate = algo == "pcmn";
-        o.common.termination = term;
-        o.common.recordTrace = wantTrace;
-        applyCheckpointing(o.common);
-        return o;
-      }
-      throw ArgError("unknown algorithm '" + algo +
-                     "' (try det, mn, anderson, pc, pcmn, pso, sa)");
-    }();
+    mw::AlgorithmOptions options = simplexOptionsFrom(args, algo, term, wantTrace);
+    std::visit([&](auto& o) { applyCheckpointing(o.common); }, options);
     if (args.getBool("mw", false)) {
       mw::MWRunConfig cfg;
       cfg.workers = static_cast<int>(args.getInt("workers", 0));
@@ -382,6 +392,116 @@ int runMdCommand(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int runServeCommand(const Args& args, std::ostream& out) {
+  const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
+  if (dim < 2) throw ArgError("--dim must be >= 2");
+  const int workers = static_cast<int>(args.getInt("workers", 2));
+  if (workers < 1) throw ArgError("--workers must be >= 1");
+  const int clients = static_cast<int>(args.getInt("clients", 1));
+  if (clients < 1) throw ArgError("--clients must be >= 1");
+  const auto port = args.getInt("port", 7600);
+  if (port < 0 || port > 65535) throw ArgError("--port must be in [0, 65535]");
+  const std::string fn = args.getString("function", "rosenbrock");
+  const auto objective = makeObjective(args, dim);
+  const std::string algo = args.getString("algorithm", "pc");
+  mw::AlgorithmOptions options = simplexOptionsFrom(args, algo, terminationFrom(args), false);
+  const auto start = initialSimplexFrom(args, dim);
+
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "serve");
+  telemetry::Telemetry* const tel = telemetrySession.get();
+  std::visit([&](auto& o) { o.common.telemetry = tel; }, options);
+
+  net::TcpCommWorld::Options netOpts;
+  netOpts.telemetry = tel;
+  netOpts.heartbeatTimeoutSeconds = args.getDouble("heartbeat-timeout", 10.0);
+  net::TcpCommWorld comm(static_cast<std::uint16_t>(port), netOpts);
+
+  // Greeting: delivered to every worker right after its handshake
+  // (including late joiners and post-crash rejoins), so workers are
+  // configured by the master, not by their own command lines.
+  mw::MessageBuffer cfg;
+  cfg.pack(std::string("noisy-v1"));
+  cfg.pack(fn);
+  cfg.pack(static_cast<std::int64_t>(dim));
+  cfg.pack(args.getDouble("sigma0", 1.0));
+  cfg.pack(static_cast<std::uint64_t>(args.getInt("seed", 2026)));
+  cfg.pack(static_cast<std::int64_t>(clients));
+  comm.setGreeting(mw::kTagConfig, std::move(cfg));
+
+  out << "listening on 0.0.0.0:" << comm.port() << " (protocol v" << net::kProtocolVersion
+      << "), waiting for " << workers << " worker(s)\n"
+      << std::flush;
+  comm.waitForWorkers(workers, args.getDouble("wait-timeout", 120.0));
+  out << "workers:  " << comm.liveWorkers() << " connected\n" << std::flush;
+
+  mw::MWRunConfig runCfg;
+  runCfg.clientsPerWorker = clients;
+  runCfg.telemetry = tel;
+  runCfg.recvTimeoutSeconds = args.getDouble("recv-timeout", 300.0);
+  const auto run = mw::runSimplexOverTransport(objective, start, options, comm, runCfg);
+  out << "distributed deployment: " << comm.size() - 1 << " worker rank(s), "
+      << run.messagesSent << " messages, " << run.tasksRequeued << " requeued\n";
+  printResult(out, run.optimization);
+  telemetrySession.finish(out);
+  return 0;
+}
+
+int runWorkerCommand(const Args& args, std::ostream& out) {
+  const std::string host = args.getString("host", "127.0.0.1");
+  const auto port = args.getInt("port", 7600);
+  if (port < 1 || port > 65535) throw ArgError("--port must be in [1, 65535]");
+  const int attempts = static_cast<int>(args.getInt("connect-attempts", 10));
+  if (attempts < 1) throw ArgError("--connect-attempts must be >= 1");
+  const bool reconnect = args.getBool("reconnect", true);
+  const double configTimeout = args.getDouble("config-timeout", 30.0);
+
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "worker");
+  net::TcpWorkerTransport::Options netOpts;
+  netOpts.telemetry = telemetrySession.get();
+
+  for (;;) {
+    const auto transport =
+        net::connectWithBackoff(host, static_cast<std::uint16_t>(port), attempts, 0.2, netOpts);
+    const mw::Rank rank = transport->rank();
+    out << "connected to " << host << ":" << port << " as rank " << rank << "\n" << std::flush;
+    try {
+      // The master's greeting tells this worker what to compute; a worker
+      // needs no objective flags of its own.
+      auto cfgMsg = transport->recvFor(rank, configTimeout, 0, mw::kTagConfig);
+      if (!cfgMsg) throw std::runtime_error("sfopt worker: no config greeting from master");
+      mw::MessageBuffer& cfg = cfgMsg->payload;
+      const std::string schema = cfg.unpackString();
+      if (schema != "noisy-v1") {
+        throw std::runtime_error("sfopt worker: unsupported config schema '" + schema + "'");
+      }
+      const std::string fn = cfg.unpackString();
+      const auto dim = static_cast<std::size_t>(cfg.unpackInt64());
+      noise::NoisyFunction::Options objOpts;
+      objOpts.sigma0 = cfg.unpackDouble();
+      objOpts.seed = cfg.unpackUint64();
+      const int clients = static_cast<int>(cfg.unpackInt64());
+      const noise::NoisyFunction objective(dim, lookupFunction(fn), objOpts);
+      out << "objective: " << fn << " dim " << dim << " sigma0 " << objOpts.sigma0 << ", "
+          << clients << " client(s) per vertex server\n"
+          << std::flush;
+
+      mw::SamplingWorker worker(*transport, rank, objective, clients);
+      worker.run();
+      out << "shutdown: " << worker.tasksExecuted() << " task(s) executed, "
+          << worker.tasksFailed() << " failed\n";
+      telemetrySession.finish(out);
+      return 0;
+    } catch (const net::ConnectionLost& e) {
+      out << "connection lost: " << e.what() << (reconnect ? " - reconnecting" : "") << "\n"
+          << std::flush;
+      if (!reconnect) {
+        telemetrySession.finish(out);
+        return 1;
+      }
+    }
+  }
+}
+
 int runMetricsCommand(const Args& args, std::ostream& out) {
   const std::string path = args.has("in") ? args.requireString("in")
                            : !args.positional().empty()
@@ -457,7 +577,7 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
   }
 
   // Layer coverage: which instrumented layers contributed events.
-  const char* const layers[] = {"engine.", "mw.", "md.", "cli."};
+  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli."};
   out << "\nlayers:";
   for (const char* prefix : layers) {
     const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
@@ -474,8 +594,12 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "sfopt - stochastic-function optimization (IPDPS'11 reproduction)\n";
   out << "algorithms: det mn anderson pc pcmn pso sa\n";
   out << "functions:  rosenbrock powell sphere rastrigin quadratic\n";
+  out << "transports: in-process (--mw), tcp (serve/worker), protocol v"
+      << net::kProtocolVersion << "\n";
   out << "commands:\n";
   out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
+  out << "  serve    --port P --workers W --function F --dim D --algorithm A ...\n";
+  out << "  worker   --host H --port P [--reconnect false]\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
   out << "  probe    --function F --dim D --point x,y,... --samples N\n";
   out << "  md       --molecules N --force-threads T --equilibration E --production P "
@@ -483,7 +607,7 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  metrics  <file.jsonl>  (summarize a --telemetry-out capture)\n";
   out << "  info\n";
   out << "telemetry:  add --telemetry-out run.jsonl [--telemetry-append] to optimize,\n";
-  out << "            water, or md to capture structured spans and metrics\n";
+  out << "            serve, worker, water, or md to capture spans and metrics\n";
   return 0;
 }
 
@@ -492,6 +616,8 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     const Args args = Args::parse(argv);
     const std::string& cmd = args.command();
     if (cmd == "optimize") return runOptimizeCommand(args, out);
+    if (cmd == "serve") return runServeCommand(args, out);
+    if (cmd == "worker") return runWorkerCommand(args, out);
     if (cmd == "water") return runWaterCommand(args, out);
     if (cmd == "probe") return runProbeCommand(args, out);
     if (cmd == "md") return runMdCommand(args, out);

@@ -14,6 +14,18 @@ namespace sfopt::tools {
 /// simulated annealing) on a built-in test function.
 int runOptimizeCommand(const Args& args, std::ostream& out);
 
+/// `sfopt serve` — distributed master: bind a TCP port, wait for
+/// `--workers` worker processes to register, then run the simplex
+/// optimization with sampling farmed out over them.  Results are bitwise
+/// identical to the in-process `optimize --mw` run of the same options.
+int runServeCommand(const Args& args, std::ostream& out);
+
+/// `sfopt worker` — distributed worker: connect to a master, receive the
+/// objective configuration in the handshake greeting, and serve sampling
+/// tasks until shutdown.  Reconnects with backoff when the connection
+/// drops (disable with `--reconnect false`).
+int runWorkerCommand(const Args& args, std::ostream& out);
+
 /// `sfopt water` — the TIP4P reparameterization application.
 int runWaterCommand(const Args& args, std::ostream& out);
 
@@ -28,7 +40,7 @@ int runMdCommand(const Args& args, std::ostream& out);
 
 /// `sfopt metrics` — summarize a `--telemetry-out` JSONL capture: span
 /// roll-ups (count/total/mean/max), final metric values, and which of the
-/// four instrumented layers (engine, mw, md, cli) the file covers.
+/// five instrumented layers (engine, mw, net, md, cli) the file covers.
 int runMetricsCommand(const Args& args, std::ostream& out);
 
 /// `sfopt info` — list algorithms, functions and build configuration.
