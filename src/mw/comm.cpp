@@ -57,9 +57,16 @@ Message CommWorld::recv(Rank at, Rank source, int tag) {
 std::optional<Message> CommWorld::recvFor(Rank at, double timeoutSeconds, Rank source, int tag) {
   checkRank(at, "recvFor");
   Mailbox& box = *boxes_[static_cast<std::size_t>(at)];
+  // Clamp before the duration_cast: a huge timeout (say 1e18 s) overflows
+  // steady_clock's representation and yields a bogus (possibly already
+  // past) deadline.  One year is as good as forever here; NaN and negative
+  // values collapse to an immediate poll.
+  constexpr double kMaxTimeoutSeconds = 365.0 * 24.0 * 3600.0;
+  const double clamped =
+      timeoutSeconds > 0.0 ? std::min(timeoutSeconds, kMaxTimeoutSeconds) : 0.0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(std::max(0.0, timeoutSeconds)));
+                            std::chrono::duration<double>(clamped));
   std::unique_lock lock(box.mutex);
   for (;;) {
     const auto it = std::find_if(box.queue.begin(), box.queue.end(),

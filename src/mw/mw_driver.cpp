@@ -216,8 +216,14 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       const std::uint64_t id = msg.payload.unpackUint64();
       const std::string what = msg.payload.unpackString();
       growTo(msg.source + 1);
-      requeueFrom(msg.source, id, what);
-      dispatchAll();
+      // Only honour the report if this worker really is running this task:
+      // a duplicate or stray error would otherwise double-queue the task
+      // and corrupt the busy/inFlight bookkeeping.
+      if (busy[static_cast<std::size_t>(msg.source)] &&
+          inFlightId[static_cast<std::size_t>(msg.source)] == id) {
+        requeueFrom(msg.source, id, what);
+        dispatchAll();
+      }
     } else if (msg.tag == net::kTagWorkerLost) {
       const Rank lost = msg.source;
       growTo(lost + 1);

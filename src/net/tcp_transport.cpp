@@ -21,6 +21,12 @@ constexpr double kPollSliceSeconds = 0.2;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+/// Upper bound on a blocking worker->master write when no master timeout is
+/// configured: a peer that stops draining its socket for this long is dead
+/// for our purposes, and an unbounded send would pin the heartbeat thread
+/// (which writes under sendMutex_) and wedge destruction.
+constexpr double kDefaultWriteTimeoutSeconds = 30.0;
+
 int toPollMillis(double seconds) {
   if (seconds <= 0.0) return 0;
   const double ms = seconds * 1000.0;
@@ -199,6 +205,7 @@ void TcpCommWorld::promotePending(std::size_t index) {
 void TcpCommWorld::servicePending(std::size_t index) {
   PendingPeer& p = pending_[index];
   std::byte chunk[kReadChunk];
+  bool closed = false;
   for (;;) {
     const ssize_t n = ::recv(p.sock.fd(), chunk, sizeof chunk, 0);
     if (n > 0) {
@@ -207,19 +214,25 @@ void TcpCommWorld::servicePending(std::size_t index) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // Closed before completing the handshake: just drop it.
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
-    return;
+    // EOF/error: defer the drop until the decoder is consulted — the Hello
+    // may have arrived in the connection's final segments, and a completed
+    // registration must surface (as a join, then a loss) rather than vanish.
+    closed = true;
+    break;
   }
   try {
     if (auto frame = p.decoder.next()) {
       (void)parseHello(*frame);  // throws on bad magic/version
       promotePending(index);
+      return;
     }
   } catch (const ProtocolError&) {
     // Not an sfopt worker (or an incompatible one): refuse registration.
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    return;
   }
+  // Closed before completing the handshake: just drop it.
+  if (closed) pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
 }
 
 void TcpCommWorld::servicePeer(Rank rank) {
@@ -264,7 +277,11 @@ void TcpCommWorld::servicePeer(Rank rank) {
 void TcpCommWorld::pollOnce(double timeoutSeconds) {
   std::vector<pollfd> fds;
   // Order: listener, pending peers, live peers (kinds recovered by index).
+  // The pending count is snapshotted here: serviceListener() below may
+  // append freshly accepted peers, which were never polled and must not be
+  // indexed against this pass's fds — they get polled next pass.
   fds.push_back({listener_.fd(), POLLIN, 0});
+  const std::size_t polledPending = pending_.size();
   for (const PendingPeer& p : pending_) fds.push_back({p.sock.fd(), POLLIN, 0});
   std::vector<Rank> liveRanks;
   for (std::size_t i = 0; i < peers_.size(); ++i) {
@@ -283,11 +300,10 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
     if (fds[idx].revents & POLLIN) serviceListener();
     ++idx;
     // Walk pending list back to front so erasure is index-stable.
-    const std::size_t pendingCount = pending_.size();
-    for (std::size_t i = pendingCount; i-- > 0;) {
+    for (std::size_t i = polledPending; i-- > 0;) {
       if (fds[idx + i].revents & (POLLIN | POLLERR | POLLHUP)) servicePending(i);
     }
-    idx += pendingCount;
+    idx += polledPending;
     for (std::size_t i = 0; i < liveRanks.size(); ++i) {
       const short re = fds[idx + i].revents;
       const Rank rank = liveRanks[i];
@@ -423,8 +439,19 @@ void TcpWorkerTransport::beatLoop() {
 void TcpWorkerTransport::writeFrameLocked(const Frame& frame, bool nothrow) {
   std::vector<std::byte> wire;
   appendFrame(wire, frame);
+  const double writeTimeout = options_.masterTimeoutSeconds > 0.0
+                                  ? options_.masterTimeoutSeconds
+                                  : kDefaultWriteTimeoutSeconds;
+  const double deadline = monotonicSeconds() + writeTimeout;
   std::size_t sent = 0;
   while (sent < wire.size()) {
+    if (stopping_.load()) {
+      // Destruction is waiting on the heartbeat thread (which writes under
+      // sendMutex_); abandon the partial write so it can exit.
+      dead_.store(true);
+      if (nothrow) return;
+      throw ConnectionLost("transport stopping while sending");
+    }
     const ssize_t n =
         ::send(sock_.fd(), wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
@@ -432,6 +459,13 @@ void TcpWorkerTransport::writeFrameLocked(const Frame& frame, bool nothrow) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (monotonicSeconds() >= deadline) {
+        dead_.store(true);
+        NetTelemetry::add(tel_.disconnects);
+        if (nothrow) return;
+        throw ConnectionLost("master stopped draining its socket for " +
+                             std::to_string(writeTimeout) + "s while sending");
+      }
       pollfd pfd{sock_.fd(), POLLOUT, 0};
       (void)::poll(&pfd, 1, toPollMillis(kPollSliceSeconds));
       continue;
