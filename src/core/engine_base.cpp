@@ -8,8 +8,21 @@
 
 namespace sfopt::core::detail {
 
+namespace {
+
+/// The context's scheduler reports through the same spine as the engine;
+/// splice the engine's telemetry pointer into the sampling options so the
+/// caller does not have to set it twice.
+SamplingContext::Options resolveSamplingOptions(const CommonOptions& common) {
+  SamplingContext::Options opts = common.sampling;
+  if (opts.telemetry == nullptr) opts.telemetry = common.telemetry;
+  return opts;
+}
+
+}  // namespace
+
 EngineBase::EngineBase(const noise::StochasticObjective& objective, const CommonOptions& common)
-    : objective_(objective), common_(common), ctx_(objective, common.sampling) {
+    : objective_(objective), common_(common), ctx_(objective, resolveSamplingOptions(common)) {
   if (common_.initialSamplesPerVertex < 1) {
     throw std::invalid_argument("EngineBase: initialSamplesPerVertex must be >= 1");
   }
@@ -237,11 +250,17 @@ void gateWaitLoop(EngineBase& eng, Simplex& s, std::span<Vertex* const> activeTr
       if (eng.tel().telemetry != nullptr) eng.tel().forcedResolutions->add(1);
       return;
     }
-    eng.ctx().coSample(reqs);
-    ++eng.counters().gateWaitRounds;
-    block = std::min<std::int64_t>(
+    const std::int64_t nextBlock = std::min<std::int64_t>(
         policy.maxBlock, static_cast<std::int64_t>(std::ceil(static_cast<double>(block) *
                                                              std::max(policy.growth, 1.0))));
+    // Prefetch hint: if the gate stays closed, the next round co-samples
+    // the same vertices at the grown block.  A speculating pipeline starts
+    // that work now; everyone else ignores the hint.
+    std::vector<SamplingContext::RefineRequest> hint = reqs;
+    for (auto& h : hint) h.samples = nextBlock;
+    eng.ctx().coSample(reqs, hint);
+    ++eng.counters().gateWaitRounds;
+    block = nextBlock;
   }
 }
 

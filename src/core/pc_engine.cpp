@@ -91,12 +91,18 @@ PairOutcome resolvePair(detail::EngineBase& eng, const PCOptions& opt, Vertex& a
       break;
     }
     ++rounds;
-    eng.ctx().coSample({{&a, block}, {&b, block}});
-    ++eng.counters().resampleRounds;
-    block = std::min<std::int64_t>(
+    const std::int64_t nextBlock = std::min<std::int64_t>(
         opt.resample.maxBlock,
         static_cast<std::int64_t>(
             std::ceil(static_cast<double>(block) * std::max(opt.resample.growth, 1.0))));
+    // If this round still does not separate the intervals, the next one
+    // resamples the same pair at the grown block — hand that to the
+    // pipeline as a prefetch hint so workers stay busy while we decide.
+    const core::SamplingContext::RefineRequest cur[] = {{&a, block}, {&b, block}};
+    const core::SamplingContext::RefineRequest hint[] = {{&a, nextBlock}, {&b, nextBlock}};
+    eng.ctx().coSample(cur, hint);
+    ++eng.counters().resampleRounds;
+    block = nextBlock;
   }
   // Per-comparison resolution accounting: how many resample rounds each
   // k-sigma decision cost, and whether it had to be forced (the paper's

@@ -8,6 +8,33 @@
 
 namespace sfopt::core {
 
+/// Canonical evaluation chunk size (samples).  Backends report batch
+/// results as per-chunk Welford moments on a fixed grid relative to the
+/// request's startIndex: chunk j covers sample indices
+/// [startIndex + 64 j, startIndex + 64 (j+1)) (the last chunk may be
+/// partial).  Because Welford merging is not associative in floating
+/// point, the chunk grid — not the shard or client split — defines the
+/// merge tree: the master folds a batch's chunks left-to-right, so the
+/// merged moments are bitwise independent of how the work was sharded
+/// across workers, how many clients each worker ran, and in which order
+/// shards completed.
+inline constexpr std::int64_t kEvalChunkSamples = 64;
+
+/// Number of chunks a batch of `count` samples decomposes into.
+[[nodiscard]] constexpr std::int64_t evalChunkCount(std::int64_t count) noexcept {
+  return (count + kEvalChunkSamples - 1) / kEvalChunkSamples;
+}
+
+/// Fold a batch's chunk moments in canonical (index) order.  This is THE
+/// merge everybody must use so results stay bitwise reproducible.
+[[nodiscard]] inline stats::Welford foldEvalChunks(std::span<const stats::Welford> chunks) {
+  stats::Welford merged;
+  for (const stats::Welford& c : chunks) merged.merge(c);
+  return merged;
+}
+
+class AsyncSamplingBackend;
+
 /// Where the raw objective samples are computed.
 ///
 /// The default (no backend) computes samples inline on the calling thread.
@@ -40,6 +67,38 @@ class SamplingBackend {
     for (const BatchRequest& r : requests) out.push_back(sampleBatch(r));
     return out;
   }
+
+  /// Non-blocking pipeline interface, when this backend has one.  nullptr
+  /// (the default) means the backend is synchronous-only and the
+  /// EvalScheduler cannot shard or speculate over it.
+  [[nodiscard]] virtual AsyncSamplingBackend* async() { return nullptr; }
+};
+
+/// Ticketed, non-blocking counterpart of SamplingBackend: submit() hands a
+/// batch to the evaluation fabric and returns immediately; poll() delivers
+/// whatever completed since the last call.  Results arrive as canonical
+/// chunk moments (see kEvalChunkSamples), never pre-merged, so the caller
+/// owns the merge order.  Submitted batches may complete in any order.
+class AsyncSamplingBackend {
+ public:
+  struct Completion {
+    std::uint64_t ticket = 0;
+    std::vector<stats::Welford> chunks;  ///< canonical chunk moments, in index order
+  };
+
+  virtual ~AsyncSamplingBackend() = default;
+
+  /// Enqueue one batch; returns a ticket its completion will carry.
+  [[nodiscard]] virtual std::uint64_t submit(const SamplingBackend::BatchRequest& request) = 0;
+
+  /// Wait up to `timeoutSeconds` for at least one completion (0 = just
+  /// drain what is already available).  Returns every completion ready at
+  /// that point; empty on timeout or when nothing is outstanding.
+  [[nodiscard]] virtual std::vector<Completion> poll(double timeoutSeconds) = 0;
+
+  /// How many batches the fabric can usefully run at once (live workers
+  /// for the MW backend).  Used to size shards; always >= 1.
+  [[nodiscard]] virtual int parallelism() const = 0;
 };
 
 }  // namespace sfopt::core

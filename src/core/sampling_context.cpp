@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "core/eval_scheduler.hpp"
 
 namespace sfopt::core {
 
@@ -10,7 +13,26 @@ SamplingContext::SamplingContext(const noise::StochasticObjective& objective, Op
   if (options_.maxSamplesPerVertex < 1) {
     throw std::invalid_argument("SamplingContext: maxSamplesPerVertex must be >= 1");
   }
+  if (options_.shardMinSamples < 0) {
+    throw std::invalid_argument("SamplingContext: shardMinSamples must be >= 0");
+  }
+  // The pipeline engages only when the backend can run asynchronously and
+  // the caller asked for sharding or speculation; the plain blocking path
+  // stays byte-for-byte what it always was otherwise.
+  if (options_.backend != nullptr &&
+      (options_.shardMinSamples > 0 || options_.speculate)) {
+    if (AsyncSamplingBackend* async = options_.backend->async()) {
+      EvalScheduler::Options sched;
+      sched.shardMinSamples = options_.shardMinSamples;
+      sched.speculate = options_.speculate;
+      sched.maxOutstandingShards = options_.maxOutstandingShards;
+      sched.telemetry = options_.telemetry;
+      scheduler_ = std::make_unique<EvalScheduler>(*async, sched);
+    }
+  }
 }
+
+SamplingContext::~SamplingContext() = default;
 
 std::unique_ptr<Vertex> SamplingContext::createVertex(Point x, std::int64_t initialSamples) {
   if (x.size() != objective_.dimension()) {
@@ -26,9 +48,11 @@ std::int64_t SamplingContext::refine(Vertex& v, std::int64_t extra) {
   const std::int64_t room = options_.maxSamplesPerVertex - v.sampleCount();
   const std::int64_t take = std::min(extra, std::max<std::int64_t>(room, 0));
   if (take == 0) return 0;
-  if (options_.backend != nullptr) {
-    const SamplingBackend::BatchRequest req{v.point(), v.id(),
-                                            static_cast<std::uint64_t>(v.sampleCount()), take};
+  const SamplingBackend::BatchRequest req{v.point(), v.id(),
+                                          static_cast<std::uint64_t>(v.sampleCount()), take};
+  if (scheduler_ != nullptr) {
+    v.absorb(scheduler_->evaluate({&req, 1}).front());
+  } else if (options_.backend != nullptr) {
     v.absorb(options_.backend->sampleBatch(req));
   } else {
     for (std::int64_t i = 0; i < take; ++i) {
@@ -40,35 +64,104 @@ std::int64_t SamplingContext::refine(Vertex& v, std::int64_t extra) {
   return take;
 }
 
+std::vector<SamplingContext::CoalescedRequest> SamplingContext::coalesce(
+    std::span<const RefineRequest> requests) const {
+  // One entry per vertex, first-occurrence order, samples summed.  A
+  // duplicate must not become two batches: both would start at the same
+  // sampleCount and reuse noise-stream indices (duplicate SampleKeys).
+  std::vector<CoalescedRequest> out;
+  out.reserve(requests.size());
+  std::unordered_map<const Vertex*, std::size_t> index;
+  for (const RefineRequest& r : requests) {
+    if (r.vertex == nullptr) throw std::invalid_argument("coSample: null vertex");
+    if (r.samples < 0) throw std::invalid_argument("coSample: negative count");
+    const auto [it, fresh] = index.emplace(r.vertex, out.size());
+    if (fresh) {
+      out.push_back(CoalescedRequest{r.vertex, r.samples});
+    } else {
+      out[it->second].take += r.samples;
+    }
+  }
+  for (CoalescedRequest& c : out) {
+    const std::int64_t room = options_.maxSamplesPerVertex - c.vertex->sampleCount();
+    c.take = std::min(c.take, std::max<std::int64_t>(room, 0));
+  }
+  return out;
+}
+
 void SamplingContext::coSample(std::span<const RefineRequest> requests) {
+  coSample(requests, std::span<const RefineRequest>{});
+}
+
+void SamplingContext::coSample(std::span<const RefineRequest> requests,
+                               std::span<const RefineRequest> nextRoundHint) {
+  const std::vector<CoalescedRequest> coal = coalesce(requests);
   std::int64_t maxTaken = 0;
+
   if (options_.backend != nullptr) {
     // Dispatch the whole batch so the backend can run it concurrently
     // (this models the d+3 workers sampling their vertices at once).
+    // Capped vertices (take == 0) never leave the master: a zero-count
+    // batch would waste a wire round trip to compute nothing.
     std::vector<SamplingBackend::BatchRequest> batch;
-    std::vector<std::int64_t> takes;
-    batch.reserve(requests.size());
-    takes.reserve(requests.size());
-    for (const RefineRequest& r : requests) {
-      if (r.vertex == nullptr) throw std::invalid_argument("coSample: null vertex");
-      if (r.samples < 0) throw std::invalid_argument("coSample: negative count");
-      const std::int64_t room = options_.maxSamplesPerVertex - r.vertex->sampleCount();
-      const std::int64_t take = std::min(r.samples, std::max<std::int64_t>(room, 0));
-      takes.push_back(take);
-      batch.push_back({r.vertex->point(), r.vertex->id(),
-                       static_cast<std::uint64_t>(r.vertex->sampleCount()), take});
+    std::vector<std::size_t> batchSlot;  // index into coal per batch entry
+    batch.reserve(coal.size());
+    batchSlot.reserve(coal.size());
+    for (std::size_t i = 0; i < coal.size(); ++i) {
+      if (coal[i].take == 0) continue;
+      const Vertex& v = *coal[i].vertex;
+      batch.push_back({v.point(), v.id(), static_cast<std::uint64_t>(v.sampleCount()),
+                       coal[i].take});
+      batchSlot.push_back(i);
     }
-    const auto results = options_.backend->sampleBatches(batch);
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      if (takes[i] == 0) continue;
-      requests[i].vertex->absorb(results[i]);
-      totalSamples_ += takes[i];
-      maxTaken = std::max(maxTaken, takes[i]);
+    std::vector<stats::Welford> results;
+    if (scheduler_ != nullptr) {
+      // Predict each hinted vertex's future start index: its current count
+      // plus whatever this round is about to take at it.
+      std::unordered_map<const Vertex*, std::int64_t> currentTake;
+      for (const CoalescedRequest& c : coal) currentTake.emplace(c.vertex, c.take);
+      std::vector<SamplingBackend::BatchRequest> hintBatch;
+      std::unordered_map<const Vertex*, std::int64_t> hintSum;
+      std::vector<Vertex*> hintOrder;
+      for (const RefineRequest& h : nextRoundHint) {
+        if (h.vertex == nullptr || h.samples <= 0) continue;
+        const auto [it, fresh] = hintSum.emplace(h.vertex, h.samples);
+        if (fresh) {
+          hintOrder.push_back(h.vertex);
+        } else {
+          it->second += h.samples;
+        }
+      }
+      hintBatch.reserve(hintOrder.size());
+      for (Vertex* v : hintOrder) {
+        const auto t = currentTake.find(v);
+        const std::int64_t future =
+            v->sampleCount() + (t != currentTake.end() ? t->second : 0);
+        const std::int64_t room = options_.maxSamplesPerVertex - future;
+        const std::int64_t take =
+            std::min(hintSum.at(v), std::max<std::int64_t>(room, 0));
+        if (take == 0) continue;
+        hintBatch.push_back({v->point(), v->id(), static_cast<std::uint64_t>(future), take});
+      }
+      results = scheduler_->evaluate(batch, hintBatch);
+    } else {
+      results = options_.backend->sampleBatches(batch);
+    }
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const std::size_t i = batchSlot[b];
+      coal[i].vertex->absorb(results[b]);
+      totalSamples_ += coal[i].take;
+      maxTaken = std::max(maxTaken, coal[i].take);
     }
   } else {
-    for (const RefineRequest& r : requests) {
-      if (r.vertex == nullptr) throw std::invalid_argument("coSample: null vertex");
-      maxTaken = std::max(maxTaken, refine(*r.vertex, r.samples));
+    for (const CoalescedRequest& c : coal) {
+      Vertex& v = *c.vertex;
+      for (std::int64_t i = 0; i < c.take; ++i) {
+        const noise::SampleKey key{v.id(), static_cast<std::uint64_t>(v.sampleCount())};
+        v.absorb(objective_.sample(v.point(), key));
+      }
+      totalSamples_ += c.take;
+      maxTaken = std::max(maxTaken, c.take);
     }
   }
   chargeTime(maxTaken);

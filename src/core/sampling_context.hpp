@@ -12,7 +12,13 @@
 #include "noise/stochastic_objective.hpp"
 #include "noise/virtual_clock.hpp"
 
+namespace sfopt::telemetry {
+class Telemetry;
+}
+
 namespace sfopt::core {
+
+class EvalScheduler;
 
 /// Mediates all sampling of a StochasticObjective on behalf of an
 /// optimization algorithm, and owns the accounting the paper's experiments
@@ -40,11 +46,30 @@ class SamplingContext {
     /// objective should use disjoint id ranges so their noise streams stay
     /// independent (ids key the counter-based RNG).
     std::uint64_t firstVertexId = 0;
+    /// Shard a backend batch across workers once it exceeds this many
+    /// samples (0 = never shard).  Requires a backend with an async()
+    /// interface; ignored otherwise.  Results are bitwise identical to the
+    /// unsharded backend path (canonical chunk merge).
+    std::int64_t shardMinSamples = 0;
+    /// Submit the next round's predicted refinement while the current one
+    /// is in flight (see EvalScheduler).  Speculative samples are staged
+    /// and only absorbed — and only then charged to the sample counter and
+    /// virtual clock — when a round actually consumes them, so trajectories
+    /// and the paper's time accounting are bitwise unchanged.
+    bool speculate = false;
+    /// In-flight shard cap for the scheduler (0 = 2 x backend parallelism).
+    int maxOutstandingShards = 0;
+    /// Observability spine for the scheduler's eval.* metrics (non-owning).
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   explicit SamplingContext(const noise::StochasticObjective& objective)
       : SamplingContext(objective, Options{}) {}
   SamplingContext(const noise::StochasticObjective& objective, Options options);
+  ~SamplingContext();
+
+  SamplingContext(const SamplingContext&) = delete;
+  SamplingContext& operator=(const SamplingContext&) = delete;
 
   /// Create a vertex at x and take `initialSamples` samples there.
   /// Does NOT advance the clock: creation cost is charged by the caller
@@ -58,12 +83,23 @@ class SamplingContext {
 
   /// Refine several vertices "in parallel": each gets its requested number
   /// of samples, and the clock advances by max(samples actually taken)*dt.
+  /// A vertex listed more than once is coalesced into a single request for
+  /// the summed sample count (its worker runs the draws back-to-back, so
+  /// the noise-stream indices stay distinct and the charge is the total).
   struct RefineRequest {
     Vertex* vertex = nullptr;
     std::int64_t samples = 0;
   };
   void coSample(std::span<const RefineRequest> requests);
   void coSample(std::initializer_list<RefineRequest> requests);
+
+  /// As above, with a prefetch hint: `nextRoundHint` describes the
+  /// refinement the caller expects to issue next if this round does not
+  /// resolve its gate/comparison.  With a speculating scheduler the hint
+  /// is submitted before this call blocks; otherwise it is ignored.  Hints
+  /// never affect results, accounting, or the virtual clock.
+  void coSample(std::span<const RefineRequest> requests,
+                std::span<const RefineRequest> nextRoundHint);
 
   /// Charge `samples * dt` of wall time without sampling (used when the
   /// caller has already refined through refine() and knows the concurrent
@@ -99,12 +135,27 @@ class SamplingContext {
     return v.sampleCount() >= options_.maxSamplesPerVertex;
   }
 
+  /// The pipeline scheduler, when one is active (backend with an async()
+  /// interface plus sharding or speculation requested); nullptr otherwise.
+  [[nodiscard]] const EvalScheduler* scheduler() const noexcept { return scheduler_.get(); }
+
  private:
+  /// Duplicate-free view of a request batch: first-occurrence order, one
+  /// entry per vertex with the summed sample count and the take actually
+  /// permitted by the per-vertex cap.
+  struct CoalescedRequest {
+    Vertex* vertex = nullptr;
+    std::int64_t take = 0;
+  };
+  [[nodiscard]] std::vector<CoalescedRequest> coalesce(
+      std::span<const RefineRequest> requests) const;
+
   const noise::StochasticObjective& objective_;
   Options options_;
   noise::VirtualClock clock_;
   std::int64_t totalSamples_ = 0;
   std::uint64_t nextVertexId_;
+  std::unique_ptr<EvalScheduler> scheduler_;
 };
 
 }  // namespace sfopt::core

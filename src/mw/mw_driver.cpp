@@ -1,8 +1,10 @@
 #include "mw/mw_driver.hpp"
 
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "telemetry/telemetry.hpp"
 
@@ -49,7 +51,13 @@ void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
                                telemetry::Histogram::exponentialBounds(1e-6, 10.0, 7));
   telUtilization_ = &reg.histogram("mw.worker.utilization",
                                    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  telIdleFraction_ = &reg.histogram("mw.worker_idle_fraction",
+                                    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   reg.gauge("mw.workers").set(static_cast<double>(workerCount()));
+}
+
+double MWDriver::telNow() const {
+  return telemetry_ != nullptr ? telemetry_->clock().now() : 0.0;
 }
 
 std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> inputs) {
@@ -277,6 +285,203 @@ void MWDriver::executeTasks(std::span<MWTask* const> tasks) {
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     tasks[i]->unpackResult(results[i]);
   }
+}
+
+void MWDriver::asyncGrowTo(int worldSize) {
+  const auto s = static_cast<std::size_t>(worldSize);
+  if (asyncBusy_.size() < s) {
+    asyncBusy_.resize(s, false);
+    asyncInFlightId_.resize(s, 0);
+    ensureRank(worldSize - 1);
+  }
+}
+
+void MWDriver::asyncDispatch() {
+  asyncGrowTo(comm_.size());
+  const auto assign = [&](Rank worker, std::size_t pendingIndex) {
+    const std::uint64_t id = asyncPending_[pendingIndex];
+    AsyncTask& st = asyncTasks_.at(id);
+    asyncPending_.erase(asyncPending_.begin() + static_cast<std::ptrdiff_t>(pendingIndex));
+    if (telemetry_ != nullptr) {
+      st.dispatchedAt = telNow();
+      telQueueWait_->observe(st.dispatchedAt - st.enqueuedAt);
+      telTasksDispatched_->add(1);
+    }
+    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
+    asyncBusy_[static_cast<std::size_t>(worker)] = true;
+    asyncInFlightId_[static_cast<std::size_t>(worker)] = id;
+    ++asyncInFlight_;
+  };
+  bool progressed = true;
+  while (progressed && !asyncPending_.empty()) {
+    progressed = false;
+    for (Rank w = 1; w < comm_.size() && !asyncPending_.empty(); ++w) {
+      if (asyncBusy_[static_cast<std::size_t>(w)] || isDead(w)) continue;
+      for (std::size_t i = 0; i < asyncPending_.size(); ++i) {
+        if (asyncTasks_.at(asyncPending_[i]).lastFailedOn == w) continue;
+        assign(w, i);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed && asyncInFlight_ == 0 && !asyncPending_.empty()) {
+      // Every remaining pairing is excluded and nobody is working:
+      // waive the failed-on exclusion for the first free live worker.
+      for (Rank w = 1; w < comm_.size(); ++w) {
+        if (!asyncBusy_[static_cast<std::size_t>(w)] && !isDead(w)) {
+          assign(w, 0);
+          progressed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MWDriver::asyncRequeue(Rank worker, std::uint64_t id, const std::string& why) {
+  const auto it = asyncTasks_.find(id);
+  if (it == asyncTasks_.end()) {
+    throw std::runtime_error("MWDriver: failure report for unknown task id");
+  }
+  --asyncInFlight_;
+  ++tasksRequeued_;
+  asyncBusy_[static_cast<std::size_t>(worker)] = false;
+  asyncInFlightId_[static_cast<std::size_t>(worker)] = 0;
+  AsyncTask& st = it->second;
+  st.lastFailedOn = worker;
+  if (telemetry_ != nullptr) {
+    telTasksRequeued_->add(1);
+    st.enqueuedAt = telNow();
+  }
+  if (++st.retries > maxRetries_) {
+    throw std::runtime_error("MWDriver: task failed after " + std::to_string(maxRetries_) +
+                             " retries: " + why);
+  }
+  asyncPending_.push_front(id);
+}
+
+void MWDriver::observeIdleFraction() {
+  if (telemetry_ == nullptr) return;
+  int live = 0;
+  int busy = 0;
+  for (Rank w = 1; w < comm_.size(); ++w) {
+    if (isDead(w)) continue;
+    ++live;
+    if (static_cast<std::size_t>(w) < asyncBusy_.size() &&
+        asyncBusy_[static_cast<std::size_t>(w)]) {
+      ++busy;
+    }
+  }
+  if (live > 0) {
+    telIdleFraction_->observe(static_cast<double>(live - busy) /
+                              static_cast<double>(live));
+  }
+}
+
+void MWDriver::handleAsyncMessage(Message msg) {
+  if (msg.tag == kTagResult) {
+    const std::uint64_t id = msg.payload.unpackUint64();
+    const auto it = asyncTasks_.find(id);
+    if (it == asyncTasks_.end()) {
+      throw std::runtime_error("MWDriver: result for unknown task id");
+    }
+    asyncGrowTo(msg.source + 1);
+    if (telemetry_ != nullptr) {
+      telExecute_->observe(telNow() - it->second.dispatchedAt);
+      telTasksCompleted_->add(1);
+    }
+    asyncTasks_.erase(it);
+    ++tasksCompleted_;
+    --asyncInFlight_;
+    asyncBusy_[static_cast<std::size_t>(msg.source)] = false;
+    asyncInFlightId_[static_cast<std::size_t>(msg.source)] = 0;
+    asyncReady_.push_back(AsyncCompletion{id, std::move(msg.payload)});
+    asyncDispatch();
+    // Sampled at every completion: how much of the live fleet sits idle
+    // right after redispatch.  Sharding exists to push this toward zero.
+    observeIdleFraction();
+  } else if (msg.tag == kTagError) {
+    const std::uint64_t id = msg.payload.unpackUint64();
+    const std::string what = msg.payload.unpackString();
+    asyncGrowTo(msg.source + 1);
+    if (asyncBusy_[static_cast<std::size_t>(msg.source)] &&
+        asyncInFlightId_[static_cast<std::size_t>(msg.source)] == id) {
+      asyncRequeue(msg.source, id, what);
+      asyncDispatch();
+    }
+  } else if (msg.tag == net::kTagWorkerLost) {
+    const Rank lost = msg.source;
+    asyncGrowTo(lost + 1);
+    if (!isDead(lost)) {
+      dead_[static_cast<std::size_t>(lost)] = true;
+      ++workersLost_;
+      if (telemetry_ != nullptr) telWorkersLost_->add(1);
+    }
+    if (asyncBusy_[static_cast<std::size_t>(lost)]) {
+      asyncRequeue(lost, asyncInFlightId_[static_cast<std::size_t>(lost)],
+                   "worker rank " + std::to_string(lost) + " lost");
+    }
+    if (liveWorkerCount() == 0 && !asyncTasks_.empty()) {
+      throw std::runtime_error("MWDriver: every worker is lost with " +
+                               std::to_string(asyncTasks_.size()) +
+                               " async task(s) outstanding");
+    }
+    asyncDispatch();
+  } else if (msg.tag == net::kTagWorkerJoined) {
+    asyncGrowTo(msg.source + 1);
+    asyncDispatch();
+  }
+  // Stray tags are ignored.
+}
+
+std::uint64_t MWDriver::submit(MessageBuffer input) {
+  if (shutDown_) throw std::logic_error("MWDriver: already shut down");
+  const std::uint64_t id = nextTaskId_++;
+  MessageBuffer framed;
+  framed.pack(id);
+  std::vector<std::byte> wire = framed.releaseWire();
+  const auto& tail = input.wire();
+  wire.insert(wire.end(), tail.begin(), tail.end());
+  const double now = telNow();
+  asyncTasks_.emplace(id, AsyncTask{std::move(wire), 0, -1, now, now});
+  asyncPending_.push_back(id);
+  asyncDispatch();
+  return id;
+}
+
+std::vector<MWDriver::AsyncCompletion> MWDriver::poll(double timeoutSeconds) {
+  if (shutDown_) throw std::logic_error("MWDriver: already shut down");
+  // Drain whatever already arrived without waiting.
+  while (auto msg = comm_.tryRecv(0)) handleAsyncMessage(std::move(*msg));
+  if (!asyncReady_.empty() || asyncTasks_.empty() || timeoutSeconds <= 0.0) {
+    return std::exchange(asyncReady_, {});
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  while (asyncReady_.empty()) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now()).count();
+    if (remaining <= 0.0) break;
+    auto msg = comm_.recvFor(0, remaining);
+    if (!msg.has_value()) break;
+    handleAsyncMessage(std::move(*msg));
+    while (auto extra = comm_.tryRecv(0)) handleAsyncMessage(std::move(*extra));
+  }
+  return std::exchange(asyncReady_, {});
+}
+
+std::vector<MWDriver::AsyncCompletion> MWDriver::drain() {
+  std::vector<AsyncCompletion> all = std::exchange(asyncReady_, {});
+  while (!asyncTasks_.empty()) {
+    auto got = poll(recvTimeoutSeconds_);
+    if (got.empty() && !asyncTasks_.empty()) {
+      throw std::runtime_error(
+          "MWDriver: no worker message for " + std::to_string(recvTimeoutSeconds_) + "s with " +
+          std::to_string(asyncTasks_.size()) + " async task(s) outstanding");
+    }
+    for (auto& c : got) all.push_back(std::move(c));
+  }
+  return all;
 }
 
 void MWDriver::shutdown() {

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mw/comm.hpp"
@@ -44,6 +47,30 @@ class MWDriver {
   /// unmarshal each result back into the same task objects.
   void executeTasks(std::span<MWTask* const> tasks);
 
+  /// One finished non-blocking task: the id submit() returned and the
+  /// worker's result payload.
+  struct AsyncCompletion {
+    std::uint64_t id = 0;
+    MessageBuffer payload;
+  };
+
+  /// Non-blocking pipeline API, alongside executeBuffers: submit() enqueues
+  /// one task (dispatching it immediately when a worker is free) and
+  /// returns its id; poll() waits up to `timeoutSeconds` for at least one
+  /// completion (0 = drain only) and returns everything finished so far;
+  /// drain() blocks until nothing is outstanding.  Completions arrive in
+  /// completion order, not submit order.  Worker failure and loss follow
+  /// the same retry/requeue protocol as executeBuffers, so a shard whose
+  /// worker dies is re-dispatched transparently.  Do not interleave
+  /// executeBuffers with async tasks outstanding — both read the same
+  /// mailbox and would steal each other's messages.
+  [[nodiscard]] std::uint64_t submit(MessageBuffer input);
+  [[nodiscard]] std::vector<AsyncCompletion> poll(double timeoutSeconds);
+  [[nodiscard]] std::vector<AsyncCompletion> drain();
+
+  /// Async tasks submitted but not yet completed (pending + in flight).
+  [[nodiscard]] std::size_t outstanding() const noexcept { return asyncTasks_.size(); }
+
   /// Send a shutdown message to every live worker.  Idempotent.
   void shutdown();
 
@@ -80,6 +107,22 @@ class MWDriver {
  private:
   [[nodiscard]] bool isDead(Rank w) const noexcept;
   void ensureRank(Rank w);
+  [[nodiscard]] double telNow() const;
+
+  /// Non-blocking path internals: per-task state mirrors executeBuffers'
+  /// local TaskState, but persists across calls so tasks overlap rounds.
+  struct AsyncTask {
+    std::vector<std::byte> wire;  ///< framed input, kept for requeue
+    int retries = 0;
+    Rank lastFailedOn = -1;
+    double enqueuedAt = 0.0;
+    double dispatchedAt = 0.0;
+  };
+  void asyncGrowTo(int worldSize);
+  void asyncDispatch();
+  void asyncRequeue(Rank worker, std::uint64_t id, const std::string& why);
+  void handleAsyncMessage(Message msg);
+  void observeIdleFraction();
 
   net::Transport& comm_;
   std::uint64_t nextTaskId_ = 1;
@@ -91,6 +134,13 @@ class MWDriver {
   bool shutDown_ = false;
   std::vector<bool> dead_;  ///< indexed by rank; persists across batches
 
+  std::unordered_map<std::uint64_t, AsyncTask> asyncTasks_;
+  std::deque<std::uint64_t> asyncPending_;
+  std::vector<bool> asyncBusy_;
+  std::vector<std::uint64_t> asyncInFlightId_;
+  int asyncInFlight_ = 0;
+  std::vector<AsyncCompletion> asyncReady_;
+
   /// Pre-registered handles; all non-null exactly when telemetry_ is set.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* telTasksCompleted_ = nullptr;
@@ -101,6 +151,7 @@ class MWDriver {
   telemetry::Histogram* telQueueWait_ = nullptr;
   telemetry::Histogram* telExecute_ = nullptr;
   telemetry::Histogram* telUtilization_ = nullptr;
+  telemetry::Histogram* telIdleFraction_ = nullptr;
 };
 
 }  // namespace sfopt::mw

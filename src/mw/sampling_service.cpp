@@ -1,5 +1,7 @@
 #include "mw/sampling_service.hpp"
 
+#include <algorithm>
+
 namespace sfopt::mw {
 
 void SamplingTask::packInput(MessageBuffer& buf) const {
@@ -17,16 +19,24 @@ void SamplingTask::unpackInput(MessageBuffer& buf) {
 }
 
 void SamplingTask::packResult(MessageBuffer& buf) const {
-  buf.pack(result_.count());
-  buf.pack(result_.mean());
-  buf.pack(result_.sumSquaredDeviations());
+  buf.pack(static_cast<std::int64_t>(chunks_.size()));
+  for (const stats::Welford& c : chunks_) {
+    buf.pack(c.count());
+    buf.pack(c.mean());
+    buf.pack(c.sumSquaredDeviations());
+  }
 }
 
 void SamplingTask::unpackResult(MessageBuffer& buf) {
   const std::int64_t n = buf.unpackInt64();
-  const double mean = buf.unpackDouble();
-  const double m2 = buf.unpackDouble();
-  result_ = stats::Welford::fromMoments(n, mean, m2);
+  chunks_.clear();
+  chunks_.reserve(static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t count = buf.unpackInt64();
+    const double mean = buf.unpackDouble();
+    const double m2 = buf.unpackDouble();
+    chunks_.push_back(stats::Welford::fromMoments(count, mean, m2));
+  }
 }
 
 SamplingWorker::SamplingWorker(net::Transport& comm, Rank rank,
@@ -38,7 +48,7 @@ void SamplingWorker::executeTask(MessageBuffer& in, MessageBuffer& out) {
   task.unpackInput(in);
   const core::SamplingBackend::BatchRequest req{task.x(), task.vertexId(), task.startIndex(),
                                                 task.count()};
-  task.setResult(server_.runBatch(req));
+  task.setChunks(server_.runBatchChunks(req));
   task.packResult(out);
 }
 
@@ -49,17 +59,53 @@ stats::Welford MWSamplingBackend::sampleBatch(const BatchRequest& request) {
 
 std::vector<stats::Welford> MWSamplingBackend::sampleBatches(
     std::span<const BatchRequest> requests) {
+  // Capped vertices arrive as zero-count requests; computing nothing does
+  // not need a worker round trip, so only real batches go on the wire and
+  // results are mapped back to their slots by index.
+  std::vector<stats::Welford> out(requests.size());
   std::vector<SamplingTask> tasks;
+  std::vector<std::size_t> slot;
   tasks.reserve(requests.size());
-  for (const BatchRequest& r : requests) tasks.emplace_back(r);
+  slot.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].count == 0) continue;
+    tasks.emplace_back(requests[i]);
+    slot.push_back(i);
+  }
+  if (tasks.empty()) return out;
   std::vector<MWTask*> ptrs;
   ptrs.reserve(tasks.size());
   for (auto& t : tasks) ptrs.push_back(&t);
   driver_.executeTasks(ptrs);
-  std::vector<stats::Welford> out;
-  out.reserve(tasks.size());
-  for (const auto& t : tasks) out.push_back(t.result());
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    out[slot[j]] = tasks[j].result();
+  }
   return out;
+}
+
+std::uint64_t MWSamplingBackend::AsyncAdapter::submit(
+    const core::SamplingBackend::BatchRequest& request) {
+  SamplingTask task(request);
+  MessageBuffer buf;
+  task.packInput(buf);
+  return driver_.submit(std::move(buf));
+}
+
+std::vector<core::AsyncSamplingBackend::Completion> MWSamplingBackend::AsyncAdapter::poll(
+    double timeoutSeconds) {
+  auto done = driver_.poll(timeoutSeconds);
+  std::vector<Completion> out;
+  out.reserve(done.size());
+  for (auto& c : done) {
+    SamplingTask task;
+    task.unpackResult(c.payload);
+    out.push_back(Completion{c.id, task.releaseChunks()});
+  }
+  return out;
+}
+
+int MWSamplingBackend::AsyncAdapter::parallelism() const {
+  return std::max(driver_.liveWorkerCount(), 1);
 }
 
 }  // namespace sfopt::mw

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/sampling_backend.hpp"
@@ -14,7 +15,10 @@ namespace sfopt::mw {
 
 /// The concrete MWTask of the optimization service: "evaluate `count`
 /// samples of the objective at x for noise stream vertexId, starting at
-/// startIndex", returning the partial Welford moments.
+/// startIndex".  The result travels as canonical per-chunk Welford moments
+/// (core::kEvalChunkSamples), never pre-merged, so the master controls the
+/// merge order and stays bitwise reproducible across shard counts, client
+/// counts and completion orders.
 class SamplingTask final : public MWTask {
  public:
   SamplingTask() = default;
@@ -33,20 +37,31 @@ class SamplingTask final : public MWTask {
   [[nodiscard]] std::uint64_t vertexId() const noexcept { return vertexId_; }
   [[nodiscard]] std::uint64_t startIndex() const noexcept { return startIndex_; }
   [[nodiscard]] std::int64_t count() const noexcept { return count_; }
-  [[nodiscard]] const stats::Welford& result() const noexcept { return result_; }
-  void setResult(stats::Welford w) noexcept { result_ = w; }
+
+  /// The batch's canonical chunk fold (what a synchronous caller absorbs).
+  [[nodiscard]] stats::Welford result() const noexcept {
+    return core::foldEvalChunks(chunks_);
+  }
+  /// Single-partial convenience kept for callers that predate chunking.
+  void setResult(stats::Welford w) { chunks_ = {w}; }
+
+  [[nodiscard]] const std::vector<stats::Welford>& chunks() const noexcept { return chunks_; }
+  void setChunks(std::vector<stats::Welford> chunks) noexcept { chunks_ = std::move(chunks); }
+  [[nodiscard]] std::vector<stats::Welford> releaseChunks() noexcept {
+    return std::move(chunks_);
+  }
 
  private:
   std::vector<double> x_;
   std::uint64_t vertexId_ = 0;
   std::uint64_t startIndex_ = 0;
   std::int64_t count_ = 0;
-  stats::Welford result_;
+  std::vector<stats::Welford> chunks_;
 };
 
 /// The concrete MWWorker of the optimization service: unpacks a
 /// SamplingTask, runs it through its VertexServer (which fans it out to
-/// Ns clients), and packs the merged moments back.
+/// Ns clients), and packs the per-chunk moments back.
 class SamplingWorker final : public MWWorker {
  public:
   SamplingWorker(net::Transport& comm, Rank rank, const noise::StochasticObjective& objective,
@@ -63,17 +78,36 @@ class SamplingWorker final : public MWWorker {
 
 /// Bridges the optimization core to the MW runtime: every sampling batch
 /// the algorithms request becomes a SamplingTask executed on the worker
-/// pool.  Plug an instance into SamplingContext::Options::backend.
+/// pool.  Plug an instance into SamplingContext::Options::backend.  The
+/// async() interface exposes the driver's non-blocking submit/poll path,
+/// which is what lets an EvalScheduler shard batches and run speculative
+/// rounds over the same deployment.
 class MWSamplingBackend final : public core::SamplingBackend {
  public:
-  explicit MWSamplingBackend(MWDriver& driver) : driver_(driver) {}
+  explicit MWSamplingBackend(MWDriver& driver) : driver_(driver), async_(driver) {}
 
   [[nodiscard]] stats::Welford sampleBatch(const BatchRequest& request) override;
   [[nodiscard]] std::vector<stats::Welford> sampleBatches(
       std::span<const BatchRequest> requests) override;
+  [[nodiscard]] core::AsyncSamplingBackend* async() override { return &async_; }
 
  private:
+  /// Thin ticket adapter: SamplingTask marshaling over MWDriver's
+  /// submit/poll, chunk lists straight off the wire.
+  class AsyncAdapter final : public core::AsyncSamplingBackend {
+   public:
+    explicit AsyncAdapter(MWDriver& driver) : driver_(driver) {}
+    [[nodiscard]] std::uint64_t submit(
+        const core::SamplingBackend::BatchRequest& request) override;
+    [[nodiscard]] std::vector<Completion> poll(double timeoutSeconds) override;
+    [[nodiscard]] int parallelism() const override;
+
+   private:
+    MWDriver& driver_;
+  };
+
   MWDriver& driver_;
+  AsyncAdapter async_;
 };
 
 }  // namespace sfopt::mw

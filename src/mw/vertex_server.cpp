@@ -1,5 +1,6 @@
 #include "mw/vertex_server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sfopt::mw {
@@ -10,6 +11,7 @@ VertexServer::VertexServer(const noise::StochasticObjective& objective, int clie
   const auto n = static_cast<std::size_t>(clients);
   jobs_.resize(n);
   partials_.resize(n);
+  partialChunks_.resize(n);
   clientSamples_.assign(n, 0);
   clientGeneration_.assign(n, 0);
   clients_.reserve(n);
@@ -53,6 +55,50 @@ stats::Welford VertexServer::runBatch(const core::SamplingBackend::BatchRequest&
   }
 }
 
+std::vector<stats::Welford> VertexServer::runBatchChunks(
+    const core::SamplingBackend::BatchRequest& request) {
+  if (request.count < 0) {
+    throw std::invalid_argument("VertexServer::runBatchChunks: negative count");
+  }
+  if (request.count == 0) return {};
+  const auto n = static_cast<std::int64_t>(clients_.size());
+  const std::int64_t totalChunks = core::evalChunkCount(request.count);
+  std::unique_lock lock(mutex_);
+  // Hand out whole chunks contiguously; the first (totalChunks % n)
+  // clients take one extra chunk.  Only the batch's final chunk can be
+  // partial, and it always lands at the end of the last loaded client.
+  const std::int64_t base = totalChunks / n;
+  const std::int64_t extra = totalChunks % n;
+  std::int64_t chunkFirst = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t myChunks = base + (i < extra ? 1 : 0);
+    const std::int64_t sampleOffset = chunkFirst * core::kEvalChunkSamples;
+    const std::int64_t myCount =
+        myChunks == 0
+            ? 0
+            : std::min(myChunks * core::kEvalChunkSamples, request.count - sampleOffset);
+    jobs_[static_cast<std::size_t>(i)] =
+        ClientJob{{request.x.begin(), request.x.end()},
+                  request.vertexId,
+                  request.startIndex + static_cast<std::uint64_t>(sampleOffset),
+                  myCount,
+                  /*chunked=*/true};
+    partialChunks_[static_cast<std::size_t>(i)].clear();
+    partials_[static_cast<std::size_t>(i)].reset();
+    chunkFirst += myChunks;
+  }
+  ++generation_;
+  remaining_ = static_cast<int>(n);
+  jobReady_.notify_all();
+  jobDone_.wait(lock, [this] { return remaining_ == 0; });
+  std::vector<stats::Welford> chunks;
+  chunks.reserve(static_cast<std::size_t>(totalChunks));
+  for (const auto& part : partialChunks_) {
+    chunks.insert(chunks.end(), part.begin(), part.end());
+  }
+  return chunks;
+}
+
 void VertexServer::clientLoop(std::size_t clientIndex) {
   std::uint64_t seen = 0;
   for (;;) {
@@ -66,13 +112,32 @@ void VertexServer::clientLoop(std::size_t clientIndex) {
     }
     // The "simulation": sample the objective outside the lock.
     stats::Welford partial;
-    for (std::int64_t i = 0; i < job.count; ++i) {
-      const noise::SampleKey key{job.vertexId, job.startIndex + static_cast<std::uint64_t>(i)};
-      partial.add(objective_.sample(job.x, key));
+    std::vector<stats::Welford> chunkPartials;
+    if (job.chunked) {
+      std::int64_t remaining = job.count;
+      std::uint64_t index = job.startIndex;
+      while (remaining > 0) {
+        const std::int64_t take = std::min(remaining, core::kEvalChunkSamples);
+        stats::Welford chunk;
+        for (std::int64_t i = 0; i < take; ++i) {
+          const noise::SampleKey key{job.vertexId, index + static_cast<std::uint64_t>(i)};
+          chunk.add(objective_.sample(job.x, key));
+        }
+        chunkPartials.push_back(chunk);
+        index += static_cast<std::uint64_t>(take);
+        remaining -= take;
+      }
+    } else {
+      for (std::int64_t i = 0; i < job.count; ++i) {
+        const noise::SampleKey key{job.vertexId,
+                                   job.startIndex + static_cast<std::uint64_t>(i)};
+        partial.add(objective_.sample(job.x, key));
+      }
     }
     {
       std::lock_guard lock(mutex_);
       partials_[clientIndex] = partial;
+      partialChunks_[clientIndex] = std::move(chunkPartials);
       clientSamples_[clientIndex] += job.count;
       if (--remaining_ == 0) jobDone_.notify_all();
     }

@@ -34,6 +34,15 @@ class VertexServer {
   /// statistics.  Blocking; safe to call repeatedly.
   [[nodiscard]] stats::Welford runBatch(const core::SamplingBackend::BatchRequest& request);
 
+  /// Run one sampling batch and return its canonical per-chunk moments
+  /// (see core::kEvalChunkSamples): whole chunks are handed out
+  /// contiguously across the Ns clients, so chunk j is always the same
+  /// 64-sample add-stream no matter how many clients computed the batch —
+  /// the master's canonical chunk fold is then bitwise independent of
+  /// every deployment knob.  Blocking; safe to call repeatedly.
+  [[nodiscard]] std::vector<stats::Welford> runBatchChunks(
+      const core::SamplingBackend::BatchRequest& request);
+
   [[nodiscard]] int clientCount() const noexcept { return static_cast<int>(clients_.size()); }
 
   /// Total samples computed by each client (diagnostics / load balance).
@@ -45,6 +54,9 @@ class VertexServer {
     std::uint64_t vertexId = 0;
     std::uint64_t startIndex = 0;
     std::int64_t count = 0;
+    /// Chunked batches report per-chunk moments instead of one partial;
+    /// startIndex is chunk-aligned relative to the batch by construction.
+    bool chunked = false;
   };
 
   void clientLoop(std::size_t clientIndex);
@@ -57,6 +69,7 @@ class VertexServer {
   // One job slot per client per batch; generation counter sequences batches.
   std::vector<ClientJob> jobs_;
   std::vector<stats::Welford> partials_;
+  std::vector<std::vector<stats::Welford>> partialChunks_;
   std::vector<std::int64_t> clientSamples_;
   std::uint64_t generation_ = 0;
   std::vector<std::uint64_t> clientGeneration_;

@@ -108,6 +108,50 @@ TEST(SamplingContext, RejectsBadOptions) {
   EXPECT_THROW(SamplingContext(obj, opts), std::invalid_argument);
 }
 
+TEST(SamplingContext, CoSampleCoalescesDuplicateVertices) {
+  // Regression: two requests for the same vertex used to become two
+  // batches starting at the same sampleCount, i.e. the same SampleKeys
+  // drawn twice.  They must coalesce into one contiguous batch.
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto a = ctx.createVertex({0.5, -0.5}, 1);
+  ctx.coSample({{a.get(), 5}, {a.get(), 3}});
+  EXPECT_EQ(a->sampleCount(), 9);
+  // One vertex running both draws back-to-back: the charge is the sum.
+  EXPECT_DOUBLE_EQ(ctx.now(), 8.0);
+
+  // The moments are exactly those of the same refinement issued once.
+  SamplingContext ref(obj);
+  auto b = ref.createVertex({0.5, -0.5}, 1);
+  (void)ref.refine(*b, 8);
+  ASSERT_EQ(a->id(), b->id());
+  EXPECT_EQ(a->mean(), b->mean());
+  EXPECT_EQ(a->sampleCount(), b->sampleCount());
+}
+
+TEST(SamplingContext, CoalescedDuplicatesRespectTheCap) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext::Options opts;
+  opts.maxSamplesPerVertex = 10;
+  SamplingContext ctx(obj, opts);
+  auto a = ctx.createVertex({0.0, 0.0}, 4);
+  ctx.coSample({{a.get(), 5}, {a.get(), 100}});
+  EXPECT_EQ(a->sampleCount(), 10);   // summed take clamped to the room left
+  EXPECT_DOUBLE_EQ(ctx.now(), 6.0);  // charged what was actually taken
+}
+
+TEST(SamplingContext, DuplicatesChargeTheirSummedTakeAgainstTheMax) {
+  auto obj = test::noisySphere(2, 1.0);
+  SamplingContext ctx(obj);
+  auto a = ctx.createVertex({0.0, 0.0}, 1);
+  auto b = ctx.createVertex({1.0, 1.0}, 1);
+  ctx.coSample({{a.get(), 5}, {b.get(), 3}, {a.get(), 5}});
+  // a's coalesced take is 10, b's is 3; the round costs max(10, 3).
+  EXPECT_DOUBLE_EQ(ctx.now(), 10.0);
+  EXPECT_EQ(a->sampleCount(), 11);
+  EXPECT_EQ(b->sampleCount(), 4);
+}
+
 TEST(SamplingContext, NegativeRefineThrows) {
   auto obj = test::noisySphere(2, 1.0);
   SamplingContext ctx(obj);

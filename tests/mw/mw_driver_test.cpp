@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -184,6 +185,128 @@ TEST(MWDriver, ThrowsWhenEveryWorkerIsLost) {
   SquareTask task(3);
   std::vector<MWTask*> ptrs = {&task};
   EXPECT_THROW(driver.executeTasks(ptrs), std::runtime_error);
+}
+
+/// Reports kTagError on its first task (MWWorker turns the std::exception
+/// into a polite error reply), then behaves.
+class FailOnceWorker final : public MWWorker {
+ public:
+  using MWWorker::MWWorker;
+
+ protected:
+  void executeTask(MessageBuffer& in, MessageBuffer& out) override {
+    if (!failed_) {
+      failed_ = true;
+      throw std::runtime_error("transient failure");
+    }
+    SquareTask t;
+    t.unpackInput(in);
+    t.result_ = t.value_ * t.value_;
+    t.packResult(out);
+  }
+
+ private:
+  bool failed_ = false;
+};
+
+TEST(MWDriver, AsyncSubmitAndDrainCompleteEverything) {
+  CommWorld comm(3);
+  Pool pool(comm, 2);
+  MWDriver driver(comm);
+  std::map<std::uint64_t, std::int64_t> want;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    MessageBuffer b;
+    b.pack(i);
+    want[driver.submit(std::move(b))] = i * i;
+  }
+  EXPECT_EQ(driver.outstanding(), 12u);
+  auto done = driver.drain();
+  EXPECT_EQ(driver.outstanding(), 0u);
+  ASSERT_EQ(done.size(), 12u);
+  for (auto& c : done) {
+    ASSERT_TRUE(want.contains(c.id));
+    EXPECT_EQ(c.payload.unpackInt64(), want.at(c.id));
+  }
+  EXPECT_EQ(driver.tasksCompleted(), 12u);
+  driver.shutdown();
+}
+
+TEST(MWDriver, AsyncPollDeliversIncrementally) {
+  CommWorld comm(2);
+  Pool pool(comm, 1);
+  MWDriver driver(comm);
+  std::map<std::uint64_t, std::int64_t> want;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    MessageBuffer b;
+    b.pack(i + 10);
+    want[driver.submit(std::move(b))] = (i + 10) * (i + 10);
+  }
+  std::size_t collected = 0;
+  while (collected < 5) {
+    auto ready = driver.poll(5.0);
+    for (auto& c : ready) {
+      EXPECT_EQ(c.payload.unpackInt64(), want.at(c.id));
+      ++collected;
+    }
+  }
+  EXPECT_EQ(driver.outstanding(), 0u);
+  driver.shutdown();
+}
+
+TEST(MWDriver, AsyncErrorReplyIsRequeued) {
+  CommWorld comm(3);
+  FailOnceWorker flaky(comm, 1);
+  SquareWorker steady(comm, 2);
+  std::thread t1([&flaky] { flaky.run(); });
+  std::thread t2([&steady] { steady.run(); });
+
+  MWDriver driver(comm);
+  std::map<std::uint64_t, std::int64_t> want;
+  for (std::int64_t i = 1; i <= 6; ++i) {
+    MessageBuffer b;
+    b.pack(i);
+    want[driver.submit(std::move(b))] = i * i;
+  }
+  auto done = driver.drain();
+  ASSERT_EQ(done.size(), 6u);
+  for (auto& c : done) EXPECT_EQ(c.payload.unpackInt64(), want.at(c.id));
+  EXPECT_GE(driver.tasksRequeued(), 1u);
+  driver.shutdown();
+  t1.join();
+  t2.join();
+}
+
+TEST(MWDriver, AsyncWorkerLostRequeuesOntoSurvivors) {
+  CommWorld comm(3);
+  SquareWorker survivor(comm, 2);
+  std::thread runner([&survivor] { survivor.run(); });
+  comm.send(1, 0, sfopt::net::kTagWorkerLost, {});
+
+  MWDriver driver(comm);
+  driver.setRecvTimeout(5.0);
+  std::map<std::uint64_t, std::int64_t> want;
+  for (std::int64_t i = 1; i <= 4; ++i) {
+    MessageBuffer b;
+    b.pack(i);
+    want[driver.submit(std::move(b))] = i * i;
+  }
+  auto done = driver.drain();
+  ASSERT_EQ(done.size(), 4u);
+  for (auto& c : done) EXPECT_EQ(c.payload.unpackInt64(), want.at(c.id));
+  EXPECT_EQ(driver.workersLost(), 1u);
+  EXPECT_EQ(driver.liveWorkerCount(), 1);
+  driver.shutdown();
+  runner.join();
+}
+
+TEST(MWDriver, AsyncDrainTimesOutWhenNobodyAnswers) {
+  CommWorld comm(2);
+  MWDriver driver(comm);
+  driver.setRecvTimeout(0.05);
+  MessageBuffer b;
+  b.pack(std::int64_t{3});
+  (void)driver.submit(std::move(b));
+  EXPECT_THROW((void)driver.drain(), std::runtime_error);
 }
 
 TEST(MWDriver, WorkersCountTheirTasks) {

@@ -96,6 +96,74 @@ TEST(MWSamplingBackend, ManyBatchesInOrder) {
   }
 }
 
+TEST(MWSamplingBackend, ZeroCountBatchesNeverLeaveTheMaster) {
+  auto obj = test::noisySphere(2, 1.0);
+  ServiceFixture fx(obj, 2, 1);
+  MWSamplingBackend backend(*fx.driver);
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<core::SamplingBackend::BatchRequest> reqs = {
+      {x, 1, 0, 0}, {x, 2, 0, 16}, {x, 3, 0, 0}, {x, 4, 8, 16}};
+  const auto got = backend.sampleBatches(reqs);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].count(), 0);
+  EXPECT_EQ(got[2].count(), 0);
+  // Only the two real batches became worker tasks, mapped back by slot.
+  EXPECT_EQ(fx.driver->tasksCompleted(), 2u);
+  stats::Welford ref;
+  for (std::uint64_t i = 0; i < 16; ++i) ref.add(obj.sample(x, {2, i}));
+  EXPECT_EQ(got[1].count(), 16);
+  EXPECT_EQ(got[1].mean(), ref.mean());
+  stats::Welford ref4;
+  for (std::uint64_t i = 8; i < 24; ++i) ref4.add(obj.sample(x, {4, i}));
+  EXPECT_EQ(got[3].mean(), ref4.mean());
+}
+
+TEST(MWSamplingBackend, AllZeroCountBatchesSkipDispatchEntirely) {
+  auto obj = test::noisySphere(2, 1.0);
+  ServiceFixture fx(obj, 2, 1);
+  MWSamplingBackend backend(*fx.driver);
+  const std::vector<double> x{0.0, 0.0};
+  const std::vector<core::SamplingBackend::BatchRequest> reqs = {{x, 1, 0, 0}, {x, 2, 4, 0}};
+  const auto got = backend.sampleBatches(reqs);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].count(), 0);
+  EXPECT_EQ(got[1].count(), 0);
+  EXPECT_EQ(fx.driver->tasksCompleted(), 0u);
+}
+
+TEST(MWSamplingBackend, AsyncAdapterDeliversCanonicalChunks) {
+  auto obj = test::noisySphere(2, 2.0);
+  ServiceFixture fx(obj, 2, 2);
+  MWSamplingBackend backend(*fx.driver);
+  core::AsyncSamplingBackend* async = backend.async();
+  ASSERT_NE(async, nullptr);
+  EXPECT_GE(async->parallelism(), 1);
+
+  const std::vector<double> x{0.5, -0.5};
+  const std::uint64_t ticket = async->submit({x, 9, 0, 150});
+  std::vector<core::AsyncSamplingBackend::Completion> got;
+  while (got.empty()) {
+    auto ready = async->poll(5.0);
+    got.insert(got.end(), ready.begin(), ready.end());
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].ticket, ticket);
+  ASSERT_EQ(got[0].chunks.size(), 3u);  // 150 samples -> chunks of 64, 64, 22
+  // Every chunk is the sequential add-stream of its index range, bitwise,
+  // even though two clients computed the batch.
+  std::uint64_t index = 0;
+  for (const auto& chunk : got[0].chunks) {
+    stats::Welford ref;
+    for (std::int64_t i = 0; i < chunk.count(); ++i) {
+      ref.add(obj.sample(x, {9, index + static_cast<std::uint64_t>(i)}));
+    }
+    EXPECT_EQ(chunk.count(), index + 64 <= 150 ? 64 : 22);
+    EXPECT_EQ(chunk.mean(), ref.mean());
+    EXPECT_EQ(chunk.sumSquaredDeviations(), ref.sumSquaredDeviations());
+    index += static_cast<std::uint64_t>(chunk.count());
+  }
+}
+
 TEST(MWSamplingBackend, WorkersShareTheLoad) {
   auto obj = test::noisySphere(2, 1.0);
   ServiceFixture fx(obj, 3, 1);

@@ -257,6 +257,55 @@ TEST(Cli, TelemetryAppendAccumulatesAllFourLayers) {
   fs::remove(jsonl);
 }
 
+TEST(Cli, PipelineKnobsKeepTheMwResultIdentical) {
+  const std::vector<std::string> base = {"optimize", "--function", "sphere", "--dim", "2",
+                                         "--algorithm", "mn", "--sigma0", "1", "--mw",
+                                         "--workers", "3", "--max-iterations", "40",
+                                         "--max-samples", "50000"};
+  std::vector<std::string> piped = base;
+  piped.insert(piped.end(), {"--shard-min-samples", "64", "--speculate"});
+  const auto plain = cli(base);
+  const auto sharded = cli(piped);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  ASSERT_EQ(sharded.code, 0) << sharded.err;
+
+  // The printed trajectory summary (moves, best, estimate, effort) must be
+  // untouched by the pipeline knobs.
+  const auto resultLines = [](const std::string& out) {
+    std::istringstream in(out);
+    std::string line, keep;
+    while (std::getline(in, line)) {
+      for (const char* prefix : {"stopped:", "best:", "estimate:", "effort:", "moves:"}) {
+        if (line.rfind(prefix, 0) == 0) keep += line + "\n";
+      }
+    }
+    return keep;
+  };
+  EXPECT_FALSE(resultLines(plain.out).empty());
+  EXPECT_EQ(resultLines(sharded.out), resultLines(plain.out));
+}
+
+TEST(Cli, ShardMinSamplesRejectsNegative) {
+  EXPECT_EQ(cli({"optimize", "--shard-min-samples", "-1"}).code, 2);
+  EXPECT_EQ(cli({"water", "--algorithm", "mn", "--shard-min-samples", "-5"}).code, 2);
+}
+
+TEST(Cli, PipelinedTelemetryCoversTheEvalLayer) {
+  namespace fs = std::filesystem;
+  const fs::path jsonl = fs::temp_directory_path() / "sfopt_cli_eval_layer.jsonl";
+  fs::remove(jsonl);
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm", "mn",
+                      "--sigma0", "1", "--mw", "--workers", "2", "--shard-min-samples", "64",
+                      "--speculate", "--max-iterations", "30", "--max-samples", "50000",
+                      "--telemetry-out", jsonl.string()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto m = cli({"metrics", jsonl.string()});
+  ASSERT_EQ(m.code, 0) << m.err;
+  EXPECT_NE(m.out.find("eval.shards_per_batch"), std::string::npos) << m.out;
+  EXPECT_NE(m.out.find("eval[x]"), std::string::npos) << m.out;
+  fs::remove(jsonl);
+}
+
 TEST(Cli, MetricsRejectsMissingInput) {
   EXPECT_EQ(cli({"metrics"}).code, 2);
   EXPECT_EQ(cli({"metrics", "/no/such/file.jsonl"}).code, 2);

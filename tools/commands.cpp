@@ -78,42 +78,56 @@ core::TerminationCriteria terminationFrom(const Args& args) {
   return t;
 }
 
+/// Evaluation-pipeline knobs shared by `optimize`, `water` and `serve`:
+/// `--shard-min-samples N` splits any sampling batch bigger than N across
+/// the live workers, `--speculate` prefetches the likely next round while
+/// the current one is in flight.  Both only take effect when a sampling
+/// backend with an async path is attached (the MW / TCP deployments);
+/// serial runs ignore them.
+void applyPipelineKnobs(const Args& args, core::CommonOptions& common) {
+  const auto shardMin = args.getInt("shard-min-samples", 0);
+  if (shardMin < 0) throw ArgError("--shard-min-samples must be >= 0");
+  common.sampling.shardMinSamples = shardMin;
+  common.sampling.speculate = args.getBool("speculate", false);
+}
+
 /// Simplex algorithm selection shared by `optimize` and `serve`; the
 /// caller layers telemetry / checkpointing onto `common` afterwards.
 mw::AlgorithmOptions simplexOptionsFrom(const Args& args, const std::string& algo,
                                         const core::TerminationCriteria& term,
                                         bool wantTrace) {
+  mw::AlgorithmOptions options;
   if (algo == "det") {
     core::DetOptions o;
     o.common.termination = term;
     o.common.recordTrace = wantTrace;
-    return o;
-  }
-  if (algo == "mn") {
+    options = o;
+  } else if (algo == "mn") {
     core::MaxNoiseOptions o;
     o.k = args.getDouble("k", 2.0);
     o.common.termination = term;
     o.common.recordTrace = wantTrace;
-    return o;
-  }
-  if (algo == "anderson") {
+    options = o;
+  } else if (algo == "anderson") {
     core::AndersonOptions o;
     o.k1 = args.getDouble("k1", 1.0);
     o.k2 = args.getDouble("k2", 0.0);
     o.common.termination = term;
     o.common.recordTrace = wantTrace;
-    return o;
-  }
-  if (algo == "pc" || algo == "pcmn") {
+    options = o;
+  } else if (algo == "pc" || algo == "pcmn") {
     core::PCOptions o;
     o.k = args.getDouble("k", 1.0);
     o.maxNoiseGate = algo == "pcmn";
     o.common.termination = term;
     o.common.recordTrace = wantTrace;
-    return o;
+    options = o;
+  } else {
+    throw ArgError("unknown algorithm '" + algo +
+                   "' (try det, mn, anderson, pc, pcmn, pso, sa)");
   }
-  throw ArgError("unknown algorithm '" + algo +
-                 "' (try det, mn, anderson, pc, pcmn, pso, sa)");
+  std::visit([&](auto& o) { applyPipelineKnobs(args, o.common); }, options);
+  return options;
 }
 
 void printResult(std::ostream& out, const core::OptimizationResult& res) {
@@ -275,12 +289,14 @@ int runWaterCommand(const Args& args, std::ostream& out) {
     core::MaxNoiseOptions o;
     o.common.termination = term;
     o.common.telemetry = telemetrySession.get();
+    applyPipelineKnobs(args, o.common);
     res = core::runMaxNoise(objective, start, o);
   } else if (algo == "pc" || algo == "pcmn") {
     core::PCOptions o;
     o.maxNoiseGate = algo == "pcmn";
     o.common.termination = term;
     o.common.telemetry = telemetrySession.get();
+    applyPipelineKnobs(args, o.common);
     res = core::runPointToPoint(objective, start, o);
   } else {
     throw ArgError("water supports --algorithm mn, pc or pcmn");
@@ -577,7 +593,7 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
   }
 
   // Layer coverage: which instrumented layers contributed events.
-  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli."};
+  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli.", "eval."};
   out << "\nlayers:";
   for (const char* prefix : layers) {
     const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
@@ -608,6 +624,9 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  info\n";
   out << "telemetry:  add --telemetry-out run.jsonl [--telemetry-append] to optimize,\n";
   out << "            serve, worker, water, or md to capture spans and metrics\n";
+  out << "pipeline:   --shard-min-samples N splits big sampling batches across\n";
+  out << "            workers; --speculate prefetches the next round (optimize\n";
+  out << "            --mw, water, serve; results stay bitwise identical)\n";
   return 0;
 }
 
