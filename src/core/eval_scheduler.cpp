@@ -38,17 +38,21 @@ int EvalScheduler::resolvedStagingCap() const {
   return resolvedOutstandingCap();
 }
 
+std::int64_t EvalScheduler::plannedShards(std::int64_t count) const {
+  if (options_.shardMinSamples <= 0 || count <= options_.shardMinSamples) return 1;
+  const std::int64_t chunks = evalChunkCount(count);
+  const std::int64_t byThreshold =
+      (count + options_.shardMinSamples - 1) / options_.shardMinSamples;
+  const std::int64_t shards =
+      std::min({static_cast<std::int64_t>(std::max(backend_.parallelism(), 1)),
+                byThreshold, chunks});
+  return std::max<std::int64_t>(shards, 1);
+}
+
 int EvalScheduler::submitSharded(const SamplingBackend::BatchRequest& request,
                                  const BatchKey& key) {
   const std::int64_t chunks = evalChunkCount(request.count);
-  std::int64_t shards = 1;
-  if (options_.shardMinSamples > 0 && request.count > options_.shardMinSamples) {
-    const std::int64_t byThreshold =
-        (request.count + options_.shardMinSamples - 1) / options_.shardMinSamples;
-    shards = std::min({static_cast<std::int64_t>(std::max(backend_.parallelism(), 1)),
-                       byThreshold, chunks});
-    shards = std::max<std::int64_t>(shards, 1);
-  }
+  const std::int64_t shards = plannedShards(request.count);
   Entry& entry = entries_.at(key);
   const std::int64_t base = chunks / shards;
   const std::int64_t extra = chunks % shards;
@@ -62,7 +66,7 @@ int EvalScheduler::submitSharded(const SamplingBackend::BatchRequest& request,
         request.x, request.vertexId,
         request.startIndex + static_cast<std::uint64_t>(sampleOffset), shardSamples};
     const std::uint64_t ticket = backend_.submit(shard);
-    ticketRoute_[ticket] = TicketRoute{key, chunkFirst};
+    ticketRoute_[ticket] = TicketRoute{key, chunkFirst, entry.sequence};
     ++entry.ticketsOutstanding;
     chunkFirst += shardChunks;
   }
@@ -82,6 +86,13 @@ void EvalScheduler::routeCompletion(const AsyncSamplingBackend::Completion& comp
   const auto entryIt = entries_.find(route.key);
   if (entryIt == entries_.end()) return;  // evicted while in flight: drop
   Entry& entry = entryIt->second;
+  if (entry.sequence != route.generation) {
+    // Stale ticket: its entry was evicted and the key re-created since.
+    // The fresh entry has its own tickets; filling from this one would
+    // double-count chunksFilled and could mark the entry complete while
+    // slots belonging to unfinished fresh tickets are still empty.
+    return;
+  }
   const auto n = static_cast<std::int64_t>(completion.chunks.size());
   if (route.firstChunk + n > entry.chunksTotal) {
     throw std::logic_error("EvalScheduler: completion overruns its batch");
@@ -101,8 +112,11 @@ void EvalScheduler::collect(const std::vector<BatchKey>& needed) {
     }
     return true;
   };
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(options_.timeoutSeconds);
+  // The deadline bounds *silence*, not total runtime: every completion
+  // pushes it out, so a long evaluation making steady progress never
+  // trips it.
+  const auto window = std::chrono::duration<double>(options_.timeoutSeconds);
+  auto deadline = std::chrono::steady_clock::now() + window;
   while (!allDone()) {
     const double remaining = std::chrono::duration<double>(
                                  deadline - std::chrono::steady_clock::now())
@@ -115,6 +129,7 @@ void EvalScheduler::collect(const std::vector<BatchKey>& needed) {
     const auto completions = backend_.poll(remaining);
     if (completions.empty()) continue;  // deadline check handles the timeout
     for (const auto& c : completions) routeCompletion(c);
+    deadline = std::chrono::steady_clock::now() + window;
   }
 }
 
@@ -201,7 +216,10 @@ std::vector<stats::Welford> EvalScheduler::evaluate(
       if (h.count <= 0) continue;
       const BatchKey key{h.vertexId, h.startIndex, h.count};
       if (entries_.contains(key)) continue;  // already demanded or staged
-      if (ticketRoute_.size() >= cap) {
+      // Hard cap: count the shards this hint would submit, not just the
+      // tickets already in flight, so the bound cannot be overshot.
+      const auto hintTickets = static_cast<std::size_t>(plannedShards(h.count));
+      if (ticketRoute_.size() + hintTickets > cap) {
         ++skipped_;
         continue;
       }

@@ -118,9 +118,16 @@ class EvalScheduler {
     std::int64_t chunksTotal = 0;
     int ticketsOutstanding = 0;
     bool speculative = false;
-    std::uint64_t sequence = 0;  ///< FIFO eviction order for staged entries
+    /// Entry generation: tickets record it at submit time and
+    /// routeCompletion drops completions whose generation does not match,
+    /// so a stale ticket from an evicted entry can never fill a re-created
+    /// entry for the same key.
+    std::uint64_t sequence = 0;
     [[nodiscard]] bool complete() const noexcept { return chunksFilled == chunksTotal; }
   };
+
+  /// Shard count submitSharded would use for a batch of `count` samples.
+  [[nodiscard]] std::int64_t plannedShards(std::int64_t count) const;
 
   /// Split `request` into chunk-aligned shards and submit them, wiring
   /// each ticket back to `key`'s chunk slots.  Returns the shard count.
@@ -147,6 +154,7 @@ class EvalScheduler {
   struct TicketRoute {
     BatchKey key;
     std::int64_t firstChunk = 0;
+    std::uint64_t generation = 0;  ///< Entry::sequence at submit time
   };
   std::unordered_map<std::uint64_t, TicketRoute> ticketRoute_;
   /// Staged = speculative entries not yet demanded, in submit order.

@@ -379,6 +379,7 @@ void MWDriver::observeIdleFraction() {
 }
 
 void MWDriver::handleAsyncMessage(Message msg) {
+  ++asyncMessagesHandled_;
   if (msg.tag == kTagResult) {
     const std::uint64_t id = msg.payload.unpackUint64();
     const auto it = asyncTasks_.find(id);
@@ -473,8 +474,13 @@ std::vector<MWDriver::AsyncCompletion> MWDriver::poll(double timeoutSeconds) {
 std::vector<MWDriver::AsyncCompletion> MWDriver::drain() {
   std::vector<AsyncCompletion> all = std::exchange(asyncReady_, {});
   while (!asyncTasks_.empty()) {
+    // A window may yield no completions yet still make progress: an error
+    // or worker-lost message requeues the task mid-window.  Only a window
+    // with no messages at all means the fabric is silent; a just-requeued
+    // task gets a fresh window.
+    const std::uint64_t before = asyncMessagesHandled_;
     auto got = poll(recvTimeoutSeconds_);
-    if (got.empty() && !asyncTasks_.empty()) {
+    if (got.empty() && asyncMessagesHandled_ == before && !asyncTasks_.empty()) {
       throw std::runtime_error(
           "MWDriver: no worker message for " + std::to_string(recvTimeoutSeconds_) + "s with " +
           std::to_string(asyncTasks_.size()) + " async task(s) outstanding");

@@ -140,6 +140,9 @@ class MWDriver {
   std::vector<std::uint64_t> asyncInFlightId_;
   int asyncInFlight_ = 0;
   std::vector<AsyncCompletion> asyncReady_;
+  /// Every worker message handled on the async path, completions or not;
+  /// drain() uses it to tell "backend silent" from "recovery in progress".
+  std::uint64_t asyncMessagesHandled_ = 0;
 
   /// Pre-registered handles; all non-null exactly when telemetry_ is set.
   telemetry::Telemetry* telemetry_ = nullptr;

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <deque>
+#include <thread>
 #include <vector>
 
 #include "core/sampling_backend.hpp"
@@ -67,6 +70,19 @@ class FakeAsyncBackend final : public AsyncSamplingBackend {
   std::vector<Completion> poll(double) override {
     std::vector<Completion> out;
     if (holdCompletions) return out;
+    if (pollDelaySeconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(pollDelaySeconds));
+    }
+    while (!forcedOrder.empty() && (perPoll == 0 || out.size() < perPoll)) {
+      const std::uint64_t want = forcedOrder.front();
+      const auto it = std::find_if(pending_.begin(), pending_.end(),
+                                   [&](const Completion& c) { return c.ticket == want; });
+      if (it == pending_.end()) break;  // not submitted yet
+      forcedOrder.pop_front();
+      out.push_back(std::move(*it));
+      pending_.erase(it);
+    }
+    if (!forcedOrder.empty()) return out;
     while (!pending_.empty() && (perPoll == 0 || out.size() < perPoll)) {
       out.push_back(std::move(pending_.back()));
       pending_.pop_back();
@@ -79,6 +95,10 @@ class FakeAsyncBackend final : public AsyncSamplingBackend {
   std::vector<Recorded> recorded;
   std::size_t perPoll = 0;      ///< completions per poll; 0 = all at once
   bool holdCompletions = false; ///< simulate a silent fabric
+  double pollDelaySeconds = 0.0;  ///< simulate a slow fabric
+  /// When non-empty, deliver exactly these tickets in this order (ahead
+  /// of the default newest-first drain) — for staleness interleavings.
+  std::deque<std::uint64_t> forcedOrder;
 
  private:
   int parallelism_;
@@ -231,6 +251,77 @@ TEST(EvalScheduler, SupersededSpeculationIsEvictedWhenVertexMovesPast) {
   EXPECT_EQ(sched.stagedEvicted(), 1u);
   EXPECT_EQ(sched.speculationHits(), 0u);
   expectBitwiseEqual(results[0], core::foldEvalChunks(chunksFor(5, 100, 128)));
+}
+
+TEST(EvalScheduler, StaleTicketFromEvictedEntryCannotCorruptRecreatedEntry) {
+  // An entry evicted by the staging cap leaves its tickets in flight; a
+  // later demand for the same key builds a fresh entry with fresh
+  // tickets.  If a stale completion were allowed to fill the fresh entry,
+  // the fill counter could reach the total while another chunk slot is
+  // still an empty Welford — silently losing samples.  The generation
+  // guard must drop the stale completion instead.
+  FakeAsyncBackend backend(2);
+  backend.holdCompletions = true;
+  EvalScheduler sched(backend, {.shardMinSamples = 64,
+                                .speculate = true,
+                                .maxOutstandingShards = 16,
+                                .maxStagedEntries = 1});
+  const SamplingBackend::BatchRequest hintK{{}, 9, 0, 128};  // 2 shards: tickets 1, 2
+  (void)sched.evaluate({}, {&hintK, 1});
+  ASSERT_EQ(backend.recorded.size(), 2u);
+  const SamplingBackend::BatchRequest hintB{{}, 10, 0, 64};  // ticket 3; evicts K
+  (void)sched.evaluate({}, {&hintB, 1});
+  EXPECT_EQ(sched.stagedEvicted(), 1u);
+
+  // Demand K again (tickets 4, 5) and deliver: stale chunk-0 (ticket 1),
+  // fresh chunk-0 (ticket 4), fresh chunk-1 (ticket 5) — the interleaving
+  // where a counter-only fill would declare the entry complete after two
+  // chunk-0 fills with chunk 1 never written.
+  backend.holdCompletions = false;
+  backend.perPoll = 1;
+  backend.forcedOrder = {1, 4, 5};
+  const auto results = sched.evaluate({&hintK, 1});
+  expectBitwiseEqual(results[0], core::foldEvalChunks(chunksFor(9, 0, 128)));
+
+  // The leftover stale ticket (2) and the unconsumed hint (3) drain
+  // harmlessly on a later call: no entry double-fill, nothing outstanding.
+  backend.perPoll = 0;
+  const SamplingBackend::BatchRequest next{{}, 11, 0, 64};
+  const auto r2 = sched.evaluate({&next, 1});
+  expectBitwiseEqual(r2[0], core::foldEvalChunks(chunksFor(11, 0, 64)));
+  EXPECT_EQ(sched.outstandingTickets(), 0u);
+}
+
+TEST(EvalScheduler, CollectTimeoutBoundsSilenceNotTotalRuntime) {
+  // Four shards trickle in 60ms apart: total wall time (~240ms) exceeds
+  // timeoutSeconds, but the backend is never silent longer than one gap,
+  // so the evaluation must complete rather than throw.
+  FakeAsyncBackend backend(4);
+  backend.perPoll = 1;
+  backend.pollDelaySeconds = 0.06;
+  EvalScheduler sched(backend, {.shardMinSamples = 64, .timeoutSeconds = 0.15});
+  const SamplingBackend::BatchRequest req{{}, 1, 0, 640};  // 10 chunks, 4 shards
+  const auto results = sched.evaluate({&req, 1});
+  ASSERT_EQ(backend.recorded.size(), 4u);
+  expectBitwiseEqual(results[0], core::foldEvalChunks(chunksFor(1, 0, 640)));
+}
+
+TEST(EvalScheduler, SpeculativeHintCountsItsShardsAgainstTheCap) {
+  // The cap bounds tickets, and one hint can submit several shards: a
+  // hint whose shard count would push in-flight tickets past the cap is
+  // skipped entirely, while a smaller hint that fits still launches.
+  FakeAsyncBackend backend(4);
+  EvalScheduler sched(backend, {.shardMinSamples = 64,
+                                .speculate = true,
+                                .maxOutstandingShards = 4});
+  const SamplingBackend::BatchRequest demand{{}, 1, 0, 64};  // 1 ticket in flight
+  const SamplingBackend::BatchRequest big{{}, 2, 0, 640};    // 4 shards: 1 + 4 > 4
+  const SamplingBackend::BatchRequest small{{}, 3, 0, 64};   // 1 shard: 1 + 1 <= 4
+  const SamplingBackend::BatchRequest hints[] = {big, small};
+  (void)sched.evaluate({&demand, 1}, hints);
+  EXPECT_EQ(sched.speculationSkipped(), 1u);
+  EXPECT_EQ(backend.recorded.size(), 2u);  // demand + small hint only
+  EXPECT_EQ(sched.stagedBatches(), 1u);
 }
 
 TEST(EvalScheduler, TimesOutWhenBackendGoesSilent) {

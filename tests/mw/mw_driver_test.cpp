@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
@@ -297,6 +298,41 @@ TEST(MWDriver, AsyncWorkerLostRequeuesOntoSurvivors) {
   EXPECT_EQ(driver.liveWorkerCount(), 1);
   driver.shutdown();
   runner.join();
+}
+
+TEST(MWDriver, AsyncDrainGivesRequeuedTaskAFreshWindow) {
+  // A poll window that carries only an error report (no completion) is
+  // recovery in progress, not silence: the requeued task must get a fresh
+  // timeout window instead of killing the run with "no worker message".
+  CommWorld comm(3);
+  MWDriver driver(comm);
+  driver.setRecvTimeout(0.6);
+  MessageBuffer b;
+  b.pack(std::int64_t{5});
+  const std::uint64_t id = driver.submit(std::move(b));  // dispatched to rank 1
+
+  std::thread script([&comm, id] {
+    // Window 1: rank 1 reports failure — a message, but no completion.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    MessageBuffer err;
+    err.pack(id);
+    err.pack(std::string("transient"));
+    comm.send(1, 0, kTagError, std::move(err));
+    // Window 2: the requeued attempt (now on rank 2) completes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    MessageBuffer res;
+    res.pack(id);
+    res.pack(std::int64_t{25});
+    comm.send(2, 0, kTagResult, std::move(res));
+  });
+
+  auto done = driver.drain();
+  script.join();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_EQ(done[0].payload.unpackInt64(), 25);
+  EXPECT_EQ(driver.tasksRequeued(), 1u);
+  driver.shutdown();
 }
 
 TEST(MWDriver, AsyncDrainTimesOutWhenNobodyAnswers) {
