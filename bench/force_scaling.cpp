@@ -1,55 +1,46 @@
 // Scaling study of the MD hot path: neighbor-list construction
 // (brute-force O(N^2) scan vs linked-cell O(N)) and the nonbonded force
-// evaluation (serial vs thread-parallel kernel), swept over system size
-// and thread count.  These numbers back the CHANGES.md entry for the
-// cell-list + parallel-force PR; every stochastic objective sample runs
-// this kernel a few hundred times, so per-eval wall time here is the
+// evaluation (serial vs thread-parallel kernel, and per SIMD ISA), swept
+// over system size and thread count.  Every stochastic objective sample
+// runs this kernel a few hundred times, so per-eval wall time here is the
 // unit cost of the whole optimization stack.
 //
-// Usage: force_scaling [repetitions]   (default 25)
+// The ISA sweep times the same serial pair loop under each dispatch level
+// the host supports; scalar is the legacy loop, the vector levels run the
+// blocked simd::forcePairBlock kernel with its pinned lane-reduction
+// order (results stay bitwise reproducible within an ISA).
+//
+// Usage: force_scaling [repetitions] [--json PATH]   (default 25)
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "md/forces.hpp"
 #include "md/neighbor_list.hpp"
 #include "md/system.hpp"
+#include "simd/isa.hpp"
 
 namespace {
 
+using namespace sfopt;
 using namespace sfopt::md;
-using Clock = std::chrono::steady_clock;
 
 constexpr double kCutoff = 4.0;
 constexpr double kSkin = 1.0;
 
-/// Median-of-reps wall seconds for one invocation of fn.
-template <typename F>
-double medianSeconds(int reps, F&& fn) {
-  std::vector<double> times;
-  times.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    times.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
-  }
-  std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
-}
-
-void runSystemSize(int molecules, int reps) {
+void runSystemSize(int molecules, int reps, bench::BenchReport& report) {
   WaterSystem sys = buildWaterLattice(molecules, 0.997, 298.0, tip4pPublished(),
                                       kCutoff, 3);
-  const double listRadius = kCutoff + kSkin;
+  const std::string tag = "force.N" + std::to_string(molecules);
 
   // --- Neighbor-list rebuild: brute force vs cell list. ---
   NeighborList brute(kCutoff, kSkin, NeighborStrategy::kBruteForce);
-  const double bruteSec = medianSeconds(reps, [&] { brute.rebuild(sys); });
+  const double bruteSec = bench::medianSeconds(reps, [&] { brute.rebuild(sys); });
   NeighborList autoList(kCutoff, kSkin);  // cell list when the box admits it
-  const double autoSec = medianSeconds(reps, [&] { autoList.rebuild(sys); });
+  const double autoSec = bench::medianSeconds(reps, [&] { autoList.rebuild(sys); });
   std::printf("N=%3d  rebuild: brute %9.1f us | %s %9.1f us | speedup x%5.2f",
               molecules, bruteSec * 1e6,
               autoList.lastRebuildUsedCells() ? "cells" : "brute(fallback)",
@@ -59,34 +50,63 @@ void runSystemSize(int molecules, int reps) {
                 autoList.averageCellOccupancy());
   }
   std::printf("  [%zu pairs]\n", autoList.pairs().size());
-  (void)listRadius;
+  report.add(tag + ".rebuild.brute.seconds", bruteSec, "s");
+  report.add(tag + ".rebuild.auto.seconds", autoSec, "s");
 
-  // --- Force evaluation: serial vs parallel over the pair list. ---
+  // --- Force evaluation per SIMD ISA (serial pair loop). ---
+  double scalarSec = 0.0;
+  std::printf("N=%3d  force:  ", molecules);
+  for (const simd::Isa isa : simd::supportedIsas()) {
+    simd::setActiveIsa(isa);
+    const double sec =
+        bench::medianSeconds(reps, [&] { (void)computeForces(sys, autoList); });
+    if (isa == simd::Isa::Scalar) scalarSec = sec;
+    std::printf(" %s %8.1f us (x%4.2f) |", simd::isaName(isa), sec * 1e6,
+                scalarSec / sec);
+    const std::string prefix = tag + ".serial." + simd::isaName(isa);
+    report.add(prefix + ".seconds", sec, "s");
+    report.add(prefix + ".speedup_vs_scalar", scalarSec / sec, "x");
+  }
+  simd::setActiveIsa(simd::detectBestIsa());
+  const double pairsPerSec =
+      static_cast<double>(autoList.pairs().size()) / scalarSec;
+  std::printf("  [%.1f Mpairs/s scalar]\n", pairsPerSec / 1e6);
+
+  // --- Thread-parallel kernel at the detected ISA. ---
   const double serialSec =
-      medianSeconds(reps, [&] { (void)computeForces(sys, autoList); });
-  std::printf("N=%3d  force:   serial %8.1f us", molecules, serialSec * 1e6);
+      bench::medianSeconds(reps, [&] { (void)computeForces(sys, autoList); });
+  std::printf("N=%3d  threads: serial %8.1f us", molecules, serialSec * 1e6);
   for (int threads : {2, 4}) {
     ParallelForceKernel kernel(threads);
     const double parSec =
-        medianSeconds(reps, [&] { (void)kernel.compute(sys, autoList); });
+        bench::medianSeconds(reps, [&] { (void)kernel.compute(sys, autoList); });
     std::printf(" | %dT %8.1f us (x%4.2f)", threads, parSec * 1e6,
                 serialSec / parSec);
+    report.add(tag + ".parallel." + std::to_string(threads) + "T.seconds", parSec, "s");
   }
-  const double pairsPerSec =
-      static_cast<double>(autoList.pairs().size()) / serialSec;
-  std::printf("  [%.1f Mpairs/s serial]\n", pairsPerSec / 1e6);
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 25;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string jsonPath = bench::extractJsonPath(args);
+  const int reps = !args.empty() ? std::atoi(args[0].c_str()) : 25;
   std::printf("force_scaling: cutoff %.1f A + skin %.1f A, median of %d reps\n",
               kCutoff, kSkin, reps);
   std::printf("(64 molecules -> box ~12.4 A admits only 2 cells/dim at the 5 A list "
               "radius, so the auto strategy falls back to the brute scan there)\n\n");
+
+  bench::BenchReport report;
+  report.bench = "force_scaling";
+  report.repetitions = reps;
   for (int molecules : {64, 216, 512}) {
-    runSystemSize(molecules, reps);
+    runSystemSize(molecules, reps, report);
+  }
+  if (!jsonPath.empty()) {
+    if (!report.writeJson(jsonPath)) return 1;
+    std::printf("\njson: %zu results -> %s\n", report.results.size(), jsonPath.c_str());
   }
   return 0;
 }

@@ -15,12 +15,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/bench_json.hpp"
 #include "common/harness.hpp"
 #include "core/initial_simplex.hpp"
 #include "core/sampling_context.hpp"
@@ -171,11 +173,17 @@ SpecRow runSpeculationArm(bool speculate) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string jsonPath = bench::extractJsonPath(args);
   std::vector<int> workerCounts{1, 2, 4};
-  if (argc > 1) {
+  if (!args.empty()) {
     workerCounts.clear();
-    for (int i = 1; i < argc; ++i) workerCounts.push_back(std::atoi(argv[i]));
+    for (const auto& a : args) workerCounts.push_back(std::atoi(a.c_str()));
   }
+
+  bench::BenchReport report;
+  report.bench = "pipeline_scaling";
+  report.repetitions = 1;
 
   bench::printHeader("Pipeline scaling - sharding one dominant refine across workers");
   std::printf("\n%-8s %-10s %-10s %-12s %-14s %-10s\n", "workers", "sharded", "wall(s)",
@@ -186,6 +194,10 @@ int main(int argc, char** argv) {
       std::printf("%-8d %-10s %-10.3f %-12.3f %-14.2f %-10lld\n", row.workers,
                   row.sharded ? "yes" : "no", row.wallSeconds, row.idleFraction,
                   row.shardsPerBatch, row.samples);
+      const std::string prefix = "pipeline.shard.W" + std::to_string(row.workers) +
+                                 (row.sharded ? ".sharded" : ".unsharded");
+      report.add(prefix + ".wall_seconds", row.wallSeconds, "s");
+      report.add(prefix + ".idle_fraction", row.idleFraction, "fraction");
     }
   }
   std::printf(
@@ -206,6 +218,10 @@ int main(int argc, char** argv) {
     std::printf("%-10s %-10.3f %-10.2f %-8lld %-8lld %-18.2f %-8lld\n",
                 row.speculate ? "on" : "off", row.wallSeconds, row.hitRate, row.hits,
                 row.misses, row.roundsPerComparison, row.steps);
+    const std::string prefix =
+        std::string("pipeline.speculate.") + (row.speculate ? "on" : "off");
+    report.add(prefix + ".wall_seconds", row.wallSeconds, "s");
+    report.add(prefix + ".hit_rate", row.hitRate, "fraction");
   }
   std::printf(
       "\nShape check: speculation pre-stages the next PC round's resample while\n"
@@ -214,5 +230,9 @@ int main(int argc, char** argv) {
       "only charged to the sample counter and virtual clock when consumed, so\n"
       "rounds/comparison and the whole trajectory are identical between the two\n"
       "arms -- the hit rate is pure decide/evaluate overlap.\n");
+  if (!jsonPath.empty()) {
+    if (!report.writeJson(jsonPath)) return 1;
+    std::printf("json: %zu results -> %s\n", report.results.size(), jsonPath.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,108 @@
+// Throughput of the canonical 64-sample Welford chunk kernel, per SIMD
+// ISA available on this host.  This is the batch-accumulation inner loop
+// behind core::accumulateEvalChunk (VertexServer clients, MW sampling
+// workers and foldEvalChunks all funnel through it), so samples/second
+// here bounds how fast the whole evaluation pipeline can digest noise.
+//
+// Every ISA is a pinned lane-reduction order, so the per-ISA moments are
+// bitwise reproducible; the bench asserts scalar-vs-vector agreement to
+// 1e-12 on the side while timing.
+//
+// Usage: welford_throughput [repetitions] [--json PATH]   (default 15)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/bench_json.hpp"
+#include "core/sampling_backend.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
+#include "stats/welford.hpp"
+
+using namespace sfopt;
+
+namespace {
+
+constexpr std::size_t kSamples = 1 << 22;  // 4M doubles, ~32 MiB
+
+struct IsaTiming {
+  simd::Isa isa;
+  double seconds;
+  double samplesPerSec;
+  double mean;  // fold of the chunk stream, to keep the loop live
+};
+
+IsaTiming timeIsa(simd::Isa isa, const std::vector<double>& data, int reps) {
+  simd::setActiveIsa(isa);
+  stats::Welford folded;
+  const double sec = bench::medianSeconds(reps, [&] {
+    stats::Welford total;
+    for (std::size_t first = 0; first < data.size(); first += core::kEvalChunkSamples) {
+      const std::size_t take =
+          std::min<std::size_t>(core::kEvalChunkSamples, data.size() - first);
+      total.merge(core::accumulateEvalChunk({data.data() + first, take}));
+    }
+    folded = total;
+  });
+  return {isa, sec, static_cast<double>(data.size()) / sec, folded.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string jsonPath = bench::extractJsonPath(args);
+  const int reps = !args.empty() ? std::atoi(args[0].c_str()) : 15;
+
+  std::vector<double> data(kSamples);
+  std::mt19937_64 rng(20260807);
+  std::normal_distribution<double> dist(1.0, 3.0);
+  for (auto& x : data) x = dist(rng);
+
+  std::printf("welford_throughput: %zu samples in %lld-sample chunks, median of %d reps\n\n",
+              data.size(), static_cast<long long>(core::kEvalChunkSamples), reps);
+  std::printf("%-8s %-12s %-14s %-10s\n", "isa", "seconds", "Msamples/s", "speedup");
+
+  bench::BenchReport report;
+  report.bench = "welford_throughput";
+  report.repetitions = reps;
+
+  double scalarSec = 0.0;
+  double scalarMean = 0.0;
+  for (const simd::Isa isa : simd::supportedIsas()) {
+    const IsaTiming t = timeIsa(isa, data, reps);
+    if (isa == simd::Isa::Scalar) {
+      scalarSec = t.seconds;
+      scalarMean = t.mean;
+    } else if (std::fabs(t.mean - scalarMean) >
+               1e-12 * std::max(1.0, std::fabs(scalarMean))) {
+      std::fprintf(stderr, "ERROR: %s mean %.17g disagrees with scalar %.17g\n",
+                   simd::isaName(isa), t.mean, scalarMean);
+      return 1;
+    }
+    const double speedup = scalarSec / t.seconds;
+    std::printf("%-8s %-12.4f %-14.1f x%-10.2f\n", simd::isaName(isa), t.seconds,
+                t.samplesPerSec / 1e6, speedup);
+    const std::string prefix = std::string("welford.") + simd::isaName(isa);
+    report.add(prefix + ".seconds", t.seconds, "s");
+    report.add(prefix + ".samples_per_sec", t.samplesPerSec, "samples/s");
+    report.add(prefix + ".speedup_vs_scalar", speedup, "x");
+  }
+  simd::setActiveIsa(simd::detectBestIsa());
+
+  std::printf(
+      "\nShape check: each vector ISA processes a chunk in fixed lane strides\n"
+      "(4-wide on avx2, 2-wide on sse4/neon) with a deterministic tail, so the\n"
+      "speedup is bounded by the lane count and the division-latency chain in\n"
+      "the running-mean update.  Scalar is the legacy add() stream, bit-exact.\n");
+
+  if (!jsonPath.empty()) {
+    if (!report.writeJson(jsonPath)) return 1;
+    std::printf("json: %zu results -> %s\n", report.results.size(), jsonPath.c_str());
+  }
+  return 0;
+}

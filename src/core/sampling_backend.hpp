@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "stats/welford.hpp"
 
 namespace sfopt::core {
@@ -18,6 +19,19 @@ namespace sfopt::core {
 /// merged moments are bitwise independent of how the work was sharded
 /// across workers, how many clients each worker ran, and in which order
 /// shards completed.
+///
+/// Canonical-moment contract.  Two reductions, and only these two, define
+/// a batch's moments; every producer and consumer must go through them so
+/// alternative accumulation modes (SIMD lanes today, bf16 or pairwise
+/// trees tomorrow) cannot silently diverge from each other:
+///
+///  1. Chunk interior: accumulateEvalChunk() turns the chunk's sample
+///     stream into moments.  It dispatches on the active SIMD ISA; the
+///     scalar ISA is the sequential Welford::add stream bit for bit, and
+///     each vector ISA pins a canonical lane order, so a chunk's moments
+///     are a pure function of (samples, active ISA).
+///  2. Batch fold: foldEvalChunks() merges a batch's chunk moments
+///     left-to-right in chunk-index order.
 inline constexpr std::int64_t kEvalChunkSamples = 64;
 
 /// Number of chunks a batch of `count` samples decomposes into.
@@ -25,8 +39,16 @@ inline constexpr std::int64_t kEvalChunkSamples = 64;
   return (count + kEvalChunkSamples - 1) / kEvalChunkSamples;
 }
 
-/// Fold a batch's chunk moments in canonical (index) order.  This is THE
-/// merge everybody must use so results stay bitwise reproducible.
+/// Accumulate the sample stream of ONE canonical chunk into Welford
+/// moments (contract step 1).  THE chunk-interior accumulator everybody
+/// must use; see the canonical-moment contract above.
+[[nodiscard]] inline stats::Welford accumulateEvalChunk(std::span<const double> samples) {
+  return simd::welfordChunk(samples);
+}
+
+/// Fold a batch's chunk moments in canonical (index) order (contract
+/// step 2).  This is THE merge everybody must use so results stay bitwise
+/// reproducible.
 [[nodiscard]] inline stats::Welford foldEvalChunks(std::span<const stats::Welford> chunks) {
   stats::Welford merged;
   for (const stats::Welford& c : chunks) merged.merge(c);

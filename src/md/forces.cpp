@@ -1,11 +1,15 @@
 #include "md/forces.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "md/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/force_kernel.hpp"
 
 namespace sfopt::md {
 
@@ -132,6 +136,125 @@ void intramolecularForces(const WaterSystem& sys, std::vector<Vec3>& forces,
   }
 }
 
+/// Structure-of-arrays snapshot of the system plus the precomputed model
+/// constants, built once per evaluation and shared read-only by every
+/// block of the dispatched SIMD force path.  The reciprocal constants are
+/// the exact quotients the scalar kernel computes per pair.
+struct SimdForceContext {
+  simd::ForceConstants constants;
+  std::vector<double> x, y, z, q, oxy;
+
+  explicit SimdForceContext(const WaterSystem& sys) {
+    const WaterParameters& p = sys.parameters();
+    const double rc = sys.cutoff();
+    const double rc2 = rc * rc;
+    const double s2 = p.sigma * p.sigma;
+    const double inv2 = s2 / rc2;
+    const double inv6 = inv2 * inv2 * inv2;
+    const double inv12 = inv6 * inv6;
+    constants.boxEdge = sys.box().edge();
+    constants.invBoxEdge = 1.0 / sys.box().edge();
+    constants.rc = rc;
+    constants.rc2 = rc2;
+    constants.invRc = 1.0 / rc;
+    constants.invRc2 = 1.0 / rc2;
+    constants.s2 = s2;
+    constants.eps4 = 4.0 * p.epsilon;
+    constants.eps24 = 24.0 * p.epsilon;
+    constants.ljErc = 4.0 * p.epsilon * (inv12 - inv6);
+    constants.ljFrc = 24.0 * p.epsilon * (2.0 * inv12 - inv6) / rc2 * rc;
+    constants.coulombScale = kCoulomb;
+    const auto n = static_cast<std::size_t>(sys.sites());
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    q.resize(n);
+    oxy.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      x[s] = sys.positions[s].x;
+      y[s] = sys.positions[s].y;
+      z[s] = sys.positions[s].z;
+      const int site = static_cast<int>(s);
+      q[s] = sys.chargeOf(site);
+      oxy[s] = sys.speciesOf(site) == Species::Oxygen ? 1.0 : 0.0;
+    }
+  }
+};
+
+/// Streams pairs through the dispatched per-pair kernel in fixed-size
+/// blocks and drains each block scalar, in pair-stream order.  The kernel
+/// lanes are pure (a pair's values depend only on its own inputs) and the
+/// tail group is padded so every pair runs through identical full-width
+/// SIMD instructions — so the drained result depends only on the pair
+/// stream, never on where block or lane boundaries fell.  Any two
+/// enumerations of the same contributing pairs in the same order (the
+/// all-pairs triangle vs the neighbor list) therefore stay bitwise equal,
+/// exactly like the scalar path.
+class SimdPairStream {
+ public:
+  SimdPairStream(const SimdForceContext& ctx, PairAccumulator& acc, ForceResult& out)
+      : ctx_(ctx), acc_(acc), out_(out) {}
+
+  void add(int i, int j) {
+    idxI_[static_cast<std::size_t>(count_)] = i;
+    idxJ_[static_cast<std::size_t>(count_)] = j;
+    if (++count_ == simd::kForceBlockPairs) flush();
+  }
+
+  void finish() {
+    if (count_ > 0) flush();
+  }
+
+ private:
+  void flush() {
+    // Pad the tail group with the last real pair; padded lanes are
+    // computed and discarded.
+    std::int64_t padded = count_;
+    while (padded % simd::kForceLaneGroup != 0) {
+      idxI_[static_cast<std::size_t>(padded)] = idxI_[static_cast<std::size_t>(count_ - 1)];
+      idxJ_[static_cast<std::size_t>(padded)] = idxJ_[static_cast<std::size_t>(count_ - 1)];
+      ++padded;
+    }
+    const simd::ForcePairBlockIn in{ctx_.x.data(), ctx_.y.data(),   ctx_.z.data(),
+                                    ctx_.q.data(), ctx_.oxy.data(), idxI_.data(),
+                                    idxJ_.data(),  count_};
+    const simd::ForcePairBlockOut block{dx_.data(),       dy_.data(),  dz_.data(),
+                                        coulombE_.data(), coulombS_.data(),
+                                        ljE_.data(),      ljS_.data(),
+                                        within_.data(),   coulombOn_.data(),
+                                        ljOn_.data()};
+    simd::forcePairBlock(ctx_.constants, in, block);
+    // Scalar drain in pair-stream order: mirrors the scalar kernel's
+    // accumulation semantics (Coulomb term, then LJ, per pair).
+    for (std::int64_t k = 0; k < count_; ++k) {
+      const auto uk = static_cast<std::size_t>(k);
+      if (within_[uk] == 0) continue;
+      const Vec3 rij{dx_[uk], dy_[uk], dz_[uk]};
+      if (coulombOn_[uk] != 0) {
+        out_.coulomb += coulombE_[uk];
+        acc_.apply(idxI_[uk], idxJ_[uk], rij, rij * coulombS_[uk]);
+      }
+      if (ljOn_[uk] != 0) {
+        out_.lennardJones += ljE_[uk];
+        acc_.apply(idxI_[uk], idxJ_[uk], rij, rij * ljS_[uk]);
+      }
+    }
+    count_ = 0;
+  }
+
+  static constexpr std::size_t kCap = static_cast<std::size_t>(simd::kForceBlockPairs);
+
+  const SimdForceContext& ctx_;
+  PairAccumulator& acc_;
+  ForceResult& out_;
+  std::int64_t count_ = 0;
+  std::array<std::int32_t, kCap> idxI_{};
+  std::array<std::int32_t, kCap> idxJ_{};
+  std::array<double, kCap> dx_{}, dy_{}, dz_{};
+  std::array<double, kCap> coulombE_{}, coulombS_{}, ljE_{}, ljS_{};
+  std::array<std::uint8_t, kCap> within_{}, coulombOn_{}, ljOn_{};
+};
+
 NonbondedKernel makeKernel(const WaterSystem& sys, PairAccumulator& acc, ForceResult& out) {
   const WaterParameters& p = sys.parameters();
   const double rc = sys.cutoff();
@@ -153,13 +276,27 @@ ForceResult computeForces(WaterSystem& sys) {
   ForceResult out;
   for (auto& f : sys.forces) f = Vec3{};
   PairAccumulator acc{sys.forces};
-  const NonbondedKernel kernel = makeKernel(sys, acc, out);
   const int n = sys.sites();
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
-      kernel(i, j);
+  if (simd::activeIsa() == simd::Isa::Scalar) {
+    // The legacy loop, untouched: forcing SFOPT_ISA=scalar reproduces the
+    // pre-SIMD trajectory bit for bit.
+    const NonbondedKernel kernel = makeKernel(sys, acc, out);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
+        kernel(i, j);
+      }
     }
+  } else {
+    const SimdForceContext ctx(sys);
+    SimdPairStream stream(ctx, acc, out);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (sys.moleculeOf(i) == sys.moleculeOf(j)) continue;
+        stream.add(i, j);
+      }
+    }
+    stream.finish();
   }
   // All intermolecular i<j pairs: the full triangle minus the 3 pairs
   // internal to each of the molecules.
@@ -176,9 +313,18 @@ ForceResult computeForces(WaterSystem& sys, const NeighborList& list) {
   ForceResult out;
   for (auto& f : sys.forces) f = Vec3{};
   PairAccumulator acc{sys.forces};
-  const NonbondedKernel kernel = makeKernel(sys, acc, out);
-  for (const auto& [i, j] : list.pairs()) {
-    kernel(i, j);
+  if (simd::activeIsa() == simd::Isa::Scalar) {
+    const NonbondedKernel kernel = makeKernel(sys, acc, out);
+    for (const auto& [i, j] : list.pairs()) {
+      kernel(i, j);
+    }
+  } else {
+    const SimdForceContext ctx(sys);
+    SimdPairStream stream(ctx, acc, out);
+    for (const auto& [i, j] : list.pairs()) {
+      stream.add(i, j);
+    }
+    stream.finish();
   }
   out.pairsEvaluated = static_cast<std::int64_t>(list.pairs().size());
   intramolecularForces(sys, sys.forces, acc, out);
@@ -205,17 +351,30 @@ ForceResult ParallelForceKernel::compute(WaterSystem& sys, const NeighborList& l
   blockForces_.resize(static_cast<std::size_t>(blocks));
   blockPartials_.assign(static_cast<std::size_t>(blocks), ForceResult{});
 
+  const bool scalarIsa = simd::activeIsa() == simd::Isa::Scalar;
+  // One read-only SoA snapshot shared by all blocks of the SIMD path.
+  const std::unique_ptr<SimdForceContext> ctx =
+      scalarIsa ? nullptr : std::make_unique<SimdForceContext>(sys);
+
   pool_->run(blocks, [&](int t) {
     const auto ut = static_cast<std::size_t>(t);
     std::vector<Vec3>& buffer = blockForces_[ut];
     buffer.assign(nSites, Vec3{});
     ForceResult& part = blockPartials_[ut];
     PairAccumulator acc{buffer};
-    const NonbondedKernel kernel = makeKernel(sys, acc, part);
     const std::size_t begin = pairs.size() * ut / static_cast<std::size_t>(blocks);
     const std::size_t end = pairs.size() * (ut + 1) / static_cast<std::size_t>(blocks);
-    for (std::size_t k = begin; k < end; ++k) {
-      kernel(pairs[k].first, pairs[k].second);
+    if (scalarIsa) {
+      const NonbondedKernel kernel = makeKernel(sys, acc, part);
+      for (std::size_t k = begin; k < end; ++k) {
+        kernel(pairs[k].first, pairs[k].second);
+      }
+    } else {
+      SimdPairStream stream(*ctx, acc, part);
+      for (std::size_t k = begin; k < end; ++k) {
+        stream.add(pairs[k].first, pairs[k].second);
+      }
+      stream.finish();
     }
     part.pairsEvaluated = static_cast<std::int64_t>(end - begin);
     part.virial = acc.virial;

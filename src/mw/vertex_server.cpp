@@ -1,6 +1,7 @@
 #include "mw/vertex_server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace sfopt::mw {
@@ -116,14 +117,18 @@ void VertexServer::clientLoop(std::size_t clientIndex) {
     if (job.chunked) {
       std::int64_t remaining = job.count;
       std::uint64_t index = job.startIndex;
+      std::array<double, core::kEvalChunkSamples> buffer;
       while (remaining > 0) {
         const std::int64_t take = std::min(remaining, core::kEvalChunkSamples);
-        stats::Welford chunk;
         for (std::int64_t i = 0; i < take; ++i) {
           const noise::SampleKey key{job.vertexId, index + static_cast<std::uint64_t>(i)};
-          chunk.add(objective_.sample(job.x, key));
+          buffer[static_cast<std::size_t>(i)] = objective_.sample(job.x, key);
         }
-        chunkPartials.push_back(chunk);
+        // Canonical chunk-interior accumulation (SIMD-dispatched): the
+        // chunk's moments depend only on its sample stream, never on
+        // which client or worker computed it.
+        chunkPartials.push_back(core::accumulateEvalChunk(
+            {buffer.data(), static_cast<std::size_t>(take)}));
         index += static_cast<std::uint64_t>(take);
         remaining -= take;
       }

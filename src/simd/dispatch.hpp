@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simd/force_kernel.hpp"
+#include "simd/isa.hpp"
+#include "stats/welford.hpp"
+
+namespace sfopt::telemetry {
+class Telemetry;
+}
+
+namespace sfopt::simd {
+
+/// Accumulate one sample chunk with the active ISA's Welford kernel.
+/// Under Isa::Scalar this is the sequential Welford::add stream bit for
+/// bit; each vector ISA pins its own canonical lane order (see
+/// kernels.hpp), so chunk moments are bitwise reproducible within an ISA
+/// no matter which thread or worker computed the chunk.
+[[nodiscard]] stats::Welford welfordChunk(std::span<const double> samples);
+
+/// Evaluate one block of nonbonded pairs with the active ISA's kernel.
+/// Per-pair outputs only; the caller owns all accumulation order.
+void forcePairBlock(const ForceConstants& c, const ForcePairBlockIn& in,
+                    const ForcePairBlockOut& out);
+
+/// Process-wide dispatch totals (relaxed counters; for telemetry/tests).
+struct DispatchCounts {
+  std::int64_t welfordChunks = 0;  ///< welfordChunk calls
+  std::int64_t forceBlocks = 0;    ///< forcePairBlock calls
+};
+[[nodiscard]] DispatchCounts dispatchCounts() noexcept;
+
+/// Publish the active ISA and dispatch totals into a metrics registry:
+///   simd.isa                    gauge, numeric Isa enum value
+///   simd.dispatch.welford_chunks gauge, total dispatched chunks
+///   simd.dispatch.force_blocks   gauge, total dispatched pair blocks
+void publishTelemetry(telemetry::Telemetry& telemetry);
+
+}  // namespace sfopt::simd

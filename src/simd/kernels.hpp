@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "simd/force_kernel.hpp"
+
+namespace sfopt::simd::detail {
+
+/// Welford chunk kernel: accumulate `count` samples into (n, mean, m2)
+/// moments.  The scalar kernel is the sequential stats::Welford::add
+/// stream bit for bit; each vector kernel deinterleaves samples across W
+/// lanes (lane l takes samples l, l+W, l+2W, ...), folds the lane
+/// accumulators in lane order 0..W-1 with the standard pairwise merge,
+/// then adds the count % W tail samples sequentially.  Each kernel's
+/// output is a pure function of (samples, count): bitwise reproducible
+/// run to run and across threads within its ISA.
+using WelfordChunkFn = void (*)(const double* samples, std::int64_t count, std::int64_t* outN,
+                                double* outMean, double* outM2);
+
+/// Force pair-block kernel: per-pair outputs only, no accumulation.  Each
+/// lane's result is a pure function of that pair's inputs — the same
+/// full-width instruction sequence runs regardless of which lane or block
+/// position a pair lands in — so any enumeration of the same pair stream
+/// produces bitwise-identical per-pair values within an ISA.
+using ForcePairBlockFn = void (*)(const ForceConstants& c, const ForcePairBlockIn& in,
+                                  const ForcePairBlockOut& out);
+
+void welfordChunkScalar(const double* samples, std::int64_t count, std::int64_t* outN,
+                        double* outMean, double* outM2);
+void forcePairBlockScalar(const ForceConstants& c, const ForcePairBlockIn& in,
+                          const ForcePairBlockOut& out);
+
+#if defined(__x86_64__) || defined(__i386__)
+void welfordChunkSse4(const double* samples, std::int64_t count, std::int64_t* outN,
+                      double* outMean, double* outM2);
+void forcePairBlockSse4(const ForceConstants& c, const ForcePairBlockIn& in,
+                        const ForcePairBlockOut& out);
+void welfordChunkAvx2(const double* samples, std::int64_t count, std::int64_t* outN,
+                      double* outMean, double* outM2);
+void forcePairBlockAvx2(const ForceConstants& c, const ForcePairBlockIn& in,
+                        const ForcePairBlockOut& out);
+#endif
+
+#if defined(__aarch64__)
+void welfordChunkNeon(const double* samples, std::int64_t count, std::int64_t* outN,
+                      double* outMean, double* outM2);
+void forcePairBlockNeon(const ForceConstants& c, const ForcePairBlockIn& in,
+                        const ForcePairBlockOut& out);
+#endif
+
+}  // namespace sfopt::simd::detail

@@ -1,0 +1,129 @@
+// AVX2 kernels (4-lane double).  Compiled per-TU with -mavx2 -mfma so the
+// rest of the tree stays baseline-ISA, and -ffp-contract=off so the
+// compiler cannot fuse the explicit mul/add sequences — every lane op is
+// the exact IEEE instruction written here, making each pair/sample's
+// result independent of its lane and block position.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "simd/kernels.hpp"
+#include "stats/welford.hpp"
+
+namespace sfopt::simd::detail {
+
+void welfordChunkAvx2(const double* samples, std::int64_t count, std::int64_t* outN,
+                      double* outMean, double* outM2) {
+  const std::int64_t main = count - count % 4;
+  __m256d cnt = _mm256_setzero_pd();
+  __m256d mean = _mm256_setzero_pd();
+  __m256d m2 = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (std::int64_t k = 0; k < main; k += 4) {
+    const __m256d x = _mm256_loadu_pd(samples + k);
+    cnt = _mm256_add_pd(cnt, one);
+    const __m256d delta = _mm256_sub_pd(x, mean);
+    mean = _mm256_add_pd(mean, _mm256_div_pd(delta, cnt));
+    m2 = _mm256_add_pd(m2, _mm256_mul_pd(delta, _mm256_sub_pd(x, mean)));
+  }
+  alignas(32) double cntL[4];
+  alignas(32) double meanL[4];
+  alignas(32) double m2L[4];
+  _mm256_store_pd(cntL, cnt);
+  _mm256_store_pd(meanL, mean);
+  _mm256_store_pd(m2L, m2);
+  // Canonical reduction: fold lanes 0..3 in order, then the tail samples
+  // sequentially.
+  stats::Welford merged;
+  for (int l = 0; l < 4; ++l) {
+    merged.merge(
+        stats::Welford::fromMoments(static_cast<std::int64_t>(cntL[l]), meanL[l], m2L[l]));
+  }
+  for (std::int64_t k = main; k < count; ++k) merged.add(samples[k]);
+  *outN = merged.count();
+  *outMean = merged.mean();
+  *outM2 = merged.sumSquaredDeviations();
+}
+
+void forcePairBlockAvx2(const ForceConstants& c, const ForcePairBlockIn& in,
+                        const ForcePairBlockOut& out) {
+  const __m256d edge = _mm256_set1_pd(c.boxEdge);
+  const __m256d invEdge = _mm256_set1_pd(c.invBoxEdge);
+  const __m256d rcV = _mm256_set1_pd(c.rc);
+  const __m256d rc2V = _mm256_set1_pd(c.rc2);
+  const __m256d invRcV = _mm256_set1_pd(c.invRc);
+  const __m256d invRc2V = _mm256_set1_pd(c.invRc2);
+  const __m256d s2V = _mm256_set1_pd(c.s2);
+  const __m256d eps4V = _mm256_set1_pd(c.eps4);
+  const __m256d eps24V = _mm256_set1_pd(c.eps24);
+  const __m256d ljErcV = _mm256_set1_pd(c.ljErc);
+  const __m256d ljFrcV = _mm256_set1_pd(c.ljFrc);
+  const __m256d qScaleV = _mm256_set1_pd(c.coulombScale);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d zero = _mm256_setzero_pd();
+  const int rnd = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+  for (std::int64_t k = 0; k < in.count; k += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.i + k));
+    const __m128i vj = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in.j + k));
+
+    __m256d dx = _mm256_sub_pd(_mm256_i32gather_pd(in.x, vi, 8), _mm256_i32gather_pd(in.x, vj, 8));
+    __m256d dy = _mm256_sub_pd(_mm256_i32gather_pd(in.y, vi, 8), _mm256_i32gather_pd(in.y, vj, 8));
+    __m256d dz = _mm256_sub_pd(_mm256_i32gather_pd(in.z, vi, 8), _mm256_i32gather_pd(in.z, vj, 8));
+    dx = _mm256_sub_pd(dx, _mm256_mul_pd(edge, _mm256_round_pd(_mm256_mul_pd(dx, invEdge), rnd)));
+    dy = _mm256_sub_pd(dy, _mm256_mul_pd(edge, _mm256_round_pd(_mm256_mul_pd(dy, invEdge), rnd)));
+    dz = _mm256_sub_pd(dz, _mm256_mul_pd(edge, _mm256_round_pd(_mm256_mul_pd(dz, invEdge), rnd)));
+
+    const __m256d r2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)), _mm256_mul_pd(dz, dz));
+    const __m256d r = _mm256_sqrt_pd(r2);
+    const __m256d within = _mm256_cmp_pd(r2, rc2V, _CMP_LT_OQ);
+
+    const __m256d qq = _mm256_mul_pd(_mm256_mul_pd(qScaleV, _mm256_i32gather_pd(in.q, vi, 8)),
+                                     _mm256_i32gather_pd(in.q, vj, 8));
+    const __m256d coulombE = _mm256_mul_pd(
+        qq, _mm256_add_pd(_mm256_sub_pd(_mm256_div_pd(one, r), invRcV),
+                          _mm256_div_pd(_mm256_sub_pd(r, rcV), rc2V)));
+    const __m256d coulombF = _mm256_mul_pd(qq, _mm256_sub_pd(_mm256_div_pd(one, r2), invRc2V));
+    const __m256d coulombS = _mm256_div_pd(coulombF, r);
+
+    const __m256d inv2 = _mm256_div_pd(s2V, r2);
+    const __m256d inv6 = _mm256_mul_pd(_mm256_mul_pd(inv2, inv2), inv2);
+    const __m256d inv12 = _mm256_mul_pd(inv6, inv6);
+    const __m256d ljE0 = _mm256_mul_pd(eps4V, _mm256_sub_pd(inv12, inv6));
+    const __m256d ljFOverR =
+        _mm256_div_pd(_mm256_mul_pd(eps24V, _mm256_sub_pd(_mm256_mul_pd(two, inv12), inv6)), r2);
+    const __m256d ljE =
+        _mm256_add_pd(_mm256_sub_pd(ljE0, ljErcV), _mm256_mul_pd(ljFrcV, _mm256_sub_pd(r, rcV)));
+    const __m256d ljF = _mm256_sub_pd(_mm256_mul_pd(ljFOverR, r), ljFrcV);
+    const __m256d ljS = _mm256_div_pd(ljF, r);
+
+    const __m256d oo = _mm256_mul_pd(_mm256_i32gather_pd(in.oxy, vi, 8),
+                                     _mm256_i32gather_pd(in.oxy, vj, 8));
+    const __m256d coulombOn = _mm256_and_pd(within, _mm256_cmp_pd(qq, zero, _CMP_NEQ_OQ));
+    const __m256d ljOn = _mm256_and_pd(within, _mm256_cmp_pd(oo, half, _CMP_GT_OQ));
+
+    _mm256_storeu_pd(out.dx + k, dx);
+    _mm256_storeu_pd(out.dy + k, dy);
+    _mm256_storeu_pd(out.dz + k, dz);
+    _mm256_storeu_pd(out.coulombE + k, coulombE);
+    _mm256_storeu_pd(out.coulombS + k, coulombS);
+    _mm256_storeu_pd(out.ljE + k, ljE);
+    _mm256_storeu_pd(out.ljS + k, ljS);
+    const int withinBits = _mm256_movemask_pd(within);
+    const int coulombBits = _mm256_movemask_pd(coulombOn);
+    const int ljBits = _mm256_movemask_pd(ljOn);
+    for (int l = 0; l < 4; ++l) {
+      out.withinCutoff[k + l] = static_cast<std::uint8_t>((withinBits >> l) & 1);
+      out.coulombActive[k + l] = static_cast<std::uint8_t>((coulombBits >> l) & 1);
+      out.ljActive[k + l] = static_cast<std::uint8_t>((ljBits >> l) & 1);
+    }
+  }
+}
+
+}  // namespace sfopt::simd::detail
+
+#endif  // x86

@@ -1,0 +1,75 @@
+// Portable reference kernels.  The Welford kernel is the sequential
+// stats::Welford::add stream bit for bit; the force kernel is the exact
+// per-lane math of the vector kernels written in plain C, one pair at a
+// time.  Compiled with -ffp-contract=off so no FMA contraction can make
+// this TU disagree with the baseline-ISA code elsewhere in the tree.
+
+#include <cmath>
+
+#include "simd/kernels.hpp"
+
+namespace sfopt::simd::detail {
+
+void welfordChunkScalar(const double* samples, std::int64_t count, std::int64_t* outN,
+                        double* outMean, double* outM2) {
+  std::int64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (std::int64_t k = 0; k < count; ++k) {
+    const double x = samples[k];
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+  *outN = n;
+  *outMean = mean;
+  *outM2 = m2;
+}
+
+void forcePairBlockScalar(const ForceConstants& c, const ForcePairBlockIn& in,
+                          const ForcePairBlockOut& out) {
+  for (std::int64_t k = 0; k < in.count; ++k) {
+    const auto i = static_cast<std::size_t>(in.i[k]);
+    const auto j = static_cast<std::size_t>(in.j[k]);
+    // Minimum image, per component: d -= L * nearbyint(d / L).
+    double dx = in.x[i] - in.x[j];
+    double dy = in.y[i] - in.y[j];
+    double dz = in.z[i] - in.z[j];
+    dx -= c.boxEdge * std::nearbyint(dx * c.invBoxEdge);
+    dy -= c.boxEdge * std::nearbyint(dy * c.invBoxEdge);
+    dz -= c.boxEdge * std::nearbyint(dz * c.invBoxEdge);
+    const double r2 = (dx * dx + dy * dy) + dz * dz;
+    const double r = std::sqrt(r2);
+    const bool within = r2 < c.rc2;
+
+    // Coulomb, force-shifted: V = C q q (1/r - 1/rc + (r - rc)/rc^2).
+    const double qq = (c.coulombScale * in.q[i]) * in.q[j];
+    const double coulombE = qq * ((1.0 / r - c.invRc) + (r - c.rc) / c.rc2);
+    const double coulombF = qq * (1.0 / r2 - c.invRc2);
+    const double coulombS = coulombF / r;
+
+    // Lennard-Jones (O-O only), force-shifted.
+    const double inv2 = c.s2 / r2;
+    const double inv6 = (inv2 * inv2) * inv2;
+    const double inv12 = inv6 * inv6;
+    const double ljE0 = c.eps4 * (inv12 - inv6);
+    const double ljFOverR = c.eps24 * (2.0 * inv12 - inv6) / r2;
+    const double ljE = (ljE0 - c.ljErc) + c.ljFrc * (r - c.rc);
+    const double ljF = ljFOverR * r - c.ljFrc;
+    const double ljS = ljF / r;
+
+    out.dx[k] = dx;
+    out.dy[k] = dy;
+    out.dz[k] = dz;
+    out.coulombE[k] = coulombE;
+    out.coulombS[k] = coulombS;
+    out.ljE[k] = ljE;
+    out.ljS[k] = ljS;
+    out.withinCutoff[k] = within ? 1 : 0;
+    out.coulombActive[k] = (within && qq != 0.0) ? 1 : 0;
+    out.ljActive[k] = (within && in.oxy[i] * in.oxy[j] > 0.5) ? 1 : 0;
+  }
+}
+
+}  // namespace sfopt::simd::detail

@@ -1,0 +1,130 @@
+// SSE4.1 kernels (2-lane double).  Compiled with -msse4.1 and
+// -ffp-contract=off: every lane op is an explicit IEEE instruction, so a
+// pair/sample's result depends only on its own inputs, never on which
+// lane or block position it landed in.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <smmintrin.h>
+
+#include "simd/kernels.hpp"
+#include "stats/welford.hpp"
+
+namespace sfopt::simd::detail {
+
+void welfordChunkSse4(const double* samples, std::int64_t count, std::int64_t* outN,
+                      double* outMean, double* outM2) {
+  const std::int64_t main = count - count % 2;
+  __m128d cnt = _mm_setzero_pd();
+  __m128d mean = _mm_setzero_pd();
+  __m128d m2 = _mm_setzero_pd();
+  const __m128d one = _mm_set1_pd(1.0);
+  for (std::int64_t k = 0; k < main; k += 2) {
+    const __m128d x = _mm_loadu_pd(samples + k);
+    cnt = _mm_add_pd(cnt, one);
+    const __m128d delta = _mm_sub_pd(x, mean);
+    mean = _mm_add_pd(mean, _mm_div_pd(delta, cnt));
+    m2 = _mm_add_pd(m2, _mm_mul_pd(delta, _mm_sub_pd(x, mean)));
+  }
+  alignas(16) double cntL[2];
+  alignas(16) double meanL[2];
+  alignas(16) double m2L[2];
+  _mm_store_pd(cntL, cnt);
+  _mm_store_pd(meanL, mean);
+  _mm_store_pd(m2L, m2);
+  // Canonical reduction: fold lanes 0..1 in order, then the tail samples
+  // sequentially.
+  stats::Welford merged;
+  for (int l = 0; l < 2; ++l) {
+    merged.merge(
+        stats::Welford::fromMoments(static_cast<std::int64_t>(cntL[l]), meanL[l], m2L[l]));
+  }
+  for (std::int64_t k = main; k < count; ++k) merged.add(samples[k]);
+  *outN = merged.count();
+  *outMean = merged.mean();
+  *outM2 = merged.sumSquaredDeviations();
+}
+
+void forcePairBlockSse4(const ForceConstants& c, const ForcePairBlockIn& in,
+                        const ForcePairBlockOut& out) {
+  const __m128d edge = _mm_set1_pd(c.boxEdge);
+  const __m128d invEdge = _mm_set1_pd(c.invBoxEdge);
+  const __m128d rcV = _mm_set1_pd(c.rc);
+  const __m128d rc2V = _mm_set1_pd(c.rc2);
+  const __m128d invRcV = _mm_set1_pd(c.invRc);
+  const __m128d invRc2V = _mm_set1_pd(c.invRc2);
+  const __m128d s2V = _mm_set1_pd(c.s2);
+  const __m128d eps4V = _mm_set1_pd(c.eps4);
+  const __m128d eps24V = _mm_set1_pd(c.eps24);
+  const __m128d ljErcV = _mm_set1_pd(c.ljErc);
+  const __m128d ljFrcV = _mm_set1_pd(c.ljFrc);
+  const __m128d qScaleV = _mm_set1_pd(c.coulombScale);
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d two = _mm_set1_pd(2.0);
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d zero = _mm_setzero_pd();
+
+  for (std::int64_t k = 0; k < in.count; k += 2) {
+    const auto i0 = static_cast<std::size_t>(in.i[k]);
+    const auto i1 = static_cast<std::size_t>(in.i[k + 1]);
+    const auto j0 = static_cast<std::size_t>(in.j[k]);
+    const auto j1 = static_cast<std::size_t>(in.j[k + 1]);
+
+    __m128d dx = _mm_sub_pd(_mm_set_pd(in.x[i1], in.x[i0]), _mm_set_pd(in.x[j1], in.x[j0]));
+    __m128d dy = _mm_sub_pd(_mm_set_pd(in.y[i1], in.y[i0]), _mm_set_pd(in.y[j1], in.y[j0]));
+    __m128d dz = _mm_sub_pd(_mm_set_pd(in.z[i1], in.z[i0]), _mm_set_pd(in.z[j1], in.z[j0]));
+    const int rnd = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    dx = _mm_sub_pd(dx, _mm_mul_pd(edge, _mm_round_pd(_mm_mul_pd(dx, invEdge), rnd)));
+    dy = _mm_sub_pd(dy, _mm_mul_pd(edge, _mm_round_pd(_mm_mul_pd(dy, invEdge), rnd)));
+    dz = _mm_sub_pd(dz, _mm_mul_pd(edge, _mm_round_pd(_mm_mul_pd(dz, invEdge), rnd)));
+
+    const __m128d r2 = _mm_add_pd(_mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)),
+                                  _mm_mul_pd(dz, dz));
+    const __m128d r = _mm_sqrt_pd(r2);
+    const __m128d within = _mm_cmplt_pd(r2, rc2V);
+
+    const __m128d qq = _mm_mul_pd(_mm_mul_pd(qScaleV, _mm_set_pd(in.q[i1], in.q[i0])),
+                                  _mm_set_pd(in.q[j1], in.q[j0]));
+    const __m128d coulombE = _mm_mul_pd(
+        qq, _mm_add_pd(_mm_sub_pd(_mm_div_pd(one, r), invRcV),
+                       _mm_div_pd(_mm_sub_pd(r, rcV), rc2V)));
+    const __m128d coulombF = _mm_mul_pd(qq, _mm_sub_pd(_mm_div_pd(one, r2), invRc2V));
+    const __m128d coulombS = _mm_div_pd(coulombF, r);
+
+    const __m128d inv2 = _mm_div_pd(s2V, r2);
+    const __m128d inv6 = _mm_mul_pd(_mm_mul_pd(inv2, inv2), inv2);
+    const __m128d inv12 = _mm_mul_pd(inv6, inv6);
+    const __m128d ljE0 = _mm_mul_pd(eps4V, _mm_sub_pd(inv12, inv6));
+    const __m128d ljFOverR =
+        _mm_div_pd(_mm_mul_pd(eps24V, _mm_sub_pd(_mm_mul_pd(two, inv12), inv6)), r2);
+    const __m128d ljE =
+        _mm_add_pd(_mm_sub_pd(ljE0, ljErcV), _mm_mul_pd(ljFrcV, _mm_sub_pd(r, rcV)));
+    const __m128d ljF = _mm_sub_pd(_mm_mul_pd(ljFOverR, r), ljFrcV);
+    const __m128d ljS = _mm_div_pd(ljF, r);
+
+    const __m128d oo = _mm_mul_pd(_mm_set_pd(in.oxy[i1], in.oxy[i0]),
+                                  _mm_set_pd(in.oxy[j1], in.oxy[j0]));
+    const __m128d coulombOn = _mm_and_pd(within, _mm_cmpneq_pd(qq, zero));
+    const __m128d ljOn = _mm_and_pd(within, _mm_cmpgt_pd(oo, half));
+
+    _mm_storeu_pd(out.dx + k, dx);
+    _mm_storeu_pd(out.dy + k, dy);
+    _mm_storeu_pd(out.dz + k, dz);
+    _mm_storeu_pd(out.coulombE + k, coulombE);
+    _mm_storeu_pd(out.coulombS + k, coulombS);
+    _mm_storeu_pd(out.ljE + k, ljE);
+    _mm_storeu_pd(out.ljS + k, ljS);
+    const int withinBits = _mm_movemask_pd(within);
+    const int coulombBits = _mm_movemask_pd(coulombOn);
+    const int ljBits = _mm_movemask_pd(ljOn);
+    for (int l = 0; l < 2; ++l) {
+      out.withinCutoff[k + l] = static_cast<std::uint8_t>((withinBits >> l) & 1);
+      out.coulombActive[k + l] = static_cast<std::uint8_t>((coulombBits >> l) & 1);
+      out.ljActive[k + l] = static_cast<std::uint8_t>((ljBits >> l) & 1);
+    }
+  }
+}
+
+}  // namespace sfopt::simd::detail
+
+#endif  // x86

@@ -109,12 +109,16 @@ TEST(MWSamplingBackend, ZeroCountBatchesNeverLeaveTheMaster) {
   EXPECT_EQ(got[2].count(), 0);
   // Only the two real batches became worker tasks, mapped back by slot.
   EXPECT_EQ(fx.driver->tasksCompleted(), 2u);
-  stats::Welford ref;
-  for (std::uint64_t i = 0; i < 16; ++i) ref.add(obj.sample(x, {2, i}));
+  // Single-chunk batches: the result is the canonical chunk accumulation
+  // of the sample stream, bitwise (see core::accumulateEvalChunk).
+  std::vector<double> samples2;
+  for (std::uint64_t i = 0; i < 16; ++i) samples2.push_back(obj.sample(x, {2, i}));
+  const auto ref = core::accumulateEvalChunk(samples2);
   EXPECT_EQ(got[1].count(), 16);
   EXPECT_EQ(got[1].mean(), ref.mean());
-  stats::Welford ref4;
-  for (std::uint64_t i = 8; i < 24; ++i) ref4.add(obj.sample(x, {4, i}));
+  std::vector<double> samples4;
+  for (std::uint64_t i = 8; i < 24; ++i) samples4.push_back(obj.sample(x, {4, i}));
+  const auto ref4 = core::accumulateEvalChunk(samples4);
   EXPECT_EQ(got[3].mean(), ref4.mean());
 }
 
@@ -149,14 +153,16 @@ TEST(MWSamplingBackend, AsyncAdapterDeliversCanonicalChunks) {
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].ticket, ticket);
   ASSERT_EQ(got[0].chunks.size(), 3u);  // 150 samples -> chunks of 64, 64, 22
-  // Every chunk is the sequential add-stream of its index range, bitwise,
-  // even though two clients computed the batch.
+  // Every chunk is the canonical accumulation of its index range's sample
+  // stream, bitwise (core::accumulateEvalChunk — the active SIMD ISA's
+  // kernel), even though two clients computed the batch.
   std::uint64_t index = 0;
   for (const auto& chunk : got[0].chunks) {
-    stats::Welford ref;
+    std::vector<double> samples;
     for (std::int64_t i = 0; i < chunk.count(); ++i) {
-      ref.add(obj.sample(x, {9, index + static_cast<std::uint64_t>(i)}));
+      samples.push_back(obj.sample(x, {9, index + static_cast<std::uint64_t>(i)}));
     }
+    const auto ref = core::accumulateEvalChunk(samples);
     EXPECT_EQ(chunk.count(), index + 64 <= 150 ? 64 : 22);
     EXPECT_EQ(chunk.mean(), ref.mean());
     EXPECT_EQ(chunk.sumSquaredDeviations(), ref.sumSquaredDeviations());

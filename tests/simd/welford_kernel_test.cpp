@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+using namespace sfopt;
+
+struct IsaGuard {
+  simd::Isa saved = simd::activeIsa();
+  ~IsaGuard() { simd::setActiveIsa(saved); }
+};
+
+stats::Welford chunkWith(simd::Isa isa, const std::vector<double>& samples) {
+  IsaGuard guard;
+  simd::setActiveIsa(isa);
+  return simd::welfordChunk(samples);
+}
+
+/// Randomized chunks spanning several magnitudes, plus adversarial
+/// values: exact zeros, denormals, and sign flips.
+std::vector<double> adversarialSamples(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.5, 2.0);
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 3:
+        samples[i] = 0.0;
+        break;
+      case 5:
+        samples[i] = std::numeric_limits<double>::denorm_min() *
+                     static_cast<double>(1 + (i % 13));
+        break;
+      case 6:
+        samples[i] = dist(rng) * 1e12;
+        break;
+      default:
+        samples[i] = dist(rng);
+        break;
+    }
+  }
+  return samples;
+}
+
+TEST(SimdWelford, EveryIsaAgreesWithScalarWithinTolerance) {
+  for (const std::size_t n : {std::size_t{64}, std::size_t{63}, std::size_t{65},
+                              std::size_t{128}, std::size_t{1000}}) {
+    const auto samples = adversarialSamples(n, 40 + n);
+    const auto ref = chunkWith(simd::Isa::Scalar, samples);
+    for (const simd::Isa isa : simd::supportedIsas()) {
+      const auto got = chunkWith(isa, samples);
+      EXPECT_EQ(got.count(), ref.count());
+      EXPECT_NEAR(got.mean(), ref.mean(), 1e-12 * std::max(1.0, std::fabs(ref.mean())))
+          << simd::isaName(isa) << " n=" << n;
+      EXPECT_NEAR(got.sumSquaredDeviations(), ref.sumSquaredDeviations(),
+                  1e-12 * std::max(1.0, ref.sumSquaredDeviations()))
+          << simd::isaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdWelford, ScalarIsaIsTheSequentialAddStreamBitwise) {
+  const auto samples = adversarialSamples(97, 7);
+  stats::Welford ref;
+  for (const double x : samples) ref.add(x);
+  const auto got = chunkWith(simd::Isa::Scalar, samples);
+  EXPECT_EQ(got.count(), ref.count());
+  EXPECT_EQ(got.mean(), ref.mean());
+  EXPECT_EQ(got.sumSquaredDeviations(), ref.sumSquaredDeviations());
+}
+
+TEST(SimdWelford, ChunksShorterThanTheLaneWidthMatchScalarBitwise) {
+  // The vector kernels run zero full strides here, so the deterministic
+  // tail must reproduce the sequential stream exactly.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}}) {
+    const auto samples = adversarialSamples(n, 100 + n);
+    const auto ref = chunkWith(simd::Isa::Scalar, samples);
+    for (const simd::Isa isa : simd::supportedIsas()) {
+      const auto got = chunkWith(isa, samples);
+      EXPECT_EQ(got.count(), ref.count()) << simd::isaName(isa);
+      EXPECT_EQ(got.mean(), ref.mean()) << simd::isaName(isa) << " n=" << n;
+      EXPECT_EQ(got.sumSquaredDeviations(), ref.sumSquaredDeviations())
+          << simd::isaName(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdWelford, EachIsaIsBitwiseReproducibleRunToRun) {
+  const auto samples = adversarialSamples(333, 11);
+  for (const simd::Isa isa : simd::supportedIsas()) {
+    const auto first = chunkWith(isa, samples);
+    const auto second = chunkWith(isa, samples);
+    EXPECT_EQ(first.count(), second.count()) << simd::isaName(isa);
+    EXPECT_EQ(first.mean(), second.mean()) << simd::isaName(isa);
+    EXPECT_EQ(first.sumSquaredDeviations(), second.sumSquaredDeviations())
+        << simd::isaName(isa);
+  }
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "simd/isa.hpp"
 #include "telemetry/sink.hpp"
 
 namespace {
@@ -325,6 +326,42 @@ TEST(Cli, TraceFlagWritesCsv) {
   std::getline(in, header);
   EXPECT_NE(header.find("best_estimate"), std::string::npos);
   fs::remove(csv);
+}
+
+TEST(Cli, InfoReportsSimdIsaSituation) {
+  const auto r = cli({"info"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("simd:"), std::string::npos);
+  EXPECT_NE(r.out.find("supported:"), std::string::npos);
+  EXPECT_NE(r.out.find("scalar"), std::string::npos);
+  EXPECT_NE(r.out.find("--isa"), std::string::npos);
+}
+
+TEST(Cli, IsaFlagRejectsUnknownAndUnsupportedLevels) {
+  const auto unknown = cli({"optimize", "--function", "sphere", "--dim", "2", "--isa",
+                            "bogus"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("supported"), std::string::npos);
+  // Every real-but-unsupported level on this host is a usage error too
+  // (neon on x86 hosts, the x86 levels on arm).
+  for (const sfopt::simd::Isa isa :
+       {sfopt::simd::Isa::Sse4, sfopt::simd::Isa::Avx2, sfopt::simd::Isa::Neon}) {
+    if (sfopt::simd::isaSupported(isa)) continue;
+    const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--isa",
+                        sfopt::simd::isaName(isa)});
+    EXPECT_EQ(r.code, 2) << sfopt::simd::isaName(isa);
+    EXPECT_NE(r.err.find("not available"), std::string::npos);
+  }
+}
+
+TEST(Cli, IsaFlagPinsDispatchForTheRun) {
+  const sfopt::simd::Isa before = sfopt::simd::activeIsa();
+  const auto r = cli({"optimize", "--function", "sphere", "--dim", "2", "--algorithm",
+                      "mn", "--sigma0", "1", "--max-iterations", "10", "--max-samples",
+                      "20000", "--isa", "scalar"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(sfopt::simd::activeIsa(), sfopt::simd::Isa::Scalar);
+  sfopt::simd::setActiveIsa(before);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a committed baseline.
+
+Usage:
+    bench_diff.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Joins the two reports on result name and flags any metric that moved in
+its bad direction by more than the relative threshold (unit "s"/"us":
+lower is better, everything else: higher is better).  Exit status is 1
+when at least one regression exceeds the threshold, 0 otherwise; metrics
+present on only one side are reported but never fail the diff (benches
+gain and lose rows as they evolve).
+
+When the two reports were taken on hosts with different CPU models or
+SIMD support, the comparison is printed but regressions are demoted to
+warnings -- cross-host numbers are apples to oranges.
+"""
+
+import argparse
+import json
+import sys
+
+
+LOWER_IS_BETTER_UNITS = {"s", "us", "ms"}
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    results = {r["name"]: r for r in report.get("results", [])}
+    return report, results
+
+
+def same_host(a, b):
+    ha, hb = a.get("host", {}), b.get("host", {})
+    return (ha.get("cpu"), ha.get("supported_isas")) == (
+        hb.get("cpu"),
+        hb.get("supported_isas"),
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression threshold (default 0.25 = 25%%)",
+    )
+    args = ap.parse_args()
+
+    base_report, base = load(args.baseline)
+    fresh_report, fresh = load(args.fresh)
+    comparable = same_host(base_report, fresh_report)
+    if not comparable:
+        print(
+            "note: baseline and fresh runs come from different hosts; "
+            "regressions are reported as warnings only"
+        )
+
+    regressions = []
+    print(f"{'result':<44} {'baseline':>14} {'fresh':>14} {'change':>9}")
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            print(f"{name:<44} {'-':>14} {fresh[name]['value']:>14.6g}   (new)")
+            continue
+        if name not in fresh:
+            print(f"{name:<44} {base[name]['value']:>14.6g} {'-':>14}   (gone)")
+            continue
+        b, f = base[name]["value"], fresh[name]["value"]
+        unit = fresh[name].get("unit", "")
+        if b == 0:
+            change = 0.0
+        else:
+            change = (f - b) / abs(b)
+        # Normalize so positive `bad` always means "got worse".
+        bad = change if unit in LOWER_IS_BETTER_UNITS else -change
+        flag = ""
+        if bad > args.threshold:
+            flag = "  REGRESSION" if comparable else "  (warn: slower)"
+            if comparable:
+                regressions.append((name, b, f, change))
+        print(f"{name:<44} {b:>14.6g} {f:>14.6g} {change:>+8.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:")
+        for name, b, f, change in regressions:
+            print(f"  {name}: {b:.6g} -> {f:.6g} ({change:+.1%})")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@
 #include "net/frame.hpp"
 #include "net/tcp_transport.hpp"
 #include "noise/noisy_function.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/isa.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sink.hpp"
@@ -89,6 +91,20 @@ void applyPipelineKnobs(const Args& args, core::CommonOptions& common) {
   if (shardMin < 0) throw ArgError("--shard-min-samples must be >= 0");
   common.sampling.shardMinSamples = shardMin;
   common.sampling.speculate = args.getBool("speculate", false);
+}
+
+/// `--isa scalar|sse4|avx2|neon` pins the SIMD dispatch level for this
+/// process (optimize, water, md, serve, worker).  Without the flag the
+/// widest ISA the CPU supports is used (or SFOPT_ISA when set).  An
+/// unknown or unsupported name is a usage error listing the host's
+/// options.
+void applyIsaFlag(const Args& args) {
+  if (!args.has("isa")) return;
+  try {
+    simd::setActiveIsaByName(args.requireString("isa"));
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
 }
 
 /// Simplex algorithm selection shared by `optimize` and `serve`; the
@@ -169,6 +185,7 @@ struct CliTelemetry {
 
   void finish(std::ostream& out) {
     if (!spine) return;
+    simd::publishTelemetry(*spine);
     (void)telemetry::writeMetricEvents(spine->metrics(), *jsonl, spine->tracer().now());
     spine->tracer().end(rootSpan);
     jsonl->flush();
@@ -179,6 +196,7 @@ struct CliTelemetry {
 }  // namespace
 
 int runOptimizeCommand(const Args& args, std::ostream& out) {
+  applyIsaFlag(args);
   const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
   if (dim < 2) throw ArgError("--dim must be >= 2");
   const auto objective = makeObjective(args, dim);
@@ -271,6 +289,7 @@ int runOptimizeCommand(const Args& args, std::ostream& out) {
 }
 
 int runWaterCommand(const Args& args, std::ostream& out) {
+  applyIsaFlag(args);
   water::WaterCostObjective::Options objOpts;
   objOpts.sigma0 = args.getDouble("sigma0", 0.2);
   const water::WaterCostObjective objective(objOpts);
@@ -331,6 +350,7 @@ int runProbeCommand(const Args& args, std::ostream& out) {
 }
 
 int runMdCommand(const Args& args, std::ostream& out) {
+  applyIsaFlag(args);
   md::SimulationConfig cfg;
   cfg.molecules = static_cast<int>(args.getInt("molecules", 64));
   cfg.temperatureK = args.getDouble("temperature", 298.0);
@@ -409,6 +429,7 @@ int runMdCommand(const Args& args, std::ostream& out) {
 }
 
 int runServeCommand(const Args& args, std::ostream& out) {
+  applyIsaFlag(args);
   const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
   if (dim < 2) throw ArgError("--dim must be >= 2");
   const int workers = static_cast<int>(args.getInt("workers", 2));
@@ -463,6 +484,7 @@ int runServeCommand(const Args& args, std::ostream& out) {
 }
 
 int runWorkerCommand(const Args& args, std::ostream& out) {
+  applyIsaFlag(args);
   const std::string host = args.getString("host", "127.0.0.1");
   const auto port = args.getInt("port", 7600);
   if (port < 1 || port > 65535) throw ArgError("--port must be in [1, 65535]");
@@ -593,7 +615,7 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
   }
 
   // Layer coverage: which instrumented layers contributed events.
-  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli.", "eval."};
+  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli.", "eval.", "simd."};
   out << "\nlayers:";
   for (const char* prefix : layers) {
     const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
@@ -612,6 +634,9 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "functions:  rosenbrock powell sphere rastrigin quadratic\n";
   out << "transports: in-process (--mw), tcp (serve/worker), protocol v"
       << net::kProtocolVersion << "\n";
+  out << "simd:       detected " << simd::isaName(simd::detectBestIsa()) << ", active "
+      << simd::isaName(simd::activeIsa()) << " (supported: " << simd::supportedIsaNames()
+      << ")\n";
   out << "commands:\n";
   out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
   out << "  serve    --port P --workers W --function F --dim D --algorithm A ...\n";
@@ -627,6 +652,9 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "pipeline:   --shard-min-samples N splits big sampling batches across\n";
   out << "            workers; --speculate prefetches the next round (optimize\n";
   out << "            --mw, water, serve; results stay bitwise identical)\n";
+  out << "isa:        --isa scalar|sse4|avx2|neon (or SFOPT_ISA env) pins the\n";
+  out << "            vectorized kernel level; results are bitwise reproducible\n";
+  out << "            within an ISA regardless of threads or shard layout\n";
   return 0;
 }
 
