@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "telemetry/telemetry.hpp"
 
@@ -77,6 +79,19 @@ int EvalScheduler::submitSharded(const SamplingBackend::BatchRequest& request,
 }
 
 void EvalScheduler::routeCompletion(const AsyncSamplingBackend::Completion& completion) {
+  // Terminal trace markers for the shard span tree: every ticket the
+  // backend completed ends life here as folded into its batch entry or
+  // discarded (evicted / stale generation).  Zero-duration spans keyed by
+  // the ticket as the trace id, matching the MW driver's shard spans.
+  const auto traceTerminal = [&](const char* name, const char* reason,
+                                 double chunks) {
+    if (options_.telemetry == nullptr) return;
+    auto& tracer = options_.telemetry->tracer();
+    std::vector<std::pair<std::string, std::string>> strFields;
+    if (reason != nullptr) strFields.emplace_back("reason", reason);
+    tracer.emitComplete(name, tracer.now(), 0, std::move(strFields),
+                        {{"chunks", chunks}}, completion.ticket);
+  };
   const auto routeIt = ticketRoute_.find(completion.ticket);
   if (routeIt == ticketRoute_.end()) {
     throw std::logic_error("EvalScheduler: completion for unknown ticket");
@@ -84,13 +99,20 @@ void EvalScheduler::routeCompletion(const AsyncSamplingBackend::Completion& comp
   const TicketRoute route = routeIt->second;
   ticketRoute_.erase(routeIt);
   const auto entryIt = entries_.find(route.key);
-  if (entryIt == entries_.end()) return;  // evicted while in flight: drop
+  if (entryIt == entries_.end()) {
+    // Evicted while in flight: drop.
+    traceTerminal("shard.discarded", "evicted",
+                  static_cast<double>(completion.chunks.size()));
+    return;
+  }
   Entry& entry = entryIt->second;
   if (entry.sequence != route.generation) {
     // Stale ticket: its entry was evicted and the key re-created since.
     // The fresh entry has its own tickets; filling from this one would
     // double-count chunksFilled and could mark the entry complete while
     // slots belonging to unfinished fresh tickets are still empty.
+    traceTerminal("shard.discarded", "stale",
+                  static_cast<double>(completion.chunks.size()));
     return;
   }
   const auto n = static_cast<std::int64_t>(completion.chunks.size());
@@ -103,6 +125,7 @@ void EvalScheduler::routeCompletion(const AsyncSamplingBackend::Completion& comp
   }
   entry.chunksFilled += n;
   --entry.ticketsOutstanding;
+  traceTerminal("shard.folded", nullptr, static_cast<double>(n));
 }
 
 void EvalScheduler::collect(const std::vector<BatchKey>& needed) {

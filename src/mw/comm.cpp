@@ -22,7 +22,8 @@ bool CommWorld::matches(const Message& m, Rank source, int tag) noexcept {
   return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
 }
 
-void CommWorld::send(Rank from, Rank to, int tag, MessageBuffer payload) {
+void CommWorld::send(Rank from, Rank to, int tag, MessageBuffer payload,
+                     std::uint64_t traceId, std::uint64_t parentSpan) {
   checkRank(from, "send(from)");
   checkRank(to, "send(to)");
   {
@@ -33,9 +34,15 @@ void CommWorld::send(Rank from, Rank to, int tag, MessageBuffer payload) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard lock(box.mutex);
-    box.queue.push_back(Message{from, tag, std::move(payload)});
+    box.queue.push_back(Message{from, tag, std::move(payload), traceId, parentSpan});
   }
   box.cv.notify_all();
+}
+
+void CommWorld::countReceived(const Message& m) {
+  std::lock_guard lock(statsMutex_);
+  ++messagesReceived_;
+  bytesReceived_ += m.payload.sizeBytes();
 }
 
 Message CommWorld::recv(Rank at, Rank source, int tag) {
@@ -48,6 +55,7 @@ Message CommWorld::recv(Rank at, Rank source, int tag) {
     if (it != box.queue.end()) {
       Message m = std::move(*it);
       box.queue.erase(it);
+      countReceived(m);
       return m;
     }
     box.cv.wait(lock);
@@ -74,6 +82,7 @@ std::optional<Message> CommWorld::recvFor(Rank at, double timeoutSeconds, Rank s
     if (it != box.queue.end()) {
       Message m = std::move(*it);
       box.queue.erase(it);
+      countReceived(m);
       return m;
     }
     if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
@@ -84,6 +93,7 @@ std::optional<Message> CommWorld::recvFor(Rank at, double timeoutSeconds, Rank s
       if (late != box.queue.end()) {
         Message m = std::move(*late);
         box.queue.erase(late);
+        countReceived(m);
         return m;
       }
       return std::nullopt;
@@ -100,6 +110,7 @@ std::optional<Message> CommWorld::tryRecv(Rank at, Rank source, int tag) {
   if (it == box.queue.end()) return std::nullopt;
   Message m = std::move(*it);
   box.queue.erase(it);
+  countReceived(m);
   return m;
 }
 
@@ -118,6 +129,16 @@ std::uint64_t CommWorld::messagesSent() const noexcept {
 std::uint64_t CommWorld::bytesSent() const noexcept {
   std::lock_guard lock(statsMutex_);
   return bytesSent_;
+}
+
+std::uint64_t CommWorld::messagesReceived() const noexcept {
+  std::lock_guard lock(statsMutex_);
+  return messagesReceived_;
+}
+
+std::uint64_t CommWorld::bytesReceived() const noexcept {
+  std::lock_guard lock(statsMutex_);
+  return bytesReceived_;
 }
 
 }  // namespace sfopt::mw

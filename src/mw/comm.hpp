@@ -39,7 +39,8 @@ class CommWorld final : public net::Transport {
 
   /// Deliver `payload` to `to`'s mailbox with the given tag, recording
   /// `from` as the source.  Never blocks (mailboxes are unbounded).
-  void send(Rank from, Rank to, int tag, MessageBuffer payload) override;
+  void send(Rank from, Rank to, int tag, MessageBuffer payload,
+            std::uint64_t traceId = 0, std::uint64_t parentSpan = 0) override;
 
   /// Block until a message matching (source, tag) arrives at `at`; remove
   /// and return it.  kAnySource / kAnyTag match anything.
@@ -63,6 +64,10 @@ class CommWorld final : public net::Transport {
   [[nodiscard]] std::uint64_t messagesSent() const noexcept override;
   [[nodiscard]] std::uint64_t bytesSent() const noexcept override;
 
+  /// Receive-side mirror: messages and bytes taken out of mailboxes.
+  [[nodiscard]] std::uint64_t messagesReceived() const noexcept override;
+  [[nodiscard]] std::uint64_t bytesReceived() const noexcept override;
+
  private:
   struct Mailbox {
     mutable std::mutex mutex;
@@ -73,10 +78,14 @@ class CommWorld final : public net::Transport {
   void checkRank(Rank r, const char* what) const;
   static bool matches(const Message& m, Rank source, int tag) noexcept;
 
+  void countReceived(const Message& m);
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   mutable std::mutex statsMutex_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
+  std::uint64_t messagesReceived_ = 0;
+  std::uint64_t bytesReceived_ = 0;
 };
 
 }  // namespace sfopt::mw

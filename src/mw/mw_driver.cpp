@@ -75,6 +75,8 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     Rank lastFailedOn = -1;
     double enqueuedAt = 0.0;    ///< telemetry: last time it entered the queue
     double dispatchedAt = 0.0;  ///< telemetry: last time it was sent out
+    std::uint64_t rootSpan = 0;
+    std::uint64_t remoteSpan = 0;
   };
   // Task-lifecycle telemetry: wall times come from the telemetry clock
   // (injectable in tests) and are only read when a spine is attached.
@@ -95,7 +97,11 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     std::vector<std::byte> wire = framed.releaseWire();
     const auto& tail = inputs[i].wire();
     wire.insert(wire.end(), tail.begin(), tail.end());
-    tasks.emplace(id, TaskState{std::move(wire), i, 0, -1, batchStart, batchStart});
+    TaskState st{std::move(wire), i, 0, -1, batchStart, batchStart, 0, 0};
+    if (telemetry_ != nullptr) {
+      st.rootSpan = telemetry_->tracer().begin("shard.lifecycle", 0, id);
+    }
+    tasks.emplace(id, std::move(st));
     pending.push_back(id);
   }
 
@@ -126,8 +132,13 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       st.dispatchedAt = telNow();
       telQueueWait_->observe(st.dispatchedAt - st.enqueuedAt);
       telTasksDispatched_->add(1);
+      auto& tracer = telemetry_->tracer();
+      tracer.emitComplete("shard.queue", st.enqueuedAt, st.rootSpan, {},
+                          {{"attempt", static_cast<double>(st.retries)}}, id);
+      st.remoteSpan = tracer.begin("shard.remote", st.rootSpan, id);
     }
-    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
+    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), id,
+               st.remoteSpan);
     busy[static_cast<std::size_t>(worker)] = true;
     inFlightId[static_cast<std::size_t>(worker)] = id;
     ++inFlight;
@@ -163,7 +174,8 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
   // (kTagWorkerLost).  Either way the attempt counts against the retry
   // budget — a task that kills every worker it lands on must not cycle
   // through the cluster forever.
-  auto requeueFrom = [&](Rank worker, std::uint64_t id, const std::string& why) {
+  auto requeueFrom = [&](Rank worker, std::uint64_t id, const std::string& why,
+                         const char* outcome) {
     const auto it = tasks.find(id);
     if (it == tasks.end()) {
       throw std::runtime_error("MWDriver: failure report for unknown task id");
@@ -181,8 +193,15 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       workerBusySeconds[static_cast<std::size_t>(worker)] += telNow() - st.dispatchedAt;
       telTasksRequeued_->add(1);
       st.enqueuedAt = telNow();
+      telemetry_->tracer().end(st.remoteSpan, {{"outcome", outcome}},
+                               {{"rank", static_cast<double>(worker)}});
+      st.remoteSpan = 0;
     }
     if (++st.retries > maxRetries_) {
+      if (telemetry_ != nullptr) {
+        telemetry_->tracer().end(st.rootSpan, {{"outcome", "failed"}},
+                                 {{"requeues", static_cast<double>(st.retries)}});
+      }
       throw std::runtime_error("MWDriver: task failed after " +
                                std::to_string(maxRetries_) + " retries: " + why);
     }
@@ -211,6 +230,14 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
         telExecute_->observe(d);
         workerBusySeconds[static_cast<std::size_t>(msg.source)] += d;
         telTasksCompleted_->add(1);
+        auto& tracer = telemetry_->tracer();
+        tracer.end(it->second.remoteSpan, {{"outcome", "ok"}},
+                   {{"rank", static_cast<double>(msg.source)}});
+        // The sync path folds the result into its slot right here, so the
+        // terminal marker is a zero-duration span at completion time.
+        tracer.emitComplete("shard.folded", telNow(), it->second.rootSpan, {}, {}, id);
+        tracer.end(it->second.rootSpan, {{"outcome", "ok"}},
+                   {{"requeues", static_cast<double>(it->second.retries)}});
       }
       results[it->second.slot] = std::move(msg.payload);
       tasks.erase(it);
@@ -229,7 +256,7 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       // and corrupt the busy/inFlight bookkeeping.
       if (busy[static_cast<std::size_t>(msg.source)] &&
           inFlightId[static_cast<std::size_t>(msg.source)] == id) {
-        requeueFrom(msg.source, id, what);
+        requeueFrom(msg.source, id, what, "error");
         dispatchAll();
       }
     } else if (msg.tag == net::kTagWorkerLost) {
@@ -242,7 +269,7 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
       }
       if (busy[static_cast<std::size_t>(lost)]) {
         requeueFrom(lost, inFlightId[static_cast<std::size_t>(lost)],
-                    "worker rank " + std::to_string(lost) + " lost");
+                    "worker rank " + std::to_string(lost) + " lost", "lost");
       }
       if (liveWorkerCount() == 0) {
         throw std::runtime_error("MWDriver: every worker is lost with " +
@@ -306,8 +333,13 @@ void MWDriver::asyncDispatch() {
       st.dispatchedAt = telNow();
       telQueueWait_->observe(st.dispatchedAt - st.enqueuedAt);
       telTasksDispatched_->add(1);
+      auto& tracer = telemetry_->tracer();
+      tracer.emitComplete("shard.queue", st.enqueuedAt, st.rootSpan, {},
+                          {{"attempt", static_cast<double>(st.retries)}}, id);
+      st.remoteSpan = tracer.begin("shard.remote", st.rootSpan, id);
     }
-    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)));
+    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), id,
+               st.remoteSpan);
     asyncBusy_[static_cast<std::size_t>(worker)] = true;
     asyncInFlightId_[static_cast<std::size_t>(worker)] = id;
     ++asyncInFlight_;
@@ -338,7 +370,8 @@ void MWDriver::asyncDispatch() {
   }
 }
 
-void MWDriver::asyncRequeue(Rank worker, std::uint64_t id, const std::string& why) {
+void MWDriver::asyncRequeue(Rank worker, std::uint64_t id, const std::string& why,
+                            const char* outcome) {
   const auto it = asyncTasks_.find(id);
   if (it == asyncTasks_.end()) {
     throw std::runtime_error("MWDriver: failure report for unknown task id");
@@ -352,8 +385,15 @@ void MWDriver::asyncRequeue(Rank worker, std::uint64_t id, const std::string& wh
   if (telemetry_ != nullptr) {
     telTasksRequeued_->add(1);
     st.enqueuedAt = telNow();
+    telemetry_->tracer().end(st.remoteSpan, {{"outcome", outcome}},
+                             {{"rank", static_cast<double>(worker)}});
+    st.remoteSpan = 0;
   }
   if (++st.retries > maxRetries_) {
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer().end(st.rootSpan, {{"outcome", "failed"}},
+                               {{"requeues", static_cast<double>(st.retries)}});
+    }
     throw std::runtime_error("MWDriver: task failed after " + std::to_string(maxRetries_) +
                              " retries: " + why);
   }
@@ -390,6 +430,13 @@ void MWDriver::handleAsyncMessage(Message msg) {
     if (telemetry_ != nullptr) {
       telExecute_->observe(telNow() - it->second.dispatchedAt);
       telTasksCompleted_->add(1);
+      auto& tracer = telemetry_->tracer();
+      tracer.end(it->second.remoteSpan, {{"outcome", "ok"}},
+                 {{"rank", static_cast<double>(msg.source)}});
+      // No terminal marker here: the async consumer (EvalScheduler) decides
+      // whether this completion is folded or discarded and traces that.
+      tracer.end(it->second.rootSpan, {{"outcome", "ok"}},
+                 {{"requeues", static_cast<double>(it->second.retries)}});
     }
     asyncTasks_.erase(it);
     ++tasksCompleted_;
@@ -407,7 +454,7 @@ void MWDriver::handleAsyncMessage(Message msg) {
     asyncGrowTo(msg.source + 1);
     if (asyncBusy_[static_cast<std::size_t>(msg.source)] &&
         asyncInFlightId_[static_cast<std::size_t>(msg.source)] == id) {
-      asyncRequeue(msg.source, id, what);
+      asyncRequeue(msg.source, id, what, "error");
       asyncDispatch();
     }
   } else if (msg.tag == net::kTagWorkerLost) {
@@ -420,7 +467,7 @@ void MWDriver::handleAsyncMessage(Message msg) {
     }
     if (asyncBusy_[static_cast<std::size_t>(lost)]) {
       asyncRequeue(lost, asyncInFlightId_[static_cast<std::size_t>(lost)],
-                   "worker rank " + std::to_string(lost) + " lost");
+                   "worker rank " + std::to_string(lost) + " lost", "lost");
     }
     if (liveWorkerCount() == 0 && !asyncTasks_.empty()) {
       throw std::runtime_error("MWDriver: every worker is lost with " +
@@ -444,7 +491,11 @@ std::uint64_t MWDriver::submit(MessageBuffer input) {
   const auto& tail = input.wire();
   wire.insert(wire.end(), tail.begin(), tail.end());
   const double now = telNow();
-  asyncTasks_.emplace(id, AsyncTask{std::move(wire), 0, -1, now, now});
+  AsyncTask st{std::move(wire), 0, -1, now, now, 0, 0};
+  if (telemetry_ != nullptr) {
+    st.rootSpan = telemetry_->tracer().begin("shard.lifecycle", 0, id);
+  }
+  asyncTasks_.emplace(id, std::move(st));
   asyncPending_.push_back(id);
   asyncDispatch();
   return id;
@@ -492,6 +543,22 @@ std::vector<MWDriver::AsyncCompletion> MWDriver::drain() {
 
 void MWDriver::shutdown() {
   if (shutDown_) return;
+  // Close out the span tree of any async task still in flight (typically
+  // speculative shards the run no longer needs): without this, their
+  // lifecycle spans would never emit and the trace would have orphans.
+  if (telemetry_ != nullptr) {
+    auto& tracer = telemetry_->tracer();
+    for (auto& [id, task] : asyncTasks_) {
+      if (task.remoteSpan != 0) {
+        tracer.end(task.remoteSpan, {{"outcome", "abandoned"}}, {});
+        task.remoteSpan = 0;
+      }
+      if (task.rootSpan != 0) {
+        tracer.end(task.rootSpan, {{"outcome", "abandoned"}}, {});
+        task.rootSpan = 0;
+      }
+    }
+  }
   for (Rank w = 1; w < comm_.size(); ++w) {
     if (isDead(w)) continue;
     comm_.send(0, w, kTagShutdown, MessageBuffer{});

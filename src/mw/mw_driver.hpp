@@ -102,6 +102,14 @@ class MWDriver {
   /// Pre-registers the task-lifecycle metrics — queue-wait and execute
   /// histograms, per-worker utilization, completion/requeue counters — and
   /// emits one `mw.batch` span per executeBuffers call.
+  ///
+  /// With a spine attached every task additionally becomes a span tree
+  /// keyed by its task id as the distributed trace id: one
+  /// `shard.lifecycle` root per task, a `shard.queue` child per dispatch
+  /// attempt, and a `shard.remote` child covering wire + worker execution
+  /// (ended with outcome ok / requeued / lost).  The trace context rides
+  /// the transport envelope, so a worker's `worker.execute` span parents
+  /// under the matching `shard.remote`.
   void setTelemetry(telemetry::Telemetry* telemetry);
 
  private:
@@ -117,10 +125,13 @@ class MWDriver {
     Rank lastFailedOn = -1;
     double enqueuedAt = 0.0;
     double dispatchedAt = 0.0;
+    std::uint64_t rootSpan = 0;    ///< shard.lifecycle span (trace = task id)
+    std::uint64_t remoteSpan = 0;  ///< open shard.remote span while dispatched
   };
   void asyncGrowTo(int worldSize);
   void asyncDispatch();
-  void asyncRequeue(Rank worker, std::uint64_t id, const std::string& why);
+  void asyncRequeue(Rank worker, std::uint64_t id, const std::string& why,
+                    const char* outcome);
   void handleAsyncMessage(Message msg);
   void observeIdleFraction();
 

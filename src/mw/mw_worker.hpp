@@ -1,11 +1,14 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <string>
 
 #include "mw/comm.hpp"
 #include "mw/mw_task.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sfopt::mw {
 
@@ -17,6 +20,10 @@ namespace sfopt::mw {
 /// receive/execute/reply loop, terminated by a shutdown message from the
 /// master.  One worker instance is driven by one thread (over the
 /// in-process CommWorld) or one process (over a TcpWorkerTransport).
+///
+/// The task counters and the execute-latency EWMA are atomics because a
+/// TCP transport's heartbeat thread reads them mid-task to build fleet
+/// telemetry snapshots for the master.
 class MWWorker {
  public:
   MWWorker(net::Transport& comm, Rank rank) : comm_(comm), rank_(rank) {}
@@ -36,24 +43,62 @@ class MWWorker {
       const std::uint64_t taskId = msg.payload.unpackUint64();
       MessageBuffer result;
       result.pack(taskId);
+      const auto wallStart = std::chrono::steady_clock::now();
+      const double telStart = telemetry_ != nullptr ? telemetry_->tracer().now() : 0.0;
+      bool ok = true;
+      std::string error;
       try {
         executeTask(msg.payload, result);
       } catch (const std::exception& e) {
-        ++tasksFailed_;
-        MessageBuffer error;
-        error.pack(taskId);
-        error.pack(std::string(e.what()));
-        comm_.send(rank_, msg.source, kTagError, std::move(error));
+        ok = false;
+        error = e.what();
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
+              .count();
+      const double prev = executeEwmaSeconds_.load();
+      executeEwmaSeconds_.store(prev == 0.0 ? elapsed
+                                            : prev + kEwmaAlpha * (elapsed - prev));
+      if (telemetry_ != nullptr) {
+        // Continue the master's span tree across the wire: the dispatched
+        // shard.remote span is this span's parent, the ticket its trace id.
+        telemetry_->tracer().emitComplete(
+            "worker.execute", telStart, msg.parentSpan,
+            {{"outcome", ok ? "ok" : "error"}},
+            {{"rank", static_cast<double>(rank_)}}, msg.traceId);
+      }
+      if (!ok) {
+        tasksFailed_.fetch_add(1);
+        MessageBuffer errorBuf;
+        errorBuf.pack(taskId);
+        errorBuf.pack(error);
+        comm_.send(rank_, msg.source, kTagError, std::move(errorBuf), msg.traceId,
+                   msg.parentSpan);
         continue;
       }
-      ++tasksExecuted_;
-      comm_.send(rank_, msg.source, kTagResult, std::move(result));
+      tasksExecuted_.fetch_add(1);
+      comm_.send(rank_, msg.source, kTagResult, std::move(result), msg.traceId,
+                 msg.parentSpan);
     }
   }
 
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
-  [[nodiscard]] std::uint64_t tasksExecuted() const noexcept { return tasksExecuted_; }
-  [[nodiscard]] std::uint64_t tasksFailed() const noexcept { return tasksFailed_; }
+  [[nodiscard]] std::uint64_t tasksExecuted() const noexcept {
+    return tasksExecuted_.load();
+  }
+  [[nodiscard]] std::uint64_t tasksFailed() const noexcept { return tasksFailed_.load(); }
+
+  /// Exponentially-weighted moving average of executeTask wall seconds
+  /// (0 until the first task finishes).  Always maintained — the fleet
+  /// snapshot wants it even when no local telemetry sink is attached.
+  [[nodiscard]] double executeEwmaSeconds() const noexcept {
+    return executeEwmaSeconds_.load();
+  }
+
+  /// Attach the worker-side observability spine (non-owning; must outlive
+  /// run()): every task emits a `worker.execute` span carrying the
+  /// master's trace context.
+  void setTelemetry(telemetry::Telemetry* telemetry) { telemetry_ = telemetry; }
 
  protected:
   /// Unpack the task input from `in`, compute, pack the result into `out`.
@@ -63,10 +108,14 @@ class MWWorker {
   [[nodiscard]] net::Transport& comm() noexcept { return comm_; }
 
  private:
+  static constexpr double kEwmaAlpha = 0.2;
+
   net::Transport& comm_;
   Rank rank_;
-  std::uint64_t tasksExecuted_ = 0;
-  std::uint64_t tasksFailed_ = 0;
+  std::atomic<std::uint64_t> tasksExecuted_{0};
+  std::atomic<std::uint64_t> tasksFailed_{0};
+  std::atomic<double> executeEwmaSeconds_{0.0};
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sfopt::mw

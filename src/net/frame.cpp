@@ -1,5 +1,6 @@
 #include "net/frame.hpp"
 
+#include <cstring>
 #include <string>
 
 namespace sfopt::net {
@@ -15,6 +16,17 @@ void putU32(std::vector<std::byte>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
 }
 
+void putU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void putF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
 std::uint16_t getU16(const std::byte* p) {
   return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
                                     (static_cast<std::uint16_t>(p[1]) << 8));
@@ -26,17 +38,44 @@ std::uint32_t getU32(const std::byte* p) {
   return v;
 }
 
+std::uint64_t getU64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double getF64(const std::byte* p) {
+  const std::uint64_t bits = getU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Message body layout past the type byte: tag + trace context.
+constexpr std::size_t kMessageHeaderBytes = 1 + 4 + 8 + 8;
+
+/// Telemetry body layout past the type byte; see TelemetrySnapshot.
+constexpr std::size_t kTelemetryBodyBytes = 1 + 3 * 8 + 2 * 8 + 8 + 4 * 8 + 4;
+
 }  // namespace
 
-Frame makeMessageFrame(int tag, std::vector<std::byte> payload) {
+Frame makeMessageFrame(int tag, std::vector<std::byte> payload,
+                       std::uint64_t traceId, std::uint64_t parentSpan) {
   Frame f;
   f.type = FrameType::Message;
   f.tag = tag;
+  f.traceId = traceId;
+  f.parentSpan = parentSpan;
   f.payload = std::move(payload);
   return f;
 }
 
-Frame makeHeartbeatFrame() { return Frame{FrameType::Heartbeat, 0, {}}; }
+Frame makeHeartbeatFrame(double senderTime) {
+  Frame f;
+  f.type = FrameType::Heartbeat;
+  f.senderTime = senderTime;
+  return f;
+}
 
 Frame makeHelloFrame() {
   Frame f;
@@ -56,14 +95,38 @@ Frame makeWelcomeFrame(int rank, int worldSize) {
   return f;
 }
 
+Frame makeTelemetryFrame(const TelemetrySnapshot& snap) {
+  Frame f;
+  f.type = FrameType::Telemetry;
+  putF64(f.payload, snap.workerNow);
+  putF64(f.payload, snap.echoMasterTime);
+  putF64(f.payload, snap.holdSeconds);
+  putU64(f.payload, snap.tasksExecuted);
+  putU64(f.payload, snap.tasksFailed);
+  putF64(f.payload, snap.executeEwmaSeconds);
+  putU64(f.payload, snap.bytesIn);
+  putU64(f.payload, snap.bytesOut);
+  putU64(f.payload, snap.messagesIn);
+  putU64(f.payload, snap.messagesOut);
+  putU32(f.payload, snap.queueDepth);
+  return f;
+}
+
 void appendFrame(std::vector<std::byte>& out, const Frame& frame) {
-  // Body = type byte [+ tag for messages] + payload.
-  const std::size_t body =
-      1 + (frame.type == FrameType::Message ? 4 : 0) + frame.payload.size();
+  // Body = type byte + type-specific header + payload.
+  std::size_t body = 1 + frame.payload.size();
+  if (frame.type == FrameType::Message) body = kMessageHeaderBytes + frame.payload.size();
+  if (frame.type == FrameType::Heartbeat) body = 1 + 8;
   putU32(out, static_cast<std::uint32_t>(body));
   out.push_back(static_cast<std::byte>(frame.type));
   if (frame.type == FrameType::Message) {
     putU32(out, static_cast<std::uint32_t>(frame.tag));
+    putU64(out, frame.traceId);
+    putU64(out, frame.parentSpan);
+  }
+  if (frame.type == FrameType::Heartbeat) {
+    putF64(out, frame.senderTime);
+    return;  // heartbeats never carry a payload
   }
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
 }
@@ -109,6 +172,27 @@ Welcome parseWelcome(const Frame& frame) {
   return w;
 }
 
+TelemetrySnapshot parseTelemetrySnapshot(const Frame& frame) {
+  if (frame.type != FrameType::Telemetry ||
+      frame.payload.size() != kTelemetryBodyBytes - 1) {
+    throw ProtocolError("telemetry: malformed snapshot frame");
+  }
+  const std::byte* p = frame.payload.data();
+  TelemetrySnapshot s;
+  s.workerNow = getF64(p);
+  s.echoMasterTime = getF64(p + 8);
+  s.holdSeconds = getF64(p + 16);
+  s.tasksExecuted = getU64(p + 24);
+  s.tasksFailed = getU64(p + 32);
+  s.executeEwmaSeconds = getF64(p + 40);
+  s.bytesIn = getU64(p + 48);
+  s.bytesOut = getU64(p + 56);
+  s.messagesIn = getU64(p + 64);
+  s.messagesOut = getU64(p + 72);
+  s.queueDepth = getU32(p + 80);
+  return s;
+}
+
 void FrameDecoder::feed(const std::byte* data, std::size_t n) {
   // Compact the consumed prefix before it can dominate the buffer.
   if (pos_ > 0 && pos_ >= buf_.size() / 2) {
@@ -135,20 +219,30 @@ std::optional<Frame> FrameDecoder::next() {
   std::size_t consumed = 1;
   switch (type) {
     case static_cast<std::uint8_t>(FrameType::Message): {
-      if (body < 5) throw ProtocolError("frame: truncated message header");
+      if (body < kMessageHeaderBytes) throw ProtocolError("frame: truncated message header");
       f.type = FrameType::Message;
       f.tag = static_cast<std::int32_t>(getU32(p + 1));
-      consumed = 5;
+      f.traceId = getU64(p + 5);
+      f.parentSpan = getU64(p + 13);
+      consumed = kMessageHeaderBytes;
       break;
     }
     case static_cast<std::uint8_t>(FrameType::Heartbeat):
       f.type = FrameType::Heartbeat;
+      // v1 heartbeats had an empty body; tolerate them as senderTime 0.
+      if (body >= 1 + 8) {
+        f.senderTime = getF64(p + 1);
+        consumed = 1 + 8;
+      }
       break;
     case static_cast<std::uint8_t>(FrameType::Hello):
       f.type = FrameType::Hello;
       break;
     case static_cast<std::uint8_t>(FrameType::Welcome):
       f.type = FrameType::Welcome;
+      break;
+    case static_cast<std::uint8_t>(FrameType::Telemetry):
+      f.type = FrameType::Telemetry;
       break;
     default:
       throw ProtocolError("frame: unknown frame type " + std::to_string(type));

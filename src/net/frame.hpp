@@ -8,7 +8,7 @@
 
 namespace sfopt::net {
 
-/// Wire protocol of the TCP transport, version 1.
+/// Wire protocol of the TCP transport, version 2.
 ///
 /// Every frame is length-prefixed so a byte stream can be reassembled into
 /// discrete messages regardless of how the kernel segments it:
@@ -17,11 +17,23 @@ namespace sfopt::net {
 ///   u8      FrameType
 ///   ...     type-specific body
 ///
-/// Bodies (all integers little-endian):
-///   Message:   i32 tag, then the MessageBuffer wire bytes
-///   Heartbeat: empty
+/// Bodies (all integers little-endian, doubles as IEEE-754 u64 bits):
+///   Message:   i32 tag, u64 trace id, u64 parent span id,
+///              then the MessageBuffer wire bytes
+///   Heartbeat: f64 sender time (telemetry-clock seconds; 0 when the
+///              sender has no clock).  The v1 empty body is still accepted
+///              and decodes as senderTime 0.
+///   Telemetry: compact worker health snapshot (see TelemetrySnapshot)
 ///   Hello:     u32 magic, u16 version          (worker -> master, once)
 ///   Welcome:   u32 magic, u16 version, i32 assigned rank, i32 world size
+///
+/// v2 widened the Message header with trace context (trace id + parent
+/// span id) so a shard ticket's span tree can continue across the
+/// process boundary, stamped heartbeats with the sender's clock for
+/// NTP-style offset estimation, and added the Telemetry snapshot frame.
+/// v1 peers are rejected at the Hello/Welcome handshake with an explicit
+/// version-mismatch error; nothing after the handshake needs to sniff
+/// versions.
 ///
 /// The handshake is Hello/Welcome: a connecting worker announces the
 /// protocol magic and version, the master validates both, assigns the next
@@ -29,7 +41,7 @@ namespace sfopt::net {
 /// type, or a length prefix beyond the configured maximum — raises
 /// ProtocolError instead of being trusted.
 inline constexpr std::uint32_t kProtocolMagic = 0x53464F50u;  // "SFOP"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Upper bound on a single frame body; a malformed or hostile length
 /// prefix fails fast here rather than driving a giant allocation.
@@ -45,11 +57,15 @@ enum class FrameType : std::uint8_t {
   Heartbeat = 2,
   Hello = 3,
   Welcome = 4,
+  Telemetry = 5,
 };
 
 struct Frame {
   FrameType type = FrameType::Heartbeat;
   int tag = 0;                      ///< Message frames only
+  std::uint64_t traceId = 0;        ///< Message frames only
+  std::uint64_t parentSpan = 0;     ///< Message frames only
+  double senderTime = 0.0;          ///< Heartbeat frames only
   std::vector<std::byte> payload;   ///< Message: buffer wire; Hello/Welcome: handshake fields
 };
 
@@ -65,10 +81,33 @@ struct Welcome {
   std::int32_t worldSize = 0;
 };
 
-[[nodiscard]] Frame makeMessageFrame(int tag, std::vector<std::byte> payload);
-[[nodiscard]] Frame makeHeartbeatFrame();
+/// Compact per-worker health snapshot piggybacked on the heartbeat
+/// cadence.  The three clock fields implement one NTP-style exchange:
+/// `echoMasterTime` is the most recent master heartbeat timestamp the
+/// worker saw, `holdSeconds` how long the worker sat on it before
+/// replying, and `workerNow` the worker's own telemetry clock at send
+/// time.  The master derives round-trip time and clock offset from them.
+struct TelemetrySnapshot {
+  double workerNow = 0.0;
+  double echoMasterTime = 0.0;  ///< 0 = no master heartbeat seen yet
+  double holdSeconds = 0.0;
+  std::uint64_t tasksExecuted = 0;
+  std::uint64_t tasksFailed = 0;
+  double executeEwmaSeconds = 0.0;
+  std::uint64_t bytesIn = 0;
+  std::uint64_t bytesOut = 0;
+  std::uint64_t messagesIn = 0;
+  std::uint64_t messagesOut = 0;
+  std::uint32_t queueDepth = 0;
+};
+
+[[nodiscard]] Frame makeMessageFrame(int tag, std::vector<std::byte> payload,
+                                     std::uint64_t traceId = 0,
+                                     std::uint64_t parentSpan = 0);
+[[nodiscard]] Frame makeHeartbeatFrame(double senderTime = 0.0);
 [[nodiscard]] Frame makeHelloFrame();
 [[nodiscard]] Frame makeWelcomeFrame(int rank, int worldSize);
+[[nodiscard]] Frame makeTelemetryFrame(const TelemetrySnapshot& snap);
 
 /// Serialize `frame` (length prefix included) onto `out`.
 void appendFrame(std::vector<std::byte>& out, const Frame& frame);
@@ -77,6 +116,9 @@ void appendFrame(std::vector<std::byte>& out, const Frame& frame);
 /// mismatch, or a short body.
 [[nodiscard]] Hello parseHello(const Frame& frame);
 [[nodiscard]] Welcome parseWelcome(const Frame& frame);
+
+/// Decode a Telemetry frame body; throws ProtocolError on a short body.
+[[nodiscard]] TelemetrySnapshot parseTelemetrySnapshot(const Frame& frame);
 
 /// Incremental frame reassembly over an arbitrary chunking of the byte
 /// stream: feed() whatever arrived, next() yields complete frames.

@@ -52,6 +52,9 @@ NetTelemetry NetTelemetry::registerIn(telemetry::Telemetry* telemetry) {
   t.heartbeatsSent = &reg.counter("net.heartbeats_sent");
   t.heartbeatMisses = &reg.counter("net.heartbeat_misses");
   t.sendsDropped = &reg.counter("net.sends_dropped");
+  t.framesIn = &reg.counter("net.frames_in");
+  t.framesOut = &reg.counter("net.frames_out");
+  t.decodeErrors = &reg.counter("net.decode_errors");
   return t;
 }
 
@@ -83,6 +86,18 @@ int TcpCommWorld::liveWorkers() const noexcept {
 
 int TcpCommWorld::size() const noexcept { return 1 + static_cast<int>(peers_.size()); }
 
+double TcpCommWorld::masterNow() const {
+  return options_.telemetry != nullptr ? options_.telemetry->clock().now()
+                                       : monotonicSeconds();
+}
+
+std::vector<FleetHealth> TcpCommWorld::fleetHealth() const {
+  std::vector<FleetHealth> out;
+  out.reserve(peers_.size());
+  for (const auto& p : peers_) out.push_back(p->health);
+  return out;
+}
+
 void TcpCommWorld::checkMaster(Rank at, const char* what) const {
   if (at != 0) {
     throw std::invalid_argument(std::string("TcpCommWorld::") + what +
@@ -104,7 +119,8 @@ int TcpCommWorld::waitForWorkers(int count, double timeoutSeconds) {
   }
 }
 
-void TcpCommWorld::send(Rank from, Rank to, int tag, mw::MessageBuffer payload) {
+void TcpCommWorld::send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
+                        std::uint64_t traceId, std::uint64_t parentSpan) {
   checkMaster(from, "send(from)");
   if (to < 1 || to >= size()) {
     throw std::out_of_range("TcpCommWorld::send: rank out of range");
@@ -114,12 +130,14 @@ void TcpCommWorld::send(Rank from, Rank to, int tag, mw::MessageBuffer payload) 
     NetTelemetry::add(tel_.sendsDropped);
     return;  // loss already reported (or about to be) via kTagWorkerLost
   }
-  const Frame frame = makeMessageFrame(tag, payload.releaseWire());
+  const Frame frame = makeMessageFrame(tag, payload.releaseWire(), traceId, parentSpan);
   const std::size_t before = peer.sendBuf.size();
   appendFrame(peer.sendBuf, frame);
   ++messagesSent_;
+  ++framesSent_;
   bytesSent_ += peer.sendBuf.size() - before;
   NetTelemetry::add(tel_.messagesOut);
+  NetTelemetry::add(tel_.framesOut);
   NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(peer.sendBuf.size() - before));
   flushPeer(to);
 }
@@ -129,6 +147,8 @@ void TcpCommWorld::enqueueToPeer(Rank rank, const Frame& frame) {
   if (!peer.alive) return;
   const std::size_t before = peer.sendBuf.size();
   appendFrame(peer.sendBuf, frame);
+  ++framesSent_;
+  NetTelemetry::add(tel_.framesOut);
   NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(peer.sendBuf.size() - before));
   flushPeer(rank);
 }
@@ -228,6 +248,8 @@ void TcpCommWorld::servicePending(std::size_t index) {
     }
   } catch (const ProtocolError&) {
     // Not an sfopt worker (or an incompatible one): refuse registration.
+    ++decodeErrors_;
+    NetTelemetry::add(tel_.decodeErrors);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
     return;
   }
@@ -253,24 +275,85 @@ void TcpCommWorld::servicePeer(Rank rank) {
   try {
     while (auto frame = peer.decoder.next()) {
       peer.lastHeard = monotonicSeconds();
+      ++framesReceived_;
+      NetTelemetry::add(tel_.framesIn);
       switch (frame->type) {
         case FrameType::Message: {
           Message m;
           m.source = rank;
           m.tag = frame->tag;
+          m.traceId = frame->traceId;
+          m.parentSpan = frame->parentSpan;
           m.payload = mw::MessageBuffer(std::move(frame->payload));
+          ++messagesReceived_;
+          bytesReceived_ += m.payload.sizeBytes();
           inbox_.push_back(std::move(m));
           NetTelemetry::add(tel_.messagesIn);
           break;
         }
         case FrameType::Heartbeat:
           break;  // lastHeard already refreshed
+        case FrameType::Telemetry:
+          handleSnapshot(rank, parseTelemetrySnapshot(*frame));
+          break;
         default:
           throw ProtocolError("unexpected handshake frame after registration");
       }
     }
   } catch (const ProtocolError&) {
+    ++decodeErrors_;
+    NetTelemetry::add(tel_.decodeErrors);
     markLost(rank, "protocol violation");
+  }
+}
+
+void TcpCommWorld::handleSnapshot(Rank rank, const TelemetrySnapshot& snap) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  FleetHealth& h = peer.health;
+  const double now = masterNow();
+  h.seen = true;
+  h.executeEwmaSeconds = snap.executeEwmaSeconds;
+  h.tasksExecuted = snap.tasksExecuted;
+  h.tasksFailed = snap.tasksFailed;
+  h.bytesIn = snap.bytesIn;
+  h.bytesOut = snap.bytesOut;
+  h.messagesIn = snap.messagesIn;
+  h.messagesOut = snap.messagesOut;
+  h.queueDepth = snap.queueDepth;
+  h.lastUpdateSeconds = now;
+  // One NTP-style exchange per snapshot: the worker echoes our heartbeat
+  // stamp plus how long it held it; what's left of the round trip is wire
+  // time, split symmetrically for the offset estimate.
+  if (snap.echoMasterTime > 0.0) {
+    const double rtt = std::max(0.0, now - snap.echoMasterTime - snap.holdSeconds);
+    h.rttSeconds = rtt;
+    h.clockOffsetSeconds =
+        (snap.workerNow - snap.holdSeconds) - snap.echoMasterTime - rtt / 2.0;
+  }
+  if (options_.telemetry == nullptr) return;
+  auto& reg = options_.telemetry->metrics();
+  const std::string prefix = "fleet.r" + std::to_string(rank) + ".";
+  reg.gauge(prefix + "execute_ewma_seconds").set(h.executeEwmaSeconds);
+  reg.gauge(prefix + "tasks_executed").set(static_cast<double>(h.tasksExecuted));
+  reg.gauge(prefix + "tasks_failed").set(static_cast<double>(h.tasksFailed));
+  reg.gauge(prefix + "bytes_in").set(static_cast<double>(h.bytesIn));
+  reg.gauge(prefix + "bytes_out").set(static_cast<double>(h.bytesOut));
+  reg.gauge(prefix + "messages_in").set(static_cast<double>(h.messagesIn));
+  reg.gauge(prefix + "messages_out").set(static_cast<double>(h.messagesOut));
+  reg.gauge(prefix + "queue_depth").set(static_cast<double>(h.queueDepth));
+  if (h.rttSeconds >= 0.0) {
+    reg.gauge(prefix + "rtt_seconds").set(h.rttSeconds);
+    reg.gauge(prefix + "clock_offset_seconds").set(h.clockOffsetSeconds);
+    // Anchor event for `sfopt trace`: maps this worker's clock onto ours so
+    // merged span trees share a timeline.
+    telemetry::Event e;
+    e.type = "clock";
+    e.name = "fleet.clock";
+    e.time = now;
+    e.numFields = {{"rank", static_cast<double>(rank)},
+                   {"offset_seconds", h.clockOffsetSeconds},
+                   {"rtt_seconds", h.rttSeconds}};
+    options_.telemetry->sink().emit(e);
   }
 }
 
@@ -323,7 +406,7 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
     const Rank rank = static_cast<Rank>(i + 1);
     if (now - p.lastBeat >= options_.heartbeatIntervalSeconds) {
       p.lastBeat = now;
-      enqueueToPeer(rank, makeHeartbeatFrame());
+      enqueueToPeer(rank, makeHeartbeatFrame(masterNow()));
       NetTelemetry::add(tel_.heartbeatsSent);
     }
     if (p.alive && now - p.lastHeard > options_.heartbeatTimeoutSeconds) {
@@ -403,10 +486,16 @@ TcpWorkerTransport::TcpWorkerTransport(const std::string& host, std::uint16_t po
         Message m;
         m.source = 0;
         m.tag = frame->tag;
+        m.traceId = frame->traceId;
+        m.parentSpan = frame->parentSpan;
         m.payload = mw::MessageBuffer(std::move(frame->payload));
         inbox_.push_back(std::move(m));
+        inboxDepth_.store(static_cast<std::uint32_t>(inbox_.size()));
       }
-      // Heartbeats: ignored (lastHeard_ refreshed inside readSome).
+      if (frame->type == FrameType::Heartbeat && frame->senderTime > 0.0) {
+        lastMasterBeat_.store(frame->senderTime);
+        lastMasterBeatLocal_.store(localNow());
+      }
     }
   }
   rank_ = welcome->rank;
@@ -423,6 +512,11 @@ TcpWorkerTransport::~TcpWorkerTransport() {
   sock_.close();
 }
 
+double TcpWorkerTransport::localNow() const {
+  return options_.telemetry != nullptr ? options_.telemetry->clock().now()
+                                       : monotonicSeconds();
+}
+
 void TcpWorkerTransport::beatLoop() {
   std::unique_lock lock(stopMutex_);
   while (!stopping_.load()) {
@@ -430,9 +524,33 @@ void TcpWorkerTransport::beatLoop() {
                      std::chrono::duration<double>(options_.heartbeatIntervalSeconds),
                      [this] { return stopping_.load(); });
     if (stopping_.load() || dead_.load()) continue;
+    // Poll the provider while holding its mutex, so setStatsProvider({})
+    // is a barrier: once it returns, the callback (and whatever worker
+    // state it captured) is guaranteed not to be mid-invocation here.
+    std::optional<WorkerStats> stats;
+    {
+      std::lock_guard providerLock(providerMutex_);
+      if (statsProvider_) stats = statsProvider_();
+    }
     std::lock_guard sendLock(sendMutex_);
-    writeFrameLocked(makeHeartbeatFrame(), /*nothrow=*/true);
+    writeFrameLocked(makeHeartbeatFrame(localNow()), /*nothrow=*/true);
     NetTelemetry::add(tel_.heartbeatsSent);
+    if (stats.has_value() && !dead_.load()) {
+      TelemetrySnapshot snap;
+      const double echo = lastMasterBeat_.load();
+      snap.echoMasterTime = echo;
+      snap.workerNow = localNow();
+      snap.holdSeconds = echo > 0.0 ? snap.workerNow - lastMasterBeatLocal_.load() : 0.0;
+      snap.tasksExecuted = stats->tasksExecuted;
+      snap.tasksFailed = stats->tasksFailed;
+      snap.executeEwmaSeconds = stats->executeEwmaSeconds;
+      snap.bytesIn = rawBytesIn_.load();
+      snap.bytesOut = rawBytesOut_.load();
+      snap.messagesIn = atomicMessagesIn_.load();
+      snap.messagesOut = atomicMessagesOut_.load();
+      snap.queueDepth = inboxDepth_.load();
+      writeFrameLocked(makeTelemetryFrame(snap), /*nothrow=*/true);
+    }
   }
 }
 
@@ -475,6 +593,9 @@ void TcpWorkerTransport::writeFrameLocked(const Frame& frame, bool nothrow) {
     if (nothrow) return;
     throw ConnectionLost("master connection lost while sending");
   }
+  ++framesSent_;
+  rawBytesOut_ += wire.size();
+  NetTelemetry::add(tel_.framesOut);
   NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(wire.size()));
 }
 
@@ -497,6 +618,7 @@ void TcpWorkerTransport::fill(double timeoutSeconds) {
     if (n > 0) {
       decoder_.feed(chunk, static_cast<std::size_t>(n));
       lastHeard_ = monotonicSeconds();
+      rawBytesIn_ += static_cast<std::uint64_t>(n);
       NetTelemetry::add(tel_.bytesIn, n);
       continue;
     }
@@ -513,23 +635,42 @@ void TcpWorkerTransport::fill(double timeoutSeconds) {
 
 void TcpWorkerTransport::readSome(double timeoutSeconds) {
   fill(timeoutSeconds);
-  while (auto frame = decoder_.next()) {
-    switch (frame->type) {
-      case FrameType::Message: {
-        Message m;
-        m.source = 0;
-        m.tag = frame->tag;
-        m.payload = mw::MessageBuffer(std::move(frame->payload));
-        inbox_.push_back(std::move(m));
-        NetTelemetry::add(tel_.messagesIn);
-        break;
+  try {
+    while (auto frame = decoder_.next()) {
+      ++framesReceived_;
+      NetTelemetry::add(tel_.framesIn);
+      switch (frame->type) {
+        case FrameType::Message: {
+          Message m;
+          m.source = 0;
+          m.tag = frame->tag;
+          m.traceId = frame->traceId;
+          m.parentSpan = frame->parentSpan;
+          m.payload = mw::MessageBuffer(std::move(frame->payload));
+          ++messagesReceived_;
+          bytesReceived_ += m.payload.sizeBytes();
+          ++atomicMessagesIn_;
+          inbox_.push_back(std::move(m));
+          inboxDepth_.store(static_cast<std::uint32_t>(inbox_.size()));
+          NetTelemetry::add(tel_.messagesIn);
+          break;
+        }
+        case FrameType::Heartbeat:
+          if (frame->senderTime > 0.0) {
+            lastMasterBeat_.store(frame->senderTime);
+            lastMasterBeatLocal_.store(localNow());
+          }
+          break;
+        default:
+          dead_.store(true);
+          throw ConnectionLost("master sent an unexpected handshake frame");
       }
-      case FrameType::Heartbeat:
-        break;
-      default:
-        dead_.store(true);
-        throw ConnectionLost("master sent an unexpected handshake frame");
     }
+  } catch (const ProtocolError&) {
+    ++decodeErrors_;
+    NetTelemetry::add(tel_.decodeErrors);
+    dead_.store(true);
+    throw;
   }
 }
 
@@ -540,16 +681,24 @@ void TcpWorkerTransport::checkSelf(Rank r, const char* what) const {
   }
 }
 
-void TcpWorkerTransport::send(Rank from, Rank to, int tag, mw::MessageBuffer payload) {
+void TcpWorkerTransport::setStatsProvider(std::function<WorkerStats()> provider) {
+  std::lock_guard lock(providerMutex_);
+  statsProvider_ = std::move(provider);
+}
+
+void TcpWorkerTransport::send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
+                              std::uint64_t traceId, std::uint64_t parentSpan) {
   checkSelf(from, "send(from)");
   if (to != 0) {
     throw std::out_of_range("TcpWorkerTransport::send: workers only talk to rank 0");
   }
-  const Frame frame = makeMessageFrame(tag, payload.releaseWire());
+  const Frame frame = makeMessageFrame(tag, payload.releaseWire(), traceId, parentSpan);
   std::lock_guard lock(sendMutex_);
   writeFrameLocked(frame, /*nothrow=*/false);
   ++messagesSent_;
-  bytesSent_ += frame.payload.size() + 9;  // frame header: 4 len + 1 type + 4 tag
+  ++atomicMessagesOut_;
+  // Frame header: 4 len + 1 type + 4 tag + 8 trace + 8 parent.
+  bytesSent_ += frame.payload.size() + 25;
   NetTelemetry::add(tel_.messagesOut);
 }
 
@@ -559,6 +708,7 @@ std::optional<Message> TcpWorkerTransport::takeMatching(Rank source, int tag) {
   if (it == inbox_.end()) return std::nullopt;
   Message m = std::move(*it);
   inbox_.erase(it);
+  inboxDepth_.store(static_cast<std::uint32_t>(inbox_.size()));
   return m;
 }
 

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -35,9 +36,38 @@ struct NetTelemetry {
   telemetry::Counter* heartbeatsSent = nullptr;
   telemetry::Counter* heartbeatMisses = nullptr;
   telemetry::Counter* sendsDropped = nullptr;
+  telemetry::Counter* framesIn = nullptr;
+  telemetry::Counter* framesOut = nullptr;
+  telemetry::Counter* decodeErrors = nullptr;
 
   static NetTelemetry registerIn(telemetry::Telemetry* telemetry);
   static void add(telemetry::Counter* c, std::int64_t n = 1) noexcept;
+};
+
+/// Application-level counters a worker process exposes to its transport so
+/// the heartbeat thread can ship them to the master (FrameType::Telemetry).
+struct WorkerStats {
+  std::uint64_t tasksExecuted = 0;
+  std::uint64_t tasksFailed = 0;
+  double executeEwmaSeconds = 0.0;
+};
+
+/// Rolling per-worker health the master accumulates from telemetry
+/// snapshots.  All times are seconds; rttSeconds < 0 until the first
+/// round-trip estimate lands.
+struct FleetHealth {
+  bool seen = false;                ///< any snapshot received yet
+  double rttSeconds = -1.0;         ///< heartbeat round-trip estimate
+  double clockOffsetSeconds = 0.0;  ///< worker clock minus master clock
+  double executeEwmaSeconds = 0.0;
+  std::uint64_t tasksExecuted = 0;
+  std::uint64_t tasksFailed = 0;
+  std::uint64_t bytesIn = 0;    ///< as counted by the worker
+  std::uint64_t bytesOut = 0;
+  std::uint64_t messagesIn = 0;
+  std::uint64_t messagesOut = 0;
+  std::uint32_t queueDepth = 0;
+  double lastUpdateSeconds = 0.0;  ///< master clock time of latest snapshot
 };
 
 /// Knobs for the master side.  (Defined at namespace scope so it can be a
@@ -99,9 +129,14 @@ class TcpCommWorld final : public Transport {
 
   [[nodiscard]] int liveWorkers() const noexcept;
 
+  /// Latest health snapshot for every registered rank (index = rank - 1).
+  /// Entries with !seen never shipped telemetry (or predate v2 workers).
+  [[nodiscard]] std::vector<FleetHealth> fleetHealth() const;
+
   // -- Transport (at/from must be rank 0) ---------------------------------
   [[nodiscard]] int size() const noexcept override;
-  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload) override;
+  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
+            std::uint64_t traceId = 0, std::uint64_t parentSpan = 0) override;
   [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag) override;
   [[nodiscard]] std::optional<Message> recvFor(Rank at, double timeoutSeconds,
                                                Rank source = kAnySource,
@@ -110,6 +145,11 @@ class TcpCommWorld final : public Transport {
                                                int tag = kAnyTag) override;
   [[nodiscard]] std::uint64_t messagesSent() const override { return messagesSent_; }
   [[nodiscard]] std::uint64_t bytesSent() const override { return bytesSent_; }
+  [[nodiscard]] std::uint64_t messagesReceived() const override { return messagesReceived_; }
+  [[nodiscard]] std::uint64_t bytesReceived() const override { return bytesReceived_; }
+  [[nodiscard]] std::uint64_t framesSent() const override { return framesSent_; }
+  [[nodiscard]] std::uint64_t framesReceived() const override { return framesReceived_; }
+  [[nodiscard]] std::uint64_t decodeErrors() const override { return decodeErrors_; }
 
  private:
   struct Peer {
@@ -120,6 +160,7 @@ class TcpCommWorld final : public Transport {
     double lastHeard = 0.0;
     double lastBeat = 0.0;
     bool alive = false;
+    FleetHealth health;
   };
   struct PendingPeer {
     Socket sock;
@@ -134,6 +175,10 @@ class TcpCommWorld final : public Transport {
   void serviceListener();
   void servicePending(std::size_t index);
   void servicePeer(Rank rank);
+  void handleSnapshot(Rank rank, const TelemetrySnapshot& snap);
+  /// Master time on the telemetry clock when attached (so heartbeat stamps
+  /// line up with trace timestamps), else the monotonic process clock.
+  [[nodiscard]] double masterNow() const;
   void promotePending(std::size_t index);
   void flushPeer(Rank rank);
   void enqueueToPeer(Rank rank, const Frame& frame);
@@ -150,6 +195,11 @@ class TcpCommWorld final : public Transport {
   std::optional<std::pair<int, std::vector<std::byte>>> greeting_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
+  std::uint64_t messagesReceived_ = 0;
+  std::uint64_t bytesReceived_ = 0;
+  std::uint64_t framesSent_ = 0;
+  std::uint64_t framesReceived_ = 0;
+  std::uint64_t decodeErrors_ = 0;
   NetTelemetry tel_;
 };
 
@@ -176,9 +226,18 @@ class TcpWorkerTransport final : public Transport {
   /// Rank assigned by the master in the Welcome.
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
 
+  /// Install the callback the heartbeat thread polls for application-level
+  /// stats; each beat then carries a TelemetrySnapshot to the master.  The
+  /// callback must be thread-safe (it runs on the heartbeat thread while
+  /// the worker executes tasks).  Passing an empty function detaches it
+  /// and acts as a barrier: on return, no invocation is in flight — clear
+  /// the provider before destroying whatever it captures.
+  void setStatsProvider(std::function<WorkerStats()> provider);
+
   // -- Transport (at/from must be rank()) ---------------------------------
   [[nodiscard]] int size() const noexcept override { return worldSize_; }
-  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload) override;
+  void send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
+            std::uint64_t traceId = 0, std::uint64_t parentSpan = 0) override;
   [[nodiscard]] Message recv(Rank at, Rank source = kAnySource, int tag = kAnyTag) override;
   [[nodiscard]] std::optional<Message> recvFor(Rank at, double timeoutSeconds,
                                                Rank source = kAnySource,
@@ -187,9 +246,16 @@ class TcpWorkerTransport final : public Transport {
                                                int tag = kAnyTag) override;
   [[nodiscard]] std::uint64_t messagesSent() const override { return messagesSent_; }
   [[nodiscard]] std::uint64_t bytesSent() const override { return bytesSent_; }
+  [[nodiscard]] std::uint64_t messagesReceived() const override { return messagesReceived_; }
+  [[nodiscard]] std::uint64_t bytesReceived() const override { return bytesReceived_; }
+  [[nodiscard]] std::uint64_t framesSent() const override { return framesSent_.load(); }
+  [[nodiscard]] std::uint64_t framesReceived() const override { return framesReceived_; }
+  [[nodiscard]] std::uint64_t decodeErrors() const override { return decodeErrors_; }
 
  private:
   void beatLoop();
+  /// Worker time on the telemetry clock when attached, else monotonic.
+  [[nodiscard]] double localNow() const;
   /// Blocking framed write under sendMutex_; marks the connection dead and
   /// throws ConnectionLost on failure (unless `nothrow`).
   void writeFrameLocked(const Frame& frame, bool nothrow);
@@ -213,7 +279,23 @@ class TcpWorkerTransport final : public Transport {
   double lastHeard_ = 0.0;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
+  std::uint64_t messagesReceived_ = 0;
+  std::uint64_t bytesReceived_ = 0;
+  std::uint64_t framesReceived_ = 0;
+  std::uint64_t decodeErrors_ = 0;
   NetTelemetry tel_;
+
+  // Written by both the user thread and the heartbeat thread.
+  std::atomic<std::uint64_t> framesSent_{0};
+  std::atomic<std::uint64_t> rawBytesIn_{0};
+  std::atomic<std::uint64_t> rawBytesOut_{0};
+  std::atomic<std::uint64_t> atomicMessagesIn_{0};
+  std::atomic<std::uint64_t> atomicMessagesOut_{0};
+  std::atomic<std::uint32_t> inboxDepth_{0};
+  std::atomic<double> lastMasterBeat_{0.0};       ///< master-clock stamp
+  std::atomic<double> lastMasterBeatLocal_{0.0};  ///< our clock at arrival
+  std::mutex providerMutex_;
+  std::function<WorkerStats()> statsProvider_;
 
   std::mutex sendMutex_;
   std::atomic<bool> dead_{false};

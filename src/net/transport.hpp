@@ -31,11 +31,15 @@ inline constexpr int kAnyTag = -1;
 inline constexpr int kTagWorkerLost = -2;
 inline constexpr int kTagWorkerJoined = -3;
 
-/// A received (or in-flight) message: payload plus envelope.
+/// A received (or in-flight) message: payload plus envelope.  The trace
+/// fields carry distributed trace context across the process boundary
+/// (wire format v2); 0 means "untraced".
 struct Message {
   Rank source = 0;
   int tag = 0;
   mw::MessageBuffer payload;
+  std::uint64_t traceId = 0;
+  std::uint64_t parentSpan = 0;
 };
 
 /// Thrown by a network transport when its peer is gone for good: the
@@ -62,10 +66,13 @@ class Transport {
   [[nodiscard]] virtual int size() const = 0;
 
   /// Deliver `payload` to `to` with the given tag, recording `from` as the
-  /// source.  Best effort: sending to a rank whose peer is lost is a
-  /// silent drop (the loss is reported via kTagWorkerLost on recv), so
-  /// callers never race the failure detector.
-  virtual void send(Rank from, Rank to, int tag, mw::MessageBuffer payload) = 0;
+  /// source.  `traceId`/`parentSpan` ride the envelope so the receiver can
+  /// continue the sender's span tree (0 = untraced).  Best effort: sending
+  /// to a rank whose peer is lost is a silent drop (the loss is reported
+  /// via kTagWorkerLost on recv), so callers never race the failure
+  /// detector.
+  virtual void send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
+                    std::uint64_t traceId = 0, std::uint64_t parentSpan = 0) = 0;
 
   /// Block until a message matching (source, tag) arrives at `at`; remove
   /// and return it.  kAnySource / kAnyTag match anything.
@@ -88,6 +95,20 @@ class Transport {
   /// excluded here and reported via telemetry instead.
   [[nodiscard]] virtual std::uint64_t messagesSent() const = 0;
   [[nodiscard]] virtual std::uint64_t bytesSent() const = 0;
+
+  /// Receive-side mirror of the counters above: application messages and
+  /// bytes taken off the transport at this endpoint.
+  [[nodiscard]] virtual std::uint64_t messagesReceived() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t bytesReceived() const { return 0; }
+
+  /// Raw frame traffic including transport-internal frames (heartbeats,
+  /// handshakes, telemetry snapshots).  In-process transports have no
+  /// frames and report 0.
+  [[nodiscard]] virtual std::uint64_t framesSent() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t framesReceived() const { return 0; }
+
+  /// Protocol violations observed while decoding the peer's byte stream.
+  [[nodiscard]] virtual std::uint64_t decodeErrors() const { return 0; }
 };
 
 }  // namespace sfopt::net

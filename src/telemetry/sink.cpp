@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -29,16 +30,42 @@ JsonlSink::JsonlSink(const std::filesystem::path& file, bool append)
 
 JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
 
+namespace {
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 void JsonlSink::emit(const Event& e) {
   const std::string line = toJsonLine(e);
   std::lock_guard lock(mutex_);
   *out_ << line << '\n';
   ++count_;
+  if (flushIntervalSeconds_ >= 0.0) {
+    const double now = monotonicSeconds();
+    if (now - lastFlushSeconds_ >= flushIntervalSeconds_) {
+      out_->flush();
+      lastFlushSeconds_ = now;
+    }
+  }
 }
 
 void JsonlSink::flush() {
   std::lock_guard lock(mutex_);
   out_->flush();
+  if (flushIntervalSeconds_ >= 0.0) lastFlushSeconds_ = monotonicSeconds();
+}
+
+void JsonlSink::setFlushIntervalSeconds(double seconds) {
+  std::lock_guard lock(mutex_);
+  flushIntervalSeconds_ = seconds;
+  // Arm the timer so a long-lived serve process flushes its first event
+  // no later than one interval after enabling.
+  lastFlushSeconds_ = seconds >= 0.0 ? monotonicSeconds() : 0.0;
 }
 
 std::string jsonEscape(std::string_view s) {
@@ -100,6 +127,10 @@ std::string toJsonLine(const Event& e) {
   if (e.parent != 0) {
     out += ",\"parent\":";
     appendNumber(out, static_cast<double>(e.parent));
+  }
+  if (e.trace != 0) {
+    out += ",\"trace\":";
+    appendNumber(out, static_cast<double>(e.trace));
   }
   for (const auto& [k, v] : e.numFields) {
     out += ",\"";
@@ -218,6 +249,8 @@ std::optional<Event> parseJsonLine(std::string_view line) {
         e.id = static_cast<std::uint64_t>(val);
       } else if (key == "parent") {
         e.parent = static_cast<std::uint64_t>(val);
+      } else if (key == "trace") {
+        e.trace = static_cast<std::uint64_t>(val);
       } else {
         e.numFields.emplace_back(std::move(key), val);
       }

@@ -24,6 +24,7 @@ struct Event {
   double duration = -1.0;  ///< span length; negative = absent
   std::uint64_t id = 0;    ///< span id; 0 = absent
   std::uint64_t parent = 0;  ///< parent span id; 0 = root/absent
+  std::uint64_t trace = 0;   ///< distributed trace id; 0 = absent
   std::vector<std::pair<std::string, std::string>> strFields;
   std::vector<std::pair<std::string, double>> numFields;
 
@@ -62,11 +63,20 @@ class JsonlSink final : public EventSink {
   [[nodiscard]] std::uint64_t eventsWritten() const noexcept override { return count_; }
   void flush();
 
+  /// Opt-in crash durability for long-lived processes: flush the stream
+  /// whenever at least `seconds` of wall time passed since the last flush
+  /// (0 = flush after every event).  Negative (the default) restores the
+  /// buffered behaviour where events reach disk only on explicit flush()
+  /// or destruction.
+  void setFlushIntervalSeconds(double seconds);
+
  private:
   std::ofstream owned_;
   std::ostream* out_;
   std::mutex mutex_;
   std::uint64_t count_ = 0;
+  double flushIntervalSeconds_ = -1.0;
+  double lastFlushSeconds_ = 0.0;  ///< monotonic, valid when interval >= 0
 };
 
 /// Serialize one event to its JSONL line (no trailing newline).

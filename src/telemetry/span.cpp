@@ -2,11 +2,12 @@
 
 namespace sfopt::telemetry {
 
-std::uint64_t SpanTracer::begin(std::string name, std::uint64_t parent) {
+std::uint64_t SpanTracer::begin(std::string name, std::uint64_t parent,
+                                std::uint64_t trace) {
   const double start = clock_->now();
   std::lock_guard lock(mutex_);
   const std::uint64_t id = nextId_++;
-  open_.emplace(id, Open{std::move(name), start, parent});
+  open_.emplace(id, Open{std::move(name), start, parent, trace});
   return id;
 }
 
@@ -29,6 +30,7 @@ void SpanTracer::end(std::uint64_t id,
   e.duration = now - span.start;
   e.id = id;
   e.parent = span.parent;
+  e.trace = span.trace;
   e.strFields = std::move(strFields);
   e.numFields = std::move(numFields);
   sink_->emit(e);
@@ -37,7 +39,8 @@ void SpanTracer::end(std::uint64_t id,
 std::uint64_t SpanTracer::emitComplete(
     std::string name, double startTime, std::uint64_t parent,
     std::vector<std::pair<std::string, std::string>> strFields,
-    std::vector<std::pair<std::string, double>> numFields) {
+    std::vector<std::pair<std::string, double>> numFields,
+    std::uint64_t trace) {
   const double now = clock_->now();
   std::uint64_t id = 0;
   {
@@ -51,10 +54,17 @@ std::uint64_t SpanTracer::emitComplete(
   e.duration = now - startTime;
   e.id = id;
   e.parent = parent;
+  e.trace = trace;
   e.strFields = std::move(strFields);
   e.numFields = std::move(numFields);
   sink_->emit(e);
   return id;
+}
+
+void SpanTracer::seedIds(std::uint64_t base) {
+  std::lock_guard lock(mutex_);
+  if (base == 0) base = 1;  // 0 means "no span" everywhere
+  if (base > nextId_) nextId_ = base;
 }
 
 std::size_t SpanTracer::openSpans() const {

@@ -23,8 +23,10 @@ class SpanTracer {
  public:
   SpanTracer(EventSink& sink, const Clock& clock) : sink_(&sink), clock_(&clock) {}
 
-  /// Start a span; returns its id (never 0).
-  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent = 0);
+  /// Start a span; returns its id (never 0).  `trace` tags the emitted
+  /// event with a distributed trace id (0 = untraced).
+  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent = 0,
+                                    std::uint64_t trace = 0);
 
   /// End a span begun earlier, attaching optional extra fields.  Unknown
   /// ids are ignored (a span may outlive a tracer reset in tests).
@@ -37,7 +39,14 @@ class SpanTracer {
   /// the id assigned to the emitted span.
   std::uint64_t emitComplete(std::string name, double startTime, std::uint64_t parent = 0,
                              std::vector<std::pair<std::string, std::string>> strFields = {},
-                             std::vector<std::pair<std::string, double>> numFields = {});
+                             std::vector<std::pair<std::string, double>> numFields = {},
+                             std::uint64_t trace = 0);
+
+  /// Rebase the id counter so ids from this tracer never collide with
+  /// another process's when their JSONL files are merged (each worker
+  /// seeds a rank-salted base after the handshake).  Ids must stay below
+  /// 2^53 — they travel through JSON doubles.
+  void seedIds(std::uint64_t base);
 
   /// Current time on the tracer's clock.
   [[nodiscard]] double now() const { return clock_->now(); }
@@ -49,6 +58,7 @@ class SpanTracer {
     std::string name;
     double start = 0.0;
     std::uint64_t parent = 0;
+    std::uint64_t trace = 0;
   };
 
   EventSink* sink_;

@@ -26,9 +26,88 @@ TEST(Frame, MessageRoundTripsThroughDecoder) {
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->type, FrameType::Message);
   EXPECT_EQ(f->tag, 42);
+  EXPECT_EQ(f->traceId, 0u);
+  EXPECT_EQ(f->parentSpan, 0u);
   EXPECT_EQ(f->payload, payload);
   EXPECT_FALSE(dec.next().has_value());
   EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Frame, TraceContextRoundTripsThroughDecoder) {
+  const auto wire = bytesOf(makeMessageFrame(7, {std::byte{0x01}},
+                                             /*traceId=*/0x0123456789ABCDEFULL,
+                                             /*parentSpan=*/0xFEDCBA9876543210ULL));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->tag, 7);
+  EXPECT_EQ(f->traceId, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(f->parentSpan, 0xFEDCBA9876543210ULL);
+  EXPECT_EQ(f->payload, std::vector<std::byte>{std::byte{0x01}});
+}
+
+TEST(Frame, HeartbeatCarriesSenderTime) {
+  const auto wire = bytesOf(makeHeartbeatFrame(12.625));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::Heartbeat);
+  EXPECT_DOUBLE_EQ(f->senderTime, 12.625);
+}
+
+TEST(Frame, LegacyEmptyHeartbeatBodyTolerated) {
+  // A v1 heartbeat is just the type byte; the decoder must not choke on
+  // old captures and reports senderTime 0 ("unknown").
+  std::vector<std::byte> wire = {std::byte{1}, std::byte{0}, std::byte{0}, std::byte{0},
+                                 std::byte{2}};  // len=1 | type=Heartbeat
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::Heartbeat);
+  EXPECT_DOUBLE_EQ(f->senderTime, 0.0);
+}
+
+TEST(Frame, TelemetrySnapshotRoundTrips) {
+  TelemetrySnapshot snap;
+  snap.workerNow = 3.5;
+  snap.echoMasterTime = 2.25;
+  snap.holdSeconds = 0.125;
+  snap.tasksExecuted = 17;
+  snap.tasksFailed = 2;
+  snap.executeEwmaSeconds = 0.0625;
+  snap.bytesIn = 1234;
+  snap.bytesOut = 5678;
+  snap.messagesIn = 21;
+  snap.messagesOut = 34;
+  snap.queueDepth = 3;
+
+  const auto wire = bytesOf(makeTelemetryFrame(snap));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  ASSERT_EQ(f->type, FrameType::Telemetry);
+  const TelemetrySnapshot back = parseTelemetrySnapshot(*f);
+  EXPECT_DOUBLE_EQ(back.workerNow, 3.5);
+  EXPECT_DOUBLE_EQ(back.echoMasterTime, 2.25);
+  EXPECT_DOUBLE_EQ(back.holdSeconds, 0.125);
+  EXPECT_EQ(back.tasksExecuted, 17u);
+  EXPECT_EQ(back.tasksFailed, 2u);
+  EXPECT_DOUBLE_EQ(back.executeEwmaSeconds, 0.0625);
+  EXPECT_EQ(back.bytesIn, 1234u);
+  EXPECT_EQ(back.bytesOut, 5678u);
+  EXPECT_EQ(back.messagesIn, 21u);
+  EXPECT_EQ(back.messagesOut, 34u);
+  EXPECT_EQ(back.queueDepth, 3u);
+}
+
+TEST(Frame, TruncatedTelemetryRejected) {
+  Frame f = makeTelemetryFrame(TelemetrySnapshot{});
+  f.payload.pop_back();
+  EXPECT_THROW((void)parseTelemetrySnapshot(f), ProtocolError);
 }
 
 TEST(Frame, NegativeControlTagsSurvive) {
@@ -124,22 +203,30 @@ TEST(Frame, EmptyBodyRejected) {
 }
 
 TEST(Frame, TruncatedMessageHeaderRejected) {
-  // Message frames need at least type + 4 tag bytes in the body.
-  std::vector<std::byte> wire = {std::byte{2}, std::byte{0}, std::byte{0}, std::byte{0},
-                                 std::byte{1}, std::byte{0}};
+  // v2 message frames need type + 4 tag + 8 trace + 8 parent bytes in the
+  // body; a v1-sized header (type + tag only) is a version violation.
+  std::vector<std::byte> wire = {std::byte{5}, std::byte{0}, std::byte{0}, std::byte{0},
+                                 std::byte{1}, std::byte{0}, std::byte{0}, std::byte{0},
+                                 std::byte{0}};
   FrameDecoder dec;
   dec.feed(wire.data(), wire.size());
   EXPECT_THROW((void)dec.next(), ProtocolError);
 }
 
 TEST(Frame, WireLayoutIsLittleEndianStable) {
-  // Pin the v1 wire bytes of a small message so accidental layout changes
-  // are caught: len=6 LE | type=1 | tag=0x0102 LE | payload {0xAB}.
-  const auto wire = bytesOf(makeMessageFrame(0x0102, {std::byte{0xAB}}));
+  // Pin the v2 wire bytes of a small message so accidental layout changes
+  // are caught: len=22 LE | type=1 | tag=0x0102 LE | traceId LE |
+  // parentSpan LE | payload {0xAB}.
+  const auto wire = bytesOf(makeMessageFrame(0x0102, {std::byte{0xAB}},
+                                             /*traceId=*/0x03, /*parentSpan=*/0x04));
   const std::vector<std::byte> expected = {
-      std::byte{6},    std::byte{0}, std::byte{0}, std::byte{0},  // length
-      std::byte{1},                                               // type
+      std::byte{22},   std::byte{0}, std::byte{0}, std::byte{0},     // length
+      std::byte{1},                                                  // type
       std::byte{0x02}, std::byte{0x01}, std::byte{0}, std::byte{0},  // tag LE
+      std::byte{0x03}, std::byte{0}, std::byte{0}, std::byte{0},     // traceId LE
+      std::byte{0},    std::byte{0}, std::byte{0}, std::byte{0},
+      std::byte{0x04}, std::byte{0}, std::byte{0}, std::byte{0},     // parentSpan LE
+      std::byte{0},    std::byte{0}, std::byte{0}, std::byte{0},
       std::byte{0xAB}};
   EXPECT_EQ(wire, expected);
 }

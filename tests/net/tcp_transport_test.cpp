@@ -241,4 +241,93 @@ TEST(TcpTransport, TelemetryCountsTraffic) {
   EXPECT_EQ(reg.counter("net.sends_dropped").value(), 1);
 }
 
+TEST(TcpTransport, ReceiveSideCountersTrackTraffic) {
+  telemetry::NoopSink sink;
+  telemetry::Telemetry spine(sink);
+  TcpCommWorld::Options opts;
+  opts.telemetry = &spine;
+  TcpCommWorld master(0, opts);
+  auto worker = joinWorker(master);
+
+  master.send(0, 1, 1, payload(1));
+  (void)worker->recv(1, 0, 1);
+  worker->send(1, 0, 2, payload(2));
+  (void)master.recv(0, 1, 2);
+
+  // Both ends expose the receive-side ledger directly on the Transport.
+  EXPECT_EQ(master.messagesReceived(), 1u);
+  EXPECT_GT(master.bytesReceived(), 0u);
+  EXPECT_GE(master.framesSent(), 1u);
+  EXPECT_GE(master.framesReceived(), 1u);
+  EXPECT_EQ(master.decodeErrors(), 0u);
+  EXPECT_EQ(worker->messagesReceived(), 1u);
+  EXPECT_GT(worker->bytesReceived(), 0u);
+  EXPECT_GE(worker->framesSent(), 1u);
+  EXPECT_GE(worker->framesReceived(), 1u);
+  EXPECT_EQ(worker->decodeErrors(), 0u);
+
+  // And the master's publish to the metrics registry includes frames.
+  auto& reg = spine.metrics();
+  EXPECT_GE(reg.counter("net.frames_out").value(), 1);
+  EXPECT_GE(reg.counter("net.frames_in").value(), 1);
+  EXPECT_EQ(reg.counter("net.decode_errors").value(), 0);
+}
+
+TEST(TcpTransport, TraceContextRidesTheWireBothWays) {
+  TcpCommWorld master(0);
+  auto worker = joinWorker(master);
+
+  master.send(0, 1, 5, payload(1), /*traceId=*/42, /*parentSpan=*/1000);
+  Message onWorker = worker->recv(1, 0, 5);
+  EXPECT_EQ(onWorker.traceId, 42u);
+  EXPECT_EQ(onWorker.parentSpan, 1000u);
+
+  worker->send(1, 0, 6, payload(2), onWorker.traceId, onWorker.parentSpan);
+  Message onMaster = master.recv(0, 1, 6);
+  EXPECT_EQ(onMaster.traceId, 42u);
+  EXPECT_EQ(onMaster.parentSpan, 1000u);
+}
+
+TEST(TcpTransport, FleetSnapshotsAggregateOnMaster) {
+  telemetry::NoopSink sink;
+  telemetry::Telemetry spine(sink);
+  TcpCommWorld::Options opts;
+  opts.telemetry = &spine;
+  opts.heartbeatIntervalSeconds = 0.05;
+  TcpCommWorld master(0, opts);
+
+  TcpWorkerTransport::Options wopts;
+  wopts.heartbeatIntervalSeconds = 0.05;
+  auto worker = joinWorker(master, wopts);
+  worker->setStatsProvider(
+      [] { return WorkerStats{/*tasksExecuted=*/7, /*tasksFailed=*/1, 0.25}; });
+
+  // Drive both event loops until the snapshot lands: the master's pump
+  // sends heartbeats, the worker's recv path reads them (storing the echo
+  // stamp the beat thread ships back), and the master's pump then folds
+  // the returning snapshot into fleetHealth().
+  bool seen = false;
+  for (int i = 0; i < 100 && !seen; ++i) {
+    (void)worker->recvFor(1, 0.02, 0, 99);
+    (void)master.recvFor(0, 0.03, kAnySource, 99);
+    const auto fleet = master.fleetHealth();
+    seen = !fleet.empty() && fleet[0].seen && fleet[0].rttSeconds >= 0.0;
+  }
+  ASSERT_TRUE(seen);
+  const auto fleet = master.fleetHealth();
+  EXPECT_EQ(fleet[0].tasksExecuted, 7u);
+  EXPECT_EQ(fleet[0].tasksFailed, 1u);
+  EXPECT_DOUBLE_EQ(fleet[0].executeEwmaSeconds, 0.25);
+  EXPECT_GE(fleet[0].rttSeconds, 0.0);
+  EXPECT_LT(fleet[0].rttSeconds, 5.0);
+
+  // The per-rank gauges mirror the snapshot.
+  auto& reg = spine.metrics();
+  EXPECT_EQ(reg.gauge("fleet.r1.tasks_executed").value(), 7.0);
+  EXPECT_EQ(reg.gauge("fleet.r1.tasks_failed").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("fleet.r1.execute_ewma_seconds").value(), 0.25);
+
+  worker->setStatsProvider({});  // barrier before the provider state dies
+}
+
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -140,6 +142,37 @@ TEST(JsonLine, MalformedLinesParseToNullopt) {
   EXPECT_FALSE(parseJsonLine("{\"type\":\"span\",").has_value());
 }
 
+TEST(SpanTracer, TraceIdTagsEmittedSpans) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+
+  const auto id = tracer.begin("shard.lifecycle", 0, /*trace=*/77);
+  tracer.end(id);
+  tracer.emitComplete("shard.folded", 0.0, id, {}, {}, /*trace=*/77);
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].trace, 77u);
+  EXPECT_EQ(sink.events[1].trace, 77u);
+  // Trace ids survive the JSONL round trip.
+  const auto back = parseJsonLine(toJsonLine(sink.events[0]));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace, 77u);
+}
+
+TEST(SpanTracer, SeedIdsRebasesTheCounter) {
+  CaptureSink sink;
+  ManualClock clock;
+  SpanTracer tracer(sink, clock);
+  const std::uint64_t base = (std::uint64_t{3} << 40) + 1;
+  tracer.seedIds(base);
+  const auto id = tracer.begin("worker.execute");
+  EXPECT_EQ(id, base);
+  tracer.end(id);
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].id, base);
+}
+
 TEST(JsonlSink, WritesOneLinePerEvent) {
   std::ostringstream out;
   JsonlSink sink(out);
@@ -159,6 +192,29 @@ TEST(JsonlSink, WritesOneLinePerEvent) {
     ++parsed;
   }
   EXPECT_EQ(parsed, 2);
+}
+
+TEST(JsonlSink, FlushIntervalZeroMakesEventsVisibleImmediately) {
+  const auto path = std::filesystem::temp_directory_path() / "sfopt_flush_test.jsonl";
+  {
+    JsonlSink sink(path);
+    Event e;
+    e.type = "metric";
+    e.name = "engine.iterations";
+
+    // Default: buffered — a single short line stays in the stream buffer.
+    sink.emit(e);
+    EXPECT_EQ(readJsonlEvents(path).size(), 0u);
+    sink.flush();
+    EXPECT_EQ(readJsonlEvents(path).size(), 1u);
+
+    // interval 0 = flush after every emit, while the sink is still open.
+    sink.setFlushIntervalSeconds(0.0);
+    sink.emit(e);
+    sink.emit(e);
+    EXPECT_EQ(readJsonlEvents(path).size(), 3u);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

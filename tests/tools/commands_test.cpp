@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -36,7 +37,8 @@ TEST(Cli, InfoListsEverything) {
   EXPECT_NE(r.out.find("rosenbrock"), std::string::npos);
   EXPECT_NE(r.out.find("water"), std::string::npos);
   EXPECT_NE(r.out.find("transports:"), std::string::npos);
-  EXPECT_NE(r.out.find("protocol v1"), std::string::npos);
+  EXPECT_NE(r.out.find("protocol v2"), std::string::npos);
+  EXPECT_NE(r.out.find("trace"), std::string::npos);
   EXPECT_NE(r.out.find("serve"), std::string::npos);
   EXPECT_NE(r.out.find("worker"), std::string::npos);
 }
@@ -326,6 +328,75 @@ TEST(Cli, TraceFlagWritesCsv) {
   std::getline(in, header);
   EXPECT_NE(header.find("best_estimate"), std::string::npos);
   fs::remove(csv);
+}
+
+namespace trace_fixture {
+
+sfopt::telemetry::Event span(std::string name, std::uint64_t id, std::uint64_t parent,
+                             std::uint64_t trace, double start, double duration,
+                             std::string outcome = {}) {
+  sfopt::telemetry::Event e;
+  e.type = "span";
+  e.name = std::move(name);
+  e.id = id;
+  e.parent = parent;
+  e.trace = trace;
+  e.time = start;
+  e.duration = duration;
+  if (!outcome.empty()) e.strFields = {{"outcome", std::move(outcome)}};
+  return e;
+}
+
+/// Writes one complete shard span tree (lifecycle + queue + remote +
+/// folded terminal) to `path`.
+void writeCompleteTrace(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  out << toJsonLine(span("shard.lifecycle", 10, 0, 1, 1.0, 2.0, "ok")) << "\n";
+  out << toJsonLine(span("shard.queue", 11, 10, 1, 1.0, 0.1)) << "\n";
+  auto remote = span("shard.remote", 12, 10, 1, 1.1, 1.5, "ok");
+  remote.numFields = {{"rank", 1.0}};
+  out << toJsonLine(remote) << "\n";
+  out << toJsonLine(span("shard.folded", 13, 10, 1, 2.7, 0.0)) << "\n";
+}
+
+}  // namespace trace_fixture
+
+TEST(Cli, TraceVerifiesCompleteSpanTrees) {
+  namespace fs = std::filesystem;
+  const fs::path file = fs::temp_directory_path() / "sfopt_cli_trace_ok.jsonl";
+  trace_fixture::writeCompleteTrace(file);
+
+  const auto r = cli({"trace", file.string(), "--verify"});
+  EXPECT_EQ(r.code, 0) << r.err << r.out;
+  EXPECT_NE(r.out.find("complete span tree"), std::string::npos);
+
+  const auto report = cli({"trace", file.string()});
+  EXPECT_EQ(report.code, 0) << report.err;
+  EXPECT_NE(report.out.find("shards:"), std::string::npos);
+  EXPECT_NE(report.out.find("critical path"), std::string::npos);
+  EXPECT_NE(report.out.find("queue"), std::string::npos);
+  fs::remove(file);
+}
+
+TEST(Cli, TraceVerifyFailsOnIncompleteSpanTree) {
+  namespace fs = std::filesystem;
+  const fs::path file = fs::temp_directory_path() / "sfopt_cli_trace_bad.jsonl";
+  {
+    // A lifecycle root that claims success but never folded and was never
+    // dispatched: two integrity problems.
+    std::ofstream out(file);
+    out << toJsonLine(trace_fixture::span("shard.lifecycle", 10, 0, 1, 1.0, 2.0, "ok"))
+        << "\n";
+  }
+  const auto r = cli({"trace", file.string(), "--verify"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("problem:"), std::string::npos);
+  fs::remove(file);
+}
+
+TEST(Cli, TraceRejectsMissingInput) {
+  EXPECT_EQ(cli({"trace"}).code, 2);
+  EXPECT_EQ(cli({"trace", "/no/such/file.jsonl"}).code, 2);
 }
 
 TEST(Cli, InfoReportsSimdIsaSituation) {

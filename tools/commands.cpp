@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -27,6 +28,7 @@
 #include "telemetry/sink.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_analysis.hpp"
 #include "testfunctions/functions.hpp"
 #include "water/cost.hpp"
 #include "water/experimental.hpp"
@@ -164,6 +166,9 @@ void printResult(std::ostream& out, const core::OptimizationResult& res) {
 /// hosts the Telemetry spine the command threads through its layers, and
 /// opens a `cli.<command>` root span.  finish() dumps every registered
 /// metric as a structured event, closes the span, and reports the file.
+/// `--telemetry-flush S` flushes the sink at least every S seconds (0 =
+/// every event) so a crashed or killed process still leaves a usable
+/// trace file behind.
 struct CliTelemetry {
   std::unique_ptr<telemetry::JsonlSink> jsonl;
   std::unique_ptr<telemetry::Telemetry> spine;
@@ -176,6 +181,11 @@ struct CliTelemetry {
     t.path = args.requireString("telemetry-out");
     t.jsonl = std::make_unique<telemetry::JsonlSink>(t.path,
                                                      args.getBool("telemetry-append", false));
+    if (args.has("telemetry-flush")) {
+      const double interval = args.getDouble("telemetry-flush", 0.0);
+      if (interval < 0.0) throw ArgError("--telemetry-flush must be >= 0 seconds");
+      t.jsonl->setFlushIntervalSeconds(interval);
+    }
     t.spine = std::make_unique<telemetry::Telemetry>(*t.jsonl);
     t.rootSpan = t.spine->tracer().begin("cli." + command);
     return t;
@@ -192,6 +202,42 @@ struct CliTelemetry {
     out << "telemetry: " << jsonl->eventsWritten() << " events -> " << path << "\n";
   }
 };
+
+/// End-of-run fleet-health table for `sfopt serve`, built from the
+/// telemetry snapshots workers piggyback on their heartbeat cadence.
+/// Silent when no worker ever shipped one (workers only send snapshots
+/// once their CLI installs a stats provider).
+void printFleetTable(std::ostream& out, const std::vector<net::FleetHealth>& fleet) {
+  if (std::none_of(fleet.begin(), fleet.end(),
+                   [](const net::FleetHealth& h) { return h.seen; })) {
+    return;
+  }
+  out << "fleet:    rank    tasks   fail  exec-ewma        rtt  clock-off  queue\n";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const net::FleetHealth& h = fleet[i];
+    if (!h.seen) continue;
+    out << "          r" << (i + 1);
+    out.width(9 - std::to_string(i + 1).size());
+    out << "" << std::right;
+    out.width(8);
+    out << h.tasksExecuted;
+    out.width(7);
+    out << h.tasksFailed << "  ";
+    out.width(9);
+    out << h.executeEwmaSeconds << "  ";
+    out.width(9);
+    if (h.rttSeconds >= 0.0) {
+      out << h.rttSeconds;
+    } else {
+      out << "-";
+    }
+    out << "  ";
+    out.width(9);
+    out << h.clockOffsetSeconds;
+    out.width(7);
+    out << h.queueDepth << "\n";
+  }
+}
 
 }  // namespace
 
@@ -450,6 +496,7 @@ int runServeCommand(const Args& args, std::ostream& out) {
 
   net::TcpCommWorld::Options netOpts;
   netOpts.telemetry = tel;
+  netOpts.heartbeatIntervalSeconds = args.getDouble("heartbeat-interval", 2.0);
   netOpts.heartbeatTimeoutSeconds = args.getDouble("heartbeat-timeout", 10.0);
   net::TcpCommWorld comm(static_cast<std::uint16_t>(port), netOpts);
 
@@ -478,6 +525,7 @@ int runServeCommand(const Args& args, std::ostream& out) {
   const auto run = mw::runSimplexOverTransport(objective, start, options, comm, runCfg);
   out << "distributed deployment: " << comm.size() - 1 << " worker rank(s), "
       << run.messagesSent << " messages, " << run.tasksRequeued << " requeued\n";
+  printFleetTable(out, comm.fleetHealth());
   printResult(out, run.optimization);
   telemetrySession.finish(out);
   return 0;
@@ -496,11 +544,20 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
   CliTelemetry telemetrySession = CliTelemetry::open(args, "worker");
   net::TcpWorkerTransport::Options netOpts;
   netOpts.telemetry = telemetrySession.get();
+  netOpts.heartbeatIntervalSeconds = args.getDouble("heartbeat-interval", 2.0);
 
   for (;;) {
     const auto transport =
         net::connectWithBackoff(host, static_cast<std::uint16_t>(port), attempts, 0.2, netOpts);
     const mw::Rank rank = transport->rank();
+    if (telemetrySession.get() != nullptr) {
+      // Partition the span-id space by rank so this worker's ids never
+      // collide with the master's (or another worker's) when `sfopt trace`
+      // merges the JSONL files.  2^40 spans of headroom per rank keeps ids
+      // below 2^53, the JSON double-precision ceiling.
+      telemetrySession.get()->tracer().seedIds(
+          (static_cast<std::uint64_t>(rank) << 40) + 1);
+    }
     out << "connected to " << host << ":" << port << " as rank " << rank << "\n" << std::flush;
     try {
       // The master's greeting tells this worker what to compute; a worker
@@ -524,7 +581,21 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
           << std::flush;
 
       mw::SamplingWorker worker(*transport, rank, objective, clients);
-      worker.run();
+      worker.setTelemetry(telemetrySession.get());
+      // Expose the worker's task counters to the heartbeat thread so every
+      // beat ships a fleet snapshot; detach before `worker` dies (the clear
+      // is a barrier against an in-flight heartbeat poll).
+      transport->setStatsProvider([&worker] {
+        return net::WorkerStats{worker.tasksExecuted(), worker.tasksFailed(),
+                                worker.executeEwmaSeconds()};
+      });
+      try {
+        worker.run();
+      } catch (...) {
+        transport->setStatsProvider({});
+        throw;
+      }
+      transport->setStatsProvider({});
       out << "shutdown: " << worker.tasksExecuted() << " task(s) executed, "
           << worker.tasksFailed() << " failed\n";
       telemetrySession.finish(out);
@@ -592,12 +663,13 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
     }
   }
 
+  // The file may hold several exports (--telemetry-append); keep the
+  // final value per name, which is the cumulative registry state.
+  std::map<std::string, const telemetry::Event*> last;
+  for (const telemetry::Event* e : metricEvents) last[e->name] = e;
+
   if (!metricEvents.empty()) {
     out << "\nmetrics (last export wins):\n";
-    // The file may hold several exports (--telemetry-append); keep the
-    // final value per name, which is the cumulative registry state.
-    std::map<std::string, const telemetry::Event*> last;
-    for (const telemetry::Event* e : metricEvents) last[e->name] = e;
     for (const auto& [name, e] : last) {
       out << "  ";
       out.width(34);
@@ -614,8 +686,50 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
     }
   }
 
+  // Fleet table: the per-rank `fleet.r<N>.<field>` gauges the master
+  // publishes from the telemetry snapshots workers ship on heartbeats.
+  std::map<int, std::map<std::string, double>> fleet;
+  for (const auto& [name, e] : last) {
+    if (name.rfind("fleet.r", 0) != 0) continue;
+    const auto dot = name.find('.', 7);
+    if (dot == std::string::npos) continue;
+    int rank = 0;
+    try {
+      rank = std::stoi(name.substr(7, dot - 7));
+    } catch (const std::exception&) {
+      continue;
+    }
+    fleet[rank][name.substr(dot + 1)] = e->num("value").value_or(0.0);
+  }
+  if (!fleet.empty()) {
+    out << "\nfleet (final snapshot per rank):\n";
+    out << "  rank    tasks   fail  exec-ewma        rtt  clock-off  queue\n";
+    for (const auto& [rank, fields] : fleet) {
+      const auto field = [&](const char* key, double fallback = 0.0) {
+        const auto it = fields.find(key);
+        return it != fields.end() ? it->second : fallback;
+      };
+      out << "  r" << rank;
+      out.width(11 - std::to_string(rank).size());
+      out << "" << std::right;
+      out.width(5);
+      out << static_cast<std::int64_t>(field("tasks_executed"));
+      out.width(7);
+      out << static_cast<std::int64_t>(field("tasks_failed")) << "  ";
+      out.width(9);
+      out << field("execute_ewma_seconds") << "  ";
+      out.width(9);
+      out << field("rtt_seconds", -1.0) << "  ";
+      out.width(9);
+      out << field("clock_offset_seconds");
+      out.width(7);
+      out << static_cast<std::int64_t>(field("queue_depth")) << "\n";
+    }
+  }
+
   // Layer coverage: which instrumented layers contributed events.
-  const char* const layers[] = {"engine.", "mw.", "net.", "md.", "cli.", "eval.", "simd."};
+  const char* const layers[] = {"engine.", "mw.",    "net.",   "md.",    "cli.",
+                                "eval.",   "simd.",  "fleet.", "shard.", "worker."};
   out << "\nlayers:";
   for (const char* prefix : layers) {
     const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
@@ -625,6 +739,91 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
         << (covered ? "[x]" : "[ ]");
   }
   out << "\n";
+  return 0;
+}
+
+int runTraceCommand(const Args& args, std::ostream& out) {
+  if (args.positional().empty()) {
+    throw ArgError(
+        "trace needs the run's JSONL captures: sfopt trace <master.jsonl> "
+        "[worker.jsonl ...] [--verify] [--top N]");
+  }
+  std::vector<telemetry::Event> events;
+  for (const std::string& path : args.positional()) {
+    try {
+      auto more = telemetry::readJsonlEvents(path);
+      events.insert(events.end(), std::make_move_iterator(more.begin()),
+                    std::make_move_iterator(more.end()));
+    } catch (const std::exception& e) {
+      throw ArgError(e.what());
+    }
+  }
+  const int top = static_cast<int>(args.getInt("top", 5));
+  if (top < 0) throw ArgError("--top must be >= 0");
+  const telemetry::TraceReport report = telemetry::analyzeTraceEvents(events, top);
+
+  out << events.size() << " events from " << args.positional().size() << " file(s)\n";
+  out << "shards:   " << report.traces << " traced, " << report.dispatched
+      << " dispatch(es), " << report.requeues << " requeued, " << report.folded
+      << " folded, " << report.discarded << " discarded, " << report.failed
+      << " failed, " << report.abandoned << " abandoned\n";
+  if (!report.workerSpansSeen) {
+    out << "note:     no worker.execute spans in the input - pass each worker's\n"
+        << "          --telemetry-out file too for wire/execute breakdowns\n";
+  }
+
+  const double accounted = report.queueSeconds + report.wireSeconds +
+                           report.executeSeconds + report.foldSeconds;
+  if (accounted > 0.0) {
+    const auto pct = [&](double x) { return 100.0 * x / accounted; };
+    out << "critical path (summed over shards):\n";
+    out << "  queue    " << report.queueSeconds << " s  (" << pct(report.queueSeconds)
+        << "%)\n";
+    out << "  wire     " << report.wireSeconds << " s  (" << pct(report.wireSeconds)
+        << "%)\n";
+    out << "  execute  " << report.executeSeconds << " s  ("
+        << pct(report.executeSeconds) << "%)\n";
+    out << "  fold     " << report.foldSeconds << " s  (" << pct(report.foldSeconds)
+        << "%)\n";
+  }
+
+  if (!report.workers.empty()) {
+    out << "workers (wall span " << report.wallSeconds << " s):\n";
+    for (const telemetry::WorkerReport& w : report.workers) {
+      out << "  r" << w.rank << "  " << w.tasks << " task(s), busy " << w.busySeconds
+          << " s (" << 100.0 * w.utilization << "% utilized)";
+      if (w.offsetKnown) out << ", clock offset " << w.clockOffsetSeconds << " s";
+      out << "\n";
+    }
+  }
+
+  if (!report.stragglers.empty()) {
+    out << "stragglers (slowest shard lifecycles):\n";
+    for (const telemetry::ShardTrace& t : report.stragglers) {
+      out << "  trace " << t.traceId << "  " << t.totalSeconds << " s, " << t.dispatches
+          << " dispatch(es)";
+      if (t.requeues > 0) out << ", " << t.requeues << " requeue(s)";
+      out << (t.folded     ? ", folded"
+              : t.discarded ? ", discarded"
+              : t.failed    ? ", failed"
+              : t.abandoned ? ", abandoned"
+                            : "")
+          << "\n";
+    }
+  }
+
+  for (const std::string& p : report.problems) out << "problem:  " << p << "\n";
+  if (args.getBool("verify", false)) {
+    if (!report.ok()) {
+      out << "verify:   FAILED (" << report.problems.size() << " problem(s))\n";
+      return 1;
+    }
+    if (report.traces == 0) {
+      out << "verify:   FAILED (no traced shards in input)\n";
+      return 1;
+    }
+    out << "verify:   ok (" << report.traces << " complete span tree(s))\n";
+  }
   return 0;
 }
 
@@ -646,9 +845,14 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  md       --molecules N --force-threads T --equilibration E --production P "
          "[--json]\n";
   out << "  metrics  <file.jsonl>  (summarize a --telemetry-out capture)\n";
+  out << "  trace    <master.jsonl> [worker.jsonl ...] [--verify] [--top N]\n";
   out << "  info\n";
   out << "telemetry:  add --telemetry-out run.jsonl [--telemetry-append] to optimize,\n";
-  out << "            serve, worker, water, or md to capture spans and metrics\n";
+  out << "            serve, worker, water, or md to capture spans and metrics;\n";
+  out << "            --telemetry-flush S makes traces survive a killed process\n";
+  out << "tracing:    serve and worker stamp every task with a distributed trace\n";
+  out << "            id; `sfopt trace` merges their captures into per-shard span\n";
+  out << "            trees with queue/wire/execute breakdowns\n";
   out << "pipeline:   --shard-min-samples N splits big sampling batches across\n";
   out << "            workers; --speculate prefetches the next round (optimize\n";
   out << "            --mw, water, serve; results stay bitwise identical)\n";
@@ -669,6 +873,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     if (cmd == "probe") return runProbeCommand(args, out);
     if (cmd == "md") return runMdCommand(args, out);
     if (cmd == "metrics") return runMetricsCommand(args, out);
+    if (cmd == "trace") return runTraceCommand(args, out);
     if (cmd == "info" || cmd.empty()) return runInfoCommand(args, out);
     err << "unknown command '" << cmd << "'\n";
     (void)runInfoCommand(args, err);

@@ -39,9 +39,16 @@ int runProbeCommand(const Args& args, std::ostream& out);
 int runMdCommand(const Args& args, std::ostream& out);
 
 /// `sfopt metrics` — summarize a `--telemetry-out` JSONL capture: span
-/// roll-ups (count/total/mean/max), final metric values, and which of the
-/// five instrumented layers (engine, mw, net, md, cli) the file covers.
+/// roll-ups (count/total/mean/max), final metric values, a per-rank fleet
+/// table, and which instrumented layers the file covers.
 int runMetricsCommand(const Args& args, std::ostream& out);
+
+/// `sfopt trace` — merge the master's and workers' `--telemetry-out`
+/// captures of one distributed run, align worker clocks via the heartbeat
+/// offset estimates, reassemble each shard's cross-process span tree, and
+/// report critical-path / utilization / straggler breakdowns.  With
+/// `--verify`, exits nonzero when any span tree is incomplete.
+int runTraceCommand(const Args& args, std::ostream& out);
 
 /// `sfopt info` — list algorithms, functions and build configuration.
 int runInfoCommand(const Args& args, std::ostream& out);
