@@ -335,10 +335,10 @@ void MWDriver::asyncDispatch() {
       telTasksDispatched_->add(1);
       auto& tracer = telemetry_->tracer();
       tracer.emitComplete("shard.queue", st.enqueuedAt, st.rootSpan, {},
-                          {{"attempt", static_cast<double>(st.retries)}}, id);
-      st.remoteSpan = tracer.begin("shard.remote", st.rootSpan, id);
+                          {{"attempt", static_cast<double>(st.retries)}}, st.trace);
+      st.remoteSpan = tracer.begin("shard.remote", st.rootSpan, st.trace);
     }
-    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), id,
+    comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), st.trace,
                st.remoteSpan);
     asyncBusy_[static_cast<std::size_t>(worker)] = true;
     asyncInFlightId_[static_cast<std::size_t>(worker)] = id;
@@ -482,7 +482,7 @@ void MWDriver::handleAsyncMessage(Message msg) {
   // Stray tags are ignored.
 }
 
-std::uint64_t MWDriver::submit(MessageBuffer input) {
+std::uint64_t MWDriver::submit(MessageBuffer input, std::uint64_t trace) {
   if (shutDown_) throw std::logic_error("MWDriver: already shut down");
   const std::uint64_t id = nextTaskId_++;
   MessageBuffer framed;
@@ -491,9 +491,9 @@ std::uint64_t MWDriver::submit(MessageBuffer input) {
   const auto& tail = input.wire();
   wire.insert(wire.end(), tail.begin(), tail.end());
   const double now = telNow();
-  AsyncTask st{std::move(wire), 0, -1, now, now, 0, 0};
+  AsyncTask st{std::move(wire), 0, -1, now, now, 0, 0, trace != 0 ? trace : id};
   if (telemetry_ != nullptr) {
-    st.rootSpan = telemetry_->tracer().begin("shard.lifecycle", 0, id);
+    st.rootSpan = telemetry_->tracer().begin("shard.lifecycle", 0, st.trace);
   }
   asyncTasks_.emplace(id, std::move(st));
   asyncPending_.push_back(id);

@@ -64,7 +64,16 @@ class MWDriver {
   /// worker dies is re-dispatched transparently.  Do not interleave
   /// executeBuffers with async tasks outstanding — both read the same
   /// mailbox and would steal each other's messages.
-  [[nodiscard]] std::uint64_t submit(MessageBuffer input);
+  ///
+  /// `trace`, when nonzero, is used verbatim as the distributed trace id
+  /// stamped on the task's spans and wire messages (0 keeps the legacy
+  /// trace = task id).  The multi-tenant service passes its own ticket ids
+  /// of the form (jobId << kTraceNamespaceShift) | sequence, so a capture
+  /// holding many interleaved jobs still groups one span tree per shard
+  /// and one namespace per job; requeues reuse the stored trace, so a
+  /// ticket's whole retry history stays in its job's namespace.  Callers
+  /// supplying traces are responsible for their uniqueness.
+  [[nodiscard]] std::uint64_t submit(MessageBuffer input, std::uint64_t trace = 0);
   [[nodiscard]] std::vector<AsyncCompletion> poll(double timeoutSeconds);
   [[nodiscard]] std::vector<AsyncCompletion> drain();
 
@@ -125,8 +134,9 @@ class MWDriver {
     Rank lastFailedOn = -1;
     double enqueuedAt = 0.0;
     double dispatchedAt = 0.0;
-    std::uint64_t rootSpan = 0;    ///< shard.lifecycle span (trace = task id)
+    std::uint64_t rootSpan = 0;    ///< shard.lifecycle span (trace = `trace`)
     std::uint64_t remoteSpan = 0;  ///< open shard.remote span while dispatched
+    std::uint64_t trace = 0;       ///< trace id: caller-supplied, or task id
   };
   void asyncGrowTo(int worldSize);
   void asyncDispatch();

@@ -77,11 +77,14 @@ Frame makeHeartbeatFrame(double senderTime) {
   return f;
 }
 
-Frame makeHelloFrame() {
+Frame makeHelloFrame(std::uint8_t peerKind) {
   Frame f;
   f.type = FrameType::Hello;
   putU32(f.payload, kProtocolMagic);
   putU16(f.payload, kProtocolVersion);
+  // Workers keep the original 6-byte body so old masters still accept
+  // them; only non-default kinds need the trailing byte.
+  if (peerKind != kPeerWorker) f.payload.push_back(static_cast<std::byte>(peerKind));
   return f;
 }
 
@@ -92,6 +95,13 @@ Frame makeWelcomeFrame(int rank, int worldSize) {
   putU16(f.payload, kProtocolVersion);
   putU32(f.payload, static_cast<std::uint32_t>(rank));
   putU32(f.payload, static_cast<std::uint32_t>(worldSize));
+  return f;
+}
+
+Frame makeJobFrame(FrameType type, std::vector<std::byte> payload) {
+  Frame f;
+  f.type = type;
+  f.payload = std::move(payload);
   return f;
 }
 
@@ -132,12 +142,20 @@ void appendFrame(std::vector<std::byte>& out, const Frame& frame) {
 }
 
 Hello parseHello(const Frame& frame) {
-  if (frame.type != FrameType::Hello || frame.payload.size() != 6) {
+  // 6 bytes = pre-service worker hello; 7 adds the peer-kind byte.
+  if (frame.type != FrameType::Hello ||
+      (frame.payload.size() != 6 && frame.payload.size() != 7)) {
     throw ProtocolError("handshake: malformed hello frame");
   }
   Hello h;
   h.magic = getU32(frame.payload.data());
   h.version = getU16(frame.payload.data() + 4);
+  if (frame.payload.size() == 7) {
+    h.peerKind = static_cast<std::uint8_t>(frame.payload[6]);
+    if (h.peerKind != kPeerWorker && h.peerKind != kPeerClient) {
+      throw ProtocolError("handshake: unknown peer kind " + std::to_string(h.peerKind));
+    }
+  }
   if (h.magic != kProtocolMagic) {
     throw ProtocolError("handshake: bad protocol magic (not an sfopt peer)");
   }
@@ -202,14 +220,19 @@ void FrameDecoder::feed(const std::byte* data, std::size_t n) {
   buf_.insert(buf_.end(), data, data + n);
 }
 
+void FrameDecoder::fail(std::string message) {
+  ++decodeErrors_;
+  throw ProtocolError(std::move(message));
+}
+
 std::optional<Frame> FrameDecoder::next() {
   const std::size_t avail = buf_.size() - pos_;
   if (avail < 4) return std::nullopt;
   const std::uint32_t body = getU32(buf_.data() + pos_);
-  if (body < 1) throw ProtocolError("frame: empty body");
+  if (body < 1) fail("frame: empty body");
   if (body > maxFrameBytes_) {
-    throw ProtocolError("frame: length prefix " + std::to_string(body) +
-                        " exceeds the " + std::to_string(maxFrameBytes_) + "-byte limit");
+    fail("frame: length prefix " + std::to_string(body) +
+         " exceeds the " + std::to_string(maxFrameBytes_) + "-byte limit");
   }
   if (avail < 4 + static_cast<std::size_t>(body)) return std::nullopt;
 
@@ -219,7 +242,7 @@ std::optional<Frame> FrameDecoder::next() {
   std::size_t consumed = 1;
   switch (type) {
     case static_cast<std::uint8_t>(FrameType::Message): {
-      if (body < kMessageHeaderBytes) throw ProtocolError("frame: truncated message header");
+      if (body < kMessageHeaderBytes) fail("frame: truncated message header");
       f.type = FrameType::Message;
       f.tag = static_cast<std::int32_t>(getU32(p + 1));
       f.traceId = getU64(p + 5);
@@ -244,8 +267,14 @@ std::optional<Frame> FrameDecoder::next() {
     case static_cast<std::uint8_t>(FrameType::Telemetry):
       f.type = FrameType::Telemetry;
       break;
+    case static_cast<std::uint8_t>(FrameType::JobSubmit):
+    case static_cast<std::uint8_t>(FrameType::JobStatus):
+    case static_cast<std::uint8_t>(FrameType::JobCancel):
+    case static_cast<std::uint8_t>(FrameType::JobResult):
+      f.type = static_cast<FrameType>(type);
+      break;
     default:
-      throw ProtocolError("frame: unknown frame type " + std::to_string(type));
+      fail("frame: unknown frame type " + std::to_string(type));
   }
   f.payload.assign(p + consumed, p + body);
   pos_ += 4 + static_cast<std::size_t>(body);

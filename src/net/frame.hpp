@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace sfopt::net {
@@ -24,8 +25,10 @@ namespace sfopt::net {
 ///              sender has no clock).  The v1 empty body is still accepted
 ///              and decodes as senderTime 0.
 ///   Telemetry: compact worker health snapshot (see TelemetrySnapshot)
-///   Hello:     u32 magic, u16 version          (worker -> master, once)
+///   Hello:     u32 magic, u16 version [, u8 peer kind]  (peer -> master, once)
 ///   Welcome:   u32 magic, u16 version, i32 assigned rank, i32 world size
+///   Job*:      opaque MessageBuffer wire bytes (client <-> daemon job
+///              control plane; semantics live in src/service)
 ///
 /// v2 widened the Message header with trace context (trace id + parent
 /// span id) so a shard ticket's span tree can continue across the
@@ -34,6 +37,15 @@ namespace sfopt::net {
 /// v1 peers are rejected at the Hello/Welcome handshake with an explicit
 /// version-mismatch error; nothing after the handshake needs to sniff
 /// versions.
+///
+/// The multi-tenant service extended v2 compatibly (still version 2):
+/// Hello grew an optional trailing peer-kind byte (absent = worker, the
+/// original 6-byte body every pre-service worker still sends), and four
+/// client-facing frame types — JobSubmit/JobStatus/JobCancel/JobResult —
+/// carry the job control plane between a ServiceClient and the daemon.
+/// Masters that predate the service reject both (unknown frame type /
+/// malformed hello), which is the correct failure for a client dialing an
+/// old master.
 ///
 /// The handshake is Hello/Welcome: a connecting worker announces the
 /// protocol magic and version, the master validates both, assigns the next
@@ -58,7 +70,25 @@ enum class FrameType : std::uint8_t {
   Hello = 3,
   Welcome = 4,
   Telemetry = 5,
+  JobSubmit = 6,
+  JobStatus = 7,
+  JobCancel = 8,
+  JobResult = 9,
 };
+
+/// Client-facing job control frames (body = type byte + opaque
+/// MessageBuffer wire).  The transport routes them by kind; the payload
+/// schema belongs to src/service.
+[[nodiscard]] constexpr bool isJobFrame(FrameType t) noexcept {
+  return t == FrameType::JobSubmit || t == FrameType::JobStatus ||
+         t == FrameType::JobCancel || t == FrameType::JobResult;
+}
+
+/// Peer kinds announced in the Hello trailing byte.  A 6-byte Hello
+/// (no kind byte) is a worker — the wire form every pre-service build
+/// emits, kept valid so old workers join new masters unchanged.
+inline constexpr std::uint8_t kPeerWorker = 0;
+inline constexpr std::uint8_t kPeerClient = 1;
 
 struct Frame {
   FrameType type = FrameType::Heartbeat;
@@ -72,6 +102,7 @@ struct Frame {
 struct Hello {
   std::uint32_t magic = kProtocolMagic;
   std::uint16_t version = kProtocolVersion;
+  std::uint8_t peerKind = kPeerWorker;
 };
 
 struct Welcome {
@@ -105,9 +136,10 @@ struct TelemetrySnapshot {
                                      std::uint64_t traceId = 0,
                                      std::uint64_t parentSpan = 0);
 [[nodiscard]] Frame makeHeartbeatFrame(double senderTime = 0.0);
-[[nodiscard]] Frame makeHelloFrame();
+[[nodiscard]] Frame makeHelloFrame(std::uint8_t peerKind = kPeerWorker);
 [[nodiscard]] Frame makeWelcomeFrame(int rank, int worldSize);
 [[nodiscard]] Frame makeTelemetryFrame(const TelemetrySnapshot& snap);
+[[nodiscard]] Frame makeJobFrame(FrameType type, std::vector<std::byte> payload);
 
 /// Serialize `frame` (length prefix included) onto `out`.
 void appendFrame(std::vector<std::byte>& out, const Frame& frame);
@@ -135,10 +167,20 @@ class FrameDecoder {
 
   [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
 
+  /// Malformed frames this decoder has rejected (every ProtocolError
+  /// thrown from next() increments it once).  The stream is unframeable
+  /// after a throw — callers drop the connection — so the counter is a
+  /// per-connection violation tally, mirrored up into the transports'
+  /// aggregate decodeErrors().
+  [[nodiscard]] std::uint64_t decodeErrors() const noexcept { return decodeErrors_; }
+
  private:
+  [[noreturn]] void fail(std::string message);
+
   std::vector<std::byte> buf_;
   std::size_t pos_ = 0;  ///< consumed prefix of buf_, compacted lazily
   std::size_t maxFrameBytes_;
+  std::uint64_t decodeErrors_ = 0;
 };
 
 }  // namespace sfopt::net

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -242,8 +243,12 @@ void TcpCommWorld::servicePending(std::size_t index) {
   }
   try {
     if (auto frame = p.decoder.next()) {
-      (void)parseHello(*frame);  // throws on bad magic/version
-      promotePending(index);
+      const Hello hello = parseHello(*frame);  // throws on bad magic/version
+      if (hello.peerKind == kPeerClient) {
+        promoteClient(index);
+      } else {
+        promotePending(index);
+      }
       return;
     }
   } catch (const ProtocolError&) {
@@ -256,6 +261,140 @@ void TcpCommWorld::servicePending(std::size_t index) {
   // Closed before completing the handshake: just drop it.
   if (closed) pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
 }
+
+void TcpCommWorld::promoteClient(std::size_t index) {
+  auto client = std::make_unique<ClientPeer>();
+  client->sock = std::move(pending_[index].sock);
+  client->decoder = std::move(pending_[index].decoder);
+  client->alive = true;
+  clients_.push_back(std::move(client));
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  const int id = static_cast<int>(clients_.size());
+  NetTelemetry::add(tel_.connects);
+  // The Welcome's rank field carries the client id; worldSize is the
+  // worker world as the client would see it (floored at 2 so the
+  // handshake validation on the other end holds before workers join).
+  ClientPeer& c = *clients_[static_cast<std::size_t>(id) - 1];
+  const std::size_t before = c.sendBuf.size();
+  appendFrame(c.sendBuf, makeWelcomeFrame(id, std::max(size(), 2)));
+  ++framesSent_;
+  NetTelemetry::add(tel_.framesOut);
+  NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(c.sendBuf.size() - before));
+  flushClient(id);
+}
+
+void TcpCommWorld::dropClient(int client) {
+  ClientPeer& c = *clients_[static_cast<std::size_t>(client) - 1];
+  if (!c.alive) return;
+  c.alive = false;
+  c.sock.close();
+  c.sendBuf.clear();
+  c.sendPos = 0;
+  NetTelemetry::add(tel_.disconnects);
+}
+
+void TcpCommWorld::flushClient(int client) {
+  ClientPeer& c = *clients_[static_cast<std::size_t>(client) - 1];
+  while (c.alive && c.sendPos < c.sendBuf.size()) {
+    const ssize_t n = ::send(c.sock.fd(), c.sendBuf.data() + c.sendPos,
+                             c.sendBuf.size() - c.sendPos, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.sendPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    dropClient(client);
+    return;
+  }
+  if (c.sendPos == c.sendBuf.size()) {
+    c.sendBuf.clear();
+    c.sendPos = 0;
+  }
+}
+
+void TcpCommWorld::serviceClient(int client) {
+  ClientPeer& c = *clients_[static_cast<std::size_t>(client) - 1];
+  std::byte chunk[kReadChunk];
+  bool closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(c.sock.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      c.decoder.feed(chunk, static_cast<std::size_t>(n));
+      NetTelemetry::add(tel_.bytesIn, n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Drain buffered frames below before retiring the id: a cancel or
+    // final status request often rides the connection's last segments.
+    closed = true;
+    break;
+  }
+  try {
+    while (auto frame = c.decoder.next()) {
+      ++framesReceived_;
+      NetTelemetry::add(tel_.framesIn);
+      if (isJobFrame(frame->type)) {
+        ClientRequest req;
+        req.client = client;
+        req.type = frame->type;
+        req.payload = mw::MessageBuffer(std::move(frame->payload));
+        ++messagesReceived_;
+        bytesReceived_ += req.payload.sizeBytes();
+        clientInbox_.push_back(std::move(req));
+        NetTelemetry::add(tel_.messagesIn);
+        continue;
+      }
+      if (frame->type == FrameType::Heartbeat) continue;
+      throw ProtocolError("client sent a non-job frame after registration");
+    }
+    if (closed) dropClient(client);
+  } catch (const ProtocolError&) {
+    ++decodeErrors_;
+    NetTelemetry::add(tel_.decodeErrors);
+    dropClient(client);
+  }
+}
+
+std::vector<TcpCommWorld::ClientRequest> TcpCommWorld::takeClientRequests() {
+  std::vector<ClientRequest> out;
+  out.reserve(clientInbox_.size());
+  while (!clientInbox_.empty()) {
+    out.push_back(std::move(clientInbox_.front()));
+    clientInbox_.pop_front();
+  }
+  return out;
+}
+
+void TcpCommWorld::sendToClient(int client, FrameType type, mw::MessageBuffer payload) {
+  if (client < 1 || client > static_cast<int>(clients_.size())) {
+    throw std::out_of_range("TcpCommWorld::sendToClient: unknown client id");
+  }
+  ClientPeer& c = *clients_[static_cast<std::size_t>(client) - 1];
+  if (!c.alive) {
+    NetTelemetry::add(tel_.sendsDropped);
+    return;
+  }
+  const std::size_t before = c.sendBuf.size();
+  appendFrame(c.sendBuf, makeJobFrame(type, payload.releaseWire()));
+  ++messagesSent_;
+  ++framesSent_;
+  bytesSent_ += c.sendBuf.size() - before;
+  NetTelemetry::add(tel_.messagesOut);
+  NetTelemetry::add(tel_.framesOut);
+  NetTelemetry::add(tel_.bytesOut, static_cast<std::int64_t>(c.sendBuf.size() - before));
+  flushClient(client);
+}
+
+int TcpCommWorld::connectedClients() const noexcept {
+  int n = 0;
+  for (const auto& c : clients_) n += c->alive ? 1 : 0;
+  return n;
+}
+
+void TcpCommWorld::pump(double timeoutSeconds) { pollOnce(timeoutSeconds); }
 
 void TcpCommWorld::servicePeer(Rank rank) {
   Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
@@ -375,6 +514,15 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
     fds.push_back({p.sock.fd(), events, 0});
     liveRanks.push_back(static_cast<Rank>(i + 1));
   }
+  std::vector<int> liveClients;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const ClientPeer& c = *clients_[i];
+    if (!c.alive) continue;
+    short events = POLLIN;
+    if (c.sendPos < c.sendBuf.size()) events |= POLLOUT;
+    fds.push_back({c.sock.fd(), events, 0});
+    liveClients.push_back(static_cast<int>(i + 1));
+  }
 
   const int ready =
       ::poll(fds.data(), fds.size(), toPollMillis(std::min(timeoutSeconds, kPollSliceSeconds)));
@@ -393,6 +541,15 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
       if (re & (POLLIN | POLLERR | POLLHUP)) servicePeer(rank);
       if ((re & POLLOUT) && peers_[static_cast<std::size_t>(rank) - 1]->alive) {
         flushPeer(rank);
+      }
+    }
+    idx += liveRanks.size();
+    for (std::size_t i = 0; i < liveClients.size(); ++i) {
+      const short re = fds[idx + i].revents;
+      const int client = liveClients[i];
+      if (re & (POLLIN | POLLERR | POLLHUP)) serviceClient(client);
+      if ((re & POLLOUT) && clients_[static_cast<std::size_t>(client) - 1]->alive) {
+        flushClient(client);
       }
     }
   }
@@ -739,18 +896,32 @@ std::optional<Message> TcpWorkerTransport::tryRecv(Rank at, Rank source, int tag
   return takeMatching(source, tag);
 }
 
+double backoffDelaySeconds(int attempt, double initialBackoffSeconds,
+                           std::uint64_t jitterSeed) {
+  const int doublings = std::min(std::max(attempt, 1) - 1, 60);
+  const double base = std::min(std::ldexp(initialBackoffSeconds, doublings), 5.0);
+  // splitmix64 finalizer over (seed, attempt): cheap, stateless, and
+  // well-scrambled even for adjacent seeds (rank 1 vs rank 2).
+  std::uint64_t z =
+      jitterSeed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (0.5 + unit);
+}
+
 std::unique_ptr<TcpWorkerTransport> connectWithBackoff(
     const std::string& host, std::uint16_t port, int attempts, double initialBackoffSeconds,
-    const TcpWorkerTransport::Options& options) {
-  double backoff = initialBackoffSeconds;
+    const TcpWorkerTransport::Options& options, std::uint64_t jitterSeed) {
   for (int attempt = 1;; ++attempt) {
     try {
       return std::make_unique<TcpWorkerTransport>(host, port, options);
     } catch (const std::exception&) {
       if (attempt >= attempts) throw;
     }
-    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-    backoff = std::min(backoff * 2.0, 5.0);
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        backoffDelaySeconds(attempt, initialBackoffSeconds, jitterSeed)));
   }
 }
 

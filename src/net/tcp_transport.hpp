@@ -96,6 +96,14 @@ struct TcpWorkerOptions {
 /// join (including re-joins after a crash); a rank is never reused, so a
 /// reconnecting worker appears as a fresh rank and the old one stays lost.
 ///
+/// Peers announcing kPeerClient in their Hello register in a separate
+/// client id space (they never consume worker ranks, never receive tasks,
+/// and are invisible to size()/liveWorkers()/fleetHealth()).  Their Job*
+/// frames surface through takeClientRequests() and replies go out via
+/// sendToClient() — the job control plane of the multi-tenant service.
+/// Clients are request/response peers: no heartbeat-silence eviction, a
+/// closed connection simply retires the id.
+///
 /// Failure detection is two-pronged: a closed/reset connection is noticed
 /// immediately via poll, and a hung-but-open peer is noticed when its
 /// heartbeats stop for `heartbeatTimeoutSeconds`.  Either way the loss is
@@ -133,6 +141,30 @@ class TcpCommWorld final : public Transport {
   /// Entries with !seen never shipped telemetry (or predate v2 workers).
   [[nodiscard]] std::vector<FleetHealth> fleetHealth() const;
 
+  /// One Job* frame received from a registered client peer.
+  struct ClientRequest {
+    int client = 0;  ///< client id (1-based, never a worker rank)
+    FrameType type = FrameType::JobSubmit;
+    mw::MessageBuffer payload;
+  };
+
+  /// Drain every client job frame received so far (the daemon's control
+  /// plane inbox).  Requests surface in arrival order.
+  [[nodiscard]] std::vector<ClientRequest> takeClientRequests();
+
+  /// Send a Job* reply to a client; silently dropped when the client is
+  /// gone (mirrors send()'s contract for lost workers).
+  void sendToClient(int client, FrameType type, mw::MessageBuffer payload);
+
+  /// Clients currently connected (registered and not yet closed).
+  [[nodiscard]] int connectedClients() const noexcept;
+
+  /// Drive one pass of the event loop without receiving: accepts joiners,
+  /// reads client/worker frames into the inboxes, flushes pending writes,
+  /// runs heartbeat bookkeeping.  The daemon idle loop calls this so the
+  /// world keeps turning while no MW task is outstanding.
+  void pump(double timeoutSeconds);
+
   // -- Transport (at/from must be rank 0) ---------------------------------
   [[nodiscard]] int size() const noexcept override;
   void send(Rank from, Rank to, int tag, mw::MessageBuffer payload,
@@ -167,6 +199,14 @@ class TcpCommWorld final : public Transport {
     FrameDecoder decoder;
     double since = 0.0;
   };
+  /// A registered client peer (service control plane, not a worker rank).
+  struct ClientPeer {
+    Socket sock;
+    FrameDecoder decoder;
+    std::vector<std::byte> sendBuf;
+    std::size_t sendPos = 0;
+    bool alive = false;
+  };
 
   /// One pass of the event loop: poll the listener + every socket for at
   /// most `timeoutSeconds`, service reads/writes/accepts, then run the
@@ -180,6 +220,10 @@ class TcpCommWorld final : public Transport {
   /// line up with trace timestamps), else the monotonic process clock.
   [[nodiscard]] double masterNow() const;
   void promotePending(std::size_t index);
+  void promoteClient(std::size_t index);
+  void serviceClient(int client);
+  void flushClient(int client);
+  void dropClient(int client);
   void flushPeer(Rank rank);
   void enqueueToPeer(Rank rank, const Frame& frame);
   void markLost(Rank rank, const char* why);
@@ -189,9 +233,11 @@ class TcpCommWorld final : public Transport {
   Options options_;
   Socket listener_;
   std::uint16_t port_ = 0;
-  std::vector<std::unique_ptr<Peer>> peers_;  ///< index = rank - 1
-  std::vector<PendingPeer> pending_;          ///< accepted, awaiting Hello
+  std::vector<std::unique_ptr<Peer>> peers_;        ///< index = rank - 1
+  std::vector<PendingPeer> pending_;                ///< accepted, awaiting Hello
+  std::vector<std::unique_ptr<ClientPeer>> clients_;  ///< index = client id - 1
   std::deque<Message> inbox_;
+  std::deque<ClientRequest> clientInbox_;
   std::optional<std::pair<int, std::vector<std::byte>>> greeting_;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t bytesSent_ = 0;
@@ -305,11 +351,21 @@ class TcpWorkerTransport final : public Transport {
   std::thread beat_;
 };
 
-/// Construct a TcpWorkerTransport, retrying with exponential backoff:
-/// `attempts` tries, starting at `initialBackoffSeconds` and doubling (5 s
-/// cap).  Rethrows the final failure.
+/// Delay before retry `attempt` (1-based) of a backoff loop: the classic
+/// doubling schedule (initialBackoffSeconds * 2^(attempt-1), capped at 5 s)
+/// scaled by a deterministic jitter factor in [0.5, 1.5) hashed from
+/// (jitterSeed, attempt).  Seeding by rank decorrelates a fleet that lost
+/// its master simultaneously — without jitter every worker would retry on
+/// the same schedule and thundering-herd the accept loop on restart.  Pure
+/// function of its arguments, so tests can pin the exact sequence.
+[[nodiscard]] double backoffDelaySeconds(int attempt, double initialBackoffSeconds,
+                                         std::uint64_t jitterSeed);
+
+/// Construct a TcpWorkerTransport, retrying on the jittered doubling
+/// schedule of backoffDelaySeconds() (seeded by `jitterSeed`); `attempts`
+/// tries.  Rethrows the final failure.
 [[nodiscard]] std::unique_ptr<TcpWorkerTransport> connectWithBackoff(
     const std::string& host, std::uint16_t port, int attempts, double initialBackoffSeconds,
-    const TcpWorkerTransport::Options& options = {});
+    const TcpWorkerTransport::Options& options = {}, std::uint64_t jitterSeed = 0);
 
 }  // namespace sfopt::net

@@ -1,0 +1,76 @@
+#include "service/job_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sfopt::service {
+
+JobTable::JobTable(int maxConcurrent, int maxQueued)
+    : maxConcurrent_(std::max(maxConcurrent, 1)), maxQueued_(std::max(maxQueued, 0)) {}
+
+Admission JobTable::admit(JobSpec spec, int client, double now) {
+  Admission a;
+  // A job is admitted when it can run now (a concurrency slot is free) or
+  // can wait (the queue has room); anything else is a retryable refusal.
+  if (runningCount() >= maxConcurrent_ && queuedCount() >= maxQueued_) {
+    a.retryable = true;
+    a.message = "service at capacity (" + std::to_string(runningCount()) + " running, " +
+                std::to_string(queuedCount()) + " queued); retry later";
+    return a;
+  }
+  const std::uint64_t id = nextId_++;
+  JobRecord rec;
+  rec.id = id;
+  rec.spec = std::move(spec);
+  rec.state = JobState::Queued;
+  rec.client = client;
+  rec.submittedAt = now;
+  jobs_.emplace(id, std::move(rec));
+  a.accepted = true;
+  a.jobId = id;
+  a.message = "accepted";
+  return a;
+}
+
+JobRecord* JobTable::find(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? &it->second : nullptr;
+}
+
+JobRecord* JobTable::nextQueued() {
+  for (auto& [id, rec] : jobs_) {
+    if (rec.state == JobState::Queued) return &rec;
+  }
+  return nullptr;
+}
+
+int JobTable::runningCount() const noexcept {
+  int n = 0;
+  for (const auto& [id, rec] : jobs_) n += rec.state == JobState::Running ? 1 : 0;
+  return n;
+}
+
+int JobTable::queuedCount() const noexcept {
+  int n = 0;
+  for (const auto& [id, rec] : jobs_) n += rec.state == JobState::Queued ? 1 : 0;
+  return n;
+}
+
+std::int64_t JobTable::completedCount() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& [id, rec] : jobs_) {
+    n += (rec.state == JobState::Done || rec.state == JobState::Cancelled ||
+          rec.state == JobState::Failed)
+             ? 1
+             : 0;
+  }
+  return n;
+}
+
+bool JobTable::anyActive() const noexcept {
+  return std::any_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
+    return kv.second.state == JobState::Queued || kv.second.state == JobState::Running;
+  });
+}
+
+}  // namespace sfopt::service

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "service/job.hpp"
+
+namespace sfopt::service {
+
+/// Per-job daemon state.  Owned and mutated by the daemon thread only;
+/// job engine threads communicate exclusively through the TicketExchange
+/// and the service's finished queue.
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  int client = -1;  ///< submitting client id (sendToClient target); -1 = detached
+  std::string error;
+  std::optional<JobOutcome> outcome;
+  std::thread thread;  ///< running engine thread; joined by the reaper
+  double submittedAt = 0.0;
+  double startedAt = 0.0;
+  double finishedAt = 0.0;
+};
+
+/// Admission verdict for one JobSubmit.
+struct Admission {
+  bool accepted = false;
+  bool retryable = false;  ///< refusal was load-based; client may retry
+  std::uint64_t jobId = 0;
+  std::string message;
+};
+
+/// The daemon's job registry with admission control: at most
+/// `maxConcurrent` jobs run at once and at most `maxQueued` wait behind
+/// them; submissions beyond that are refused with a retryable status
+/// instead of being parked forever or crashing the daemon.
+class JobTable {
+ public:
+  JobTable(int maxConcurrent, int maxQueued);
+
+  /// Admit or refuse a (pre-validated) spec.  On acceptance the job is
+  /// recorded as Queued.
+  [[nodiscard]] Admission admit(JobSpec spec, int client, double now);
+
+  [[nodiscard]] JobRecord* find(std::uint64_t id);
+
+  /// Lowest-id queued job, or nullptr.  The caller promotes it.
+  [[nodiscard]] JobRecord* nextQueued();
+
+  [[nodiscard]] int runningCount() const noexcept;
+  [[nodiscard]] int queuedCount() const noexcept;
+  [[nodiscard]] std::int64_t completedCount() const noexcept;  ///< terminal states
+  [[nodiscard]] bool anyActive() const noexcept;  ///< queued or running jobs exist
+
+  [[nodiscard]] std::map<std::uint64_t, JobRecord>& all() noexcept { return jobs_; }
+
+  [[nodiscard]] int maxConcurrent() const noexcept { return maxConcurrent_; }
+  [[nodiscard]] int maxQueued() const noexcept { return maxQueued_; }
+
+ private:
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::uint64_t nextId_ = 1;
+  int maxConcurrent_;
+  int maxQueued_;
+};
+
+}  // namespace sfopt::service

@@ -1,0 +1,447 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "core/algorithms.hpp"
+#include "mw/sampling_service.hpp"
+#include "net/socket.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace sfopt::service {
+
+OptimizationService::OptimizationService(net::TcpCommWorld& comm, ServiceOptions options)
+    : comm_(comm),
+      opts_(options),
+      table_(options.maxConcurrentJobs, options.maxQueuedJobs) {
+  if (opts_.telemetry != nullptr) {
+    auto& m = opts_.telemetry->metrics();
+    jobsSubmitted_ = &m.counter("service.jobs.submitted");
+    jobsRejected_ = &m.counter("service.jobs.rejected");
+    jobsCompleted_ = &m.counter("service.jobs.completed");
+    jobsCancelled_ = &m.counter("service.jobs.cancelled");
+    jobsFailed_ = &m.counter("service.jobs.failed");
+    shardsRouted_ = &m.counter("service.shards.routed");
+    jobSeconds_ = &m.histogram("service.job.seconds",
+                               telemetry::Histogram::exponentialBounds(0.01, 4.0, 10));
+  }
+}
+
+OptimizationService::~OptimizationService() {
+  // Defensive: run() normally tears everything down, but if it threw we
+  // must not destroy the exchange while engine threads still reference it.
+  for (auto& [id, rec] : table_.all()) {
+    if (rec.state == JobState::Running) {
+      exchange_.abort(id, "service destroyed", false);
+    }
+  }
+  for (auto& [id, rec] : table_.all()) {
+    if (rec.thread.joinable()) rec.thread.join();
+  }
+}
+
+double OptimizationService::telNow() const {
+  return opts_.telemetry != nullptr ? opts_.telemetry->tracer().now()
+                                    : net::monotonicSeconds();
+}
+
+void OptimizationService::logLine(const std::string& line) {
+  if (opts_.log != nullptr) *opts_.log << line << "\n" << std::flush;
+}
+
+std::int64_t OptimizationService::run(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    ensureDriver();
+    exchange_.setParallelism(driver_ ? std::max(driver_->liveWorkerCount(), 1) : 1);
+    reapFinished();
+    handleClients();
+    promoteQueued();
+    pumpShards();
+    progress();
+    if (opts_.maxJobs > 0 && table_.completedCount() >= opts_.maxJobs &&
+        !table_.anyActive()) {
+      break;
+    }
+  }
+  shutdownAll();
+  return table_.completedCount();
+}
+
+void OptimizationService::ensureDriver() {
+  if (driver_ != nullptr) return;
+  if (comm_.size() < 2 || comm_.liveWorkers() < 1) return;
+  driver_ = std::make_unique<mw::MWDriver>(comm_);
+  driver_->setTelemetry(opts_.telemetry);
+  driver_->setRecvTimeout(opts_.recvTimeoutSeconds);
+  logLine("fleet:    driver up with " + std::to_string(driver_->liveWorkerCount()) +
+          " live worker(s)");
+}
+
+void OptimizationService::reapFinished() {
+  std::deque<FinishedJob> drained;
+  {
+    const std::lock_guard<std::mutex> lock(finishedMutex_);
+    drained.swap(finished_);
+  }
+  for (FinishedJob& f : drained) {
+    JobRecord* rec = table_.find(f.id);
+    if (rec == nullptr) continue;
+    if (rec->thread.joinable()) rec->thread.join();
+    finalizeJob(*rec, f.state, std::move(f.outcome), std::move(f.error));
+  }
+}
+
+void OptimizationService::finalizeJob(JobRecord& rec, JobState state,
+                                      std::optional<JobOutcome> outcome,
+                                      std::string error) {
+  rec.state = state;
+  rec.outcome = std::move(outcome);
+  rec.error = std::move(error);
+  rec.finishedAt = telNow();
+  exchange_.closeJob(rec.id);
+  // In-flight routes stay: their completions still arrive from the fleet
+  // and progress() marks each one shard.discarded (closed job) so the
+  // span trees terminate.  fleetFailure clears them if the fleet dies.
+  const double started = rec.startedAt != 0.0 ? rec.startedAt : rec.submittedAt;
+  if (opts_.telemetry != nullptr) {
+    opts_.telemetry->tracer().emitComplete(
+        "service.job", started, 0,
+        {{"outcome", std::string(toString(rec.state))},
+         {"algorithm", rec.spec.algorithm},
+         {"function", rec.spec.objective.function}},
+        {{"job", static_cast<double>(rec.id)}}, jobTraceNamespace(rec.id));
+  }
+  if (jobSeconds_ != nullptr) jobSeconds_->observe(rec.finishedAt - started);
+  switch (rec.state) {
+    case JobState::Done:
+      if (jobsCompleted_ != nullptr) jobsCompleted_->add(1);
+      break;
+    case JobState::Cancelled:
+      if (jobsCancelled_ != nullptr) jobsCancelled_->add(1);
+      break;
+    default:
+      if (jobsFailed_ != nullptr) jobsFailed_->add(1);
+      break;
+  }
+  logLine("job " + std::to_string(rec.id) + ": " + std::string(toString(rec.state)) +
+          (rec.error.empty() ? "" : " (" + rec.error + ")"));
+  notifyResult(rec);
+}
+
+void OptimizationService::notifyResult(const JobRecord& rec) {
+  if (rec.client < 1) return;
+  ResultReply reply;
+  reply.jobId = rec.id;
+  reply.state = rec.state;
+  reply.detail = rec.error;
+  reply.outcome = rec.outcome;
+  mw::MessageBuffer buf;
+  reply.pack(buf);
+  try {
+    comm_.sendToClient(rec.client, net::FrameType::JobResult, std::move(buf));
+  } catch (const std::exception&) {
+    // Client id no longer valid; the result stays queryable via status.
+  }
+}
+
+void OptimizationService::sendStatus(int client, const StatusReply& reply) {
+  mw::MessageBuffer buf;
+  reply.pack(buf);
+  try {
+    comm_.sendToClient(client, net::FrameType::JobStatus, std::move(buf));
+  } catch (const std::exception&) {
+  }
+}
+
+void OptimizationService::handleClients() {
+  for (auto& req : comm_.takeClientRequests()) {
+    switch (req.type) {
+      case net::FrameType::JobSubmit:
+        handleSubmit(req);
+        break;
+      case net::FrameType::JobStatus:
+        handleStatus(req);
+        break;
+      case net::FrameType::JobCancel:
+        handleCancel(req);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void OptimizationService::handleSubmit(net::TcpCommWorld::ClientRequest& req) {
+  StatusReply reply;
+  reply.queued = table_.queuedCount();
+  reply.running = table_.runningCount();
+  JobSpec spec;
+  try {
+    spec = JobSpec::unpack(req.payload);
+    spec.validate();
+  } catch (const std::exception& e) {
+    reply.state = JobState::Rejected;
+    reply.retryable = false;
+    reply.detail = e.what();
+    if (jobsRejected_ != nullptr) jobsRejected_->add(1);
+    sendStatus(req.client, reply);
+    return;
+  }
+  if (exchange_.pendingShards() > opts_.maxPendingShards) {
+    reply.state = JobState::Rejected;
+    reply.retryable = true;
+    reply.detail = "shard backlog over " + std::to_string(opts_.maxPendingShards) +
+                   "; retry later";
+    if (jobsRejected_ != nullptr) jobsRejected_->add(1);
+    sendStatus(req.client, reply);
+    return;
+  }
+  const Admission a = table_.admit(std::move(spec), req.client, telNow());
+  if (!a.accepted) {
+    reply.state = JobState::Rejected;
+    reply.retryable = a.retryable;
+    reply.detail = a.message;
+    if (jobsRejected_ != nullptr) jobsRejected_->add(1);
+    sendStatus(req.client, reply);
+    return;
+  }
+  if (jobsSubmitted_ != nullptr) jobsSubmitted_->add(1);
+  JobRecord* rec = table_.find(a.jobId);
+  logLine("job " + std::to_string(a.jobId) + ": queued (" + rec->spec.algorithm + " " +
+          rec->spec.objective.function + " dim " +
+          std::to_string(rec->spec.objective.dim) + ", client " +
+          std::to_string(req.client) + ")");
+  reply.jobId = a.jobId;
+  reply.state = JobState::Queued;
+  reply.detail = a.message;
+  reply.queued = table_.queuedCount();
+  reply.running = table_.runningCount();
+  sendStatus(req.client, reply);
+}
+
+void OptimizationService::handleStatus(net::TcpCommWorld::ClientRequest& req) {
+  StatusReply reply;
+  reply.queued = table_.queuedCount();
+  reply.running = table_.runningCount();
+  std::uint64_t id = 0;
+  try {
+    id = req.payload.unpackUint64();
+  } catch (const std::exception&) {
+    reply.detail = "malformed status request";
+    sendStatus(req.client, reply);
+    return;
+  }
+  if (id == 0) {
+    reply.state = JobState::Unknown;
+    reply.detail = std::to_string(table_.queuedCount()) + " queued, " +
+                   std::to_string(table_.runningCount()) + " running, " +
+                   std::to_string(table_.completedCount()) + " finished";
+    sendStatus(req.client, reply);
+    return;
+  }
+  JobRecord* rec = table_.find(id);
+  if (rec == nullptr) {
+    reply.jobId = id;
+    reply.state = JobState::Unknown;
+    reply.detail = "no such job";
+    sendStatus(req.client, reply);
+    return;
+  }
+  reply.jobId = id;
+  reply.state = rec->state;
+  reply.detail = rec->error;
+  sendStatus(req.client, reply);
+}
+
+void OptimizationService::handleCancel(net::TcpCommWorld::ClientRequest& req) {
+  StatusReply reply;
+  reply.queued = table_.queuedCount();
+  reply.running = table_.runningCount();
+  std::uint64_t id = 0;
+  try {
+    id = req.payload.unpackUint64();
+  } catch (const std::exception&) {
+    reply.detail = "malformed cancel request";
+    sendStatus(req.client, reply);
+    return;
+  }
+  reply.jobId = id;
+  JobRecord* rec = table_.find(id);
+  if (rec == nullptr) {
+    reply.state = JobState::Unknown;
+    reply.detail = "no such job";
+    sendStatus(req.client, reply);
+    return;
+  }
+  if (rec->state == JobState::Queued) {
+    finalizeJob(*rec, JobState::Cancelled, std::nullopt, "cancelled before start");
+    reply.state = JobState::Cancelled;
+    reply.detail = "cancelled";
+  } else if (rec->state == JobState::Running) {
+    exchange_.abort(id, "cancelled by client", true);
+    reply.state = JobState::Running;
+    reply.detail = "cancel requested";
+  } else {
+    reply.state = rec->state;
+    reply.detail = "already terminal";
+  }
+  sendStatus(req.client, reply);
+}
+
+void OptimizationService::promoteQueued() {
+  while (driver_ != nullptr && table_.runningCount() < table_.maxConcurrent()) {
+    JobRecord* rec = table_.nextQueued();
+    if (rec == nullptr) break;
+    rec->state = JobState::Running;
+    rec->startedAt = telNow();
+    exchange_.openJob(rec->id);
+    rec->thread = std::thread(
+        [this, id = rec->id, spec = rec->spec]() mutable { jobMain(id, std::move(spec)); });
+    logLine("job " + std::to_string(rec->id) + ": running");
+  }
+}
+
+void OptimizationService::pumpShards() {
+  if (driver_ == nullptr) return;
+  const std::size_t cap =
+      static_cast<std::size_t>(4 * std::max(driver_->liveWorkerCount(), 1) + 4);
+  while (driver_->outstanding() < cap) {
+    auto batch = exchange_.drainPending(cap - driver_->outstanding());
+    if (batch.empty()) break;
+    for (auto& shard : batch) {
+      const std::uint64_t driverId = driver_->submit(std::move(shard.input), shard.ticket);
+      routes_[driverId] = Route{shard.jobId, shard.ticket};
+      if (shardsRouted_ != nullptr) shardsRouted_->add(1);
+    }
+  }
+}
+
+void OptimizationService::progress() {
+  if (driver_ != nullptr && driver_->outstanding() > 0) {
+    std::vector<mw::MWDriver::AsyncCompletion> done;
+    try {
+      done = driver_->poll(opts_.pollSeconds);
+    } catch (const std::exception& e) {
+      fleetFailure(e.what());
+      return;
+    }
+    for (auto& c : done) {
+      const auto it = routes_.find(c.id);
+      if (it == routes_.end()) continue;
+      const Route r = it->second;
+      routes_.erase(it);
+      mw::SamplingTask task;
+      task.unpackResult(c.payload);
+      auto chunks = task.releaseChunks();
+      const auto chunkCount = static_cast<double>(chunks.size());
+      const bool folded = exchange_.deliver(r.jobId, r.ticket, std::move(chunks));
+      // Terminal markers for the shard span trees (§9.7): the driver ends
+      // the lifecycle root when the task completes; the exchange's verdict
+      // — folded into its job or dropped because the job closed — finishes
+      // the tree so `sfopt trace --verify` holds for service captures too.
+      if (opts_.telemetry != nullptr) {
+        auto& tracer = opts_.telemetry->tracer();
+        std::vector<std::pair<std::string, std::string>> strFields;
+        if (!folded) strFields.emplace_back("reason", "closed");
+        tracer.emitComplete(folded ? "shard.folded" : "shard.discarded", tracer.now(), 0,
+                            std::move(strFields), {{"chunks", chunkCount}}, r.ticket);
+      }
+    }
+  } else {
+    // Nothing on the wire to wait for: service the sockets directly so
+    // client frames and worker joins still land without a hot spin.
+    comm_.pump(opts_.pollSeconds);
+  }
+}
+
+void OptimizationService::fleetFailure(const std::string& what) {
+  logLine("fleet:    failure - " + what);
+  for (auto& [id, rec] : table_.all()) {
+    if (rec.state == JobState::Running) {
+      exchange_.abort(id, "worker fleet lost: " + what, false);
+    }
+  }
+  routes_.clear();
+  driver_.reset();
+}
+
+void OptimizationService::shutdownAll() {
+  for (auto& [id, rec] : table_.all()) {
+    if (rec.state == JobState::Running) {
+      exchange_.abort(id, "service shutting down", false);
+    } else if (rec.state == JobState::Queued) {
+      finalizeJob(rec, JobState::Cancelled, std::nullopt, "service shutting down");
+    }
+  }
+  // Wait for every engine thread to unwind and report.
+  while (true) {
+    reapFinished();
+    bool anyRunning = false;
+    for (auto& [id, rec] : table_.all()) {
+      anyRunning = anyRunning || rec.state == JobState::Running;
+    }
+    if (!anyRunning) break;
+    std::unique_lock<std::mutex> lock(finishedMutex_);
+    finishedCv_.wait_for(lock, std::chrono::milliseconds(50),
+                         [this] { return !finished_.empty(); });
+  }
+  if (driver_ != nullptr) {
+    try {
+      driver_->shutdown();
+    } catch (const std::exception& e) {
+      logLine("shutdown: " + std::string(e.what()));
+    }
+  }
+}
+
+void OptimizationService::pushFinished(FinishedJob f) {
+  {
+    const std::lock_guard<std::mutex> lock(finishedMutex_);
+    finished_.push_back(std::move(f));
+  }
+  finishedCv_.notify_all();
+}
+
+void OptimizationService::jobMain(std::uint64_t id, JobSpec spec) noexcept {
+  FinishedJob f;
+  f.id = id;
+  try {
+    const noise::NoisyFunction objective = spec.objective.makeObjective();
+    ExchangeBackend backend(exchange_, id, spec.objective);
+    mw::AlgorithmOptions options = spec.makeOptions();
+    std::visit(
+        [&](auto& o) {
+          o.common.sampling.backend = &backend;
+          o.common.telemetry = opts_.telemetry;
+        },
+        options);
+    const core::OptimizationResult res = std::visit(
+        [&](const auto& o) -> core::OptimizationResult {
+          using T = std::decay_t<decltype(o)>;
+          if constexpr (std::is_same_v<T, core::DetOptions>) {
+            return core::runDeterministic(objective, spec.initial, o);
+          } else if constexpr (std::is_same_v<T, core::MaxNoiseOptions>) {
+            return core::runMaxNoise(objective, spec.initial, o);
+          } else if constexpr (std::is_same_v<T, core::AndersonOptions>) {
+            return core::runAnderson(objective, spec.initial, o);
+          } else {
+            return core::runPointToPoint(objective, spec.initial, o);
+          }
+        },
+        options);
+    f.state = JobState::Done;
+    f.outcome = JobOutcome::fromResult(res);
+  } catch (const JobAborted& e) {
+    f.state = e.cancelled() ? JobState::Cancelled : JobState::Failed;
+    f.error = e.what();
+  } catch (const std::exception& e) {
+    f.state = JobState::Failed;
+    f.error = e.what();
+  }
+  pushFinished(std::move(f));
+}
+
+}  // namespace sfopt::service

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "mw/mw_driver.hpp"
+#include "net/tcp_transport.hpp"
+#include "service/job.hpp"
+#include "service/job_table.hpp"
+#include "service/ticket_exchange.hpp"
+
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+class Histogram;
+}
+
+namespace sfopt::service {
+
+struct ServiceOptions {
+  /// Jobs allowed to run engines concurrently; more wait in the queue.
+  int maxConcurrentJobs = 2;
+  /// Jobs allowed to wait behind the running set; beyond this submissions
+  /// are refused with a retryable status.
+  int maxQueuedJobs = 8;
+  /// Backpressure threshold on the exchange's undrained shard backlog:
+  /// above it, new submissions are refused retryably until the fleet
+  /// catches up.
+  std::size_t maxPendingShards = 1024;
+  /// Daemon loop granularity (driver poll / transport pump timeout).
+  double pollSeconds = 0.05;
+  /// Exit once this many jobs reached a terminal state (0 = serve until
+  /// stopped).  CI smoke runs use it for a bounded daemon lifetime.
+  std::int64_t maxJobs = 0;
+  double recvTimeoutSeconds = 300.0;
+  telemetry::Telemetry* telemetry = nullptr;
+  std::ostream* log = nullptr;  ///< lifecycle lines; nullptr = silent
+};
+
+/// The long-lived multi-tenant daemon behind `sfopt serve --daemon`: one
+/// accept loop, one worker fleet, one MWDriver — many concurrent jobs.
+///
+/// Topology: clients connect over the same TCP transport workers use
+/// (Hello peer-kind byte routes them), submit JobSpecs, and wait for
+/// JobResult frames.  Each admitted job runs its unmodified optimization
+/// engine on a dedicated thread against an ExchangeBackend; the daemon
+/// thread multiplexes every job's shard tickets fairly into the shared
+/// driver and routes completions back by ticket.  Because each engine's
+/// sample stream is counter-keyed and folded canonically, a job's result
+/// is bitwise identical to running it alone — whatever the interleaving,
+/// worker losses, or a neighbour's cancellation.
+///
+/// Failure envelope: a worker loss mid-job is the driver's ordinary
+/// requeue path (invisible to jobs); losing the whole fleet fails the
+/// running jobs with a retryable-style error, drops the driver, and keeps
+/// accepting workers and jobs.  Cancelling a job aborts its engine thread
+/// at the next sampling call; its in-flight shards are dropped on
+/// completion.
+class OptimizationService {
+ public:
+  OptimizationService(net::TcpCommWorld& comm, ServiceOptions options);
+  ~OptimizationService();
+
+  OptimizationService(const OptimizationService&) = delete;
+  OptimizationService& operator=(const OptimizationService&) = delete;
+
+  /// Serve until `stop` is set or the maxJobs budget completes.  Returns
+  /// the number of jobs that reached a terminal state.
+  std::int64_t run(const std::atomic<bool>& stop);
+
+  [[nodiscard]] JobTable& table() noexcept { return table_; }
+
+ private:
+  struct Route {
+    std::uint64_t jobId = 0;
+    std::uint64_t ticket = 0;
+  };
+  struct FinishedJob {
+    std::uint64_t id = 0;
+    JobState state = JobState::Failed;
+    std::optional<JobOutcome> outcome;
+    std::string error;
+  };
+
+  [[nodiscard]] double telNow() const;
+  void logLine(const std::string& line);
+
+  void ensureDriver();
+  void reapFinished();
+  void handleClients();
+  void handleSubmit(net::TcpCommWorld::ClientRequest& req);
+  void handleStatus(net::TcpCommWorld::ClientRequest& req);
+  void handleCancel(net::TcpCommWorld::ClientRequest& req);
+  void promoteQueued();
+  void pumpShards();
+  void progress();
+  void fleetFailure(const std::string& what);
+  void finalizeJob(JobRecord& rec, JobState state, std::optional<JobOutcome> outcome,
+                   std::string error);
+  void notifyResult(const JobRecord& rec);
+  void sendStatus(int client, const StatusReply& reply);
+  void shutdownAll();
+
+  void jobMain(std::uint64_t id, JobSpec spec) noexcept;
+  void pushFinished(FinishedJob f);
+
+  net::TcpCommWorld& comm_;
+  ServiceOptions opts_;
+  JobTable table_;
+  TicketExchange exchange_;
+  std::unique_ptr<mw::MWDriver> driver_;
+  std::unordered_map<std::uint64_t, Route> routes_;  ///< driver task id -> job/ticket
+
+  std::mutex finishedMutex_;
+  std::condition_variable finishedCv_;
+  std::deque<FinishedJob> finished_;
+
+  telemetry::Counter* jobsSubmitted_ = nullptr;
+  telemetry::Counter* jobsRejected_ = nullptr;
+  telemetry::Counter* jobsCompleted_ = nullptr;
+  telemetry::Counter* jobsCancelled_ = nullptr;
+  telemetry::Counter* jobsFailed_ = nullptr;
+  telemetry::Counter* shardsRouted_ = nullptr;
+  telemetry::Histogram* jobSeconds_ = nullptr;
+};
+
+}  // namespace sfopt::service

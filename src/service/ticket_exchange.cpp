@@ -1,0 +1,159 @@
+#include "service/ticket_exchange.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "core/sampling_context.hpp"
+
+namespace sfopt::service {
+
+void TicketExchange::openJob(std::uint64_t jobId) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.emplace(jobId, std::make_unique<Channel>());
+}
+
+void TicketExchange::closeJob(std::uint64_t jobId) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.erase(jobId);
+}
+
+TicketExchange::Channel& TicketExchange::channelOrThrow(std::uint64_t jobId) {
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end()) {
+    throw JobAborted("job " + std::to_string(jobId) + " is closed", false);
+  }
+  Channel& ch = *it->second;
+  if (ch.aborted) throw JobAborted(ch.reason, ch.cancelled);
+  return ch;
+}
+
+std::uint64_t TicketExchange::submit(std::uint64_t jobId, mw::MessageBuffer input) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Channel& ch = channelOrThrow(jobId);
+  const std::uint64_t ticket = jobTraceNamespace(jobId) | nextSequence_++;
+  ch.pending.push_back(PendingShard{jobId, ticket, std::move(input)});
+  return ticket;
+}
+
+std::vector<TicketExchange::Completion> TicketExchange::poll(std::uint64_t jobId,
+                                                             double timeoutSeconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end()) {
+    throw JobAborted("job " + std::to_string(jobId) + " is closed", false);
+  }
+  Channel& ch = *it->second;
+  const auto ready = [&ch] { return ch.aborted || !ch.done.empty(); };
+  if (!ready() && timeoutSeconds > 0.0) {
+    ch.cv.wait_for(lock, std::chrono::duration<double>(timeoutSeconds), ready);
+  }
+  if (ch.aborted) throw JobAborted(ch.reason, ch.cancelled);
+  std::vector<Completion> out(std::make_move_iterator(ch.done.begin()),
+                              std::make_move_iterator(ch.done.end()));
+  ch.done.clear();
+  return out;
+}
+
+bool TicketExchange::deliver(std::uint64_t jobId, std::uint64_t ticket,
+                             std::vector<stats::Welford> chunks) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end()) return false;  // late completion for a finished job
+  it->second->done.push_back(Completion{ticket, std::move(chunks)});
+  it->second->cv.notify_all();
+  return true;
+}
+
+void TicketExchange::abort(std::uint64_t jobId, const std::string& reason, bool cancelled) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(jobId);
+  if (it == jobs_.end()) return;
+  Channel& ch = *it->second;
+  if (ch.aborted) return;
+  ch.aborted = true;
+  ch.cancelled = cancelled;
+  ch.reason = reason;
+  ch.cv.notify_all();
+}
+
+std::vector<TicketExchange::PendingShard> TicketExchange::drainPending(
+    std::size_t maxShards) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingShard> out;
+  if (jobs_.empty() || maxShards == 0) return out;
+  // One shard per job per cycle, resuming after the job the previous drain
+  // stopped at, so a shard-heavy job cannot starve its neighbours.
+  bool progressed = true;
+  while (out.size() < maxShards && progressed) {
+    progressed = false;
+    for (std::size_t step = 0; step < jobs_.size() && out.size() < maxShards; ++step) {
+      auto it = jobs_.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>((cursor_ + step) % jobs_.size()));
+      Channel& ch = *it->second;
+      if (ch.pending.empty()) continue;
+      out.push_back(std::move(ch.pending.front()));
+      ch.pending.pop_front();
+      progressed = true;
+    }
+    cursor_ = jobs_.empty() ? 0 : (cursor_ + 1) % jobs_.size();
+  }
+  return out;
+}
+
+std::size_t TicketExchange::pendingShards() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [id, ch] : jobs_) n += ch->pending.size();
+  return n;
+}
+
+stats::Welford ExchangeBackend::sampleBatch(const BatchRequest& request) {
+  const BatchRequest reqs[] = {request};
+  return sampleBatches(reqs).front();
+}
+
+std::vector<stats::Welford> ExchangeBackend::sampleBatches(
+    std::span<const BatchRequest> requests) {
+  // Synchronous facade over the ticket path: submit every real batch, then
+  // poll until each ticket reports.  Zero-count requests (capped vertices)
+  // cost nothing.
+  std::vector<stats::Welford> out(requests.size());
+  std::unordered_map<std::uint64_t, std::size_t> slotOf;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].count == 0) continue;
+    slotOf.emplace(async_.submit(requests[i]), i);
+  }
+  while (!slotOf.empty()) {
+    for (auto& c : exchange_.poll(jobId_, 1.0)) {
+      const auto it = slotOf.find(c.ticket);
+      if (it == slotOf.end()) continue;
+      out[it->second] = core::foldEvalChunks(c.chunks);
+      slotOf.erase(it);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ExchangeBackend::Async::submit(
+    const core::SamplingBackend::BatchRequest& request) {
+  mw::MessageBuffer buf;
+  packServiceTaskInput(buf, owner_.jobId_, owner_.spec_, request);
+  return owner_.exchange_.submit(owner_.jobId_, std::move(buf));
+}
+
+std::vector<core::AsyncSamplingBackend::Completion> ExchangeBackend::Async::poll(
+    double timeoutSeconds) {
+  auto done = owner_.exchange_.poll(owner_.jobId_, timeoutSeconds);
+  std::vector<Completion> out;
+  out.reserve(done.size());
+  for (auto& c : done) out.push_back(Completion{c.ticket, std::move(c.chunks)});
+  return out;
+}
+
+int ExchangeBackend::Async::parallelism() const {
+  return std::max(owner_.exchange_.parallelism(), 1);
+}
+
+}  // namespace sfopt::service

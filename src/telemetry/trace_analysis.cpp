@@ -50,6 +50,7 @@ TraceReport analyzeTraceEvents(const std::vector<Event>& events, int topStraggle
   // clock.  Only worker.execute spans originate on worker clocks; every
   // other traced span is emitted by the master process.
   std::map<std::uint64_t, ShardTrace> traces;
+  std::map<std::uint64_t, TraceNamespaceReport> nsReports;
   double wallMin = std::numeric_limits<double>::infinity();
   double wallMax = -std::numeric_limits<double>::infinity();
   std::map<int, WorkerReport> workers;
@@ -65,6 +66,19 @@ TraceReport analyzeTraceEvents(const std::vector<Event>& events, int topStraggle
     if (const auto rank = e.num("rank")) s.rank = static_cast<int>(*rank);
     if (const auto outcome = e.str("outcome")) s.outcome = std::string(*outcome);
     if (const auto reason = e.str("reason")) s.reason = std::string(*reason);
+    if (s.name == "service.job") {
+      // Per-job root emitted by the service daemon with trace = jobId << 40
+      // (task ids start at 1, so that id never collides with a shard).  It
+      // is a namespace annotation, not part of any shard tree — record it
+      // and keep it out of the per-trace verification below.
+      TraceNamespaceReport& nsr = nsReports[e.trace >> kTraceNamespaceShift];
+      nsr.jobSpanSeen = true;
+      nsr.jobSeconds = std::max(nsr.jobSeconds, s.duration);
+      if (!s.outcome.empty()) nsr.jobOutcome = s.outcome;
+      wallMin = std::min(wallMin, s.start);
+      wallMax = std::max(wallMax, s.start + s.duration);
+      continue;
+    }
     if (s.name == "worker.execute") {
       report.workerSpansSeen = true;
       if (s.rank >= 0) {
@@ -89,6 +103,7 @@ TraceReport analyzeTraceEvents(const std::vector<Event>& events, int topStraggle
   // 3. Per-trace span-tree assembly and verification.
   const auto problem = [&](std::uint64_t trace, const std::string& what) {
     report.problems.push_back("trace " + std::to_string(trace) + ": " + what);
+    ++nsReports[trace >> kTraceNamespaceShift].problems;
   };
   for (auto& [traceId, t] : traces) {
     std::uint64_t rootId = 0;
@@ -192,8 +207,20 @@ TraceReport analyzeTraceEvents(const std::vector<Event>& events, int topStraggle
     report.wireSeconds += t.wireSeconds;
     report.executeSeconds += t.executeSeconds;
     report.foldSeconds += t.foldSeconds;
+
+    TraceNamespaceReport& nsr = nsReports[traceId >> kTraceNamespaceShift];
+    ++nsr.traces;
+    nsr.requeues += static_cast<std::uint64_t>(t.requeues);
+    if (t.folded) ++nsr.folded;
+    if (t.discarded) ++nsr.discarded;
+    if (t.failed) ++nsr.failed;
+    if (t.abandoned) ++nsr.abandoned;
   }
   report.traces = traces.size();
+  for (auto& [ns, nsr] : nsReports) {
+    nsr.ns = ns;
+    report.namespaces.push_back(nsr);
+  }
 
   // 4. Worker utilization (busy fraction of the run's wall span) and
   // clock-offset annotations.

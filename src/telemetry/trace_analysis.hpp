@@ -15,6 +15,14 @@ namespace sfopt::telemetry {
 /// span tree by trace id, and report critical-path / utilization /
 /// straggler statistics.  Backs `sfopt trace`.
 
+/// Trace ids are namespaced: the top bits above this shift carry the job
+/// id on captures taken from the multi-tenant service (the MW driver ORs
+/// (jobId << 40) over every task id), and 0 for a classic single-run
+/// capture.  Analysis groups span trees per namespace so a capture holding
+/// many interleaved jobs still verifies one tree per shard and reports one
+/// row per job.
+inline constexpr int kTraceNamespaceShift = 40;
+
 /// One span after clock correction, reduced to the fields the analysis
 /// needs.
 struct TraceSpan {
@@ -55,6 +63,22 @@ struct WorkerReport {
   bool offsetKnown = false;
 };
 
+/// Aggregate over one trace-id namespace (one service job, or the whole
+/// capture when everything lives in namespace 0).
+struct TraceNamespaceReport {
+  std::uint64_t ns = 0;  ///< trace >> kTraceNamespaceShift (job id; 0 = legacy)
+  std::uint64_t traces = 0;
+  std::uint64_t folded = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t problems = 0;
+  bool jobSpanSeen = false;  ///< a service.job root span was captured
+  double jobSeconds = 0.0;   ///< its duration (0 until the job ends)
+  std::string jobOutcome;    ///< its outcome field, when present
+};
+
 struct TraceReport {
   std::uint64_t traces = 0;      ///< distinct shard trace ids seen
   std::uint64_t dispatched = 0;  ///< total dispatch attempts
@@ -72,8 +96,16 @@ struct TraceReport {
   std::vector<WorkerReport> workers;        ///< sorted by rank
   std::vector<ShardTrace> stragglers;       ///< slowest traces, desc
   std::vector<std::string> problems;        ///< span-tree integrity failures
+  std::vector<TraceNamespaceReport> namespaces;  ///< sorted by ns
 
   [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+
+  /// True when the capture holds more than the legacy namespace 0 — i.e.
+  /// it came from a multi-tenant service run.
+  [[nodiscard]] bool multiJob() const noexcept {
+    return namespaces.size() > 1 ||
+           (namespaces.size() == 1 && namespaces.front().ns != 0);
+  }
 };
 
 /// Analyze a merged event stream (concatenate readJsonlEvents() of the

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/tcp_transport.hpp"
+
+namespace {
+
+using sfopt::net::backoffDelaySeconds;
+
+/// The un-jittered doubling schedule the jitter factor multiplies:
+/// initial * 2^(attempt-1), capped at 5 seconds.
+double base(int attempt, double initial) {
+  return std::min(std::ldexp(initial, std::min(attempt - 1, 60)), 5.0);
+}
+
+TEST(BackoffJitter, DelayIsAPureFunctionOfItsArguments) {
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    for (std::uint64_t seed : {0ULL, 1ULL, 7ULL, 0xDEADBEEFULL}) {
+      EXPECT_EQ(backoffDelaySeconds(attempt, 0.2, seed),
+                backoffDelaySeconds(attempt, 0.2, seed));
+    }
+  }
+}
+
+TEST(BackoffJitter, GoldenSequenceIsPinned) {
+  // Pinned against the splitmix64-derived schedule: a change to the jitter
+  // function silently re-times every fleet restart, so it fails loudly
+  // here instead.  Workers seed by rank; seed 0 is a worker's first dial.
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(1, 0.2, 0), 0.2766621616427285);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(2, 0.2, 0), 0.37261119881940402);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(3, 0.2, 0), 0.42114701727407822);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(4, 0.2, 0), 2.3534111650461256);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(1, 0.2, 1), 0.21331231503445622);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(2, 0.2, 1), 0.49831270290508045);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(3, 0.2, 1), 1.1768022028694369);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(1, 0.2, 2), 0.21823794683961589);
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(2, 0.2, 2), 0.4996598735495299);
+}
+
+TEST(BackoffJitter, DelayStaysWithinTheJitterBand) {
+  // factor in [0.5, 1.5) of the doubling base, for every attempt and seed.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (int attempt = 1; attempt <= 12; ++attempt) {
+      const double b = base(attempt, 0.2);
+      const double d = backoffDelaySeconds(attempt, 0.2, seed);
+      EXPECT_GE(d, 0.5 * b) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LT(d, 1.5 * b) << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffJitter, DifferentSeedsDesynchronizeTheFleet) {
+  // The point of the jitter: two workers restarting together must not dial
+  // on identical schedules.  Distinct seeds give distinct delays on the
+  // same attempt (for at least most seed pairs — check a handful exactly).
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_NE(backoffDelaySeconds(attempt, 0.2, 1), backoffDelaySeconds(attempt, 0.2, 2));
+    EXPECT_NE(backoffDelaySeconds(attempt, 0.2, 2), backoffDelaySeconds(attempt, 0.2, 3));
+    EXPECT_NE(backoffDelaySeconds(attempt, 0.2, 0), backoffDelaySeconds(attempt, 0.2, 1));
+  }
+}
+
+TEST(BackoffJitter, LateAttemptsAreCappedNotOverflowed) {
+  // Attempt numbers far past the doubling range must neither overflow nor
+  // exceed the 5 s cap's jitter band.
+  for (int attempt : {30, 61, 1000}) {
+    const double d = backoffDelaySeconds(attempt, 0.2, 7);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 7.5);
+  }
+  EXPECT_DOUBLE_EQ(backoffDelaySeconds(30, 0.2, 7), 4.5751570840221962);
+}
+
+}  // namespace

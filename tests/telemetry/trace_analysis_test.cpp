@@ -177,6 +177,79 @@ TEST(TraceAnalysis, DiscardedStaleCompletionIsTerminal) {
   EXPECT_EQ(report.folded, 0u);
 }
 
+/// One healthy shard whose ids live in a job's trace namespace, the way
+/// the multi-tenant service mints tickets: (jobId << 40) | sequence.
+std::vector<Event> namespacedTrace(std::uint64_t job, std::uint64_t seq) {
+  const std::uint64_t trace = (job << kTraceNamespaceShift) | seq;
+  std::vector<Event> events;
+  Event root = span("shard.lifecycle", trace * 16, 0, trace, 1.0, 1.0);
+  root.strFields = {{"outcome", "ok"}};
+  events.push_back(root);
+  events.push_back(span("shard.queue", trace * 16 + 1, trace * 16, trace, 1.0, 0.1));
+  Event remote = span("shard.remote", trace * 16 + 2, trace * 16, trace, 1.1, 0.8);
+  remote.strFields = {{"outcome", "ok"}};
+  remote.numFields = {{"rank", 1.0}};
+  events.push_back(remote);
+  events.push_back(span("shard.folded", trace * 16 + 3, trace * 16, trace, 2.0, 0.0));
+  return events;
+}
+
+Event jobRootSpan(std::uint64_t job, double start, double duration,
+                  const std::string& outcome) {
+  Event e = span("service.job", job, 0, job << kTraceNamespaceShift, start, duration);
+  e.strFields = {{"outcome", outcome}};
+  e.numFields = {{"job", static_cast<double>(job)}};
+  return e;
+}
+
+TEST(TraceAnalysis, MultiJobCaptureGroupsByTraceNamespace) {
+  std::vector<Event> events;
+  for (const auto& e : namespacedTrace(1, 1)) events.push_back(e);
+  for (const auto& e : namespacedTrace(1, 2)) events.push_back(e);
+  for (const auto& e : namespacedTrace(2, 3)) events.push_back(e);
+  events.push_back(jobRootSpan(1, 0.5, 3.0, "done"));
+  events.push_back(jobRootSpan(2, 0.7, 2.0, "cancelled"));
+
+  const TraceReport report = analyzeTraceEvents(events);
+  for (const auto& p : report.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(report.multiJob());
+  ASSERT_EQ(report.namespaces.size(), 2u);
+  EXPECT_EQ(report.namespaces[0].ns, 1u);
+  EXPECT_EQ(report.namespaces[0].traces, 2u);
+  EXPECT_EQ(report.namespaces[0].folded, 2u);
+  EXPECT_TRUE(report.namespaces[0].jobSpanSeen);
+  EXPECT_EQ(report.namespaces[0].jobOutcome, "done");
+  EXPECT_DOUBLE_EQ(report.namespaces[0].jobSeconds, 3.0);
+  EXPECT_EQ(report.namespaces[1].ns, 2u);
+  EXPECT_EQ(report.namespaces[1].traces, 1u);
+  EXPECT_EQ(report.namespaces[1].jobOutcome, "cancelled");
+  // The job roots are lifecycle markers, not shard traces.
+  EXPECT_EQ(report.traces, 3u);
+}
+
+TEST(TraceAnalysis, LegacySingleTenantCaptureIsNotMultiJob) {
+  const TraceReport report = analyzeTraceEvents(healthyTrace());
+  EXPECT_FALSE(report.multiJob());
+  ASSERT_EQ(report.namespaces.size(), 1u);
+  EXPECT_EQ(report.namespaces[0].ns, 0u);
+}
+
+TEST(TraceAnalysis, NamespaceProblemsAreAttributedToTheirJob) {
+  // Job 1 is healthy, job 2's shard never got a terminal span.
+  std::vector<Event> events;
+  for (const auto& e : namespacedTrace(1, 1)) events.push_back(e);
+  const std::uint64_t badTrace = (2ULL << kTraceNamespaceShift) | 2;
+  Event root = span("shard.lifecycle", badTrace * 16, 0, badTrace, 1.0, 1.0);
+  root.strFields = {{"outcome", "ok"}};
+  events.push_back(root);
+
+  const TraceReport report = analyzeTraceEvents(events);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.namespaces.size(), 2u);
+  EXPECT_EQ(report.namespaces[0].problems, 0u);
+  EXPECT_GE(report.namespaces[1].problems, 1u);
+}
+
 TEST(TraceAnalysis, StragglerListIsSortedAndBounded) {
   std::vector<Event> events;
   for (std::uint64_t t = 1; t <= 4; ++t) {

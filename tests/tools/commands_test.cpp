@@ -399,6 +399,49 @@ TEST(Cli, TraceRejectsMissingInput) {
   EXPECT_EQ(cli({"trace", "/no/such/file.jsonl"}).code, 2);
 }
 
+TEST(Cli, TraceFailsGracefullyOnAnEmptyCapture) {
+  namespace fs = std::filesystem;
+  const fs::path file = fs::temp_directory_path() / "sfopt_empty_capture.jsonl";
+  std::ofstream(file).close();
+  const auto r = cli({"trace", file.string()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("error:"), std::string::npos);
+  EXPECT_NE(r.out.find("--telemetry-out"), std::string::npos);
+  fs::remove(file);
+}
+
+TEST(Cli, SubmitRejectsBadInput) {
+  // Validation failures must be usage errors before any connection is
+  // attempted (the daemon address here is intentionally unreachable).
+  EXPECT_EQ(cli({"submit", "--port", "70000"}).code, 2);
+  EXPECT_EQ(cli({"submit", "--port", "1", "--function", "nope"}).code, 2);
+  EXPECT_EQ(cli({"submit", "--port", "1", "--dim", "1"}).code, 2);
+  EXPECT_EQ(cli({"submit", "--port", "1", "--algorithm", "bogus"}).code, 2);
+  EXPECT_EQ(cli({"submit", "--port", "1", "--function", "powell", "--dim", "3"}).code, 2);
+}
+
+TEST(Cli, StatusAndCancelRejectBadInput) {
+  EXPECT_EQ(cli({"status", "--port", "70000"}).code, 2);
+  EXPECT_EQ(cli({"status", "--port", "1", "--job", "-3"}).code, 2);
+  EXPECT_EQ(cli({"cancel", "--port", "1"}).code, 2);  // needs --job
+  EXPECT_EQ(cli({"cancel", "--port", "1", "--job", "0"}).code, 2);
+}
+
+TEST(Cli, ServeDaemonRejectsBadInput) {
+  EXPECT_EQ(cli({"serve", "--daemon", "--port", "70000"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--daemon", "--port", "0", "--max-concurrent", "0"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--daemon", "--port", "0", "--max-queued", "-1"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--daemon", "--port", "0", "--max-pending-shards", "0"}).code, 2);
+}
+
+TEST(Cli, InfoMentionsTheServiceCommands) {
+  const auto r = cli({"info"});
+  EXPECT_NE(r.out.find("--daemon"), std::string::npos);
+  EXPECT_NE(r.out.find("submit"), std::string::npos);
+  EXPECT_NE(r.out.find("status"), std::string::npos);
+  EXPECT_NE(r.out.find("cancel"), std::string::npos);
+}
+
 TEST(Cli, InfoReportsSimdIsaSituation) {
   const auto r = cli({"info"});
   EXPECT_EQ(r.code, 0);

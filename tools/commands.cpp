@@ -1,6 +1,8 @@
 #include "commands.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <functional>
 #include <iterator>
 #include <map>
@@ -21,6 +23,9 @@
 #include "net/frame.hpp"
 #include "net/tcp_transport.hpp"
 #include "noise/noisy_function.hpp"
+#include "service/service.hpp"
+#include "service/service_client.hpp"
+#include "service/service_worker.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/isa.hpp"
 #include "telemetry/export.hpp"
@@ -237,6 +242,114 @@ void printFleetTable(std::ostream& out, const std::vector<net::FleetHealth>& fle
     out.width(7);
     out << h.queueDepth << "\n";
   }
+}
+
+/// SIGINT/SIGTERM flag for `serve --daemon`: the handler only sets the
+/// flag; the accept loop notices it within one poll interval and drains.
+std::atomic<bool> gServeStop{false};
+
+extern "C" void serveStopHandler(int) { gServeStop.store(true); }
+
+/// Build the wire JobSpec for `sfopt submit` from the same flags (and the
+/// same defaults, including the seeded random simplex) `optimize` uses, so
+/// a submitted job's result diffs bitwise against the equivalent solo run.
+service::JobSpec jobSpecFrom(const Args& args) {
+  service::JobSpec spec;
+  const auto dim = args.getInt("dim", 4);
+  if (dim < 2) throw ArgError("--dim must be >= 2");
+  spec.objective.function = args.getString("function", "rosenbrock");
+  spec.objective.dim = dim;
+  spec.objective.sigma0 = args.getDouble("sigma0", 1.0);
+  spec.objective.seed = static_cast<std::uint64_t>(args.getInt("seed", 2026));
+  spec.objective.clients = args.getInt("clients", 1);
+  spec.algorithm = args.getString("algorithm", "pc");
+  spec.k = args.getDouble("k", spec.algorithm == "mn" ? 2.0 : 1.0);
+  spec.k1 = args.getDouble("k1", 1.0);
+  spec.k2 = args.getDouble("k2", 0.0);
+  spec.termination = terminationFrom(args);
+  spec.shardMinSamples = args.getInt("shard-min-samples", 0);
+  spec.speculate = args.getBool("speculate", false);
+  spec.initial = initialSimplexFrom(args, static_cast<std::size_t>(dim));
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    throw ArgError(e.what());
+  }
+  return spec;
+}
+
+/// The multi-tenant daemon behind `sfopt serve --daemon`: one shared
+/// worker fleet, many concurrent jobs submitted over the same TCP port.
+int runServeDaemon(const Args& args, std::ostream& out) {
+  const auto port = args.getInt("port", 7600);
+  if (port < 0 || port > 65535) throw ArgError("--port must be in [0, 65535]");
+
+  service::ServiceOptions svcOpts;
+  svcOpts.maxConcurrentJobs = static_cast<int>(args.getInt("max-concurrent", 2));
+  svcOpts.maxQueuedJobs = static_cast<int>(args.getInt("max-queued", 8));
+  if (svcOpts.maxConcurrentJobs < 1) throw ArgError("--max-concurrent must be >= 1");
+  if (svcOpts.maxQueuedJobs < 0) throw ArgError("--max-queued must be >= 0");
+  const auto maxPending = args.getInt("max-pending-shards", 1024);
+  if (maxPending < 1) throw ArgError("--max-pending-shards must be >= 1");
+  svcOpts.maxPendingShards = static_cast<std::size_t>(maxPending);
+  svcOpts.maxJobs = args.getInt("max-jobs", 0);
+  svcOpts.recvTimeoutSeconds = args.getDouble("recv-timeout", 300.0);
+  svcOpts.log = &out;
+
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "serve");
+  svcOpts.telemetry = telemetrySession.get();
+
+  net::TcpCommWorld::Options netOpts;
+  netOpts.telemetry = telemetrySession.get();
+  netOpts.heartbeatIntervalSeconds = args.getDouble("heartbeat-interval", 2.0);
+  netOpts.heartbeatTimeoutSeconds = args.getDouble("heartbeat-timeout", 10.0);
+  net::TcpCommWorld comm(static_cast<std::uint16_t>(port), netOpts);
+
+  // Service workers need no objective up front — every task is
+  // self-describing — so the greeting carries only the schema name.
+  mw::MessageBuffer cfg;
+  cfg.pack(std::string("service-v1"));
+  comm.setGreeting(mw::kTagConfig, std::move(cfg));
+
+  if (args.has("workers")) {
+    const int workers = static_cast<int>(args.getInt("workers", 1));
+    if (workers < 1) throw ArgError("--workers must be >= 1");
+    out << "listening on 0.0.0.0:" << comm.port() << " (protocol v"
+        << net::kProtocolVersion << "), waiting for " << workers << " worker(s)\n"
+        << std::flush;
+    comm.waitForWorkers(workers, args.getDouble("wait-timeout", 120.0));
+  } else {
+    out << "listening on 0.0.0.0:" << comm.port() << " (protocol v"
+        << net::kProtocolVersion << ")\n"
+        << std::flush;
+  }
+  out << "daemon:   up to " << svcOpts.maxConcurrentJobs << " concurrent job(s), "
+      << svcOpts.maxQueuedJobs << " queued";
+  if (svcOpts.maxJobs > 0) out << ", exiting after " << svcOpts.maxJobs << " job(s)";
+  out << "\n" << std::flush;
+
+  gServeStop.store(false);
+  std::signal(SIGINT, &serveStopHandler);
+  std::signal(SIGTERM, &serveStopHandler);
+  service::OptimizationService svc(comm, svcOpts);
+  const std::int64_t completed = svc.run(gServeStop);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  out << "daemon:   " << completed << " job(s) reached a terminal state\n";
+  printFleetTable(out, comm.fleetHealth());
+  telemetrySession.finish(out);
+  return 0;
+}
+
+/// Render a status/submit/cancel reply; shared by the three client
+/// commands so retryable rejections always read the same way.
+void printStatusReply(std::ostream& out, const service::StatusReply& reply) {
+  out << "job " << reply.jobId << ": " << service::toString(reply.state);
+  if (!reply.detail.empty()) out << " - " << reply.detail;
+  if (reply.retryable) out << " (retryable)";
+  out << "\n";
+  out << "load:     " << reply.queued << " queued, " << reply.running << " running\n";
 }
 
 }  // namespace
@@ -476,6 +589,7 @@ int runMdCommand(const Args& args, std::ostream& out) {
 
 int runServeCommand(const Args& args, std::ostream& out) {
   applyIsaFlag(args);
+  if (args.getBool("daemon", false)) return runServeDaemon(args, out);
   const auto dim = static_cast<std::size_t>(args.getInt("dim", 4));
   if (dim < 2) throw ArgError("--dim must be >= 2");
   const int workers = static_cast<int>(args.getInt("workers", 2));
@@ -546,10 +660,15 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
   netOpts.telemetry = telemetrySession.get();
   netOpts.heartbeatIntervalSeconds = args.getDouble("heartbeat-interval", 2.0);
 
+  // Reconnect jitter is seeded by the last rank this worker held (0 on the
+  // very first dial), so a restarted fleet's workers spread their retries
+  // deterministically instead of thundering the master's accept loop.
+  std::uint64_t jitterSeed = 0;
   for (;;) {
-    const auto transport =
-        net::connectWithBackoff(host, static_cast<std::uint16_t>(port), attempts, 0.2, netOpts);
+    const auto transport = net::connectWithBackoff(
+        host, static_cast<std::uint16_t>(port), attempts, 0.2, netOpts, jitterSeed);
     const mw::Rank rank = transport->rank();
+    jitterSeed = static_cast<std::uint64_t>(rank);
     if (telemetrySession.get() != nullptr) {
       // Partition the span-id space by rank so this worker's ids never
       // collide with the master's (or another worker's) when `sfopt trace`
@@ -566,6 +685,32 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
       if (!cfgMsg) throw std::runtime_error("sfopt worker: no config greeting from master");
       mw::MessageBuffer& cfg = cfgMsg->payload;
       const std::string schema = cfg.unpackString();
+      if (schema == "service-v1") {
+        // Multi-tenant daemon: tasks are self-describing (job id +
+        // objective spec ride on every one), so there is nothing more to
+        // unpack — just serve until shutdown.
+        out << "service:  multi-tenant worker (objectives arrive per task)\n"
+            << std::flush;
+        service::ServiceWorker worker(*transport, rank,
+                                      static_cast<int>(args.getInt("job-cache", 4)));
+        worker.setTelemetry(telemetrySession.get());
+        transport->setStatsProvider([&worker] {
+          return net::WorkerStats{worker.tasksExecuted(), worker.tasksFailed(),
+                                  worker.executeEwmaSeconds()};
+        });
+        try {
+          worker.run();
+        } catch (...) {
+          transport->setStatsProvider({});
+          throw;
+        }
+        transport->setStatsProvider({});
+        out << "shutdown: " << worker.tasksExecuted() << " task(s) executed, "
+            << worker.tasksFailed() << " failed (" << worker.cacheMisses()
+            << " objective build(s))\n";
+        telemetrySession.finish(out);
+        return 0;
+      }
       if (schema != "noisy-v1") {
         throw std::runtime_error("sfopt worker: unsupported config schema '" + schema + "'");
       }
@@ -609,6 +754,63 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
       }
     }
   }
+}
+
+int runSubmitCommand(const Args& args, std::ostream& out) {
+  const std::string host = args.getString("host", "127.0.0.1");
+  const auto port = args.getInt("port", 7600);
+  if (port < 1 || port > 65535) throw ArgError("--port must be in [1, 65535]");
+  const service::JobSpec spec = jobSpecFrom(args);
+  const bool detach = args.getBool("detach", false);
+  const double waitTimeout = args.getDouble("wait-timeout", 600.0);
+
+  service::ServiceClient client(host, static_cast<std::uint16_t>(port),
+                                args.getDouble("connect-timeout", 10.0));
+  const service::StatusReply ack = client.submit(spec);
+  printStatusReply(out, ack);
+  if (ack.state == service::JobState::Rejected) return ack.retryable ? 3 : 2;
+  if (detach) return 0;
+
+  const service::ResultReply result = client.waitResult(waitTimeout);
+  out << "job " << result.jobId << ": " << service::toString(result.state);
+  if (!result.detail.empty()) out << " - " << result.detail;
+  out << "\n";
+  if (result.state != service::JobState::Done || !result.outcome) return 1;
+  printResult(out, result.outcome->toResult());
+  return 0;
+}
+
+int runStatusCommand(const Args& args, std::ostream& out) {
+  const std::string host = args.getString("host", "127.0.0.1");
+  const auto port = args.getInt("port", 7600);
+  if (port < 1 || port > 65535) throw ArgError("--port must be in [1, 65535]");
+  const auto jobId = args.getInt("job", 0);
+  if (jobId < 0) throw ArgError("--job must be >= 0 (0 = service summary)");
+  service::ServiceClient client(host, static_cast<std::uint16_t>(port),
+                                args.getDouble("connect-timeout", 10.0));
+  const service::StatusReply reply =
+      client.status(static_cast<std::uint64_t>(jobId));
+  if (jobId == 0) {
+    out << "service:  " << reply.detail << "\n";
+    return 0;
+  }
+  printStatusReply(out, reply);
+  return reply.state == service::JobState::Unknown ? 1 : 0;
+}
+
+int runCancelCommand(const Args& args, std::ostream& out) {
+  const std::string host = args.getString("host", "127.0.0.1");
+  const auto port = args.getInt("port", 7600);
+  if (port < 1 || port > 65535) throw ArgError("--port must be in [1, 65535]");
+  if (!args.has("job")) throw ArgError("cancel needs --job <id>");
+  const auto jobId = args.getInt("job", 0);
+  if (jobId < 1) throw ArgError("--job must be >= 1");
+  service::ServiceClient client(host, static_cast<std::uint16_t>(port),
+                                args.getDouble("connect-timeout", 10.0));
+  const service::StatusReply reply =
+      client.cancel(static_cast<std::uint64_t>(jobId));
+  printStatusReply(out, reply);
+  return reply.state == service::JobState::Unknown ? 1 : 0;
 }
 
 int runMetricsCommand(const Args& args, std::ostream& out) {
@@ -758,6 +960,12 @@ int runTraceCommand(const Args& args, std::ostream& out) {
       throw ArgError(e.what());
     }
   }
+  if (events.empty()) {
+    out << "error:    no telemetry events in the given capture(s) - was the run\n"
+        << "          started with --telemetry-out, and did it get far enough to\n"
+        << "          flush? (--telemetry-flush S makes partial runs analyzable)\n";
+    return 1;
+  }
   const int top = static_cast<int>(args.getInt("top", 5));
   if (top < 0) throw ArgError("--top must be >= 0");
   const telemetry::TraceReport report = telemetry::analyzeTraceEvents(events, top);
@@ -767,6 +975,35 @@ int runTraceCommand(const Args& args, std::ostream& out) {
       << " dispatch(es), " << report.requeues << " requeued, " << report.folded
       << " folded, " << report.discarded << " discarded, " << report.failed
       << " failed, " << report.abandoned << " abandoned\n";
+
+  // Multi-job (service) captures: shard tickets are namespaced by job id,
+  // so the merged file splits cleanly into per-job groups.
+  if (report.multiJob()) {
+    out << "jobs:     job       traces   folded  discard     fail  requeue  outcome\n";
+    for (const telemetry::TraceNamespaceReport& ns : report.namespaces) {
+      out << "          ";
+      std::string label = ns.ns == 0 ? "legacy" : std::to_string(ns.ns);
+      out << std::left;
+      out.width(10);
+      out << label << std::right;
+      out.width(6);
+      out << ns.traces;
+      out.width(9);
+      out << ns.folded;
+      out.width(9);
+      out << ns.discarded;
+      out.width(9);
+      out << ns.failed;
+      out.width(9);
+      out << ns.requeues << "  ";
+      if (ns.jobSpanSeen) {
+        out << ns.jobOutcome << " (" << ns.jobSeconds << " s)";
+      } else {
+        out << "-";
+      }
+      out << "\n";
+    }
+  }
   if (!report.workerSpansSeen) {
     out << "note:     no worker.execute spans in the input - pass each worker's\n"
         << "          --telemetry-out file too for wire/execute breakdowns\n";
@@ -839,6 +1076,12 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "commands:\n";
   out << "  optimize --function F --dim D --algorithm A --sigma0 S [--mw] ...\n";
   out << "  serve    --port P --workers W --function F --dim D --algorithm A ...\n";
+  out << "  serve    --daemon --port P [--max-concurrent N] [--max-queued M]\n";
+  out << "           [--max-jobs K]   (multi-tenant service; jobs via submit)\n";
+  out << "  submit   --host H --port P --function F --dim D --algorithm A ...\n";
+  out << "           [--detach]       (same flags/defaults as optimize)\n";
+  out << "  status   --host H --port P [--job N]   (N omitted = service summary)\n";
+  out << "  cancel   --host H --port P --job N\n";
   out << "  worker   --host H --port P [--reconnect false]\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
   out << "  probe    --function F --dim D --point x,y,... --samples N\n";
@@ -868,6 +1111,9 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     const std::string& cmd = args.command();
     if (cmd == "optimize") return runOptimizeCommand(args, out);
     if (cmd == "serve") return runServeCommand(args, out);
+    if (cmd == "submit") return runSubmitCommand(args, out);
+    if (cmd == "status") return runStatusCommand(args, out);
+    if (cmd == "cancel") return runCancelCommand(args, out);
     if (cmd == "worker") return runWorkerCommand(args, out);
     if (cmd == "water") return runWaterCommand(args, out);
     if (cmd == "probe") return runProbeCommand(args, out);

@@ -20,6 +20,20 @@ int runOptimizeCommand(const Args& args, std::ostream& out);
 /// identical to the in-process `optimize --mw` run of the same options.
 int runServeCommand(const Args& args, std::ostream& out);
 
+/// `sfopt submit` — client of the multi-tenant daemon (`serve --daemon`):
+/// build a job from the same flags and defaults `optimize` uses, submit it
+/// over TCP, and (unless `--detach`) wait for the result and print it in
+/// `optimize`'s exact format, so the two diff bitwise.  A load-based
+/// rejection exits 3 (retryable), a validation rejection 2.
+int runSubmitCommand(const Args& args, std::ostream& out);
+
+/// `sfopt status` — query the daemon about one job (`--job N`) or the
+/// whole service (no `--job`).
+int runStatusCommand(const Args& args, std::ostream& out);
+
+/// `sfopt cancel` — request cancellation of a queued or running job.
+int runCancelCommand(const Args& args, std::ostream& out);
+
 /// `sfopt worker` — distributed worker: connect to a master, receive the
 /// objective configuration in the handshake greeting, and serve sampling
 /// tasks until shutdown.  Reconnects with backoff when the connection
