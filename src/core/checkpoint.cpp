@@ -1,19 +1,50 @@
 #include "core/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "core/crc32.hpp"
 
 namespace sfopt::core {
 
 namespace {
 
 constexpr const char* kMagic = "sfopt-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
+
+/// Hard caps on the parsed geometry so a hostile header cannot make the
+/// reader reserve unbounded memory before the vertex lines disprove it.
+constexpr std::size_t kMaxVertices = 100000;
+constexpr std::size_t kMaxDim = 100000;
+constexpr std::size_t kMaxCoordinates = 10000000;
+
+/// The whole checkpoint is read into memory to verify the checksum; cap
+/// it so a hostile stream cannot balloon the process first.
+constexpr std::size_t kMaxCheckpointBytes = 64ull << 20;
+
+/// "crc " + 8 hex digits + newline.
+constexpr std::size_t kCrcLineBytes = 4 + 8 + 1;
+
+std::string readAllBounded(std::istream& in) {
+  std::string data;
+  char buf[65536];
+  for (;;) {
+    in.read(buf, sizeof(buf));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    data.append(buf, got);
+    if (data.size() > kMaxCheckpointBytes) {
+      throw std::runtime_error("readCheckpoint: input exceeds the 64 MiB checkpoint cap");
+    }
+    if (got < sizeof(buf)) break;
+  }
+  return data;
+}
 
 /// Read one whitespace token and parse it as a double via strtod — the
 /// portable way to round-trip hexfloat (istream hexfloat extraction is
@@ -29,6 +60,17 @@ double readDouble(std::istream& in) {
   return v;
 }
 
+/// Extract one integer, failing loudly on garbage, overflow, or EOF
+/// instead of leaving a default-initialized field behind.
+template <typename T>
+T readInt(std::istream& in, const char* what) {
+  T v{};
+  if (!(in >> v)) {
+    throw std::runtime_error(std::string("readCheckpoint: malformed or missing ") + what);
+  }
+  return v;
+}
+
 void expectToken(std::istream& in, const char* token) {
   std::string got;
   if (!(in >> got) || got != token) {
@@ -40,70 +82,132 @@ void expectToken(std::istream& in, const char* token) {
 }  // namespace
 
 void writeCheckpoint(std::ostream& out, const SimplexCheckpoint& cp) {
-  out << kMagic << " v" << kVersion << "\n";
-  out << std::hexfloat;
-  out << "iteration " << cp.iteration << "\n";
-  out << "clock " << cp.clock << "\n";
-  out << "totalSamples " << cp.totalSamples << "\n";
-  out << "nextVertexId " << cp.nextVertexId << "\n";
-  out << "contractionLevel " << cp.contractionLevel << "\n";
+  std::ostringstream body;
+  body << kMagic << " v" << kVersion << "\n";
+  body << std::hexfloat;
+  body << "iteration " << cp.iteration << "\n";
+  body << "clock " << cp.clock << "\n";
+  body << "totalSamples " << cp.totalSamples << "\n";
+  body << "nextVertexId " << cp.nextVertexId << "\n";
+  body << "contractionLevel " << cp.contractionLevel << "\n";
   const MoveCounters& c = cp.counters;
-  out << "counters " << c.reflections << " " << c.expansions << " " << c.contractions << " "
-      << c.collapses << " " << c.gateWaitRounds << " " << c.resampleRounds << " "
-      << c.forcedResolutions << "\n";
+  body << "counters " << c.reflections << " " << c.expansions << " " << c.contractions << " "
+       << c.collapses << " " << c.gateWaitRounds << " " << c.resampleRounds << " "
+       << c.forcedResolutions << "\n";
   const std::size_t dim = cp.vertices.empty() ? 0 : cp.vertices.front().x.size();
-  out << "vertices " << cp.vertices.size() << " dim " << dim << "\n";
+  body << "vertices " << cp.vertices.size() << " dim " << dim << "\n";
   for (const VertexCheckpoint& v : cp.vertices) {
     if (v.x.size() != dim) {
       throw std::invalid_argument("writeCheckpoint: inconsistent vertex dimensions");
     }
-    out << v.id << " " << v.samples << " " << v.mean << " " << v.m2;
-    for (double coord : v.x) out << " " << coord;
-    out << "\n";
+    body << v.id << " " << v.samples << " " << v.mean << " " << v.m2;
+    for (double coord : v.x) body << " " << coord;
+    body << "\n";
   }
+  const std::string text = body.str();
+  char crcLine[kCrcLineBytes + 1];
+  std::snprintf(crcLine, sizeof(crcLine), "crc %08x\n", crc32(text.data(), text.size()));
+  out << text << crcLine;
 }
 
 SimplexCheckpoint readCheckpoint(std::istream& in) {
+  const std::string data = readAllBounded(in);
+
+  // Identify the format before anything else so the errors stay specific:
+  // wrong magic means "not ours", wrong version means "ours, but from a
+  // different build" — both clearer than a bare checksum failure.
+  {
+    std::istringstream head(data);
+    std::string magic;
+    std::string version;
+    if (!(head >> magic >> version) || magic != kMagic) {
+      throw std::runtime_error("readCheckpoint: not an sfopt checkpoint");
+    }
+    if (version != "v" + std::to_string(kVersion)) {
+      throw std::runtime_error("readCheckpoint: unsupported checkpoint version '" + version +
+                               "' (this build reads v" + std::to_string(kVersion) + ")");
+    }
+  }
+
+  // The trailing "crc XXXXXXXX\n" line guards every byte before it; a
+  // truncated, bit-flipped, or tampered checkpoint fails closed here.
+  if (data.size() < kCrcLineBytes || data.back() != '\n') {
+    throw std::runtime_error("readCheckpoint: missing checksum line (truncated checkpoint)");
+  }
+  const std::size_t bodyBytes = data.size() - kCrcLineBytes;
+  if (data.compare(bodyBytes, 4, "crc ") != 0 ||
+      (bodyBytes > 0 && data[bodyBytes - 1] != '\n')) {
+    throw std::runtime_error("readCheckpoint: missing checksum line (truncated checkpoint)");
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = bodyBytes + 4; i < data.size() - 1; ++i) {
+    const char ch = data[i];
+    std::uint32_t digit = 0;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<std::uint32_t>(ch - 'a') + 10;
+    } else {
+      throw std::runtime_error("readCheckpoint: malformed checksum line");
+    }
+    stored = (stored << 4) | digit;
+  }
+  if (stored != crc32(data.data(), bodyBytes)) {
+    throw std::runtime_error("readCheckpoint: checksum mismatch (truncated or corrupt checkpoint)");
+  }
+
+  std::istringstream body(data.substr(0, bodyBytes));
   std::string magic;
   std::string version;
-  if (!(in >> magic >> version) || magic != kMagic) {
-    throw std::runtime_error("readCheckpoint: not an sfopt checkpoint");
-  }
-  if (version != "v1") {
-    throw std::runtime_error("readCheckpoint: unsupported version " + version);
-  }
+  body >> magic >> version;
+
   SimplexCheckpoint cp;
-  expectToken(in, "iteration");
-  in >> cp.iteration;
-  expectToken(in, "clock");
-  cp.clock = readDouble(in);
-  expectToken(in, "totalSamples");
-  in >> cp.totalSamples;
-  expectToken(in, "nextVertexId");
-  in >> cp.nextVertexId;
-  expectToken(in, "contractionLevel");
-  in >> cp.contractionLevel;
-  expectToken(in, "counters");
+  expectToken(body, "iteration");
+  cp.iteration = readInt<std::int64_t>(body, "iteration");
+  expectToken(body, "clock");
+  cp.clock = readDouble(body);
+  expectToken(body, "totalSamples");
+  cp.totalSamples = readInt<std::int64_t>(body, "totalSamples");
+  expectToken(body, "nextVertexId");
+  cp.nextVertexId = readInt<std::uint64_t>(body, "nextVertexId");
+  expectToken(body, "contractionLevel");
+  cp.contractionLevel = readInt<int>(body, "contractionLevel");
+  expectToken(body, "counters");
   MoveCounters& c = cp.counters;
-  in >> c.reflections >> c.expansions >> c.contractions >> c.collapses >> c.gateWaitRounds >>
-      c.resampleRounds >> c.forcedResolutions;
-  expectToken(in, "vertices");
-  std::size_t count = 0;
-  in >> count;
-  expectToken(in, "dim");
-  std::size_t dim = 0;
-  in >> dim;
-  if (!in) throw std::runtime_error("readCheckpoint: truncated header");
+  c.reflections = readInt<std::int64_t>(body, "counters");
+  c.expansions = readInt<std::int64_t>(body, "counters");
+  c.contractions = readInt<std::int64_t>(body, "counters");
+  c.collapses = readInt<std::int64_t>(body, "counters");
+  c.gateWaitRounds = readInt<std::int64_t>(body, "counters");
+  c.resampleRounds = readInt<std::int64_t>(body, "counters");
+  c.forcedResolutions = readInt<std::int64_t>(body, "counters");
+  expectToken(body, "vertices");
+  const auto count = readInt<std::size_t>(body, "vertex count");
+  expectToken(body, "dim");
+  const auto dim = readInt<std::size_t>(body, "dimension");
+  if (count > kMaxVertices || dim > kMaxDim ||
+      (dim != 0 && count > kMaxCoordinates / dim)) {
+    throw std::runtime_error("readCheckpoint: implausible simplex geometry (" +
+                             std::to_string(count) + " vertices of dim " +
+                             std::to_string(dim) + ")");
+  }
   cp.vertices.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     VertexCheckpoint v;
-    in >> v.id >> v.samples;
-    if (!in) throw std::runtime_error("readCheckpoint: truncated vertex block");
-    v.mean = readDouble(in);
-    v.m2 = readDouble(in);
+    v.id = readInt<std::uint64_t>(body, "vertex id");
+    v.samples = readInt<std::int64_t>(body, "vertex sample count");
+    if (v.samples < 0) {
+      throw std::runtime_error("readCheckpoint: negative vertex sample count");
+    }
+    v.mean = readDouble(body);
+    v.m2 = readDouble(body);
     v.x.resize(dim);
-    for (double& coord : v.x) coord = readDouble(in);
+    for (double& coord : v.x) coord = readDouble(body);
     cp.vertices.push_back(std::move(v));
+  }
+  std::string trailing;
+  if (body >> trailing) {
+    throw std::runtime_error("readCheckpoint: trailing garbage after the last vertex");
   }
   return cp;
 }

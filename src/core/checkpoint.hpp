@@ -37,6 +37,11 @@ struct SimplexCheckpoint {
 };
 
 /// Text serialization (hex-float fields, so doubles round-trip exactly).
+/// Format v2: a "sfopt-checkpoint v2" magic line, the simplex body, and a
+/// trailing crc32 line guarding every byte before it.  readCheckpoint
+/// fails closed — wrong magic, wrong version, a bad checksum, truncation,
+/// implausible geometry, or trailing garbage all throw — because the
+/// durable-service journal and --resume both feed it untrusted bytes.
 void writeCheckpoint(std::ostream& out, const SimplexCheckpoint& cp);
 [[nodiscard]] SimplexCheckpoint readCheckpoint(std::istream& in);
 

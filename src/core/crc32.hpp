@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfopt::core {
+
+/// IEEE 802.3 CRC-32 (the zlib/PNG polynomial, reflected, init/final
+/// xor 0xFFFFFFFF).  Used to guard checkpoint files and the durable
+/// service journal against truncation and corruption — it detects all
+/// single-bit errors and all burst errors shorter than 32 bits.
+///
+/// `seed` is the CRC of any preceding bytes, so large inputs can be
+/// checksummed incrementally: crc32(b, crc32(a)) == crc32(a + b).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace sfopt::core

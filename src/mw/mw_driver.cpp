@@ -53,7 +53,15 @@ void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
                                    {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   telIdleFraction_ = &reg.histogram("mw.worker_idle_fraction",
                                     {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  telSpecDuplicates_ = &reg.counter("mw.speculative_duplicates");
+  telSpecDiscards_ = &reg.counter("mw.speculative_discards");
   reg.gauge("mw.workers").set(static_cast<double>(workerCount()));
+}
+
+double MWDriver::steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 double MWDriver::telNow() const {
@@ -319,8 +327,23 @@ void MWDriver::asyncGrowTo(int worldSize) {
   if (asyncBusy_.size() < s) {
     asyncBusy_.resize(s, false);
     asyncInFlightId_.resize(s, 0);
+    asyncGhostId_.resize(s, 0);
     ensureRank(worldSize - 1);
   }
+}
+
+int MWDriver::holdersOf(std::uint64_t id) const noexcept {
+  int n = 0;
+  for (const std::uint64_t held : asyncInFlightId_) n += held == id ? 1 : 0;
+  return n;
+}
+
+void MWDriver::releaseRank(Rank worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  asyncBusy_[w] = false;
+  asyncInFlightId_[w] = 0;
+  asyncGhostId_[w] = 0;
+  --asyncInFlight_;
 }
 
 void MWDriver::asyncDispatch() {
@@ -340,6 +363,7 @@ void MWDriver::asyncDispatch() {
     }
     comm_.send(0, worker, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), st.trace,
                st.remoteSpan);
+    st.dispatchedSteady = steadySeconds();
     asyncBusy_[static_cast<std::size_t>(worker)] = true;
     asyncInFlightId_[static_cast<std::size_t>(worker)] = id;
     ++asyncInFlight_;
@@ -422,11 +446,25 @@ void MWDriver::handleAsyncMessage(Message msg) {
   ++asyncMessagesHandled_;
   if (msg.tag == kTagResult) {
     const std::uint64_t id = msg.payload.unpackUint64();
+    asyncGrowTo(msg.source + 1);
+    const auto src = static_cast<std::size_t>(msg.source);
+    if (id != 0 && asyncGhostId_[src] == id) {
+      // The losing copy of a speculated shard reporting after the winner:
+      // discard the (identical) payload and put the worker back to work.
+      releaseRank(msg.source);
+      ++speculativeDiscards_;
+      if (telSpecDiscards_ != nullptr) telSpecDiscards_->add(1);
+      asyncDispatch();
+      observeIdleFraction();
+      return;
+    }
     const auto it = asyncTasks_.find(id);
     if (it == asyncTasks_.end()) {
       throw std::runtime_error("MWDriver: result for unknown task id");
     }
-    asyncGrowTo(msg.source + 1);
+    const double execSeconds = steadySeconds() - it->second.dispatchedSteady;
+    executeEwma_ =
+        executeEwma_ <= 0.0 ? execSeconds : 0.8 * executeEwma_ + 0.2 * execSeconds;
     if (telemetry_ != nullptr) {
       telExecute_->observe(telNow() - it->second.dispatchedAt);
       telTasksCompleted_->add(1);
@@ -441,8 +479,16 @@ void MWDriver::handleAsyncMessage(Message msg) {
     asyncTasks_.erase(it);
     ++tasksCompleted_;
     --asyncInFlight_;
-    asyncBusy_[static_cast<std::size_t>(msg.source)] = false;
-    asyncInFlightId_[static_cast<std::size_t>(msg.source)] = 0;
+    asyncBusy_[src] = false;
+    asyncInFlightId_[src] = 0;
+    // Any other rank still running a copy of this task becomes a ghost:
+    // it stays busy until its late report arrives and is discarded.
+    for (std::size_t r = 0; r < asyncInFlightId_.size(); ++r) {
+      if (r != src && asyncInFlightId_[r] == id) {
+        asyncGhostId_[r] = id;
+        asyncInFlightId_[r] = 0;
+      }
+    }
     asyncReady_.push_back(AsyncCompletion{id, std::move(msg.payload)});
     asyncDispatch();
     // Sampled at every completion: how much of the live fleet sits idle
@@ -452,10 +498,26 @@ void MWDriver::handleAsyncMessage(Message msg) {
     const std::uint64_t id = msg.payload.unpackUint64();
     const std::string what = msg.payload.unpackString();
     asyncGrowTo(msg.source + 1);
-    if (asyncBusy_[static_cast<std::size_t>(msg.source)] &&
-        asyncInFlightId_[static_cast<std::size_t>(msg.source)] == id) {
-      asyncRequeue(msg.source, id, what, "error");
+    const auto src = static_cast<std::size_t>(msg.source);
+    if (id != 0 && asyncGhostId_[src] == id) {
+      releaseRank(msg.source);
+      ++speculativeDiscards_;
+      if (telSpecDiscards_ != nullptr) telSpecDiscards_->add(1);
       asyncDispatch();
+    } else if (asyncBusy_[src] && asyncInFlightId_[src] == id) {
+      if (holdersOf(id) > 1) {
+        // The other copy of this speculated shard is still out; dropping
+        // this one loses nothing and must not count against the retry
+        // budget or requeue a task that is not actually stranded.
+        if (const auto it = asyncTasks_.find(id); it != asyncTasks_.end()) {
+          it->second.lastFailedOn = msg.source;
+        }
+        releaseRank(msg.source);
+        asyncDispatch();
+      } else {
+        asyncRequeue(msg.source, id, what, "error");
+        asyncDispatch();
+      }
     }
   } else if (msg.tag == net::kTagWorkerLost) {
     const Rank lost = msg.source;
@@ -465,9 +527,18 @@ void MWDriver::handleAsyncMessage(Message msg) {
       ++workersLost_;
       if (telemetry_ != nullptr) telWorkersLost_->add(1);
     }
-    if (asyncBusy_[static_cast<std::size_t>(lost)]) {
-      asyncRequeue(lost, asyncInFlightId_[static_cast<std::size_t>(lost)],
-                   "worker rank " + std::to_string(lost) + " lost", "lost");
+    const auto li = static_cast<std::size_t>(lost);
+    if (asyncGhostId_[li] != 0) {
+      releaseRank(lost);
+      ++speculativeDiscards_;
+      if (telSpecDiscards_ != nullptr) telSpecDiscards_->add(1);
+    } else if (asyncBusy_[li]) {
+      const std::uint64_t held = asyncInFlightId_[li];
+      if (holdersOf(held) > 1) {
+        releaseRank(lost);
+      } else {
+        asyncRequeue(lost, held, "worker rank " + std::to_string(lost) + " lost", "lost");
+      }
     }
     if (liveWorkerCount() == 0 && !asyncTasks_.empty()) {
       throw std::runtime_error("MWDriver: every worker is lost with " +
@@ -482,6 +553,36 @@ void MWDriver::handleAsyncMessage(Message msg) {
   // Stray tags are ignored.
 }
 
+void MWDriver::maybeSpeculate() {
+  if (speculativeFactor_ <= 0.0 || executeEwma_ <= 0.0 || asyncInFlight_ == 0 ||
+      !asyncPending_.empty()) {
+    return;
+  }
+  asyncGrowTo(comm_.size());
+  const double now = steadySeconds();
+  const double threshold = speculativeFactor_ * executeEwma_;
+  for (auto& [id, st] : asyncTasks_) {
+    if (holdersOf(id) != 1) continue;  // not dispatched, or already duplicated
+    if (now - st.dispatchedSteady <= threshold) continue;
+    Rank chosen = -1;
+    for (Rank w = 1; w < comm_.size(); ++w) {
+      if (asyncBusy_[static_cast<std::size_t>(w)] || isDead(w)) continue;
+      chosen = w;
+      break;
+    }
+    if (chosen < 0) return;  // fleet saturated; nothing to borrow
+    // Same wire bytes, same trace: whichever copy reports first produces
+    // the canonical payload, so the race cannot change any result bit.
+    comm_.send(0, chosen, kTagTask, MessageBuffer(std::vector<std::byte>(st.wire)), st.trace,
+               st.remoteSpan);
+    asyncBusy_[static_cast<std::size_t>(chosen)] = true;
+    asyncInFlightId_[static_cast<std::size_t>(chosen)] = id;
+    ++asyncInFlight_;
+    ++speculativeDuplicates_;
+    if (telSpecDuplicates_ != nullptr) telSpecDuplicates_->add(1);
+  }
+}
+
 std::uint64_t MWDriver::submit(MessageBuffer input, std::uint64_t trace) {
   if (shutDown_) throw std::logic_error("MWDriver: already shut down");
   const std::uint64_t id = nextTaskId_++;
@@ -491,7 +592,7 @@ std::uint64_t MWDriver::submit(MessageBuffer input, std::uint64_t trace) {
   const auto& tail = input.wire();
   wire.insert(wire.end(), tail.begin(), tail.end());
   const double now = telNow();
-  AsyncTask st{std::move(wire), 0, -1, now, now, 0, 0, trace != 0 ? trace : id};
+  AsyncTask st{std::move(wire), 0, -1, now, now, 0.0, 0, 0, trace != 0 ? trace : id};
   if (telemetry_ != nullptr) {
     st.rootSpan = telemetry_->tracer().begin("shard.lifecycle", 0, st.trace);
   }
@@ -505,6 +606,7 @@ std::vector<MWDriver::AsyncCompletion> MWDriver::poll(double timeoutSeconds) {
   if (shutDown_) throw std::logic_error("MWDriver: already shut down");
   // Drain whatever already arrived without waiting.
   while (auto msg = comm_.tryRecv(0)) handleAsyncMessage(std::move(*msg));
+  maybeSpeculate();
   if (!asyncReady_.empty() || asyncTasks_.empty() || timeoutSeconds <= 0.0) {
     return std::exchange(asyncReady_, {});
   }
@@ -518,6 +620,7 @@ std::vector<MWDriver::AsyncCompletion> MWDriver::poll(double timeoutSeconds) {
     if (!msg.has_value()) break;
     handleAsyncMessage(std::move(*msg));
     while (auto extra = comm_.tryRecv(0)) handleAsyncMessage(std::move(*extra));
+    maybeSpeculate();
   }
   return std::exchange(asyncReady_, {});
 }

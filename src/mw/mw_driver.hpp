@@ -107,6 +107,25 @@ class MWDriver {
   void setRecvTimeout(double seconds) { recvTimeoutSeconds_ = seconds; }
   [[nodiscard]] double recvTimeout() const noexcept { return recvTimeoutSeconds_; }
 
+  /// Straggler mitigation on the async path: once a dispatched task has
+  /// been out longer than `factor` times the EWMA of observed execute
+  /// times, duplicate-dispatch it to an idle live worker.  First
+  /// completion wins; the loser's late result is discarded against the
+  /// ghost bookkeeping, so results are bitwise independent of which copy
+  /// won (identical payload bytes either way).  Workers are only
+  /// borrowed when the pending queue is empty, so speculation never
+  /// delays first-time dispatches.  0 (the default) disables it.
+  void setSpeculativeFactor(double factor) noexcept {
+    speculativeFactor_ = factor < 0.0 ? 0.0 : factor;
+  }
+  [[nodiscard]] double speculativeFactor() const noexcept { return speculativeFactor_; }
+  [[nodiscard]] std::uint64_t speculativeDuplicates() const noexcept {
+    return speculativeDuplicates_;
+  }
+  [[nodiscard]] std::uint64_t speculativeDiscards() const noexcept {
+    return speculativeDiscards_;
+  }
+
   /// Attach the observability spine (non-owning; must outlive the driver).
   /// Pre-registers the task-lifecycle metrics — queue-wait and execute
   /// histograms, per-worker utilization, completion/requeue counters — and
@@ -134,6 +153,9 @@ class MWDriver {
     Rank lastFailedOn = -1;
     double enqueuedAt = 0.0;
     double dispatchedAt = 0.0;
+    /// Steady-clock dispatch time (seconds): straggler detection and the
+    /// execute EWMA must work without a telemetry spine attached.
+    double dispatchedSteady = 0.0;
     std::uint64_t rootSpan = 0;    ///< shard.lifecycle span (trace = `trace`)
     std::uint64_t remoteSpan = 0;  ///< open shard.remote span while dispatched
     std::uint64_t trace = 0;       ///< trace id: caller-supplied, or task id
@@ -144,6 +166,12 @@ class MWDriver {
                     const char* outcome);
   void handleAsyncMessage(Message msg);
   void observeIdleFraction();
+  void maybeSpeculate();
+  /// Ranks currently holding `id` (1 normally, 2 while a duplicate is out).
+  [[nodiscard]] int holdersOf(std::uint64_t id) const noexcept;
+  /// Free a rank whose copy of a task became redundant (no requeue).
+  void releaseRank(Rank worker);
+  [[nodiscard]] static double steadySeconds();
 
   net::Transport& comm_;
   std::uint64_t nextTaskId_ = 1;
@@ -159,7 +187,14 @@ class MWDriver {
   std::deque<std::uint64_t> asyncPending_;
   std::vector<bool> asyncBusy_;
   std::vector<std::uint64_t> asyncInFlightId_;
+  /// Per-rank id of a speculated task that already completed elsewhere:
+  /// the rank stays busy until its late (discarded) report frees it.
+  std::vector<std::uint64_t> asyncGhostId_;
   int asyncInFlight_ = 0;
+  double speculativeFactor_ = 0.0;
+  double executeEwma_ = 0.0;  ///< steady-clock EWMA of execute seconds
+  std::uint64_t speculativeDuplicates_ = 0;
+  std::uint64_t speculativeDiscards_ = 0;
   std::vector<AsyncCompletion> asyncReady_;
   /// Every worker message handled on the async path, completions or not;
   /// drain() uses it to tell "backend silent" from "recovery in progress".
@@ -172,6 +207,8 @@ class MWDriver {
   telemetry::Counter* telTasksDispatched_ = nullptr;
   telemetry::Counter* telWorkersLost_ = nullptr;
   telemetry::Counter* telBatches_ = nullptr;
+  telemetry::Counter* telSpecDuplicates_ = nullptr;
+  telemetry::Counter* telSpecDiscards_ = nullptr;
   telemetry::Histogram* telQueueWait_ = nullptr;
   telemetry::Histogram* telExecute_ = nullptr;
   telemetry::Histogram* telUtilization_ = nullptr;

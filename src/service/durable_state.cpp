@@ -1,0 +1,297 @@
+#include "service/durable_state.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/crc32.hpp"
+#include "mw/message_buffer.hpp"
+
+namespace sfopt::service {
+
+namespace {
+
+/// Journal file header: 8-byte magic + little-endian format version.
+constexpr char kJournalMagic[8] = {'S', 'F', 'O', 'P', 'T', 'J', 'N', 'L'};
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kHeaderBytes = sizeof(kJournalMagic) + 4;
+
+/// Each record is `u32 len | body[len] | u32 crc32(body)`; the body is a
+/// MessageBuffer wire packing `int64 type, uint64 jobId, payload...`.
+/// Replay stops at the first record whose length, checksum, or body fails
+/// to validate — everything after a torn append is unreachable anyway.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+enum class EntryType : std::int64_t {
+  Submitted = 1,  ///< payload: JobSpec
+  Started = 2,    ///< no payload
+  Finished = 3,   ///< payload: state, error, hasOutcome, [JobOutcome]
+  Evicted = 4,    ///< no payload
+};
+
+void putLE32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t getLE32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::vector<std::byte> readWholeFile(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("durable state: cannot open " + file.string());
+  std::vector<std::byte> data;
+  char buf[65536];
+  for (;;) {
+    in.read(buf, sizeof(buf));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    const auto* bytes = reinterpret_cast<const std::byte*>(buf);
+    data.insert(data.end(), bytes, bytes + got);
+    if (got < sizeof(buf)) break;
+  }
+  return data;
+}
+
+}  // namespace
+
+DurableState::DurableState(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  journalPath_ = dir_ / "journal.sfj";
+
+  if (const char* torn = std::getenv("SFOPT_DURABLE_TORN_WRITE")) {
+    tornWriteAt_ = std::strtoull(torn, nullptr, 10);
+  }
+
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(journalPath_, ec);
+  if (ec || size < kHeaderBytes) {
+    // Missing, empty, or killed before the header landed — no record can
+    // have been committed yet, so a fresh header is safe.
+    std::ofstream out(journalPath_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("durable state: cannot create " + journalPath_.string());
+    }
+    out.write(kJournalMagic, sizeof(kJournalMagic));
+    std::vector<std::byte> version;
+    putLE32(version, kJournalVersion);
+    out.write(reinterpret_cast<const char*>(version.data()),
+              static_cast<std::streamsize>(version.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("durable state: cannot write " + journalPath_.string());
+    }
+    journalBytes_ = kHeaderBytes;
+    return;
+  }
+
+  std::ifstream in(journalPath_, std::ios::binary);
+  char magic[sizeof(kJournalMagic)] = {};
+  std::byte version[4] = {};
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(version), sizeof(version));
+  if (!in || std::memcmp(magic, kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    throw std::runtime_error("durable state: " + journalPath_.string() +
+                             " is not an sfopt journal");
+  }
+  if (const std::uint32_t v = getLE32(version); v != kJournalVersion) {
+    throw std::runtime_error("durable state: journal format version " + std::to_string(v) +
+                             " unsupported (this build speaks version " +
+                             std::to_string(kJournalVersion) + ")");
+  }
+  journalBytes_ = size;
+}
+
+DurableState::Recovery DurableState::recover() {
+  const std::vector<std::byte> data = readWholeFile(journalPath_);
+  Recovery out;
+  std::map<std::uint64_t, RecoveredJob> jobs;
+
+  std::size_t off = kHeaderBytes;
+  while (off + 8 <= data.size()) {
+    const std::uint32_t len = getLE32(data.data() + off);
+    if (len > kMaxRecordBytes || off + 8 + len > data.size()) {
+      out.truncatedTail = true;
+      break;
+    }
+    const std::byte* body = data.data() + off + 4;
+    if (getLE32(body + len) != core::crc32(body, len)) {
+      out.truncatedTail = true;
+      break;
+    }
+    try {
+      mw::MessageBuffer buf(std::vector<std::byte>(body, body + len));
+      const auto type = static_cast<EntryType>(buf.unpackInt64());
+      const std::uint64_t jobId = buf.unpackUint64();
+      switch (type) {
+        case EntryType::Submitted: {
+          RecoveredJob job;
+          job.id = jobId;
+          job.spec = JobSpec::unpack(buf);
+          jobs.insert_or_assign(jobId, std::move(job));
+          break;
+        }
+        case EntryType::Started: {
+          if (const auto it = jobs.find(jobId); it != jobs.end()) {
+            it->second.state = JobState::Running;
+          }
+          break;
+        }
+        case EntryType::Finished: {
+          const auto state = static_cast<JobState>(buf.unpackInt64());
+          std::string error = buf.unpackString();
+          std::optional<JobOutcome> outcome;
+          if (buf.unpackInt64() != 0) outcome = JobOutcome::unpack(buf);
+          if (const auto it = jobs.find(jobId); it != jobs.end()) {
+            it->second.state = state;
+            it->second.error = std::move(error);
+            it->second.outcome = std::move(outcome);
+          }
+          break;
+        }
+        case EntryType::Evicted: {
+          if (const auto it = jobs.find(jobId); it != jobs.end()) {
+            it->second.evicted = true;
+          }
+          break;
+        }
+        default:
+          throw std::runtime_error("unknown journal entry type");
+      }
+    } catch (const std::exception&) {
+      // A crc-valid record this build cannot decode; treat everything
+      // from here on as unreachable rather than guessing.
+      out.truncatedTail = true;
+      break;
+    }
+    ++out.entriesReplayed;
+    off += 8 + static_cast<std::size_t>(len);
+  }
+
+  // Any bytes past the last clean record are a torn tail — even a stub
+  // shorter than a record header.  Truncate them away so the next append
+  // lands on a clean boundary instead of burying itself behind garbage.
+  if (off < data.size()) {
+    out.truncatedTail = true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::filesystem::resize_file(journalPath_, off);
+    journalBytes_ = off;
+  }
+
+  for (auto& [id, job] : jobs) {
+    out.maxJobId = id;
+    if (job.state == JobState::Running) {
+      try {
+        job.checkpoint = core::loadCheckpoint(checkpointPath(id));
+      } catch (const std::exception&) {
+        // No usable snapshot — the job restarts from its initial simplex,
+        // which the journal's Submitted entry preserves exactly.
+      }
+    }
+    out.jobs.push_back(std::move(job));
+  }
+  return out;
+}
+
+void DurableState::recordSubmitted(std::uint64_t jobId, const JobSpec& spec) {
+  mw::MessageBuffer buf;
+  buf.pack(static_cast<std::int64_t>(EntryType::Submitted));
+  buf.pack(jobId);
+  spec.pack(buf);
+  appendRecord(buf.wire());
+}
+
+void DurableState::recordStarted(std::uint64_t jobId) {
+  mw::MessageBuffer buf;
+  buf.pack(static_cast<std::int64_t>(EntryType::Started));
+  buf.pack(jobId);
+  appendRecord(buf.wire());
+}
+
+void DurableState::recordFinished(std::uint64_t jobId, JobState state,
+                                  const std::string& error,
+                                  const std::optional<JobOutcome>& outcome) {
+  mw::MessageBuffer buf;
+  buf.pack(static_cast<std::int64_t>(EntryType::Finished));
+  buf.pack(jobId);
+  buf.pack(static_cast<std::int64_t>(state));
+  buf.pack(error);
+  buf.pack(static_cast<std::int64_t>(outcome.has_value() ? 1 : 0));
+  if (outcome) outcome->pack(buf);
+  appendRecord(buf.wire());
+}
+
+void DurableState::recordEvicted(std::uint64_t jobId) {
+  mw::MessageBuffer buf;
+  buf.pack(static_cast<std::int64_t>(EntryType::Evicted));
+  buf.pack(jobId);
+  appendRecord(buf.wire());
+}
+
+void DurableState::writeJobCheckpoint(std::uint64_t jobId,
+                                      const core::SimplexCheckpoint& cp) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::filesystem::path target = checkpointPath(jobId);
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  core::saveCheckpoint(tmp, cp);
+  // rename() is atomic within a filesystem: a reader sees the old full
+  // snapshot or the new full snapshot, never a torn one.
+  std::filesystem::rename(tmp, target);
+}
+
+void DurableState::removeJobCheckpoint(std::uint64_t jobId) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  std::filesystem::remove(checkpointPath(jobId), ec);
+  std::filesystem::remove(checkpointPath(jobId).string() + ".tmp", ec);
+}
+
+std::uint64_t DurableState::journalBytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return journalBytes_;
+}
+
+void DurableState::appendRecord(const std::vector<std::byte>& body) {
+  std::vector<std::byte> record;
+  record.reserve(body.size() + 8);
+  putLE32(record, static_cast<std::uint32_t>(body.size()));
+  record.insert(record.end(), body.begin(), body.end());
+  putLE32(record, core::crc32(body.data(), body.size()));
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!journal_.is_open()) {
+    journal_.open(journalPath_, std::ios::binary | std::ios::app);
+    if (!journal_) {
+      throw std::runtime_error("durable state: cannot append to " + journalPath_.string());
+    }
+  }
+  ++appendCount_;
+  if (tornWriteAt_ != 0 && appendCount_ == tornWriteAt_) {
+    // Fault hook for the chaos tests: flush half a record, then die the
+    // hard way — exactly the torn tail a mid-append SIGKILL leaves.
+    journal_.write(reinterpret_cast<const char*>(record.data()),
+                   static_cast<std::streamsize>(record.size() / 2));
+    journal_.flush();
+    std::_Exit(137);
+  }
+  journal_.write(reinterpret_cast<const char*>(record.data()),
+                 static_cast<std::streamsize>(record.size()));
+  journal_.flush();
+  if (!journal_) {
+    throw std::runtime_error("durable state: write failed for " + journalPath_.string());
+  }
+  journalBytes_ += record.size();
+}
+
+std::filesystem::path DurableState::checkpointPath(std::uint64_t jobId) const {
+  return dir_ / ("job-" + std::to_string(jobId) + ".ckpt");
+}
+
+}  // namespace sfopt::service

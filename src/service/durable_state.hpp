@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "service/job.hpp"
+
+namespace sfopt::service {
+
+/// The daemon's persistence layer: an append-only, versioned, crc-guarded
+/// journal of job-table transitions plus per-job optimizer snapshots, all
+/// under one --state-dir.  A daemon killed at any instant — including
+/// mid-append, which leaves a torn record the next recovery truncates
+/// away — restarts into the exact job table it had, and every job that
+/// was running resumes from its last iteration-boundary checkpoint with a
+/// continuation bitwise identical to the uninterrupted run (the
+/// counter-keyed-noise guarantee of core/checkpoint.hpp, held end-to-end).
+///
+/// Layout inside the state dir:
+///   journal.sfj    append-only transition log (see the record format in
+///                  durable_state.cpp)
+///   job-<id>.ckpt  latest SimplexCheckpoint of a running job, replaced
+///                  atomically (tmp file + rename) so a reader never sees
+///                  a half-written snapshot
+///
+/// Thread-safety: writeJobCheckpoint is called from job engine threads
+/// while the daemon thread appends journal entries; one mutex covers both.
+class DurableState {
+ public:
+  /// One job reconstructed from the journal.
+  struct RecoveredJob {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    std::string error;
+    std::optional<JobOutcome> outcome;
+    /// Present when the job was running and a readable snapshot exists.
+    std::optional<core::SimplexCheckpoint> checkpoint;
+    bool evicted = false;
+  };
+
+  struct Recovery {
+    std::vector<RecoveredJob> jobs;  ///< ascending id order
+    std::uint64_t maxJobId = 0;
+    std::size_t entriesReplayed = 0;
+    /// The journal ended in a torn (half-written) record — expected after
+    /// a kill mid-append; the torn bytes were truncated away.
+    bool truncatedTail = false;
+  };
+
+  /// Opens (creating if needed) the state dir and its journal.  Throws
+  /// when the dir is unusable or holds a journal from a different format
+  /// version — silently ignoring either would drop committed jobs.
+  explicit DurableState(std::filesystem::path dir);
+
+  /// Replay the journal into a job table image, truncate any torn tail,
+  /// and load the last snapshot of every previously-running job (a
+  /// missing or unreadable snapshot just means that job restarts fresh).
+  [[nodiscard]] Recovery recover();
+
+  // -- transition log (daemon thread) --------------------------------------
+  void recordSubmitted(std::uint64_t jobId, const JobSpec& spec);
+  void recordStarted(std::uint64_t jobId);
+  void recordFinished(std::uint64_t jobId, JobState state, const std::string& error,
+                      const std::optional<JobOutcome>& outcome);
+  void recordEvicted(std::uint64_t jobId);
+
+  // -- snapshots (job engine threads) --------------------------------------
+  void writeJobCheckpoint(std::uint64_t jobId, const core::SimplexCheckpoint& cp);
+  void removeJobCheckpoint(std::uint64_t jobId);
+
+  [[nodiscard]] std::uint64_t journalBytes() const;
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  void appendRecord(const std::vector<std::byte>& body);
+  [[nodiscard]] std::filesystem::path checkpointPath(std::uint64_t jobId) const;
+
+  std::filesystem::path dir_;
+  std::filesystem::path journalPath_;
+  mutable std::mutex mutex_;
+  std::ofstream journal_;
+  std::uint64_t journalBytes_ = 0;
+  std::uint64_t appendCount_ = 0;  ///< drives the torn-write fault hook
+  std::uint64_t tornWriteAt_ = 0;  ///< SFOPT_DURABLE_TORN_WRITE; 0 = off
+};
+
+}  // namespace sfopt::service

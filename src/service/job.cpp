@@ -59,7 +59,7 @@ noise::NoisyFunction ObjectiveSpec::makeObjective() const {
 }
 
 void JobSpec::pack(mw::MessageBuffer& buf) const {
-  buf.pack(std::string("job-v1"));
+  buf.pack(std::string("job-v2"));
   objective.pack(buf);
   buf.pack(algorithm);
   buf.pack(k);
@@ -71,14 +71,15 @@ void JobSpec::pack(mw::MessageBuffer& buf) const {
   buf.pack(termination.maxTime);
   buf.pack(shardMinSamples);
   packBool(buf, speculate);
+  buf.pack(priority);
   buf.pack(static_cast<std::int64_t>(initial.size()));
   for (const core::Point& p : initial) buf.pack(std::span<const double>(p));
 }
 
 JobSpec JobSpec::unpack(mw::MessageBuffer& buf) {
   const std::string schema = buf.unpackString();
-  if (schema != "job-v1") {
-    throw std::runtime_error("unsupported job schema '" + schema + "'");
+  if (schema != "job-v2") {
+    throw std::runtime_error("unsupported job schema '" + schema + "' (this build speaks job-v2)");
   }
   JobSpec s;
   s.objective = ObjectiveSpec::unpack(buf);
@@ -92,6 +93,7 @@ JobSpec JobSpec::unpack(mw::MessageBuffer& buf) {
   s.termination.maxTime = buf.unpackDouble();
   s.shardMinSamples = buf.unpackInt64();
   s.speculate = unpackBool(buf);
+  s.priority = buf.unpackInt64();
   const std::int64_t points = buf.unpackInt64();
   if (points < 0 || points > 1'000'000) {
     throw std::runtime_error("job spec: implausible simplex point count");
@@ -122,6 +124,9 @@ void JobSpec::validate() const {
     }
   }
   if (shardMinSamples < 0) throw std::runtime_error("job spec: shardMinSamples < 0");
+  if (priority < 1 || priority > 100) {
+    throw std::runtime_error("job spec: priority must be in 1..100");
+  }
 }
 
 mw::AlgorithmOptions JobSpec::makeOptions() const {

@@ -65,6 +65,7 @@ struct JobSpec {
   core::TerminationCriteria termination;
   std::int64_t shardMinSamples = 0;
   bool speculate = false;
+  std::int64_t priority = 1;         ///< 1..100; weighted-round-robin drain weight
   std::vector<core::Point> initial;  ///< exactly dim + 1 points
 
   void pack(mw::MessageBuffer& buf) const;

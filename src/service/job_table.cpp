@@ -44,6 +44,53 @@ JobRecord* JobTable::nextQueued() {
   return nullptr;
 }
 
+void JobTable::restore(JobRecord rec) {
+  const std::uint64_t id = rec.id;
+  jobs_.insert_or_assign(id, std::move(rec));
+  if (id >= nextId_) nextId_ = id + 1;
+}
+
+void JobTable::setNextId(std::uint64_t next) noexcept {
+  nextId_ = std::max(nextId_, next);
+}
+
+std::vector<std::uint64_t> JobTable::evictFinishedOver(std::size_t cap) {
+  std::vector<std::uint64_t> evictedIds;
+  std::size_t finished = 0;
+  for (const auto& [id, rec] : jobs_) {
+    finished += (rec.state == JobState::Done || rec.state == JobState::Cancelled ||
+                 rec.state == JobState::Failed)
+                    ? 1
+                    : 0;
+  }
+  // std::map iterates in ascending id order, so the first terminal entries
+  // seen are the oldest ones.
+  for (auto it = jobs_.begin(); it != jobs_.end() && finished > cap;) {
+    JobRecord& rec = it->second;
+    if (rec.state != JobState::Done && rec.state != JobState::Cancelled &&
+        rec.state != JobState::Failed) {
+      ++it;
+      continue;
+    }
+    if (rec.thread.joinable()) rec.thread.join();
+    evicted_.emplace(it->first, rec.state);
+    evictedIds.push_back(it->first);
+    it = jobs_.erase(it);
+    --finished;
+  }
+  return evictedIds;
+}
+
+const JobState* JobTable::evictedState(std::uint64_t id) const {
+  const auto it = evicted_.find(id);
+  return it != evicted_.end() ? &it->second : nullptr;
+}
+
+void JobTable::markEvicted(std::uint64_t id, JobState finalState) {
+  evicted_.insert_or_assign(id, finalState);
+  if (id >= nextId_) nextId_ = id + 1;
+}
+
 int JobTable::runningCount() const noexcept {
   int n = 0;
   for (const auto& [id, rec] : jobs_) n += rec.state == JobState::Running ? 1 : 0;
@@ -57,7 +104,9 @@ int JobTable::queuedCount() const noexcept {
 }
 
 std::int64_t JobTable::completedCount() const noexcept {
-  std::int64_t n = 0;
+  // Evicted jobs were terminal when they left the table; counting them
+  // keeps the --max-jobs budget honest under --result-retention.
+  std::int64_t n = static_cast<std::int64_t>(evicted_.size());
   for (const auto& [id, rec] : jobs_) {
     n += (rec.state == JobState::Done || rec.state == JobState::Cancelled ||
           rec.state == JobState::Failed)

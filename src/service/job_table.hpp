@@ -5,7 +5,9 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "core/checkpoint.hpp"
 #include "service/job.hpp"
 
 namespace sfopt::service {
@@ -24,6 +26,9 @@ struct JobRecord {
   double submittedAt = 0.0;
   double startedAt = 0.0;
   double finishedAt = 0.0;
+  /// Snapshot recovered from the durable state dir; the engine resumes
+  /// from it instead of the initial simplex when the job is promoted.
+  std::optional<core::SimplexCheckpoint> resume;
 };
 
 /// Admission verdict for one JobSubmit.
@@ -51,6 +56,27 @@ class JobTable {
   /// Lowest-id queued job, or nullptr.  The caller promotes it.
   [[nodiscard]] JobRecord* nextQueued();
 
+  /// Recovery: re-insert a journal-replayed record verbatim, keeping its
+  /// original id.  The caller is the durable-state recovery path only.
+  void restore(JobRecord rec);
+
+  /// Recovery: continue the id sequence where the journal left off so
+  /// restarted daemons never reuse a job id (ticket namespaces stay
+  /// unique across restarts).
+  void setNextId(std::uint64_t next) noexcept;
+
+  /// Retention: drop the oldest terminal records until at most `cap`
+  /// remain, remembering each evicted job's final state so `status` can
+  /// say "evicted" instead of "unknown".  Returns the evicted ids.
+  [[nodiscard]] std::vector<std::uint64_t> evictFinishedOver(std::size_t cap);
+
+  /// Final state of an evicted job, or nullptr if the id was never
+  /// evicted.
+  [[nodiscard]] const JobState* evictedState(std::uint64_t id) const;
+
+  /// Recovery: mark a job as evicted (journal replay of an Evicted entry).
+  void markEvicted(std::uint64_t id, JobState finalState);
+
   [[nodiscard]] int runningCount() const noexcept;
   [[nodiscard]] int queuedCount() const noexcept;
   [[nodiscard]] std::int64_t completedCount() const noexcept;  ///< terminal states
@@ -63,6 +89,7 @@ class JobTable {
 
  private:
   std::map<std::uint64_t, JobRecord> jobs_;
+  std::map<std::uint64_t, JobState> evicted_;  ///< final state of retained-out jobs
   std::uint64_t nextId_ = 1;
   int maxConcurrent_;
   int maxQueued_;

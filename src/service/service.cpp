@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <variant>
 
@@ -27,6 +28,17 @@ OptimizationService::OptimizationService(net::TcpCommWorld& comm, ServiceOptions
     shardsRouted_ = &m.counter("service.shards.routed");
     jobSeconds_ = &m.histogram("service.job.seconds",
                                telemetry::Histogram::exponentialBounds(0.01, 4.0, 10));
+    checkpointsWritten_ = &m.counter("service.checkpoints_written");
+    recoveredQueued_ = &m.counter("service.recovered_queued");
+    recoveredRunning_ = &m.counter("service.recovered_running");
+    recoveredFinished_ = &m.counter("service.recovered_finished");
+    journalBytes_ = &m.gauge("service.journal_bytes");
+    recoverySeconds_ = &m.histogram("service.recovery.seconds",
+                                    telemetry::Histogram::exponentialBounds(0.001, 4.0, 10));
+  }
+  if (!opts_.stateDir.empty()) {
+    durable_ = std::make_unique<DurableState>(opts_.stateDir);
+    recoverState();
   }
 }
 
@@ -52,15 +64,80 @@ void OptimizationService::logLine(const std::string& line) {
   if (opts_.log != nullptr) *opts_.log << line << "\n" << std::flush;
 }
 
+void OptimizationService::recoverState() {
+  const auto t0 = std::chrono::steady_clock::now();
+  DurableState::Recovery recovery;
+  try {
+    recovery = durable_->recover();
+  } catch (const std::exception& e) {
+    logLine("recover:  journal unusable (" + std::string(e.what()) + "); starting fresh");
+    return;
+  }
+  std::int64_t queued = 0;
+  std::int64_t running = 0;
+  std::int64_t finishedJobs = 0;
+  for (DurableState::RecoveredJob& job : recovery.jobs) {
+    if (job.evicted) {
+      table_.markEvicted(job.id, job.state);
+      ++finishedJobs;
+      continue;
+    }
+    JobRecord rec;
+    rec.id = job.id;
+    rec.spec = std::move(job.spec);
+    rec.client = -1;  // the submitting client died with the old daemon
+    rec.submittedAt = telNow();
+    switch (job.state) {
+      case JobState::Queued:
+        ++queued;
+        break;
+      case JobState::Running:
+        // Re-admitted as queued; promotion resumes it from the snapshot
+        // (or from its journaled initial simplex when none exists).
+        rec.resume = std::move(job.checkpoint);
+        ++running;
+        break;
+      default:
+        rec.state = job.state;
+        rec.error = std::move(job.error);
+        rec.outcome = std::move(job.outcome);
+        rec.finishedAt = rec.submittedAt;
+        ++finishedJobs;
+        break;
+    }
+    table_.restore(std::move(rec));
+  }
+  if (recovery.maxJobId > 0) table_.setNextId(recovery.maxJobId + 1);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (recoveredQueued_ != nullptr) recoveredQueued_->add(queued);
+  if (recoveredRunning_ != nullptr) recoveredRunning_->add(running);
+  if (recoveredFinished_ != nullptr) recoveredFinished_->add(finishedJobs);
+  if (recoverySeconds_ != nullptr) recoverySeconds_->observe(seconds);
+  if (journalBytes_ != nullptr) {
+    journalBytes_->set(static_cast<double>(durable_->journalBytes()));
+  }
+  if (recovery.entriesReplayed > 0 || recovery.truncatedTail) {
+    logLine("recover:  replayed " + std::to_string(recovery.entriesReplayed) +
+            " journal entries (" + std::to_string(queued) + " queued, " +
+            std::to_string(running) + " running, " + std::to_string(finishedJobs) +
+            " finished)" + (recovery.truncatedTail ? ", torn tail truncated" : ""));
+  }
+}
+
 std::int64_t OptimizationService::run(const std::atomic<bool>& stop) {
   while (!stop.load(std::memory_order_relaxed)) {
     ensureDriver();
     exchange_.setParallelism(driver_ ? std::max(driver_->liveWorkerCount(), 1) : 1);
     reapFinished();
+    applyRetention();
     handleClients();
     promoteQueued();
     pumpShards();
     progress();
+    if (journalBytes_ != nullptr && durable_ != nullptr) {
+      journalBytes_->set(static_cast<double>(durable_->journalBytes()));
+    }
     if (opts_.maxJobs > 0 && table_.completedCount() >= opts_.maxJobs &&
         !table_.anyActive()) {
       break;
@@ -76,6 +153,7 @@ void OptimizationService::ensureDriver() {
   driver_ = std::make_unique<mw::MWDriver>(comm_);
   driver_->setTelemetry(opts_.telemetry);
   driver_->setRecvTimeout(opts_.recvTimeoutSeconds);
+  driver_->setSpeculativeFactor(opts_.speculativeFactor);
   logLine("fleet:    driver up with " + std::to_string(driver_->liveWorkerCount()) +
           " live worker(s)");
 }
@@ -101,6 +179,10 @@ void OptimizationService::finalizeJob(JobRecord& rec, JobState state,
   rec.outcome = std::move(outcome);
   rec.error = std::move(error);
   rec.finishedAt = telNow();
+  if (durable_ != nullptr && !(durableShutdown_ && rec.state != JobState::Done)) {
+    durable_->recordFinished(rec.id, rec.state, rec.error, rec.outcome);
+    durable_->removeJobCheckpoint(rec.id);
+  }
   exchange_.closeJob(rec.id);
   // In-flight routes stay: their completions still arrive from the fleet
   // and progress() marks each one shard.discarded (closed job) so the
@@ -168,6 +250,9 @@ void OptimizationService::handleClients() {
       case net::FrameType::JobCancel:
         handleCancel(req);
         break;
+      case net::FrameType::JobResult:
+        handleResultFetch(req);
+        break;
       default:
         break;
     }
@@ -210,6 +295,7 @@ void OptimizationService::handleSubmit(net::TcpCommWorld::ClientRequest& req) {
   }
   if (jobsSubmitted_ != nullptr) jobsSubmitted_->add(1);
   JobRecord* rec = table_.find(a.jobId);
+  if (durable_ != nullptr) durable_->recordSubmitted(a.jobId, rec->spec);
   logLine("job " + std::to_string(a.jobId) + ": queued (" + rec->spec.algorithm + " " +
           rec->spec.objective.function + " dim " +
           std::to_string(rec->spec.objective.dim) + ", client " +
@@ -245,8 +331,14 @@ void OptimizationService::handleStatus(net::TcpCommWorld::ClientRequest& req) {
   JobRecord* rec = table_.find(id);
   if (rec == nullptr) {
     reply.jobId = id;
-    reply.state = JobState::Unknown;
-    reply.detail = "no such job";
+    if (const JobState* evicted = table_.evictedState(id); evicted != nullptr) {
+      reply.state = *evicted;
+      reply.detail = "result evicted by --result-retention (final state " +
+                     std::string(toString(*evicted)) + "); the journal retains it";
+    } else {
+      reply.state = JobState::Unknown;
+      reply.detail = "no such job";
+    }
     sendStatus(req.client, reply);
     return;
   }
@@ -254,6 +346,51 @@ void OptimizationService::handleStatus(net::TcpCommWorld::ClientRequest& req) {
   reply.state = rec->state;
   reply.detail = rec->error;
   sendStatus(req.client, reply);
+}
+
+void OptimizationService::handleResultFetch(net::TcpCommWorld::ClientRequest& req) {
+  ResultReply reply;
+  try {
+    reply.jobId = req.payload.unpackUint64();
+  } catch (const std::exception&) {
+    reply.state = JobState::Unknown;
+    reply.detail = "malformed result request";
+  }
+  if (reply.detail.empty()) {
+    JobRecord* rec = table_.find(reply.jobId);
+    if (rec == nullptr) {
+      if (const JobState* evicted = table_.evictedState(reply.jobId); evicted != nullptr) {
+        reply.state = *evicted;
+        reply.detail = "result evicted by --result-retention (final state " +
+                       std::string(toString(*evicted)) + "); the journal retains it";
+      } else {
+        reply.state = JobState::Unknown;
+        reply.detail = "no such job";
+      }
+    } else if (rec->state == JobState::Queued || rec->state == JobState::Running) {
+      reply.state = rec->state;
+      reply.detail = "not finished";
+    } else {
+      reply.state = rec->state;
+      reply.detail = rec->error;
+      reply.outcome = rec->outcome;
+    }
+  }
+  mw::MessageBuffer buf;
+  reply.pack(buf);
+  try {
+    comm_.sendToClient(req.client, net::FrameType::JobResult, std::move(buf));
+  } catch (const std::exception&) {
+  }
+}
+
+void OptimizationService::applyRetention() {
+  if (opts_.resultRetention <= 0) return;
+  for (const std::uint64_t id :
+       table_.evictFinishedOver(static_cast<std::size_t>(opts_.resultRetention))) {
+    if (durable_ != nullptr) durable_->recordEvicted(id);
+    logLine("job " + std::to_string(id) + ": evicted (result retention)");
+  }
 }
 
 void OptimizationService::handleCancel(net::TcpCommWorld::ClientRequest& req) {
@@ -297,10 +434,16 @@ void OptimizationService::promoteQueued() {
     if (rec == nullptr) break;
     rec->state = JobState::Running;
     rec->startedAt = telNow();
-    exchange_.openJob(rec->id);
-    rec->thread = std::thread(
-        [this, id = rec->id, spec = rec->spec]() mutable { jobMain(id, std::move(spec)); });
-    logLine("job " + std::to_string(rec->id) + ": running");
+    if (durable_ != nullptr) durable_->recordStarted(rec->id);
+    exchange_.openJob(rec->id, static_cast<int>(rec->spec.priority));
+    const bool resuming = rec->resume.has_value();
+    rec->thread = std::thread([this, id = rec->id, spec = rec->spec,
+                               resume = std::move(rec->resume)]() mutable {
+      jobMain(id, std::move(spec), std::move(resume));
+    });
+    rec->resume.reset();
+    logLine("job " + std::to_string(rec->id) +
+            (resuming ? ": running (resumed from checkpoint)" : ": running"));
   }
 }
 
@@ -369,10 +512,15 @@ void OptimizationService::fleetFailure(const std::string& what) {
 }
 
 void OptimizationService::shutdownAll() {
+  // With a state dir, a graceful stop is indistinguishable from a crash
+  // as far as the journal is concerned: queued jobs stay journaled as
+  // queued and interrupted running jobs keep their Started entry and
+  // last snapshot, so the next daemon resumes all of them.
+  durableShutdown_ = durable_ != nullptr;
   for (auto& [id, rec] : table_.all()) {
     if (rec.state == JobState::Running) {
       exchange_.abort(id, "service shutting down", false);
-    } else if (rec.state == JobState::Queued) {
+    } else if (rec.state == JobState::Queued && durable_ == nullptr) {
       finalizeJob(rec, JobState::Cancelled, std::nullopt, "service shutting down");
     }
   }
@@ -405,7 +553,8 @@ void OptimizationService::pushFinished(FinishedJob f) {
   finishedCv_.notify_all();
 }
 
-void OptimizationService::jobMain(std::uint64_t id, JobSpec spec) noexcept {
+void OptimizationService::jobMain(std::uint64_t id, JobSpec spec,
+                                  std::optional<core::SimplexCheckpoint> resume) noexcept {
   FinishedJob f;
   f.id = id;
   try {
@@ -416,6 +565,19 @@ void OptimizationService::jobMain(std::uint64_t id, JobSpec spec) noexcept {
         [&](auto& o) {
           o.common.sampling.backend = &backend;
           o.common.telemetry = opts_.telemetry;
+          if (resume) o.common.resumeFrom = &*resume;
+          if (durable_ != nullptr && opts_.checkpointInterval > 0) {
+            o.common.checkpointEvery = opts_.checkpointInterval;
+            o.common.checkpointSink = [this, id](const core::SimplexCheckpoint& cp) {
+              try {
+                durable_->writeJobCheckpoint(id, cp);
+                if (checkpointsWritten_ != nullptr) checkpointsWritten_->add(1);
+              } catch (const std::exception&) {
+                // A failed snapshot only narrows the resume window; the
+                // journal still replays the job from its initial simplex.
+              }
+            };
+          }
         },
         options);
     const core::OptimizationResult res = std::visit(

@@ -13,6 +13,7 @@
 
 #include "mw/mw_driver.hpp"
 #include "net/tcp_transport.hpp"
+#include "service/durable_state.hpp"
 #include "service/job.hpp"
 #include "service/job_table.hpp"
 #include "service/ticket_exchange.hpp"
@@ -20,6 +21,7 @@
 namespace sfopt::telemetry {
 class Telemetry;
 class Counter;
+class Gauge;
 class Histogram;
 }
 
@@ -41,6 +43,22 @@ struct ServiceOptions {
   /// stopped).  CI smoke runs use it for a bounded daemon lifetime.
   std::int64_t maxJobs = 0;
   double recvTimeoutSeconds = 300.0;
+  /// Durability: when non-empty, every job-table transition is journaled
+  /// under this directory and running jobs snapshot their optimizer state
+  /// there, so a restarted daemon resumes every job (bitwise) where the
+  /// killed one left off.  Empty = in-memory only (the pre-durability
+  /// behaviour).
+  std::string stateDir;
+  /// Snapshot cadence in engine iterations (only meaningful with a state
+  /// dir; <= 0 disables snapshots, leaving journal-only durability).
+  std::int64_t checkpointInterval = 25;
+  /// Keep at most this many finished jobs in the table, evicting oldest
+  /// first (the journal keeps them durable).  0 = unlimited.
+  std::int64_t resultRetention = 0;
+  /// Straggler mitigation: duplicate-dispatch a shard to an idle worker
+  /// once it has been outstanding longer than this factor times the
+  /// fleet's EWMA execute time.  0 = off.
+  double speculativeFactor = 0.0;
   telemetry::Telemetry* telemetry = nullptr;
   std::ostream* log = nullptr;  ///< lifecycle lines; nullptr = silent
 };
@@ -93,12 +111,15 @@ class OptimizationService {
   [[nodiscard]] double telNow() const;
   void logLine(const std::string& line);
 
+  void recoverState();
   void ensureDriver();
   void reapFinished();
   void handleClients();
   void handleSubmit(net::TcpCommWorld::ClientRequest& req);
   void handleStatus(net::TcpCommWorld::ClientRequest& req);
   void handleCancel(net::TcpCommWorld::ClientRequest& req);
+  void handleResultFetch(net::TcpCommWorld::ClientRequest& req);
+  void applyRetention();
   void promoteQueued();
   void pumpShards();
   void progress();
@@ -109,13 +130,19 @@ class OptimizationService {
   void sendStatus(int client, const StatusReply& reply);
   void shutdownAll();
 
-  void jobMain(std::uint64_t id, JobSpec spec) noexcept;
+  void jobMain(std::uint64_t id, JobSpec spec,
+               std::optional<core::SimplexCheckpoint> resume) noexcept;
   void pushFinished(FinishedJob f);
 
   net::TcpCommWorld& comm_;
   ServiceOptions opts_;
   JobTable table_;
   TicketExchange exchange_;
+  std::unique_ptr<DurableState> durable_;
+  /// Graceful-stop flag: while set, non-Done finalizations are not
+  /// journaled and their snapshots are kept, so interrupted jobs recover
+  /// as queued/running on the next start instead of failed.
+  bool durableShutdown_ = false;
   std::unique_ptr<mw::MWDriver> driver_;
   std::unordered_map<std::uint64_t, Route> routes_;  ///< driver task id -> job/ticket
 
@@ -130,6 +157,12 @@ class OptimizationService {
   telemetry::Counter* jobsFailed_ = nullptr;
   telemetry::Counter* shardsRouted_ = nullptr;
   telemetry::Histogram* jobSeconds_ = nullptr;
+  telemetry::Counter* checkpointsWritten_ = nullptr;
+  telemetry::Counter* recoveredQueued_ = nullptr;
+  telemetry::Counter* recoveredRunning_ = nullptr;
+  telemetry::Counter* recoveredFinished_ = nullptr;
+  telemetry::Gauge* journalBytes_ = nullptr;
+  telemetry::Histogram* recoverySeconds_ = nullptr;
 };
 
 }  // namespace sfopt::service

@@ -123,4 +123,14 @@ ResultReply ServiceClient::waitResult(double timeoutSeconds) {
   return ResultReply::unpack(buf);
 }
 
+ResultReply ServiceClient::fetchResult(std::uint64_t jobId, double timeoutSeconds) {
+  mw::MessageBuffer request;
+  request.pack(jobId);
+  sendFrame(net::makeJobFrame(net::FrameType::JobResult, request.releaseWire()));
+  net::Frame frame = recvFrameOfType(net::FrameType::JobResult,
+                                     net::monotonicSeconds() + timeoutSeconds);
+  mw::MessageBuffer buf(std::move(frame.payload));
+  return ResultReply::unpack(buf);
+}
+
 }  // namespace sfopt::service

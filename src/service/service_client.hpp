@@ -43,6 +43,15 @@ class ServiceClient {
   /// timeout or a dropped connection.
   [[nodiscard]] ResultReply waitResult(double timeoutSeconds);
 
+  /// Pull the stored result of any job by id — including jobs submitted
+  /// by clients of an earlier daemon incarnation (the durable journal
+  /// restores their outcomes across restarts).  Non-terminal jobs reply
+  /// without an outcome; evicted jobs say so in the detail.  Call this on
+  /// a connection with no submissions of its own (as `sfopt status
+  /// --result` does): on a submitting connection a pushed completion for
+  /// the same job is indistinguishable from the fetch reply.
+  [[nodiscard]] ResultReply fetchResult(std::uint64_t jobId, double timeoutSeconds = 30.0);
+
  private:
   void sendFrame(const net::Frame& frame);
   /// Next frame of `want`, waiting at most until `deadline`; frames of

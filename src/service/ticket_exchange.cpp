@@ -9,9 +9,11 @@
 
 namespace sfopt::service {
 
-void TicketExchange::openJob(std::uint64_t jobId) {
+void TicketExchange::openJob(std::uint64_t jobId, int priority) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  jobs_.emplace(jobId, std::make_unique<Channel>());
+  auto channel = std::make_unique<Channel>();
+  channel->priority = std::clamp(priority, 1, 100);
+  jobs_.emplace(jobId, std::move(channel));
 }
 
 void TicketExchange::closeJob(std::uint64_t jobId) {
@@ -83,8 +85,10 @@ std::vector<TicketExchange::PendingShard> TicketExchange::drainPending(
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<PendingShard> out;
   if (jobs_.empty() || maxShards == 0) return out;
-  // One shard per job per cycle, resuming after the job the previous drain
-  // stopped at, so a shard-heavy job cannot starve its neighbours.
+  // Up to `priority` shards per job per cycle, resuming after the job the
+  // previous drain stopped at.  Every job with pending work is visited
+  // every cycle, so a shard-heavy or high-priority job cannot starve its
+  // neighbours — it only gets a proportionally bigger slice.
   bool progressed = true;
   while (out.size() < maxShards && progressed) {
     progressed = false;
@@ -92,10 +96,11 @@ std::vector<TicketExchange::PendingShard> TicketExchange::drainPending(
       auto it = jobs_.begin();
       std::advance(it, static_cast<std::ptrdiff_t>((cursor_ + step) % jobs_.size()));
       Channel& ch = *it->second;
-      if (ch.pending.empty()) continue;
-      out.push_back(std::move(ch.pending.front()));
-      ch.pending.pop_front();
-      progressed = true;
+      for (int q = 0; q < ch.priority && !ch.pending.empty() && out.size() < maxShards; ++q) {
+        out.push_back(std::move(ch.pending.front()));
+        ch.pending.pop_front();
+        progressed = true;
+      }
     }
     cursor_ = jobs_.empty() ? 0 : (cursor_ + 1) % jobs_.size();
   }

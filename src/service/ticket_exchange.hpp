@@ -61,8 +61,9 @@ class TicketExchange {
     mw::MessageBuffer input;
   };
 
-  /// Daemon: open a channel before starting the job's thread.
-  void openJob(std::uint64_t jobId);
+  /// Daemon: open a channel before starting the job's thread.  `priority`
+  /// (1..100) is the job's weighted-round-robin drain weight.
+  void openJob(std::uint64_t jobId, int priority = 1);
 
   /// Daemon: tear down a channel.  Only safe once the job thread exited.
   void closeJob(std::uint64_t jobId);
@@ -83,8 +84,11 @@ class TicketExchange {
   /// Daemon: make the job's next submit/poll throw JobAborted.
   void abort(std::uint64_t jobId, const std::string& reason, bool cancelled);
 
-  /// Daemon: pop up to `maxShards` pending shards, round-robin across
-  /// jobs so no job starves the fleet.
+  /// Daemon: pop up to `maxShards` pending shards, weighted round-robin
+  /// across jobs — each job yields up to its priority's worth of shards
+  /// per cycle, and every job with pending work is visited every cycle,
+  /// so high-priority jobs get proportionally more fleet without starving
+  /// anyone.  All-default priorities degenerate to plain round-robin.
   [[nodiscard]] std::vector<PendingShard> drainPending(std::size_t maxShards);
 
   /// Shards submitted by job threads but not yet drained by the daemon.
@@ -101,6 +105,7 @@ class TicketExchange {
     std::deque<PendingShard> pending;
     std::deque<Completion> done;
     std::condition_variable cv;
+    int priority = 1;
     bool aborted = false;
     bool cancelled = false;
     std::string reason;

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/crc32.hpp"
+
+// Fuzz-style hostility tests for the v2 checkpoint format, mirroring
+// frame_fuzz_test: the durable service feeds readCheckpoint bytes that
+// survived a SIGKILL mid-write, so every malformed input must fail
+// closed with a specific error — never a crash, a hang, a giant
+// allocation, or a silently wrong simplex.
+
+namespace {
+
+using namespace sfopt;
+
+core::SimplexCheckpoint sampleCheckpoint() {
+  core::SimplexCheckpoint cp;
+  cp.iteration = 17;
+  cp.clock = 3.25;
+  cp.totalSamples = 1234;
+  cp.nextVertexId = 42;
+  cp.contractionLevel = 1;
+  cp.counters.reflections = 9;
+  cp.counters.contractions = 4;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    core::VertexCheckpoint v;
+    v.id = id;
+    v.samples = 100 + static_cast<std::int64_t>(id);
+    v.mean = 0.5 * static_cast<double>(id) + 0.125;
+    v.m2 = 1.0 / (static_cast<double>(id) + 3.0);
+    v.x = core::Point{1.0 + static_cast<double>(id), -2.5, 0.0078125, 3e-9};
+    cp.vertices.push_back(std::move(v));
+  }
+  return cp;
+}
+
+std::string serialized() {
+  std::ostringstream out;
+  core::writeCheckpoint(out, sampleCheckpoint());
+  return out.str();
+}
+
+core::SimplexCheckpoint parse(const std::string& text) {
+  std::istringstream in(text);
+  return core::readCheckpoint(in);
+}
+
+/// Append the trailing "crc XXXXXXXX\n" line a writer would produce, so
+/// tests can craft hostile bodies that pass the checksum gate.
+std::string withValidCrc(const std::string& body) {
+  char line[16];
+  std::snprintf(line, sizeof(line), "crc %08x\n", core::crc32(body.data(), body.size()));
+  return body + line;
+}
+
+TEST(CheckpointFuzz, RoundTripSurvivesIntact) {
+  const core::SimplexCheckpoint cp = parse(serialized());
+  const core::SimplexCheckpoint want = sampleCheckpoint();
+  ASSERT_EQ(cp.vertices.size(), want.vertices.size());
+  for (std::size_t i = 0; i < cp.vertices.size(); ++i) {
+    EXPECT_EQ(cp.vertices[i].x, want.vertices[i].x);
+    EXPECT_EQ(cp.vertices[i].mean, want.vertices[i].mean);
+    EXPECT_EQ(cp.vertices[i].m2, want.vertices[i].m2);
+    EXPECT_EQ(cp.vertices[i].samples, want.vertices[i].samples);
+  }
+  EXPECT_EQ(cp.iteration, want.iteration);
+  EXPECT_EQ(cp.totalSamples, want.totalSamples);
+  EXPECT_EQ(cp.counters.reflections, want.counters.reflections);
+}
+
+TEST(CheckpointFuzz, EveryTruncationFailsClosed) {
+  const std::string wire = serialized();
+  // A SIGKILL can land between any two bytes of a checkpoint write; the
+  // trailing checksum line makes every proper prefix detectably partial.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_THROW((void)parse(wire.substr(0, cut)), std::runtime_error)
+        << "cut at byte " << cut;
+  }
+  EXPECT_NO_THROW((void)parse(wire));
+}
+
+TEST(CheckpointFuzz, EverySingleBitFlipFailsClosed) {
+  const std::string wire = serialized();
+  // CRC32 detects all single-bit errors, and flips in the magic, version,
+  // or checksum line itself hit their own specific gates — so no flipped
+  // checkpoint anywhere in the file may parse.
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::string fuzzed = wire;
+    fuzzed[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(fuzzed[bit / 8]) ^ (1u << (bit % 8)));
+    EXPECT_THROW((void)parse(fuzzed), std::runtime_error) << "bit " << bit;
+  }
+}
+
+TEST(CheckpointFuzz, RandomGarbageIsRejectedNotTrusted) {
+  std::mt19937_64 rng(0xC0FFEEULL);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(16 + rng() % 256, '\0');
+    for (char& ch : garbage) ch = static_cast<char>(rng() & 0xFF);
+    EXPECT_THROW((void)parse(garbage), std::runtime_error);
+  }
+}
+
+TEST(CheckpointFuzz, WrongMagicAndWrongVersionGetSpecificErrors) {
+  try {
+    (void)parse(withValidCrc("not-a-checkpoint v2\n"));
+    FAIL() << "foreign magic must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not an sfopt checkpoint"), std::string::npos);
+  }
+  // A v1-era file (or a future v3) is ours but unreadable; the error
+  // names both versions so the operator knows which build wrote it.
+  try {
+    (void)parse(withValidCrc("sfopt-checkpoint v1\niteration 0\n"));
+    FAIL() << "version mismatch must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v1"), std::string::npos);
+    EXPECT_NE(what.find("this build reads v2"), std::string::npos);
+  }
+}
+
+TEST(CheckpointFuzz, HostileGeometryWithAValidChecksumIsStillRejected) {
+  // A correctly-checksummed header claiming 2^31 vertices must be refused
+  // at the geometry gate, before any proportional allocation happens —
+  // the checksum authenticates bytes, not plausibility.
+  const std::string body =
+      "sfopt-checkpoint v2\n"
+      "iteration 0\nclock 0\ntotalSamples 0\nnextVertexId 0\n"
+      "contractionLevel 0\ncounters 0 0 0 0 0 0 0\n"
+      "vertices 2147483648 dim 1000000\n";
+  try {
+    (void)parse(withValidCrc(body));
+    FAIL() << "implausible geometry must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible simplex geometry"), std::string::npos);
+  }
+}
+
+TEST(CheckpointFuzz, ValidChecksumCannotLaunderNegativeSamplesOrTrailingGarbage) {
+  // Tampering below the checksum: re-checksummed bodies with semantic
+  // poison must still fail on their own gates.
+  const std::string head =
+      "sfopt-checkpoint v2\n"
+      "iteration 0\nclock 0\ntotalSamples 0\nnextVertexId 0\n"
+      "contractionLevel 0\ncounters 0 0 0 0 0 0 0\n";
+  EXPECT_THROW((void)parse(withValidCrc(head + "vertices 1 dim 2\n7 -5 0.0 0.0 1.0 2.0\n")),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse(withValidCrc(head + "vertices 1 dim 2\n7 5 0.0 0.0 1.0 2.0\nextra\n")),
+      std::runtime_error);
+  EXPECT_THROW((void)parse(withValidCrc(head + "vertices 1 dim 2\n7 5 0.0 zebra 1.0 2.0\n")),
+               std::runtime_error);
+}
+
+TEST(CheckpointFuzz, OversizeInputFailsAtTheCapNotTheAllocator) {
+  // 64 MiB cap: a hostile endless stream is cut off while reading, long
+  // before checksum or parse work starts.
+  std::string huge(65ull << 20, 'x');
+  EXPECT_THROW((void)parse(huge), std::runtime_error);
+}
+
+}  // namespace

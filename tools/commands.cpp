@@ -269,6 +269,7 @@ service::JobSpec jobSpecFrom(const Args& args) {
   spec.termination = terminationFrom(args);
   spec.shardMinSamples = args.getInt("shard-min-samples", 0);
   spec.speculate = args.getBool("speculate", false);
+  spec.priority = args.getInt("priority", 1);
   spec.initial = initialSimplexFrom(args, static_cast<std::size_t>(dim));
   try {
     spec.validate();
@@ -294,6 +295,13 @@ int runServeDaemon(const Args& args, std::ostream& out) {
   svcOpts.maxPendingShards = static_cast<std::size_t>(maxPending);
   svcOpts.maxJobs = args.getInt("max-jobs", 0);
   svcOpts.recvTimeoutSeconds = args.getDouble("recv-timeout", 300.0);
+  svcOpts.stateDir = args.getString("state-dir", "");
+  svcOpts.checkpointInterval = args.getInt("checkpoint-interval", 25);
+  if (svcOpts.checkpointInterval < 0) throw ArgError("--checkpoint-interval must be >= 0");
+  svcOpts.resultRetention = args.getInt("result-retention", 0);
+  if (svcOpts.resultRetention < 0) throw ArgError("--result-retention must be >= 0");
+  svcOpts.speculativeFactor = args.getDouble("speculative-factor", 0.0);
+  if (svcOpts.speculativeFactor < 0.0) throw ArgError("--speculative-factor must be >= 0");
   svcOpts.log = &out;
 
   CliTelemetry telemetrySession = CliTelemetry::open(args, "serve");
@@ -327,6 +335,11 @@ int runServeDaemon(const Args& args, std::ostream& out) {
       << svcOpts.maxQueuedJobs << " queued";
   if (svcOpts.maxJobs > 0) out << ", exiting after " << svcOpts.maxJobs << " job(s)";
   out << "\n" << std::flush;
+  if (!svcOpts.stateDir.empty()) {
+    out << "durable:  journaling to " << svcOpts.stateDir << ", checkpoint every "
+        << svcOpts.checkpointInterval << " iteration(s)\n"
+        << std::flush;
+  }
 
   gServeStop.store(false);
   std::signal(SIGINT, &serveStopHandler);
@@ -795,6 +808,15 @@ int runStatusCommand(const Args& args, std::ostream& out) {
     return 0;
   }
   printStatusReply(out, reply);
+  if (args.getBool("result", false) && reply.state != service::JobState::Unknown) {
+    // Pull the stored outcome — works for jobs finished before a daemon
+    // restart too, since the durable journal restores terminal results.
+    const service::ResultReply result =
+        client.fetchResult(static_cast<std::uint64_t>(jobId));
+    if (!result.detail.empty()) out << "result:   " << result.detail << "\n";
+    if (result.state != service::JobState::Done || !result.outcome) return 1;
+    printResult(out, result.outcome->toResult());
+  }
   return reply.state == service::JobState::Unknown ? 1 : 0;
 }
 
@@ -931,7 +953,8 @@ int runMetricsCommand(const Args& args, std::ostream& out) {
 
   // Layer coverage: which instrumented layers contributed events.
   const char* const layers[] = {"engine.", "mw.",    "net.",   "md.",    "cli.",
-                                "eval.",   "simd.",  "fleet.", "shard.", "worker."};
+                                "eval.",   "simd.",  "fleet.", "shard.", "worker.",
+                                "service."};
   out << "\nlayers:";
   for (const char* prefix : layers) {
     const bool covered = std::any_of(events.begin(), events.end(), [&](const auto& e) {
@@ -1078,9 +1101,13 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  serve    --port P --workers W --function F --dim D --algorithm A ...\n";
   out << "  serve    --daemon --port P [--max-concurrent N] [--max-queued M]\n";
   out << "           [--max-jobs K]   (multi-tenant service; jobs via submit)\n";
+  out << "           [--state-dir DIR] [--checkpoint-interval I] (durable: journal\n";
+  out << "           + checkpoints; a restarted daemon resumes its jobs)\n";
+  out << "           [--result-retention N] [--speculative-factor F]\n";
   out << "  submit   --host H --port P --function F --dim D --algorithm A ...\n";
-  out << "           [--detach]       (same flags/defaults as optimize)\n";
-  out << "  status   --host H --port P [--job N]   (N omitted = service summary)\n";
+  out << "           [--detach] [--priority 1..100] (same flags/defaults as optimize)\n";
+  out << "  status   --host H --port P [--job N] [--result]  (N omitted = summary;\n";
+  out << "           --result pulls the stored outcome, surviving restarts)\n";
   out << "  cancel   --host H --port P --job N\n";
   out << "  worker   --host H --port P [--reconnect false]\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
