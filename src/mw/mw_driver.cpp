@@ -55,6 +55,7 @@ void MWDriver::setTelemetry(telemetry::Telemetry* telemetry) {
                                     {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
   telSpecDuplicates_ = &reg.counter("mw.speculative_duplicates");
   telSpecDiscards_ = &reg.counter("mw.speculative_discards");
+  telStaleDiscards_ = &reg.counter("mw.stale_results_discarded");
   reg.gauge("mw.workers").set(static_cast<double>(workerCount()));
 }
 
@@ -228,11 +229,18 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
     Message msg = std::move(*maybe);
     if (msg.tag == kTagResult) {
       const std::uint64_t id = msg.payload.unpackUint64();
-      const auto it = tasks.find(id);
-      if (it == tasks.end()) {
-        throw std::runtime_error("MWDriver: result for unknown task id");
-      }
       growTo(msg.source + 1);
+      const auto it = tasks.find(id);
+      // A completion for a task we no longer track, or from a rank that is
+      // not its current holder, is a duplicated or reordered frame (the
+      // fabric can replay a ghosted rank's traffic across a reconnect).
+      // Discard it without touching the busy/inFlight bookkeeping — the
+      // real holder's identical result is the one that folds.
+      if (it == tasks.end() || inFlightId[static_cast<std::size_t>(msg.source)] != id) {
+        ++staleResultsDiscarded_;
+        if (telStaleDiscards_ != nullptr) telStaleDiscards_->add(1);
+        continue;
+      }
       if (telemetry_ != nullptr) {
         const double d = telNow() - it->second.dispatchedAt;
         telExecute_->observe(d);
@@ -266,6 +274,9 @@ std::vector<MessageBuffer> MWDriver::executeBuffers(std::vector<MessageBuffer> i
           inFlightId[static_cast<std::size_t>(msg.source)] == id) {
         requeueFrom(msg.source, id, what, "error");
         dispatchAll();
+      } else {
+        ++staleResultsDiscarded_;
+        if (telStaleDiscards_ != nullptr) telStaleDiscards_->add(1);
       }
     } else if (msg.tag == net::kTagWorkerLost) {
       const Rank lost = msg.source;
@@ -459,8 +470,14 @@ void MWDriver::handleAsyncMessage(Message msg) {
       return;
     }
     const auto it = asyncTasks_.find(id);
-    if (it == asyncTasks_.end()) {
-      throw std::runtime_error("MWDriver: result for unknown task id");
+    // Duplicated or reordered-across-reconnect completion: the task is
+    // already folded (or requeued to another holder).  Discard it without
+    // touching any rank's dispatch state — releasing msg.source here would
+    // corrupt the bookkeeping for whatever that rank is really running.
+    if (it == asyncTasks_.end() || asyncInFlightId_[src] != id) {
+      ++staleResultsDiscarded_;
+      if (telStaleDiscards_ != nullptr) telStaleDiscards_->add(1);
+      return;
     }
     const double execSeconds = steadySeconds() - it->second.dispatchedSteady;
     executeEwma_ =
@@ -518,6 +535,11 @@ void MWDriver::handleAsyncMessage(Message msg) {
         asyncRequeue(msg.source, id, what, "error");
         asyncDispatch();
       }
+    } else {
+      // A failure report for a task this rank no longer holds: a stale or
+      // duplicated frame, not a protocol state we track.
+      ++staleResultsDiscarded_;
+      if (telStaleDiscards_ != nullptr) telStaleDiscards_->add(1);
     }
   } else if (msg.tag == net::kTagWorkerLost) {
     const Rank lost = msg.source;

@@ -126,6 +126,16 @@ class MWDriver {
     return speculativeDiscards_;
   }
 
+  /// Completions (or error reports) that arrived for a task this driver no
+  /// longer tracks, or from a rank that is not the task's current holder —
+  /// duplicated frames, or late frames reordered across a reconnect.  They
+  /// are discarded without touching the dispatch bookkeeping: the holder's
+  /// own report (identical bytes, same deterministic task) is the one that
+  /// folds.
+  [[nodiscard]] std::uint64_t staleResultsDiscarded() const noexcept {
+    return staleResultsDiscarded_;
+  }
+
   /// Attach the observability spine (non-owning; must outlive the driver).
   /// Pre-registers the task-lifecycle metrics — queue-wait and execute
   /// histograms, per-worker utilization, completion/requeue counters — and
@@ -195,6 +205,7 @@ class MWDriver {
   double executeEwma_ = 0.0;  ///< steady-clock EWMA of execute seconds
   std::uint64_t speculativeDuplicates_ = 0;
   std::uint64_t speculativeDiscards_ = 0;
+  std::uint64_t staleResultsDiscarded_ = 0;
   std::vector<AsyncCompletion> asyncReady_;
   /// Every worker message handled on the async path, completions or not;
   /// drain() uses it to tell "backend silent" from "recovery in progress".
@@ -209,6 +220,7 @@ class MWDriver {
   telemetry::Counter* telBatches_ = nullptr;
   telemetry::Counter* telSpecDuplicates_ = nullptr;
   telemetry::Counter* telSpecDiscards_ = nullptr;
+  telemetry::Counter* telStaleDiscards_ = nullptr;
   telemetry::Histogram* telQueueWait_ = nullptr;
   telemetry::Histogram* telExecute_ = nullptr;
   telemetry::Histogram* telUtilization_ = nullptr;

@@ -1,0 +1,429 @@
+#include "net/chaos_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace sfopt::net {
+
+namespace {
+
+/// Poll granularity of the relay thread: short enough that delayed-frame
+/// release times and injected events feel immediate to the tests.
+constexpr int kPollMillis = 5;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// A length prefix beyond this is not protocol traffic; the proxy gives up
+/// carving and relays the bytes opaquely so the real endpoint's decoder
+/// raises the protocol error (the proxy must never be the strictest link).
+constexpr std::size_t kMaxCarvedFrame = std::size_t{256} << 20;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void bump(std::atomic<std::uint64_t>& a, telemetry::Counter* c, std::uint64_t n = 1) {
+  a.fetch_add(n, std::memory_order_relaxed);
+  if (c != nullptr) c->add(static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+ChaosSchedule ChaosSchedule::preset(const std::string& name, std::uint64_t seed) {
+  ChaosSchedule s;
+  s.seed = seed;
+  using Kind = ChaosEvent::Kind;
+  if (name == "none") return s;
+  if (name == "partition-heal") {
+    s.events.push_back({2.0, Kind::Partition, ChaosDir::Up, 0.0, 0.0, 0, -1});
+    s.events.push_back({6.0, Kind::Heal, ChaosDir::Up, 0.0, 0.0, 0, -1});
+    return s;
+  }
+  if (name == "blackhole-up") {
+    s.events.push_back({2.0, Kind::Blackhole, ChaosDir::Up, 0.0, 0.0, 0, -1});
+    s.events.push_back({6.0, Kind::Heal, ChaosDir::Up, 0.0, 0.0, 0, -1});
+    return s;
+  }
+  if (name == "blackhole-down") {
+    s.events.push_back({2.0, Kind::Blackhole, ChaosDir::Down, 0.0, 0.0, 0, -1});
+    s.events.push_back({6.0, Kind::Heal, ChaosDir::Down, 0.0, 0.0, 0, -1});
+    return s;
+  }
+  if (name == "delay-duplicate") {
+    s.events.push_back({0.0, Kind::Delay, ChaosDir::Up, 0.02, 0.02, 0, -1});
+    s.events.push_back({0.0, Kind::Delay, ChaosDir::Down, 0.02, 0.02, 0, -1});
+    s.events.push_back({0.0, Kind::Duplicate, ChaosDir::Up, 0.0, 0.0, 0, -1});
+    return s;
+  }
+  if (name == "midframe-stall") {
+    s.events.push_back({2.0, Kind::StallMidFrame, ChaosDir::Down, 0.0, 0.0, 7, -1});
+    s.events.push_back({8.0, Kind::Heal, ChaosDir::Down, 0.0, 0.0, 0, -1});
+    return s;
+  }
+  throw std::invalid_argument("ChaosSchedule: unknown preset '" + name + "'");
+}
+
+ChaosProxy::ChaosProxy(std::string targetHost, std::uint16_t targetPort,
+                       ChaosSchedule schedule, telemetry::Telemetry* telemetry,
+                       std::uint16_t listenPort)
+    : targetHost_(std::move(targetHost)),
+      targetPort_(targetPort),
+      schedule_(std::move(schedule)),
+      listener_(tcpListen(listenPort)),
+      port_(localPort(listener_)),
+      rngState_(schedule_.seed) {
+  std::stable_sort(schedule_.events.begin(), schedule_.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.atSeconds < b.atSeconds;
+                   });
+  if (telemetry != nullptr) {
+    auto& reg = telemetry->metrics();
+    telConnections_ = &reg.counter("chaos.connections");
+    telFramesForwarded_ = &reg.counter("chaos.frames_forwarded");
+    telBytesForwarded_ = &reg.counter("chaos.bytes_forwarded");
+    telFramesDropped_ = &reg.counter("chaos.frames_dropped");
+    telBytesDropped_ = &reg.counter("chaos.bytes_dropped");
+    telFramesDuplicated_ = &reg.counter("chaos.frames_duplicated");
+    telFramesDelayed_ = &reg.counter("chaos.frames_delayed");
+    telPartitions_ = &reg.counter("chaos.partitions");
+    telHeals_ = &reg.counter("chaos.heals");
+    telStalls_ = &reg.counter("chaos.stalls");
+  }
+  startSeconds_ = monotonicSeconds();
+  thread_ = std::thread([this] { run(); });
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::stop() {
+  if (!stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    for (auto& link : links_) closeLink(*link);
+    listener_.close();
+  } else if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ChaosProxy::inject(ChaosEvent event) {
+  std::lock_guard lock(injectMutex_);
+  injected_.push_back(event);
+}
+
+void ChaosProxy::heal() {
+  ChaosEvent e;
+  e.kind = ChaosEvent::Kind::Heal;
+  e.connIndex = -1;
+  inject(e);
+}
+
+ChaosProxy::Counters ChaosProxy::counters() const {
+  Counters c;
+  c.connectionsAccepted = counts_.connectionsAccepted.load(std::memory_order_relaxed);
+  c.connectionsClosed = counts_.connectionsClosed.load(std::memory_order_relaxed);
+  c.framesForwarded = counts_.framesForwarded.load(std::memory_order_relaxed);
+  c.bytesForwarded = counts_.bytesForwarded.load(std::memory_order_relaxed);
+  c.framesDropped = counts_.framesDropped.load(std::memory_order_relaxed);
+  c.bytesDropped = counts_.bytesDropped.load(std::memory_order_relaxed);
+  c.framesDuplicated = counts_.framesDuplicated.load(std::memory_order_relaxed);
+  c.framesDelayed = counts_.framesDelayed.load(std::memory_order_relaxed);
+  c.partitions = counts_.partitions.load(std::memory_order_relaxed);
+  c.heals = counts_.heals.load(std::memory_order_relaxed);
+  c.stalls = counts_.stalls.load(std::memory_order_relaxed);
+  return c;
+}
+
+double ChaosProxy::jitterUnit() {
+  return static_cast<double>(splitmix64(rngState_) >> 11) * 0x1.0p-53;
+}
+
+void ChaosProxy::applyToLink(Link& link, const ChaosEvent& event) {
+  using Kind = ChaosEvent::Kind;
+  LinkDir& d = link.dir[static_cast<int>(event.dir)];
+  switch (event.kind) {
+    case Kind::Partition:
+      link.dir[0].drop = true;
+      link.dir[1].drop = true;
+      break;
+    case Kind::Heal:
+      for (LinkDir* ld : {&link.dir[0], &link.dir[1]}) {
+        ld->drop = false;
+        ld->stalled = false;
+        ld->midFrameArmed = false;
+        ld->midFramePrefix = 0;
+        ld->duplicate = false;
+        ld->delaySeconds = 0.0;
+        ld->jitterSeconds = 0.0;
+      }
+      break;
+    case Kind::Blackhole:
+      d.drop = true;
+      break;
+    case Kind::Stall:
+      d.stalled = true;
+      break;
+    case Kind::StallMidFrame:
+      d.midFrameArmed = true;
+      d.midFramePrefix = event.stallAfterBytes;
+      break;
+    case Kind::Delay:
+      d.delaySeconds = event.delaySeconds;
+      d.jitterSeconds = event.jitterSeconds;
+      break;
+    case Kind::Duplicate:
+      d.duplicate = true;
+      break;
+    case Kind::CloseConnections:
+      closeLink(link);
+      break;
+  }
+}
+
+void ChaosProxy::apply(const ChaosEvent& event) {
+  using Kind = ChaosEvent::Kind;
+  switch (event.kind) {
+    case Kind::Partition:
+      bump(counts_.partitions, telPartitions_);
+      break;
+    case Kind::Heal:
+      bump(counts_.heals, telHeals_);
+      break;
+    case Kind::Stall:
+    case Kind::StallMidFrame:
+      bump(counts_.stalls, telStalls_);
+      break;
+    default:
+      break;
+  }
+  if (event.connIndex >= 0) {
+    if (static_cast<std::size_t>(event.connIndex) < links_.size()) {
+      applyToLink(*links_[static_cast<std::size_t>(event.connIndex)], event);
+    }
+    return;
+  }
+  for (auto& link : links_) {
+    if (link->open) applyToLink(*link, event);
+  }
+  // Mirror the standing state onto future connections: a worker that dials
+  // in mid-partition must not tunnel through it.
+  Link defaults;
+  defaults.dir[0] = pendingDefaults_[0];
+  defaults.dir[1] = pendingDefaults_[1];
+  defaults.open = true;
+  if (event.kind != Kind::CloseConnections) applyToLink(defaults, event);
+  pendingDefaults_[0] = std::move(defaults.dir[0]);
+  pendingDefaults_[1] = std::move(defaults.dir[1]);
+}
+
+void ChaosProxy::applyDue(double elapsed) {
+  {
+    std::lock_guard lock(injectMutex_);
+    for (const ChaosEvent& e : injected_) apply(e);
+    injected_.clear();
+  }
+  while (nextEvent_ < schedule_.events.size() &&
+         schedule_.events[nextEvent_].atSeconds <= elapsed) {
+    apply(schedule_.events[nextEvent_]);
+    ++nextEvent_;
+  }
+}
+
+void ChaosProxy::acceptOne() {
+  while (auto accepted = tcpAccept(listener_)) {
+    auto link = std::make_unique<Link>();
+    link->client = std::move(*accepted);
+    try {
+      link->server = tcpConnect(targetHost_, targetPort_, 5.0);
+    } catch (const std::exception&) {
+      continue;  // target gone: refuse by dropping the accepted socket
+    }
+    link->dir[0] = pendingDefaults_[0];
+    link->dir[1] = pendingDefaults_[1];
+    link->open = true;
+    links_.push_back(std::move(link));
+    active_.fetch_add(1, std::memory_order_relaxed);
+    bump(counts_.connectionsAccepted, telConnections_);
+  }
+}
+
+void ChaosProxy::closeLink(Link& link) {
+  if (!link.open) return;
+  link.open = false;
+  link.client.close();
+  link.server.close();
+  link.dir[0] = LinkDir{};
+  link.dir[1] = LinkDir{};
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  bump(counts_.connectionsClosed, nullptr);
+}
+
+void ChaosProxy::pumpIn(Link& link, ChaosDir d) {
+  LinkDir& dir = link.dir[static_cast<int>(d)];
+  const Socket& src = d == ChaosDir::Up ? link.client : link.server;
+  std::byte chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(src.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      dir.inbox.insert(dir.inbox.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    closeLink(link);
+    return;
+  }
+  // Carve complete frames (4-byte LE length prefix + body) and route each
+  // through the direction's fault state.
+  const double now = monotonicSeconds();
+  std::size_t pos = 0;
+  while (dir.inbox.size() - pos >= 4) {
+    const auto* b = dir.inbox.data() + pos;
+    const std::uint32_t len = static_cast<std::uint32_t>(b[0]) |
+                              (static_cast<std::uint32_t>(b[1]) << 8) |
+                              (static_cast<std::uint32_t>(b[2]) << 16) |
+                              (static_cast<std::uint32_t>(b[3]) << 24);
+    if (len == 0 || len > kMaxCarvedFrame) {
+      // Not protocol traffic: relay the rest opaquely and let the real
+      // endpoint's decoder reject it.
+      Chunk raw;
+      raw.bytes.assign(dir.inbox.begin() + static_cast<std::ptrdiff_t>(pos),
+                       dir.inbox.end());
+      raw.dueAt = now;
+      pos = dir.inbox.size();
+      if (!dir.drop) dir.outQ.push_back(std::move(raw));
+      break;
+    }
+    const std::size_t total = 4 + static_cast<std::size_t>(len);
+    if (dir.inbox.size() - pos < total) break;
+    std::vector<std::byte> frame(dir.inbox.begin() + static_cast<std::ptrdiff_t>(pos),
+                                 dir.inbox.begin() + static_cast<std::ptrdiff_t>(pos + total));
+    pos += total;
+
+    if (dir.drop) {
+      bump(counts_.framesDropped, telFramesDropped_);
+      bump(counts_.bytesDropped, telBytesDropped_, frame.size());
+      continue;
+    }
+    if (dir.midFrameArmed) {
+      // Deliver the prefix, then freeze the direction: the receiver's
+      // decoder is left holding a torn frame it can never complete.
+      const std::size_t prefix = std::min(dir.midFramePrefix, frame.size());
+      Chunk torn;
+      torn.bytes.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(prefix));
+      torn.dueAt = now;
+      bump(counts_.bytesForwarded, telBytesForwarded_, prefix);
+      bump(counts_.bytesDropped, telBytesDropped_, frame.size() - prefix);
+      dir.outQ.push_back(std::move(torn));
+      dir.midFrameArmed = false;
+      dir.midFramePrefix = 0;
+      dir.stalled = true;
+      break;  // stalled: whatever is left in the inbox waits for a heal
+    }
+    Chunk out;
+    out.dueAt = now + dir.delaySeconds +
+                (dir.jitterSeconds > 0.0 ? dir.jitterSeconds * jitterUnit() : 0.0);
+    if (dir.delaySeconds > 0.0 || dir.jitterSeconds > 0.0) {
+      bump(counts_.framesDelayed, telFramesDelayed_);
+    }
+    bump(counts_.framesForwarded, telFramesForwarded_);
+    bump(counts_.bytesForwarded, telBytesForwarded_, frame.size());
+    // Never duplicate handshake frames (Hello=3 / Welcome=4): TCP dedups
+    // the connection-setup path, so frame duplication models re-delivered
+    // *payload* frames; a doubled Hello would be a protocol violation no
+    // real fabric produces, and the master rightly evicts peers for it.
+    const bool handshake =
+        frame.size() > 4 && (frame[4] == std::byte{3} || frame[4] == std::byte{4});
+    if (dir.duplicate && !handshake) {
+      Chunk dup;
+      dup.bytes = frame;
+      dup.dueAt = out.dueAt;
+      out.bytes = std::move(frame);
+      dir.outQ.push_back(std::move(out));
+      dir.outQ.push_back(std::move(dup));
+      bump(counts_.framesDuplicated, telFramesDuplicated_);
+    } else {
+      out.bytes = std::move(frame);
+      dir.outQ.push_back(std::move(out));
+    }
+  }
+  if (pos > 0) dir.inbox.erase(dir.inbox.begin(), dir.inbox.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void ChaosProxy::pumpOut(Link& link, ChaosDir d, double now) {
+  LinkDir& dir = link.dir[static_cast<int>(d)];
+  if (dir.stalled) return;
+  const Socket& sink = d == ChaosDir::Up ? link.server : link.client;
+  while (!dir.outQ.empty() && dir.outQ.front().dueAt <= now) {
+    Chunk& front = dir.outQ.front();
+    while (dir.outPos < front.bytes.size()) {
+      const ssize_t n = ::send(sink.fd(), front.bytes.data() + dir.outPos,
+                               front.bytes.size() - dir.outPos, MSG_NOSIGNAL);
+      if (n > 0) {
+        dir.outPos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      closeLink(link);
+      return;
+    }
+    dir.outQ.pop_front();
+    dir.outPos = 0;
+  }
+}
+
+void ChaosProxy::run() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    applyDue(monotonicSeconds() - startSeconds_);
+
+    std::vector<pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    // (link index, direction whose *source* this fd is) per entry.
+    std::vector<std::pair<std::size_t, ChaosDir>> where;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const Link& link = *links_[i];
+      if (!link.open) continue;
+      // A stalled direction stops reading its source entirely — that is
+      // the fault: the sender's kernel buffer backs up.
+      if (!link.dir[0].stalled) {
+        fds.push_back({link.client.fd(), POLLIN, 0});
+        where.emplace_back(i, ChaosDir::Up);
+      }
+      if (!link.dir[1].stalled) {
+        fds.push_back({link.server.fd(), POLLIN, 0});
+        where.emplace_back(i, ChaosDir::Down);
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollMillis);
+    if (ready > 0) {
+      if (fds[0].revents & POLLIN) acceptOne();
+      for (std::size_t k = 0; k < where.size(); ++k) {
+        const short re = fds[k + 1].revents;
+        if (re & (POLLIN | POLLERR | POLLHUP)) {
+          Link& link = *links_[where[k].first];
+          if (link.open) pumpIn(link, where[k].second);
+        }
+      }
+    }
+    const double now = monotonicSeconds();
+    for (auto& link : links_) {
+      if (!link->open) continue;
+      pumpOut(*link, ChaosDir::Up, now);
+      if (link->open) pumpOut(*link, ChaosDir::Down, now);
+    }
+  }
+}
+
+}  // namespace sfopt::net

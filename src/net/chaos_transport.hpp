@@ -1,0 +1,246 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace sfopt::telemetry {
+class Telemetry;
+class Counter;
+}
+
+namespace sfopt::net {
+
+/// Direction of travel through a ChaosProxy link.  `Up` is client->server
+/// (worker frames toward the master it dialed through the proxy), `Down`
+/// is server->client (master frames back to the worker).
+enum class ChaosDir : int { Up = 0, Down = 1 };
+
+/// One fault-injection action.  A schedule is a list of these ordered by
+/// `atSeconds` (relative to proxy start); tests can also inject() them
+/// immediately.  `connIndex` narrows an event to the Nth accepted
+/// connection (0-based); -1 applies it to every current and future one.
+struct ChaosEvent {
+  enum class Kind {
+    /// Drop both directions (frames sent during the partition vanish, as
+    /// on a real partition) until a Heal.
+    Partition,
+    /// Clear every standing fault on the link: partition, blackholes,
+    /// stalls, delay, duplication.  Frames dropped meanwhile stay dropped.
+    Heal,
+    /// Drop one direction only: the sender's writes keep succeeding (the
+    /// proxy reads and discards) while the receiver hears silence — the
+    /// classic half-open connection.
+    Blackhole,
+    /// Stop *reading* the source socket of `dir`.  The sender's kernel
+    /// buffer fills and its non-blocking writes start failing with EAGAIN
+    /// — a write stall, which is how a consumer that wedged (rather than
+    /// died) looks from the other end.
+    Stall,
+    /// Deliver the first `stallAfterBytes` bytes of the next complete
+    /// frame in `dir`, then freeze the direction like Stall.  The
+    /// receiver's FrameDecoder starves mid-frame.
+    StallMidFrame,
+    /// Delay every frame in `dir` by delaySeconds plus a deterministic
+    /// jitter in [0, jitterSeconds) drawn from the schedule seed.  Order
+    /// within the direction is preserved (TCP cannot reorder a stream).
+    Delay,
+    /// Forward every frame in `dir` twice until healed.
+    Duplicate,
+    /// Hard-close every active link (both sockets), as if a middlebox
+    /// reset the connections.  Future dials still go through.
+    CloseConnections,
+  };
+
+  double atSeconds = 0.0;
+  Kind kind = Kind::Partition;
+  ChaosDir dir = ChaosDir::Up;
+  double delaySeconds = 0.0;
+  double jitterSeconds = 0.0;
+  std::size_t stallAfterBytes = 0;
+  int connIndex = -1;
+};
+
+/// A deterministic, seeded fault plan: every run of the same schedule
+/// against the same traffic injects the same faults with the same jitter,
+/// so any chaos failure is replayable from (seed, events).
+struct ChaosSchedule {
+  std::uint64_t seed = 0;
+  std::vector<ChaosEvent> events;
+
+  /// Canonical named scenarios shared by the tests, the `sfopt chaosproxy`
+  /// CLI, and the partition-chaos CI smoke:
+  ///   none            forward faithfully (plumbing check)
+  ///   partition-heal  full partition at 2s, healed at 6s
+  ///   blackhole-up    worker->master frames vanish from 2s to 6s
+  ///   blackhole-down  master->worker frames vanish from 2s to 6s
+  ///   delay-duplicate 20ms +/- jittered delay both ways, worker->master
+  ///                   frames duplicated, for the whole run
+  ///   midframe-stall  master->worker direction freezes 7 bytes into the
+  ///                   next frame at 2s, healed at 8s
+  /// Throws std::invalid_argument for an unknown name.
+  [[nodiscard]] static ChaosSchedule preset(const std::string& name, std::uint64_t seed);
+};
+
+/// A fault-injecting TCP proxy between master and workers.  Workers dial
+/// the proxy's port; each accepted connection is paired with a fresh
+/// connection to the real master, and bytes are relayed frame-by-frame
+/// with the scheduled faults applied per direction.  Runs on one
+/// background thread; construction binds + listens, destruction (or
+/// stop()) tears everything down.
+///
+/// The relay is frame-aware: bytes are reassembled into whole wire frames
+/// (u32-LE length prefix) before forwarding, so duplication duplicates
+/// exact frames and a mid-frame stall can freeze a precise number of
+/// bytes into one.  When either side closes, the proxy closes both — a
+/// real middlebox propagates resets the same way.
+///
+/// Exposes `chaos.*` telemetry counters when a spine is attached, and the
+/// same counts programmatically through counters() for tests.
+class ChaosProxy {
+ public:
+  /// Listen on `listenPort` (0 = ephemeral, read back via port()) and
+  /// relay every accepted connection to targetHost:targetPort under
+  /// `schedule`.  The telemetry pointer may be null.
+  ChaosProxy(std::string targetHost, std::uint16_t targetPort, ChaosSchedule schedule = {},
+             telemetry::Telemetry* telemetry = nullptr, std::uint16_t listenPort = 0);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stop relaying and close every socket.  Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Apply an event on the proxy thread before its next poll pass
+  /// (atSeconds is ignored — injection is immediate).  Thread-safe.
+  void inject(ChaosEvent event);
+
+  /// Convenience: inject a Heal for every connection.
+  void heal();
+
+  /// Point-in-time copy of the fault/traffic counters (all monotonic).
+  struct Counters {
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsClosed = 0;
+    std::uint64_t framesForwarded = 0;
+    std::uint64_t bytesForwarded = 0;
+    std::uint64_t framesDropped = 0;
+    std::uint64_t bytesDropped = 0;
+    std::uint64_t framesDuplicated = 0;
+    std::uint64_t framesDelayed = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+    std::uint64_t stalls = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// Links currently relaying (accepted and not yet closed).
+  [[nodiscard]] int activeConnections() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One queued delivery toward a link endpoint: whole frame bytes (or a
+  /// deliberate mid-frame prefix) releasable at `dueAt`.
+  struct Chunk {
+    std::vector<std::byte> bytes;
+    double dueAt = 0.0;
+  };
+
+  /// Per-direction fault state + relay buffers of one link.
+  struct LinkDir {
+    std::vector<std::byte> inbox;  ///< raw bytes from the source, pre-carve
+    std::deque<Chunk> outQ;        ///< carved frames awaiting delivery
+    std::size_t outPos = 0;        ///< partially written prefix of outQ.front()
+    bool drop = false;             ///< partition / blackhole: discard frames
+    bool stalled = false;          ///< stop reading source + stop delivering
+    bool midFrameArmed = false;    ///< next frame: deliver prefix, then stall
+    std::size_t midFramePrefix = 0;
+    bool duplicate = false;
+    double delaySeconds = 0.0;
+    double jitterSeconds = 0.0;
+  };
+
+  struct Link {
+    Socket client;  ///< accepted worker/client side
+    Socket server;  ///< our dial to the real master
+    LinkDir dir[2];  ///< indexed by ChaosDir
+    bool open = false;
+  };
+
+  void run();
+  void applyDue(double elapsed);
+  void apply(const ChaosEvent& event);
+  void applyToLink(Link& link, const ChaosEvent& event);
+  void acceptOne();
+  /// Read whatever the source socket of `d` has, carve complete frames,
+  /// and route each through the direction's fault state.
+  void pumpIn(Link& link, ChaosDir d);
+  /// Deliver due chunks of `d` to its sink socket until EAGAIN.
+  void pumpOut(Link& link, ChaosDir d, double now);
+  void closeLink(Link& link);
+  [[nodiscard]] double jitterUnit();  ///< deterministic [0, 1) stream
+
+  std::string targetHost_;
+  std::uint16_t targetPort_ = 0;
+  ChaosSchedule schedule_;
+  std::size_t nextEvent_ = 0;  ///< schedule_.events consumed so far
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  double startSeconds_ = 0.0;
+  std::uint64_t rngState_ = 0;
+  /// Defaults applied to connections accepted after a global (-1) event;
+  /// mirrors the standing per-direction fault state.
+  LinkDir pendingDefaults_[2];
+  bool defaultsPartitioned_ = false;
+  std::vector<std::unique_ptr<Link>> links_;  ///< index = accept order
+
+  std::mutex injectMutex_;
+  std::vector<ChaosEvent> injected_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_{0};
+  std::thread thread_;
+
+  // Counter storage is atomic: the proxy thread writes, tests read.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> connectionsAccepted{0};
+    std::atomic<std::uint64_t> connectionsClosed{0};
+    std::atomic<std::uint64_t> framesForwarded{0};
+    std::atomic<std::uint64_t> bytesForwarded{0};
+    std::atomic<std::uint64_t> framesDropped{0};
+    std::atomic<std::uint64_t> bytesDropped{0};
+    std::atomic<std::uint64_t> framesDuplicated{0};
+    std::atomic<std::uint64_t> framesDelayed{0};
+    std::atomic<std::uint64_t> partitions{0};
+    std::atomic<std::uint64_t> heals{0};
+    std::atomic<std::uint64_t> stalls{0};
+  };
+  AtomicCounters counts_;
+
+  /// Mirrored `chaos.*` registry handles (null without a spine).
+  telemetry::Counter* telConnections_ = nullptr;
+  telemetry::Counter* telFramesForwarded_ = nullptr;
+  telemetry::Counter* telBytesForwarded_ = nullptr;
+  telemetry::Counter* telFramesDropped_ = nullptr;
+  telemetry::Counter* telBytesDropped_ = nullptr;
+  telemetry::Counter* telFramesDuplicated_ = nullptr;
+  telemetry::Counter* telFramesDelayed_ = nullptr;
+  telemetry::Counter* telPartitions_ = nullptr;
+  telemetry::Counter* telHeals_ = nullptr;
+  telemetry::Counter* telStalls_ = nullptr;
+};
+
+}  // namespace sfopt::net

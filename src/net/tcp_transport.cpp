@@ -53,6 +53,7 @@ NetTelemetry NetTelemetry::registerIn(telemetry::Telemetry* telemetry) {
   t.heartbeatsSent = &reg.counter("net.heartbeats_sent");
   t.heartbeatMisses = &reg.counter("net.heartbeat_misses");
   t.sendsDropped = &reg.counter("net.sends_dropped");
+  t.sendStalls = &reg.counter("net.send_stalls");
   t.framesIn = &reg.counter("net.frames_in");
   t.framesOut = &reg.counter("net.frames_out");
   t.decodeErrors = &reg.counter("net.decode_errors");
@@ -156,22 +157,57 @@ void TcpCommWorld::enqueueToPeer(Rank rank, const Frame& frame) {
 
 void TcpCommWorld::flushPeer(Rank rank) {
   Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  bool progressed = false;
   while (peer.alive && peer.sendPos < peer.sendBuf.size()) {
     const ssize_t n = ::send(peer.sock.fd(), peer.sendBuf.data() + peer.sendPos,
                              peer.sendBuf.size() - peer.sendPos, MSG_NOSIGNAL);
     if (n > 0) {
       peer.sendPos += static_cast<std::size_t>(n);
+      progressed = true;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;  // drained by poll later
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Drained by poll later — but start (or keep) the stall clock: a
+      // half-open peer never drains, and only this deadline catches it.
+      if (peer.sendBlockedSince <= 0.0 || progressed) {
+        peer.sendBlockedSince = monotonicSeconds();
+      }
+      // Against a stalled consumer the backlog would otherwise grow
+      // without bound: cap it and evict the peer as lost.
+      if (options_.maxSendBufferBytes > 0 &&
+          peer.sendBuf.size() - peer.sendPos > options_.maxSendBufferBytes) {
+        NetTelemetry::add(tel_.sendStalls);
+        markLost(rank, "send backlog overflow");
+      }
+      return;
+    }
     if (n < 0 && errno == EINTR) continue;
     markLost(rank, "send failed");
     return;
   }
+  peer.sendBlockedSince = 0.0;
   if (peer.sendPos == peer.sendBuf.size()) {
     peer.sendBuf.clear();
     peer.sendPos = 0;
   }
+}
+
+void TcpCommWorld::retireFleetTelemetry(Rank rank) {
+  Peer& peer = *peers_[static_cast<std::size_t>(rank) - 1];
+  if (options_.telemetry != nullptr && peer.health.seen) {
+    auto& reg = options_.telemetry->metrics();
+    const std::string prefix = "fleet.r" + std::to_string(rank) + ".";
+    for (const char* name :
+         {"execute_ewma_seconds", "tasks_executed", "tasks_failed", "bytes_in",
+          "bytes_out", "messages_in", "messages_out", "queue_depth"}) {
+      reg.gauge(prefix + name).set(0.0);
+    }
+    if (peer.health.rttSeconds >= 0.0) {
+      reg.gauge(prefix + "rtt_seconds").set(0.0);
+      reg.gauge(prefix + "clock_offset_seconds").set(0.0);
+    }
+  }
+  peer.health = FleetHealth{};
 }
 
 void TcpCommWorld::markLost(Rank rank, const char* why) {
@@ -181,6 +217,12 @@ void TcpCommWorld::markLost(Rank rank, const char* why) {
   peer.sock.close();
   peer.sendBuf.clear();
   peer.sendPos = 0;
+  peer.sendBlockedSince = 0.0;
+  // Retire the rank's gauges and clock-offset estimate now: ranks are
+  // never reused, so nothing would ever overwrite them, and a reconnected
+  // worker reporting under its fresh rank must not leave the old keys
+  // frozen at their last pre-loss readings.
+  retireFleetTelemetry(rank);
   NetTelemetry::add(tel_.disconnects);
   Message lost;
   lost.source = rank;
@@ -554,9 +596,14 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
     }
   }
 
-  // Heartbeat bookkeeping: beat every live peer on the cadence, and declare
-  // lost any peer silent past the timeout.
+  // Heartbeat bookkeeping: beat every live peer on the cadence, declare
+  // lost any peer silent past the timeout, and declare lost any peer whose
+  // socket has refused our bytes past the send-stall deadline (a half-open
+  // connection keeps heartbeating us, so recv silence never fires for it).
   const double now = monotonicSeconds();
+  const double stallTimeout = options_.sendStallTimeoutSeconds > 0.0
+                                  ? options_.sendStallTimeoutSeconds
+                                  : options_.heartbeatTimeoutSeconds;
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     Peer& p = *peers_[i];
     if (!p.alive) continue;
@@ -569,6 +616,10 @@ void TcpCommWorld::pollOnce(double timeoutSeconds) {
     if (p.alive && now - p.lastHeard > options_.heartbeatTimeoutSeconds) {
       NetTelemetry::add(tel_.heartbeatMisses);
       markLost(rank, "heartbeat timeout");
+    }
+    if (p.alive && p.sendBlockedSince > 0.0 && now - p.sendBlockedSince > stallTimeout) {
+      NetTelemetry::add(tel_.sendStalls);
+      markLost(rank, "send stall");
     }
   }
 }

@@ -36,6 +36,7 @@ struct NetTelemetry {
   telemetry::Counter* heartbeatsSent = nullptr;
   telemetry::Counter* heartbeatMisses = nullptr;
   telemetry::Counter* sendsDropped = nullptr;
+  telemetry::Counter* sendStalls = nullptr;
   telemetry::Counter* framesIn = nullptr;
   telemetry::Counter* framesOut = nullptr;
   telemetry::Counter* decodeErrors = nullptr;
@@ -76,6 +77,16 @@ struct FleetHealth {
 struct TcpMasterOptions {
   double heartbeatIntervalSeconds = 2.0;  ///< cadence of master->worker beats
   double heartbeatTimeoutSeconds = 10.0;  ///< silence after which a worker is lost
+  /// A peer whose socket has accepted no bytes for this long while we have
+  /// frames queued for it is lost — recv-silence alone cannot catch a
+  /// half-open connection where the worker still heartbeats us but never
+  /// drains its side (one-way partition, wedged middlebox).  0 falls back
+  /// to heartbeatTimeoutSeconds.
+  double sendStallTimeoutSeconds = 0.0;
+  /// Cap on the per-peer userspace send backlog; exceeding it evicts the
+  /// peer as lost rather than letting a stalled consumer grow the buffer
+  /// without bound.  0 disables the cap (not recommended).
+  std::size_t maxSendBufferBytes = std::size_t{64} << 20;
   std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
   telemetry::Telemetry* telemetry = nullptr;
 };
@@ -104,11 +115,14 @@ struct TcpWorkerOptions {
 /// Clients are request/response peers: no heartbeat-silence eviction, a
 /// closed connection simply retires the id.
 ///
-/// Failure detection is two-pronged: a closed/reset connection is noticed
-/// immediately via poll, and a hung-but-open peer is noticed when its
-/// heartbeats stop for `heartbeatTimeoutSeconds`.  Either way the loss is
-/// surfaced as a kTagWorkerLost message so the MW driver requeues the
-/// worker's in-flight task.
+/// Failure detection is three-pronged: a closed/reset connection is
+/// noticed immediately via poll, a hung-but-open peer is noticed when its
+/// heartbeats stop for `heartbeatTimeoutSeconds`, and a half-open peer
+/// that still heartbeats us but stops draining its own socket is noticed
+/// when our sends stall past `sendStallTimeoutSeconds` (or the backlog
+/// exceeds `maxSendBufferBytes`).  Either way the loss is surfaced as a
+/// kTagWorkerLost message so the MW driver requeues the worker's
+/// in-flight task, and the lost rank's `fleet.r<N>.*` gauges are retired.
 ///
 /// Threading: intended to be driven by one (master) thread; not
 /// thread-safe.  All I/O happens inside recv/recvFor/tryRecv/send and
@@ -191,6 +205,11 @@ class TcpCommWorld final : public Transport {
     std::size_t sendPos = 0;
     double lastHeard = 0.0;
     double lastBeat = 0.0;
+    /// When the kernel first refused our bytes with a backlog pending
+    /// (0 = sends are flowing).  Half-open detection: a peer that keeps
+    /// heartbeating us but never drains its socket trips this deadline,
+    /// not the recv-silence one.
+    double sendBlockedSince = 0.0;
     bool alive = false;
     FleetHealth health;
   };
@@ -227,6 +246,10 @@ class TcpCommWorld final : public Transport {
   void flushPeer(Rank rank);
   void enqueueToPeer(Rank rank, const Frame& frame);
   void markLost(Rank rank, const char* why);
+  /// Zero the lost rank's `fleet.r<N>.*` gauges and reset its FleetHealth
+  /// so a reconnecting worker (which gets a fresh rank) leaves no stale
+  /// readings behind under the old keys.
+  void retireFleetTelemetry(Rank rank);
   [[nodiscard]] std::optional<Message> takeMatching(Rank source, int tag);
   void checkMaster(Rank at, const char* what) const;
 

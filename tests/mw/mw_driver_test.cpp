@@ -9,6 +9,8 @@
 
 #include "mw/mw_task.hpp"
 #include "mw/mw_worker.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -361,6 +363,109 @@ TEST(MWDriver, WorkersCountTheirTasks) {
   std::uint64_t total = 0;
   for (const auto& w : pool.objs) total += w->tasksExecuted();
   EXPECT_EQ(total, 10u);
+}
+
+TEST(MWDriver, DuplicateCompletionsForFoldedTasksAreDiscardedAndCounted) {
+  // A fabric that re-delivers frames (or a proxy that duplicates them)
+  // hands the driver a second kTagResult / kTagError for a task it already
+  // folded.  The duplicates must be discarded and counted — the driver
+  // used to throw "result for unknown task id" and kill the whole batch.
+  sfopt::telemetry::NoopSink sink;
+  sfopt::telemetry::Telemetry spine(sink);
+  CommWorld comm(2);
+  MWDriver driver(comm);
+  driver.setTelemetry(&spine);
+
+  std::thread script([&comm] {
+    // Task 1 completes normally on rank 1...
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MessageBuffer res;
+    res.pack(std::uint64_t{1});
+    res.pack(std::int64_t{25});
+    comm.send(1, 0, kTagResult, std::move(res));
+    // ...then the fabric re-delivers the same result frame, and a stale
+    // error report for the same id on top of it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MessageBuffer dup;
+    dup.pack(std::uint64_t{1});
+    dup.pack(std::int64_t{25});
+    comm.send(1, 0, kTagResult, std::move(dup));
+    MessageBuffer err;
+    err.pack(std::uint64_t{1});
+    err.pack(std::string("ghost failure"));
+    comm.send(1, 0, kTagError, std::move(err));
+    // Task 2 (dispatched once task 1 folded) completes last, so the
+    // duplicates are guaranteed to pass through the dispatch bookkeeping
+    // while the batch is still running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MessageBuffer res2;
+    res2.pack(std::uint64_t{2});
+    res2.pack(std::int64_t{36});
+    comm.send(1, 0, kTagResult, std::move(res2));
+  });
+
+  std::vector<MessageBuffer> inputs(2);
+  inputs[0].pack(std::int64_t{5});
+  inputs[1].pack(std::int64_t{6});
+  auto results = driver.executeBuffers(std::move(inputs));
+  script.join();
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].unpackInt64(), 25);
+  EXPECT_EQ(results[1].unpackInt64(), 36);
+  EXPECT_EQ(driver.staleResultsDiscarded(), 2u);
+  EXPECT_EQ(driver.tasksRequeued(), 0u) << "a stale error report must not requeue";
+  EXPECT_EQ(spine.metrics().counter("mw.stale_results_discarded").value(), 2);
+  driver.shutdown();
+}
+
+TEST(MWDriver, LateResultReorderedAcrossReconnectIsDiscardedOnAsyncPath) {
+  // A rank dies holding a task; the task requeues to another rank; THEN
+  // the dead rank's result frame arrives (late frames can be reordered
+  // across a loss — a healed proxy flushes them after the requeue).  The
+  // late frame must not fold, must not free anyone else's slot, and must
+  // not disturb the requeued attempt's bookkeeping.
+  CommWorld comm(3);
+  MWDriver driver(comm);
+  driver.setRecvTimeout(5.0);
+  MessageBuffer b;
+  b.pack(std::int64_t{7});
+  const std::uint64_t id = driver.submit(std::move(b));  // dispatched to rank 1
+
+  std::thread script([&comm, id] {
+    // Rank 1 is declared lost while holding the task -> requeue to rank 2.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    comm.send(1, 0, sfopt::net::kTagWorkerLost, {});
+    // The ghost's result surfaces AFTER the requeue: stale, discard.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MessageBuffer late;
+    late.pack(id);
+    late.pack(std::int64_t{49});
+    comm.send(1, 0, kTagResult, std::move(late));
+    // The requeued attempt on rank 2 is the one that folds.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    MessageBuffer res;
+    res.pack(id);
+    res.pack(std::int64_t{49});
+    comm.send(2, 0, kTagResult, std::move(res));
+    // And one more duplicate after the fold, for good measure.
+    MessageBuffer dup;
+    dup.pack(id);
+    dup.pack(std::int64_t{49});
+    comm.send(2, 0, kTagResult, std::move(dup));
+  });
+
+  auto done = driver.drain();
+  (void)driver.poll(0.3);  // give the post-fold duplicate a window to land
+  script.join();
+
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_EQ(done[0].payload.unpackInt64(), 49);
+  EXPECT_EQ(driver.tasksRequeued(), 1u);
+  EXPECT_EQ(driver.workersLost(), 1u);
+  EXPECT_EQ(driver.staleResultsDiscarded(), 2u);
+  driver.shutdown();
 }
 
 }  // namespace

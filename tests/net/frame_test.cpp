@@ -231,4 +231,49 @@ TEST(Frame, WireLayoutIsLittleEndianStable) {
   EXPECT_EQ(wire, expected);
 }
 
+TEST(Frame, DuplicatedFrameDecodesTwiceByteIdentical) {
+  // A fabric (or chaos proxy) that re-delivers a frame hands the decoder
+  // the same bytes twice.  The decoder's contract is fidelity, not dedup:
+  // both copies must surface, bit-identical — discarding the duplicate is
+  // MWDriver's job, keyed on task ids, not the transport's.
+  const auto wire = bytesOf(makeMessageFrame(9, {std::byte{0x5A}, std::byte{0xA5}},
+                                             /*traceId=*/77, /*parentSpan=*/88));
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  dec.feed(wire.data(), wire.size());
+
+  const auto first = dec.next();
+  const auto second = dec.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->tag, second->tag);
+  EXPECT_EQ(first->traceId, second->traceId);
+  EXPECT_EQ(first->parentSpan, second->parentSpan);
+  EXPECT_EQ(first->payload, second->payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Frame, ReorderedFramesDecodeInArrivalOrder) {
+  // Frames reordered across a reconnect (a healed proxy flushing stale
+  // bytes after fresh ones) arrive B-then-A: the decoder must surface
+  // them in arrival order with no reordering or sequencing of its own.
+  const auto a = bytesOf(makeMessageFrame(1, {std::byte{0xAA}}));
+  const auto b = bytesOf(makeMessageFrame(2, {std::byte{0xBB}}));
+
+  FrameDecoder dec;
+  dec.feed(b.data(), b.size());
+  dec.feed(a.data(), a.size());
+
+  const auto first = dec.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tag, 2);
+  EXPECT_EQ(first->payload, std::vector<std::byte>{std::byte{0xBB}});
+  const auto second = dec.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tag, 1);
+  EXPECT_EQ(second->payload, std::vector<std::byte>{std::byte{0xAA}});
+  EXPECT_FALSE(dec.next().has_value());
+}
+
 }  // namespace

@@ -20,6 +20,7 @@
 #include "core/algorithms.hpp"
 #include "core/initial_simplex.hpp"
 #include "mw/parallel_runner.hpp"
+#include "net/chaos_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "service/service.hpp"
 #include "service/service_client.hpp"
@@ -579,6 +580,105 @@ TEST(Durability, DaemonSigkilledRightAfterAdmissionRecoversBitwise) {
 
 TEST(Durability, DaemonSigkilledAfterACheckpointResumesFromItBitwise) {
   runKillRestartRound(/*waitForSnapshot=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: the worker fabric misbehaves mid-job, the result must not move.
+
+TEST(Durability, JobSurvivesChaosPartitionAndDuplicationBitwise) {
+  // Both workers dial the daemon through a ChaosProxy that duplicates
+  // every worker->master frame for the whole run; mid-job one worker's
+  // link is partitioned and later healed.  The master must evict the
+  // silenced rank, requeue its in-flight shards onto the survivor, accept
+  // the evicted worker back under a fresh rank, discard the duplicated and
+  // late frames — and hand the client a result bitwise identical to the
+  // solo run.
+  const service::JobSpec spec = makeSpec("rosenbrock", 4, "pc", 2026, 80);
+  const core::OptimizationResult solo = soloRun(spec);
+
+  net::TcpCommWorld::Options copts;
+  copts.heartbeatIntervalSeconds = 0.05;
+  copts.heartbeatTimeoutSeconds = 0.6;
+  net::TcpCommWorld comm(0, copts);
+
+  net::ChaosSchedule schedule;
+  schedule.seed = 2026;
+  schedule.events.push_back({0.0, net::ChaosEvent::Kind::Duplicate, net::ChaosDir::Up,
+                             0.0, 0.0, 0, -1});
+  net::ChaosProxy proxy("127.0.0.1", comm.port(), schedule);
+
+  // CLI-style reconnect loops: a worker whose link dies re-dials the proxy
+  // and serves under whatever fresh rank the master assigns.
+  std::atomic<bool> stopWorkers{false};
+  std::vector<std::thread> workers;
+  std::atomic<bool> stop{false};
+  std::thread daemon;
+  // Wind down on every exit path: a failed ASSERT or a thrown
+  // ConnectionLost must surface as a test failure, not as std::terminate
+  // from a joinable thread's destructor.
+  struct Cleanup {
+    std::function<void()> fn;
+    ~Cleanup() { fn(); }
+  } cleanup{[&] {
+    stop.store(true);
+    if (daemon.joinable()) daemon.join();
+    stopWorkers.store(true);
+    for (auto& t : workers) {
+      if (t.joinable()) t.join();
+    }
+  }};
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&] {
+      while (!stopWorkers.load()) {
+        try {
+          net::TcpWorkerTransport::Options wopts;
+          wopts.heartbeatIntervalSeconds = 0.05;
+          wopts.masterTimeoutSeconds = 1.0;
+          wopts.handshakeTimeoutSeconds = 1.0;
+          net::TcpWorkerTransport transport("127.0.0.1", proxy.port(), wopts);
+          service::ServiceWorker worker(transport, transport.rank());
+          worker.run();
+          break;  // clean shutdown from the service
+        } catch (const std::exception&) {
+        }
+        std::this_thread::sleep_for(30ms);
+      }
+    });
+    (void)comm.waitForWorkers(i + 1, 10.0);
+  }
+
+  service::ServiceOptions opts;
+  opts.maxJobs = 1;
+  opts.pollSeconds = 0.02;
+  opts.recvTimeoutSeconds = 30.0;
+  daemon = std::thread([&] {
+    service::OptimizationService svc(comm, opts);
+    (void)svc.run(stop);
+  });
+
+  // The client dials the daemon directly — chaos only on the worker fabric.
+  service::ServiceClient client("127.0.0.1", comm.port());
+  const service::StatusReply ack = client.submit(spec);
+  ASSERT_EQ(ack.state, service::JobState::Queued);
+
+  // Mid-job: partition the first worker's link, then heal it.  The window
+  // must comfortably exceed the master's 0.6s heartbeat timeout: task
+  // frames dropped during the partition are only ever recovered by the
+  // requeue that eviction triggers, so a heal racing the eviction deadline
+  // could strand them in-flight forever.
+  std::this_thread::sleep_for(150ms);
+  net::ChaosEvent cut;
+  cut.kind = net::ChaosEvent::Kind::Partition;
+  cut.connIndex = 0;
+  proxy.inject(cut);
+  std::this_thread::sleep_for(1200ms);
+  proxy.heal();
+
+  const service::ResultReply result = client.waitResult(120.0);
+  ASSERT_EQ(result.state, service::JobState::Done) << result.detail;
+  ASSERT_TRUE(result.outcome.has_value());
+  expectBitwiseEqual(*result.outcome, solo);
+  EXPECT_GT(proxy.counters().framesDuplicated, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,9 +6,11 @@
 #include <functional>
 #include <iterator>
 #include <map>
+#include <chrono>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "core/algorithms.hpp"
 #include "core/annealing.hpp"
@@ -20,6 +22,7 @@
 #include "md/simulation.hpp"
 #include "mw/parallel_runner.hpp"
 #include "mw/sampling_service.hpp"
+#include "net/chaos_transport.hpp"
 #include "net/frame.hpp"
 #include "net/tcp_transport.hpp"
 #include "noise/noisy_function.hpp"
@@ -672,6 +675,12 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
   net::TcpWorkerTransport::Options netOpts;
   netOpts.telemetry = telemetrySession.get();
   netOpts.heartbeatIntervalSeconds = args.getDouble("heartbeat-interval", 2.0);
+  // Master-silence deadline: under a one-way partition the connection
+  // stays open and our own beats keep "succeeding" into the void, so only
+  // this recv deadline (and the matching write deadline inside the
+  // transport) gets the worker back into its reconnect loop.
+  netOpts.masterTimeoutSeconds = args.getDouble("master-timeout", 30.0);
+  if (netOpts.masterTimeoutSeconds < 0.0) throw ArgError("--master-timeout must be >= 0");
 
   // Reconnect jitter is seeded by the last rank this worker held (0 on the
   // very first dial), so a restarted fleet's workers spread their retries
@@ -767,6 +776,53 @@ int runWorkerCommand(const Args& args, std::ostream& out) {
       }
     }
   }
+}
+
+int runChaosProxyCommand(const Args& args, std::ostream& out) {
+  const auto port = args.getInt("port", 0);
+  if (port < 0 || port > 65535) throw ArgError("--port must be in [0, 65535]");
+  const std::string targetHost = args.getString("target-host", "127.0.0.1");
+  const auto targetPort = args.getInt("target-port", 7600);
+  if (targetPort < 1 || targetPort > 65535) {
+    throw ArgError("--target-port must be in [1, 65535]");
+  }
+  const std::string scenario = args.getString("scenario", "none");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2026));
+  const double duration = args.getDouble("duration", 0.0);
+  if (duration < 0.0) throw ArgError("--duration must be >= 0");
+  net::ChaosSchedule schedule;
+  try {
+    schedule = net::ChaosSchedule::preset(scenario, seed);
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+
+  CliTelemetry telemetrySession = CliTelemetry::open(args, "chaosproxy");
+  net::ChaosProxy proxy(targetHost, static_cast<std::uint16_t>(targetPort), schedule,
+                        telemetrySession.get(), static_cast<std::uint16_t>(port));
+  out << "chaos proxy on 0.0.0.0:" << proxy.port() << " -> " << targetHost << ":"
+      << targetPort << " scenario=" << scenario << " seed=" << seed << "\n"
+      << std::flush;
+
+  gServeStop.store(false);
+  std::signal(SIGINT, &serveStopHandler);
+  std::signal(SIGTERM, &serveStopHandler);
+  const double start = net::monotonicSeconds();
+  while (!gServeStop.load()) {
+    if (duration > 0.0 && net::monotonicSeconds() - start >= duration) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  proxy.stop();
+
+  const auto c = proxy.counters();
+  out << "chaos:    " << c.connectionsAccepted << " connection(s), " << c.framesForwarded
+      << " frame(s) forwarded, " << c.framesDropped << " dropped, " << c.framesDuplicated
+      << " duplicated, " << c.framesDelayed << " delayed, " << c.partitions
+      << " partition(s), " << c.stalls << " stall(s), " << c.heals << " heal(s)\n";
+  telemetrySession.finish(out);
+  return 0;
 }
 
 int runSubmitCommand(const Args& args, std::ostream& out) {
@@ -1109,7 +1165,10 @@ int runInfoCommand(const Args&, std::ostream& out) {
   out << "  status   --host H --port P [--job N] [--result]  (N omitted = summary;\n";
   out << "           --result pulls the stored outcome, surviving restarts)\n";
   out << "  cancel   --host H --port P --job N\n";
-  out << "  worker   --host H --port P [--reconnect false]\n";
+  out << "  worker   --host H --port P [--reconnect false] [--master-timeout S]\n";
+  out << "  chaosproxy --target-port P [--port L] [--scenario partition-heal|\n";
+  out << "           blackhole-up|blackhole-down|delay-duplicate|midframe-stall|none]\n";
+  out << "           [--seed N] [--duration S]  (fault-injecting relay for tests)\n";
   out << "  water    --algorithm mn|pc|pcmn --sigma0 S\n";
   out << "  probe    --function F --dim D --point x,y,... --samples N\n";
   out << "  md       --molecules N --force-threads T --equilibration E --production P "
@@ -1142,6 +1201,7 @@ int runCli(const std::vector<std::string>& argv, std::ostream& out, std::ostream
     if (cmd == "status") return runStatusCommand(args, out);
     if (cmd == "cancel") return runCancelCommand(args, out);
     if (cmd == "worker") return runWorkerCommand(args, out);
+    if (cmd == "chaosproxy") return runChaosProxyCommand(args, out);
     if (cmd == "water") return runWaterCommand(args, out);
     if (cmd == "probe") return runProbeCommand(args, out);
     if (cmd == "md") return runMdCommand(args, out);

@@ -40,6 +40,14 @@ int runCancelCommand(const Args& args, std::ostream& out);
 /// drops (disable with `--reconnect false`).
 int runWorkerCommand(const Args& args, std::ostream& out);
 
+/// `sfopt chaosproxy` — fault-injecting TCP proxy between workers and a
+/// master/daemon: relays `--port` to `--target-host:--target-port` under a
+/// named, seeded `--scenario` (partition-heal, blackhole-up/-down,
+/// delay-duplicate, midframe-stall, none).  Runs until SIGTERM/SIGINT or
+/// `--duration` seconds, then prints the chaos counters.  The partition
+/// chaos CI smoke drives the shipped binaries through it.
+int runChaosProxyCommand(const Args& args, std::ostream& out);
+
 /// `sfopt water` — the TIP4P reparameterization application.
 int runWaterCommand(const Args& args, std::ostream& out);
 
